@@ -1,0 +1,283 @@
+// Per-figure benchmark harness: one testing.B benchmark per table/figure of
+// the paper's evaluation. Each benchmark regenerates the corresponding
+// result on the full 20-sequence suite and reports the headline quantity
+// via b.ReportMetric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation section. The expensive shared artifacts (rendered suites,
+// encoded streams, trained NN-S) are cached in a process-wide harness.
+package vrdann_test
+
+import (
+	"sync"
+	"testing"
+
+	"vrdann/internal/experiments"
+)
+
+var (
+	benchOnce    sync.Once
+	benchHarness *experiments.Harness
+)
+
+func harness() *experiments.Harness {
+	benchOnce.Do(func() {
+		benchHarness = experiments.New(experiments.Default())
+	})
+	return benchHarness
+}
+
+func BenchmarkFig3aBFrameRatio(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, mean, err := h.Fig3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*mean, "B-ratio-%")
+	}
+}
+
+func BenchmarkFig3bReferenceFrames(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		_, maxRefs, err := h.Fig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(maxRefs), "max-refs")
+	}
+}
+
+func BenchmarkFig9PerVideoAccuracy(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var favJ, vrdJ float64
+		for _, r := range rows {
+			favJ += r.FavosJ
+			vrdJ += r.VrdJ
+		}
+		n := float64(len(rows))
+		b.ReportMetric(100*favJ/n, "FAVOS-J-%")
+		b.ReportMetric(100*vrdJ/n, "VRDANN-J-%")
+	}
+}
+
+func BenchmarkFig10AverageAccuracy(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == "VR-DANN" {
+				b.ReportMetric(100*r.F, "F-%")
+				b.ReportMetric(100*r.J, "J-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11DetectionMAP(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == "VR-DANN" {
+				b.ReportMetric(100*r.Overall, "mAP-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12PerVideoCycles(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var par float64
+		for _, r := range rows {
+			par += r.ParallelNorm
+		}
+		b.ReportMetric(float64(len(rows))/par, "parallel-speedup-x")
+	}
+}
+
+func BenchmarkFig13PerfEnergy(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme.String() == "VR-DANN-parallel" {
+				b.ReportMetric(r.Speedup, "speedup-x")
+				b.ReportMetric(1/r.EnergyNorm, "energy-reduction-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig14DRAMBreakdown(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme.String() == "VR-DANN-parallel" {
+				b.ReportMetric(r.Total, "dram-vs-favos")
+			}
+		}
+	}
+}
+
+func BenchmarkFig15BRatioSweep(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "settings")
+	}
+}
+
+func BenchmarkFig16SearchIntervalSweep(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "settings")
+	}
+}
+
+func BenchmarkFig17EncodingStandard(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// H.265-like blocks should not lose to H.264-like ones.
+		if rows[1].J+0.03 < rows[0].J {
+			b.Fatalf("H.265-like worse than H.264-like: %+v", rows)
+		}
+		b.ReportMetric(100*(rows[1].J-rows[0].J), "h265-J-gain-%")
+	}
+}
+
+func BenchmarkTableIIConfig(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		if h.TableII() == "" {
+			b.Fatal("empty Table II")
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		hl, err := h.Headline()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(hl.SpeedupVsFAVOS, "speedup-vs-FAVOS-x")
+		b.ReportMetric(hl.VRDANNFPS, "fps")
+	}
+}
+
+func BenchmarkAblationCoalescing(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.AblationCoalescing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].TotalNS/rows[0].TotalNS, "uncoalesced-slowdown-x")
+	}
+}
+
+func BenchmarkAblationLaggedSwitching(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.AblationLaggedSwitching()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[1].Switches)/float64(rows[0].Switches), "eager-switch-ratio")
+	}
+}
+
+func BenchmarkAblationTmpBuffers(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.AblationTmpB()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "settings")
+	}
+}
+
+func BenchmarkAblationRefinement(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		wf, wj, of, oj, err := h.AblationRefinement()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(wf-of), "refine-F-gain-%")
+		b.ReportMetric(100*(wj-oj), "refine-J-gain-%")
+	}
+}
+
+func BenchmarkRealtime(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Realtime()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme.String() == "VR-DANN-parallel" {
+				b.ReportMetric(r.SustainedFPS, "sustained-fps")
+			}
+		}
+	}
+}
+
+func BenchmarkDSE(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.DSE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(rows)), "design-points")
+	}
+}
+
+func BenchmarkAblationInt8(b *testing.B) {
+	h := harness()
+	for i := 0; i < b.N; i++ {
+		ff, _, qf, _, err := h.AblationInt8()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*(ff-qf), "int8-F-loss-%")
+	}
+}

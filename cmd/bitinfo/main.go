@@ -1,0 +1,129 @@
+// Command bitinfo analyzes a VR-DANN bitstream: GOP structure, per-frame
+// sizes and types, motion-vector statistics and coalescing opportunity —
+// the developer-facing view of what the agent unit will see. It can read a
+// stream from a file or synthesize one on the fly from a named benchmark
+// sequence.
+//
+// Usage:
+//
+//	bitinfo -file stream.vrd
+//	bitinfo -seq cows -frames 24 [-arith] [-deblock] [-halfpel]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"vrdann"
+)
+
+func main() {
+	file := flag.String("file", "", "bitstream file to analyze (overrides -seq)")
+	seq := flag.String("seq", "cows", "benchmark sequence to synthesize and encode")
+	frames := flag.Int("frames", 24, "frames for the synthesized sequence")
+	arith := flag.Bool("arith", false, "encode with the arithmetic backend")
+	deblock := flag.Bool("deblock", false, "encode with in-loop deblocking")
+	halfpel := flag.Bool("halfpel", false, "encode with half-pel motion compensation")
+	flag.Parse()
+
+	var data []byte
+	if *file != "" {
+		var err error
+		data, err = os.ReadFile(*file)
+		if err != nil {
+			fail("read %s: %v", *file, err)
+		}
+	} else {
+		var profile vrdann.SeqProfile
+		ok := false
+		for _, p := range vrdann.SuiteProfiles {
+			if p.Name == *seq {
+				profile, ok = p, true
+			}
+		}
+		if !ok {
+			fail("unknown sequence %q", *seq)
+		}
+		vid := vrdann.MakeSequence(profile, 96, 64, *frames)
+		enc := vrdann.DefaultEncoderConfig()
+		enc.Arithmetic = *arith
+		enc.Deblock = *deblock
+		enc.HalfPel = *halfpel
+		st, err := vrdann.Encode(vid, enc)
+		if err != nil {
+			fail("encode: %v", err)
+		}
+		data = st.Data
+	}
+
+	dec, err := vrdann.DecodeSideInfo(data)
+	if err != nil {
+		fail("decode: %v", err)
+	}
+	cfg := dec.Cfg
+	fmt.Printf("stream: %d bytes, %dx%d, %d frames\n", len(data), dec.W, dec.H, len(dec.Types))
+	fmt.Printf("config: block=%dx%d qp=%d search=±%d interval=%d arith=%v deblock=%v halfpel=%v targetbpf=%d\n",
+		cfg.BlockSize, cfg.BlockSize, cfg.QP, cfg.SearchRange,
+		cfg.EffectiveSearchInterval(), cfg.Arithmetic, cfg.Deblock, cfg.HalfPel, cfg.TargetBPF)
+
+	// GOP string in display order.
+	gop := make([]byte, len(dec.Types))
+	for i, t := range dec.Types {
+		gop[i] = t.String()[0]
+	}
+	fmt.Printf("GOP:    %s  (B ratio %.0f%%)\n", gop, 100*dec.BRatio())
+
+	fmt.Printf("decode order: %v\n", dec.Order)
+
+	fmt.Println("\nper-frame:")
+	fmt.Printf("  %5s %4s %8s %6s %6s %6s\n", "disp", "type", "bits", "blocks", "MVs", "bi-ref")
+	var totalMV, totalBi int
+	for d, info := range dec.Infos {
+		bi := 0
+		for _, mv := range info.MVs {
+			if mv.BiRef {
+				bi++
+			}
+		}
+		totalMV += len(info.MVs)
+		totalBi += bi
+		fmt.Printf("  %5d %4s %8d %6d %6d %6d\n", d, info.Type, info.Bits, info.Blocks, len(info.MVs), bi)
+	}
+
+	// MV statistics across B-frames.
+	refCounts := dec.RefFrameCounts()
+	sort.Ints(refCounts)
+	fmt.Printf("\nmotion vectors: %d total, %d bi-referencing (%.0f%%)\n",
+		totalMV, totalBi, pct(totalBi, totalMV))
+	if len(refCounts) > 0 {
+		fmt.Printf("distinct refs per B-frame: min %d, median %d, max %d\n",
+			refCounts[0], refCounts[len(refCounts)/2], refCounts[len(refCounts)-1])
+	}
+
+	// Coalescing opportunity, as the agent unit would see it.
+	params := vrdann.DefaultSimParams()
+	w := vrdann.NewWorkload("stream", dec, params, dec.W, dec.H)
+	var mvs, groups int64
+	for _, f := range w.Frames {
+		mvs += f.NMV
+		groups += f.Groups
+	}
+	if groups > 0 {
+		fmt.Printf("coalescing: %d fetches -> %d DRAM groups (%.1fx merge factor)\n",
+			mvs, groups, float64(mvs)/float64(groups))
+	}
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bitinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

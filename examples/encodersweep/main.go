@@ -1,0 +1,79 @@
+// Encodersweep: the Sec VI-C what-if exploration — how encoder settings
+// (forced B-frame ratio, motion-vector search interval, macro-block size)
+// trade segmentation accuracy against VR-DANN-parallel execution time on
+// one sequence. This is the interactive counterpart of Fig 15/16/17.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrdann"
+)
+
+func main() {
+	vid := vrdann.MakeSequence(vrdann.SuiteProfiles[8], 96, 64, 48) // "dog"
+	base := vrdann.DefaultEncoderConfig()
+	nns, err := vrdann.TrainRefiner(vrdann.MakeTrainingSet(96, 64, 16), base, vrdann.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := vrdann.DefaultSimParams()
+
+	evaluate := func(enc vrdann.EncoderConfig) (f, j, ms float64, bratio float64) {
+		stream, err := vrdann.Encode(vid, enc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nnl := vrdann.NewOracleSegmenter("NN-L", vid.Masks, 0.08, 2, 3)
+		res, err := vrdann.NewPipeline(nnl, nns).RunSegmentation(stream.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, j = vrdann.EvaluateSegmentation(res.Masks, vid.Masks)
+		w := vrdann.NewWorkload(vid.Name, res.Decode, params, 854, 480)
+		r := vrdann.Simulate(params, vrdann.SchemeVRDANNParallel, w)
+		return f, j, r.TotalNS / 1e6, res.Decode.BRatio()
+	}
+
+	fmt.Printf("sequence %q, 48 frames — VR-DANN-parallel at 854x480\n\n", vid.Name)
+
+	fmt.Println("B-frame ratio sweep (Fig 15):")
+	for _, ratio := range []float64{0.37, 0.5, 0, 0.75} {
+		enc := base
+		enc.TargetBRatio = ratio
+		if ratio > 0.7 {
+			enc.MaxBRun = 4
+		}
+		f, j, ms, br := evaluate(enc)
+		label := fmt.Sprintf("%.0f%%", 100*ratio)
+		if ratio == 0 {
+			label = "auto"
+		}
+		fmt.Printf("  target %-5s (actual %4.1f%%)  F=%.3f J=%.3f  %6.1f ms\n", label, 100*br, f, j, ms)
+	}
+
+	fmt.Println("\nsearch interval sweep (Fig 16):")
+	for _, n := range []int{1, 3, 5, 7, 9, 0} {
+		enc := base
+		enc.SearchInterval = n
+		f, j, ms, _ := evaluate(enc)
+		label := fmt.Sprintf("n=%d", n)
+		if n == 0 {
+			label = "auto"
+		}
+		fmt.Printf("  %-5s F=%.3f J=%.3f  %6.1f ms\n", label, f, j, ms)
+	}
+
+	fmt.Println("\nencoding standard sweep (Fig 17):")
+	for _, bs := range []int{16, 8} {
+		enc := base
+		enc.BlockSize = bs
+		f, j, ms, _ := evaluate(enc)
+		std := "H.265-like (8x8)"
+		if bs == 16 {
+			std = "H.264-like (16x16)"
+		}
+		fmt.Printf("  %-20s F=%.3f J=%.3f  %6.1f ms\n", std, f, j, ms)
+	}
+}

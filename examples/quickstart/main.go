@@ -1,0 +1,63 @@
+// Quickstart: the complete VR-DANN flow on one synthetic sequence —
+// generate, encode, train NN-S, run the decoder-assisted pipeline, and
+// compare its accuracy and workload against running the large network on
+// every frame.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vrdann"
+)
+
+func main() {
+	// 1. A synthetic sequence with exact ground truth (stand-in for DAVIS).
+	vid := vrdann.MakeSequence(vrdann.SuiteProfiles[6], 96, 64, 32) // "cows"
+	fmt.Printf("sequence %q: %d frames of %dx%d\n", vid.Name, vid.Len(), vid.Frames[0].W, vid.Frames[0].H)
+
+	// 2. Encode it with the H.265-like defaults (auto B ratio, auto n).
+	enc := vrdann.DefaultEncoderConfig()
+	stream, err := vrdann.Encode(vid, enc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw := vid.Len() * vid.Frames[0].W * vid.Frames[0].H
+	fmt.Printf("encoded: %d bytes (%.1fx compression)\n", len(stream.Data), float64(raw)/float64(len(stream.Data)))
+
+	// 3. Train the lightweight refinement network NN-S (2 epochs, held-out
+	//    training sequences — exactly the paper's recipe).
+	fmt.Println("training NN-S (2 epochs)...")
+	nns, err := vrdann.TrainRefiner(vrdann.MakeTrainingSet(96, 64, 16), enc, vrdann.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run VR-DANN: NN-L (here a calibrated oracle standing in for
+	//    FAVOS's ROI SegNet) on I/P-frames, motion-vector reconstruction +
+	//    NN-S on B-frames.
+	nnl := vrdann.NewOracleSegmenter("NN-L", vid.Masks, 0.08, 2, 1)
+	pipeline := vrdann.NewPipeline(nnl, nns)
+	res, err := pipeline.RunSegmentation(stream.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, j := vrdann.EvaluateSegmentation(res.Masks, vid.Masks)
+	fmt.Printf("VR-DANN accuracy: F-Score=%.3f IoU=%.3f\n", f, j)
+	fmt.Printf("workload: NN-L ran %d times, NN-S %d times over %d frames (B ratio %.0f%%)\n",
+		res.Stats.NNLRuns, res.Stats.NNSRuns, vid.Len(), 100*res.Decode.BRatio())
+
+	// 5. Simulate the VR-DANN-parallel SoC against per-frame FAVOS at the
+	//    paper's 854x480 resolution.
+	params := vrdann.DefaultSimParams()
+	dec, err := vrdann.DecodeSideInfo(stream.Data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := vrdann.NewWorkload(vid.Name, dec, params, 854, 480)
+	favos := vrdann.Simulate(params, vrdann.SchemeFAVOS, w)
+	vrd := vrdann.Simulate(params, vrdann.SchemeVRDANNParallel, w)
+	fmt.Printf("simulated 854x480: FAVOS %.1f fps -> VR-DANN-parallel %.1f fps (%.1fx speedup, %.1fx energy reduction)\n",
+		favos.FPS(), vrd.FPS(), favos.TotalNS/vrd.TotalNS,
+		favos.Energy.TotalPJ()/vrd.Energy.TotalPJ())
+}

@@ -1,0 +1,3 @@
+module vrdann
+
+go 1.22

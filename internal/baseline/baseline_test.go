@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"testing"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/detect"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+func makeVideo(t *testing.T, frames int, speed float64) (*video.Video, []byte) {
+	t.Helper()
+	v := video.Generate(video.SceneSpec{
+		Name: "bl", W: 96, H: 64, Frames: frames, Seed: 13, Noise: 1.5,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 14, X: 36, Y: 32,
+			VX: speed, VY: speed / 3, Intensity: 220, Foreground: true,
+		}},
+	})
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, st.Data
+}
+
+func TestRunOSVOSSegmentsEveryFrame(t *testing.T) {
+	v, stream := makeVideo(t, 10, 1.2)
+	res, err := RunOSVOS(stream, segment.NewOracle("osvos", v.Masks, 0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Masks) != 10 || res.NNRuns != 20 {
+		t.Fatalf("masks %d NNRuns %d, want 10/20", len(res.Masks), res.NNRuns)
+	}
+	for d, m := range res.Masks {
+		if segment.IoU(m, v.Masks[d]) < 0.9 {
+			t.Fatalf("frame %d IoU too low", d)
+		}
+	}
+}
+
+func TestRunFAVOSTracksAndSegments(t *testing.T) {
+	v, stream := makeVideo(t, 12, 1.5)
+	res, err := RunFAVOS(stream, segment.NewOracle("favos", v.Masks, 0.08, 2, 2), v.Masks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NNRuns != 12 {
+		t.Fatalf("NNRuns = %d, want 12", res.NNRuns)
+	}
+	var s segment.SeqScore
+	for d, m := range res.Masks {
+		s.Add(m, v.Masks[d])
+	}
+	_, j := s.Mean()
+	if j < 0.85 {
+		t.Fatalf("FAVOS mean IoU = %.3f, want > 0.85", j)
+	}
+}
+
+func TestFAVOSROISuppressesFarFalsePositives(t *testing.T) {
+	// A segmenter that adds a spurious far-away blob: the tracker ROI should
+	// remove it on non-first frames.
+	v, stream := makeVideo(t, 6, 1.0)
+	noisy := &spuriousSegmenter{inner: segment.NewOracle("o", v.Masks, 0, 0, 1)}
+	res, err := RunFAVOS(stream, noisy, v.Masks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d < len(res.Masks); d++ {
+		if res.Masks[d].At(90, 5) != 0 {
+			t.Fatalf("frame %d kept far-field false positive", d)
+		}
+	}
+}
+
+type spuriousSegmenter struct{ inner segment.Segmenter }
+
+func (s *spuriousSegmenter) Name() string { return "spurious" }
+func (s *spuriousSegmenter) Segment(f *video.Frame, d int) *video.Mask {
+	m := s.inner.Segment(f, d)
+	for y := 2; y < 8; y++ {
+		for x := 88; x < 94; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	return m
+}
+
+func TestRunDFFKeyIntervalCost(t *testing.T) {
+	v, stream := makeVideo(t, 12, 1.0)
+	res, err := RunDFF(stream, segment.NewOracle("dff", v.Masks, 0, 0, 3), DefaultDFFConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NNRuns != 3 { // frames 0, 4, 8
+		t.Fatalf("NNRuns = %d, want 3", res.NNRuns)
+	}
+	if res.FlowRuns != 9 {
+		t.Fatalf("FlowRuns = %d, want 9", res.FlowRuns)
+	}
+	var s segment.SeqScore
+	for d, m := range res.Masks {
+		s.Add(m, v.Masks[d])
+	}
+	_, j := s.Mean()
+	if j < 0.7 {
+		t.Fatalf("DFF mean IoU = %.3f, want > 0.7", j)
+	}
+}
+
+func TestDFFAccuracyDegradesWithInterval(t *testing.T) {
+	v, stream := makeVideo(t, 16, 2.0)
+	seg := segment.NewOracle("dff", v.Masks, 0, 0, 3)
+	short, err := RunDFF(stream, seg, DFFConfig{KeyInterval: 2, FlowBlock: 8, FlowRange: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunDFF(stream, seg, DFFConfig{KeyInterval: 8, FlowBlock: 8, FlowRange: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(r *SegResult) float64 {
+		var s segment.SeqScore
+		for d, m := range r.Masks {
+			s.Add(m, v.Masks[d])
+		}
+		_, j := s.Mean()
+		return j
+	}
+	if mean(long) >= mean(short) {
+		t.Fatalf("longer key interval should be less accurate: k=2 %.3f k=8 %.3f", mean(short), mean(long))
+	}
+}
+
+func TestDFFRejectsBadInterval(t *testing.T) {
+	_, stream := makeVideo(t, 4, 1)
+	if _, err := RunDFF(stream, segment.NewOracle("x", nil, 0, 0, 1), DFFConfig{}); err == nil {
+		t.Fatal("expected error for zero key interval")
+	}
+}
+
+func TestOracleBoxDetectorJitter(t *testing.T) {
+	v, _ := makeVideo(t, 4, 1)
+	exact := &OracleBoxDetector{Label: "d", GT: v.Boxes, Jitter: 0, Seed: 1}
+	d := exact.Detect(nil, 0)
+	if len(d) != 1 || d[0].Box != v.Boxes[0] {
+		t.Fatal("zero-jitter detector must return GT box")
+	}
+	noisy := &OracleBoxDetector{Label: "d", GT: v.Boxes, Jitter: 3, Seed: 1}
+	nd := noisy.Detect(nil, 0)
+	if nd[0].Box == v.Boxes[0] {
+		t.Fatal("jittered detector should perturb the box")
+	}
+	nd2 := noisy.Detect(nil, 0)
+	if nd[0].Box != nd2[0].Box {
+		t.Fatal("detector must be deterministic")
+	}
+}
+
+func TestRunEuphratesExtrapolatesBoxes(t *testing.T) {
+	v, stream := makeVideo(t, 12, 1.5)
+	det := &OracleBoxDetector{Label: "euph", GT: v.Boxes, Jitter: 1, Seed: 2}
+	res, err := RunEuphrates(stream, det, EuphratesConfig{KeyInterval: 2, FlowBlock: 8, FlowRange: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NNRuns != 6 {
+		t.Fatalf("NNRuns = %d, want 6", res.NNRuns)
+	}
+	ap := detect.AP(res.Detections, detect.GTBoxes(v), 0.5)
+	if ap < 0.7 {
+		t.Fatalf("Euphrates-2 AP = %.3f, want > 0.7", ap)
+	}
+}
+
+func TestEuphratesAccuracyDropsWithLargerInterval(t *testing.T) {
+	v, stream := makeVideo(t, 16, 3.0)
+	det := &OracleBoxDetector{Label: "euph", GT: v.Boxes, Jitter: 1, Seed: 2}
+	e2, err := RunEuphrates(stream, det, EuphratesConfig{KeyInterval: 2, FlowBlock: 8, FlowRange: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e6, err := RunEuphrates(stream, det, EuphratesConfig{KeyInterval: 6, FlowBlock: 8, FlowRange: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gts := detect.GTBoxes(v)
+	if detect.AP(e6.Detections, gts, 0.5) > detect.AP(e2.Detections, gts, 0.5) {
+		t.Fatal("larger key interval should not improve Euphrates accuracy")
+	}
+}
+
+func TestRunSELSASmoothsJitter(t *testing.T) {
+	v, stream := makeVideo(t, 16, 1.0)
+	noisy := &OracleBoxDetector{Label: "selsa", GT: v.Boxes, Jitter: 2.5, Seed: 4}
+	selsa, err := RunSELSA(stream, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selsa.NNRuns != 16 {
+		t.Fatalf("NNRuns = %d, want 16", selsa.NNRuns)
+	}
+	// SELSA's aggregation should beat the raw per-frame detector.
+	raw := make([][]detect.Detection, v.Len())
+	for d := range raw {
+		raw[d] = noisy.Detect(nil, d)
+	}
+	gts := detect.GTBoxes(v)
+	if detect.AP(selsa.Detections, gts, 0.6) < detect.AP(raw, gts, 0.6) {
+		t.Fatalf("SELSA (%.3f) should beat raw detector (%.3f) at strict IoU",
+			detect.AP(selsa.Detections, gts, 0.6), detect.AP(raw, gts, 0.6))
+	}
+}

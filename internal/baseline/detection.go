@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/core"
+	"vrdann/internal/detect"
+	"vrdann/internal/flow"
+	"vrdann/internal/video"
+)
+
+// DetResult is the output of a detection baseline.
+type DetResult struct {
+	Detections [][]detect.Detection
+	Decode     *codec.DecodeResult
+	NNRuns     int
+}
+
+// OracleBoxDetector is the detection analogue of segment.Oracle: it returns
+// the ground-truth box jittered by per-frame deterministic noise of the
+// given magnitude (pixels), standing in for a trained detector head.
+type OracleBoxDetector struct {
+	Label  string
+	GT     []video.Rect
+	Jitter float64
+	Seed   int64
+}
+
+// Name implements core.BoxDetector.
+func (o *OracleBoxDetector) Name() string { return o.Label }
+
+// Detect implements core.BoxDetector.
+func (o *OracleBoxDetector) Detect(_ *video.Frame, display int) []detect.Detection {
+	gt := o.GT[display]
+	if gt.Empty() {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(o.Seed + int64(display)*104729))
+	j := func() int { return int(rng.NormFloat64() * o.Jitter) }
+	b := video.Rect{X0: gt.X0 + j(), Y0: gt.Y0 + j(), X1: gt.X1 + j(), Y1: gt.Y1 + j()}
+	if b.Empty() {
+		b = gt
+	}
+	score := 0.9 - rng.Float64()*0.1
+	return []detect.Detection{{Box: b, Score: score}}
+}
+
+var _ core.BoxDetector = (*OracleBoxDetector)(nil)
+
+// EuphratesConfig configures the Euphrates baseline.
+type EuphratesConfig struct {
+	// KeyInterval is the extrapolation window: the full detector runs every
+	// KeyInterval frames (Euphrates-2 and Euphrates-4 in Fig 11).
+	KeyInterval int
+	// FlowBlock and FlowRange parameterize the ISP-style block motion
+	// estimation used between consecutive frames.
+	FlowBlock, FlowRange int
+}
+
+// DefaultEuphratesConfig returns Euphrates-2.
+func DefaultEuphratesConfig() EuphratesConfig {
+	return EuphratesConfig{KeyInterval: 2, FlowBlock: 8, FlowRange: 8}
+}
+
+// RunEuphrates models Euphrates: key frames run the detector; in between,
+// the box is simply shifted by the average of the (ISP-supplied) motion
+// vectors inside it. The bitstream is fully decoded because the ISP path
+// operates on raw frames.
+func RunEuphrates(stream []byte, det core.BoxDetector, cfg EuphratesConfig) (*DetResult, error) {
+	if cfg.KeyInterval <= 0 {
+		return nil, fmt.Errorf("baseline: euphrates key interval must be positive, got %d", cfg.KeyInterval)
+	}
+	dec, err := codec.Decode(stream, codec.DecodeFull)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: euphrates decode: %w", err)
+	}
+	res := &DetResult{Decode: dec, Detections: make([][]detect.Detection, len(dec.Frames))}
+	var prev []detect.Detection
+	for d, f := range dec.Frames {
+		if d%cfg.KeyInterval == 0 || prev == nil {
+			prev = det.Detect(f, d)
+			res.NNRuns++
+			res.Detections[d] = prev
+			continue
+		}
+		fl := flow.BlockFlow(f, dec.Frames[d-1], cfg.FlowBlock, cfg.FlowRange)
+		var moved []detect.Detection
+		for _, p := range prev {
+			dx, dy := averageMotion(fl, p.Box)
+			moved = append(moved, detect.Detection{Box: p.Box.Shift(dx, dy), Score: p.Score * 0.98})
+		}
+		prev = moved
+		res.Detections[d] = moved
+	}
+	return res, nil
+}
+
+// averageMotion averages the flow over the box region. Flow is backward
+// (current pixel samples the previous frame at +U), so the box moves by the
+// negated mean.
+func averageMotion(f *flow.Field, b video.Rect) (dx, dy int) {
+	var su, sv float64
+	n := 0
+	for y := maxI(b.Y0, 0); y < minI(b.Y1, f.H); y++ {
+		for x := maxI(b.X0, 0); x < minI(b.X1, f.W); x++ {
+			su += float64(f.U[y*f.W+x])
+			sv += float64(f.V[y*f.W+x])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return int(-su/float64(n) + 0.5), int(-sv/float64(n) + 0.5)
+}
+
+// RunSELSA models SELSA's sequence-level semantics aggregation: a full
+// detector runs on every frame and each frame's box is refined by
+// aggregating (score-weighted averaging) the detections of the whole
+// sequence after motion-compensating their centers — smoothing out
+// per-frame jitter the way feature aggregation does.
+func RunSELSA(stream []byte, det core.BoxDetector) (*DetResult, error) {
+	dec, err := codec.Decode(stream, codec.DecodeFull)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: selsa decode: %w", err)
+	}
+	res := &DetResult{Decode: dec, Detections: make([][]detect.Detection, len(dec.Frames))}
+	raw := make([][]detect.Detection, len(dec.Frames))
+	for d, f := range dec.Frames {
+		raw[d] = det.Detect(f, d)
+		res.NNRuns++
+	}
+	// Aggregate sizes across the sequence and smooth trajectories over a
+	// sliding window: the full-sequence semantics aggregation step.
+	const win = 3
+	for d := range raw {
+		if len(raw[d]) == 0 {
+			continue
+		}
+		var cx, cy, w, h, wsum float64
+		for k := d - win; k <= d+win; k++ {
+			if k < 0 || k >= len(raw) || len(raw[k]) == 0 {
+				continue
+			}
+			b := raw[k][0]
+			bcx, bcy := b.Box.Center()
+			// Linearly extrapolate the center from frame k to frame d using
+			// the local trajectory (difference to the neighbor sample).
+			weight := b.Score / (1 + 0.5*absF(float64(k-d)))
+			cx += weight * (bcx + trajectoryDelta(raw, k, d, true))
+			cy += weight * (bcy + trajectoryDelta(raw, k, d, false))
+			w += weight * float64(b.Box.X1-b.Box.X0)
+			h += weight * float64(b.Box.Y1-b.Box.Y0)
+			wsum += weight
+		}
+		cx, cy, w, h = cx/wsum, cy/wsum, w/wsum, h/wsum
+		res.Detections[d] = []detect.Detection{{
+			Box: video.Rect{
+				X0: int(cx - w/2), Y0: int(cy - h/2),
+				X1: int(cx + w/2), Y1: int(cy + h/2),
+			},
+			Score: raw[d][0].Score,
+		}}
+	}
+	res.Decode = dec
+	return res, nil
+}
+
+// trajectoryDelta estimates how far the object center moves from frame k to
+// frame d using the per-frame detections around k.
+func trajectoryDelta(raw [][]detect.Detection, k, d int, xAxis bool) float64 {
+	if k == d {
+		return 0
+	}
+	// Use the mean per-frame velocity between k and d from available samples.
+	var first, last float64
+	firstIdx, lastIdx := -1, -1
+	lo, hi := minI(k, d), maxI(k, d)
+	for i := lo; i <= hi; i++ {
+		if i < 0 || i >= len(raw) || len(raw[i]) == 0 {
+			continue
+		}
+		cx, cy := raw[i][0].Box.Center()
+		v := cx
+		if !xAxis {
+			v = cy
+		}
+		if firstIdx < 0 {
+			first, firstIdx = v, i
+		}
+		last, lastIdx = v, i
+	}
+	if firstIdx < 0 || lastIdx == firstIdx {
+		return 0
+	}
+	vel := (last - first) / float64(lastIdx-firstIdx)
+	return vel * float64(d-k)
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,282 @@
+// Package baseline implements the comparison schemes of the paper's
+// evaluation: OSVOS and FAVOS (per-frame large-network segmentation, the
+// latter with part tracking), DFF (key-frame segmentation with optical-flow
+// propagation), Euphrates (key-frame detection with motion-vector box
+// extrapolation) and a SELSA-like sequence-level aggregation detector.
+//
+// All baselines consume the same encoded bitstream as VR-DANN so the
+// architecture simulator can charge each scheme its true decode + NN work.
+package baseline
+
+import (
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/flow"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// SegResult is the output of a segmentation baseline.
+type SegResult struct {
+	Masks  []*video.Mask
+	Decode *codec.DecodeResult
+	// NNRuns counts large-network invocations (per-frame cost driver).
+	NNRuns int
+	// FlowRuns counts optical-flow extractions (DFF only).
+	FlowRuns int
+}
+
+// RunOSVOS models OSVOS: the bitstream is fully decoded and two large
+// networks (foreground and contour branches) run on every frame. The
+// supplied segmenter stands in for the OSVOS model; it is invoked once per
+// frame and NNRuns counts two network passes per frame to reflect the
+// two-stream cost.
+func RunOSVOS(stream []byte, seg segment.Segmenter) (*SegResult, error) {
+	dec, err := codec.Decode(stream, codec.DecodeFull)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: osvos decode: %w", err)
+	}
+	res := &SegResult{Decode: dec, Masks: make([]*video.Mask, len(dec.Frames))}
+	for d, f := range dec.Frames {
+		res.Masks[d] = seg.Segment(f, d)
+		res.NNRuns += 2 // foreground + contour branches
+	}
+	return res, nil
+}
+
+// RunFAVOS models FAVOS: a conventional part tracker localizes object parts
+// frame to frame, and the large network segments every frame with the
+// tracked region of interest suppressing far-field false positives. Like
+// the real semi-supervised FAVOS, the tracker is initialized from the
+// first-frame annotation (init); passing nil initializes from the
+// network's own first-frame output instead.
+func RunFAVOS(stream []byte, seg segment.Segmenter, init *video.Mask) (*SegResult, error) {
+	dec, err := codec.Decode(stream, codec.DecodeFull)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: favos decode: %w", err)
+	}
+	res := &SegResult{Decode: dec, Masks: make([]*video.Mask, len(dec.Frames))}
+	var tracker *partTracker
+	for d, f := range dec.Frames {
+		raw := seg.Segment(f, d)
+		res.NNRuns++
+		m := raw
+		if tracker == nil {
+			seed := init
+			if seed == nil {
+				seed = raw
+			}
+			tracker = newPartTracker(f, seed)
+		} else {
+			roi := tracker.track(f)
+			// The ROI localizes the tracked objects; it must not clip a
+			// component the tracker is actually following (tracking assists
+			// segmentation, it does not veto it), so widen the ROI over the
+			// network's own components that overlap it. Components appearing
+			// far from any tracked target stay excluded — that is the
+			// false-positive suppression part tracking buys.
+			for _, own := range significantComponents(raw) {
+				grown := video.Rect{X0: own.X0 - 2, Y0: own.Y0 - 2, X1: own.X1 + 2, Y1: own.Y1 + 2}
+				if !grown.Intersect(roi).Empty() {
+					roi = unionRect(roi, grown)
+				}
+			}
+			m = intersectROI(raw, roi)
+			// Re-derive the part grid from the ROI-validated output so a
+			// single part-match miss cannot compound into losing an object.
+			tracker.update(f, m)
+		}
+		res.Masks[d] = m
+	}
+	return res, nil
+}
+
+// partTracker follows up to four object parts by template matching, the
+// mechanism FAVOS uses to localize parts before segmentation.
+type partTracker struct {
+	parts []video.Rect
+	prev  *video.Frame
+}
+
+func newPartTracker(f *video.Frame, m *video.Mask) *partTracker {
+	// Track the parts of every first-frame target (FAVOS is initialized
+	// from the first-frame annotation, which covers all objects).
+	var parts []video.Rect
+	for _, bb := range significantComponents(m) {
+		parts = append(parts, splitParts(bb)...)
+	}
+	return &partTracker{parts: parts, prev: f.Clone()}
+}
+
+// splitParts divides a bounding box into a 2×2 grid of part boxes.
+func splitParts(bb video.Rect) []video.Rect {
+	if bb.Empty() {
+		return nil
+	}
+	cx, cy := (bb.X0+bb.X1)/2, (bb.Y0+bb.Y1)/2
+	parts := []video.Rect{
+		{X0: bb.X0, Y0: bb.Y0, X1: cx, Y1: cy},
+		{X0: cx, Y0: bb.Y0, X1: bb.X1, Y1: cy},
+		{X0: bb.X0, Y0: cy, X1: cx, Y1: bb.Y1},
+		{X0: cx, Y0: cy, X1: bb.X1, Y1: bb.Y1},
+	}
+	out := parts[:0]
+	for _, p := range parts {
+		if !p.Empty() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// track matches each part template from the previous frame in the current
+// frame (±8 px search) and returns the union ROI, dilated by a margin.
+func (t *partTracker) track(cur *video.Frame) video.Rect {
+	const rang, margin = 8, 10
+	union := video.Rect{}
+	for i, p := range t.parts {
+		best := int64(1) << 62
+		bestDX, bestDY := 0, 0
+		for dy := -rang; dy <= rang; dy += 2 {
+			for dx := -rang; dx <= rang; dx += 2 {
+				var s int64
+				for y := p.Y0; y < p.Y1; y += 2 {
+					for x := p.X0; x < p.X1; x += 2 {
+						d := int64(cur.At(x+dx, y+dy)) - int64(t.prev.At(x, y))
+						if d < 0 {
+							d = -d
+						}
+						s += d
+					}
+				}
+				if s < best {
+					best, bestDX, bestDY = s, dx, dy
+				}
+			}
+		}
+		moved := p.Shift(bestDX, bestDY)
+		t.parts[i] = moved
+		if union.Empty() {
+			union = moved
+		} else {
+			union = video.Rect{
+				X0: minI(union.X0, moved.X0), Y0: minI(union.Y0, moved.Y0),
+				X1: maxI(union.X1, moved.X1), Y1: maxI(union.Y1, moved.Y1),
+			}
+		}
+	}
+	union.X0 -= margin
+	union.Y0 -= margin
+	union.X1 += margin
+	union.Y1 += margin
+	return union
+}
+
+// update re-derives the part grid from the new segmentation when it is
+// usable, keeping the tracker locked onto all current objects.
+func (t *partTracker) update(f *video.Frame, m *video.Mask) {
+	var parts []video.Rect
+	for _, bb := range significantComponents(m) {
+		parts = append(parts, splitParts(bb)...)
+	}
+	if len(parts) > 0 {
+		t.parts = parts
+	}
+	t.prev = f.Clone()
+}
+
+// significantComponents lists the bounding boxes of mask components large
+// enough to be tracked targets (≥ 0.2% of the frame, minimum 12 px).
+func significantComponents(m *video.Mask) []video.Rect {
+	minArea := m.W * m.H / 500
+	if minArea < 12 {
+		minArea = 12
+	}
+	return segment.ComponentBoxes(m, minArea)
+}
+
+func unionRect(a, b video.Rect) video.Rect {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	return video.Rect{
+		X0: minI(a.X0, b.X0), Y0: minI(a.Y0, b.Y0),
+		X1: maxI(a.X1, b.X1), Y1: maxI(a.Y1, b.Y1),
+	}
+}
+
+func intersectROI(m *video.Mask, roi video.Rect) *video.Mask {
+	if roi.Empty() {
+		return m
+	}
+	out := video.NewMask(m.W, m.H)
+	for y := maxI(roi.Y0, 0); y < minI(roi.Y1, m.H); y++ {
+		for x := maxI(roi.X0, 0); x < minI(roi.X1, m.W); x++ {
+			out.Pix[y*m.W+x] = m.Pix[y*m.W+x]
+		}
+	}
+	return out
+}
+
+// DFFConfig configures the DFF baseline.
+type DFFConfig struct {
+	// KeyInterval is the fixed key-frame spacing (the paper criticizes this
+	// arbitrary choice as DFF's accuracy weakness).
+	KeyInterval int
+	// FlowBlock and FlowRange parameterize the FlowNet-substitute optical
+	// flow.
+	FlowBlock, FlowRange int
+}
+
+// DefaultDFFConfig mirrors the paper's DFF setup at our sequence lengths.
+func DefaultDFFConfig() DFFConfig {
+	return DFFConfig{KeyInterval: 4, FlowBlock: 8, FlowRange: 8}
+}
+
+// RunDFF models deep feature flow: key frames (every KeyInterval) pass
+// through the large network; for non-key frames optical flow against the
+// key frame warps the key segmentation forward. Flow error accumulates with
+// distance from the key frame, which is DFF's characteristic failure mode.
+func RunDFF(stream []byte, seg segment.Segmenter, cfg DFFConfig) (*SegResult, error) {
+	if cfg.KeyInterval <= 0 {
+		return nil, fmt.Errorf("baseline: dff key interval must be positive, got %d", cfg.KeyInterval)
+	}
+	dec, err := codec.Decode(stream, codec.DecodeFull)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: dff decode: %w", err)
+	}
+	res := &SegResult{Decode: dec, Masks: make([]*video.Mask, len(dec.Frames))}
+	var keyFrame *video.Frame
+	var keyMask *video.Mask
+	for d, f := range dec.Frames {
+		if d%cfg.KeyInterval == 0 {
+			keyMask = seg.Segment(f, d)
+			keyFrame = f
+			res.NNRuns++
+			res.Masks[d] = keyMask
+			continue
+		}
+		fl := flow.BlockFlow(f, keyFrame, cfg.FlowBlock, cfg.FlowRange)
+		res.FlowRuns++
+		res.Masks[d] = flow.WarpMask(keyMask, fl)
+	}
+	return res, nil
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,313 @@
+package codec
+
+import "fmt"
+
+// This file implements a context-adaptive binary arithmetic coder (a
+// CABAC-style engine, as used by H.264/H.265's high-efficiency entropy
+// stage). Symbols are binarized exactly like the Exp-Golomb backend and
+// each bin is coded against an adaptive probability context, so the same
+// encoder/decoder structure can run on either entropy backend.
+
+// arithContext is one adaptive binary probability model: p0 is the
+// probability of the next bin being 0, in 1/65536 units.
+type arithContext struct {
+	p0 uint16
+}
+
+func newContext() arithContext { return arithContext{p0: 1 << 15} }
+
+// update adapts the context toward the observed bin with an exponential
+// moving average (shift-based, as hardware coders do).
+func (c *arithContext) update(bit uint8) {
+	const shift = 5
+	if bit == 0 {
+		c.p0 += (0xffff - c.p0) >> shift
+	} else {
+		c.p0 -= c.p0 >> shift
+	}
+	// Keep the probability away from the degenerate ends.
+	if c.p0 < 64 {
+		c.p0 = 64
+	}
+	if c.p0 > 0xffff-64 {
+		c.p0 = 0xffff - 64
+	}
+}
+
+// arithTop is the renormalization threshold: the range is kept at or above
+// 2^24 so the probability split keeps full precision.
+const arithTop = 1 << 24
+
+// ArithWriter is a byte-oriented range encoder (LZMA-style carry handling)
+// with adaptive contexts and Exp-Golomb binarization helpers mirroring
+// BitWriter's interface.
+type ArithWriter struct {
+	low       uint64
+	rng       uint32
+	out       []byte
+	cache     uint8
+	cacheSize int
+	ctx       []arithContext
+}
+
+// ueCtxBins bounds how many unary-prefix bins get dedicated contexts.
+const ueCtxBins = 16
+
+// NewArithWriter returns an encoder with adaptive contexts for the UE/SE
+// binarization and raw bins.
+func NewArithWriter() *ArithWriter {
+	w := &ArithWriter{rng: 0xffffffff, cacheSize: 1}
+	w.ctx = make([]arithContext, ueCtxBins+1)
+	for i := range w.ctx {
+		w.ctx[i] = newContext()
+	}
+	return w
+}
+
+// encodeBit codes one bin against a context.
+func (w *ArithWriter) encodeBit(c *arithContext, bit uint8) {
+	split := uint32(uint64(w.rng) * uint64(c.p0) >> 16)
+	if split == 0 {
+		split = 1
+	}
+	if bit == 0 {
+		w.rng = split
+	} else {
+		w.low += uint64(split)
+		w.rng -= split
+	}
+	c.update(bit)
+	w.renorm()
+}
+
+// encodeBypass codes one equiprobable bin (no context).
+func (w *ArithWriter) encodeBypass(bit uint8) {
+	split := w.rng >> 1
+	if bit == 0 {
+		w.rng = split
+	} else {
+		w.low += uint64(split)
+		w.rng -= split
+	}
+	w.renorm()
+}
+
+func (w *ArithWriter) renorm() {
+	for w.rng < arithTop {
+		w.shiftLow()
+		w.rng <<= 8
+	}
+}
+
+func (w *ArithWriter) shiftLow() {
+	if uint32(w.low) < 0xff000000 || w.low>>32 != 0 {
+		carry := uint8(w.low >> 32)
+		temp := w.cache
+		for ; w.cacheSize > 0; w.cacheSize-- {
+			w.out = append(w.out, temp+carry)
+			temp = 0xff
+		}
+		w.cache = uint8(w.low >> 24)
+	}
+	w.cacheSize++
+	w.low = (w.low << 8) & 0xffffffff
+}
+
+// WriteBit codes one bin against the shared "raw bit" context.
+func (w *ArithWriter) WriteBit(b uint8) {
+	w.encodeBit(&w.ctx[ueCtxBins], b&1)
+}
+
+// WriteBits codes the low n bits of v as bypass bins (uniform data such as
+// headers and suffixes carries no exploitable bias).
+func (w *ArithWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.encodeBypass(uint8(v >> uint(i) & 1))
+	}
+}
+
+// WriteUE codes v with Exp-Golomb binarization: the unary prefix bins use
+// per-position adaptive contexts, the suffix bins bypass.
+func (w *ArithWriter) WriteUE(v uint64) {
+	x := v + 1
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		ci := i
+		if ci >= ueCtxBins {
+			ci = ueCtxBins - 1
+		}
+		w.encodeBit(&w.ctx[ci], 0)
+	}
+	ci := n
+	if ci >= ueCtxBins {
+		ci = ueCtxBins - 1
+	}
+	w.encodeBit(&w.ctx[ci], 1)
+	for i := n - 1; i >= 0; i-- {
+		w.encodeBypass(uint8(x >> uint(i) & 1))
+	}
+}
+
+// WriteSE codes v with the signed Exp-Golomb mapping.
+func (w *ArithWriter) WriteSE(v int64) {
+	if v <= 0 {
+		w.WriteUE(uint64(-2 * v))
+	} else {
+		w.WriteUE(uint64(2*v - 1))
+	}
+}
+
+// Bytes flushes the coder and returns the compressed payload.
+func (w *ArithWriter) Bytes() []byte {
+	for i := 0; i < 5; i++ {
+		w.shiftLow()
+	}
+	return w.out
+}
+
+// ArithReader decodes a payload produced by ArithWriter.
+type ArithReader struct {
+	code uint32
+	rng  uint32
+	buf  []byte
+	pos  int
+	ctx  []arithContext
+}
+
+// NewArithReader initializes the decoder over buf.
+func NewArithReader(buf []byte) *ArithReader {
+	r := &ArithReader{rng: 0xffffffff, buf: buf}
+	r.ctx = make([]arithContext, ueCtxBins+1)
+	for i := range r.ctx {
+		r.ctx[i] = newContext()
+	}
+	// Prime with the first 5 bytes (mirrors the 5 flush bytes).
+	r.nextByte() // discard the leading cache byte
+	for i := 0; i < 4; i++ {
+		r.code = r.code<<8 | uint32(r.nextByte())
+	}
+	return r
+}
+
+func (r *ArithReader) nextByte() uint8 {
+	if r.pos >= len(r.buf) {
+		r.pos++
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+// exhausted reports whether the reader has consumed more bytes than exist —
+// the malformed-input signal.
+func (r *ArithReader) exhausted() bool { return r.pos > len(r.buf)+8 }
+
+func (r *ArithReader) decodeBit(c *arithContext) (uint8, error) {
+	if r.exhausted() {
+		return 0, fmt.Errorf("%w: arithmetic payload exhausted", ErrBitstream)
+	}
+	split := uint32(uint64(r.rng) * uint64(c.p0) >> 16)
+	if split == 0 {
+		split = 1
+	}
+	var bit uint8
+	if r.code < split {
+		r.rng = split
+	} else {
+		bit = 1
+		r.code -= split
+		r.rng -= split
+	}
+	c.update(bit)
+	r.renorm()
+	return bit, nil
+}
+
+func (r *ArithReader) decodeBypass() (uint8, error) {
+	if r.exhausted() {
+		return 0, fmt.Errorf("%w: arithmetic payload exhausted", ErrBitstream)
+	}
+	split := r.rng >> 1
+	var bit uint8
+	if r.code < split {
+		r.rng = split
+	} else {
+		bit = 1
+		r.code -= split
+		r.rng -= split
+	}
+	r.renorm()
+	return bit, nil
+}
+
+func (r *ArithReader) renorm() {
+	for r.rng < arithTop {
+		r.code = r.code<<8 | uint32(r.nextByte())
+		r.rng <<= 8
+	}
+}
+
+// ReadBit mirrors ArithWriter.WriteBit.
+func (r *ArithReader) ReadBit() (uint8, error) {
+	return r.decodeBit(&r.ctx[ueCtxBins])
+}
+
+// ReadBits mirrors ArithWriter.WriteBits.
+func (r *ArithReader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.decodeBypass()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUE mirrors ArithWriter.WriteUE.
+func (r *ArithReader) ReadUE() (uint64, error) {
+	n := 0
+	for {
+		ci := n
+		if ci >= ueCtxBins {
+			ci = ueCtxBins - 1
+		}
+		b, err := r.decodeBit(&r.ctx[ci])
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 63 {
+			return 0, fmt.Errorf("%w: arithmetic Exp-Golomb prefix too long", ErrBitstream)
+		}
+	}
+	var rest uint64
+	for i := 0; i < n; i++ {
+		b, err := r.decodeBypass()
+		if err != nil {
+			return 0, err
+		}
+		rest = rest<<1 | uint64(b)
+	}
+	return 1<<uint(n) + rest - 1, nil
+}
+
+// ReadSE mirrors ArithWriter.WriteSE.
+func (r *ArithReader) ReadSE() (int64, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 0 {
+		return -int64(u / 2), nil
+	}
+	return int64(u+1) / 2, nil
+}

@@ -1,0 +1,129 @@
+package codec
+
+import "testing"
+
+// TestArithmeticBackendRoundTrip encodes with the CABAC-style backend and
+// checks the decode matches the Exp-Golomb backend bit-for-bit in content.
+func TestArithmeticBackendRoundTrip(t *testing.T) {
+	v := testVideo(64, 48, 12, 1.5)
+	plain := DefaultConfig()
+	arith := DefaultConfig()
+	arith.Arithmetic = true
+
+	ps, err := Encode(v, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Encode(v, arith)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Decode(ps.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := Decode(as.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ad.Cfg.Arithmetic {
+		t.Fatal("arithmetic flag lost in round trip")
+	}
+	// Identical prediction decisions -> identical reconstructions.
+	for d := range pd.Frames {
+		for i := range pd.Frames[d].Pix {
+			if pd.Frames[d].Pix[i] != ad.Frames[d].Pix[i] {
+				t.Fatalf("frame %d pixel %d differs between entropy backends", d, i)
+			}
+		}
+		if len(pd.Infos[d].MVs) != len(ad.Infos[d].MVs) {
+			t.Fatalf("frame %d MV count differs between backends", d)
+		}
+	}
+}
+
+// TestArithmeticBackendCompressesBetter: the adaptive backend should save
+// bits on real video payloads.
+func TestArithmeticBackendCompressesBetter(t *testing.T) {
+	v := testVideo(96, 64, 16, 1.2)
+	plain := DefaultConfig()
+	arith := DefaultConfig()
+	arith.Arithmetic = true
+	ps, err := Encode(v, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Encode(v, arith)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exp-golomb %d bytes, arithmetic %d bytes (%.1f%% saved)",
+		len(ps.Data), len(as.Data), 100*(1-float64(len(as.Data))/float64(len(ps.Data))))
+	if len(as.Data) >= len(ps.Data) {
+		t.Fatalf("arithmetic stream (%d) not smaller than Exp-Golomb (%d)", len(as.Data), len(ps.Data))
+	}
+}
+
+// TestArithmeticStreamDecoder: the incremental decoder handles the
+// arithmetic backend identically to batch decode.
+func TestArithmeticStreamDecoder(t *testing.T) {
+	v := testVideo(64, 48, 10, 1.5)
+	cfg := DefaultConfig()
+	cfg.Arithmetic = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			break
+		}
+		d := out.Info.Display
+		for i := range out.Pixels.Pix {
+			if out.Pixels.Pix[i] != batch.Frames[d].Pix[i] {
+				t.Fatalf("frame %d differs from batch decode", d)
+			}
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("decoded %d frames", n)
+	}
+}
+
+// TestArithmeticCorruptionClean: bit flips in the arithmetic payload fail
+// cleanly.
+func TestArithmeticCorruptionClean(t *testing.T) {
+	v := testVideo(64, 48, 6, 1)
+	cfg := DefaultConfig()
+	cfg.Arithmetic = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		data := append([]byte(nil), st.Data...)
+		data[37+trial*7%len(data)] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic: %v", trial, r)
+				}
+			}()
+			_, _ = Decode(data, DecodeFull)
+		}()
+	}
+}

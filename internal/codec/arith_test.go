@@ -1,0 +1,161 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithBitRoundTrip(t *testing.T) {
+	w := NewArithWriter()
+	bits := []uint8{1, 0, 0, 1, 1, 1, 0, 1, 0, 0, 0, 0, 1}
+	for _, b := range bits {
+		w.WriteBit(b)
+	}
+	r := NewArithReader(w.Bytes())
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d: got %d err %v, want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestArithUESERoundTripProperty(t *testing.T) {
+	f := func(us []uint32, ss []int32) bool {
+		w := NewArithWriter()
+		for _, u := range us {
+			w.WriteUE(uint64(u))
+		}
+		for _, s := range ss {
+			w.WriteSE(int64(s))
+		}
+		r := NewArithReader(w.Bytes())
+		for _, u := range us {
+			got, err := r.ReadUE()
+			if err != nil || got != uint64(u) {
+				return false
+			}
+		}
+		for _, s := range ss {
+			got, err := r.ReadSE()
+			if err != nil || got != int64(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithMixedSymbolsRoundTrip(t *testing.T) {
+	w := NewArithWriter()
+	w.WriteUE(300)
+	w.WriteBits(0xabc, 12)
+	w.WriteSE(-17)
+	w.WriteBit(1)
+	w.WriteUE(0)
+	r := NewArithReader(w.Bytes())
+	if v, _ := r.ReadUE(); v != 300 {
+		t.Fatalf("ue = %d", v)
+	}
+	if v, _ := r.ReadBits(12); v != 0xabc {
+		t.Fatalf("bits = %x", v)
+	}
+	if v, _ := r.ReadSE(); v != -17 {
+		t.Fatalf("se = %d", v)
+	}
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit")
+	}
+	if v, _ := r.ReadUE(); v != 0 {
+		t.Fatalf("ue0 = %d", v)
+	}
+}
+
+func TestArithAdaptationCompressesBiasedSource(t *testing.T) {
+	// A heavily biased bit source must compress well below 1 bit/bin once
+	// the contexts adapt — the whole point of the adaptive coder.
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	w := NewArithWriter()
+	bits := make([]uint8, n)
+	for i := range bits {
+		if rng.Float64() < 0.05 {
+			bits[i] = 1
+		}
+		w.WriteBit(bits[i])
+	}
+	payload := w.Bytes()
+	if got := float64(len(payload)*8) / n; got > 0.5 {
+		t.Fatalf("biased source coded at %.3f bits/bin, want < 0.5", got)
+	}
+	r := NewArithReader(payload)
+	for i, want := range bits {
+		got, err := r.ReadBit()
+		if err != nil || got != want {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestArithSmallValuesBeatGolomb(t *testing.T) {
+	// Residual-like data: mostly small UE values with occasional spikes.
+	rng := rand.New(rand.NewSource(6))
+	vals := make([]uint64, 8000)
+	for i := range vals {
+		if rng.Float64() < 0.9 {
+			vals[i] = uint64(rng.Intn(2))
+		} else {
+			vals[i] = uint64(rng.Intn(40))
+		}
+	}
+	bw := NewBitWriter()
+	aw := NewArithWriter()
+	for _, v := range vals {
+		bw.WriteUE(v)
+		aw.WriteUE(v)
+	}
+	golomb := len(bw.Bytes())
+	arith := len(aw.Bytes())
+	if arith >= golomb {
+		t.Fatalf("arithmetic (%d bytes) should beat Exp-Golomb (%d bytes) on skewed data", arith, golomb)
+	}
+}
+
+func TestArithReaderCleanOnTruncation(t *testing.T) {
+	w := NewArithWriter()
+	for i := 0; i < 500; i++ {
+		w.WriteUE(uint64(i % 7))
+	}
+	payload := w.Bytes()
+	r := NewArithReader(payload[:3])
+	bad := false
+	for i := 0; i < 500; i++ {
+		if _, err := r.ReadUE(); err != nil {
+			bad = true
+			break
+		}
+	}
+	if !bad {
+		t.Fatal("truncated payload should eventually error")
+	}
+}
+
+func TestContextUpdateBounds(t *testing.T) {
+	c := newContext()
+	for i := 0; i < 10000; i++ {
+		c.update(1)
+	}
+	if c.p0 < 64 {
+		t.Fatal("context escaped lower bound")
+	}
+	for i := 0; i < 10000; i++ {
+		c.update(0)
+	}
+	if c.p0 > 0xffff-64 {
+		t.Fatal("context escaped upper bound")
+	}
+}

@@ -1,0 +1,76 @@
+package codec
+
+import (
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func benchVideo(b *testing.B, frames int) *video.Video {
+	b.Helper()
+	return video.Generate(video.SceneSpec{
+		Name: "bench", W: 96, H: 64, Frames: frames, Seed: 7, Noise: 1.5,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 13, X: 36, Y: 32,
+			VX: 1.5, VY: 0.5, Intensity: 220, Foreground: true,
+		}},
+	})
+}
+
+func BenchmarkEncode(b *testing.B) {
+	v := benchVideo(b, 16)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(v, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFull(b *testing.B) {
+	v := benchVideo(b, 16)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(st.Data, DecodeFull); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSideInfo(b *testing.B) {
+	v := benchVideo(b, 16)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(st.Data, DecodeSideInfo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardDCT8(b *testing.B) {
+	block := make([]float64, 64)
+	for i := range block {
+		block[i] = float64(i%17) - 8
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ForwardDCT(block, 8)
+	}
+}
+
+func BenchmarkMotionSearch(b *testing.B) {
+	v := benchVideo(b, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		motionSearch(v.Frames[1], v.Frames[0], 32, 24, 8, 8)
+	}
+}

@@ -1,0 +1,152 @@
+// Package codec implements a simplified H.264/H.265-style video codec:
+// I/P/B frame types on a macro-block basis, SAE-driven intra prediction,
+// block motion estimation with forward/backward/bi-directional references,
+// DCT + quantization + Exp-Golomb entropy coding, and a serializable
+// bitstream with an explicit decode order.
+//
+// The decoder can run in two modes: full pixel reconstruction (used by the
+// per-frame baselines), or side-info extraction, where B-frames yield only
+// their motion-vector metadata — the mode VR-DANN exploits (the paper's
+// "the decoder only needs to decode the I/P-frames, and output the inherent
+// motion vector information in B-frames").
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBitstream reports a malformed or truncated bitstream.
+var ErrBitstream = errors.New("codec: malformed bitstream")
+
+// BitWriter accumulates bits MSB-first into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	cur  uint8
+	nbit uint8
+}
+
+// NewBitWriter returns an empty bit writer.
+func NewBitWriter() *BitWriter { return &BitWriter{} }
+
+// WriteBit appends one bit (0 or 1).
+func (w *BitWriter) WriteBit(b uint8) {
+	w.cur = w.cur<<1 | (b & 1)
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n ≤ 64.
+func (w *BitWriter) WriteBits(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(uint8(v >> uint(i) & 1))
+	}
+}
+
+// WriteUE appends v in unsigned Exp-Golomb code.
+func (w *BitWriter) WriteUE(v uint64) {
+	x := v + 1
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		w.WriteBit(0)
+	}
+	w.WriteBits(x, n+1)
+}
+
+// WriteSE appends v in signed Exp-Golomb code (0, 1, -1, 2, -2, …).
+func (w *BitWriter) WriteSE(v int64) {
+	if v <= 0 {
+		w.WriteUE(uint64(-2 * v))
+	} else {
+		w.WriteUE(uint64(2*v - 1))
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *BitWriter) Len() int { return len(w.buf)*8 + int(w.nbit) }
+
+// Bytes flushes the partial byte (zero padded) and returns the buffer.
+func (w *BitWriter) Bytes() []byte {
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	if w.nbit > 0 {
+		out = append(out, w.cur<<(8-w.nbit))
+	}
+	return out
+}
+
+// BitReader consumes bits MSB-first from a byte slice.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader wraps buf for reading.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit reads one bit.
+func (r *BitReader) ReadBit() (uint8, error) {
+	if r.pos >= len(r.buf)*8 {
+		return 0, fmt.Errorf("%w: read past end at bit %d", ErrBitstream, r.pos)
+	}
+	b := r.buf[r.pos/8] >> (7 - uint(r.pos%8)) & 1
+	r.pos++
+	return b, nil
+}
+
+// ReadBits reads n bits into the low bits of the result.
+func (r *BitReader) ReadBits(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// ReadUE reads an unsigned Exp-Golomb value.
+func (r *BitReader) ReadUE() (uint64, error) {
+	n := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 63 {
+			return 0, fmt.Errorf("%w: Exp-Golomb prefix too long", ErrBitstream)
+		}
+	}
+	rest, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return 1<<uint(n) + rest - 1, nil
+}
+
+// ReadSE reads a signed Exp-Golomb value.
+func (r *BitReader) ReadSE() (int64, error) {
+	u, err := r.ReadUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 0 {
+		return -int64(u / 2), nil
+	}
+	return int64(u+1) / 2, nil
+}
+
+// Pos returns the current bit position.
+func (r *BitReader) Pos() int { return r.pos }

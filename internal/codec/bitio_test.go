@@ -1,0 +1,114 @@
+package codec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteBit(1)
+	w.WriteBit(0)
+	w.WriteBits(0b1011, 4)
+	w.WriteBits(0xdead, 16)
+	r := NewBitReader(w.Bytes())
+	if b, _ := r.ReadBit(); b != 1 {
+		t.Fatal("bit 0")
+	}
+	if b, _ := r.ReadBit(); b != 0 {
+		t.Fatal("bit 1")
+	}
+	if v, _ := r.ReadBits(4); v != 0b1011 {
+		t.Fatalf("bits = %b", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xdead {
+		t.Fatalf("bits = %x", v)
+	}
+}
+
+func TestUEKnownCodes(t *testing.T) {
+	// Classic Exp-Golomb: 0->"1", 1->"010", 2->"011", 3->"00100".
+	for v, wantBits := range map[uint64]int{0: 1, 1: 3, 2: 3, 3: 5, 6: 5, 7: 7} {
+		w := NewBitWriter()
+		w.WriteUE(v)
+		if w.Len() != wantBits {
+			t.Fatalf("UE(%d) used %d bits, want %d", v, w.Len(), wantBits)
+		}
+		r := NewBitReader(w.Bytes())
+		got, err := r.ReadUE()
+		if err != nil || got != v {
+			t.Fatalf("UE(%d) round trip = %d, err %v", v, got, err)
+		}
+	}
+}
+
+func TestUEPropertyRoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		w := NewBitWriter()
+		for _, v := range vals {
+			w.WriteUE(uint64(v))
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadUE()
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSEPropertyRoundTrip(t *testing.T) {
+	f := func(vals []int32) bool {
+		w := NewBitWriter()
+		for _, v := range vals {
+			w.WriteSE(int64(v))
+		}
+		r := NewBitReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadSE()
+			if err != nil || got != int64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPastEndFails(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal("first byte should read")
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Fatal("expected error past end")
+	}
+}
+
+func TestMixedSequenceRoundTrip(t *testing.T) {
+	w := NewBitWriter()
+	w.WriteUE(300)
+	w.WriteSE(-17)
+	w.WriteBits(5, 3)
+	w.WriteSE(0)
+	r := NewBitReader(w.Bytes())
+	if v, _ := r.ReadUE(); v != 300 {
+		t.Fatalf("ue = %d", v)
+	}
+	if v, _ := r.ReadSE(); v != -17 {
+		t.Fatalf("se = %d", v)
+	}
+	if v, _ := r.ReadBits(3); v != 5 {
+		t.Fatalf("bits = %d", v)
+	}
+	if v, _ := r.ReadSE(); v != 0 {
+		t.Fatalf("se0 = %d", v)
+	}
+}

@@ -1,0 +1,429 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func testVideo(w, h, frames int, speed float64) *video.Video {
+	return video.Generate(video.SceneSpec{
+		Name: "test", W: w, H: h, Frames: frames, Seed: 77, Noise: 1.5,
+		Objects: []video.ObjectSpec{
+			{Shape: video.ShapeDisk, Radius: float64(h) / 5, X: float64(w) / 3, Y: float64(h) / 2,
+				VX: speed, VY: speed / 3, Intensity: 220, Foreground: true},
+		},
+	})
+}
+
+func TestPlanGOPInvariants(t *testing.T) {
+	v := testVideo(64, 48, 24, 1.5)
+	cfg := DefaultConfig()
+	types := PlanGOP(v.Frames, cfg)
+	if types[0] != IFrame {
+		t.Fatal("first frame must be I")
+	}
+	if types[len(types)-1] == BFrame {
+		t.Fatal("last frame must be an anchor")
+	}
+	run := 0
+	for _, ty := range types {
+		if ty == BFrame {
+			run++
+			if run > cfg.MaxBRun {
+				t.Fatalf("B run exceeds MaxBRun %d", cfg.MaxBRun)
+			}
+		} else {
+			run = 0
+		}
+	}
+}
+
+func TestPlanGOPTargetRatio(t *testing.T) {
+	v := testVideo(64, 48, 40, 1)
+	for _, target := range []float64{0.37, 0.5, 0.65} {
+		cfg := DefaultConfig()
+		cfg.TargetBRatio = target
+		types := PlanGOP(v.Frames, cfg)
+		b := 0
+		for _, ty := range types {
+			if ty == BFrame {
+				b++
+			}
+		}
+		ratio := float64(b) / float64(len(types))
+		if ratio > target+0.02 {
+			t.Fatalf("target %v produced ratio %v (too many B)", target, ratio)
+		}
+		if ratio < target-0.15 {
+			t.Fatalf("target %v produced ratio %v (too few B)", target, ratio)
+		}
+	}
+}
+
+func TestPlanGOPAdaptsToMotion(t *testing.T) {
+	slow := testVideo(64, 48, 30, 0.3)
+	fast := testVideo(64, 48, 30, 6)
+	cfg := DefaultConfig()
+	count := func(types []FrameType) int {
+		b := 0
+		for _, ty := range types {
+			if ty == BFrame {
+				b++
+			}
+		}
+		return b
+	}
+	bs := count(PlanGOP(slow.Frames, cfg))
+	bf := count(PlanGOP(fast.Frames, cfg))
+	if bs <= bf {
+		t.Fatalf("slow video should get more B frames (slow %d, fast %d)", bs, bf)
+	}
+}
+
+func TestDecodeOrderValid(t *testing.T) {
+	v := testVideo(64, 48, 25, 1.5)
+	cfg := DefaultConfig()
+	types := PlanGOP(v.Frames, cfg)
+	order := DecodeOrder(types, cfg)
+	if len(order) != len(types) {
+		t.Fatalf("decode order has %d entries for %d frames", len(order), len(types))
+	}
+	seen := map[int]bool{}
+	var anchors []int
+	for i, ty := range types {
+		if ty.IsAnchor() {
+			anchors = append(anchors, i)
+		}
+	}
+	decodedAt := map[int]int{}
+	for pos, d := range order {
+		if seen[d] {
+			t.Fatalf("frame %d decoded twice", d)
+		}
+		seen[d] = true
+		decodedAt[d] = pos
+	}
+	// Every B-frame's candidate references must decode before it.
+	for d, ty := range types {
+		if ty != BFrame {
+			continue
+		}
+		for _, ref := range candidateRefs(anchors, d, cfg) {
+			if decodedAt[ref] > decodedAt[d] {
+				t.Fatalf("B-frame %d decodes before its reference %d", d, ref)
+			}
+		}
+	}
+}
+
+func TestCandidateRefsNearestFirstAndBounded(t *testing.T) {
+	anchors := []int{0, 4, 8, 12, 16}
+	cfg := DefaultConfig()
+	cfg.SearchInterval = 4
+	refs := candidateRefs(anchors, 6, cfg)
+	if len(refs) != 4 {
+		t.Fatalf("got %d refs, want 4", len(refs))
+	}
+	if refs[0] != 4 && refs[0] != 8 {
+		t.Fatalf("nearest ref should be 4 or 8, got %d", refs[0])
+	}
+	// Only up to futureRefs (=2) future anchors allowed.
+	future := 0
+	for _, r := range refs {
+		if r > 6 {
+			future++
+		}
+	}
+	if future > 2 {
+		t.Fatalf("too many future refs: %d", future)
+	}
+}
+
+func TestEncodeDecodeRoundTripQuality(t *testing.T) {
+	v := testVideo(64, 48, 12, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 64 || res.H != 48 || len(res.Frames) != 12 {
+		t.Fatalf("decode geometry %dx%d/%d", res.W, res.H, len(res.Frames))
+	}
+	// Lossy codec: check PSNR of every frame is reasonable.
+	for i, f := range res.Frames {
+		if f == nil {
+			t.Fatalf("frame %d missing in full decode", i)
+		}
+		p := psnr(v.Frames[i], f)
+		if p < 30 {
+			t.Fatalf("frame %d PSNR %.1f dB too low", i, p)
+		}
+	}
+}
+
+func psnr(a, b *video.Frame) float64 {
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return 99
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func TestDecodeMatchesEncoderMetadata(t *testing.T) {
+	v := testVideo(64, 48, 15, 1.2)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.Types {
+		if res.Types[i] != st.Types[i] {
+			t.Fatalf("frame %d type mismatch", i)
+		}
+	}
+	for i := range st.Order {
+		if res.Order[i] != st.Order[i] {
+			t.Fatalf("decode order mismatch at %d", i)
+		}
+	}
+}
+
+func TestSideInfoModeSkipsBPixelsButKeepsMVs(t *testing.T) {
+	v := testVideo(64, 48, 15, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB := 0
+	for d, ty := range res.Types {
+		switch ty {
+		case BFrame:
+			nB++
+			if res.Frames[d] != nil {
+				t.Fatalf("B-frame %d has pixels in side-info mode", d)
+			}
+			info := res.Infos[d]
+			if info.Blocks == 0 {
+				t.Fatalf("B-frame %d has no block metadata", d)
+			}
+			if len(info.MVs)+info.IntraBlk != info.Blocks {
+				t.Fatalf("B-frame %d: %d MVs + %d intra != %d blocks", d, len(info.MVs), info.IntraBlk, info.Blocks)
+			}
+		default:
+			if res.Frames[d] == nil {
+				t.Fatalf("anchor %d missing pixels in side-info mode", d)
+			}
+		}
+	}
+	if nB == 0 {
+		t.Fatal("test video produced no B frames")
+	}
+}
+
+func TestSideInfoMatchesFullDecodeMVs(t *testing.T) {
+	v := testVideo(64, 48, 12, 2)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range full.Infos {
+		a, b := full.Infos[d].MVs, side.Infos[d].MVs
+		if len(a) != len(b) {
+			t.Fatalf("frame %d MV count differs: %d vs %d", d, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("frame %d MV %d differs: %v vs %v", d, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBFramesReferenceOnlyAnchors(t *testing.T) {
+	v := testVideo(64, 48, 20, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, info := range res.Infos {
+		for _, mv := range info.MVs {
+			if !res.Types[mv.Ref].IsAnchor() {
+				t.Fatalf("frame %d references non-anchor %d", d, mv.Ref)
+			}
+			if mv.BiRef && !res.Types[mv.Ref2].IsAnchor() {
+				t.Fatalf("frame %d bi-references non-anchor %d", d, mv.Ref2)
+			}
+		}
+	}
+}
+
+func TestMotionVectorsTrackObject(t *testing.T) {
+	// With a moving object, inter blocks on the object should carry
+	// displaced motion vectors (src != dst somewhere). Speed is kept inside
+	// the motion-adaptive GOP budget so B-frames exist.
+	v := testVideo(96, 64, 10, 2.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	displaced := 0
+	for _, info := range res.Infos {
+		if info.Type != BFrame {
+			continue
+		}
+		for _, mv := range info.MVs {
+			if mv.SrcX != mv.DstX || mv.SrcY != mv.DstY {
+				displaced++
+			}
+		}
+	}
+	if displaced == 0 {
+		t.Fatal("no displaced motion vectors for a moving object")
+	}
+}
+
+func TestBRatioStat(t *testing.T) {
+	v := testVideo(64, 48, 30, 0.5)
+	cfg := DefaultConfig()
+	cfg.TargetBRatio = 0.5
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.BRatio(); math.Abs(r-0.5) > 0.1 {
+		t.Fatalf("BRatio = %v, want ~0.5", r)
+	}
+	counts := res.RefFrameCounts()
+	if len(counts) == 0 {
+		t.Fatal("no B frames")
+	}
+	for _, c := range counts {
+		if c < 0 || c > res.Cfg.EffectiveSearchInterval() {
+			t.Fatalf("ref count %d out of range", c)
+		}
+	}
+}
+
+func TestEncodeRejectsBadGeometry(t *testing.T) {
+	v := &video.Video{Frames: []*video.Frame{video.NewFrame(30, 20)}}
+	if _, err := Encode(v, DefaultConfig()); err == nil {
+		t.Fatal("expected error for non-multiple-of-block frame size")
+	}
+	if _, err := Encode(&video.Video{}, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty video")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3, 4, 5}, DecodeFull); err == nil {
+		t.Fatal("expected error for garbage stream")
+	}
+	v := testVideo(32, 32, 4, 1)
+	st, _ := Encode(v, DefaultConfig())
+	if _, err := Decode(st.Data[:len(st.Data)/2], DecodeFull); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestBlockSize16RoundTrip(t *testing.T) {
+	v := testVideo(64, 48, 8, 1.5)
+	cfg := DefaultConfig()
+	cfg.BlockSize = 16
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnr(v.Frames[3], res.Frames[3]); p < 28 {
+		t.Fatalf("16x16 block PSNR %.1f too low", p)
+	}
+}
+
+func TestCompressionActuallyCompresses(t *testing.T) {
+	v := testVideo(96, 64, 16, 1)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 96 * 64 * 16
+	if len(st.Data) >= raw/2 {
+		t.Fatalf("stream %d bytes vs raw %d: compression ratio too poor", len(st.Data), raw)
+	}
+}
+
+func TestSearchIntervalLimitsRefs(t *testing.T) {
+	v := testVideo(64, 48, 30, 2)
+	for _, n := range []int{1, 3, 5, 7} {
+		cfg := DefaultConfig()
+		cfg.SearchInterval = n
+		st, err := Encode(v, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Decode(st.Data, DecodeSideInfo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.RefFrameCounts() {
+			if c > n {
+				t.Fatalf("search interval %d but B-frame used %d refs", n, c)
+			}
+		}
+	}
+}
+
+func TestIntraOnlyFirstFrame(t *testing.T) {
+	v := testVideo(64, 48, 6, 1)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := res.Infos[0]
+	if info.Type != IFrame || len(info.MVs) != 0 || info.IntraBlk != info.Blocks {
+		t.Fatalf("frame 0 not intra-only: %+v", info)
+	}
+}

@@ -1,0 +1,192 @@
+package codec
+
+import (
+	"math"
+	"sync"
+)
+
+// dctBasis caches the orthonormal DCT-II basis matrix for each block size.
+var dctBasis sync.Map // int -> [][]float64
+
+func basis(n int) [][]float64 {
+	if b, ok := dctBasis.Load(n); ok {
+		return b.([][]float64)
+	}
+	m := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		m[k] = make([]float64, n)
+		scale := math.Sqrt(2 / float64(n))
+		if k == 0 {
+			scale = math.Sqrt(1 / float64(n))
+		}
+		for i := 0; i < n; i++ {
+			m[k][i] = scale * math.Cos(math.Pi*(float64(i)+0.5)*float64(k)/float64(n))
+		}
+	}
+	dctBasis.Store(n, m)
+	return m
+}
+
+// ForwardDCT applies the separable 2-D orthonormal DCT-II to an n×n block
+// (row-major float64), returning the coefficient block.
+func ForwardDCT(block []float64, n int) []float64 {
+	b := basis(n)
+	tmp := make([]float64, n*n)
+	// Rows.
+	for y := 0; y < n; y++ {
+		for k := 0; k < n; k++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += b[k][i] * block[y*n+i]
+			}
+			tmp[y*n+k] = s
+		}
+	}
+	out := make([]float64, n*n)
+	// Columns.
+	for x := 0; x < n; x++ {
+		for k := 0; k < n; k++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += b[k][i] * tmp[i*n+x]
+			}
+			out[k*n+x] = s
+		}
+	}
+	return out
+}
+
+// InverseDCT inverts ForwardDCT.
+func InverseDCT(coef []float64, n int) []float64 {
+	b := basis(n)
+	tmp := make([]float64, n*n)
+	// Columns (transpose multiply).
+	for x := 0; x < n; x++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b[k][i] * coef[k*n+x]
+			}
+			tmp[i*n+x] = s
+		}
+	}
+	out := make([]float64, n*n)
+	// Rows.
+	for y := 0; y < n; y++ {
+		for i := 0; i < n; i++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += b[k][i] * tmp[y*n+k]
+			}
+			out[y*n+i] = s
+		}
+	}
+	return out
+}
+
+// QStep converts a quantization parameter to a linear quantizer step,
+// roughly doubling every 6 QP like H.264/H.265.
+func QStep(qp int) float64 {
+	return 0.625 * math.Pow(2, float64(qp)/6)
+}
+
+// Quantize rounds coefficients to integer levels with the given step.
+func Quantize(coef []float64, step float64) []int32 {
+	out := make([]int32, len(coef))
+	for i, c := range coef {
+		out[i] = int32(math.Round(c / step))
+	}
+	return out
+}
+
+// Dequantize reconstructs coefficients from levels.
+func Dequantize(levels []int32, step float64) []float64 {
+	out := make([]float64, len(levels))
+	for i, l := range levels {
+		out[i] = float64(l) * step
+	}
+	return out
+}
+
+// zigzagOrder caches the zigzag scan permutation for each block size.
+var zigzagOrder sync.Map // int -> []int
+
+// Zigzag returns the zigzag scan order for an n×n block: indices sorted by
+// anti-diagonal, alternating direction, so low-frequency coefficients come
+// first and trailing zeros compress well.
+func Zigzag(n int) []int {
+	if z, ok := zigzagOrder.Load(n); ok {
+		return z.([]int)
+	}
+	order := make([]int, 0, n*n)
+	for d := 0; d < 2*n-1; d++ {
+		if d%2 == 0 { // up-right
+			y := d
+			if y >= n {
+				y = n - 1
+			}
+			for ; y >= 0 && d-y < n; y-- {
+				order = append(order, y*n+(d-y))
+			}
+		} else { // down-left
+			x := d
+			if x >= n {
+				x = n - 1
+			}
+			for ; x >= 0 && d-x < n; x-- {
+				order = append(order, (d-x)*n+x)
+			}
+		}
+	}
+	zigzagOrder.Store(n, order)
+	return order
+}
+
+// writeResidual entropy-codes quantized levels as zigzag (run, level) pairs
+// terminated by an end-of-block marker.
+func writeResidual(w SymbolWriter, levels []int32, n int) {
+	order := Zigzag(n)
+	run := uint64(0)
+	for _, idx := range order {
+		l := levels[idx]
+		if l == 0 {
+			run++
+			continue
+		}
+		w.WriteBit(1) // coefficient present
+		w.WriteUE(run)
+		w.WriteSE(int64(l))
+		run = 0
+	}
+	w.WriteBit(0) // end of block
+}
+
+// readResidual decodes levels written by writeResidual.
+func readResidual(r SymbolReader, n int) ([]int32, error) {
+	order := Zigzag(n)
+	levels := make([]int32, n*n)
+	pos := 0
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return nil, err
+		}
+		if b == 0 {
+			return levels, nil
+		}
+		run, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.ReadSE()
+		if err != nil {
+			return nil, err
+		}
+		pos += int(run)
+		if pos >= len(order) {
+			return nil, ErrBitstream
+		}
+		levels[order[pos]] = int32(l)
+		pos++
+	}
+}

@@ -1,0 +1,146 @@
+package codec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCTRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 8
+		if sizeSel%2 == 1 {
+			n = 16
+		}
+		rng := rand.New(rand.NewSource(seed))
+		block := make([]float64, n*n)
+		for i := range block {
+			block[i] = rng.Float64()*255 - 128
+		}
+		back := InverseDCT(ForwardDCT(block, n), n)
+		for i := range block {
+			if math.Abs(block[i]-back[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCTEnergyPreservation(t *testing.T) {
+	// Orthonormal DCT preserves the L2 norm (Parseval).
+	rng := rand.New(rand.NewSource(2))
+	n := 8
+	block := make([]float64, n*n)
+	var e1 float64
+	for i := range block {
+		block[i] = rng.NormFloat64() * 40
+		e1 += block[i] * block[i]
+	}
+	coef := ForwardDCT(block, n)
+	var e2 float64
+	for _, c := range coef {
+		e2 += c * c
+	}
+	if math.Abs(e1-e2) > 1e-6*e1 {
+		t.Fatalf("energy changed: %v -> %v", e1, e2)
+	}
+}
+
+func TestDCTDCComponent(t *testing.T) {
+	n := 8
+	block := make([]float64, n*n)
+	for i := range block {
+		block[i] = 100
+	}
+	coef := ForwardDCT(block, n)
+	if math.Abs(coef[0]-100*float64(n)) > 1e-6 {
+		t.Fatalf("DC coefficient = %v, want %v", coef[0], 100*float64(n))
+	}
+	for i := 1; i < len(coef); i++ {
+		if math.Abs(coef[i]) > 1e-9 {
+			t.Fatalf("AC coefficient %d = %v for flat block", i, coef[i])
+		}
+	}
+}
+
+func TestQStepDoublesEverySix(t *testing.T) {
+	r := QStep(28) / QStep(22)
+	if math.Abs(r-2) > 1e-9 {
+		t.Fatalf("QStep ratio = %v, want 2", r)
+	}
+}
+
+func TestQuantizeDequantizeBound(t *testing.T) {
+	step := QStep(22)
+	coef := []float64{0.1, -3.7, 100, -55.5}
+	back := Dequantize(Quantize(coef, step), step)
+	for i := range coef {
+		if math.Abs(coef[i]-back[i]) > step/2+1e-9 {
+			t.Fatalf("quantization error %v exceeds step/2", math.Abs(coef[i]-back[i]))
+		}
+	}
+}
+
+func TestZigzagIsPermutation(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		z := Zigzag(n)
+		if len(z) != n*n {
+			t.Fatalf("zigzag(%d) length %d", n, len(z))
+		}
+		seen := make([]bool, n*n)
+		for _, idx := range z {
+			if idx < 0 || idx >= n*n || seen[idx] {
+				t.Fatalf("zigzag(%d) not a permutation", n)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestZigzagStartsLowFrequency(t *testing.T) {
+	z := Zigzag(8)
+	if z[0] != 0 || z[1] != 1 || z[2] != 8 {
+		t.Fatalf("zigzag head = %v, want [0 1 8 ...]", z[:3])
+	}
+}
+
+func TestResidualRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		levels := make([]int32, n*n)
+		// Sparse levels like a real quantized residual.
+		for i := 0; i < 6; i++ {
+			levels[rng.Intn(n*n)] = int32(rng.Intn(21) - 10)
+		}
+		w := NewBitWriter()
+		writeResidual(w, levels, n)
+		r := NewBitReader(w.Bytes())
+		got, err := readResidual(r, n)
+		if err != nil {
+			return false
+		}
+		for i := range levels {
+			if got[i] != levels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResidualAllZeroIsOneBit(t *testing.T) {
+	w := NewBitWriter()
+	writeResidual(w, make([]int32, 64), 8)
+	if w.Len() != 1 {
+		t.Fatalf("all-zero residual took %d bits, want 1", w.Len())
+	}
+}

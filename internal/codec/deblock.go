@@ -1,0 +1,71 @@
+package codec
+
+import "vrdann/internal/video"
+
+// In-loop deblocking filter (H.264/H.265-style, simplified): block-edge
+// pixels are smoothed when the discontinuity across the edge is small
+// enough to be quantization blocking rather than real image structure. The
+// filter runs inside the coding loop — the encoder's reference
+// reconstructions and the decoder's output apply it identically.
+
+// deblockAlpha returns the edge-activity threshold for a quantization
+// parameter: coarser quantization produces stronger blocking, so the
+// threshold grows with QP.
+func deblockAlpha(qp int) int {
+	a := 2 + (qp-12)/2
+	if a < 2 {
+		a = 2
+	}
+	if a > 24 {
+		a = 24
+	}
+	return a
+}
+
+// deblockFrame filters all internal block edges of a reconstructed frame in
+// place.
+func deblockFrame(f *video.Frame, bs, qp int) {
+	alpha := deblockAlpha(qp)
+	// Vertical edges (between horizontally adjacent blocks).
+	for x := bs; x < f.W; x += bs {
+		for y := 0; y < f.H; y++ {
+			deblockEdge(f, x-2, y, x-1, y, x, y, x+1, y, alpha)
+		}
+	}
+	// Horizontal edges.
+	for y := bs; y < f.H; y += bs {
+		for x := 0; x < f.W; x++ {
+			deblockEdge(f, x, y-2, x, y-1, x, y, x, y+1, alpha)
+		}
+	}
+}
+
+// deblockEdge filters one 4-pixel line (p1 p0 | q0 q1) across an edge.
+func deblockEdge(f *video.Frame, p1x, p1y, p0x, p0y, q0x, q0y, q1x, q1y, alpha int) {
+	p1 := int(f.At(p1x, p1y))
+	p0 := int(f.At(p0x, p0y))
+	q0 := int(f.At(q0x, q0y))
+	q1 := int(f.At(q1x, q1y))
+	d := p0 - q0
+	if d < 0 {
+		d = -d
+	}
+	// Only smooth small discontinuities (blocking); keep real edges. Also
+	// require the inside of each block to be locally flat.
+	dp := p1 - p0
+	if dp < 0 {
+		dp = -dp
+	}
+	dq := q1 - q0
+	if dq < 0 {
+		dq = -dq
+	}
+	if d == 0 || d >= alpha || dp >= alpha/2+1 || dq >= alpha/2+1 {
+		return
+	}
+	// 4-tap smoothing across the edge.
+	np0 := (p1 + 2*p0 + q0 + 2) / 4
+	nq0 := (q1 + 2*q0 + p0 + 2) / 4
+	f.Set(p0x, p0y, clampPix(np0))
+	f.Set(q0x, q0y, clampPix(nq0))
+}

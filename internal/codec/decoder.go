@@ -1,0 +1,289 @@
+package codec
+
+import (
+	"fmt"
+
+	"vrdann/internal/video"
+)
+
+// DecodeMode selects how much work the decoder performs.
+type DecodeMode int
+
+// Decode modes.
+const (
+	// DecodeFull reconstructs the pixels of every frame (what a conventional
+	// recognition pipeline needs).
+	DecodeFull DecodeMode = iota
+	// DecodeSideInfo reconstructs only I/P-frames and extracts motion-vector
+	// metadata for B-frames — the decoder contract VR-DANN relies on.
+	DecodeSideInfo
+)
+
+// DecodeResult is the decoder output.
+type DecodeResult struct {
+	W, H   int
+	Cfg    Config
+	Types  []FrameType    // display order
+	Order  []int          // decode order (display indices)
+	Frames []*video.Frame // display order; nil for B-frames in side-info mode
+	Infos  []FrameInfo    // display order
+}
+
+// BRatio returns the fraction of B-frames (Fig 3a).
+func (d *DecodeResult) BRatio() float64 {
+	if len(d.Types) == 0 {
+		return 0
+	}
+	b := 0
+	for _, t := range d.Types {
+		if t == BFrame {
+			b++
+		}
+	}
+	return float64(b) / float64(len(d.Types))
+}
+
+// RefFrameCounts returns, for every B-frame, the number of distinct
+// reference frames its macro-blocks use (Fig 3b).
+func (d *DecodeResult) RefFrameCounts() []int {
+	var out []int
+	for _, info := range d.Infos {
+		if info.Type != BFrame {
+			continue
+		}
+		refs := map[int]bool{}
+		for _, mv := range info.MVs {
+			refs[mv.Ref] = true
+			if mv.BiRef {
+				refs[mv.Ref2] = true
+			}
+		}
+		out = append(out, len(refs))
+	}
+	return out
+}
+
+// Decode parses and decodes a bitstream produced by Encode.
+func Decode(data []byte, mode DecodeMode) (*DecodeResult, error) {
+	r := NewBitReader(data)
+	magic, err := r.ReadBits(32)
+	if err != nil {
+		return nil, err
+	}
+	if magic != streamMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBitstream, magic)
+	}
+	wv, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	fields := []*int{&cfg.BlockSize, &cfg.QP, &cfg.SearchRange, &cfg.SearchInterval, &cfg.MaxBRun, &cfg.IPeriod}
+	for _, f := range fields {
+		v, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	br, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	cfg.TargetBRatio = float64(br) / 1000
+	ab, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Arithmetic = ab == 1
+	db, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Deblock = db == 1
+	tbpf, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	cfg.TargetBPF = int(tbpf)
+	hp, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HalfPel = hp == 1
+	cfg = cfg.normalized()
+
+	types := make([]FrameType, nf)
+	for i := range types {
+		t, err := r.ReadBits(2)
+		if err != nil {
+			return nil, err
+		}
+		if FrameType(t) > BFrame {
+			return nil, fmt.Errorf("%w: bad frame type %d", ErrBitstream, t)
+		}
+		types[i] = FrameType(t)
+	}
+	order := DecodeOrder(types, cfg)
+	var anchors []int
+	for i, t := range types {
+		if t.IsAnchor() {
+			anchors = append(anchors, i)
+		}
+	}
+	r.AlignByte()
+	var sr SymbolReader = r
+	if cfg.Arithmetic {
+		sr = NewArithReader(data[r.Pos()/8:])
+	}
+
+	width, height := int(wv), int(hv)
+	res := &DecodeResult{
+		W: width, H: height, Cfg: cfg, Types: types, Order: order,
+		Frames: make([]*video.Frame, nf),
+		Infos:  make([]FrameInfo, nf),
+	}
+	bs := cfg.BlockSize
+	pred := make([]uint8, bs*bs)
+	tmp := make([]uint8, bs*bs)
+
+	for pos, d := range order {
+		startBits := sr.Tell()
+		qpDelta, err := sr.ReadSE()
+		if err != nil {
+			return nil, err
+		}
+		qp := cfg.QP + int(qpDelta)
+		if qp < 1 || qp > 51 {
+			return nil, fmt.Errorf("%w: frame QP %d out of range", ErrBitstream, qp)
+		}
+		qstep := QStep(qp)
+		info := &res.Infos[d]
+		info.Display = d
+		info.DecodeAt = pos
+		info.Type = types[d]
+		var refs []int
+		switch types[d] {
+		case PFrame:
+			refs = pastRefs(anchors, d, cfg)
+		case BFrame:
+			refs = candidateRefs(anchors, d, cfg)
+		}
+		isB := types[d] == BFrame
+		skipPixels := isB && mode == DecodeSideInfo
+		var rec *video.Frame
+		if !skipPixels {
+			rec = video.NewFrame(width, height)
+		}
+		for by := 0; by < height; by += bs {
+			for bx := 0; bx < width; bx += bs {
+				info.Blocks++
+				m, err := sr.ReadUE()
+				if err != nil {
+					return nil, err
+				}
+				mv := MotionVector{DstX: bx, DstY: by}
+				haveMV := false
+				switch int(m) {
+				case modeIntraDC, modeIntraV, modeIntraH, modeIntraPlane, modeIntraDDL, modeIntraDDR:
+					info.IntraBlk++
+					if !skipPixels {
+						intraPredict(rec, bx, by, bs, int(m), pred)
+					}
+				case modeInter:
+					c, err := readMV(sr, refs, bx, by, cfg.HalfPel)
+					if err != nil {
+						return nil, err
+					}
+					mv.Ref, mv.SrcX, mv.SrcY = refs[c.refIdx], c.srcX, c.srcY
+					mv.HalfX, mv.HalfY = c.halfX, c.halfY
+					haveMV = true
+					if !skipPixels {
+						copyRefBlockHalf(res.Frames[mv.Ref], c.srcX, c.srcY, c.halfX, c.halfY, bs, pred)
+					}
+				case modeInterBi:
+					c1, err := readMV(sr, refs, bx, by, cfg.HalfPel)
+					if err != nil {
+						return nil, err
+					}
+					c2, err := readMV(sr, refs, bx, by, cfg.HalfPel)
+					if err != nil {
+						return nil, err
+					}
+					mv.Ref, mv.SrcX, mv.SrcY = refs[c1.refIdx], c1.srcX, c1.srcY
+					mv.HalfX, mv.HalfY = c1.halfX, c1.halfY
+					mv.BiRef = true
+					mv.Ref2, mv.SrcX2, mv.SrcY2 = refs[c2.refIdx], c2.srcX, c2.srcY
+					mv.HalfX2, mv.HalfY2 = c2.halfX, c2.halfY
+					haveMV = true
+					if !skipPixels {
+						copyRefBlockHalf(res.Frames[mv.Ref], c1.srcX, c1.srcY, c1.halfX, c1.halfY, bs, pred)
+						copyRefBlockHalf(res.Frames[mv.Ref2], c2.srcX, c2.srcY, c2.halfX, c2.halfY, bs, tmp)
+						for i := range pred {
+							pred[i] = uint8((int(pred[i]) + int(tmp[i]) + 1) / 2)
+						}
+					}
+				default:
+					return nil, fmt.Errorf("%w: bad block mode %d", ErrBitstream, m)
+				}
+				levels, err := readResidual(sr, bs)
+				if err != nil {
+					return nil, err
+				}
+				if !skipPixels {
+					applyResidual(rec, bx, by, bs, qstep, pred, levels)
+				}
+				if haveMV {
+					info.MVs = append(info.MVs, mv)
+				}
+			}
+		}
+		if !skipPixels {
+			if cfg.Deblock {
+				deblockFrame(rec, bs, qp)
+			}
+			res.Frames[d] = rec
+		}
+		info.Bits = sr.Tell() - startBits
+	}
+	return res, nil
+}
+
+func readMV(r SymbolReader, refs []int, bx, by int, halfPel bool) (motionCandidate, error) {
+	ri, err := r.ReadUE()
+	if err != nil {
+		return motionCandidate{}, err
+	}
+	if int(ri) >= len(refs) {
+		return motionCandidate{}, fmt.Errorf("%w: reference index %d out of range (%d refs)", ErrBitstream, ri, len(refs))
+	}
+	dx, err := r.ReadSE()
+	if err != nil {
+		return motionCandidate{}, err
+	}
+	dy, err := r.ReadSE()
+	if err != nil {
+		return motionCandidate{}, err
+	}
+	c := motionCandidate{refIdx: int(ri), srcX: bx + int(dx), srcY: by + int(dy)}
+	if halfPel {
+		hx, err := r.ReadBit()
+		if err != nil {
+			return motionCandidate{}, err
+		}
+		hy, err := r.ReadBit()
+		if err != nil {
+			return motionCandidate{}, err
+		}
+		c.halfX, c.halfY = int(hx), int(hy)
+	}
+	return c, nil
+}

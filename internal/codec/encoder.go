@@ -1,0 +1,308 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+
+	"vrdann/internal/video"
+)
+
+// Stream is an encoded video bitstream plus the structural metadata the
+// encoder derived (also recoverable by parsing Data).
+type Stream struct {
+	Data  []byte
+	W, H  int
+	Cfg   Config
+	Types []FrameType // display order
+	Order []int       // decode order (display indices)
+}
+
+const streamMagic = 0x56524431 // "VRD1"
+
+// Encode compresses the video under the given configuration. Frame
+// dimensions must be multiples of the macro-block size.
+func Encode(v *video.Video, cfg Config) (*Stream, error) {
+	cfg = cfg.normalized()
+	if v.Len() == 0 {
+		return nil, fmt.Errorf("codec: empty video")
+	}
+	w, h := v.Frames[0].W, v.Frames[0].H
+	if w%cfg.BlockSize != 0 || h%cfg.BlockSize != 0 {
+		return nil, fmt.Errorf("codec: frame %dx%d not a multiple of block size %d", w, h, cfg.BlockSize)
+	}
+	types := PlanGOP(v.Frames, cfg)
+	order := DecodeOrder(types, cfg)
+	var anchors []int
+	for i, t := range types {
+		if t.IsAnchor() {
+			anchors = append(anchors, i)
+		}
+	}
+
+	bw := NewBitWriter()
+	writeHeader(bw, w, h, len(types), cfg, types)
+	bw.AlignByte()
+	var payload SymbolWriter = bw
+	var arith *ArithWriter
+	if cfg.Arithmetic {
+		arith = NewArithWriter()
+		payload = arith
+	}
+
+	bs := cfg.BlockSize
+	recon := make(map[int]*video.Frame, len(anchors))
+
+	pred := make([]uint8, bs*bs)
+	rc := newRateControl(cfg)
+	for _, d := range order {
+		src := v.Frames[d]
+		qp := rc.frameQP()
+		payload.WriteSE(int64(qp - cfg.QP))
+		qstep := QStep(qp)
+		startBits := payload.Tell()
+		switch types[d] {
+		case IFrame:
+			rec := encodeIntraFrame(payload, src, bs, qstep, pred)
+			if cfg.Deblock {
+				deblockFrame(rec, bs, qp)
+			}
+			recon[d] = rec
+		case PFrame:
+			refs := pastRefs(anchors, d, cfg)
+			rec := encodeInterFrame(payload, src, refs, nil, recon, cfg, qstep, pred)
+			if cfg.Deblock {
+				deblockFrame(rec, bs, qp)
+			}
+			recon[d] = rec
+		case BFrame:
+			refs := candidateRefs(anchors, d, cfg)
+			encodeInterFrame(payload, src, refs, &d, recon, cfg, qstep, pred)
+		}
+		rc.observe(payload.Tell() - startBits)
+	}
+	data := bw.Bytes()
+	if arith != nil {
+		data = append(data, arith.Bytes()...)
+	}
+	return &Stream{Data: data, W: w, H: h, Cfg: cfg, Types: types, Order: order}, nil
+}
+
+func writeHeader(w *BitWriter, width, height, frames int, cfg Config, types []FrameType) {
+	w.WriteBits(streamMagic, 32)
+	w.WriteBits(uint64(width), 16)
+	w.WriteBits(uint64(height), 16)
+	w.WriteUE(uint64(frames))
+	w.WriteUE(uint64(cfg.BlockSize))
+	w.WriteUE(uint64(cfg.QP))
+	w.WriteUE(uint64(cfg.SearchRange))
+	w.WriteUE(uint64(cfg.SearchInterval))
+	w.WriteUE(uint64(cfg.MaxBRun))
+	w.WriteUE(uint64(cfg.IPeriod))
+	w.WriteUE(uint64(cfg.TargetBRatio * 1000))
+	if cfg.Arithmetic {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	if cfg.Deblock {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	w.WriteUE(uint64(cfg.TargetBPF))
+	if cfg.HalfPel {
+		w.WriteBit(1)
+	} else {
+		w.WriteBit(0)
+	}
+	for _, t := range types {
+		w.WriteBits(uint64(t), 2)
+	}
+}
+
+// encodeIntraFrame codes every macro-block with the best intra mode and
+// returns the closed-loop reconstruction.
+func encodeIntraFrame(w SymbolWriter, src *video.Frame, bs int, qstep float64, pred []uint8) *video.Frame {
+	rec := video.NewFrame(src.W, src.H)
+	for by := 0; by < src.H; by += bs {
+		for bx := 0; bx < src.W; bx += bs {
+			mode, _ := bestIntra(src, rec, bx, by, bs, pred)
+			w.WriteUE(uint64(mode))
+			encodeResidual(w, src, rec, bx, by, bs, qstep, pred)
+		}
+	}
+	return rec
+}
+
+// encodeInterFrame codes a P- or B-frame. For P-frames (bDisplay nil) it
+// returns the closed-loop reconstruction; for B-frames (never referenced)
+// it reconstructs into a throwaway frame for mode decision of later intra
+// blocks in the same frame.
+func encodeInterFrame(w SymbolWriter, src *video.Frame, refs []int, bDisplay *int, recon map[int]*video.Frame, cfg Config, qstep float64, pred []uint8) *video.Frame {
+	bs := cfg.BlockSize
+	rec := video.NewFrame(src.W, src.H)
+	isB := bDisplay != nil
+	tmp := make([]uint8, bs*bs)
+	for by := 0; by < src.H; by += bs {
+		for bx := 0; bx < src.W; bx += bs {
+			intraMode, intraSAE := bestIntra(src, rec, bx, by, bs, pred)
+			intraPred := make([]uint8, bs*bs)
+			copy(intraPred, pred)
+
+			// Motion search against every candidate reference.
+			bestSingle := motionCandidate{refIdx: -1, sae: 1 << 62}
+			bestFwd := motionCandidate{refIdx: -1, sae: 1 << 62}
+			bestBwd := motionCandidate{refIdx: -1, sae: 1 << 62}
+			for ri, rd := range refs {
+				ref := recon[rd]
+				c := motionSearch(src, ref, bx, by, bs, cfg.SearchRange)
+				c.refIdx = ri
+				if cfg.HalfPel {
+					c = refineHalfPel(src, ref, bx, by, bs, c)
+				}
+				// Rate bias: referencing a farther candidate costs more bits
+				// (larger ref index, usually larger MVs), so a distant match
+				// must be clearly better to be selected. This also keeps the
+				// distinct-reference count per B-frame content-dependent.
+				c.sae += int64(ri) * int64(bs*bs) / 2
+				if c.sae < bestSingle.sae {
+					bestSingle = c
+				}
+				if isB {
+					if rd < *bDisplay {
+						if c.sae < bestFwd.sae {
+							bestFwd = c
+						}
+					} else if c.sae < bestBwd.sae {
+						bestBwd = c
+					}
+				}
+			}
+
+			// Bi-prediction for B-frames when both directions found a match.
+			useBi := false
+			var biErr int64 = 1 << 62
+			if isB && bestFwd.refIdx >= 0 && bestBwd.refIdx >= 0 {
+				biErr = biSAE(src, recon[refs[bestFwd.refIdx]], recon[refs[bestBwd.refIdx]], bx, by, bestFwd, bestBwd, bs)
+				if biErr < bestSingle.sae {
+					useBi = true
+				}
+			}
+
+			interSAE := bestSingle.sae
+			if useBi {
+				interSAE = biErr
+			}
+			// Intra needs to beat inter clearly: inter blocks carry the MV
+			// information the recognition side exploits, and ties favor the
+			// smoother temporal prediction.
+			if bestSingle.refIdx < 0 || intraSAE < interSAE {
+				w.WriteUE(uint64(intraMode))
+				copy(pred, intraPred)
+				encodeResidual(w, src, rec, bx, by, bs, qstep, pred)
+				continue
+			}
+			if useBi {
+				w.WriteUE(uint64(modeInterBi))
+				writeMV(w, bestFwd, bx, by, cfg.HalfPel)
+				writeMV(w, bestBwd, bx, by, cfg.HalfPel)
+				fa, fb := recon[refs[bestFwd.refIdx]], recon[refs[bestBwd.refIdx]]
+				copyRefBlockHalf(fa, bestFwd.srcX, bestFwd.srcY, bestFwd.halfX, bestFwd.halfY, bs, pred)
+				copyRefBlockHalf(fb, bestBwd.srcX, bestBwd.srcY, bestBwd.halfX, bestBwd.halfY, bs, tmp)
+				for i := range pred {
+					pred[i] = uint8((int(pred[i]) + int(tmp[i]) + 1) / 2)
+				}
+			} else {
+				w.WriteUE(uint64(modeInter))
+				writeMV(w, bestSingle, bx, by, cfg.HalfPel)
+				copyRefBlockHalf(recon[refs[bestSingle.refIdx]], bestSingle.srcX, bestSingle.srcY, bestSingle.halfX, bestSingle.halfY, bs, pred)
+			}
+			encodeResidual(w, src, rec, bx, by, bs, qstep, pred)
+		}
+	}
+	return rec
+}
+
+func writeMV(w SymbolWriter, c motionCandidate, bx, by int, halfPel bool) {
+	w.WriteUE(uint64(c.refIdx))
+	w.WriteSE(int64(c.srcX - bx))
+	w.WriteSE(int64(c.srcY - by))
+	if halfPel {
+		w.WriteBit(uint8(c.halfX))
+		w.WriteBit(uint8(c.halfY))
+	}
+}
+
+// encodeResidual transforms, quantizes and entropy-codes the block residual
+// (src − pred), then writes the closed-loop reconstruction into rec.
+func encodeResidual(w SymbolWriter, src, rec *video.Frame, bx, by, bs int, qstep float64, pred []uint8) {
+	res := make([]float64, bs*bs)
+	for y := 0; y < bs; y++ {
+		row := (by + y) * src.W
+		for x := 0; x < bs; x++ {
+			res[y*bs+x] = float64(src.Pix[row+bx+x]) - float64(pred[y*bs+x])
+		}
+	}
+	coef := ForwardDCT(res, bs)
+	levels := Quantize(coef, qstep)
+	writeResidual(w, levels, bs)
+	applyResidual(rec, bx, by, bs, qstep, pred, levels)
+}
+
+// applyResidual reconstructs a block from its prediction and quantized
+// residual levels; shared by encoder (closed loop) and decoder.
+func applyResidual(rec *video.Frame, bx, by, bs int, qstep float64, pred []uint8, levels []int32) {
+	res := InverseDCT(Dequantize(levels, qstep), bs)
+	for y := 0; y < bs; y++ {
+		row := (by + y) * rec.W
+		for x := 0; x < bs; x++ {
+			v := int(math.Floor(float64(pred[y*bs+x]) + res[y*bs+x] + 0.5))
+			rec.Pix[row+bx+x] = clampPix(v)
+		}
+	}
+}
+
+// rateControl adapts the per-frame quantization parameter toward a bits-
+// per-frame target with a leaky-bucket controller. With no target it holds
+// the configured QP.
+type rateControl struct {
+	base     int
+	target   int
+	fullness float64
+}
+
+func newRateControl(cfg Config) *rateControl {
+	return &rateControl{base: cfg.QP, target: cfg.TargetBPF}
+}
+
+// frameQP returns the QP for the next frame.
+func (r *rateControl) frameQP() int {
+	if r.target <= 0 {
+		return r.base
+	}
+	adj := int(r.fullness / (2 * float64(r.target)))
+	if adj > 12 {
+		adj = 12
+	}
+	if adj < -8 {
+		adj = -8
+	}
+	qp := r.base + adj
+	if qp < 4 {
+		qp = 4
+	}
+	if qp > 44 {
+		qp = 44
+	}
+	return qp
+}
+
+// observe accounts one coded frame's bits against the bucket.
+func (r *rateControl) observe(bits int) {
+	if r.target <= 0 {
+		return
+	}
+	r.fullness += float64(bits - r.target)
+	// The bucket leaks slowly so long-term drift dominates per-frame noise.
+	r.fullness *= 0.98
+}

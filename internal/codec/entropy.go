@@ -1,0 +1,58 @@
+package codec
+
+// SymbolWriter is the entropy-coding backend interface the encoder writes
+// frame payloads through: plain bits (BitWriter, Exp-Golomb stream) or the
+// context-adaptive arithmetic coder (ArithWriter).
+type SymbolWriter interface {
+	WriteBit(b uint8)
+	WriteBits(v uint64, n int)
+	WriteUE(v uint64)
+	WriteSE(v int64)
+	// Tell reports the (approximate, for the arithmetic backend) number of
+	// bits produced so far, used by rate control.
+	Tell() int
+}
+
+// SymbolReader mirrors SymbolWriter for decoding. Tell reports the
+// (approximate, for the arithmetic backend) consumed position in bits, used
+// for per-frame size accounting.
+type SymbolReader interface {
+	ReadBit() (uint8, error)
+	ReadBits(n int) (uint64, error)
+	ReadUE() (uint64, error)
+	ReadSE() (int64, error)
+	Tell() int
+}
+
+var (
+	_ SymbolWriter = (*BitWriter)(nil)
+	_ SymbolWriter = (*ArithWriter)(nil)
+	_ SymbolReader = (*BitReader)(nil)
+	_ SymbolReader = (*ArithReader)(nil)
+)
+
+// AlignByte pads the writer with zero bits to the next byte boundary.
+func (w *BitWriter) AlignByte() {
+	for w.nbit != 0 {
+		w.WriteBit(0)
+	}
+}
+
+// AlignByte advances the reader to the next byte boundary.
+func (r *BitReader) AlignByte() {
+	r.pos = (r.pos + 7) / 8 * 8
+}
+
+// Tell implements SymbolReader.
+func (r *BitReader) Tell() int { return r.pos }
+
+// Tell implements SymbolWriter.
+func (w *BitWriter) Tell() int { return w.Len() }
+
+// Tell implements SymbolWriter: bits emitted so far (byte-granular; the
+// range coder's internal cache lags by a few bytes).
+func (w *ArithWriter) Tell() int { return len(w.out) * 8 }
+
+// Tell implements SymbolReader: the consumed payload position in bits
+// (byte-granular — the range coder reads whole bytes).
+func (r *ArithReader) Tell() int { return r.pos * 8 }

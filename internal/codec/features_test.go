@@ -1,0 +1,263 @@
+package codec
+
+import (
+	"math"
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func meanPSNR(t *testing.T, v *video.Video, cfg Config) float64 {
+	t.Helper()
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s float64
+	for d := range res.Frames {
+		s += psnr(v.Frames[d], res.Frames[d])
+	}
+	return s / float64(len(res.Frames))
+}
+
+func TestDeblockImprovesQualityAtCoarseQP(t *testing.T) {
+	v := testVideo(96, 64, 8, 1.2)
+	base := DefaultConfig()
+	base.QP = 34 // coarse quantization: visible blocking
+	with := base
+	with.Deblock = true
+	p0 := meanPSNR(t, v, base)
+	p1 := meanPSNR(t, v, with)
+	t.Logf("QP34 PSNR: plain %.2f dB, deblocked %.2f dB", p0, p1)
+	if p1 < p0-0.1 {
+		t.Fatalf("deblocking should not hurt at coarse QP: %.2f -> %.2f", p0, p1)
+	}
+}
+
+func TestDeblockEncoderDecoderConsistent(t *testing.T) {
+	// The coding loop must stay closed: a P-frame predicted from a
+	// deblocked reference must decode to the encoder's exact reconstruction
+	// — verified by round-tripping twice (any drift would compound).
+	v := testVideo(64, 48, 12, 1.5)
+	cfg := DefaultConfig()
+	cfg.Deblock = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.Frames {
+		for i := range a.Frames[d].Pix {
+			if a.Frames[d].Pix[i] != b.Frames[d].Pix[i] {
+				t.Fatalf("frame %d nondeterministic decode", d)
+			}
+		}
+	}
+	if !a.Cfg.Deblock {
+		t.Fatal("deblock flag lost")
+	}
+	if p := psnr(v.Frames[6], a.Frames[6]); p < 30 {
+		t.Fatalf("deblocked stream PSNR %.1f too low", p)
+	}
+}
+
+func TestDeblockPreservesRealEdges(t *testing.T) {
+	// A frame with a strong edge away from block boundaries: the filter
+	// must not touch strong discontinuities even on block boundaries.
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if x >= 16 {
+				f.Set(x, y, 220)
+			} else {
+				f.Set(x, y, 30)
+			}
+		}
+	}
+	orig := f.Clone()
+	deblockFrame(f, 8, 22)
+	// The 30/220 step at x=16 sits on a block edge but exceeds alpha: it
+	// must remain intact.
+	for y := 0; y < 32; y++ {
+		if f.At(15, y) != orig.At(15, y) || f.At(16, y) != orig.At(16, y) {
+			t.Fatalf("strong edge smoothed at y=%d", y)
+		}
+	}
+}
+
+func TestDeblockSmoothsSmallSteps(t *testing.T) {
+	f := video.NewFrame(16, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 16; x++ {
+			if x >= 8 {
+				f.Set(x, y, 105)
+			} else {
+				f.Set(x, y, 100)
+			}
+		}
+	}
+	deblockFrame(f, 8, 22)
+	if f.At(7, 4) == 100 && f.At(8, 4) == 105 {
+		t.Fatal("small blocking step not smoothed")
+	}
+}
+
+func TestRateControlHitsTarget(t *testing.T) {
+	v := testVideo(96, 64, 24, 1.5)
+	cfg := DefaultConfig()
+	// First measure the constant-QP bits per frame, then target 60% of it.
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseBPF := len(st.Data) * 8 / v.Len()
+	cfg.TargetBPF = baseBPF * 6 / 10
+	st2, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBPF := len(st2.Data) * 8 / v.Len()
+	t.Logf("constant-QP %d bpf, target %d, rate-controlled %d", baseBPF, cfg.TargetBPF, gotBPF)
+	if gotBPF >= baseBPF {
+		t.Fatal("rate control did not reduce the bitrate")
+	}
+	if math.Abs(float64(gotBPF)-float64(cfg.TargetBPF)) > 0.5*float64(cfg.TargetBPF) {
+		t.Fatalf("rate-controlled %d bpf too far from target %d", gotBPF, cfg.TargetBPF)
+	}
+	// The stream must still decode cleanly with per-frame QP deltas.
+	res, err := Decode(st2.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnr(v.Frames[10], res.Frames[10]); p < 25 {
+		t.Fatalf("rate-controlled PSNR %.1f too low", p)
+	}
+}
+
+func TestRateControlledStreamDecoder(t *testing.T) {
+	v := testVideo(64, 48, 12, 1)
+	cfg := DefaultConfig()
+	cfg.TargetBPF = 2000
+	cfg.Deblock = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			break
+		}
+		d := out.Info.Display
+		for i := range out.Pixels.Pix {
+			if out.Pixels.Pix[i] != batch.Frames[d].Pix[i] {
+				t.Fatalf("frame %d: streaming decode differs under rate control + deblock", d)
+			}
+		}
+	}
+}
+
+func TestAllFeaturesTogether(t *testing.T) {
+	// Arithmetic + deblocking + rate control simultaneously.
+	v := testVideo(64, 48, 12, 1.5)
+	cfg := DefaultConfig()
+	cfg.Arithmetic = true
+	cfg.Deblock = true
+	cfg.TargetBPF = 3000
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cfg.Arithmetic || !res.Cfg.Deblock || res.Cfg.TargetBPF != 3000 {
+		t.Fatalf("feature flags lost: %+v", res.Cfg)
+	}
+	for d, f := range res.Frames {
+		if f == nil {
+			t.Fatalf("frame %d missing", d)
+		}
+	}
+	if p := psnr(v.Frames[6], res.Frames[6]); p < 24 {
+		t.Fatalf("combined-features PSNR %.1f too low", p)
+	}
+}
+
+func TestDiagonalIntraModesPredictCorrectly(t *testing.T) {
+	// Build a reconstruction context with a diagonal gradient above the
+	// block and check the DDL/DDR modes propagate it as specified.
+	rec := video.NewFrame(24, 24)
+	for x := 0; x < 24; x++ {
+		rec.Set(x, 7, uint8(10*x)) // top row above block at (8,8)
+	}
+	for y := 0; y < 24; y++ {
+		rec.Set(7, y, uint8(5*y)) // left column
+	}
+	pred := make([]uint8, 64)
+	intraPredict(rec, 8, 8, 8, modeIntraDDR, pred)
+	// Pixel (1,0) of the block (x>y) continues the top row at bx+x-y-1 = 8.
+	if pred[1] != rec.At(8, 7) {
+		t.Fatalf("DDR pred[0][1] = %d, want %d", pred[1], rec.At(8, 7))
+	}
+	// Pixel (0,1) (y>x) continues the left column at by+y-x-1 = 8.
+	if pred[8] != rec.At(7, 8) {
+		t.Fatalf("DDR pred[1][0] = %d, want %d", pred[8], rec.At(7, 8))
+	}
+	// Diagonal uses the corner.
+	if pred[0] != rec.At(7, 7) {
+		t.Fatalf("DDR pred[0][0] = %d, want corner %d", pred[0], rec.At(7, 7))
+	}
+	intraPredict(rec, 8, 8, 8, modeIntraDDL, pred)
+	// Pixel (0,0) samples the top row at x+y+1 = 9.
+	if pred[0] != rec.At(9, 7) {
+		t.Fatalf("DDL pred[0][0] = %d, want %d", pred[0], rec.At(9, 7))
+	}
+}
+
+func TestDiagonalModesSelectedOnDiagonalContent(t *testing.T) {
+	// A frame full of diagonal stripes: DDL/DDR should win some blocks and
+	// the stream must round-trip.
+	v := &video.Video{Name: "diag"}
+	f := video.NewFrame(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			f.Set(x, y, uint8(((x+y)%16)*16))
+		}
+	}
+	v.Frames = append(v.Frames, f)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnr(f, res.Frames[0]); p < 30 {
+		t.Fatalf("diagonal content PSNR %.1f too low", p)
+	}
+}

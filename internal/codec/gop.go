@@ -1,0 +1,271 @@
+package codec
+
+import "vrdann/internal/video"
+
+// PlanGOP assigns a frame type to every frame of the sequence (display
+// order). Frame 0 is always I. Anchors (I/P) are spaced by motion-adaptive
+// B-runs: fast content shortens the runs (mirroring the encoder "auto B
+// ratio" that the paper reports averages ~65% but drops to ~37% for
+// quality-critical content). When cfg.TargetBRatio > 0 the planner instead
+// tracks that ratio greedily.
+func PlanGOP(frames []*video.Frame, cfg Config) []FrameType {
+	cfg = cfg.normalized()
+	n := len(frames)
+	types := make([]FrameType, n)
+	if n == 0 {
+		return types
+	}
+	types[0] = IFrame
+	anchor := 0
+	anchorCount := 1
+	bCount := 0
+	for anchor < n-1 {
+		run := maxBRunFrom(frames, anchor, cfg, bCount)
+		next := anchor + run + 1
+		if next >= n {
+			// The sequence must end on an anchor so every B has a future
+			// reference.
+			next = n - 1
+			run = next - anchor - 1
+		}
+		for i := anchor + 1; i < next; i++ {
+			types[i] = BFrame
+		}
+		bCount += run
+		switch {
+		case sceneCut(frames[anchor], frames[next]):
+			// A hard cut: inter prediction across it is useless, so refresh
+			// with an I-frame (what real encoders' scene-cut detection does).
+			types[next] = IFrame
+		case anchorCount%cfg.IPeriod == 0:
+			types[next] = IFrame
+		default:
+			types[next] = PFrame
+		}
+		anchorCount++
+		anchor = next
+	}
+	return types
+}
+
+// sceneCut reports whether the content between two frames changed so much
+// that motion compensation cannot bridge them: the sampled mean absolute
+// difference exceeds a level no plausible motion explains.
+func sceneCut(a, b *video.Frame) bool {
+	var sum, cnt int64
+	for y := 0; y < a.H; y += 4 {
+		for x := 0; x < a.W; x += 4 {
+			d := int64(a.Pix[y*a.W+x]) - int64(b.Pix[y*b.W+x])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+			cnt++
+		}
+	}
+	return cnt > 0 && float64(sum)/float64(cnt) > 35
+}
+
+// maxBRunFrom picks the B-run length following the given anchor.
+func maxBRunFrom(frames []*video.Frame, anchor int, cfg Config, bSoFar int) int {
+	remaining := len(frames) - anchor - 1
+	if remaining <= 1 {
+		return 0
+	}
+	limit := cfg.MaxBRun
+	if limit > remaining-1 {
+		limit = remaining - 1
+	}
+	if cfg.TargetBRatio > 0 {
+		// Greedy ratio tracking: pick the largest run that keeps the overall
+		// B ratio at or below the target.
+		for run := limit; run >= 0; run-- {
+			total := anchor + run + 2 // frames planned through the next anchor
+			if float64(bSoFar+run)/float64(total) <= cfg.TargetBRatio {
+				return run
+			}
+		}
+		return 0
+	}
+	// Motion-adaptive: shrink the run until the worst-case displacement
+	// between the two anchors stays within reach of motion estimation, so
+	// the in-between B-frames interpolate faithfully. This is what makes
+	// the "auto B ratio" vary per video (Fig 3a / Fig 15).
+	maxDisp := 0.95 * float64(cfg.SearchRange)
+	for run := limit; run > 0; run-- {
+		if frameDisplacement(frames[anchor], frames[anchor+run+1]) <= maxDisp {
+			return run
+		}
+	}
+	return 0
+}
+
+// frameDisplacement estimates the largest local motion between two frames:
+// a sparse 3×3 grid of sample blocks is matched by coarse block search and
+// the maximum best-match displacement is returned. Blocks that match
+// nowhere well (occlusion, deformation) count as maximal displacement.
+func frameDisplacement(a, b *video.Frame) float64 {
+	const blk = 12
+	const rang = 10
+	if a.W < 3*blk || a.H < 3*blk {
+		return 0
+	}
+	worst := 0.0
+	for gy := 0; gy < 3; gy++ {
+		for gx := 0; gx < 3; gx++ {
+			bx := (a.W - blk) * (gx + 1) / 4
+			by := (a.H - blk) * (gy + 1) / 4
+			bestSAD := int64(1) << 62
+			bestD := 0.0
+			var zeroSAD int64
+			for dy := -rang; dy <= rang; dy += 2 {
+				for dx := -rang; dx <= rang; dx += 2 {
+					var s int64
+					for y := 0; y < blk; y++ {
+						ay := by + y
+						ry := clampInt(by+dy+y, 0, b.H-1)
+						for x := 0; x < blk; x++ {
+							d := int64(a.Pix[ay*a.W+bx+x]) - int64(b.Pix[ry*b.W+clampInt(bx+dx+x, 0, b.W-1)])
+							if d < 0 {
+								d = -d
+							}
+							s += d
+						}
+					}
+					if dx == 0 && dy == 0 {
+						zeroSAD = s
+					}
+					if s < bestSAD {
+						bestSAD = s
+						du, dv := float64(dx), float64(dy)
+						bestD = du*du + dv*dv
+					}
+				}
+			}
+			d := sqrtApprox(bestD)
+			// A block whose best match barely improves on co-located content
+			// is static; one whose best match is still poor has complex
+			// motion and counts as far-displaced.
+			if bestSAD > zeroSAD*8/10 && bestSAD > int64(blk*blk*14) {
+				d = float64(rang)
+			}
+			if d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func sqrtApprox(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 12; i++ {
+		x = 0.5 * (x + v/x)
+	}
+	return x
+}
+
+// DecodeOrder computes the decode schedule for the planned types: anchors
+// in display order, each B-run emitted once all of its candidate future
+// reference anchors have been decoded (cfg.futureRefs() of them). This is
+// the ordering recorded in the bitstream per Sec II of the paper ("the
+// encoder records the decoding order of the frames according to the
+// dependent relationship").
+func DecodeOrder(types []FrameType, cfg Config) []int {
+	cfg = cfg.normalized()
+	future := cfg.futureRefs()
+	if future < 1 {
+		future = 1
+	}
+	var anchors []int
+	for i, t := range types {
+		if t.IsAnchor() {
+			anchors = append(anchors, i)
+		}
+	}
+	order := make([]int, 0, len(types))
+	emitRun := func(k int) { // B frames between anchors[k] and anchors[k+1]
+		if k < 0 || k+1 >= len(anchors) {
+			return
+		}
+		for d := anchors[k] + 1; d < anchors[k+1]; d++ {
+			order = append(order, d)
+		}
+	}
+	for k, a := range anchors {
+		order = append(order, a)
+		emitRun(k - future)
+	}
+	// Flush runs whose future anchors ran out at the end of the sequence.
+	for k := len(anchors) - future; k < len(anchors); k++ {
+		emitRun(k)
+	}
+	return order
+}
+
+// candidateRefs returns the display indices of the anchor frames a B-frame
+// at display index d may reference, nearest first, limited to the search
+// interval. Past anchors are always decoded; future anchors are available
+// up to cfg.futureRefs() ahead, which DecodeOrder guarantees.
+func candidateRefs(anchors []int, d int, cfg Config) []int {
+	n := cfg.EffectiveSearchInterval()
+	future := cfg.futureRefs()
+	// Locate the anchors flanking d.
+	lo := -1
+	for i, a := range anchors {
+		if a < d {
+			lo = i
+		}
+	}
+	var past, fut []int
+	for i := lo; i >= 0; i-- {
+		past = append(past, anchors[i])
+	}
+	for i := lo + 1; i < len(anchors) && len(fut) < future; i++ {
+		fut = append(fut, anchors[i])
+	}
+	// Merge nearest-first.
+	out := make([]int, 0, n)
+	pi, fi := 0, 0
+	for len(out) < n && (pi < len(past) || fi < len(fut)) {
+		switch {
+		case pi >= len(past):
+			out = append(out, fut[fi])
+			fi++
+		case fi >= len(fut):
+			out = append(out, past[pi])
+			pi++
+		case d-past[pi] <= fut[fi]-d:
+			out = append(out, past[pi])
+			pi++
+		default:
+			out = append(out, fut[fi])
+			fi++
+		}
+	}
+	return out
+}
+
+// pastRefs returns the candidate references for a P-frame: up to n past
+// anchors, nearest first.
+func pastRefs(anchors []int, d int, cfg Config) []int {
+	n := cfg.EffectiveSearchInterval()
+	var out []int
+	for i := len(anchors) - 1; i >= 0 && len(out) < n; i-- {
+		if anchors[i] < d {
+			out = append(out, anchors[i])
+		}
+	}
+	return out
+}
+
+// CandidateRefs exposes the B-frame reference-candidate computation: the
+// display indices of the anchors a B-frame at display index d may
+// reference, nearest first, bounded by the search interval. The anchors
+// slice lists all anchor display indices in ascending order.
+func CandidateRefs(anchors []int, d int, cfg Config) []int {
+	return candidateRefs(anchors, d, cfg.normalized())
+}

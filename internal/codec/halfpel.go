@@ -1,0 +1,97 @@
+package codec
+
+import "vrdann/internal/video"
+
+// Half-pel motion compensation (enabled by Config.HalfPel): after integer
+// motion search, the encoder probes the eight surrounding half-pixel
+// positions using bilinearly interpolated reference samples, like
+// H.264/H.265's fractional-pel stage. The motion vector carries two extra
+// half-offset bits; pixel prediction interpolates, while the recognition
+// side keeps using the integer part (segmentation reconstruction operates
+// at macro-block granularity, so sub-pixel precision only matters for
+// pixel fidelity).
+
+// halfPelSample returns the reference value at integer position (x, y)
+// shifted by (hx, hy) half pixels (each 0 or 1), using bilinear
+// interpolation with edge clamping.
+func halfPelSample(ref *video.Frame, x, y, hx, hy int) uint8 {
+	x0 := clampInt(x, 0, ref.W-1)
+	y0 := clampInt(y, 0, ref.H-1)
+	if hx == 0 && hy == 0 {
+		return ref.Pix[y0*ref.W+x0]
+	}
+	x1 := clampInt(x+hx, 0, ref.W-1)
+	y1 := clampInt(y+hy, 0, ref.H-1)
+	a := int(ref.Pix[y0*ref.W+x0])
+	switch {
+	case hx == 1 && hy == 0:
+		return uint8((a + int(ref.Pix[y0*ref.W+x1]) + 1) / 2)
+	case hx == 0 && hy == 1:
+		return uint8((a + int(ref.Pix[y1*ref.W+x0]) + 1) / 2)
+	default: // diagonal half position: 4-tap average
+		b := int(ref.Pix[y0*ref.W+x1])
+		c := int(ref.Pix[y1*ref.W+x0])
+		d := int(ref.Pix[y1*ref.W+x1])
+		return uint8((a + b + c + d + 2) / 4)
+	}
+}
+
+// copyRefBlockHalf extracts a bs×bs block at integer position (sx, sy) plus
+// a (hx, hy) half-pel offset.
+func copyRefBlockHalf(ref *video.Frame, sx, sy, hx, hy, bs int, dst []uint8) {
+	if hx == 0 && hy == 0 {
+		copyRefBlock(ref, sx, sy, bs, dst)
+		return
+	}
+	for y := 0; y < bs; y++ {
+		for x := 0; x < bs; x++ {
+			dst[y*bs+x] = halfPelSample(ref, sx+x, sy+y, hx, hy)
+		}
+	}
+}
+
+// halfSAE computes the SAE of a half-pel-shifted candidate.
+func halfSAE(src, ref *video.Frame, bx, by, sx, sy, hx, hy, bs int, bound int64) int64 {
+	var s int64
+	for y := 0; y < bs; y++ {
+		srow := (by + y) * src.W
+		for x := 0; x < bs; x++ {
+			d := int64(src.Pix[srow+bx+x]) - int64(halfPelSample(ref, sx+x, sy+y, hx, hy))
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		if s > bound {
+			return s
+		}
+	}
+	return s
+}
+
+// refineHalfPel probes the eight half-pel neighbors of an integer-pel
+// winner and updates the candidate's half offsets when one improves SAE.
+// Half offsets are encoded as {0, 1} per axis relative to (srcX, srcY);
+// a negative half step is represented by decrementing the integer part.
+func refineHalfPel(src, ref *video.Frame, bx, by, bs int, c motionCandidate) motionCandidate {
+	best := c
+	for _, off := range [8][4]int{
+		// {intDX, intDY, hx, hy} relative to the integer winner.
+		{0, 0, 1, 0},  // +½ x
+		{-1, 0, 1, 0}, // −½ x
+		{0, 0, 0, 1},  // +½ y
+		{0, -1, 0, 1}, // −½ y
+		{0, 0, 1, 1},
+		{-1, -1, 1, 1},
+		{-1, 0, 1, 1},
+		{0, -1, 1, 1},
+	} {
+		sx, sy := c.srcX+off[0], c.srcY+off[1]
+		s := halfSAE(src, ref, bx, by, sx, sy, off[2], off[3], bs, best.sae)
+		if s < best.sae {
+			best = motionCandidate{refIdx: c.refIdx, srcX: sx, srcY: sy, sae: s}
+			best.halfX, best.halfY = off[2], off[3]
+		}
+	}
+	return best
+}

@@ -1,0 +1,177 @@
+package codec
+
+import (
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func TestHalfPelSampleInterpolation(t *testing.T) {
+	f := video.NewFrame(4, 4)
+	f.Set(0, 0, 100)
+	f.Set(1, 0, 200)
+	f.Set(0, 1, 100)
+	f.Set(1, 1, 200)
+	if got := halfPelSample(f, 0, 0, 0, 0); got != 100 {
+		t.Fatalf("integer sample = %d", got)
+	}
+	// Horizontal half-pel between 100 and 200 columns: (100+200+100+200+2)/4 = 150.
+	if got := halfPelSample(f, 0, 0, 1, 0); got != 150 {
+		t.Fatalf("half-x sample = %d, want 150", got)
+	}
+}
+
+func TestHalfPelSampleEdgeClamp(t *testing.T) {
+	f := video.NewFrame(2, 2)
+	f.Set(1, 1, 80)
+	// At the corner, all taps clamp to (1,1).
+	if got := halfPelSample(f, 1, 1, 1, 1); got != 80 {
+		t.Fatalf("clamped half sample = %d, want 80", got)
+	}
+}
+
+// subPelVideo builds a sequence whose object moves by a non-integer number
+// of pixels per frame, where half-pel compensation genuinely helps.
+func subPelVideo(frames int) *video.Video {
+	return video.Generate(video.SceneSpec{
+		Name: "subpel", W: 96, H: 64, Frames: frames, Seed: 31, Noise: 1.0,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 14, X: 30, Y: 32,
+			VX: 1.5, VY: 0.5, Intensity: 215, Foreground: true,
+		}},
+	})
+}
+
+func TestHalfPelRoundTrip(t *testing.T) {
+	v := subPelVideo(12)
+	cfg := DefaultConfig()
+	cfg.HalfPel = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cfg.HalfPel {
+		t.Fatal("half-pel flag lost")
+	}
+	for d, f := range res.Frames {
+		if f == nil {
+			t.Fatalf("frame %d missing", d)
+		}
+	}
+	// Half offsets must actually be used somewhere on sub-pel motion.
+	used := false
+	for _, info := range res.Infos {
+		for _, mv := range info.MVs {
+			if mv.HalfX != 0 || mv.HalfY != 0 {
+				used = true
+			}
+		}
+	}
+	if !used {
+		t.Fatal("no half-pel offsets selected on sub-pixel motion")
+	}
+}
+
+func TestHalfPelImprovesCompressionOrQuality(t *testing.T) {
+	v := subPelVideo(16)
+	plain := DefaultConfig()
+	half := DefaultConfig()
+	half.HalfPel = true
+	ps, err := Encode(v, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Encode(v, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Decode(ps.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, err := Decode(hs.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pq, hq float64
+	for d := range pd.Frames {
+		pq += psnr(v.Frames[d], pd.Frames[d])
+		hq += psnr(v.Frames[d], hd.Frames[d])
+	}
+	pq /= float64(len(pd.Frames))
+	hq /= float64(len(hd.Frames))
+	pBits := float64(len(ps.Data))
+	hBits := float64(len(hs.Data))
+	t.Logf("full-pel: %.0f bytes %.2f dB; half-pel: %.0f bytes %.2f dB", pBits, pq, hBits, hq)
+	// Better prediction shows up as fewer bits at equal-ish quality or
+	// better quality at equal-ish bits; require a clear win on the
+	// bits+quality tradeoff (rate must not grow while quality drops).
+	if hBits > pBits*1.02 && hq < pq-0.05 {
+		t.Fatal("half-pel made both rate and quality worse")
+	}
+	if hBits > pBits && hq <= pq {
+		t.Fatal("half-pel shows no benefit on sub-pel motion")
+	}
+}
+
+func TestHalfPelStreamDecoderConsistent(t *testing.T) {
+	v := subPelVideo(10)
+	cfg := DefaultConfig()
+	cfg.HalfPel = true
+	cfg.Arithmetic = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			break
+		}
+		d := out.Info.Display
+		for i := range out.Pixels.Pix {
+			if out.Pixels.Pix[i] != batch.Frames[d].Pix[i] {
+				t.Fatalf("frame %d: streaming decode differs under half-pel + arithmetic", d)
+			}
+		}
+	}
+}
+
+func TestHalfPelReconUsesIntegerPart(t *testing.T) {
+	// The segmentation reconstruction path ignores half offsets: feeding
+	// half-pel MVs into Reconstruct-style consumers requires only SrcX/SrcY,
+	// which must always be valid integer coordinates.
+	v := subPelVideo(12)
+	cfg := DefaultConfig()
+	cfg.HalfPel = true
+	st, err := Encode(v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range res.Infos {
+		for _, mv := range info.MVs {
+			if mv.HalfX < 0 || mv.HalfX > 1 || mv.HalfY < 0 || mv.HalfY > 1 {
+				t.Fatalf("half offsets out of range: %+v", mv)
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package codec
+
+import "vrdann/internal/video"
+
+// motionCandidate is the result of motion search against one reference.
+type motionCandidate struct {
+	refIdx       int // index into the candidate reference list
+	srcX, srcY   int // top-left pixel of the matched block in the reference
+	halfX, halfY int // half-pel offsets (0 or 1 each) added to (srcX, srcY)
+	sae          int64
+}
+
+// copyRefBlock extracts the bs×bs block at (sx, sy) from ref into dst.
+// Out-of-frame pixels read as edge-clamped values so searches near the
+// border remain meaningful.
+func copyRefBlock(ref *video.Frame, sx, sy, bs int, dst []uint8) {
+	for y := 0; y < bs; y++ {
+		yy := clampInt(sy+y, 0, ref.H-1)
+		row := yy * ref.W
+		for x := 0; x < bs; x++ {
+			xx := clampInt(sx+x, 0, ref.W-1)
+			dst[y*bs+x] = ref.Pix[row+xx]
+		}
+	}
+}
+
+// refSAE computes SAE between the source block at (bx, by) and the
+// reference block at (sx, sy), with early termination once the running sum
+// exceeds bound.
+func refSAE(src *video.Frame, ref *video.Frame, bx, by, sx, sy, bs int, bound int64) int64 {
+	var s int64
+	for y := 0; y < bs; y++ {
+		srow := (by + y) * src.W
+		ry := clampInt(sy+y, 0, ref.H-1)
+		rrow := ry * ref.W
+		for x := 0; x < bs; x++ {
+			rx := clampInt(sx+x, 0, ref.W-1)
+			d := int64(src.Pix[srow+bx+x]) - int64(ref.Pix[rrow+rx])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		if s > bound {
+			return s
+		}
+	}
+	return s
+}
+
+// motionSearch finds the best match for the block at (bx, by) in ref using
+// a coarse-then-fine search (step-2 grid inside ±rang, then ±1 refinement),
+// mirroring the multi-step search strategies of real encoders.
+func motionSearch(src, ref *video.Frame, bx, by, bs, rang int) motionCandidate {
+	bestX, bestY := bx, by
+	best := refSAE(src, ref, bx, by, bx, by, bs, 1<<62)
+	// Coarse grid.
+	for dy := -rang; dy <= rang; dy += 2 {
+		for dx := -rang; dx <= rang; dx += 2 {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			s := refSAE(src, ref, bx, by, bx+dx, by+dy, bs, best)
+			if s < best {
+				best, bestX, bestY = s, bx+dx, by+dy
+			}
+		}
+	}
+	// ±1 refinement around the coarse winner.
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			s := refSAE(src, ref, bx, by, bestX+dx, bestY+dy, bs, best)
+			if s < best {
+				best, bestX, bestY = s, bestX+dx, bestY+dy
+			}
+		}
+	}
+	return motionCandidate{srcX: bestX, srcY: bestY, sae: best}
+}
+
+// biSAE computes SAE of the averaged bi-prediction of two reference blocks.
+func biSAE(src *video.Frame, a, b *video.Frame, bx, by int, ca, cb motionCandidate, bs int) int64 {
+	var s int64
+	for y := 0; y < bs; y++ {
+		srow := (by + y) * src.W
+		ay := clampInt(ca.srcY+y, 0, a.H-1)
+		by2 := clampInt(cb.srcY+y, 0, b.H-1)
+		for x := 0; x < bs; x++ {
+			ax := clampInt(ca.srcX+x, 0, a.W-1)
+			bx2 := clampInt(cb.srcX+x, 0, b.W-1)
+			p := (int64(a.Pix[ay*a.W+ax]) + int64(b.Pix[by2*b.W+bx2]) + 1) / 2
+			d := int64(src.Pix[srow+bx+x]) - p
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,165 @@
+package codec
+
+import "vrdann/internal/video"
+
+// intraPredict fills pred (bs×bs, row-major) with the prediction for the
+// block at (bx, by) using the given intra mode and the reconstructed pixels
+// of the current frame (above and to the left of the block).
+func intraPredict(recon *video.Frame, bx, by, bs, mode int, pred []uint8) {
+	hasTop := by > 0
+	hasLeft := bx > 0
+	switch mode {
+	case modeIntraDC:
+		var sum, cnt int
+		if hasTop {
+			for x := 0; x < bs; x++ {
+				sum += int(recon.At(bx+x, by-1))
+				cnt++
+			}
+		}
+		if hasLeft {
+			for y := 0; y < bs; y++ {
+				sum += int(recon.At(bx-1, by+y))
+				cnt++
+			}
+		}
+		dc := uint8(128)
+		if cnt > 0 {
+			dc = uint8((sum + cnt/2) / cnt)
+		}
+		for i := range pred {
+			pred[i] = dc
+		}
+	case modeIntraV:
+		for x := 0; x < bs; x++ {
+			v := uint8(128)
+			if hasTop {
+				v = recon.At(bx+x, by-1)
+			}
+			for y := 0; y < bs; y++ {
+				pred[y*bs+x] = v
+			}
+		}
+	case modeIntraH:
+		for y := 0; y < bs; y++ {
+			v := uint8(128)
+			if hasLeft {
+				v = recon.At(bx-1, by+y)
+			}
+			for x := 0; x < bs; x++ {
+				pred[y*bs+x] = v
+			}
+		}
+	case modeIntraDDL:
+		// Diagonal down-left: each pixel extends the top row along the 45°
+		// direction toward bottom-left; positions past the row clamp to its
+		// last sample (the top-right extension of real codecs, simplified).
+		for y := 0; y < bs; y++ {
+			for x := 0; x < bs; x++ {
+				v := uint8(128)
+				if hasTop {
+					tx := bx + x + y + 1
+					if tx > bx+bs-1 && bx+bs-1 < recon.W {
+						tx = bx + bs - 1
+					}
+					v = recon.At(tx, by-1)
+				}
+				pred[y*bs+x] = v
+			}
+		}
+	case modeIntraDDR:
+		// Diagonal down-right: pixels continue the top row / left column
+		// along the 45° direction from top-left.
+		for y := 0; y < bs; y++ {
+			for x := 0; x < bs; x++ {
+				var v uint8 = 128
+				switch {
+				case x > y && hasTop:
+					v = recon.At(bx+x-y-1, by-1)
+				case x < y && hasLeft:
+					v = recon.At(bx-1, by+y-x-1)
+				case hasTop && hasLeft:
+					v = recon.At(bx-1, by-1)
+				case hasTop:
+					v = recon.At(bx, by-1)
+				case hasLeft:
+					v = recon.At(bx-1, by)
+				}
+				pred[y*bs+x] = v
+			}
+		}
+	case modeIntraPlane:
+		// Bilinear plane from the top row and left column ends.
+		tl, tr, bl := 128, 128, 128
+		if hasTop {
+			tl = int(recon.At(bx, by-1))
+			tr = int(recon.At(bx+bs-1, by-1))
+		}
+		if hasLeft {
+			if !hasTop {
+				tl = int(recon.At(bx-1, by))
+			}
+			bl = int(recon.At(bx-1, by+bs-1))
+		}
+		for y := 0; y < bs; y++ {
+			for x := 0; x < bs; x++ {
+				v := tl + (tr-tl)*x/maxInt(bs-1, 1) + (bl-tl)*y/maxInt(bs-1, 1)
+				pred[y*bs+x] = clampPix(v)
+			}
+		}
+	default:
+		panic("codec: not an intra mode")
+	}
+}
+
+// bestIntra evaluates all intra modes against the source block and returns
+// the mode with the least sum of absolute error (the paper's SAE criterion)
+// along with that SAE.
+func bestIntra(src *video.Frame, recon *video.Frame, bx, by, bs int, pred []uint8) (mode int, sae int64) {
+	best := -1
+	var bestSAE int64
+	tmp := make([]uint8, bs*bs)
+	for _, m := range intraModes {
+		intraPredict(recon, bx, by, bs, m, tmp)
+		s := blockSAE(src, bx, by, bs, tmp)
+		if best < 0 || s < bestSAE {
+			best, bestSAE = m, s
+			copy(pred, tmp)
+		}
+	}
+	return best, bestSAE
+}
+
+// blockSAE computes the sum of absolute error between the source block at
+// (bx, by) and a prediction buffer.
+func blockSAE(src *video.Frame, bx, by, bs int, pred []uint8) int64 {
+	var s int64
+	for y := 0; y < bs; y++ {
+		row := (by + y) * src.W
+		for x := 0; x < bs; x++ {
+			d := int64(src.Pix[row+bx+x]) - int64(pred[y*bs+x])
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+func clampPix(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

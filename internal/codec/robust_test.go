@@ -1,0 +1,181 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnCorruptStreams flips random bits in a valid stream
+// and checks the decoder fails cleanly (error, not panic) or succeeds with
+// consistent geometry. Codecs are classic attack surface; a parser that
+// panics on malformed input is a bug.
+func TestDecodeNeverPanicsOnCorruptStreams(t *testing.T) {
+	v := testVideo(64, 48, 8, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), st.Data...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			i := rng.Intn(len(data))
+			data[i] ^= 1 << uint(rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
+				}
+			}()
+			res, err := Decode(data, DecodeFull)
+			if err != nil {
+				return // clean failure
+			}
+			for d, f := range res.Frames {
+				if f != nil && (f.W != res.W || f.H != res.H) {
+					t.Fatalf("trial %d: frame %d geometry corrupt", trial, d)
+				}
+			}
+		}()
+	}
+}
+
+// TestDecodeNeverPanicsOnTruncation truncates the stream at every byte
+// boundary in a stride and checks clean failure.
+func TestDecodeNeverPanicsOnTruncation(t *testing.T) {
+	v := testVideo(64, 48, 6, 1)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(st.Data); cut += 37 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: decoder panicked: %v", cut, r)
+				}
+			}()
+			_, _ = Decode(st.Data[:cut], DecodeSideInfo)
+		}()
+	}
+}
+
+// TestRoundTripAcrossConfigsProperty encodes a small video under random
+// valid configurations and checks the structural invariants hold: decode
+// succeeds, frame types round-trip, every B-frame reference precedes it in
+// decode order, and PSNR stays sane for the chosen QP.
+func TestRoundTripAcrossConfigsProperty(t *testing.T) {
+	v := testVideo(64, 48, 10, 1.2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{
+			BlockSize:      []int{8, 16}[rng.Intn(2)],
+			QP:             16 + rng.Intn(16),
+			SearchRange:    4 + rng.Intn(8),
+			SearchInterval: rng.Intn(8), // 0 = auto
+			MaxBRun:        1 + rng.Intn(4),
+			TargetBRatio:   []float64{0, 0.4, 0.6}[rng.Intn(3)],
+			IPeriod:        2 + rng.Intn(8),
+		}
+		st, err := Encode(v, cfg)
+		if err != nil {
+			return false
+		}
+		res, err := Decode(st.Data, DecodeFull)
+		if err != nil {
+			return false
+		}
+		decodedAt := map[int]int{}
+		for pos, d := range res.Order {
+			decodedAt[d] = pos
+		}
+		for d, info := range res.Infos {
+			if info.Type != st.Types[d] {
+				return false
+			}
+			for _, mv := range info.MVs {
+				if decodedAt[mv.Ref] >= decodedAt[d] {
+					return false
+				}
+				if mv.BiRef && decodedAt[mv.Ref2] >= decodedAt[d] {
+					return false
+				}
+			}
+		}
+		for _, fr := range res.Frames {
+			if fr == nil {
+				return false
+			}
+		}
+		return psnr(v.Frames[5], res.Frames[5]) > 25
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitExactDeterminism: the encoder is a pure function of its inputs.
+func TestBitExactDeterminism(t *testing.T) {
+	v := testVideo(64, 48, 8, 1.5)
+	a, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Data) != len(b.Data) {
+		t.Fatal("stream lengths differ between runs")
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("streams differ at byte %d", i)
+		}
+	}
+}
+
+// TestQualityMonotoneInQP: a finer quantizer must not reduce PSNR.
+func TestQualityMonotoneInQP(t *testing.T) {
+	v := testVideo(64, 48, 6, 1)
+	measure := func(qp int) float64 {
+		cfg := DefaultConfig()
+		cfg.QP = qp
+		st, err := Encode(v, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Decode(st.Data, DecodeFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for d := range res.Frames {
+			s += psnr(v.Frames[d], res.Frames[d])
+		}
+		return s / float64(len(res.Frames))
+	}
+	fine, coarse := measure(16), measure(34)
+	if fine <= coarse {
+		t.Fatalf("QP16 PSNR %.1f should exceed QP34 PSNR %.1f", fine, coarse)
+	}
+}
+
+// TestBitrateMonotoneInQP: a coarser quantizer must not grow the stream.
+func TestBitrateMonotoneInQP(t *testing.T) {
+	v := testVideo(64, 48, 6, 1)
+	size := func(qp int) int {
+		cfg := DefaultConfig()
+		cfg.QP = qp
+		st, err := Encode(v, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(st.Data)
+	}
+	if size(16) <= size(34) {
+		t.Fatal("finer quantization should cost more bits")
+	}
+}

@@ -1,0 +1,110 @@
+package codec
+
+import (
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+// cutVideo builds two visually unrelated scenes joined by a hard cut.
+func cutVideo(framesEach int) (*video.Video, int) {
+	a := video.Generate(video.SceneSpec{
+		Name: "sceneA", W: 64, H: 48, Frames: framesEach, Seed: 41, Noise: 1.5,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 10, X: 20, Y: 24, VX: 1, Intensity: 230, Foreground: true,
+		}},
+	})
+	b := video.Generate(video.SceneSpec{
+		Name: "sceneB", W: 64, H: 48, Frames: framesEach, Seed: 5150, Noise: 1.5,
+		IllumDrift: 0,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeBox, Radius: 9, X: 44, Y: 20, VX: -0.8, Intensity: 60, Foreground: true,
+		}},
+	})
+	// Push scene B's background far from A's so the cut is unmistakable.
+	for _, f := range b.Frames {
+		for i := range f.Pix {
+			if f.Pix[i] > 75 {
+				f.Pix[i] -= 75
+			}
+		}
+	}
+	return video.Concat(a, b), framesEach
+}
+
+func TestSceneCutForcesIFrame(t *testing.T) {
+	v, cut := cutVideo(12)
+	types := PlanGOP(v.Frames, DefaultConfig())
+	// Some anchor at or shortly after the cut must be an I-frame.
+	found := false
+	for d := cut; d < cut+5 && d < len(types); d++ {
+		if types[d] == IFrame {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no I-frame refresh near the cut at %d: %v", cut, types)
+	}
+	// And no B-run may straddle the cut boundary anchor-to-anchor: the
+	// motion-adaptive planner should have shrunk the run.
+	run := 0
+	for d := cut - 3; d <= cut; d++ {
+		if d >= 0 && types[d] == BFrame {
+			run++
+		}
+	}
+	if run >= 3 {
+		t.Fatalf("a full B-run straddles the cut: %v", types[cut-3:cut+2])
+	}
+}
+
+func TestSceneCutStreamDecodes(t *testing.T) {
+	v, _ := cutVideo(10)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, f := range res.Frames {
+		if p := psnr(v.Frames[d], f); p < 26 {
+			t.Fatalf("frame %d PSNR %.1f across the cut", d, p)
+		}
+	}
+}
+
+func TestSceneCutQualityNoWorseThanNoRefresh(t *testing.T) {
+	// With the I-refresh, the frames right after the cut should code well
+	// (intra) rather than fighting useless inter prediction.
+	v, cut := cutVideo(10)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := psnr(v.Frames[cut], res.Frames[cut]); p < 30 {
+		t.Fatalf("first frame after cut PSNR %.1f", p)
+	}
+}
+
+func TestNoSpuriousSceneCuts(t *testing.T) {
+	// A continuous sequence must not trigger extra I-frames beyond IPeriod.
+	v := testVideo(64, 48, 32, 1.5)
+	cfg := DefaultConfig()
+	types := PlanGOP(v.Frames, cfg)
+	iCount := 0
+	for _, ty := range types {
+		if ty == IFrame {
+			iCount++
+		}
+	}
+	// Anchors ≈ 10-16 over 32 frames, IPeriod 8 → expect 1-3 I frames.
+	if iCount > 3 {
+		t.Fatalf("%d I-frames on continuous content (spurious cut detection)", iCount)
+	}
+}

@@ -1,0 +1,285 @@
+package codec
+
+import (
+	"fmt"
+
+	"vrdann/internal/video"
+)
+
+// FrameOut is one decoded frame delivered by the streaming decoder, in
+// decode order.
+type FrameOut struct {
+	Info   FrameInfo
+	Pixels *video.Frame // nil for B-frames in side-info mode
+}
+
+// StreamDecoder decodes a bitstream incrementally, one frame per Next
+// call, holding only the reference frames it still needs — the
+// bounded-memory contract a hardware decoder (and the VR-DANN agent unit)
+// operates under. Frames are delivered in decode order; Display ordering is
+// available from each frame's Info.
+type StreamDecoder struct {
+	r       SymbolReader
+	mode    DecodeMode
+	w, h    int
+	cfg     Config
+	types   []FrameType
+	order   []int
+	anchors []int
+	pos     int // next index into order
+
+	// refs holds decoded anchor frames still needed by future frames.
+	refs    map[int]*video.Frame
+	lastUse map[int]int // display index -> last decode position referencing it
+	pred    []uint8
+	tmp     []uint8
+}
+
+// NewStreamDecoder parses the stream header and prepares incremental
+// decoding.
+func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
+	r := NewBitReader(data)
+	magic, err := r.ReadBits(32)
+	if err != nil {
+		return nil, err
+	}
+	if magic != streamMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBitstream, magic)
+	}
+	wv, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	hv, err := r.ReadBits(16)
+	if err != nil {
+		return nil, err
+	}
+	nf, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	for _, f := range []*int{&cfg.BlockSize, &cfg.QP, &cfg.SearchRange, &cfg.SearchInterval, &cfg.MaxBRun, &cfg.IPeriod} {
+		v, err := r.ReadUE()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	br, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	cfg.TargetBRatio = float64(br) / 1000
+	ab, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Arithmetic = ab == 1
+	db, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Deblock = db == 1
+	tbpf, err := r.ReadUE()
+	if err != nil {
+		return nil, err
+	}
+	cfg.TargetBPF = int(tbpf)
+	hp, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HalfPel = hp == 1
+	cfg = cfg.normalized()
+	types := make([]FrameType, nf)
+	for i := range types {
+		t, err := r.ReadBits(2)
+		if err != nil {
+			return nil, err
+		}
+		if FrameType(t) > BFrame {
+			return nil, fmt.Errorf("%w: bad frame type %d", ErrBitstream, t)
+		}
+		types[i] = FrameType(t)
+	}
+	r.AlignByte()
+	var sr SymbolReader = r
+	if cfg.Arithmetic {
+		sr = NewArithReader(data[r.Pos()/8:])
+	}
+	d := &StreamDecoder{
+		r: sr, mode: mode, w: int(wv), h: int(hv), cfg: cfg,
+		types: types, order: DecodeOrder(types, cfg),
+		refs: make(map[int]*video.Frame), lastUse: make(map[int]int),
+		pred: make([]uint8, cfg.BlockSize*cfg.BlockSize),
+		tmp:  make([]uint8, cfg.BlockSize*cfg.BlockSize),
+	}
+	for i, t := range types {
+		if t.IsAnchor() {
+			d.anchors = append(d.anchors, i)
+		}
+	}
+	d.computeLastUse()
+	return d, nil
+}
+
+// computeLastUse records, per anchor, the last decode position at which any
+// frame may reference it, so decoded anchors can be evicted eagerly.
+func (d *StreamDecoder) computeLastUse() {
+	for pos, disp := range d.order {
+		var refs []int
+		switch d.types[disp] {
+		case PFrame:
+			refs = pastRefs(d.anchors, disp, d.cfg)
+		case BFrame:
+			refs = candidateRefs(d.anchors, disp, d.cfg)
+		}
+		for _, rf := range refs {
+			d.lastUse[rf] = pos
+		}
+		if d.types[disp].IsAnchor() {
+			if _, ok := d.lastUse[disp]; !ok {
+				d.lastUse[disp] = pos
+			}
+		}
+	}
+}
+
+// Config returns the stream's encoder configuration.
+func (d *StreamDecoder) Config() Config { return d.cfg }
+
+// Geometry returns the frame dimensions.
+func (d *StreamDecoder) Geometry() (w, h int) { return d.w, d.h }
+
+// Types returns the display-order frame types.
+func (d *StreamDecoder) Types() []FrameType { return d.types }
+
+// Remaining reports how many frames have not been delivered yet.
+func (d *StreamDecoder) Remaining() int { return len(d.order) - d.pos }
+
+// BufferedRefs reports how many reference frames are currently held — the
+// streaming decoder's working-set size.
+func (d *StreamDecoder) BufferedRefs() int { return len(d.refs) }
+
+// Next decodes and returns the next frame in decode order. It returns an
+// error wrapping ErrBitstream on malformed input and (nil, nil) when the
+// stream is exhausted.
+func (d *StreamDecoder) Next() (*FrameOut, error) {
+	if d.pos >= len(d.order) {
+		return nil, nil
+	}
+	disp := d.order[d.pos]
+	startBits := d.r.Tell()
+	qpDelta, err := d.r.ReadSE()
+	if err != nil {
+		return nil, err
+	}
+	qp := d.cfg.QP + int(qpDelta)
+	if qp < 1 || qp > 51 {
+		return nil, fmt.Errorf("%w: frame QP %d out of range", ErrBitstream, qp)
+	}
+	qstep := QStep(qp)
+	info := FrameInfo{Display: disp, DecodeAt: d.pos, Type: d.types[disp]}
+	var refs []int
+	switch info.Type {
+	case PFrame:
+		refs = pastRefs(d.anchors, disp, d.cfg)
+	case BFrame:
+		refs = candidateRefs(d.anchors, disp, d.cfg)
+	}
+	skipPixels := info.Type == BFrame && d.mode == DecodeSideInfo
+	var rec *video.Frame
+	if !skipPixels {
+		rec = video.NewFrame(d.w, d.h)
+	}
+	bs := d.cfg.BlockSize
+	for by := 0; by < d.h; by += bs {
+		for bx := 0; bx < d.w; bx += bs {
+			info.Blocks++
+			m, err := d.r.ReadUE()
+			if err != nil {
+				return nil, err
+			}
+			mv := MotionVector{DstX: bx, DstY: by}
+			haveMV := false
+			switch int(m) {
+			case modeIntraDC, modeIntraV, modeIntraH, modeIntraPlane, modeIntraDDL, modeIntraDDR:
+				info.IntraBlk++
+				if !skipPixels {
+					intraPredict(rec, bx, by, bs, int(m), d.pred)
+				}
+			case modeInter:
+				c, err := readMV(d.r, refs, bx, by, d.cfg.HalfPel)
+				if err != nil {
+					return nil, err
+				}
+				mv.Ref, mv.SrcX, mv.SrcY = refs[c.refIdx], c.srcX, c.srcY
+				mv.HalfX, mv.HalfY = c.halfX, c.halfY
+				haveMV = true
+				if !skipPixels {
+					ref, ok := d.refs[mv.Ref]
+					if !ok {
+						return nil, fmt.Errorf("%w: reference %d evicted or missing", ErrBitstream, mv.Ref)
+					}
+					copyRefBlockHalf(ref, c.srcX, c.srcY, c.halfX, c.halfY, bs, d.pred)
+				}
+			case modeInterBi:
+				c1, err := readMV(d.r, refs, bx, by, d.cfg.HalfPel)
+				if err != nil {
+					return nil, err
+				}
+				c2, err := readMV(d.r, refs, bx, by, d.cfg.HalfPel)
+				if err != nil {
+					return nil, err
+				}
+				mv.Ref, mv.SrcX, mv.SrcY = refs[c1.refIdx], c1.srcX, c1.srcY
+				mv.HalfX, mv.HalfY = c1.halfX, c1.halfY
+				mv.BiRef = true
+				mv.Ref2, mv.SrcX2, mv.SrcY2 = refs[c2.refIdx], c2.srcX, c2.srcY
+				mv.HalfX2, mv.HalfY2 = c2.halfX, c2.halfY
+				haveMV = true
+				if !skipPixels {
+					r1, ok1 := d.refs[mv.Ref]
+					r2, ok2 := d.refs[mv.Ref2]
+					if !ok1 || !ok2 {
+						return nil, fmt.Errorf("%w: bi-reference evicted or missing", ErrBitstream)
+					}
+					copyRefBlockHalf(r1, c1.srcX, c1.srcY, c1.halfX, c1.halfY, bs, d.pred)
+					copyRefBlockHalf(r2, c2.srcX, c2.srcY, c2.halfX, c2.halfY, bs, d.tmp)
+					for i := range d.pred {
+						d.pred[i] = uint8((int(d.pred[i]) + int(d.tmp[i]) + 1) / 2)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("%w: bad block mode %d", ErrBitstream, m)
+			}
+			levels, err := readResidual(d.r, bs)
+			if err != nil {
+				return nil, err
+			}
+			if !skipPixels {
+				applyResidual(rec, bx, by, bs, qstep, d.pred, levels)
+			}
+			if haveMV {
+				info.MVs = append(info.MVs, mv)
+			}
+		}
+	}
+	info.Bits = d.r.Tell() - startBits
+	if rec != nil && d.cfg.Deblock {
+		deblockFrame(rec, bs, qp)
+	}
+	if info.Type.IsAnchor() && rec != nil {
+		d.refs[disp] = rec
+	}
+	// Evict anchors no future frame references.
+	for ref, last := range d.lastUse {
+		if last <= d.pos {
+			delete(d.refs, ref)
+			delete(d.lastUse, ref)
+		}
+	}
+	d.pos++
+	return &FrameOut{Info: info, Pixels: rec}, nil
+}

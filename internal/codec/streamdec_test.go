@@ -1,0 +1,162 @@
+package codec
+
+import "testing"
+
+func TestStreamDecoderMatchesBatchDecode(t *testing.T) {
+	v := testVideo(64, 48, 18, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, h := sd.Geometry(); w != 64 || h != 48 {
+		t.Fatalf("geometry %dx%d", w, h)
+	}
+	count := 0
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			break
+		}
+		d := out.Info.Display
+		bi := batch.Infos[d]
+		if out.Info.Type != bi.Type || out.Info.Blocks != bi.Blocks || len(out.Info.MVs) != len(bi.MVs) {
+			t.Fatalf("frame %d metadata differs from batch decode", d)
+		}
+		for i := range out.Info.MVs {
+			if out.Info.MVs[i] != bi.MVs[i] {
+				t.Fatalf("frame %d MV %d differs", d, i)
+			}
+		}
+		if out.Pixels == nil {
+			t.Fatalf("frame %d missing pixels in full mode", d)
+		}
+		for i := range out.Pixels.Pix {
+			if out.Pixels.Pix[i] != batch.Frames[d].Pix[i] {
+				t.Fatalf("frame %d pixel %d differs from batch decode", d, i)
+			}
+		}
+		count++
+	}
+	if count != 18 {
+		t.Fatalf("delivered %d frames, want 18", count)
+	}
+	if out, err := sd.Next(); out != nil || err != nil {
+		t.Fatal("exhausted decoder must return (nil, nil)")
+	}
+}
+
+func TestStreamDecoderSideInfoMode(t *testing.T) {
+	v := testVideo(64, 48, 15, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawB := false
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			break
+		}
+		if out.Info.Type == BFrame {
+			sawB = true
+			if out.Pixels != nil {
+				t.Fatal("side-info mode must not reconstruct B pixels")
+			}
+			if len(out.Info.MVs)+out.Info.IntraBlk != out.Info.Blocks {
+				t.Fatal("B-frame metadata incomplete")
+			}
+		} else if out.Pixels == nil {
+			t.Fatal("anchor must have pixels")
+		}
+	}
+	if !sawB {
+		t.Fatal("no B frames in test stream")
+	}
+}
+
+func TestStreamDecoderBoundedMemory(t *testing.T) {
+	// The working set must stay bounded by the search interval, not grow
+	// with the sequence length.
+	v := testVideo(64, 48, 40, 0.8)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := sd.Config().EffectiveSearchInterval() + 2
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out == nil {
+			break
+		}
+		if sd.BufferedRefs() > bound {
+			t.Fatalf("working set %d exceeds bound %d", sd.BufferedRefs(), bound)
+		}
+	}
+	if sd.BufferedRefs() != 0 {
+		t.Fatalf("all references should be evicted at EOS, %d remain", sd.BufferedRefs())
+	}
+}
+
+func TestStreamDecoderRejectsGarbage(t *testing.T) {
+	if _, err := NewStreamDecoder([]byte{1, 2, 3}, DecodeFull); err == nil {
+		t.Fatal("expected header error")
+	}
+	v := testVideo(32, 32, 6, 1)
+	st, _ := Encode(v, DefaultConfig())
+	sd, err := NewStreamDecoder(st.Data[:len(st.Data)-20], DecodeFull)
+	if err != nil {
+		t.Fatal("header should parse on truncated payload")
+	}
+	for {
+		out, err := sd.Next()
+		if err != nil {
+			return // clean failure
+		}
+		if out == nil {
+			t.Fatal("truncated stream decoded fully")
+		}
+	}
+}
+
+func TestStreamDecoderRemaining(t *testing.T) {
+	v := testVideo(32, 32, 8, 1)
+	st, _ := Encode(v, DefaultConfig())
+	sd, err := NewStreamDecoder(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd.Remaining() != 8 {
+		t.Fatalf("Remaining = %d", sd.Remaining())
+	}
+	if _, err := sd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if sd.Remaining() != 7 {
+		t.Fatalf("Remaining after one = %d", sd.Remaining())
+	}
+}

@@ -1,0 +1,168 @@
+package codec
+
+import "fmt"
+
+// FrameType classifies a frame in the GOP structure.
+type FrameType uint8
+
+// Frame types.
+const (
+	IFrame FrameType = iota // intra-only anchor
+	PFrame                  // forward-predicted anchor
+	BFrame                  // bi-directionally predicted, never referenced
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case IFrame:
+		return "I"
+	case PFrame:
+		return "P"
+	case BFrame:
+		return "B"
+	default:
+		return "?"
+	}
+}
+
+// IsAnchor reports whether the frame can be referenced by other frames.
+func (t FrameType) IsAnchor() bool { return t == IFrame || t == PFrame }
+
+// Config holds encoder parameters.
+type Config struct {
+	// BlockSize is the macro-block edge in pixels: 8 models H.265's
+	// finer-grained blocks, 16 models H.264 (Fig 17 sweep).
+	BlockSize int
+	// QP is the quantization parameter (larger = coarser).
+	QP int
+	// SearchRange bounds motion search to ±SearchRange pixels.
+	SearchRange int
+	// SearchInterval is the number of candidate reference anchor frames per
+	// B-frame (the paper's n, Fig 16). 0 selects "Auto n" (4 candidates).
+	SearchInterval int
+	// MaxBRun caps consecutive B-frames between anchors.
+	MaxBRun int
+	// TargetBRatio forces the fraction of B-frames (Fig 15); 0 selects the
+	// motion-adaptive "auto B ratio".
+	TargetBRatio float64
+	// IPeriod inserts an I-frame every IPeriod anchors.
+	IPeriod int
+	// Arithmetic selects the context-adaptive binary arithmetic entropy
+	// backend (CABAC-style) instead of plain Exp-Golomb bit coding.
+	Arithmetic bool
+	// Deblock enables the in-loop deblocking filter on reconstructed
+	// frames (applied identically in the encoder's coding loop and the
+	// decoder).
+	Deblock bool
+	// TargetBPF, when positive, enables rate control: the encoder adapts
+	// the per-frame quantization parameter to average the given number of
+	// bits per frame. Zero keeps QP constant.
+	TargetBPF int
+	// HalfPel enables half-pixel motion compensation: motion search refines
+	// to half-pel positions and prediction interpolates bilinearly.
+	HalfPel bool
+}
+
+// DefaultConfig returns the encoder defaults used throughout the
+// experiments: H.265-like 8×8 blocks, auto B ratio, auto search interval.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:      8,
+		QP:             22,
+		SearchRange:    8,
+		SearchInterval: 0,
+		MaxBRun:        3,
+		TargetBRatio:   0,
+		IPeriod:        8,
+	}
+}
+
+// normalized fills in derived defaults.
+func (c Config) normalized() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 8
+	}
+	if c.QP == 0 {
+		c.QP = 22
+	}
+	if c.SearchRange == 0 {
+		c.SearchRange = 8
+	}
+	if c.MaxBRun == 0 {
+		c.MaxBRun = 3
+	}
+	if c.IPeriod == 0 {
+		c.IPeriod = 8
+	}
+	return c
+}
+
+// EffectiveSearchInterval resolves the auto search interval. The "Auto n"
+// default of 7 candidate reference frames matches the paper's Fig 3b
+// observation that reconstructing one B-frame can involve up to seven
+// reference frames.
+func (c Config) EffectiveSearchInterval() int {
+	if c.SearchInterval <= 0 {
+		return 7 // "Auto n"
+	}
+	return c.SearchInterval
+}
+
+// futureRefs returns how many future anchors a B-frame may reference.
+func (c Config) futureRefs() int { return c.EffectiveSearchInterval() / 2 }
+
+// MotionVector records one macro-block's referencing relationship, mirroring
+// the paper's mv_T entry: current block position (dstx, dsty), reference
+// frame and source position (srcx, srcy), and the bi-ref flag with the
+// second reference.
+type MotionVector struct {
+	DstX, DstY int // top-left pixel of the current macro-block
+	Ref        int // display index of the (first) reference frame
+	SrcX, SrcY int // top-left pixel of the reference macro-block
+	// HalfX/HalfY are half-pel offsets (0 or 1) added to (SrcX, SrcY) for
+	// pixel prediction; segmentation reconstruction uses the integer part.
+	HalfX, HalfY int
+	BiRef        bool
+	Ref2         int // second reference (valid when BiRef)
+	SrcX2        int
+	SrcY2        int
+	HalfX2       int
+	HalfY2       int
+}
+
+func (m MotionVector) String() string {
+	if m.BiRef {
+		return fmt.Sprintf("(%d,%d)<-f%d(%d,%d)+f%d(%d,%d)", m.DstX, m.DstY, m.Ref, m.SrcX, m.SrcY, m.Ref2, m.SrcX2, m.SrcY2)
+	}
+	return fmt.Sprintf("(%d,%d)<-f%d(%d,%d)", m.DstX, m.DstY, m.Ref, m.SrcX, m.SrcY)
+}
+
+// FrameInfo is the per-frame metadata the decoder exposes to the rest of
+// the SoC: frame type, ordering, motion vectors, and size in the stream.
+type FrameInfo struct {
+	Display  int // display-order index
+	DecodeAt int // position in decode order
+	Type     FrameType
+	MVs      []MotionVector // one per inter-coded macro-block (P and B)
+	Bits     int            // compressed size of this frame
+	Blocks   int            // macro-block count
+	IntraBlk int            // number of intra-coded macro-blocks
+}
+
+// block coding modes (per-macro-block). The diagonal intra modes are
+// numbered after the inter modes so their addition kept the bitstream
+// numbering of older modes stable.
+const (
+	modeIntraDC = iota
+	modeIntraV
+	modeIntraH
+	modeIntraPlane
+	modeInter    // single reference
+	modeInterBi  // two references, averaged
+	modeIntraDDL // diagonal down-left (45°)
+	modeIntraDDR // diagonal down-right
+	numModes
+)
+
+// intraModes lists every intra prediction mode the encoder evaluates.
+var intraModes = []int{modeIntraDC, modeIntraV, modeIntraH, modeIntraPlane, modeIntraDDL, modeIntraDDR}

@@ -1,0 +1,225 @@
+// Package core implements the VR-DANN algorithm (Sec III): decode the
+// bitstream for I/P pixels and B-frame motion vectors, segment I/P-frames
+// with the large network NN-L, reconstruct each B-frame's segmentation from
+// its motion vectors and the reference-frame results, and refine the
+// reconstruction with the lightweight NN-S on a sandwich three-channel
+// input. The same machinery extends to detection by treating the detector
+// box as a rectangular mask (Sec III-B).
+package core
+
+import (
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/detect"
+	"vrdann/internal/nn"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// Pipeline bundles the two networks of the VR-DANN scheme.
+type Pipeline struct {
+	// NNL is the large segmentation network applied to I/P-frames (the paper
+	// borrows FAVOS's ROI SegNet parameters).
+	NNL segment.Segmenter
+	// NNS is the lightweight refinement network for B-frames.
+	NNS *nn.RefineNet
+	// Refine toggles NN-S refinement; disabling it yields the raw
+	// motion-vector reconstruction (ablation of Sec III-A-2).
+	Refine bool
+}
+
+// Stats counts the work the pipeline performed.
+type Stats struct {
+	IFrames, PFrames, BFrames int
+	NNLRuns, NNSRuns          int
+	MVCount                   int
+	BiRefMVs                  int
+	IntraFallbackBlocks       int
+}
+
+// Result is the output of a segmentation run.
+type Result struct {
+	Masks  []*video.Mask              // display order, one per frame
+	Recons map[int]*segment.ReconMask // raw B-frame reconstructions
+	Decode *codec.DecodeResult
+	Stats  Stats
+}
+
+// RunSegmentation executes the full Fig 5 flow on an encoded bitstream.
+func (p *Pipeline) RunSegmentation(stream []byte) (*Result, error) {
+	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	return p.runDecoded(dec)
+}
+
+func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
+	res := &Result{
+		Masks:  make([]*video.Mask, len(dec.Types)),
+		Recons: make(map[int]*segment.ReconMask),
+		Decode: dec,
+	}
+	segs := make(map[int]*video.Mask) // anchor segmentations by display index
+	for _, d := range dec.Order {
+		info := dec.Infos[d]
+		switch info.Type {
+		case codec.IFrame, codec.PFrame:
+			m := p.NNL.Segment(dec.Frames[d], d)
+			segs[d] = m
+			res.Masks[d] = m
+			res.Stats.NNLRuns++
+			if info.Type == codec.IFrame {
+				res.Stats.IFrames++
+			} else {
+				res.Stats.PFrames++
+			}
+		case codec.BFrame:
+			res.Stats.BFrames++
+			rec, err := segment.Reconstruct(info, segs, dec.W, dec.H, dec.Cfg.BlockSize)
+			if err != nil {
+				return nil, fmt.Errorf("core: frame %d: %w", d, err)
+			}
+			res.Recons[d] = rec
+			res.Stats.MVCount += len(info.MVs)
+			for _, mv := range info.MVs {
+				if mv.BiRef {
+					res.Stats.BiRefMVs++
+				}
+			}
+			res.Stats.IntraFallbackBlocks += info.Blocks - len(info.MVs)
+			if p.Refine && p.NNS != nil {
+				prev, next := flankingAnchors(dec.Types, segs, d)
+				res.Masks[d] = segment.Refine(p.NNS, prev, rec, next)
+				res.Stats.NNSRuns++
+			} else {
+				res.Masks[d] = rec.Binary()
+			}
+		}
+	}
+	return res, nil
+}
+
+// FlankingAnchors returns the segmentations of the immediately preceding
+// and following anchor frames available in segs — the sandwich channels of
+// Sec III-A-2. Exposed for callers that re-run refinement on cached
+// reconstructions (e.g. the INT8 deployment study).
+func FlankingAnchors(types []codec.FrameType, segs map[int]*video.Mask, d int) (prev, next *video.Mask) {
+	return flankingAnchors(types, segs, d)
+}
+
+// flankingAnchors returns the segmentations of the immediately preceding
+// and following anchor frames (Sec III-A-2: "the temporally closest
+// frames"). At sequence edges the available side is duplicated.
+func flankingAnchors(types []codec.FrameType, segs map[int]*video.Mask, d int) (prev, next *video.Mask) {
+	for i := d - 1; i >= 0; i-- {
+		if types[i].IsAnchor() {
+			if m, ok := segs[i]; ok {
+				prev = m
+				break
+			}
+		}
+	}
+	for i := d + 1; i < len(types); i++ {
+		if types[i].IsAnchor() {
+			if m, ok := segs[i]; ok {
+				next = m
+				break
+			}
+		}
+	}
+	if prev == nil {
+		prev = next
+	}
+	if next == nil {
+		next = prev
+	}
+	return prev, next
+}
+
+// BoxDetector produces scored detections for one decoded frame; it plays
+// the role NN-L plays for segmentation when VR-DANN is applied to video
+// detection.
+type BoxDetector interface {
+	Detect(f *video.Frame, display int) []detect.Detection
+	Name() string
+}
+
+// DetectionResult is the output of a detection run.
+type DetectionResult struct {
+	Detections [][]detect.Detection // display order
+	Decode     *codec.DecodeResult
+	Stats      Stats
+}
+
+// RunDetection applies the VR-DANN scheme to video detection: the detector
+// runs on I/P-frames; each detected box becomes a rectangular mask whose
+// B-frame propagation reuses the segmentation reconstruction, and the
+// propagated mask's bounding box is the B-frame detection (Sec III-B).
+func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResult, error) {
+	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode: %w", err)
+	}
+	res := &DetectionResult{
+		Detections: make([][]detect.Detection, len(dec.Types)),
+		Decode:     dec,
+	}
+	boxMasks := make(map[int]*video.Mask)
+	scores := make(map[int]float64)
+	for _, d := range dec.Order {
+		info := dec.Infos[d]
+		if info.Type.IsAnchor() {
+			dets := det.Detect(dec.Frames[d], d)
+			res.Detections[d] = dets
+			res.Stats.NNLRuns++
+			m := video.NewMask(dec.W, dec.H)
+			var s float64
+			for _, dd := range dets {
+				fillRect(m, dd.Box)
+				if dd.Score > s {
+					s = dd.Score
+				}
+			}
+			boxMasks[d] = m
+			scores[d] = s
+			continue
+		}
+		res.Stats.BFrames++
+		rec, err := segment.Reconstruct(info, boxMasks, dec.W, dec.H, dec.Cfg.BlockSize)
+		if err != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", d, err)
+		}
+		res.Stats.MVCount += len(info.MVs)
+		score := 0.0
+		n := 0
+		for _, mv := range info.MVs {
+			score += scores[mv.Ref]
+			n++
+		}
+		if n > 0 {
+			score /= float64(n)
+		} else {
+			score = 0.5
+		}
+		// Stray blocks whose motion vectors grazed the reference box would
+		// blow up the bounding box; keep only the dominant component and trim
+		// macro-block protrusions from its extent.
+		box := detect.RobustBox(segment.LargestComponent(rec.Binary()), 0.02)
+		if box.Empty() {
+			res.Detections[d] = nil
+		} else {
+			res.Detections[d] = []detect.Detection{{Box: box, Score: score}}
+		}
+	}
+	return res, nil
+}
+
+func fillRect(m *video.Mask, r video.Rect) {
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+}

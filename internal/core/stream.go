@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/nn"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// MaskOut is one emitted segmentation result.
+type MaskOut struct {
+	Display int
+	Type    codec.FrameType
+	Mask    *video.Mask
+}
+
+// StreamingPipeline is the incremental form of Pipeline: it consumes the
+// bitstream through a StreamDecoder and emits each frame's segmentation as
+// soon as it can be computed, holding only the reference segmentations
+// still needed — the software mirror of the agent unit's bounded queues
+// and buffers (Sec IV). Results are emitted in decode order; use
+// DisplayOrder to re-sequence them with bounded buffering.
+type StreamingPipeline struct {
+	NNL    segment.Segmenter
+	NNS    *nn.RefineNet
+	Refine bool
+}
+
+// Run decodes the stream incrementally and calls emit for every frame's
+// mask, in decode order. A non-nil error from emit aborts the run.
+func (p *StreamingPipeline) Run(stream []byte, emit func(MaskOut) error) error {
+	_, err := p.RunInstrumented(stream, emit)
+	return err
+}
+
+// RunInstrumented is Run plus working-set instrumentation; it reports the
+// maximum number of reference segmentations held at once.
+func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) error) (maxSegs int, err error) {
+	dec, err := codec.NewStreamDecoder(stream, codec.DecodeSideInfo)
+	if err != nil {
+		return 0, fmt.Errorf("core: stream decoder: %w", err)
+	}
+	types := dec.Types()
+	lastUse := segLastUse(types, dec.Config())
+	segs := make(map[int]*video.Mask)
+	w, h := dec.Geometry()
+	pos := -1
+	for {
+		out, derr := dec.Next()
+		if derr != nil {
+			return maxSegs, fmt.Errorf("core: decode: %w", derr)
+		}
+		if out == nil {
+			return maxSegs, nil
+		}
+		pos++
+		var mask *video.Mask
+		switch out.Info.Type {
+		case codec.IFrame, codec.PFrame:
+			mask = p.NNL.Segment(out.Pixels, out.Info.Display)
+			segs[out.Info.Display] = mask
+		case codec.BFrame:
+			rec, rerr := segment.Reconstruct(out.Info, segs, w, h, dec.Config().BlockSize)
+			if rerr != nil {
+				return maxSegs, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
+			}
+			if p.Refine && p.NNS != nil {
+				prev, next := flankingAnchors(types, segs, out.Info.Display)
+				mask = segment.Refine(p.NNS, prev, rec, next)
+			} else {
+				mask = rec.Binary()
+			}
+		}
+		if len(segs) > maxSegs {
+			maxSegs = len(segs)
+		}
+		if err := emit(MaskOut{Display: out.Info.Display, Type: out.Info.Type, Mask: mask}); err != nil {
+			return maxSegs, err
+		}
+		for d, last := range lastUse {
+			if last <= pos {
+				delete(segs, d)
+				delete(lastUse, d)
+			}
+		}
+	}
+}
+
+// segLastUse computes, per anchor display index, the last decode position
+// at which its segmentation is still needed (as a motion-vector reference
+// candidate or a sandwich flanking channel).
+func segLastUse(types []codec.FrameType, cfg codec.Config) map[int]int {
+	var anchors []int
+	for i, t := range types {
+		if t.IsAnchor() {
+			anchors = append(anchors, i)
+		}
+	}
+	order := codec.DecodeOrder(types, cfg)
+	lastUse := make(map[int]int)
+	for pos, disp := range order {
+		if types[disp].IsAnchor() {
+			if _, ok := lastUse[disp]; !ok {
+				lastUse[disp] = pos
+			}
+			continue
+		}
+		// Candidate references plus the flanking anchors used by the
+		// sandwich input.
+		for _, rf := range codec.CandidateRefs(anchors, disp, cfg) {
+			if lastUse[rf] < pos {
+				lastUse[rf] = pos
+			}
+		}
+		for _, rf := range flankingAnchorIndices(types, disp) {
+			if lastUse[rf] < pos {
+				lastUse[rf] = pos
+			}
+		}
+	}
+	return lastUse
+}
+
+// flankingAnchorIndices returns the display indices of the anchors
+// immediately before and after d.
+func flankingAnchorIndices(types []codec.FrameType, d int) []int {
+	var out []int
+	for i := d - 1; i >= 0; i-- {
+		if types[i].IsAnchor() {
+			out = append(out, i)
+			break
+		}
+	}
+	for i := d + 1; i < len(types); i++ {
+		if types[i].IsAnchor() {
+			out = append(out, i)
+			break
+		}
+	}
+	return out
+}
+
+// DisplayOrder wraps an emit callback so results arrive in display order,
+// buffering at most the decoder's natural reordering window.
+func DisplayOrder(emit func(MaskOut) error) func(MaskOut) error {
+	pending := make(map[int]MaskOut)
+	next := 0
+	return func(m MaskOut) error {
+		pending[m.Display] = m
+		for {
+			out, ok := pending[next]
+			if !ok {
+				return nil
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+			delete(pending, next)
+			next++
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/nn"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// TrainConfig controls NN-S training.
+type TrainConfig struct {
+	Features int     // NN-S hidden feature maps
+	Epochs   int     // the paper trains for just two epochs
+	LR       float64 // Adam learning rate
+	Seed     int64
+}
+
+// DefaultTrainConfig mirrors the paper's setup: a tiny network trained for
+// two epochs.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Features: 8, Epochs: 2, LR: 0.01, Seed: 1}
+}
+
+// TrainNNS trains the refinement network exactly as Sec III-B describes:
+// the training videos are fully decoded for frame types and B-frame motion
+// vectors; the I/P ground truth with the B-frame motion vectors reconstructs
+// each B segmentation; the sandwich of (preceding GT, reconstruction,
+// following GT) is the input and the B-frame ground truth is the label.
+func TrainNNS(videos []*video.Video, enc codec.Config, tc TrainConfig) (*nn.RefineNet, error) {
+	rng := rand.New(rand.NewSource(tc.Seed))
+	net := nn.NewRefineNet(rng, tc.Features)
+	opt := nn.NewAdam(tc.LR)
+
+	type sample struct {
+		vid *video.Video
+		dec *codec.DecodeResult
+		d   int
+	}
+	var samples []sample
+	for _, v := range videos {
+		st, err := codec.Encode(v, enc)
+		if err != nil {
+			return nil, fmt.Errorf("core: encode training video %q: %w", v.Name, err)
+		}
+		dec, err := codec.Decode(st.Data, codec.DecodeSideInfo)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode training video %q: %w", v.Name, err)
+		}
+		for d, ty := range dec.Types {
+			if ty == codec.BFrame {
+				samples = append(samples, sample{v, dec, d})
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: training set contains no B-frames")
+	}
+
+	gtSegs := func(v *video.Video, dec *codec.DecodeResult) map[int]*video.Mask {
+		m := make(map[int]*video.Mask)
+		for d, ty := range dec.Types {
+			if ty.IsAnchor() {
+				m[d] = v.Masks[d]
+			}
+		}
+		return m
+	}
+
+	for epoch := 0; epoch < tc.Epochs; epoch++ {
+		perm := rng.Perm(len(samples))
+		for _, si := range perm {
+			s := samples[si]
+			segs := gtSegs(s.vid, s.dec)
+			rec, err := segment.Reconstruct(s.dec.Infos[s.d], segs, s.dec.W, s.dec.H, s.dec.Cfg.BlockSize)
+			if err != nil {
+				return nil, fmt.Errorf("core: training reconstruction frame %d: %w", s.d, err)
+			}
+			prev, next := flankingAnchors(s.dec.Types, segs, s.d)
+			x := segment.Sandwich(prev, rec, next)
+			target := segment.MaskToTensor(s.vid.Masks[s.d])
+			logits := net.Forward(x)
+			_, grad := nn.BCEWithLogits(logits, target)
+			net.Backward(grad)
+			opt.Step(net.Params(), net.Grads())
+		}
+	}
+	return net, nil
+}
+
+// NNLTrainConfig controls training of the pure-Go NN-L (the FCN that plays
+// ROI SegNet's role when no oracle is used).
+type NNLTrainConfig struct {
+	Width int     // base feature maps of the FCN
+	Steps int     // SGD steps (each step is one random frame)
+	LR    float64 // Adam learning rate
+	Seed  int64
+}
+
+// DefaultNNLTrainConfig returns a configuration that converges to a usable
+// segmenter on the synthetic suite within seconds.
+func DefaultNNLTrainConfig() NNLTrainConfig {
+	return NNLTrainConfig{Width: 8, Steps: 250, LR: 0.01, Seed: 1}
+}
+
+// TrainNNL trains the fully-convolutional segmentation network on raw
+// frames and ground-truth masks, yielding a learned NN-L: together with
+// TrainNNS this gives the completely learned pipeline (no oracle anywhere).
+func TrainNNL(videos []*video.Video, tc NNLTrainConfig) (*nn.FCN, error) {
+	if len(videos) == 0 {
+		return nil, fmt.Errorf("core: NN-L training set is empty")
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	net := nn.NewFCN(rng, 1, tc.Width)
+	opt := nn.NewAdam(tc.LR)
+	for step := 0; step < tc.Steps; step++ {
+		v := videos[rng.Intn(len(videos))]
+		d := rng.Intn(v.Len())
+		x := segment.FrameToTensor(v.Frames[d])
+		target := segment.MaskToTensor(v.Masks[d])
+		logits := net.Forward(x)
+		_, grad := nn.BCEWithLogits(logits, target)
+		net.Backward(grad)
+		opt.Step(net.Params(), net.Grads())
+	}
+	return net, nil
+}

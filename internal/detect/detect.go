@@ -1,0 +1,150 @@
+// Package detect provides video object detection primitives: scored box
+// detections, greedy matching, and the average-precision metrics (AP/mAP)
+// the paper reports for ImageNet-VID-style evaluation (Fig 11).
+package detect
+
+import (
+	"sort"
+
+	"vrdann/internal/video"
+)
+
+// Detection is one scored box prediction in a frame.
+type Detection struct {
+	Box   video.Rect
+	Score float64
+}
+
+// AP computes average precision for one sequence: preds[i] are the scored
+// detections of frame i, gts[i] the ground-truth boxes of frame i. A
+// detection is a true positive when it has IoU ≥ iouThresh with a
+// not-yet-matched ground-truth box of its frame. The returned value is the
+// area under the (all-point interpolated) precision–recall curve.
+func AP(preds [][]Detection, gts [][]video.Rect, iouThresh float64) float64 {
+	type flat struct {
+		frame int
+		det   Detection
+	}
+	var all []flat
+	totalGT := 0
+	for i, fr := range preds {
+		for _, d := range fr {
+			all = append(all, flat{i, d})
+		}
+	}
+	for _, g := range gts {
+		totalGT += len(g)
+	}
+	if totalGT == 0 {
+		return 0
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].det.Score > all[b].det.Score })
+
+	matched := make([]map[int]bool, len(gts))
+	for i := range matched {
+		matched[i] = map[int]bool{}
+	}
+	tps := make([]bool, len(all))
+	for k, f := range all {
+		best, bestIoU := -1, iouThresh
+		for gi, g := range gts[f.frame] {
+			if matched[f.frame][gi] {
+				continue
+			}
+			if iou := f.det.Box.IoU(g); iou >= bestIoU {
+				best, bestIoU = gi, iou
+			}
+		}
+		if best >= 0 {
+			matched[f.frame][best] = true
+			tps[k] = true
+		}
+	}
+	// Precision–recall curve.
+	var tp, fp int
+	precisions := make([]float64, len(all))
+	recalls := make([]float64, len(all))
+	for k := range all {
+		if tps[k] {
+			tp++
+		} else {
+			fp++
+		}
+		precisions[k] = float64(tp) / float64(tp+fp)
+		recalls[k] = float64(tp) / float64(totalGT)
+	}
+	// All-point interpolation: make precision monotone non-increasing from
+	// the right, then integrate over recall steps.
+	for k := len(precisions) - 2; k >= 0; k-- {
+		if precisions[k] < precisions[k+1] {
+			precisions[k] = precisions[k+1]
+		}
+	}
+	ap := 0.0
+	prevR := 0.0
+	for k := range all {
+		if recalls[k] > prevR {
+			ap += (recalls[k] - prevR) * precisions[k]
+			prevR = recalls[k]
+		}
+	}
+	return ap
+}
+
+// MeanAP averages AP over several sequences.
+func MeanAP(seqPreds [][][]Detection, seqGTs [][][]video.Rect, iouThresh float64) float64 {
+	if len(seqPreds) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range seqPreds {
+		s += AP(seqPreds[i], seqGTs[i], iouThresh)
+	}
+	return s / float64(len(seqPreds))
+}
+
+// GTBoxes adapts a video's per-frame ground truth to the [][]Rect shape the
+// metrics take (one box per frame; empty frames yield no boxes).
+func GTBoxes(v *video.Video) [][]video.Rect {
+	out := make([][]video.Rect, v.Len())
+	for i, b := range v.Boxes {
+		if !b.Empty() {
+			out[i] = []video.Rect{b}
+		}
+	}
+	return out
+}
+
+// MaskToBox converts a segmentation mask to a single detection (its tight
+// bounding box) with the given score; an empty mask yields no detections.
+func MaskToBox(m *video.Mask, score float64) []Detection {
+	bb := video.BoundingBox(m)
+	if bb.Empty() {
+		return nil
+	}
+	return []Detection{{Box: bb, Score: score}}
+}
+
+// RobustBox returns the bounding box of a mask's foreground after trimming
+// the given fraction of extreme pixels on each side in x and y. It
+// suppresses the macro-block protrusions a motion-vector-propagated mask
+// carries, which would otherwise inflate the tight bounding box.
+func RobustBox(m *video.Mask, trim float64) video.Rect {
+	var xs, ys []int
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Pix[y*m.W+x] != 0 {
+				xs = append(xs, x)
+				ys = append(ys, y)
+			}
+		}
+	}
+	if len(xs) == 0 {
+		return video.Rect{}
+	}
+	sort.Ints(xs)
+	sort.Ints(ys)
+	lo := int(trim * float64(len(xs)))
+	hi := len(xs) - 1 - lo
+	return video.Rect{X0: xs[lo], Y0: ys[lo], X1: xs[hi] + 1, Y1: ys[hi] + 1}
+}

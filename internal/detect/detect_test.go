@@ -1,0 +1,179 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func box(x, y, s int) video.Rect { return video.Rect{X0: x, Y0: y, X1: x + s, Y1: y + s} }
+
+func TestAPPerfectDetections(t *testing.T) {
+	gts := [][]video.Rect{{box(0, 0, 10)}, {box(5, 5, 10)}}
+	preds := [][]Detection{
+		{{Box: box(0, 0, 10), Score: 0.9}},
+		{{Box: box(5, 5, 10), Score: 0.8}},
+	}
+	if ap := AP(preds, gts, 0.5); ap != 1 {
+		t.Fatalf("AP = %v, want 1", ap)
+	}
+}
+
+func TestAPAllMisses(t *testing.T) {
+	gts := [][]video.Rect{{box(0, 0, 10)}}
+	preds := [][]Detection{{{Box: box(50, 50, 10), Score: 0.9}}}
+	if ap := AP(preds, gts, 0.5); ap != 0 {
+		t.Fatalf("AP = %v, want 0", ap)
+	}
+}
+
+func TestAPHalfDetected(t *testing.T) {
+	// Two GT frames, only one detected: recall saturates at 0.5 with
+	// precision 1 -> AP = 0.5.
+	gts := [][]video.Rect{{box(0, 0, 10)}, {box(0, 0, 10)}}
+	preds := [][]Detection{{{Box: box(0, 0, 10), Score: 0.9}}, nil}
+	if ap := AP(preds, gts, 0.5); math.Abs(ap-0.5) > 1e-12 {
+		t.Fatalf("AP = %v, want 0.5", ap)
+	}
+}
+
+func TestAPRanksByScore(t *testing.T) {
+	// A high-scoring false positive before the true positive lowers AP below
+	// the reverse ordering.
+	gts := [][]video.Rect{{box(0, 0, 10)}}
+	fpFirst := [][]Detection{{
+		{Box: box(50, 50, 10), Score: 0.9},
+		{Box: box(0, 0, 10), Score: 0.5},
+	}}
+	tpFirst := [][]Detection{{
+		{Box: box(50, 50, 10), Score: 0.5},
+		{Box: box(0, 0, 10), Score: 0.9},
+	}}
+	if AP(fpFirst, gts, 0.5) >= AP(tpFirst, gts, 0.5) {
+		t.Fatal("false positive ranked first must reduce AP")
+	}
+}
+
+func TestAPNoDoubleMatch(t *testing.T) {
+	// Two detections, one matching GT (IoU 1) and one below threshold
+	// (box shifted 6: IoU = 40/160 = 0.25).
+	gts := [][]video.Rect{{box(0, 0, 10)}}
+	preds := [][]Detection{{
+		{Box: box(0, 0, 10), Score: 0.9},
+		{Box: box(6, 0, 10), Score: 0.8},
+	}}
+	ap := AP(preds, gts, 0.5)
+	if ap != 1 {
+		// Recall reaches 1 with the first detection at precision 1; AP stays 1
+		// under all-point interpolation.
+		t.Fatalf("AP = %v, want 1", ap)
+	}
+	// But flipping scores makes the FP come first: precision at full recall
+	// is 0.5 and interpolation keeps max future precision = 0.5.
+	preds[0][0].Score, preds[0][1].Score = 0.8, 0.9
+	ap = AP(preds, gts, 0.5)
+	if math.Abs(ap-0.5) > 1e-12 {
+		t.Fatalf("AP = %v, want 0.5", ap)
+	}
+}
+
+func TestAPIoUThreshold(t *testing.T) {
+	gts := [][]video.Rect{{box(0, 0, 10)}}
+	preds := [][]Detection{{{Box: box(4, 0, 10), Score: 0.9}}} // IoU = 60/140 ≈ 0.43
+	if ap := AP(preds, gts, 0.5); ap != 0 {
+		t.Fatalf("AP = %v, want 0 at 0.5 threshold", ap)
+	}
+	if ap := AP(preds, gts, 0.4); ap != 1 {
+		t.Fatalf("AP = %v, want 1 at 0.4 threshold", ap)
+	}
+}
+
+func TestMeanAP(t *testing.T) {
+	gts := [][]video.Rect{{box(0, 0, 10)}}
+	good := [][]Detection{{{Box: box(0, 0, 10), Score: 1}}}
+	bad := [][]Detection{{{Box: box(90, 90, 5), Score: 1}}}
+	m := MeanAP([][][]Detection{good, bad}, [][][]video.Rect{gts, gts}, 0.5)
+	if m != 0.5 {
+		t.Fatalf("MeanAP = %v, want 0.5", m)
+	}
+	if MeanAP(nil, nil, 0.5) != 0 {
+		t.Fatal("empty MeanAP must be 0")
+	}
+}
+
+func TestGTBoxesSkipsEmpty(t *testing.T) {
+	v := &video.Video{Boxes: []video.Rect{box(0, 0, 4), {}}}
+	v.Frames = []*video.Frame{video.NewFrame(8, 8), video.NewFrame(8, 8)}
+	g := GTBoxes(v)
+	if len(g[0]) != 1 || len(g[1]) != 0 {
+		t.Fatalf("GTBoxes = %v", g)
+	}
+}
+
+func TestMaskToBox(t *testing.T) {
+	m := video.NewMask(16, 16)
+	if MaskToBox(m, 1) != nil {
+		t.Fatal("empty mask must yield no detections")
+	}
+	m.Set(3, 4, 1)
+	m.Set(7, 9, 1)
+	d := MaskToBox(m, 0.7)
+	if len(d) != 1 || d[0].Box != (video.Rect{X0: 3, Y0: 4, X1: 8, Y1: 10}) || d[0].Score != 0.7 {
+		t.Fatalf("MaskToBox = %+v", d)
+	}
+}
+
+func TestNMSKeepsHighestAndSuppressesOverlap(t *testing.T) {
+	dets := []Detection{
+		{Box: box(0, 0, 10), Score: 0.6},
+		{Box: box(1, 0, 10), Score: 0.9}, // overlaps first at IoU ~0.82
+		{Box: box(40, 40, 10), Score: 0.5},
+	}
+	out := NMS(dets, 0.5)
+	if len(out) != 2 {
+		t.Fatalf("kept %d, want 2", len(out))
+	}
+	if out[0].Score != 0.9 || out[1].Score != 0.5 {
+		t.Fatalf("wrong survivors: %+v", out)
+	}
+}
+
+func TestNMSThresholdBoundary(t *testing.T) {
+	a := box(0, 0, 10)
+	b := box(5, 0, 10) // IoU = 1/3
+	dets := []Detection{{Box: a, Score: 1}, {Box: b, Score: 0.9}}
+	if got := NMS(dets, 0.3); len(got) != 1 {
+		t.Fatalf("IoU 1/3 >= 0.3 should suppress, kept %d", len(got))
+	}
+	if got := NMS(dets, 0.4); len(got) != 2 {
+		t.Fatalf("IoU 1/3 < 0.4 should keep both, kept %d", len(got))
+	}
+}
+
+func TestNMSDoesNotMutateInput(t *testing.T) {
+	dets := []Detection{{Box: box(0, 0, 4), Score: 0.2}, {Box: box(20, 0, 4), Score: 0.8}}
+	NMS(dets, 0.5)
+	if dets[0].Score != 0.2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestSoftNMSDecaysInsteadOfDropping(t *testing.T) {
+	dets := []Detection{
+		{Box: box(0, 0, 10), Score: 0.9},
+		{Box: box(2, 0, 10), Score: 0.85}, // large overlap
+	}
+	out := SoftNMS(dets, 0.5, 0.1)
+	if len(out) != 2 {
+		t.Fatalf("soft-NMS kept %d, want 2 (decayed, not dropped)", len(out))
+	}
+	if out[1].Score >= 0.85 {
+		t.Fatalf("overlapping score not decayed: %v", out[1].Score)
+	}
+	// With a high floor the decayed one disappears.
+	out = SoftNMS(dets, 0.1, 0.5)
+	if len(out) != 1 {
+		t.Fatalf("strict soft-NMS kept %d, want 1", len(out))
+	}
+}

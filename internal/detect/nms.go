@@ -1,0 +1,67 @@
+package detect
+
+import (
+	"math"
+	"sort"
+)
+
+// NMS performs greedy non-maximum suppression: detections are visited in
+// descending score order and any detection overlapping an already-kept one
+// at IoU ≥ thresh is discarded. The standard post-processing for
+// multi-object detectors.
+func NMS(dets []Detection, thresh float64) []Detection {
+	if len(dets) <= 1 {
+		return append([]Detection(nil), dets...)
+	}
+	sorted := append([]Detection(nil), dets...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Score > sorted[b].Score })
+	var kept []Detection
+	for _, d := range sorted {
+		suppressed := false
+		for _, k := range kept {
+			if d.Box.IoU(k.Box) >= thresh {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// SoftNMS is the Gaussian soft-NMS variant: instead of discarding
+// overlapping detections it decays their scores by exp(-IoU²/sigma), then
+// drops those below minScore. It preserves close-but-distinct objects that
+// hard NMS would delete.
+func SoftNMS(dets []Detection, sigma, minScore float64) []Detection {
+	work := append([]Detection(nil), dets...)
+	var kept []Detection
+	for len(work) > 0 {
+		// Pick the current maximum.
+		best := 0
+		for i := range work {
+			if work[i].Score > work[best].Score {
+				best = i
+			}
+		}
+		m := work[best]
+		work = append(work[:best], work[best+1:]...)
+		if m.Score < minScore {
+			continue
+		}
+		kept = append(kept, m)
+		for i := range work {
+			iou := m.Box.IoU(work[i].Box)
+			if iou > 0 {
+				work[i].Score *= gaussDecay(iou, sigma)
+			}
+		}
+	}
+	return kept
+}
+
+func gaussDecay(iou, sigma float64) float64 {
+	return math.Exp(-iou * iou / sigma)
+}

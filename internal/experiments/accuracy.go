@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrdann/internal/baseline"
+	"vrdann/internal/core"
+	"vrdann/internal/detect"
+	"vrdann/internal/segment"
+	"vrdann/internal/sim"
+	"vrdann/internal/video"
+)
+
+// BStat is one sequence's B-frame statistics (Fig 3a).
+type BStat struct {
+	Name   string
+	BRatio float64
+}
+
+// Fig3a reports the B-frame ratio across the suite under the default
+// (auto) encoder settings. The paper finds ~65% on average.
+func (h *Harness) Fig3a() ([]BStat, float64, error) {
+	var out []BStat
+	var sum float64
+	for _, v := range h.Suite() {
+		dec, err := h.SideDecodeFor(v, h.Cfg.Enc)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := dec.BRatio()
+		out = append(out, BStat{Name: v.Name, BRatio: r})
+		sum += r
+	}
+	return out, sum / float64(len(out)), nil
+}
+
+// Fig3b reports the distribution of the number of distinct reference
+// frames needed to reconstruct one B-frame (the paper observes up to 7).
+func (h *Harness) Fig3b() (map[int]int, int, error) {
+	hist := map[int]int{}
+	maxRefs := 0
+	for _, v := range h.Suite() {
+		dec, err := h.SideDecodeFor(v, h.Cfg.Enc)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, c := range dec.RefFrameCounts() {
+			hist[c]++
+			if c > maxRefs {
+				maxRefs = c
+			}
+		}
+	}
+	return hist, maxRefs, nil
+}
+
+// Fig9Row compares FAVOS and VR-DANN per sequence.
+type Fig9Row struct {
+	Name                       string
+	FavosF, FavosJ, VrdF, VrdJ float64
+}
+
+// Fig9 reports per-video segmentation accuracy of FAVOS vs VR-DANN.
+func (h *Harness) Fig9() ([]Fig9Row, error) {
+	suite := h.Suite()
+	nns, err := h.NNS()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig9Row, len(suite))
+	err = h.forEach(len(suite), func(i int) error {
+		v := suite[i]
+		fav, err := h.RunFAVOS(v)
+		if err != nil {
+			return err
+		}
+		vrd, err := h.RunVRDANNNet(v, h.Cfg.Enc, nns.Clone())
+		if err != nil {
+			return err
+		}
+		ff, fj := ScoreMasks(fav.Masks, v)
+		vf, vj := ScoreMasks(vrd.Masks, v)
+		out[i] = Fig9Row{Name: v.Name, FavosF: ff, FavosJ: fj, VrdF: vf, VrdJ: vj}
+		return nil
+	})
+	return out, err
+}
+
+// Fig10Row is one scheme's suite-average segmentation accuracy.
+type Fig10Row struct {
+	Scheme string
+	F, J   float64
+}
+
+// Fig10 reports the averaged F-Score and IoU of OSVOS, DFF, FAVOS and
+// VR-DANN over the suite (paper ordering: FAVOS ≥ VR-DANN > DFF > OSVOS).
+func (h *Harness) Fig10() ([]Fig10Row, error) {
+	type runner struct {
+		name string
+		run  func(*video.Video) ([]*video.Mask, error)
+	}
+	runners := []runner{
+		{"OSVOS", func(v *video.Video) ([]*video.Mask, error) {
+			r, err := h.RunOSVOS(v)
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+		{"DFF", func(v *video.Video) ([]*video.Mask, error) {
+			r, err := h.RunDFF(v)
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+		{"FAVOS", func(v *video.Video) ([]*video.Mask, error) {
+			r, err := h.RunFAVOS(v)
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+		{"VR-DANN", func(v *video.Video) ([]*video.Mask, error) {
+			nns, err := h.NNS()
+			if err != nil {
+				return nil, err
+			}
+			r, err := h.RunVRDANNNet(v, h.Cfg.Enc, nns.Clone())
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+	}
+	suite := h.Suite()
+	if _, err := h.NNS(); err != nil { // train once before fanning out
+		return nil, err
+	}
+	var out []Fig10Row
+	for _, r := range runners {
+		fs := make([]float64, len(suite))
+		js := make([]float64, len(suite))
+		err := h.forEach(len(suite), func(i int) error {
+			v := suite[i]
+			masks, err := r.run(v)
+			if err != nil {
+				return fmt.Errorf("experiments: %s on %q: %w", r.name, v.Name, err)
+			}
+			fs[i], js[i] = ScoreMasks(masks, v)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var fsum, jsum float64
+		for i := range fs {
+			fsum += fs[i]
+			jsum += js[i]
+		}
+		out = append(out, Fig10Row{Scheme: r.name, F: fsum / float64(len(suite)), J: jsum / float64(len(suite))})
+	}
+	return out, nil
+}
+
+// Fig11Row is one detection scheme's mAP overall and by speed class.
+type Fig11Row struct {
+	Scheme                   string
+	Overall, Slow, Med, Fast float64
+}
+
+// detThresholds are the IoU thresholds mAP averages over (0.50:0.05:0.80),
+// giving headroom for the block-granular propagation error the paper's
+// 1.1%-on-fast-videos result reflects.
+var detThresholds = []float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8}
+
+func mapOver(preds [][]detect.Detection, gts [][]video.Rect) float64 {
+	var s float64
+	for _, t := range detThresholds {
+		s += detect.AP(preds, gts, t)
+	}
+	return s / float64(len(detThresholds))
+}
+
+// Fig11 reports detection mAP for SELSA, Euphrates-2, Euphrates-4 and
+// VR-DANN across the speed-classed suite.
+func (h *Harness) Fig11() ([]Fig11Row, error) {
+	suite := h.DetectionSuite()
+	type accum struct {
+		sum [4]float64
+		n   [4]int
+	} // overall, slow, med, fast
+	schemes := []string{"SELSA", "Euphrates-2", "Euphrates-4", "VR-DANN"}
+	acc := map[string]*accum{}
+	for _, s := range schemes {
+		acc[s] = &accum{}
+	}
+	for vi, v := range suite {
+		cls := video.ClassOf(video.DetectionProfiles[vi].Speed)
+		st, err := h.StreamFor(v, h.Cfg.Enc)
+		if err != nil {
+			return nil, err
+		}
+		det := &baseline.OracleBoxDetector{Label: "det", GT: v.Boxes, Jitter: h.Cfg.DetJitter, Seed: h.Cfg.Seed + int64(hashName(v.Name))}
+		gts := detect.GTBoxes(v)
+
+		selsa, err := baseline.RunSELSA(st.Data, det)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := baseline.RunEuphrates(st.Data, det, baseline.EuphratesConfig{KeyInterval: 2, FlowBlock: 8, FlowRange: 8})
+		if err != nil {
+			return nil, err
+		}
+		e4, err := baseline.RunEuphrates(st.Data, det, baseline.EuphratesConfig{KeyInterval: 4, FlowBlock: 8, FlowRange: 8})
+		if err != nil {
+			return nil, err
+		}
+		p := &core.Pipeline{}
+		vrd, err := p.RunDetection(st.Data, det)
+		if err != nil {
+			return nil, err
+		}
+		for s, preds := range map[string][][]detect.Detection{
+			"SELSA": selsa.Detections, "Euphrates-2": e2.Detections,
+			"Euphrates-4": e4.Detections, "VR-DANN": vrd.Detections,
+		} {
+			m := mapOver(preds, gts)
+			a := acc[s]
+			a.sum[0] += m
+			a.n[0]++
+			a.sum[1+int(cls)] += m
+			a.n[1+int(cls)]++
+		}
+	}
+	var out []Fig11Row
+	for _, s := range schemes {
+		a := acc[s]
+		row := Fig11Row{Scheme: s}
+		vals := []*float64{&row.Overall, &row.Slow, &row.Med, &row.Fast}
+		for i, p := range vals {
+			if a.n[i] > 0 {
+				*p = a.sum[i] / float64(a.n[i])
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig15Row is one B-ratio setting's accuracy and performance.
+type Fig15Row struct {
+	Label      string
+	BRatio     float64
+	F, J       float64
+	CyclesNorm float64 // VR-DANN-parallel cycles normalized to auto setting
+}
+
+// Fig15 sweeps the forced B-frame ratio (paper: 37%, 50%, auto≈65%).
+func (h *Harness) Fig15() ([]Fig15Row, error) {
+	settings := []struct {
+		label string
+		ratio float64
+	}{
+		{"37% B ratio", 0.37},
+		{"50% B ratio", 0.50},
+		{"auto B ratio", 0},
+		{"75% B ratio", 0.75},
+	}
+	var out []Fig15Row
+	var autoNS float64
+	for _, set := range settings {
+		enc := h.Cfg.Enc
+		enc.TargetBRatio = set.ratio
+		if set.ratio > 0.7 {
+			enc.MaxBRun = 4
+		}
+		suite := h.Suite()
+		nns, err := h.NNS()
+		if err != nil {
+			return nil, err
+		}
+		fsArr := make([]float64, len(suite))
+		jsArr := make([]float64, len(suite))
+		nsArr := make([]float64, len(suite))
+		brArr := make([]float64, len(suite))
+		err = h.forEach(len(suite), func(i int) error {
+			v := suite[i]
+			res, err := h.RunVRDANNNet(v, enc, nns.Clone())
+			if err != nil {
+				return err
+			}
+			fsArr[i], jsArr[i] = ScoreMasks(res.Masks, v)
+			brArr[i] = res.Decode.BRatio()
+			w := sim.FromDecode(v.Name, res.Decode, h.Cfg.Sim.Agent, h.Cfg.SimW, h.Cfg.SimH)
+			nsArr[i] = sim.New(h.Cfg.Sim).Run(sim.SchemeVRDANNParallel, w).TotalNS
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var fs, js, ns, br float64
+		for i := range suite {
+			fs += fsArr[i]
+			js += jsArr[i]
+			ns += nsArr[i]
+			br += brArr[i]
+		}
+		n := float64(len(suite))
+		row := Fig15Row{Label: set.label, BRatio: br / n, F: fs / n, J: js / n, CyclesNorm: ns}
+		out = append(out, row)
+		if set.ratio == 0 {
+			autoNS = ns
+		}
+	}
+	for i := range out {
+		out[i].CyclesNorm /= autoNS
+	}
+	return out, nil
+}
+
+// Fig16Row is one search-interval setting's accuracy and performance.
+type Fig16Row struct {
+	N          int // 0 = auto
+	F, J       float64
+	CyclesNorm float64
+}
+
+// Fig16 sweeps the motion-vector search interval n (paper: 1..9 and auto).
+func (h *Harness) Fig16() ([]Fig16Row, error) {
+	var out []Fig16Row
+	var autoNS float64
+	for _, n := range []int{1, 3, 5, 7, 9, 0} {
+		enc := h.Cfg.Enc
+		enc.SearchInterval = n
+		suite := h.Suite()
+		nns, err := h.NNS()
+		if err != nil {
+			return nil, err
+		}
+		fsArr := make([]float64, len(suite))
+		jsArr := make([]float64, len(suite))
+		nsArr := make([]float64, len(suite))
+		err = h.forEach(len(suite), func(i int) error {
+			v := suite[i]
+			res, err := h.RunVRDANNNet(v, enc, nns.Clone())
+			if err != nil {
+				return err
+			}
+			fsArr[i], jsArr[i] = ScoreMasks(res.Masks, v)
+			w := sim.FromDecode(v.Name, res.Decode, h.Cfg.Sim.Agent, h.Cfg.SimW, h.Cfg.SimH)
+			nsArr[i] = sim.New(h.Cfg.Sim).Run(sim.SchemeVRDANNParallel, w).TotalNS
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var fs, js, ns float64
+		for i := range suite {
+			fs += fsArr[i]
+			js += jsArr[i]
+			ns += nsArr[i]
+		}
+		cnt := float64(len(suite))
+		out = append(out, Fig16Row{N: n, F: fs / cnt, J: js / cnt, CyclesNorm: ns})
+		if n == 0 {
+			autoNS = ns
+		}
+	}
+	for i := range out {
+		out[i].CyclesNorm /= autoNS
+	}
+	return out, nil
+}
+
+// Fig17Row is one encoding standard's accuracy.
+type Fig17Row struct {
+	Standard string
+	F, J     float64
+}
+
+// Fig17 compares encoding standards: H.264-like 16×16 macro-blocks vs
+// H.265-like 8×8 (the paper finds H.265 friendlier to the scheme).
+func (h *Harness) Fig17() ([]Fig17Row, error) {
+	var out []Fig17Row
+	for _, set := range []struct {
+		name string
+		bs   int
+	}{{"H.264-like (16x16)", 16}, {"H.265-like (8x8)", 8}} {
+		enc := h.Cfg.Enc
+		enc.BlockSize = set.bs
+		suite := h.Suite()
+		nns, err := h.NNS()
+		if err != nil {
+			return nil, err
+		}
+		fsArr := make([]float64, len(suite))
+		jsArr := make([]float64, len(suite))
+		err = h.forEach(len(suite), func(i int) error {
+			res, err := h.RunVRDANNNet(suite[i], enc, nns.Clone())
+			if err != nil {
+				return err
+			}
+			fsArr[i], jsArr[i] = ScoreMasks(res.Masks, suite[i])
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var fs, js float64
+		for i := range suite {
+			fs += fsArr[i]
+			js += jsArr[i]
+		}
+		n := float64(len(suite))
+		out = append(out, Fig17Row{Standard: set.name, F: fs / n, J: js / n})
+	}
+	return out, nil
+}
+
+// StabilityRow is one scheme's suite-average temporal instability (lower
+// is better: masks flicker less relative to how much the true object
+// actually changes frame to frame).
+type StabilityRow struct {
+	Scheme      string
+	Instability float64
+}
+
+// Stability compares the temporal coherence of the four segmentation
+// schemes. Not a paper figure, but it quantifies a qualitative claim of
+// the motion-vector approach: B-frame masks inherit the references'
+// coherence instead of flickering with independent per-frame errors.
+func (h *Harness) Stability() ([]StabilityRow, error) {
+	type runner struct {
+		name string
+		run  func(*video.Video) ([]*video.Mask, error)
+	}
+	runners := []runner{
+		{"OSVOS", func(v *video.Video) ([]*video.Mask, error) {
+			r, err := h.RunOSVOS(v)
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+		{"DFF", func(v *video.Video) ([]*video.Mask, error) {
+			r, err := h.RunDFF(v)
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+		{"FAVOS", func(v *video.Video) ([]*video.Mask, error) {
+			r, err := h.RunFAVOS(v)
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+		{"VR-DANN", func(v *video.Video) ([]*video.Mask, error) {
+			nns, err := h.NNS()
+			if err != nil {
+				return nil, err
+			}
+			r, err := h.RunVRDANNNet(v, h.Cfg.Enc, nns.Clone())
+			if err != nil {
+				return nil, err
+			}
+			return r.Masks, nil
+		}},
+	}
+	suite := h.Suite()
+	if _, err := h.NNS(); err != nil {
+		return nil, err
+	}
+	var out []StabilityRow
+	for _, r := range runners {
+		vals := make([]float64, len(suite))
+		err := h.forEach(len(suite), func(i int) error {
+			masks, err := r.run(suite[i])
+			if err != nil {
+				return err
+			}
+			vals[i] = segment.TemporalInstability(masks, suite[i].Masks)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		out = append(out, StabilityRow{Scheme: r.name, Instability: sum / float64(len(suite))})
+	}
+	return out, nil
+}

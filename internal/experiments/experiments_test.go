@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testHarness is shared across tests: 4 sequences of 16 frames keep every
+// entry point cheap while still exercising the full pipelines.
+var (
+	thOnce sync.Once
+	th     *Harness
+)
+
+func testH() *Harness {
+	thOnce.Do(func() {
+		cfg := Default()
+		cfg.Frames = 16
+		cfg.TrainFrames = 12
+		cfg.Videos = 4
+		cfg.DetW, cfg.DetH = 96, 64
+		th = New(cfg)
+	})
+	return th
+}
+
+func TestFig3aRatiosInRange(t *testing.T) {
+	rows, mean, err := testH().Fig3a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.BRatio < 0 || r.BRatio > 0.9 {
+			t.Fatalf("%s B ratio %v out of range", r.Name, r.BRatio)
+		}
+	}
+	if mean <= 0.2 || mean >= 0.9 {
+		t.Fatalf("mean B ratio %v implausible", mean)
+	}
+}
+
+func TestFig3bHistogram(t *testing.T) {
+	hist, maxRefs, err := testH().Fig3b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) == 0 || maxRefs < 1 || maxRefs > 7 {
+		t.Fatalf("hist %v maxRefs %d", hist, maxRefs)
+	}
+}
+
+func TestFig9RowsComplete(t *testing.T) {
+	rows, err := testH().Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.FavosF, r.FavosJ, r.VrdF, r.VrdJ} {
+			if v <= 0.3 || v > 1 {
+				t.Fatalf("%s: implausible score %v", r.Name, v)
+			}
+		}
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	rows, err := testH().Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig10Row{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	// The paper's ordering: OSVOS clearly worst; FAVOS and VR-DANN within
+	// ~1.5 points of each other; DFF between.
+	if byName["OSVOS"].J >= byName["DFF"].J {
+		t.Fatalf("OSVOS (%v) should trail DFF (%v)", byName["OSVOS"].J, byName["DFF"].J)
+	}
+	if byName["DFF"].J >= byName["VR-DANN"].J {
+		t.Fatalf("DFF (%v) should trail VR-DANN (%v)", byName["DFF"].J, byName["VR-DANN"].J)
+	}
+	diff := byName["FAVOS"].J - byName["VR-DANN"].J
+	if diff < -0.02 || diff > 0.02 {
+		t.Fatalf("VR-DANN should be within ~1.5pt of FAVOS, gap %v", diff)
+	}
+}
+
+func TestFig11Ordering(t *testing.T) {
+	rows, err := testH().Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig11Row{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	// The test subset holds only slow sequences, where extrapolation is
+	// nearly free — allow Euphrates-4 a small tolerance over Euphrates-2.
+	if byName["Euphrates-4"].Overall > byName["Euphrates-2"].Overall+0.03 {
+		t.Fatal("Euphrates-4 must not clearly beat Euphrates-2")
+	}
+	if byName["VR-DANN"].Overall < byName["Euphrates-4"].Overall-0.03 {
+		t.Fatal("VR-DANN must not clearly trail Euphrates-4")
+	}
+	if byName["SELSA"].Overall < byName["VR-DANN"].Overall-0.05 {
+		t.Fatal("SELSA should be at least comparable to VR-DANN")
+	}
+}
+
+func TestFig12NormalizedCycles(t *testing.T) {
+	rows, err := testH().Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ParallelNorm >= 1 || r.ParallelNorm <= 0.1 {
+			t.Fatalf("%s parallel norm %v implausible", r.Name, r.ParallelNorm)
+		}
+		if r.SerialNorm < r.ParallelNorm {
+			t.Fatalf("%s: serial (%v) cannot beat parallel (%v)", r.Name, r.SerialNorm, r.ParallelNorm)
+		}
+		if r.VrdTOPS >= r.FavosTOPS {
+			t.Fatalf("%s: VR-DANN ops/frame must drop", r.Name)
+		}
+	}
+}
+
+func TestFig13SpeedupsAndEnergy(t *testing.T) {
+	rows, err := testH().Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Scheme.String() {
+		case "FAVOS":
+			if r.Speedup != 1 || r.EnergyNorm != 1 {
+				t.Fatalf("FAVOS must normalize to 1: %+v", r)
+			}
+		case "VR-DANN-parallel":
+			if r.Speedup < 1.8 || r.Speedup > 4.5 {
+				t.Fatalf("parallel speedup %v outside plausible band", r.Speedup)
+			}
+			if r.EnergyNorm >= 1 {
+				t.Fatal("parallel must save energy")
+			}
+		case "OSVOS":
+			if r.Speedup >= 1 {
+				t.Fatal("OSVOS must be slower than FAVOS")
+			}
+		}
+	}
+}
+
+func TestFig14Shares(t *testing.T) {
+	rows, err := testH().Fig14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		var sum float64
+		for _, v := range r.Share {
+			sum += v
+		}
+		if diff := sum - r.Total; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%v: shares %v do not add to total %v", r.Scheme, sum, r.Total)
+		}
+	}
+	if rows[0].Total != 1 {
+		t.Fatalf("FAVOS total must be 1, got %v", rows[0].Total)
+	}
+	last := rows[len(rows)-1]
+	if last.Total >= 1 {
+		t.Fatalf("VR-DANN-parallel DRAM total %v must be below FAVOS", last.Total)
+	}
+	if last.Share["motion-vectors"] == 0 || last.Share["recon-writes"] == 0 {
+		t.Fatal("VR-DANN breakdown must include MV and recon traffic")
+	}
+}
+
+func TestFig15MoreBFramesFaster(t *testing.T) {
+	rows, err := testH().Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Higher B ratio must not be slower (Fig 15's performance trend).
+	if rows[0].BRatio >= rows[3].BRatio {
+		t.Fatalf("sweep did not change the B ratio: %v vs %v", rows[0].BRatio, rows[3].BRatio)
+	}
+	if rows[3].CyclesNorm > rows[0].CyclesNorm {
+		t.Fatalf("75%% B (%v) should not be slower than 37%% B (%v)", rows[3].CyclesNorm, rows[0].CyclesNorm)
+	}
+}
+
+func TestFig16AccuracyGrowsWithInterval(t *testing.T) {
+	rows, err := testH().Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger n must not hurt accuracy much: compare n=1 against n=7.
+	var j1, j7 float64
+	for _, r := range rows {
+		if r.N == 1 {
+			j1 = r.J
+		}
+		if r.N == 7 {
+			j7 = r.J
+		}
+	}
+	if j7 < j1-0.01 {
+		t.Fatalf("n=7 (%v) should not be clearly worse than n=1 (%v)", j7, j1)
+	}
+}
+
+func TestFig17BothStandardsEvaluated(t *testing.T) {
+	rows, err := testH().Fig17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[1].J+0.03 < rows[0].J {
+		t.Fatalf("H.265-like (%v) clearly worse than H.264-like (%v)", rows[1].J, rows[0].J)
+	}
+}
+
+func TestTableIIContents(t *testing.T) {
+	s := testH().TableII()
+	for _, want := range []string{"tmp_B", "mv_T", "b_Q", "600 MHz", "16 TOPS", "8 MB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHeadlineBands(t *testing.T) {
+	hl, err := testH().Headline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hl.SpeedupVsFAVOS < 1.8 || hl.SpeedupVsFAVOS > 4.5 {
+		t.Fatalf("speedup vs FAVOS %v outside band", hl.SpeedupVsFAVOS)
+	}
+	if hl.SpeedupVsOSVOS <= hl.SpeedupVsFAVOS {
+		t.Fatal("gain over OSVOS must exceed gain over FAVOS")
+	}
+	if hl.SerialSpeedupVsFAVOS >= hl.SpeedupVsFAVOS {
+		t.Fatal("parallel must beat serial")
+	}
+	if hl.EnergyVsSerial < 1 {
+		t.Fatal("parallel must use no more energy than serial")
+	}
+	if hl.AccuracyLossVsFAVOSPct > 2 || hl.AccuracyLossVsFAVOSPct < -3 {
+		t.Fatalf("accuracy delta vs FAVOS %v%% outside the paper's <1%% band (with slack)", hl.AccuracyLossVsFAVOSPct)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	h := testH()
+	co, err := h.AblationCoalescing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co[0].Misses >= co[1].Misses {
+		t.Fatalf("coalescing on (%d misses) must beat off (%d)", co[0].Misses, co[1].Misses)
+	}
+	la, err := h.AblationLaggedSwitching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la[0].Switches >= la[1].Switches {
+		t.Fatalf("lagged switching (%d) must reduce switches vs eager (%d)", la[0].Switches, la[1].Switches)
+	}
+	tb, err := h.AblationTmpB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb) != 5 {
+		t.Fatalf("tmp_B sweep rows = %d", len(tb))
+	}
+	// More buffers must not increase agent time.
+	if tb[2].AgentNS > tb[0].AgentNS {
+		t.Fatalf("3 buffers (%v) should not be slower than 1 (%v)", tb[2].AgentNS, tb[0].AgentNS)
+	}
+}
+
+func TestAblationRefinementHelps(t *testing.T) {
+	wf, wj, of, oj, err := testH().AblationRefinement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wf+wj < of+oj-0.01 {
+		t.Fatalf("refinement should not clearly hurt: with (%v,%v) without (%v,%v)", wf, wj, of, oj)
+	}
+}
+
+func TestAblationInt8WithinBudget(t *testing.T) {
+	ff, fj, qf, qj, err := testH().AblationInt8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("FP32 F=%.4f J=%.4f  INT8 F=%.4f J=%.4f", ff, fj, qf, qj)
+	// INT8 deployment should cost at most ~1 point on either metric.
+	if ff-qf > 0.015 || fj-qj > 0.015 {
+		t.Fatalf("INT8 accuracy loss too large: F %.4f->%.4f, J %.4f->%.4f", ff, qf, fj, qj)
+	}
+}
+
+func TestDSEShape(t *testing.T) {
+	rows, err := testH().DSE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 15 {
+		t.Fatalf("got %d design points", len(rows))
+	}
+	byPoint := map[[2]float64]DSERow{}
+	for _, r := range rows {
+		byPoint[[2]float64{r.PeakTOPS, r.BandwidthX}] = r
+		if r.Speedup < 1 {
+			t.Fatalf("VR-DANN slower than FAVOS at %+v", r)
+		}
+		if r.VrdannFPS <= r.FavosFPS {
+			t.Fatalf("fps ordering wrong at %+v", r)
+		}
+	}
+	// FAVOS throughput must scale with NPU compute in the compute-bound
+	// regime.
+	if byPoint[[2]float64{16, 1}].FavosFPS <= byPoint[[2]float64{4, 1}].FavosFPS*2 {
+		t.Fatal("FAVOS should scale with NPU compute")
+	}
+	// The speedup must not grow when compute becomes abundant (the decoder
+	// and fixed costs bound both schemes).
+	if byPoint[[2]float64{64, 1}].Speedup > byPoint[[2]float64{4, 1}].Speedup+0.05 {
+		t.Fatal("speedup should erode, not grow, at very high compute")
+	}
+}
+
+func TestStabilityOrdering(t *testing.T) {
+	rows, err := testH().Stability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := map[string]float64{}
+	for _, r := range rows {
+		by[r.Scheme] = r.Instability
+		if r.Instability < 0 {
+			t.Fatalf("negative instability for %s", r.Scheme)
+		}
+	}
+	// MV propagation inherits reference coherence: VR-DANN must not flicker
+	// more than the per-frame OSVOS, and DFF's flow warping jitters most.
+	if by["VR-DANN"] > by["OSVOS"]+0.005 {
+		t.Fatalf("VR-DANN (%.4f) should be at least as stable as OSVOS (%.4f)", by["VR-DANN"], by["OSVOS"])
+	}
+	if by["DFF"] < by["VR-DANN"] {
+		t.Fatalf("DFF (%.4f) should flicker more than VR-DANN (%.4f)", by["DFF"], by["VR-DANN"])
+	}
+}
+
+func TestEnergyBreakdownConsistent(t *testing.T) {
+	rows, err := testH().EnergyBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var favos, parallel EnergyRow
+	for _, r := range rows {
+		if got := r.NPU + r.DRAM + r.Dec + r.Agent + r.Static; got < r.Total*0.999 || got > r.Total*1.001 {
+			t.Fatalf("%v: components do not sum to total", r.Scheme)
+		}
+		switch r.Scheme.String() {
+		case "FAVOS":
+			favos = r
+		case "VR-DANN-parallel":
+			parallel = r
+		}
+	}
+	if parallel.NPU >= favos.NPU {
+		t.Fatal("VR-DANN must cut NPU energy")
+	}
+	// The decoder works *less* under VR-DANN (side-info B decode).
+	if parallel.Dec >= favos.Dec {
+		t.Fatal("side-info decode must cost less decoder energy")
+	}
+}

@@ -1,0 +1,193 @@
+// Package flow implements classical dense optical flow and flow-based
+// warping. It substitutes for FlowNet in the DFF baseline: DFF's accuracy
+// behaviour (flow error accumulating over the key-frame interval) and cost
+// structure (per-pixel flow for every non-key frame) are preserved, while
+// the architecture simulator charges the baseline at FlowNet-class
+// operation counts.
+package flow
+
+import (
+	"math"
+
+	"vrdann/internal/video"
+)
+
+// Field is a dense motion field: for each pixel of the current frame, the
+// displacement (U, V) pointing back into the reference frame.
+type Field struct {
+	W, H int
+	U, V []float32
+}
+
+// NewField allocates a zero flow field.
+func NewField(w, h int) *Field {
+	return &Field{W: w, H: h, U: make([]float32, w*h), V: make([]float32, w*h)}
+}
+
+// BlockFlow estimates flow by exhaustive block matching: the frame is tiled
+// into block×block patches and each patch searches ±rang pixels in ref for
+// the minimum sum of absolute differences. The per-block vector is then
+// assigned to all pixels of the block.
+func BlockFlow(cur, ref *video.Frame, block, rang int) *Field {
+	f := NewField(cur.W, cur.H)
+	for by := 0; by < cur.H; by += block {
+		bh := minInt(block, cur.H-by)
+		for bx := 0; bx < cur.W; bx += block {
+			bw := minInt(block, cur.W-bx)
+			bestDX, bestDY := 0, 0
+			best := int64(1) << 62
+			for dy := -rang; dy <= rang; dy++ {
+				for dx := -rang; dx <= rang; dx++ {
+					var s int64
+					for y := 0; y < bh; y++ {
+						cy := by + y
+						ry := clamp(cy+dy, 0, ref.H-1)
+						for x := 0; x < bw; x++ {
+							cx := bx + x
+							rx := clamp(cx+dx, 0, ref.W-1)
+							d := int64(cur.Pix[cy*cur.W+cx]) - int64(ref.Pix[ry*ref.W+rx])
+							if d < 0 {
+								d = -d
+							}
+							s += d
+						}
+						if s >= best {
+							break
+						}
+					}
+					if s < best {
+						best, bestDX, bestDY = s, dx, dy
+					}
+				}
+			}
+			for y := by; y < by+bh; y++ {
+				for x := bx; x < bx+bw; x++ {
+					f.U[y*cur.W+x] = float32(bestDX)
+					f.V[y*cur.W+x] = float32(bestDY)
+				}
+			}
+		}
+	}
+	return f
+}
+
+// HornSchunck refines an initial flow field with the Horn–Schunck
+// variational method: iters Jacobi iterations with smoothness weight alpha.
+// Passing a nil init starts from zero flow. Input and output fields use the
+// package's backward convention (a current pixel samples the reference at
+// x+U, y+V); internally the solver works in the classical forward
+// convention and converts at the boundaries.
+func HornSchunck(cur, ref *video.Frame, init *Field, alpha float64, iters int) *Field {
+	w, h := cur.W, cur.H
+	f := NewField(w, h)
+	if init != nil {
+		for i := range f.U {
+			f.U[i], f.V[i] = -init.U[i], -init.V[i]
+		}
+	}
+	// Spatial and temporal gradients of the reference/current pair.
+	ix := make([]float32, w*h)
+	iy := make([]float32, w*h)
+	it := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			x1 := clamp(x+1, 0, w-1)
+			y1 := clamp(y+1, 0, h-1)
+			ix[i] = (float32(ref.Pix[y*w+x1]) - float32(ref.Pix[i]) + float32(cur.Pix[y*w+x1]) - float32(cur.Pix[i])) / 2
+			iy[i] = (float32(ref.Pix[y1*w+x]) - float32(ref.Pix[i]) + float32(cur.Pix[y1*w+x]) - float32(cur.Pix[i])) / 2
+			it[i] = float32(cur.Pix[i]) - float32(ref.Pix[i])
+		}
+	}
+	a2 := float32(alpha * alpha)
+	nu := make([]float32, w*h)
+	nv := make([]float32, w*h)
+	for iter := 0; iter < iters; iter++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				ub := neighborMean(f.U, x, y, w, h)
+				vb := neighborMean(f.V, x, y, w, h)
+				num := ix[i]*ub + iy[i]*vb + it[i]
+				den := a2 + ix[i]*ix[i] + iy[i]*iy[i]
+				nu[i] = ub - ix[i]*num/den
+				nv[i] = vb - iy[i]*num/den
+			}
+		}
+		copy(f.U, nu)
+		copy(f.V, nv)
+	}
+	for i := range f.U {
+		f.U[i], f.V[i] = -f.U[i], -f.V[i]
+	}
+	return f
+}
+
+func neighborMean(a []float32, x, y, w, h int) float32 {
+	s := a[clamp(y-1, 0, h-1)*w+x] + a[clamp(y+1, 0, h-1)*w+x] +
+		a[y*w+clamp(x-1, 0, w-1)] + a[y*w+clamp(x+1, 0, w-1)]
+	return s / 4
+}
+
+// WarpMask propagates a binary mask through the flow field: each current
+// pixel samples the mask at its (nearest-integer) source location.
+func WarpMask(m *video.Mask, f *Field) *video.Mask {
+	out := video.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			i := y*m.W + x
+			sx := x + int(roundF(f.U[i]))
+			sy := y + int(roundF(f.V[i]))
+			out.Pix[i] = m.At(sx, sy)
+		}
+	}
+	return out
+}
+
+// WarpFrame propagates pixel values through the flow field.
+func WarpFrame(fr *video.Frame, f *Field) *video.Frame {
+	out := video.NewFrame(fr.W, fr.H)
+	for y := 0; y < fr.H; y++ {
+		for x := 0; x < fr.W; x++ {
+			i := y*fr.W + x
+			sx := clamp(x+int(roundF(f.U[i])), 0, fr.W-1)
+			sy := clamp(y+int(roundF(f.V[i])), 0, fr.H-1)
+			out.Pix[i] = fr.Pix[sy*fr.W+sx]
+		}
+	}
+	return out
+}
+
+// MeanMagnitude returns the average flow vector magnitude in pixels.
+func (f *Field) MeanMagnitude() float64 {
+	var s float64
+	for i := range f.U {
+		u, v := float64(f.U[i]), float64(f.V[i])
+		s += math.Hypot(u, v)
+	}
+	return s / float64(len(f.U))
+}
+
+func roundF(v float32) float32 {
+	if v >= 0 {
+		return float32(int(v + 0.5))
+	}
+	return float32(-int(-v + 0.5))
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

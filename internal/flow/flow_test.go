@@ -1,0 +1,128 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+// shiftedPair builds a textured frame and a copy shifted by (dx, dy).
+func shiftedPair(w, h, dx, dy int) (ref, cur *video.Frame) {
+	ref = video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ref.Pix[y*w+x] = uint8(128 + 60*math.Sin(0.35*float64(x))*math.Cos(0.3*float64(y)))
+		}
+	}
+	cur = video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			cur.Pix[y*w+x] = ref.At(x-dx, y-dy)
+		}
+	}
+	return ref, cur
+}
+
+func TestBlockFlowRecoversTranslation(t *testing.T) {
+	ref, cur := shiftedPair(48, 40, 3, -2)
+	f := BlockFlow(cur, ref, 8, 6)
+	// Interior pixels should see flow ≈ (-3, 2): cur(x) == ref(x + flow).
+	i := 20*48 + 24
+	if f.U[i] != -3 || f.V[i] != 2 {
+		t.Fatalf("flow = (%v,%v), want (-3,2)", f.U[i], f.V[i])
+	}
+}
+
+func TestBlockFlowZeroForIdenticalFrames(t *testing.T) {
+	ref, _ := shiftedPair(32, 32, 0, 0)
+	f := BlockFlow(ref, ref, 8, 4)
+	for i := range f.U {
+		if f.U[i] != 0 || f.V[i] != 0 {
+			t.Fatalf("nonzero flow %v,%v for identical frames", f.U[i], f.V[i])
+		}
+	}
+	if f.MeanMagnitude() != 0 {
+		t.Fatal("mean magnitude should be 0")
+	}
+}
+
+func TestHornSchunckRefinesTowardTranslation(t *testing.T) {
+	ref, cur := shiftedPair(48, 40, 1, 0)
+	f := HornSchunck(cur, ref, nil, 8, 60)
+	// Average interior U should be negative (pointing back to the source).
+	var sum float64
+	cnt := 0
+	for y := 8; y < 32; y++ {
+		for x := 8; x < 40; x++ {
+			sum += float64(f.U[y*48+x])
+			cnt++
+		}
+	}
+	mean := sum / float64(cnt)
+	if mean > -0.3 {
+		t.Fatalf("Horn-Schunck mean U = %v, want clearly negative", mean)
+	}
+}
+
+func TestWarpMaskFollowsFlow(t *testing.T) {
+	m := video.NewMask(16, 16)
+	for y := 4; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	f := NewField(16, 16)
+	for i := range f.U {
+		f.U[i] = -2 // current pixel samples mask at x-2
+		f.V[i] = 0
+	}
+	out := WarpMask(m, f)
+	// Object should appear shifted +2 in x.
+	if out.At(6, 5) != 1 || out.At(9, 5) != 1 {
+		t.Fatalf("warped mask wrong: %v %v", out.At(6, 5), out.At(9, 5))
+	}
+	if out.At(4, 5) != 0 {
+		t.Fatal("warped mask kept old position")
+	}
+	if out.Area() != m.Area() {
+		t.Fatalf("area changed: %d -> %d", m.Area(), out.Area())
+	}
+}
+
+func TestWarpFrameIdentity(t *testing.T) {
+	ref, _ := shiftedPair(20, 20, 0, 0)
+	f := NewField(20, 20)
+	out := WarpFrame(ref, f)
+	for i := range out.Pix {
+		if out.Pix[i] != ref.Pix[i] {
+			t.Fatal("identity warp changed pixels")
+		}
+	}
+}
+
+func TestWarpEdgesClamp(t *testing.T) {
+	ref, _ := shiftedPair(16, 16, 0, 0)
+	f := NewField(16, 16)
+	for i := range f.U {
+		f.U[i] = 100
+		f.V[i] = 100
+	}
+	out := WarpFrame(ref, f)
+	// Every pixel samples the bottom-right corner.
+	want := ref.At(15, 15)
+	for _, p := range out.Pix {
+		if p != want {
+			t.Fatalf("clamped warp = %d, want %d", p, want)
+		}
+	}
+}
+
+func TestMeanMagnitude(t *testing.T) {
+	f := NewField(2, 1)
+	f.U[0], f.V[0] = 3, 4
+	f.U[1], f.V[1] = 0, 0
+	if got := f.MeanMagnitude(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("MeanMagnitude = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrdann/internal/tensor"
+)
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 8, 8, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 8, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 8, 8, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 8, 64, 64)
+	out := conv.Forward(x)
+	grad := tensor.Randn(rng, 1, out.Shape...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Backward(grad)
+	}
+}
+
+func BenchmarkRefineNetInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewRefineNet(rng, 8)
+	x := tensor.Randn(rng, 1, 3, 64, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+	b.ReportMetric(float64(net.MACs()), "MACs/op")
+}
+
+func BenchmarkFCNInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewFCN(rng, 1, 16)
+	x := tensor.Randn(rng, 1, 1, 64, 96)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}

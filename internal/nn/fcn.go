@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math/rand"
+
+	"vrdann/internal/tensor"
+)
+
+// FCN is the fully-convolutional segmentation network that plays the role
+// of NN-L (the paper borrows FAVOS's ROI SegNet). It is an encoder–decoder
+// without skip connections: two stride-halving stages, a bottleneck, and
+// two upsampling stages, ending in 1-channel logits at input resolution.
+//
+// The Go network is intentionally far smaller than ROI SegNet — it exists
+// to exercise a real inference/training path on the synthetic suite. The
+// architecture simulator charges NN-L at the paper's measured operation
+// count (~0.5 TOP/frame) instead of this network's.
+type FCN struct {
+	*Sequential
+}
+
+// NewFCN builds NN-L with `width` base feature maps (e.g. 16).
+func NewFCN(rng *rand.Rand, inC, width int) *FCN {
+	return &FCN{Sequential: NewSequential(
+		NewConv2D(rng, inC, width, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2(),
+		NewConv2D(rng, width, 2*width, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2(),
+		NewConv2D(rng, 2*width, 2*width, 3, 1, 1),
+		NewReLU(),
+		NewUpsample2(),
+		NewConv2D(rng, 2*width, width, 3, 1, 1),
+		NewReLU(),
+		NewUpsample2(),
+		NewConv2D(rng, width, 1, 3, 1, 1),
+	)}
+}
+
+// Name implements Layer.
+func (f *FCN) Name() string { return "fcn" }
+
+// StaticMACs returns the per-inference multiply-accumulate count for an
+// H×W input (H and W must be divisible by 4).
+func (f *FCN) StaticMACs(h, w int) int64 {
+	var total int64
+	ch, cw := h, w
+	for _, l := range f.Layers {
+		switch t := l.(type) {
+		case *Conv2D:
+			total += t.StaticMACs(ch, cw)
+		case *MaxPool2:
+			ch, cw = ch/2, cw/2
+		case *Upsample2:
+			ch, cw = ch*2, cw*2
+		}
+	}
+	return total
+}
+
+// WeightBytes returns the INT8 parameter footprint.
+func (f *FCN) WeightBytes() int64 {
+	var total int64
+	for _, l := range f.Layers {
+		if c, ok := l.(*Conv2D); ok {
+			total += c.WeightBytes()
+		}
+	}
+	return total
+}
+
+var _ Layer = (*FCN)(nil)
+
+// PredictMask runs the network on a CHW input and thresholds the sigmoid of
+// the logits at 0.5, returning a [H,W] {0,1} mask tensor.
+func PredictMask(net Layer, x *tensor.Tensor) *tensor.Tensor {
+	logits := net.Forward(x)
+	h, w := logits.Shape[1], logits.Shape[2]
+	mask := tensor.New(h, w)
+	for i, v := range logits.Data {
+		if v > 0 { // sigmoid(v) > 0.5
+			mask.Data[i] = 1
+		}
+	}
+	return mask
+}

@@ -1,0 +1,124 @@
+// Package nn is a small, dependency-free neural-network framework with
+// forward and backward passes, suitable for training the lightweight
+// refinement network (NN-S) described in the VR-DANN paper and for running
+// the larger segmentation network (NN-L).
+//
+// The framework operates on single samples in CHW layout; batching is done
+// by the training loop. Every layer reports its multiply-accumulate count so
+// the architecture simulator can charge NPU time for real workloads.
+package nn
+
+import (
+	"math"
+
+	"vrdann/internal/tensor"
+)
+
+// Layer is a differentiable computation node.
+//
+// Forward consumes a CHW tensor and returns a CHW tensor. Backward consumes
+// the gradient of the loss with respect to the layer output and returns the
+// gradient with respect to the layer input; it must be called after Forward
+// (layers cache whatever they need). Parameterized layers expose their
+// parameters and accumulated gradients via Params and Grads (parallel
+// slices).
+type Layer interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*tensor.Tensor
+	Grads() []*tensor.Tensor
+	// MACs reports the multiply-accumulate operations of the most recent
+	// Forward call (0 for element-wise layers where data movement dominates).
+	MACs() int64
+	// Name identifies the layer type for serialization and debugging.
+	Name() string
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, v := range grad.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// MACs implements Layer.
+func (r *ReLU) MACs() int64 { return 0 }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	for i, v := range x.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	s.out = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(grad.Shape...)
+	for i, g := range grad.Data {
+		y := s.out.Data[i]
+		out.Data[i] = g * y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }
+
+// MACs implements Layer.
+func (s *Sigmoid) MACs() int64 { return 0 }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "sigmoid" }

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vrdann/internal/tensor"
+)
+
+// BatchNorm normalizes each channel of a CHW tensor over its spatial
+// extent, with learned scale (gamma) and shift (beta). In training mode it
+// normalizes with the current statistics and updates running estimates; in
+// inference mode it uses the running estimates — the standard semantics.
+type BatchNorm struct {
+	C        int
+	Eps      float64
+	Momentum float64
+	Gamma    *tensor.Tensor // [C]
+	Beta     *tensor.Tensor // [C]
+	RunMean  *tensor.Tensor // [C]
+	RunVar   *tensor.Tensor // [C]
+	Training bool
+
+	gradGamma, gradBeta *tensor.Tensor
+	// forward cache
+	xHat    *tensor.Tensor
+	invStd  []float64
+	inShape []int
+}
+
+// NewBatchNorm creates a batch-norm layer for c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	return &BatchNorm{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma: tensor.Full(1, c), Beta: tensor.New(c),
+		RunMean: tensor.New(c), RunVar: tensor.Full(1, c),
+		Training:  true,
+		gradGamma: tensor.New(c), gradBeta: tensor.New(c),
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if len(x.Shape) != 3 || x.Shape[0] != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm expects [%d H W], got %v", b.C, x.Shape))
+	}
+	h, w := x.Shape[1], x.Shape[2]
+	n := float64(h * w)
+	out := tensor.New(x.Shape...)
+	b.xHat = tensor.New(x.Shape...)
+	b.invStd = make([]float64, b.C)
+	b.inShape = x.Shape
+	for c := 0; c < b.C; c++ {
+		plane := x.Data[c*h*w : (c+1)*h*w]
+		var mean, variance float64
+		if b.Training {
+			for _, v := range plane {
+				mean += float64(v)
+			}
+			mean /= n
+			for _, v := range plane {
+				d := float64(v) - mean
+				variance += d * d
+			}
+			variance /= n
+			b.RunMean.Data[c] = float32((1-b.Momentum)*float64(b.RunMean.Data[c]) + b.Momentum*mean)
+			b.RunVar.Data[c] = float32((1-b.Momentum)*float64(b.RunVar.Data[c]) + b.Momentum*variance)
+		} else {
+			mean = float64(b.RunMean.Data[c])
+			variance = float64(b.RunVar.Data[c])
+		}
+		inv := 1 / math.Sqrt(variance+b.Eps)
+		b.invStd[c] = inv
+		g, be := float64(b.Gamma.Data[c]), float64(b.Beta.Data[c])
+		for i, v := range plane {
+			xh := (float64(v) - mean) * inv
+			b.xHat.Data[c*h*w+i] = float32(xh)
+			out.Data[c*h*w+i] = float32(g*xh + be)
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (training-mode gradient).
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	h, w := b.inShape[1], b.inShape[2]
+	n := float64(h * w)
+	out := tensor.New(b.inShape...)
+	for c := 0; c < b.C; c++ {
+		gplane := grad.Data[c*h*w : (c+1)*h*w]
+		xh := b.xHat.Data[c*h*w : (c+1)*h*w]
+		var sumG, sumGX float64
+		for i, g := range gplane {
+			sumG += float64(g)
+			sumGX += float64(g) * float64(xh[i])
+		}
+		b.gradBeta.Data[c] += float32(sumG)
+		b.gradGamma.Data[c] += float32(sumGX)
+		g := float64(b.Gamma.Data[c])
+		inv := b.invStd[c]
+		for i := range gplane {
+			// dL/dx = gamma*invStd/n * (n*dy - sum(dy) - xHat*sum(dy*xHat))
+			out.Data[c*h*w+i] = float32(g * inv / n *
+				(n*float64(gplane[i]) - sumG - float64(xh[i])*sumGX))
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{b.Gamma, b.Beta} }
+
+// Grads implements Layer.
+func (b *BatchNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{b.gradGamma, b.gradBeta} }
+
+// MACs implements Layer.
+func (b *BatchNorm) MACs() int64 { return 0 }
+
+// Name implements Layer.
+func (b *BatchNorm) Name() string { return "batchnorm" }
+
+// Dropout zeroes activations with probability P during training and scales
+// survivors by 1/(1-P) (inverted dropout); inference is the identity.
+type Dropout struct {
+	P        float64
+	Training bool
+	rng      *rand.Rand
+	mask     []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	return &Dropout{P: p, Training: true, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.Training || d.P <= 0 {
+		return x.Clone()
+	}
+	out := tensor.New(x.Shape...)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]bool, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	scale := float32(1 / (1 - d.P))
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = false
+		} else {
+			d.mask[i] = true
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !d.Training || d.P <= 0 {
+		return grad.Clone()
+	}
+	out := tensor.New(grad.Shape...)
+	scale := float32(1 / (1 - d.P))
+	for i, g := range grad.Data {
+		if d.mask[i] {
+			out.Data[i] = g * scale
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// MACs implements Layer.
+func (d *Dropout) MACs() int64 { return 0 }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+var (
+	_ Layer = (*BatchNorm)(nil)
+	_ Layer = (*Dropout)(nil)
+)

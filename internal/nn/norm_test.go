@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrdann/internal/tensor"
+)
+
+func TestBatchNormNormalizesPerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bn := NewBatchNorm(2)
+	x := tensor.Randn(rng, 3, 2, 8, 8)
+	for i := 0; i < 64; i++ {
+		x.Data[64+i] += 10 // shift channel 1
+	}
+	y := bn.Forward(x)
+	for c := 0; c < 2; c++ {
+		var mean, variance float64
+		for i := 0; i < 64; i++ {
+			mean += float64(y.Data[c*64+i])
+		}
+		mean /= 64
+		for i := 0; i < 64; i++ {
+			d := float64(y.Data[c*64+i]) - mean
+			variance += d * d
+		}
+		variance /= 64
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d: mean %v var %v, want 0/1", c, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bn := NewBatchNorm(1)
+	// Train on shifted data so running stats move.
+	for i := 0; i < 50; i++ {
+		x := tensor.Randn(rng, 1, 1, 4, 4)
+		for j := range x.Data {
+			x.Data[j] += 5
+		}
+		bn.Forward(x)
+	}
+	bn.Training = false
+	x := tensor.Full(5, 1, 4, 4)
+	y := bn.Forward(x)
+	// With running mean ~5 and var ~1, output should be near beta (0).
+	if math.Abs(float64(y.Data[0])) > 0.5 {
+		t.Fatalf("inference output %v, want near 0", y.Data[0])
+	}
+}
+
+func TestBatchNormGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewSequential(NewConv2D(rng, 1, 2, 3, 1, 1), NewBatchNorm(2))
+	x := tensor.Randn(rng, 1, 1, 6, 6)
+	target := tensor.Randn(rng, 1, 2, 6, 6)
+	checkGradients(t, net, x, target, 8, 3e-2)
+}
+
+func TestBatchNormLearnsScaleShift(t *testing.T) {
+	// A single BN layer can learn to map N(0,1) input to targets 2x+3.
+	rng := rand.New(rand.NewSource(4))
+	bn := NewBatchNorm(1)
+	opt := NewAdam(0.05)
+	var last float64
+	for i := 0; i < 150; i++ {
+		x := tensor.Randn(rng, 1, 1, 8, 8)
+		tgt := tensor.New(1, 8, 8)
+		for j := range tgt.Data {
+			tgt.Data[j] = 2*x.Data[j] + 3
+		}
+		out := bn.Forward(x)
+		loss, grad := MSE(out, tgt)
+		last = loss
+		bn.Backward(grad)
+		opt.Step(bn.Params(), bn.Grads())
+	}
+	if last > 0.5 {
+		t.Fatalf("BN failed to learn affine map: loss %v", last)
+	}
+}
+
+func TestDropoutTrainingStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDropout(rng, 0.4)
+	x := tensor.Full(1, 1, 50, 50)
+	y := d.Forward(x)
+	zeros := 0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(float64(v)-1/0.6) > 1e-5 {
+			t.Fatalf("survivor scaled to %v, want %v", v, 1/0.6)
+		}
+	}
+	frac := float64(zeros) / float64(len(y.Data))
+	if frac < 0.32 || frac > 0.48 {
+		t.Fatalf("dropped fraction %v, want ~0.4", frac)
+	}
+	// Expected value preserved.
+	if m := y.Mean(); math.Abs(m-1) > 0.06 {
+		t.Fatalf("mean %v, want ~1", m)
+	}
+}
+
+func TestDropoutInferenceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	d := NewDropout(rng, 0.5)
+	d.Training = false
+	x := tensor.Randn(rng, 1, 1, 4, 4)
+	y := d.Forward(x)
+	if !tensor.AllClose(x, y, 0) {
+		t.Fatal("inference dropout must be identity")
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDropout(rng, 0.5)
+	x := tensor.Full(1, 1, 10, 10)
+	y := d.Forward(x)
+	g := d.Backward(tensor.Full(1, 1, 10, 10))
+	for i := range y.Data {
+		if (y.Data[i] == 0) != (g.Data[i] == 0) {
+			t.Fatalf("gradient mask differs from forward mask at %d", i)
+		}
+	}
+}

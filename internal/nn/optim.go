@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+
+	"vrdann/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients and clears them.
+type Optimizer interface {
+	// Step applies one update to params given grads, then zeroes grads.
+	// params and grads are parallel slices.
+	Step(params, grads []*tensor.Tensor)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Tensor]*tensor.Tensor)}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	for i, p := range params {
+		g := grads[i]
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Shape...)
+			s.velocity[p] = v
+		}
+		mom, lr := float32(s.Momentum), float32(s.LR)
+		for j := range p.Data {
+			v.Data[j] = mom*v.Data[j] - lr*g.Data[j]
+			p.Data[j] += v.Data[j]
+			g.Data[j] = 0
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with the usual defaults for the moment
+// decay rates and epsilon.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*tensor.Tensor]*tensor.Tensor),
+		v: make(map[*tensor.Tensor]*tensor.Tensor),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Shape...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Shape...)
+		}
+		v := a.v[p]
+		for j := range p.Data {
+			gj := float64(g.Data[j])
+			mj := a.Beta1*float64(m.Data[j]) + (1-a.Beta1)*gj
+			vj := a.Beta2*float64(v.Data[j]) + (1-a.Beta2)*gj*gj
+			m.Data[j] = float32(mj)
+			v.Data[j] = float32(vj)
+			p.Data[j] -= float32(a.LR * (mj / c1) / (math.Sqrt(vj/c2) + a.Eps))
+			g.Data[j] = 0
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// SaveParams writes all parameters of a network to w in a simple
+// length-prefixed binary format (little endian). It can be restored with
+// LoadParams into a network of identical architecture.
+func SaveParams(w io.Writer, net Layer) error {
+	params := net.Params()
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: save header: %w", err)
+	}
+	for i, p := range params {
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.Numel())); err != nil {
+			return fmt.Errorf("nn: save param %d header: %w", i, err)
+		}
+		buf := make([]byte, 4*p.Numel())
+		for j, v := range p.Data {
+			binary.LittleEndian.PutUint32(buf[j*4:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("nn: save param %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadParams restores parameters previously written by SaveParams. The
+// network must have the same architecture (same parameter count and sizes).
+func LoadParams(r io.Reader, net Layer) error {
+	params := net.Params()
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return fmt.Errorf("nn: load header: %w", err)
+	}
+	if int(n) != len(params) {
+		return fmt.Errorf("nn: load: file has %d parameter tensors, network has %d", n, len(params))
+	}
+	for i, p := range params {
+		var sz uint32
+		if err := binary.Read(r, binary.LittleEndian, &sz); err != nil {
+			return fmt.Errorf("nn: load param %d header: %w", i, err)
+		}
+		if int(sz) != p.Numel() {
+			return fmt.Errorf("nn: load param %d: file has %d elements, tensor has %d", i, sz, p.Numel())
+		}
+		buf := make([]byte, 4*sz)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return fmt.Errorf("nn: load param %d: %w", i, err)
+		}
+		for j := range p.Data {
+			p.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[j*4:]))
+		}
+	}
+	return nil
+}

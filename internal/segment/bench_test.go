@@ -1,0 +1,69 @@
+package segment
+
+import (
+	"testing"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/video"
+)
+
+func benchReconSetup(b *testing.B) (codec.FrameInfo, map[int]*video.Mask) {
+	b.Helper()
+	const w, h, bs = 96, 64, 8
+	ref := video.NewMask(w, h)
+	for y := 16; y < 48; y++ {
+		for x := 24; x < 64; x++ {
+			ref.Set(x, y, 1)
+		}
+	}
+	info := codec.FrameInfo{Display: 1, Type: codec.BFrame}
+	for by := 0; by < h; by += bs {
+		for bx := 0; bx < w; bx += bs {
+			info.MVs = append(info.MVs, codec.MotionVector{
+				DstX: bx, DstY: by, Ref: 0, SrcX: bx - 2, SrcY: by + 1,
+				BiRef: bx%16 == 0, Ref2: 4, SrcX2: bx + 1, SrcY2: by - 1,
+			})
+			info.Blocks++
+		}
+	}
+	return info, map[int]*video.Mask{0: ref, 4: ref}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	info, refs := benchReconSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(info, refs, 96, 64, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoundaryFScore(b *testing.B) {
+	m := video.NewMask(96, 64)
+	g := video.NewMask(96, 64)
+	for y := 10; y < 50; y++ {
+		for x := 10; x < 80; x++ {
+			m.Set(x, y, 1)
+			g.Set(x+1, y, 1)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoundaryFScore(m, g, 1)
+	}
+}
+
+func BenchmarkOracleSegment(b *testing.B) {
+	gt := video.NewMask(96, 64)
+	for y := 16; y < 48; y++ {
+		for x := 24; x < 64; x++ {
+			gt.Set(x, y, 1)
+		}
+	}
+	o := NewOracle("bench", []*video.Mask{gt}, 0.05, 3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Segment(nil, 0)
+	}
+}

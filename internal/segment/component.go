@@ -1,0 +1,102 @@
+package segment
+
+import "vrdann/internal/video"
+
+// labelComponents assigns a positive label to every 4-connected foreground
+// component and returns the label map plus per-label sizes (sizes[l-1]).
+func labelComponents(m *video.Mask) ([]int32, []int) {
+	labels := make([]int32, len(m.Pix))
+	var sizes []int
+	var stack []int
+	next := int32(0)
+	for i, v := range m.Pix {
+		if v == 0 || labels[i] != 0 {
+			continue
+		}
+		next++
+		size := 0
+		stack = append(stack[:0], i)
+		labels[i] = next
+		for len(stack) > 0 {
+			j := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			x, y := j%m.W, j/m.W
+			for _, nb := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
+				nx, ny := nb[0], nb[1]
+				if nx < 0 || ny < 0 || nx >= m.W || ny >= m.H {
+					continue
+				}
+				k := ny*m.W + nx
+				if m.Pix[k] != 0 && labels[k] == 0 {
+					labels[k] = next
+					stack = append(stack, k)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return labels, sizes
+}
+
+// LargestComponent returns a mask containing only the largest 4-connected
+// foreground component of m. It is used to suppress stray reconstructed
+// blocks before deriving a detection box from a propagated mask.
+func LargestComponent(m *video.Mask) *video.Mask {
+	labels, sizes := labelComponents(m)
+	out := video.NewMask(m.W, m.H)
+	if len(sizes) == 0 {
+		return out
+	}
+	best := int32(1)
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[best-1] {
+			best = int32(i + 1)
+		}
+	}
+	for i, l := range labels {
+		if l == best {
+			out.Pix[i] = 1
+		}
+	}
+	return out
+}
+
+// ComponentBoxes returns the bounding boxes of every 4-connected foreground
+// component whose area is at least minArea pixels, in label order.
+func ComponentBoxes(m *video.Mask, minArea int) []video.Rect {
+	labels, sizes := labelComponents(m)
+	boxes := make([]video.Rect, len(sizes))
+	init := make([]bool, len(sizes))
+	for i, l := range labels {
+		if l == 0 {
+			continue
+		}
+		x, y := i%m.W, i/m.W
+		k := int(l) - 1
+		if !init[k] {
+			boxes[k] = video.Rect{X0: x, Y0: y, X1: x + 1, Y1: y + 1}
+			init[k] = true
+			continue
+		}
+		if x < boxes[k].X0 {
+			boxes[k].X0 = x
+		}
+		if y < boxes[k].Y0 {
+			boxes[k].Y0 = y
+		}
+		if x+1 > boxes[k].X1 {
+			boxes[k].X1 = x + 1
+		}
+		if y+1 > boxes[k].Y1 {
+			boxes[k].Y1 = y + 1
+		}
+	}
+	var out []video.Rect
+	for k, s := range sizes {
+		if s >= minArea {
+			out = append(out, boxes[k])
+		}
+	}
+	return out
+}

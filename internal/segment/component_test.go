@@ -1,0 +1,90 @@
+package segment
+
+import (
+	"math"
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func TestLargestComponentPicksBiggest(t *testing.T) {
+	m := video.NewMask(20, 20)
+	// Big blob.
+	for y := 2; y < 10; y++ {
+		for x := 2; x < 10; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	// Small blob.
+	m.Set(15, 15, 1)
+	m.Set(16, 15, 1)
+	out := LargestComponent(m)
+	if out.Area() != 64 {
+		t.Fatalf("largest area %d, want 64", out.Area())
+	}
+	if out.At(15, 15) != 0 {
+		t.Fatal("small blob survived")
+	}
+}
+
+func TestLargestComponentEmptyMask(t *testing.T) {
+	out := LargestComponent(video.NewMask(8, 8))
+	if out.Area() != 0 {
+		t.Fatal("empty mask must stay empty")
+	}
+}
+
+func TestLargestComponentDiagonalNotConnected(t *testing.T) {
+	// 4-connectivity: diagonal neighbors are separate components.
+	m := video.NewMask(4, 4)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	m.Set(2, 2, 1)
+	out := LargestComponent(m)
+	if out.Area() != 1 {
+		t.Fatalf("diagonal pixels merged: area %d", out.Area())
+	}
+}
+
+func TestComponentBoxes(t *testing.T) {
+	m := video.NewMask(24, 16)
+	for y := 1; y < 5; y++ {
+		for x := 1; x < 7; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	for y := 8; y < 12; y++ {
+		for x := 14; x < 20; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	m.Set(22, 14, 1) // tiny speck below minArea
+	boxes := ComponentBoxes(m, 5)
+	if len(boxes) != 2 {
+		t.Fatalf("got %d boxes, want 2", len(boxes))
+	}
+	if boxes[0] != (video.Rect{X0: 1, Y0: 1, X1: 7, Y1: 5}) {
+		t.Fatalf("box 0 = %v", boxes[0])
+	}
+	if boxes[1] != (video.Rect{X0: 14, Y0: 8, X1: 20, Y1: 12}) {
+		t.Fatalf("box 1 = %v", boxes[1])
+	}
+	if got := ComponentBoxes(m, 1); len(got) != 3 {
+		t.Fatalf("minArea 1 should keep the speck: %d boxes", len(got))
+	}
+}
+
+func TestSeqScoreEmptyMeanIsNaN(t *testing.T) {
+	var s SeqScore
+	f, j := s.Mean()
+	if !math.IsNaN(f) || !math.IsNaN(j) {
+		t.Fatal("empty accumulator must return NaN")
+	}
+}
+
+func TestOracleName(t *testing.T) {
+	o := NewOracle("label", nil, 0, 0, 1)
+	if o.Name() != "label" {
+		t.Fatal("Name mismatch")
+	}
+}

@@ -1,0 +1,187 @@
+// Package segment implements the recognition-side core of VR-DANN for
+// video object segmentation: the motion-vector reconstruction of B-frame
+// segmentations from reference-frame results (with the 2-bit pixel
+// representation and bi-reference mean filtering of Sec III/IV-D), the
+// sandwich three-channel input, NN-S refinement, and the standard accuracy
+// metrics (region IoU and boundary F-Score, as in DAVIS).
+package segment
+
+import (
+	"math"
+
+	"vrdann/internal/video"
+)
+
+// IoU returns the intersection-over-union of the foregrounds of two masks.
+// Two empty masks score 1 (perfect agreement).
+func IoU(pred, gt *video.Mask) float64 {
+	var inter, union int
+	for i := range pred.Pix {
+		p, g := pred.Pix[i] != 0, gt.Pix[i] != 0
+		if p && g {
+			inter++
+		}
+		if p || g {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// PixelFScore returns the pixel-level F1 measure (harmonic mean of
+// precision and recall over foreground pixels).
+func PixelFScore(pred, gt *video.Mask) float64 {
+	var tp, fp, fn int
+	for i := range pred.Pix {
+		p, g := pred.Pix[i] != 0, gt.Pix[i] != 0
+		switch {
+		case p && g:
+			tp++
+		case p && !g:
+			fp++
+		case !p && g:
+			fn++
+		}
+	}
+	if tp == 0 {
+		if fp == 0 && fn == 0 {
+			return 1
+		}
+		return 0
+	}
+	prec := float64(tp) / float64(tp+fp)
+	rec := float64(tp) / float64(tp+fn)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// BoundaryFScore returns the contour F-measure used by DAVIS: precision and
+// recall of predicted boundary pixels against ground-truth boundary pixels,
+// with matches allowed within tol pixels.
+func BoundaryFScore(pred, gt *video.Mask, tol int) float64 {
+	pb := boundary(pred)
+	gb := boundary(gt)
+	if len(pb) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(pb) == 0 || len(gb) == 0 {
+		return 0
+	}
+	gset := dilateSet(gb, pred.W, pred.H, tol)
+	pset := dilateSet(pb, pred.W, pred.H, tol)
+	match := 0
+	for _, p := range pb {
+		if gset[p] {
+			match++
+		}
+	}
+	prec := float64(match) / float64(len(pb))
+	match = 0
+	for _, g := range gb {
+		if pset[g] {
+			match++
+		}
+	}
+	rec := float64(match) / float64(len(gb))
+	if prec+rec == 0 {
+		return 0
+	}
+	return 2 * prec * rec / (prec + rec)
+}
+
+// boundary lists the linear indices of foreground pixels with at least one
+// background 4-neighbor (or on the frame edge).
+func boundary(m *video.Mask) []int {
+	var out []int
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Pix[y*m.W+x] == 0 {
+				continue
+			}
+			if x == 0 || y == 0 || x == m.W-1 || y == m.H-1 ||
+				m.Pix[y*m.W+x-1] == 0 || m.Pix[y*m.W+x+1] == 0 ||
+				m.Pix[(y-1)*m.W+x] == 0 || m.Pix[(y+1)*m.W+x] == 0 {
+				out = append(out, y*m.W+x)
+			}
+		}
+	}
+	return out
+}
+
+// dilateSet marks all pixels within Chebyshev distance tol of the listed
+// indices.
+func dilateSet(idx []int, w, h, tol int) map[int]bool {
+	set := make(map[int]bool, len(idx)*(2*tol+1))
+	for _, i := range idx {
+		x, y := i%w, i/w
+		for dy := -tol; dy <= tol; dy++ {
+			yy := y + dy
+			if yy < 0 || yy >= h {
+				continue
+			}
+			for dx := -tol; dx <= tol; dx++ {
+				xx := x + dx
+				if xx < 0 || xx >= w {
+					continue
+				}
+				set[yy*w+xx] = true
+			}
+		}
+	}
+	return set
+}
+
+// SeqScore aggregates per-frame accuracy over a sequence.
+type SeqScore struct {
+	F, J float64 // mean boundary F-Score and mean region IoU (DAVIS J)
+	N    int
+}
+
+// Add accumulates one frame's scores. The boundary tolerance follows the
+// DAVIS convention of scaling with the image diagonal (~0.8%), which is
+// 1 px at the benchmark resolutions used here.
+func (s *SeqScore) Add(pred, gt *video.Mask) {
+	tol := int(0.008*math.Hypot(float64(gt.W), float64(gt.H)) + 0.5)
+	if tol < 1 {
+		tol = 1
+	}
+	s.F += BoundaryFScore(pred, gt, tol)
+	s.J += IoU(pred, gt)
+	s.N++
+}
+
+// Mean returns the averaged (F, J); NaN-free for empty accumulators.
+func (s *SeqScore) Mean() (f, j float64) {
+	if s.N == 0 {
+		return math.NaN(), math.NaN()
+	}
+	return s.F / float64(s.N), s.J / float64(s.N)
+}
+
+// TemporalInstability measures segmentation jitter: for each consecutive
+// frame pair it compares the prediction's frame-to-frame IoU against the
+// ground truth's (which captures how much the object really changed) and
+// averages the shortfall. 0 means the prediction is exactly as temporally
+// coherent as the true object; larger values mean flicker. Per-frame
+// networks flicker with their independent errors, while motion-vector
+// propagation inherits the references' coherence.
+func TemporalInstability(pred, gt []*video.Mask) float64 {
+	if len(pred) < 2 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for t := 1; t < len(pred); t++ {
+		pIoU := IoU(pred[t-1], pred[t])
+		gIoU := IoU(gt[t-1], gt[t])
+		d := gIoU - pIoU
+		if d < 0 {
+			d = 0
+		}
+		sum += d
+		n++
+	}
+	return sum / float64(n)
+}

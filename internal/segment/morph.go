@@ -1,0 +1,126 @@
+package segment
+
+import "vrdann/internal/video"
+
+// Morphological operators on binary masks with a square structuring
+// element of radius r (Chebyshev). They support post-processing of
+// reconstructed segmentations (hole filling, despeckling) and test
+// fixtures for the boundary-error models.
+
+// Dilate grows the foreground by r pixels.
+func Dilate(m *video.Mask, r int) *video.Mask {
+	if r <= 0 {
+		return m.Clone()
+	}
+	// Separable: horizontal then vertical max-filter.
+	tmp := video.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			for dx := -r; dx <= r; dx++ {
+				if m.At(x+dx, y) != 0 {
+					tmp.Pix[y*m.W+x] = 1
+					break
+				}
+			}
+		}
+	}
+	out := video.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			for dy := -r; dy <= r; dy++ {
+				if tmp.At(x, y+dy) != 0 {
+					out.Pix[y*m.W+x] = 1
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Erode shrinks the foreground by r pixels (out-of-frame counts as
+// background, so objects touching the border erode from the border too).
+func Erode(m *video.Mask, r int) *video.Mask {
+	if r <= 0 {
+		return m.Clone()
+	}
+	tmp := video.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			keep := uint8(1)
+			for dx := -r; dx <= r; dx++ {
+				if m.At(x+dx, y) == 0 {
+					keep = 0
+					break
+				}
+			}
+			tmp.Pix[y*m.W+x] = keep
+		}
+	}
+	out := video.NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			keep := uint8(1)
+			for dy := -r; dy <= r; dy++ {
+				if tmp.At(x, y+dy) == 0 {
+					keep = 0
+					break
+				}
+			}
+			out.Pix[y*m.W+x] = keep
+		}
+	}
+	return out
+}
+
+// Open erodes then dilates: removes speckles smaller than the element.
+func Open(m *video.Mask, r int) *video.Mask {
+	return Dilate(Erode(m, r), r)
+}
+
+// Close dilates then erodes: fills gaps and holes smaller than the element.
+func Close(m *video.Mask, r int) *video.Mask {
+	return Erode(Dilate(m, r), r)
+}
+
+// FillHoles sets all background regions not connected to the frame border
+// to foreground — the standard hole-filling post-process.
+func FillHoles(m *video.Mask) *video.Mask {
+	// Flood-fill background from the border; anything not reached is a hole.
+	reached := make([]bool, len(m.Pix))
+	var stack []int
+	push := func(x, y int) {
+		if x < 0 || y < 0 || x >= m.W || y >= m.H {
+			return
+		}
+		i := y*m.W + x
+		if !reached[i] && m.Pix[i] == 0 {
+			reached[i] = true
+			stack = append(stack, i)
+		}
+	}
+	for x := 0; x < m.W; x++ {
+		push(x, 0)
+		push(x, m.H-1)
+	}
+	for y := 0; y < m.H; y++ {
+		push(0, y)
+		push(m.W-1, y)
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		x, y := i%m.W, i/m.W
+		push(x-1, y)
+		push(x+1, y)
+		push(x, y-1)
+		push(x, y+1)
+	}
+	out := video.NewMask(m.W, m.H)
+	for i := range m.Pix {
+		if m.Pix[i] != 0 || !reached[i] {
+			out.Pix[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vrdann/internal/video"
+)
+
+func TestDilateGrowsSquare(t *testing.T) {
+	m := squareMask(16, 16, 6, 6, 4)
+	d := Dilate(m, 1)
+	if d.Area() != 6*6 {
+		t.Fatalf("dilated area %d, want 36", d.Area())
+	}
+	if d.At(5, 5) != 1 || d.At(10, 10) != 1 {
+		t.Fatal("corners not grown")
+	}
+}
+
+func TestErodeShrinksSquare(t *testing.T) {
+	m := squareMask(16, 16, 6, 6, 4)
+	e := Erode(m, 1)
+	if e.Area() != 2*2 {
+		t.Fatalf("eroded area %d, want 4", e.Area())
+	}
+}
+
+func TestErodeDilateDuality(t *testing.T) {
+	// Erosion of the mask equals complement of dilation of the complement
+	// (with border treated as background, the identity holds away from the
+	// border; test on an interior object).
+	m := squareMask(20, 20, 8, 8, 5)
+	e := Erode(m, 1)
+	comp := video.NewMask(20, 20)
+	for i, v := range m.Pix {
+		comp.Pix[i] = 1 - v
+	}
+	dc := Dilate(comp, 1)
+	for y := 2; y < 18; y++ {
+		for x := 2; x < 18; x++ {
+			if e.At(x, y) != 1-dc.At(x, y) {
+				t.Fatalf("duality violated at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestOpenRemovesSpeckles(t *testing.T) {
+	m := squareMask(24, 24, 4, 4, 8)
+	m.Set(20, 20, 1) // isolated speckle
+	o := Open(m, 1)
+	if o.At(20, 20) != 0 {
+		t.Fatal("speckle survived opening")
+	}
+	if o.Area() < 30 {
+		t.Fatalf("opening destroyed the object: area %d", o.Area())
+	}
+}
+
+func TestCloseFillsGaps(t *testing.T) {
+	m := squareMask(24, 24, 4, 4, 8)
+	m.Set(7, 7, 0) // one-pixel hole
+	c := Close(m, 1)
+	if c.At(7, 7) != 1 {
+		t.Fatal("hole survived closing")
+	}
+}
+
+func TestOpenCloseIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := video.NewMask(20, 16)
+		for i := range m.Pix {
+			if rng.Float64() < 0.4 {
+				m.Pix[i] = 1
+			}
+		}
+		o1 := Open(m, 1)
+		o2 := Open(o1, 1)
+		c1 := Close(m, 1)
+		c2 := Close(c1, 1)
+		for i := range o1.Pix {
+			if o1.Pix[i] != o2.Pix[i] || c1.Pix[i] != c2.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFillHoles(t *testing.T) {
+	// A ring: outside stays background, inside fills.
+	m := video.NewMask(20, 20)
+	for y := 4; y < 16; y++ {
+		for x := 4; x < 16; x++ {
+			if x == 4 || x == 15 || y == 4 || y == 15 {
+				m.Set(x, y, 1)
+			}
+		}
+	}
+	f := FillHoles(m)
+	if f.At(10, 10) != 1 {
+		t.Fatal("interior hole not filled")
+	}
+	if f.At(0, 0) != 0 || f.At(19, 19) != 0 {
+		t.Fatal("exterior background filled")
+	}
+	if f.At(4, 10) != 1 {
+		t.Fatal("ring itself lost")
+	}
+}
+
+func TestFillHolesNoHolesIsIdentity(t *testing.T) {
+	m := squareMask(12, 12, 3, 3, 5)
+	f := FillHoles(m)
+	for i := range m.Pix {
+		if f.Pix[i] != m.Pix[i] {
+			t.Fatal("hole-free mask changed")
+		}
+	}
+}

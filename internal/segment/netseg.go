@@ -1,0 +1,30 @@
+package segment
+
+import (
+	"vrdann/internal/nn"
+	"vrdann/internal/video"
+)
+
+// NetSegmenter runs a trained Go network (the pure-Go NN-L) as a Segmenter.
+type NetSegmenter struct {
+	Label string
+	Net   nn.Layer
+}
+
+// Name implements Segmenter.
+func (n *NetSegmenter) Name() string { return n.Label }
+
+// Segment implements Segmenter.
+func (n *NetSegmenter) Segment(f *video.Frame, _ int) *video.Mask {
+	logits := n.Net.Forward(FrameToTensor(f))
+	m := video.NewMask(f.W, f.H)
+	for i, v := range logits.Data {
+		if v > 0 {
+			m.Pix[i] = 1
+		}
+	}
+	return m
+}
+
+var _ Segmenter = (*NetSegmenter)(nil)
+var _ Segmenter = (*Oracle)(nil)

@@ -1,0 +1,183 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"vrdann/internal/video"
+)
+
+// Segmenter produces a segmentation mask for one decoded frame. The VR-DANN
+// pipeline runs a Segmenter only on I/P-frames; per-frame baselines run one
+// on every frame.
+type Segmenter interface {
+	Segment(f *video.Frame, display int) *video.Mask
+	// Name identifies the model for reports.
+	Name() string
+}
+
+// Oracle is a calibrated stand-in for a large segmentation network: it
+// returns the ground-truth mask perturbed by *structured* boundary error of
+// a chosen strength. Real network error is not salt-and-pepper noise — it
+// is coherent under- and over-segmentation along stretches of the contour
+// (which no lightweight refinement can undo, because a displaced boundary
+// looks plausible). The oracle therefore displaces the boundary where a
+// low-frequency random field exceeds a threshold, plus a small
+// salt-and-pepper component. Strength 0 is a perfect network; larger values
+// model weaker models (the paper's OSVOS is less accurate than FAVOS's ROI
+// SegNet). The perturbation is deterministic per (seed, frame).
+type Oracle struct {
+	Label    string
+	GT       []*video.Mask
+	Strength float64 // fraction of the boundary suffering displacement
+	Radius   int     // boundary band half-width in pixels
+	Seed     int64
+}
+
+// NewOracle builds an oracle segmenter over the ground-truth masks.
+func NewOracle(label string, gt []*video.Mask, strength float64, radius int, seed int64) *Oracle {
+	return &Oracle{Label: label, GT: gt, Strength: strength, Radius: radius, Seed: seed}
+}
+
+// Name implements Segmenter.
+func (o *Oracle) Name() string { return o.Label }
+
+// Segment implements Segmenter.
+func (o *Oracle) Segment(_ *video.Frame, display int) *video.Mask {
+	gt := o.GT[display]
+	out := gt.Clone()
+	if o.Strength <= 0 {
+		return out
+	}
+	// The displacement field is seeded per *sequence* and drifts only slowly
+	// with the frame index: a real network makes correlated mistakes on
+	// neighboring frames (same model, similar appearance), so reference
+	// averaging cannot cancel them. Only the salt-and-pepper component is
+	// per-frame.
+	rng := rand.New(rand.NewSource(o.Seed))
+	type wave struct{ fx, fy, ph float64 }
+	waves := make([]wave, 3)
+	for i := range waves {
+		waves[i] = wave{
+			fx: (rng.Float64()*2 - 1) * 0.12,
+			fy: (rng.Float64()*2 - 1) * 0.12,
+			ph: rng.Float64()*2*math.Pi + 0.03*float64(display),
+		}
+	}
+	rng = rand.New(rand.NewSource(o.Seed + int64(display)*7919))
+	// The field lives in object-local coordinates (offset by the mask
+	// centroid): a network's mistakes track the object's appearance, not
+	// fixed image positions, so the same contour section stays wrong as the
+	// object moves. This is what makes the error survive motion-vector
+	// propagation and reference averaging, as real network error does.
+	cx, cy := centroid(gt)
+	field := func(x, y int) float64 {
+		lx, ly := float64(x)-cx, float64(y)-cy
+		var s float64
+		for _, w := range waves {
+			s += math.Sin(w.fx*lx + w.fy*ly + w.ph)
+		}
+		return s / 3
+	}
+	b := boundary(gt)
+	if len(b) == 0 {
+		return out
+	}
+	depth := o.Radius
+	if depth < 1 {
+		depth = 1
+	}
+	// Pick the displacement thresholds as empirical quantiles of the field
+	// over this frame's boundary, so exactly ~Strength of the contour is
+	// over-segmented and ~Strength under-segmented regardless of the seed.
+	phis := make([]float64, len(b))
+	for k, i := range b {
+		phis[k] = field(i%gt.W, i/gt.W)
+	}
+	sorted := append([]float64(nil), phis...)
+	sort.Float64s(sorted)
+	qIdx := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	tauLo := qIdx(o.Strength)
+	tauHi := qIdx(1 - o.Strength)
+	for k, i := range b {
+		x, y := i%gt.W, i/gt.W
+		phi := phis[k]
+		switch {
+		case phi > tauHi: // over-segment: dilate outward by up to depth pixels
+			for dy := -depth; dy <= depth; dy++ {
+				for dx := -depth; dx <= depth; dx++ {
+					if gt.At(x+dx, y+dy) == 0 {
+						out.Set(x+dx, y+dy, 1)
+					}
+				}
+			}
+		case phi < tauLo: // under-segment: erode inward
+			for dy := -depth; dy <= depth; dy++ {
+				for dx := -depth; dx <= depth; dx++ {
+					if gt.At(x+dx, y+dy) == 1 {
+						out.Set(x+dx, y+dy, 0)
+					}
+				}
+			}
+		}
+	}
+	// Small salt-and-pepper component near the boundary.
+	for _, i := range boundaryBand(gt, depth) {
+		if rng.Float64() < o.Strength*0.15 {
+			out.Pix[i] ^= 1
+		}
+	}
+	return out
+}
+
+// centroid returns the foreground centroid of a mask (frame center for an
+// empty mask).
+func centroid(m *video.Mask) (cx, cy float64) {
+	var sx, sy, n float64
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Pix[y*m.W+x] != 0 {
+				sx += float64(x)
+				sy += float64(y)
+				n++
+			}
+		}
+	}
+	if n == 0 {
+		return float64(m.W) / 2, float64(m.H) / 2
+	}
+	return sx / n, sy / n
+}
+
+// boundaryBand lists pixels within Chebyshev distance r of the mask
+// boundary.
+func boundaryBand(m *video.Mask, r int) []int {
+	b := boundary(m)
+	seen := make(map[int]bool)
+	var out []int
+	for _, i := range b {
+		x, y := i%m.W, i/m.W
+		for dy := -r; dy <= r; dy++ {
+			yy := y + dy
+			if yy < 0 || yy >= m.H {
+				continue
+			}
+			for dx := -r; dx <= r; dx++ {
+				xx := x + dx
+				if xx < 0 || xx >= m.W {
+					continue
+				}
+				j := yy*m.W + xx
+				if !seen[j] {
+					seen[j] = true
+					out = append(out, j)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,169 @@
+package segment
+
+import (
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/video"
+)
+
+// Recon pixel codes (Sec IV-D): each reconstructed pixel holds 2 bits.
+const (
+	ReconBlack = 0 // 00: both references background
+	ReconGrayA = 1 // 01: references disagree
+	ReconGrayB = 2 // 10: references disagree
+	ReconWhite = 3 // 11: both references foreground
+)
+
+// ReconMask is the 2-bit-per-pixel reconstructed segmentation of a B-frame
+// (the content of a tmp_B buffer before refinement).
+type ReconMask struct {
+	W, H int
+	Pix  []uint8 // values 0..3
+}
+
+// NewReconMask allocates an all-black reconstruction.
+func NewReconMask(w, h int) *ReconMask {
+	return &ReconMask{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// Value returns the pixel as a fraction of foreground: 0, 0.5 or 1.
+func (r *ReconMask) Value(x, y int) float32 {
+	switch r.Pix[y*r.W+x] {
+	case ReconBlack:
+		return 0
+	case ReconWhite:
+		return 1
+	default:
+		return 0.5
+	}
+}
+
+// Binary thresholds the reconstruction at 0.5 (gray counts as foreground,
+// matching the mean filter's rounding of 0.5 up).
+func (r *ReconMask) Binary() *video.Mask {
+	m := video.NewMask(r.W, r.H)
+	for i, v := range r.Pix {
+		if v != ReconBlack {
+			m.Pix[i] = 1
+		}
+	}
+	return m
+}
+
+// Reconstruct builds the B-frame segmentation from the motion vectors of
+// its macro-blocks and the segmentation results of its reference frames
+// (Sec III-A-1). refSegs maps display index -> segmentation mask for every
+// anchor the MVs reference. Blocks without a motion vector (intra-coded in
+// the bitstream) fall back to the co-located block of the nearest reference.
+func Reconstruct(info codec.FrameInfo, refSegs map[int]*video.Mask, w, h, blockSize int) (*ReconMask, error) {
+	if info.Type != codec.BFrame {
+		return nil, fmt.Errorf("segment: Reconstruct called on %v-frame %d", info.Type, info.Display)
+	}
+	out := NewReconMask(w, h)
+	covered := make([]bool, (w/blockSize)*(h/blockSize))
+	bw := w / blockSize
+	for _, mv := range info.MVs {
+		ref, ok := refSegs[mv.Ref]
+		if !ok {
+			return nil, fmt.Errorf("segment: missing reference segmentation for frame %d", mv.Ref)
+		}
+		if mv.BiRef {
+			ref2, ok := refSegs[mv.Ref2]
+			if !ok {
+				return nil, fmt.Errorf("segment: missing reference segmentation for frame %d", mv.Ref2)
+			}
+			reconBlockBi(out, ref, ref2, mv, blockSize)
+		} else {
+			reconBlockSingle(out, ref, mv, blockSize)
+		}
+		covered[(mv.DstY/blockSize)*bw+mv.DstX/blockSize] = true
+	}
+	// Intra fallback: co-located copy from the nearest available reference.
+	nearest := nearestRef(info, refSegs)
+	if nearest != nil {
+		for by := 0; by < h; by += blockSize {
+			for bx := 0; bx < w; bx += blockSize {
+				if covered[(by/blockSize)*bw+bx/blockSize] {
+					continue
+				}
+				mv := codec.MotionVector{DstX: bx, DstY: by, SrcX: bx, SrcY: by}
+				reconBlockSingle(out, nearest, mv, blockSize)
+			}
+		}
+	}
+	return out, nil
+}
+
+// nearestRef picks the reference segmentation temporally closest to the
+// B-frame.
+func nearestRef(info codec.FrameInfo, refSegs map[int]*video.Mask) *video.Mask {
+	best, bestDist := -1, 1<<30
+	for d := range refSegs {
+		dist := d - info.Display
+		if dist < 0 {
+			dist = -dist
+		}
+		// Deterministic tie-break (maps iterate in random order): prefer the
+		// earlier frame, matching the decoder's preference for past anchors.
+		if dist < bestDist || (dist == bestDist && d < best) {
+			best, bestDist = d, dist
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return refSegs[best]
+}
+
+// reconBlockSingle copies one reference block: mask bit 0 -> 00, 1 -> 11.
+func reconBlockSingle(out *ReconMask, ref *video.Mask, mv codec.MotionVector, bs int) {
+	for y := 0; y < bs; y++ {
+		dy := mv.DstY + y
+		if dy < 0 || dy >= out.H {
+			continue
+		}
+		for x := 0; x < bs; x++ {
+			dx := mv.DstX + x
+			if dx < 0 || dx >= out.W {
+				continue
+			}
+			if ref.At(clampI(mv.SrcX+x, 0, ref.W-1), clampI(mv.SrcY+y, 0, ref.H-1)) != 0 {
+				out.Pix[dy*out.W+dx] = ReconWhite
+			} else {
+				out.Pix[dy*out.W+dx] = ReconBlack
+			}
+		}
+	}
+}
+
+// reconBlockBi combines two reference blocks with the paper's 2-bit mean
+// filter: the two 1-bit reads are simply concatenated, so 1+1=11 (white),
+// 0+0=00 (black) and disagreement yields 10/01 (gray).
+func reconBlockBi(out *ReconMask, ref1, ref2 *video.Mask, mv codec.MotionVector, bs int) {
+	for y := 0; y < bs; y++ {
+		dy := mv.DstY + y
+		if dy < 0 || dy >= out.H {
+			continue
+		}
+		for x := 0; x < bs; x++ {
+			dx := mv.DstX + x
+			if dx < 0 || dx >= out.W {
+				continue
+			}
+			b1 := ref1.At(clampI(mv.SrcX+x, 0, ref1.W-1), clampI(mv.SrcY+y, 0, ref1.H-1))
+			b2 := ref2.At(clampI(mv.SrcX2+x, 0, ref2.W-1), clampI(mv.SrcY2+y, 0, ref2.H-1))
+			out.Pix[dy*out.W+dx] = b1<<1 | b2
+		}
+	}
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

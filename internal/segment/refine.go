@@ -1,0 +1,57 @@
+package segment
+
+import (
+	"vrdann/internal/nn"
+	"vrdann/internal/tensor"
+	"vrdann/internal/video"
+)
+
+// Sandwich builds the three-channel NN-S input of Sec III-A-2: channel 0 is
+// the segmentation of the immediately preceding reference frame, channel 1
+// the 2-bit reconstruction of the current B-frame (as 0/0.5/1 values), and
+// channel 2 the segmentation of the immediately following reference frame.
+func Sandwich(prev *video.Mask, recon *ReconMask, next *video.Mask) *tensor.Tensor {
+	w, h := recon.W, recon.H
+	x := tensor.New(3, h, w)
+	plane := h * w
+	for y := 0; y < h; y++ {
+		for xx := 0; xx < w; xx++ {
+			i := y*w + xx
+			x.Data[i] = float32(prev.Pix[i])
+			x.Data[plane+i] = recon.Value(xx, y)
+			x.Data[2*plane+i] = float32(next.Pix[i])
+		}
+	}
+	return x
+}
+
+// Refine runs NN-S on the sandwich input and returns the refined binary
+// segmentation of the B-frame.
+func Refine(net *nn.RefineNet, prev *video.Mask, recon *ReconMask, next *video.Mask) *video.Mask {
+	logits := net.Forward(Sandwich(prev, recon, next))
+	m := video.NewMask(recon.W, recon.H)
+	for i, v := range logits.Data {
+		if v > 0 {
+			m.Pix[i] = 1
+		}
+	}
+	return m
+}
+
+// MaskToTensor converts a binary mask to a [1,H,W] tensor.
+func MaskToTensor(m *video.Mask) *tensor.Tensor {
+	t := tensor.New(1, m.H, m.W)
+	for i, v := range m.Pix {
+		t.Data[i] = float32(v)
+	}
+	return t
+}
+
+// FrameToTensor converts a luma frame to a [1,H,W] tensor scaled to [0,1].
+func FrameToTensor(f *video.Frame) *tensor.Tensor {
+	t := tensor.New(1, f.H, f.W)
+	for i, v := range f.Pix {
+		t.Data[i] = float32(v) / 255
+	}
+	return t
+}

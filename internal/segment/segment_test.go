@@ -1,0 +1,322 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/nn"
+	"vrdann/internal/video"
+)
+
+func squareMask(w, h, x0, y0, size int) *video.Mask {
+	m := video.NewMask(w, h)
+	for y := y0; y < y0+size; y++ {
+		for x := x0; x < x0+size; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	return m
+}
+
+func TestIoUPerfectAndDisjoint(t *testing.T) {
+	a := squareMask(16, 16, 2, 2, 6)
+	if IoU(a, a) != 1 {
+		t.Fatal("self IoU must be 1")
+	}
+	b := squareMask(16, 16, 10, 10, 4)
+	if IoU(a, b) != 0 {
+		t.Fatal("disjoint IoU must be 0")
+	}
+	if IoU(video.NewMask(8, 8), video.NewMask(8, 8)) != 1 {
+		t.Fatal("empty vs empty must be 1")
+	}
+}
+
+func TestIoUHalfOverlap(t *testing.T) {
+	a := squareMask(16, 16, 0, 0, 4) // 16 px
+	b := squareMask(16, 16, 2, 0, 4) // overlap 8, union 24
+	if got := IoU(a, b); math.Abs(got-8.0/24.0) > 1e-12 {
+		t.Fatalf("IoU = %v, want 1/3", got)
+	}
+}
+
+func TestPixelFScore(t *testing.T) {
+	a := squareMask(16, 16, 0, 0, 4)
+	if PixelFScore(a, a) != 1 {
+		t.Fatal("self F must be 1")
+	}
+	b := squareMask(16, 16, 8, 8, 4)
+	if PixelFScore(a, b) != 0 {
+		t.Fatal("disjoint F must be 0")
+	}
+	// pred covers half the gt exactly: precision 1, recall 0.5 -> F = 2/3.
+	gt := squareMask(16, 16, 0, 0, 4)
+	pred := video.NewMask(16, 16)
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 4; x++ {
+			pred.Set(x, y, 1)
+		}
+	}
+	if got := PixelFScore(pred, gt); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Fatalf("F = %v, want 2/3", got)
+	}
+}
+
+func TestBoundaryFScoreToleratesSmallShift(t *testing.T) {
+	gt := squareMask(32, 32, 8, 8, 10)
+	shifted := squareMask(32, 32, 9, 8, 10)
+	if got := BoundaryFScore(shifted, gt, 2); got < 0.99 {
+		t.Fatalf("1-px shift within tolerance should score ~1, got %v", got)
+	}
+	far := squareMask(32, 32, 20, 20, 10)
+	if got := BoundaryFScore(far, gt, 2); got > 0.3 {
+		t.Fatalf("distant object should score low, got %v", got)
+	}
+}
+
+func TestSeqScoreAggregates(t *testing.T) {
+	var s SeqScore
+	a := squareMask(16, 16, 2, 2, 6)
+	s.Add(a, a)
+	s.Add(a, a)
+	f, j := s.Mean()
+	if f != 1 || j != 1 {
+		t.Fatalf("Mean = %v,%v", f, j)
+	}
+}
+
+func TestReconMaskValueAndBinary(t *testing.T) {
+	r := NewReconMask(2, 2)
+	r.Pix = []uint8{ReconBlack, ReconGrayA, ReconGrayB, ReconWhite}
+	if r.Value(0, 0) != 0 || r.Value(1, 0) != 0.5 || r.Value(0, 1) != 0.5 || r.Value(1, 1) != 1 {
+		t.Fatal("2-bit value mapping wrong")
+	}
+	b := r.Binary()
+	want := []uint8{0, 1, 1, 1}
+	for i := range want {
+		if b.Pix[i] != want[i] {
+			t.Fatalf("binary[%d] = %d, want %d", i, b.Pix[i], want[i])
+		}
+	}
+}
+
+// fakeBInfo builds a synthetic B-frame FrameInfo with one MV per block.
+func fakeBInfo(display, w, h, bs int, mv func(bx, by int) codec.MotionVector) codec.FrameInfo {
+	info := codec.FrameInfo{Display: display, Type: codec.BFrame}
+	for by := 0; by < h; by += bs {
+		for bx := 0; bx < w; bx += bs {
+			info.MVs = append(info.MVs, mv(bx, by))
+			info.Blocks++
+		}
+	}
+	return info
+}
+
+func TestReconstructPureTranslation(t *testing.T) {
+	// Reference mask has a square at x=8; all MVs point 8 px left in the
+	// reference, so the reconstruction shows the square moved 8 px right.
+	// (Blocks whose source lands off-frame read edge-clamped background,
+	// mirroring the codec's pixel prediction.)
+	const w, h, bs = 32, 32, 8
+	ref := squareMask(w, h, 8, 8, 8)
+	info := fakeBInfo(1, w, h, bs, func(bx, by int) codec.MotionVector {
+		return codec.MotionVector{DstX: bx, DstY: by, Ref: 0, SrcX: bx - 8, SrcY: by}
+	})
+	rec, err := Reconstruct(info, map[int]*video.Mask{0: ref}, w, h, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Binary()
+	want := squareMask(w, h, 16, 8, 8)
+	if IoU(got, want) != 1 {
+		t.Fatalf("translated reconstruction IoU = %v", IoU(got, want))
+	}
+}
+
+func TestReconstructBiRefMeanFilter(t *testing.T) {
+	const w, h, bs = 8, 8, 8
+	white := video.NewMask(w, h)
+	for i := range white.Pix {
+		white.Pix[i] = 1
+	}
+	black := video.NewMask(w, h)
+	info := codec.FrameInfo{Display: 1, Type: codec.BFrame, Blocks: 1, MVs: []codec.MotionVector{{
+		DstX: 0, DstY: 0, Ref: 0, SrcX: 0, SrcY: 0,
+		BiRef: true, Ref2: 2, SrcX2: 0, SrcY2: 0,
+	}}}
+	rec, err := Reconstruct(info, map[int]*video.Mask{0: white, 2: black}, w, h, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rec.Pix {
+		if v != ReconGrayB { // 1<<1 | 0 = 10
+			t.Fatalf("bi-ref disagreement pixel = %d, want gray (2)", v)
+		}
+	}
+	// Agreement cases.
+	info.MVs[0].Ref2 = 0
+	rec, err = Reconstruct(info, map[int]*video.Mask{0: white}, w, h, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Pix[0] != ReconWhite {
+		t.Fatalf("white+white = %d, want 3", rec.Pix[0])
+	}
+}
+
+func TestReconstructIntraFallbackUsesNearestRef(t *testing.T) {
+	const w, h, bs = 16, 16, 8
+	near := squareMask(w, h, 0, 0, 16)                      // all-white nearest ref (display 2)
+	far := video.NewMask(w, h)                              // black far ref (display 8)
+	info := codec.FrameInfo{Display: 3, Type: codec.BFrame} // no MVs at all
+	rec, err := Reconstruct(info, map[int]*video.Mask{2: near, 8: far}, w, h, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Binary().Area() != w*h {
+		t.Fatal("intra fallback should copy the nearest (white) reference")
+	}
+}
+
+func TestReconstructRejectsNonBFrame(t *testing.T) {
+	info := codec.FrameInfo{Type: codec.IFrame}
+	if _, err := Reconstruct(info, nil, 8, 8, 8); err == nil {
+		t.Fatal("expected error for non-B frame")
+	}
+}
+
+func TestReconstructMissingRefErrors(t *testing.T) {
+	info := codec.FrameInfo{Display: 1, Type: codec.BFrame, MVs: []codec.MotionVector{{Ref: 5}}}
+	if _, err := Reconstruct(info, map[int]*video.Mask{}, 8, 8, 8); err == nil {
+		t.Fatal("expected error for missing reference segmentation")
+	}
+}
+
+func TestSandwichLayout(t *testing.T) {
+	prev := squareMask(4, 4, 0, 0, 4)
+	next := video.NewMask(4, 4)
+	rec := NewReconMask(4, 4)
+	rec.Pix[0] = ReconGrayA
+	rec.Pix[1] = ReconWhite
+	x := Sandwich(prev, rec, next)
+	if x.Shape[0] != 3 || x.Shape[1] != 4 || x.Shape[2] != 4 {
+		t.Fatalf("sandwich shape %v", x.Shape)
+	}
+	if x.At(0, 0, 0) != 1 {
+		t.Fatal("channel 0 must be prev mask")
+	}
+	if x.At(1, 0, 0) != 0.5 || x.At(1, 0, 1) != 1 {
+		t.Fatal("channel 1 must be the 0/0.5/1 reconstruction")
+	}
+	if x.At(2, 0, 0) != 0 {
+		t.Fatal("channel 2 must be next mask")
+	}
+}
+
+func TestRefineProducesBinaryMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewRefineNet(rng, 4)
+	prev := squareMask(8, 8, 2, 2, 4)
+	next := squareMask(8, 8, 3, 2, 4)
+	rec := NewReconMask(8, 8)
+	m := Refine(net, prev, rec, next)
+	if m.W != 8 || m.H != 8 {
+		t.Fatalf("refined mask geometry %dx%d", m.W, m.H)
+	}
+	for _, v := range m.Pix {
+		if v > 1 {
+			t.Fatal("mask must be binary")
+		}
+	}
+}
+
+func TestOracleStrengthZeroIsGroundTruth(t *testing.T) {
+	gt := []*video.Mask{squareMask(16, 16, 4, 4, 6)}
+	o := NewOracle("perfect", gt, 0, 2, 1)
+	m := o.Segment(nil, 0)
+	if IoU(m, gt[0]) != 1 {
+		t.Fatal("strength-0 oracle must return ground truth")
+	}
+}
+
+func TestOracleNoiseScalesWithStrength(t *testing.T) {
+	gt := []*video.Mask{squareMask(32, 32, 8, 8, 12)}
+	weak := NewOracle("weak", gt, 0.05, 2, 1).Segment(nil, 0)
+	strong := NewOracle("strong", gt, 0.4, 2, 1).Segment(nil, 0)
+	if IoU(weak, gt[0]) <= IoU(strong, gt[0]) {
+		t.Fatalf("stronger noise should reduce IoU (weak %v, strong %v)",
+			IoU(weak, gt[0]), IoU(strong, gt[0]))
+	}
+	// Noise must stay near the boundary: interior far from edges untouched.
+	if strong.At(14, 14) != 1 {
+		t.Fatal("deep interior pixel should be untouched")
+	}
+}
+
+func TestOracleDeterministic(t *testing.T) {
+	gt := []*video.Mask{squareMask(32, 32, 8, 8, 12)}
+	a := NewOracle("o", gt, 0.2, 2, 9).Segment(nil, 0)
+	b := NewOracle("o", gt, 0.2, 2, 9).Segment(nil, 0)
+	if IoU(a, b) != 1 {
+		t.Fatal("oracle must be deterministic per seed")
+	}
+}
+
+func TestNetSegmenterRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	seg := &NetSegmenter{Label: "fcn", Net: nn.NewFCN(rng, 1, 4)}
+	f := video.NewFrame(16, 16)
+	m := seg.Segment(f, 0)
+	if m.W != 16 || m.H != 16 {
+		t.Fatalf("mask geometry %dx%d", m.W, m.H)
+	}
+	if seg.Name() != "fcn" {
+		t.Fatal("name")
+	}
+}
+
+func TestMaskFrameTensorConversions(t *testing.T) {
+	m := squareMask(4, 4, 0, 0, 2)
+	tm := MaskToTensor(m)
+	if tm.At(0, 0, 0) != 1 || tm.At(0, 3, 3) != 0 {
+		t.Fatal("MaskToTensor wrong")
+	}
+	f := video.NewFrame(4, 4)
+	f.Set(1, 1, 255)
+	tf := FrameToTensor(f)
+	if tf.At(0, 1, 1) != 1 || tf.At(0, 0, 0) != 0 {
+		t.Fatal("FrameToTensor wrong")
+	}
+}
+
+func TestTemporalInstabilityPerfectIsZero(t *testing.T) {
+	gt := []*video.Mask{squareMask(16, 16, 2, 2, 6), squareMask(16, 16, 3, 2, 6), squareMask(16, 16, 4, 2, 6)}
+	if got := TemporalInstability(gt, gt); got != 0 {
+		t.Fatalf("self instability = %v", got)
+	}
+}
+
+func TestTemporalInstabilityDetectsFlicker(t *testing.T) {
+	gt := []*video.Mask{squareMask(16, 16, 4, 4, 6), squareMask(16, 16, 4, 4, 6), squareMask(16, 16, 4, 4, 6)}
+	// A flickering prediction: alternating sizes around the truth.
+	flicker := []*video.Mask{squareMask(16, 16, 4, 4, 6), squareMask(16, 16, 3, 3, 8), squareMask(16, 16, 5, 5, 4)}
+	steady := []*video.Mask{squareMask(16, 16, 3, 4, 6), squareMask(16, 16, 3, 4, 6), squareMask(16, 16, 3, 4, 6)}
+	if TemporalInstability(flicker, gt) <= TemporalInstability(steady, gt) {
+		t.Fatal("flicker must score higher instability than a steady offset")
+	}
+	if TemporalInstability(steady, gt) != 0 {
+		t.Fatal("a constant-offset prediction is perfectly stable")
+	}
+}
+
+func TestTemporalInstabilityShortSequences(t *testing.T) {
+	if TemporalInstability(nil, nil) != 0 {
+		t.Fatal("empty sequence must be 0")
+	}
+	one := []*video.Mask{squareMask(8, 8, 1, 1, 3)}
+	if TemporalInstability(one, one) != 0 {
+		t.Fatal("single frame must be 0")
+	}
+}

@@ -1,0 +1,98 @@
+package agent
+
+import (
+	"testing"
+
+	"vrdann/internal/codec"
+)
+
+func TestCoalesceMergesSameRow(t *testing.T) {
+	c := DefaultConfig()
+	// Eight MVs pointing at the same reference row: one group (Fig 8).
+	var mvs []codec.MotionVector
+	for i := 0; i < 8; i++ {
+		mvs = append(mvs, codec.MotionVector{Ref: 0, SrcY: 16, SrcX: i * 8})
+	}
+	st := c.Coalesce(mvs)
+	if st.MVs != 8 || st.Groups != 1 {
+		t.Fatalf("MVs=%d Groups=%d, want 8/1", st.MVs, st.Groups)
+	}
+	if st.DistinctRef != 1 {
+		t.Fatalf("DistinctRef = %d", st.DistinctRef)
+	}
+}
+
+func TestCoalesceSeparatesRefsAndRows(t *testing.T) {
+	c := DefaultConfig()
+	mvs := []codec.MotionVector{
+		{Ref: 0, SrcY: 0},
+		{Ref: 0, SrcY: 8},
+		{Ref: 4, SrcY: 0},
+		{Ref: 4, SrcY: 0}, // duplicate of previous
+	}
+	st := c.Coalesce(mvs)
+	if st.Groups != 3 {
+		t.Fatalf("Groups = %d, want 3", st.Groups)
+	}
+	if st.DistinctRef != 2 {
+		t.Fatalf("DistinctRef = %d, want 2", st.DistinctRef)
+	}
+}
+
+func TestCoalesceWindowLimitsMerging(t *testing.T) {
+	// 64 identical entries with a 32-entry window flush twice: 2 groups.
+	c := DefaultConfig()
+	var mvs []codec.MotionVector
+	for i := 0; i < 64; i++ {
+		mvs = append(mvs, codec.MotionVector{Ref: 0, SrcY: 0})
+	}
+	st := c.Coalesce(mvs)
+	if st.Groups != 2 {
+		t.Fatalf("Groups = %d, want 2 (window flushes)", st.Groups)
+	}
+}
+
+func TestCoalesceBiRefCountsTwice(t *testing.T) {
+	c := DefaultConfig()
+	mvs := []codec.MotionVector{{Ref: 0, SrcY: 0, BiRef: true, Ref2: 4, SrcY2: 8}}
+	st := c.Coalesce(mvs)
+	if st.MVs != 2 || st.Groups != 2 || st.DistinctRef != 2 {
+		t.Fatalf("bi-ref stats: %+v", st)
+	}
+}
+
+func TestSRAMBytesMatchesTableII(t *testing.T) {
+	c := DefaultConfig()
+	b := c.SRAMBytes()
+	// ~300 KB of tmp_B plus under 2.2 KB of queues/table.
+	if b < 300<<10 || b > 303<<10 {
+		t.Fatalf("SRAM bytes = %d, want ~300KB + <2.2KB", b)
+	}
+}
+
+func TestControlAndEnergyScale(t *testing.T) {
+	c := DefaultConfig()
+	if c.ControlNS(600) <= c.ControlNS(300) {
+		t.Fatal("control time must grow with blocks")
+	}
+	if c.TmpBEnergyPJ(854, 480) <= c.TmpBEnergyPJ(100, 100) {
+		t.Fatal("tmp_B energy must grow with area")
+	}
+}
+
+func TestAreaAndAccessEnergyMatchPaper(t *testing.T) {
+	c := DefaultConfig()
+	// Paper Sec V-B: the 300 KB tmp_B costs 2.0 mm² and 0.53 nJ at 45 nm.
+	if a := c.AreaMM2(); a < 1.9 || a > 2.2 {
+		t.Fatalf("agent area %.2f mm², want ~2.0", a)
+	}
+	if e := c.TmpBAccessNJ(); e < 0.5 || e > 0.56 {
+		t.Fatalf("tmp_B access %.3f nJ, want ~0.53", e)
+	}
+	// Scaling sanity: doubling the buffers roughly doubles SRAM area.
+	c2 := c
+	c2.TmpBuffers = 6
+	if c2.AreaMM2() < 1.8*c.AreaMM2() {
+		t.Fatal("area must scale with capacity")
+	}
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/video"
+)
+
+func benchWorkload(b *testing.B) Workload {
+	b.Helper()
+	v := video.Generate(video.SceneSpec{
+		Name: "bench", W: 96, H: 64, Frames: 32, Seed: 21, Noise: 1.5,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 13, X: 36, Y: 32,
+			VX: 1.2, VY: 0.4, Intensity: 220, Foreground: true,
+		}},
+	})
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := codec.Decode(st.Data, codec.DecodeSideInfo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return FromDecode(v.Name, dec, DefaultParams().Agent, 854, 480)
+}
+
+func BenchmarkSimulateFAVOS(b *testing.B) {
+	w := benchWorkload(b)
+	s := New(DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(SchemeFAVOS, w)
+	}
+}
+
+func BenchmarkSimulateVRDANNParallel(b *testing.B) {
+	w := benchWorkload(b)
+	s := New(DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(SchemeVRDANNParallel, w)
+	}
+}
+
+func BenchmarkSimulateVRDANNSerial(b *testing.B) {
+	w := benchWorkload(b)
+	s := New(DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(SchemeVRDANNSerial, w)
+	}
+}

@@ -1,0 +1,164 @@
+// Package dram models a DDR3-style memory system at the fidelity the
+// VR-DANN evaluation needs (the paper integrates DRAMSim): banked row
+// buffers, row hit/miss/conflict timing, fixed-size bursts, and per-access
+// energy. The model is deliberately in-order and single-channel — what
+// matters for the paper's experiments is the large gap between random
+// block fetches (row misses) and coalesced ones (row hits), which drives
+// the motion-vector rescheduling results (Sec IV-C, Fig 16).
+package dram
+
+// Config describes the memory system.
+type Config struct {
+	Banks      int     // number of banks
+	RowBytes   int     // row buffer size per bank
+	BurstBytes int     // bytes delivered per burst
+	ClockGHz   float64 // DRAM command clock
+	TRCD       int     // activate-to-read, cycles
+	TCL        int     // read latency, cycles
+	TRP        int     // precharge, cycles
+	TBurst     int     // data transfer cycles per burst
+	EnergyPJPB float64 // access energy per byte (pJ)
+	ActivatePJ float64 // extra energy per row activation (pJ)
+}
+
+// DefaultConfig is a DDR3-1600-class single-channel part.
+func DefaultConfig() Config {
+	return Config{
+		Banks:      8,
+		RowBytes:   2048,
+		BurstBytes: 64,
+		ClockGHz:   0.8,
+		TRCD:       11,
+		TCL:        11,
+		TRP:        11,
+		TBurst:     4,
+		EnergyPJPB: 70,
+		ActivatePJ: 900,
+	}
+}
+
+// Kind labels traffic for the Fig 14 breakdown.
+type Kind int
+
+// Traffic categories.
+const (
+	KindRawFrame   Kind = iota // decoded raw frames read by the NPU
+	KindWeights                // network parameters streamed to the NPU
+	KindMV                     // motion-vector metadata
+	KindSegRef                 // reference segmentation reads for reconstruction
+	KindRecon                  // reconstructed B segmentation writes
+	KindActivation             // NN activations (NN-S inputs/outputs)
+	KindBitstream              // compressed bitstream read by the decoder
+	numKinds
+)
+
+// KindNames are the display labels for the traffic categories.
+var KindNames = [...]string{"raw-frames", "weights", "motion-vectors", "seg-refs", "recon-writes", "activations", "bitstream"}
+
+// Stats aggregates the traffic the model served.
+type Stats struct {
+	BytesByKind [numKinds]int64
+	Hits        int64
+	Misses      int64
+	EnergyPJ    float64
+	BusyNS      float64
+}
+
+// TotalBytes sums traffic over all categories.
+func (s *Stats) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.BytesByKind {
+		t += b
+	}
+	return t
+}
+
+// Model is a stateful DRAM timing/energy model.
+type Model struct {
+	Cfg     Config
+	Stats   Stats
+	openRow []int64 // per-bank open row id, -1 = closed
+	freeAt  float64 // when the (single, in-order) channel next idles
+}
+
+// New constructs a model with all rows closed.
+func New(cfg Config) *Model {
+	rows := make([]int64, cfg.Banks)
+	for i := range rows {
+		rows[i] = -1
+	}
+	return &Model{Cfg: cfg, openRow: rows}
+}
+
+// cyclesToNS converts DRAM command cycles to nanoseconds.
+func (m *Model) cyclesToNS(c int) float64 { return float64(c) / m.Cfg.ClockGHz }
+
+// Access serves one read or write of n bytes starting at addr and returns
+// its latency in nanoseconds. Bursts are issued sequentially; each burst's
+// latency depends on whether it hits the currently open row in its bank.
+func (m *Model) Access(addr int64, n int, kind Kind) float64 {
+	if n <= 0 {
+		return 0
+	}
+	m.Stats.BytesByKind[kind] += int64(n)
+	hitNS := m.cyclesToNS(m.Cfg.TCL + m.Cfg.TBurst)
+	var ns float64
+	// Walk row by row: all bursts within one open row behave identically,
+	// so long sequential streams are processed in O(rows) not O(bursts).
+	for off := 0; off < n; {
+		a := addr + int64(off)
+		row := a / int64(m.Cfg.RowBytes)
+		bank := int(row) % m.Cfg.Banks
+		inRow := m.Cfg.RowBytes - int(a%int64(m.Cfg.RowBytes))
+		if rem := n - off; rem < inRow {
+			inRow = rem
+		}
+		bursts := (inRow + m.Cfg.BurstBytes - 1) / m.Cfg.BurstBytes
+		if m.openRow[bank] == row {
+			m.Stats.Hits += int64(bursts)
+			ns += float64(bursts) * hitNS
+		} else {
+			m.Stats.Misses++
+			m.Stats.Hits += int64(bursts - 1)
+			penalty := m.Cfg.TRCD + m.Cfg.TCL + m.Cfg.TBurst
+			if m.openRow[bank] >= 0 {
+				penalty += m.Cfg.TRP // conflict: close the old row first
+			}
+			ns += m.cyclesToNS(penalty) + float64(bursts-1)*hitNS
+			m.openRow[bank] = row
+			m.Stats.EnergyPJ += m.Cfg.ActivatePJ
+		}
+		m.Stats.EnergyPJ += float64(inRow) * m.Cfg.EnergyPJPB
+		off += inRow
+	}
+	m.Stats.BusyNS += ns
+	return ns
+}
+
+// Stream serves a long sequential transfer (weights, raw frames): after the
+// first burst opens the row, subsequent bursts in the same row are hits.
+// It is Access with a sequential address pattern, provided for readability.
+func (m *Model) Stream(addr int64, n int, kind Kind) float64 {
+	return m.Access(addr, n, kind)
+}
+
+// Serve schedules a request on the shared single channel: it starts no
+// earlier than the requester is ready and no earlier than the channel is
+// free, takes the Access service time, and returns the completion time.
+// This is how concurrent requesters (NPU, decoder, agent unit) contend for
+// memory bandwidth.
+func (m *Model) Serve(ready float64, addr int64, n int, kind Kind) float64 {
+	service := m.Access(addr, n, kind)
+	start := ready
+	if m.freeAt > start {
+		start = m.freeAt
+	}
+	m.freeAt = start + service
+	return m.freeAt
+}
+
+// PeakBandwidthGBps returns the model's peak transfer rate, used by the NPU
+// roofline.
+func (c Config) PeakBandwidthGBps() float64 {
+	return float64(c.BurstBytes) / (float64(c.TBurst) / c.ClockGHz)
+}

@@ -1,0 +1,100 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialAccessMostlyHits(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 2048, KindWeights)
+	// 2048 bytes = 32 bursts in one row: 1 miss (activate) + 31 hits.
+	if m.Stats.Misses != 1 || m.Stats.Hits != 31 {
+		t.Fatalf("hits=%d misses=%d, want 31/1", m.Stats.Hits, m.Stats.Misses)
+	}
+}
+
+func TestRandomRowsMiss(t *testing.T) {
+	m := New(DefaultConfig())
+	// Touch a different row each time, same bank spacing.
+	for i := 0; i < 10; i++ {
+		m.Access(int64(i)*int64(m.Cfg.RowBytes)*int64(m.Cfg.Banks), 64, KindSegRef)
+	}
+	if m.Stats.Misses != 10 {
+		t.Fatalf("misses=%d, want 10", m.Stats.Misses)
+	}
+}
+
+func TestMissSlowerThanHit(t *testing.T) {
+	m := New(DefaultConfig())
+	missNS := m.Access(0, 64, KindSegRef)
+	hitNS := m.Access(64, 64, KindSegRef)
+	if missNS <= hitNS {
+		t.Fatalf("row miss (%v ns) must be slower than hit (%v ns)", missNS, hitNS)
+	}
+}
+
+func TestConflictSlowestOfAll(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 64, KindSegRef) // opens row 0 bank 0
+	conflictAddr := int64(m.Cfg.RowBytes * m.Cfg.Banks)
+	conflictNS := m.Access(conflictAddr, 64, KindSegRef) // same bank, new row
+	m2 := New(DefaultConfig())
+	freshMissNS := m2.Access(0, 64, KindSegRef)
+	if conflictNS <= freshMissNS {
+		t.Fatalf("conflict (%v) must exceed fresh miss (%v)", conflictNS, freshMissNS)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 100, KindMV)
+	m.Access(4096, 50, KindRecon)
+	if m.Stats.BytesByKind[KindMV] != 100 || m.Stats.BytesByKind[KindRecon] != 50 {
+		t.Fatalf("byte accounting wrong: %+v", m.Stats.BytesByKind)
+	}
+	if m.Stats.TotalBytes() != 150 {
+		t.Fatalf("TotalBytes = %d", m.Stats.TotalBytes())
+	}
+}
+
+func TestEnergyGrowsWithTraffic(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Access(0, 64, KindWeights)
+	e1 := m.Stats.EnergyPJ
+	m.Access(1<<20, 4096, KindWeights)
+	if m.Stats.EnergyPJ <= e1 {
+		t.Fatal("energy must grow with traffic")
+	}
+}
+
+func TestZeroAccessFree(t *testing.T) {
+	m := New(DefaultConfig())
+	if ns := m.Access(0, 0, KindMV); ns != 0 {
+		t.Fatalf("zero-byte access took %v ns", ns)
+	}
+	if m.Stats.TotalBytes() != 0 {
+		t.Fatal("zero-byte access counted traffic")
+	}
+}
+
+func TestLatencyNonNegativeProperty(t *testing.T) {
+	f := func(addr int64, n uint16) bool {
+		m := New(DefaultConfig())
+		if addr < 0 {
+			addr = -addr
+		}
+		return m.Access(addr, int(n), KindSegRef) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	c := DefaultConfig()
+	// 64 B per 4 cycles at 0.8 GHz = 12.8 GB/s.
+	if bw := c.PeakBandwidthGBps(); bw < 12 || bw > 14 {
+		t.Fatalf("peak bandwidth %v GB/s, want ~12.8", bw)
+	}
+}

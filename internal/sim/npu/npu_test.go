@@ -1,0 +1,62 @@
+package npu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComputeBoundLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	m.SwitchTo("net")
+	// 6.4e9 ops at 16 TOPS × 0.4 = 6.4 Tops/s -> 1 ms.
+	lat := m.Run(Job{Ops: 6_400_000_000, Model: "net"}, 0)
+	if math.Abs(lat-1e6) > 1 {
+		t.Fatalf("latency = %v ns, want 1e6", lat)
+	}
+}
+
+func TestMemoryBoundLatency(t *testing.T) {
+	m := New(DefaultConfig())
+	lat := m.Run(Job{Ops: 1000, Model: "net"}, 5e5)
+	if lat != 5e5 {
+		t.Fatalf("memory-bound latency = %v, want 5e5", lat)
+	}
+}
+
+func TestSwitchPenaltyOnlyOnChange(t *testing.T) {
+	m := New(DefaultConfig())
+	if p := m.SwitchTo("a"); p != m.Cfg.SwitchNS {
+		t.Fatalf("first switch penalty = %v", p)
+	}
+	if p := m.SwitchTo("a"); p != 0 {
+		t.Fatalf("same-model switch penalty = %v, want 0", p)
+	}
+	if p := m.SwitchTo("b"); p != m.Cfg.SwitchNS {
+		t.Fatalf("model change penalty = %v", p)
+	}
+	if m.Stats.Switches != 2 {
+		t.Fatalf("switches = %d, want 2", m.Stats.Switches)
+	}
+}
+
+func TestWeightsStreamedOnlyWhenOverBuffer(t *testing.T) {
+	m := New(DefaultConfig())
+	w, _ := m.TrafficBytes(Job{WeightBytes: 1 << 20}) // 1 MB fits in 8 MB
+	if w != 0 {
+		t.Fatalf("resident weights should not be streamed, got %d", w)
+	}
+	w, _ = m.TrafficBytes(Job{WeightBytes: 50 << 20})
+	if w != 50<<20 {
+		t.Fatalf("oversized weights must stream, got %d", w)
+	}
+}
+
+func TestEnergyProportionalToOps(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Run(Job{Ops: 1e9, Model: "net"}, 0)
+	e1 := m.Stats.EnergyPJ
+	m.Run(Job{Ops: 1e9, Model: "net"}, 0)
+	if math.Abs(m.Stats.EnergyPJ-2*e1) > 1e-6*e1 {
+		t.Fatal("energy must be proportional to ops")
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"vrdann/internal/sim/agent"
+	"vrdann/internal/sim/dram"
+	"vrdann/internal/sim/npu"
+	"vrdann/internal/sim/vdec"
+)
+
+// Params bundles all model configurations plus the per-network workload
+// constants. Operation counts are expressed per pixel so workloads scale
+// with resolution; the defaults are calibrated to the paper's platform:
+// NN-L (ROI SegNet class) is 0.5 TOP per 854×480 frame (Fig 12), FlowNet is
+// ~2/3 of NN-L, and NN-S is the 3-layer refinement network whose cost comes
+// from this repository's own architecture.
+type Params struct {
+	NPU   npu.Config
+	DRAM  dram.Config
+	Dec   vdec.Config
+	Agent agent.Config
+
+	NNLOpsPerPixel  float64 // NN-L ops per pixel (0.5 TOP / 854×480)
+	NNLWeightBytes  int64   // ROI SegNet-class INT8 footprint
+	OSVOSNets       int     // OSVOS runs two large networks per frame
+	FlowOpsPerPixel float64 // FlowNet-class cost per pixel
+	FlowWeightBytes int64
+	NNSOpsPerPixel  float64 // 3-layer NN-S cost per pixel
+	NNSWeightBytes  int64
+
+	// Software path costs for VR-DANN-serial (CPU-managed reconstruction).
+	CPUReconNSPerBlock    float64
+	CPUSandwichNSPerPixel float64
+	// Euphrates per-frame CPU box extrapolation.
+	EuphratesExtrapNS float64
+
+	// Ablation switches (all false for the paper configuration).
+	DisableCoalescing      bool // parallel agent issues one random fetch per MV
+	DisableLaggedSwitching bool // parallel drains b_Q after every frame
+}
+
+// DefaultParams returns the Table II configuration.
+func DefaultParams() Params {
+	return Params{
+		NPU:   npu.DefaultConfig(),
+		DRAM:  dram.DefaultConfig(),
+		Dec:   vdec.DefaultConfig(),
+		Agent: agent.DefaultConfig(),
+
+		NNLOpsPerPixel:  0.5e12 / (854.0 * 480.0),
+		NNLWeightBytes:  50 << 20,
+		OSVOSNets:       2,
+		FlowOpsPerPixel: 0.33e12 / (854.0 * 480.0),
+		FlowWeightBytes: 38 << 20,
+		NNSOpsPerPixel:  1008, // 2 × ~504 MACs/px for the 8-feature RefineNet
+		NNSWeightBytes:  1 << 10,
+
+		CPUReconNSPerBlock:    1500,
+		CPUSandwichNSPerPixel: 10,
+		EuphratesExtrapNS:     3e5,
+	}
+}
+
+// Scheme identifies a simulated recognition pipeline.
+type Scheme int
+
+// Simulated schemes.
+const (
+	SchemeOSVOS Scheme = iota
+	SchemeFAVOS
+	SchemeDFF
+	SchemeEuphrates2
+	SchemeEuphrates4
+	SchemeVRDANNSerial
+	SchemeVRDANNParallel
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeOSVOS:
+		return "OSVOS"
+	case SchemeFAVOS:
+		return "FAVOS"
+	case SchemeDFF:
+		return "DFF"
+	case SchemeEuphrates2:
+		return "Euphrates-2"
+	case SchemeEuphrates4:
+		return "Euphrates-4"
+	case SchemeVRDANNSerial:
+		return "VR-DANN-serial"
+	case SchemeVRDANNParallel:
+		return "VR-DANN-parallel"
+	default:
+		return "unknown"
+	}
+}
+
+// Energy is the per-unit energy breakdown of a run (picojoules).
+type Energy struct {
+	NPUPJ    float64
+	DRAMPJ   float64
+	DecPJ    float64
+	AgentPJ  float64
+	StaticPJ float64
+}
+
+// TotalPJ sums the breakdown.
+func (e Energy) TotalPJ() float64 {
+	return e.NPUPJ + e.DRAMPJ + e.DecPJ + e.AgentPJ + e.StaticPJ
+}
+
+// Report is the result of simulating one scheme on one workload.
+type Report struct {
+	Scheme   Scheme
+	Video    string
+	Frames   int
+	TotalNS  float64
+	NPUNS    float64 // NPU busy time
+	DecNS    float64 // decoder busy time
+	AgentNS  float64 // agent-unit busy time
+	Switches int
+	Ops      int64
+	Energy   Energy
+	DRAM     dram.Stats
+}
+
+// FPS returns the sustained frame rate of the run.
+func (r Report) FPS() float64 {
+	if r.TotalNS == 0 {
+		return 0
+	}
+	return float64(r.Frames) / (r.TotalNS * 1e-9)
+}
+
+// TOPSPerFrame returns the average tera-operations per frame.
+func (r Report) TOPSPerFrame() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.Ops) / float64(r.Frames) / 1e12
+}

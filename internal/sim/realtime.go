@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"sort"
+)
+
+// RealtimeReport characterizes a scheme under live-camera conditions:
+// frames arrive at a fixed rate (in display order) and each frame's
+// recognition latency is measured from its arrival to its result.
+type RealtimeReport struct {
+	Report
+	SourceFPS    float64
+	Latencies    []float64 // per display frame, ns
+	AvgLatencyNS float64
+	P99LatencyNS float64
+	MaxLatencyNS float64
+	// DeadlineMisses counts frames whose result took longer than the
+	// interactive budget: max(1 s, 10 frame periods). The budget must
+	// exceed one period because the codec's decode-order reordering alone
+	// delays B-frames by several periods.
+	DeadlineMisses int
+	BudgetNS       float64
+}
+
+// RunRealtime simulates a scheme with frames arriving at sourceFPS instead
+// of all being available at time zero. It exposes the latency cost of
+// VR-DANN-parallel's lagged switching (B-frames wait in b_Q for a batch)
+// against its throughput benefit — the "not affecting the user experience"
+// constraint of Sec IV-B.
+func (s *Simulator) RunRealtime(scheme Scheme, w Workload, sourceFPS float64) RealtimeReport {
+	r := s.newRun(w)
+	period := 1e9 / sourceFPS
+	r.arrival = make([]float64, len(w.Frames))
+	for d := range r.arrival {
+		r.arrival[d] = float64(d) * period
+	}
+	rep := s.finish(scheme, r)
+	out := RealtimeReport{Report: rep, SourceFPS: sourceFPS}
+	out.BudgetNS = 10 * period
+	if out.BudgetNS < 1e9 {
+		out.BudgetNS = 1e9
+	}
+	out.Latencies = make([]float64, len(w.Frames))
+	var sum float64
+	for d, doneAt := range r.done {
+		lat := doneAt - r.arrival[d]
+		if lat < 0 {
+			lat = 0
+		}
+		out.Latencies[d] = lat
+		sum += lat
+		if lat > out.MaxLatencyNS {
+			out.MaxLatencyNS = lat
+		}
+		if lat > out.BudgetNS {
+			out.DeadlineMisses++
+		}
+	}
+	if len(out.Latencies) > 0 {
+		out.AvgLatencyNS = sum / float64(len(out.Latencies))
+		sorted := append([]float64(nil), out.Latencies...)
+		sort.Float64s(sorted)
+		idx := int(math.Ceil(0.99*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		out.P99LatencyNS = sorted[idx]
+	}
+	return out
+}
+
+// SustainedFPS reports the highest candidate source rate the scheme keeps
+// up with. A work-conserving pipeline sustains any arrival rate up to its
+// batch throughput (arrival pacing affects latency, not capacity), so the
+// answer is the largest candidate at or below the batch frame rate.
+func (s *Simulator) SustainedFPS(scheme Scheme, w Workload, candidates []float64) float64 {
+	capacity := s.Run(scheme, w).FPS()
+	best := 0.0
+	for _, fps := range candidates {
+		if fps <= capacity && fps > best {
+			best = fps
+		}
+	}
+	return best
+}

@@ -1,0 +1,86 @@
+package sim
+
+import "testing"
+
+func TestRealtimeLatencyAccounting(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	rep := s.RunRealtime(SchemeVRDANNParallel, w, 30)
+	if len(rep.Latencies) != len(w.Frames) {
+		t.Fatalf("latencies for %d frames, want %d", len(rep.Latencies), len(w.Frames))
+	}
+	if rep.AvgLatencyNS <= 0 || rep.P99LatencyNS < rep.AvgLatencyNS || rep.MaxLatencyNS < rep.P99LatencyNS {
+		t.Fatalf("latency stats inconsistent: avg %v p99 %v max %v",
+			rep.AvgLatencyNS, rep.P99LatencyNS, rep.MaxLatencyNS)
+	}
+}
+
+func TestRealtimeFAVOSMissesDeadlinesAt30FPS(t *testing.T) {
+	// FAVOS runs at ~13 fps: a 30 fps camera must overwhelm it, with
+	// latency growing as the queue builds.
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	rep := s.RunRealtime(SchemeFAVOS, w, 30)
+	// The backlog grows by ~45 ms per frame, so over this short run roughly
+	// the back half of the frames blows the 1 s budget.
+	if rep.DeadlineMisses < len(w.Frames)/3 {
+		t.Fatalf("FAVOS at 30 fps missed only %d/%d deadlines", rep.DeadlineMisses, len(w.Frames))
+	}
+	n := len(rep.Latencies)
+	if rep.Latencies[n-1] <= rep.Latencies[1] {
+		t.Fatal("overloaded FAVOS latency should grow over the run")
+	}
+}
+
+func TestRealtimeVRDANNKeepsUpWhereFAVOSCannot(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	candidates := []float64{10, 15, 20, 25, 30, 40}
+	favos := s.SustainedFPS(SchemeFAVOS, w, candidates)
+	vrd := s.SustainedFPS(SchemeVRDANNParallel, w, candidates)
+	t.Logf("sustained: FAVOS %.0f fps, VR-DANN-parallel %.0f fps", favos, vrd)
+	if vrd <= favos {
+		t.Fatalf("VR-DANN (%.0f fps) must sustain a higher rate than FAVOS (%.0f fps)", vrd, favos)
+	}
+	if favos < 10 || favos > 15 {
+		t.Fatalf("FAVOS sustained %.0f fps, expected ~13", favos)
+	}
+	if vrd < 25 {
+		t.Fatalf("VR-DANN sustained only %.0f fps, expected >= 25", vrd)
+	}
+}
+
+func TestRealtimeLatencyIncludesBatchingDelay(t *testing.T) {
+	// At a sustainable rate, VR-DANN-parallel's B-frames wait in b_Q for the
+	// lagged switch: its worst-case latency exceeds a single frame period
+	// even though throughput keeps up. That is the user-experience tradeoff
+	// of Sec IV-B.
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	rep := s.RunRealtime(SchemeVRDANNParallel, w, 25)
+	period := 1e9 / 25.0
+	if rep.MaxLatencyNS <= period {
+		t.Fatalf("expected some batching latency beyond one period, max %.1f ms", rep.MaxLatencyNS/1e6)
+	}
+	// But the average must stay bounded (no runaway queue).
+	if rep.AvgLatencyNS > 30*period {
+		t.Fatalf("average latency %.1f ms looks unbounded", rep.AvgLatencyNS/1e6)
+	}
+}
+
+func TestRealtimeMatchesBatchWhenUnconstrained(t *testing.T) {
+	// An extremely fast source (all frames arrive almost immediately)
+	// reduces to the batch simulation.
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	batch := s.Run(SchemeVRDANNSerial, w)
+	rt := s.RunRealtime(SchemeVRDANNSerial, w, 1e6)
+	diff := rt.TotalNS - batch.TotalNS
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > batch.TotalNS*0.01 {
+		t.Fatalf("unconstrained realtime (%.1f ms) differs from batch (%.1f ms)",
+			rt.TotalNS/1e6, batch.TotalNS/1e6)
+	}
+}

@@ -1,0 +1,452 @@
+package sim
+
+import (
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/sim/dram"
+	"vrdann/internal/sim/npu"
+	"vrdann/internal/sim/vdec"
+)
+
+// Simulator runs workloads under a fixed parameter set.
+type Simulator struct {
+	P Params
+}
+
+// New constructs a simulator.
+func New(p Params) *Simulator { return &Simulator{P: p} }
+
+// run holds the per-run model instances and timelines.
+type run struct {
+	p      Params
+	w      Workload
+	dram   *dram.Model
+	npu    *npu.Model
+	dec    *vdec.Model
+	decT   float64 // decoder timeline
+	npuT   float64 // NPU timeline
+	agentT float64 // agent-unit timeline
+	agent  float64 // agent busy time
+	seq    int64   // sequential address cursor
+	rnd    int64   // LCG state for random addresses
+	trace  *Trace  // optional event recording
+
+	// Real-time mode: arrival[d] is when frame d (display order) reaches the
+	// decoder (zero slice = everything available at t=0); done[d] records
+	// when its recognition result is finalized.
+	arrival []float64
+	done    []float64
+}
+
+func (s *Simulator) newRun(w Workload) *run {
+	return &run{
+		p: s.P, w: w,
+		dram: dram.New(s.P.DRAM),
+		npu:  npu.New(s.P.NPU),
+		dec:  vdec.New(s.P.Dec),
+		rnd:  0x3779b97f4a7c15,
+		done: make([]float64, len(w.Frames)),
+	}
+}
+
+// arriveAt blocks the decoder timeline until frame d has arrived.
+func (r *run) arriveAt(d int) {
+	if r.arrival != nil && r.arrival[d] > r.decT {
+		r.decT = r.arrival[d]
+	}
+}
+
+// markDone records frame d's completion time (the current NPU time unless
+// an explicit time is supplied by the caller).
+func (r *run) markDone(d int, at float64) {
+	if d >= 0 && d < len(r.done) {
+		r.done[d] = at
+	}
+}
+
+// seqAddr returns a fresh sequential DRAM region of n bytes.
+func (r *run) seqAddr(n int) int64 {
+	a := r.seq
+	r.seq += int64(n)
+	return a
+}
+
+// randAddr returns a pseudo-random DRAM address (row-scattered).
+func (r *run) randAddr() int64 {
+	r.rnd = r.rnd*6364136223846793005 + 1442695040888963407
+	v := r.rnd >> 20
+	if v < 0 {
+		v = -v
+	}
+	return v % (1 << 30)
+}
+
+func (r *run) pixels() int64 { return int64(r.w.W) * int64(r.w.H) }
+
+// nnlJob is one large-network inference on a full frame.
+func (r *run) nnlJob(model string) npu.Job {
+	px := r.pixels()
+	return npu.Job{
+		Ops:         int64(r.p.NNLOpsPerPixel * float64(px)),
+		WeightBytes: r.p.NNLWeightBytes,
+		InBytes:     px * 3, // 24-bit raw frame (paper Sec III-A)
+		OutBytes:    px / 8, // 1-bit segmentation
+		Model:       model,
+	}
+}
+
+func (r *run) flowJob() npu.Job {
+	px := r.pixels()
+	return npu.Job{
+		Ops:         int64(r.p.FlowOpsPerPixel * float64(px)),
+		WeightBytes: r.p.FlowWeightBytes,
+		InBytes:     px * 6, // two raw frames
+		OutBytes:    px * 4, // flow field
+		Model:       "FlowNet",
+	}
+}
+
+func (r *run) nnsJob() npu.Job {
+	px := r.pixels()
+	return npu.Job{
+		Ops:         int64(r.p.NNSOpsPerPixel * float64(px)),
+		WeightBytes: r.p.NNSWeightBytes,
+		InBytes:     px * 3, // sandwich channels (byte-expanded activations)
+		OutBytes:    px / 8,
+		Model:       "NN-S",
+	}
+}
+
+// runJob executes a job on the NPU after an optional model switch,
+// scheduling its DRAM traffic on the shared channel, and advances the NPU
+// timeline from readyAt.
+func (r *run) runJob(j npu.Job, readyAt float64, weightKind dram.Kind) {
+	if readyAt > r.npuT {
+		r.npuT = readyAt
+	}
+	swStart := r.npuT
+	r.npuT += r.npu.SwitchTo(j.Model)
+	r.trace.add("NPU", "switch", swStart, r.npuT)
+	wBytes, _ := r.npu.TrafficBytes(j)
+	memEnd := r.npuT
+	if wBytes > 0 {
+		memEnd = r.dram.Serve(memEnd, r.seqAddr(int(wBytes)), int(wBytes), weightKind)
+	}
+	if j.InBytes > 0 {
+		memEnd = r.dram.Serve(memEnd, r.seqAddr(int(j.InBytes)), int(j.InBytes), dram.KindRawFrame)
+	}
+	if j.OutBytes > 0 {
+		memEnd = r.dram.Serve(memEnd, r.seqAddr(int(j.OutBytes)), int(j.OutBytes), dram.KindActivation)
+	}
+	start := r.npuT
+	r.npuT += r.npu.Run(j, memEnd-r.npuT)
+	r.trace.add("NPU", j.Model, start, r.npuT)
+}
+
+// runNNSJob is runJob with activation traffic categorized as NN-S data.
+func (r *run) runNNSJob(readyAt float64) {
+	j := r.nnsJob()
+	if readyAt > r.npuT {
+		r.npuT = readyAt
+	}
+	swStart := r.npuT
+	r.npuT += r.npu.SwitchTo(j.Model)
+	r.trace.add("NPU", "switch", swStart, r.npuT)
+	memEnd := r.dram.Serve(r.npuT, r.seqAddr(int(j.InBytes)), int(j.InBytes), dram.KindActivation)
+	memEnd = r.dram.Serve(memEnd, r.seqAddr(int(j.OutBytes)), int(j.OutBytes), dram.KindActivation)
+	start := r.npuT
+	r.npuT += r.npu.Run(j, memEnd-r.npuT)
+	r.trace.add("NPU", j.Model, start, r.npuT)
+}
+
+// decodeFrame advances the decoder timeline for frame f and returns its
+// completion time. Side-info mode applies to B-frames of the VR-DANN
+// schemes.
+func (r *run) decodeFrame(d int, f FrameWork, sideInfo bool) float64 {
+	r.arriveAt(d)
+	decStart := r.decT
+	r.decT = r.dram.Serve(r.decT, r.seqAddr(int(f.Bits/8)), int(f.Bits/8), dram.KindBitstream)
+	if sideInfo && f.Type == codec.BFrame {
+		r.decT += r.dec.DecodeSideInfo(r.w.W, r.w.H)
+	} else {
+		r.decT += r.dec.DecodeFull(r.w.W, r.w.H)
+		// The decoder writes the reconstructed frame to DRAM.
+		px := int(r.pixels() * 3)
+		r.decT = r.dram.Serve(r.decT, r.seqAddr(px), px, dram.KindRawFrame)
+	}
+	r.trace.add("DEC", f.Type.String(), decStart, r.decT)
+	return r.decT
+}
+
+// reconTraffic schedules the DRAM traffic of reconstructing one B-frame on
+// the shared channel starting at ready, and returns the completion time.
+// Coalesced mode merges fetches into per-(ref, srcy) bursts of a full
+// segmentation row; uncoalesced mode issues one random burst per motion
+// vector (the serial software behavior).
+func (r *run) reconTraffic(f FrameWork, coalesced bool, ready float64) float64 {
+	end := ready
+	// mv_T fill from the bitstream metadata in DRAM: 8 bytes per entry.
+	mvBytes := int(f.NMV * 8)
+	end = r.dram.Serve(end, r.seqAddr(mvBytes), mvBytes, dram.KindMV)
+	rowBytes := (r.w.W + 7) / 8 // one segmentation row, 1 bit per pixel
+	if coalesced {
+		for g := int64(0); g < f.Groups; g++ {
+			end = r.dram.Serve(end, r.seqAddr(rowBytes), rowBytes, dram.KindSegRef)
+		}
+	} else {
+		for m := int64(0); m < f.NMV; m++ {
+			end = r.dram.Serve(end, r.randAddr(), r.p.DRAM.BurstBytes, dram.KindSegRef)
+		}
+	}
+	// Reconstructed 2-bit frame written back to DRAM.
+	reconBytes := int(r.pixels() / 4)
+	return r.dram.Serve(end, r.seqAddr(reconBytes), reconBytes, dram.KindRecon)
+}
+
+// Run simulates one scheme over one workload.
+func (s *Simulator) Run(scheme Scheme, w Workload) Report {
+	return s.finish(scheme, s.newRun(w))
+}
+
+// finish executes the scheme on a prepared run and assembles the report.
+func (s *Simulator) finish(scheme Scheme, r *run) Report {
+	switch scheme {
+	case SchemeOSVOS:
+		r.perFrameNN(s.P.OSVOSNets, []string{"OSVOS-fg", "OSVOS-contour"})
+	case SchemeFAVOS:
+		r.perFrameNN(1, []string{"NN-L"})
+	case SchemeDFF:
+		r.dff(4)
+	case SchemeEuphrates2:
+		r.euphrates(2)
+	case SchemeEuphrates4:
+		r.euphrates(4)
+	case SchemeVRDANNSerial:
+		r.vrdannSerial()
+	case SchemeVRDANNParallel:
+		r.vrdannParallel()
+	default:
+		panic(fmt.Sprintf("sim: unknown scheme %d", scheme))
+	}
+	total := r.npuT
+	if r.decT > total {
+		total = r.decT
+	}
+	if r.agentT > total {
+		total = r.agentT
+	}
+	rep := Report{
+		Scheme:   scheme,
+		Video:    r.w.Name,
+		Frames:   len(r.w.Frames),
+		TotalNS:  total,
+		NPUNS:    r.npu.Stats.BusyNS,
+		DecNS:    r.dec.Stats.BusyNS,
+		AgentNS:  r.agent,
+		Switches: r.npu.Stats.Switches,
+		Ops:      r.npu.Stats.Ops,
+		DRAM:     r.dram.Stats,
+	}
+	rep.Energy = Energy{
+		NPUPJ:    r.npu.Stats.EnergyPJ,
+		DRAMPJ:   r.dram.Stats.EnergyPJ,
+		DecPJ:    r.dec.Stats.EnergyPJ,
+		AgentPJ:  r.agentEnergyPJ(),
+		StaticPJ: s.P.NPU.IdlePowerW * total * 1000, // W × ns = 1000 pJ
+	}
+	return rep
+}
+
+func (r *run) agentEnergyPJ() float64 {
+	var pj float64
+	for _, f := range r.w.Frames {
+		if f.Type == codec.BFrame {
+			pj += r.p.Agent.TmpBEnergyPJ(r.w.W, r.w.H)
+		}
+	}
+	return pj
+}
+
+// perFrameNN models OSVOS/FAVOS: full decode of every frame, nets large
+// network passes per frame.
+func (r *run) perFrameNN(nets int, models []string) {
+	for _, d := range r.w.Order {
+		ready := r.decodeFrame(d, r.w.Frames[d], false)
+		for i := 0; i < nets; i++ {
+			r.runJob(r.nnlJob(models[i%len(models)]), ready, dram.KindWeights)
+		}
+		r.markDone(d, r.npuT)
+	}
+}
+
+// dff models deep feature flow: key frames (fixed interval in display
+// order) run NN-L, non-key frames run FlowNet plus a feature warp.
+func (r *run) dff(keyInterval int) {
+	decDone := r.decodeAll(false)
+	for d := range r.w.Frames {
+		if d%keyInterval == 0 {
+			r.runJob(r.nnlJob("NN-L"), decDone[d], dram.KindWeights)
+			r.markDone(d, r.npuT)
+			continue
+		}
+		r.runJob(r.flowJob(), decDone[d], dram.KindWeights)
+		// Warp: gather the key segmentation through the flow field.
+		segBytes := int(r.pixels() / 8)
+		end := r.dram.Serve(r.npuT, r.seqAddr(segBytes), segBytes, dram.KindSegRef)
+		r.npuT = r.dram.Serve(end, r.seqAddr(segBytes), segBytes, dram.KindActivation)
+		r.markDone(d, r.npuT)
+	}
+}
+
+// euphrates models the ISP-assisted detector: NN-L on key frames, CPU box
+// extrapolation from ISP motion vectors in between.
+func (r *run) euphrates(keyInterval int) {
+	decDone := r.decodeAll(false)
+	for d := range r.w.Frames {
+		if d%keyInterval == 0 {
+			r.runJob(r.nnlJob("NN-L"), decDone[d], dram.KindWeights)
+			r.markDone(d, r.npuT)
+			continue
+		}
+		// Extrapolation is cheap CPU work; MVs come for free from the ISP.
+		if decDone[d] > r.npuT {
+			r.npuT = decDone[d]
+		}
+		r.npuT += r.p.EuphratesExtrapNS
+		r.markDone(d, r.npuT)
+	}
+}
+
+// decodeAll advances the decoder for every frame in decode order and
+// returns per-display-index completion times. Because the whole decoder
+// timeline is pre-simulated here (the consuming scheme walks frames in
+// display order), its DRAM traffic is accounted with Access rather than
+// Serve: routing pre-simulated future requests through the shared queue
+// would head-of-line-block the NPU's first request, an artifact of
+// simulation order rather than real contention.
+func (r *run) decodeAll(sideInfo bool) []float64 {
+	done := make([]float64, len(r.w.Frames))
+	for _, d := range r.w.Order {
+		f := r.w.Frames[d]
+		r.arriveAt(d)
+		r.decT += r.dram.Access(r.seqAddr(int(f.Bits/8)), int(f.Bits/8), dram.KindBitstream)
+		if sideInfo && f.Type == codec.BFrame {
+			r.decT += r.dec.DecodeSideInfo(r.w.W, r.w.H)
+		} else {
+			r.decT += r.dec.DecodeFull(r.w.W, r.w.H)
+			px := int(r.pixels() * 3)
+			r.decT += r.dram.Access(r.seqAddr(px), px, dram.KindRawFrame)
+		}
+		done[d] = r.decT
+	}
+	return done
+}
+
+// vrdannSerial is the pure-software flow of Sec IV-A: frames are processed
+// strictly in decode order, B reconstruction runs on the CPU on the
+// critical path with un-coalesced memory accesses, and the NPU switches
+// between NN-L and NN-S as the order dictates.
+func (r *run) vrdannSerial() {
+	for _, d := range r.w.Order {
+		f := r.w.Frames[d]
+		if f.Type.IsAnchor() {
+			ready := r.decodeFrame(d, f, true)
+			r.runJob(r.nnlJob("NN-L"), ready, dram.KindWeights)
+			r.markDone(d, r.npuT)
+			continue
+		}
+		ready := r.decodeFrame(d, f, true)
+		if ready > r.npuT {
+			r.npuT = ready
+		}
+		r.npuT = r.reconTraffic(f, false, r.npuT)
+		r.npuT += float64(f.Blocks) * r.p.CPUReconNSPerBlock
+		r.npuT += float64(r.pixels()) * r.p.CPUSandwichNSPerPixel
+		r.runNNSJob(r.npuT)
+		r.markDone(d, r.npuT)
+	}
+}
+
+// vrdannParallel is the agent-unit architecture of Sec IV: asynchronous
+// ip_Q/b_Q with lagged switching, reconstruction on the agent overlapped
+// with NPU work, and coalesced reference fetches (in batches of tmp_B
+// buffers, which lets the coalescing unit merge across B-frames).
+func (r *run) vrdannParallel() {
+	type pending struct {
+		display   int
+		reconDone float64
+	}
+	var queue []pending
+	var batch []FrameWork
+	var batchDisp []int
+
+	flushBatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		// Reconstruction can only start once the reference segmentations
+		// exist, i.e. after the NN-L work issued so far; the agent then works
+		// in parallel with the NPU.
+		start := r.agentT
+		if r.decT > start {
+			start = r.decT
+		}
+		coalesced := !r.p.DisableCoalescing
+		merged := FrameWork{}
+		for _, f := range batch {
+			merged.NMV += f.NMV
+			merged.Groups += f.Groups
+			merged.Blocks += f.Blocks
+		}
+		merged.Type = codec.BFrame
+		end := r.reconTraffic(merged, coalesced, start)
+		end += r.p.Agent.ControlNS(merged.Blocks)
+		r.agent += end - start
+		r.trace.add("AGENT", "recon", start, end)
+		r.agentT = end
+		for _, d := range batchDisp {
+			queue = append(queue, pending{display: d, reconDone: r.agentT})
+		}
+		batch = batch[:0]
+		batchDisp = batchDisp[:0]
+	}
+	drain := func() {
+		flushBatch()
+		for _, p := range queue {
+			r.runNNSJob(p.reconDone)
+			r.markDone(p.display, r.npuT)
+		}
+		queue = queue[:0]
+	}
+
+	bq := 0
+	anchorsSinceDrain := 0
+	for _, d := range r.w.Order {
+		f := r.w.Frames[d]
+		if f.Type.IsAnchor() {
+			ready := r.decodeFrame(d, f, true)
+			r.runJob(r.nnlJob("NN-L"), ready, dram.KindWeights)
+			r.markDone(d, r.npuT)
+			anchorsSinceDrain++
+			continue
+		}
+		r.decodeFrame(d, f, true)
+		batch = append(batch, f)
+		batchDisp = append(batchDisp, d)
+		bq++
+		// Lagged switching (Sec IV-B): "we always run a predefined number of
+		// I/P-frames from the ip_Q, after that we will switch to drain the
+		// b_Q" — the predefined number is the ip_Q capacity; a full b_Q also
+		// forces a drain.
+		if len(batch) == r.p.Agent.TmpBuffers {
+			flushBatch()
+		}
+		if r.p.DisableLaggedSwitching || bq == r.p.Agent.BQEntries || anchorsSinceDrain >= r.p.Agent.IPQEntries {
+			drain()
+			bq = 0
+			anchorsSinceDrain = 0
+		}
+	}
+	drain()
+}

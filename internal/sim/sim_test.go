@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"testing"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/sim/dram"
+	"vrdann/internal/video"
+)
+
+// testWorkload encodes one synthetic sequence and scales it to 854×480.
+func testWorkload(t *testing.T, speed float64) Workload {
+	t.Helper()
+	v := video.Generate(video.SceneSpec{
+		Name: "sim", W: 96, H: 64, Frames: 32, Seed: 21, Noise: 1.5,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 13, X: 36, Y: 32,
+			VX: speed, VY: speed / 3, Intensity: 220, Foreground: true,
+		}},
+	})
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.Decode(st.Data, codec.DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromDecode(v.Name, dec, DefaultParams().Agent, 854, 480)
+}
+
+func runAll(t *testing.T, w Workload) map[Scheme]Report {
+	t.Helper()
+	s := New(DefaultParams())
+	out := map[Scheme]Report{}
+	for _, sc := range []Scheme{SchemeOSVOS, SchemeFAVOS, SchemeDFF, SchemeEuphrates2, SchemeEuphrates4, SchemeVRDANNSerial, SchemeVRDANNParallel} {
+		out[sc] = s.Run(sc, w)
+	}
+	return out
+}
+
+func TestSchemePerformanceOrdering(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	r := runAll(t, w)
+	// The paper's headline ordering: OSVOS slowest, then FAVOS, DFF,
+	// VR-DANN-serial, VR-DANN-parallel fastest among segmentation schemes.
+	if !(r[SchemeOSVOS].TotalNS > r[SchemeFAVOS].TotalNS &&
+		r[SchemeFAVOS].TotalNS > r[SchemeDFF].TotalNS &&
+		r[SchemeDFF].TotalNS > r[SchemeVRDANNSerial].TotalNS &&
+		r[SchemeVRDANNSerial].TotalNS > r[SchemeVRDANNParallel].TotalNS) {
+		for sc, rep := range r {
+			t.Logf("%v: %.1f ms", sc, rep.TotalNS/1e6)
+		}
+		t.Fatal("performance ordering violated")
+	}
+}
+
+func TestSpeedupFactorsRoughlyMatchPaper(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	r := runAll(t, w)
+	favos := r[SchemeFAVOS].TotalNS
+	parallel := favos / r[SchemeVRDANNParallel].TotalNS
+	serial := favos / r[SchemeVRDANNSerial].TotalNS
+	osvos := favos / r[SchemeOSVOS].TotalNS
+	t.Logf("speedups vs FAVOS: parallel %.2fx serial %.2fx osvos %.2fx", parallel, serial, osvos)
+	// Paper: parallel 2.9x, serial 2.0x, OSVOS 0.51x (exact values vary per
+	// video with the B ratio; assert generous bands).
+	if parallel < 2.0 || parallel > 4.5 {
+		t.Fatalf("parallel speedup %.2fx outside [2.0, 4.5]", parallel)
+	}
+	if serial < 1.5 || serial > 3.2 {
+		t.Fatalf("serial speedup %.2fx outside [1.5, 3.2]", serial)
+	}
+	if osvos < 0.4 || osvos > 0.6 {
+		t.Fatalf("OSVOS relative speed %.2fx outside [0.4, 0.6]", osvos)
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	r := runAll(t, w)
+	e := func(s Scheme) float64 { return r[s].Energy.TotalPJ() }
+	if !(e(SchemeOSVOS) > e(SchemeFAVOS) &&
+		e(SchemeFAVOS) > e(SchemeDFF) &&
+		e(SchemeDFF) > e(SchemeVRDANNSerial) &&
+		e(SchemeVRDANNSerial) >= e(SchemeVRDANNParallel)) {
+		t.Fatal("energy ordering violated")
+	}
+}
+
+func TestFAVOSFrameRateMatchesPaper(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	fps := s.Run(SchemeFAVOS, w).FPS()
+	if fps < 10 || fps > 17 {
+		t.Fatalf("FAVOS at %.1f fps, paper reports 13", fps)
+	}
+	par := s.Run(SchemeVRDANNParallel, w).FPS()
+	if par < 30 || par > 60 {
+		t.Fatalf("VR-DANN-parallel at %.1f fps, paper reports 40", par)
+	}
+}
+
+func TestOpsDropMatchesPaper(t *testing.T) {
+	// Paper Fig 12: raw TOPS per frame drops from 0.5 to ~0.17 on average.
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	favos := s.Run(SchemeFAVOS, w)
+	vrd := s.Run(SchemeVRDANNParallel, w)
+	if favos.TOPSPerFrame() < 0.45 || favos.TOPSPerFrame() > 0.55 {
+		t.Fatalf("FAVOS %.3f TOP/frame, want ~0.5", favos.TOPSPerFrame())
+	}
+	if vrd.TOPSPerFrame() > 0.3 {
+		t.Fatalf("VR-DANN %.3f TOP/frame, want well under 0.3", vrd.TOPSPerFrame())
+	}
+}
+
+func TestLaggedSwitchingReducesSwitches(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	p := DefaultParams()
+	lagged := New(p).Run(SchemeVRDANNParallel, w)
+	p.DisableLaggedSwitching = true
+	eager := New(p).Run(SchemeVRDANNParallel, w)
+	if lagged.Switches >= eager.Switches {
+		t.Fatalf("lagged switching should reduce switches: %d vs %d", lagged.Switches, eager.Switches)
+	}
+	if lagged.TotalNS > eager.TotalNS {
+		t.Fatal("lagged switching should not be slower")
+	}
+}
+
+func TestCoalescingReducesDRAMTimeAndMisses(t *testing.T) {
+	w := testWorkload(t, 2.0)
+	p := DefaultParams()
+	on := New(p).Run(SchemeVRDANNParallel, w)
+	p.DisableCoalescing = true
+	off := New(p).Run(SchemeVRDANNParallel, w)
+	if on.DRAM.Misses >= off.DRAM.Misses {
+		t.Fatalf("coalescing should reduce row misses: %d vs %d", on.DRAM.Misses, off.DRAM.Misses)
+	}
+	if on.AgentNS >= off.AgentNS {
+		t.Fatalf("coalescing should reduce agent time: %.0f vs %.0f", on.AgentNS, off.AgentNS)
+	}
+}
+
+func TestVRDANNReducesDRAMTraffic(t *testing.T) {
+	// Fig 14: VR-DANN eliminates raw-image fetches for B-frames.
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	favos := s.Run(SchemeFAVOS, w)
+	vrd := s.Run(SchemeVRDANNParallel, w)
+	if vrd.DRAM.BytesByKind[dram.KindRawFrame] >= favos.DRAM.BytesByKind[dram.KindRawFrame] {
+		t.Fatal("VR-DANN must read fewer raw-frame bytes")
+	}
+	if vrd.DRAM.TotalBytes() >= favos.DRAM.TotalBytes() {
+		t.Fatalf("VR-DANN total DRAM %.1f MB should be below FAVOS %.1f MB",
+			float64(vrd.DRAM.TotalBytes())/1e6, float64(favos.DRAM.TotalBytes())/1e6)
+	}
+	// VR-DANN uniquely moves MV and recon traffic.
+	if vrd.DRAM.BytesByKind[dram.KindMV] == 0 || vrd.DRAM.BytesByKind[dram.KindRecon] == 0 {
+		t.Fatal("VR-DANN must account MV and recon traffic")
+	}
+	if favos.DRAM.BytesByKind[dram.KindMV] != 0 {
+		t.Fatal("FAVOS must not touch MV metadata")
+	}
+}
+
+func TestEuphratesFasterButDetectionOnly(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	r := runAll(t, w)
+	if r[SchemeEuphrates4].TotalNS >= r[SchemeEuphrates2].TotalNS {
+		t.Fatal("Euphrates-4 must be faster than Euphrates-2")
+	}
+	// Paper: VR-DANN-parallel is ~40% faster than Euphrates-2.
+	gain := r[SchemeEuphrates2].TotalNS / r[SchemeVRDANNParallel].TotalNS
+	t.Logf("VR-DANN vs Euphrates-2: %.2fx", gain)
+	if gain < 1.1 || gain > 2.6 {
+		t.Fatalf("VR-DANN gain over Euphrates-2 = %.2fx outside [1.1, 2.6]", gain)
+	}
+}
+
+func TestTmpBufferBatchingAblation(t *testing.T) {
+	w := testWorkload(t, 1.5)
+	p := DefaultParams()
+	p.Agent.TmpBuffers = 1
+	one := New(p).Run(SchemeVRDANNParallel, w)
+	p.Agent.TmpBuffers = 3
+	three := New(p).Run(SchemeVRDANNParallel, w)
+	// More tmp_B buffers allow cross-frame coalescing: fewer DRAM groups.
+	if three.DRAM.Misses > one.DRAM.Misses {
+		t.Fatalf("3 buffers should not increase misses: %d vs %d", three.DRAM.Misses, one.DRAM.Misses)
+	}
+	if three.AgentNS > one.AgentNS {
+		t.Fatalf("3 buffers should not slow the agent: %.0f vs %.0f", three.AgentNS, one.AgentNS)
+	}
+}
+
+func TestWorkloadScaling(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "scale", W: 96, H: 64, Frames: 12, Seed: 3, Noise: 1,
+		Objects: []video.ObjectSpec{{Shape: video.ShapeDisk, Radius: 12, X: 40, Y: 32, VX: 1, Intensity: 220, Foreground: true}},
+	})
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.Decode(st.Data, codec.DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag := DefaultParams().Agent
+	native := FromDecode("n", dec, ag, 96, 64)
+	scaled := FromDecode("s", dec, ag, 854, 480)
+	ratio := float64(854*480) / float64(96*64)
+	for d := range native.Frames {
+		nf, sf := native.Frames[d], scaled.Frames[d]
+		if nf.Type != sf.Type {
+			t.Fatal("scaling must not change frame types")
+		}
+		if nf.NMV > 0 {
+			got := float64(sf.NMV) / float64(nf.NMV)
+			if got < ratio*0.9 || got > ratio*1.1 {
+				t.Fatalf("frame %d MV scaling %.1f, want ~%.1f", d, got, ratio)
+			}
+		}
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	r := s.Run(SchemeVRDANNParallel, w)
+	if r.Frames != 32 {
+		t.Fatalf("frames = %d", r.Frames)
+	}
+	if r.TotalNS < r.NPUNS {
+		t.Fatal("total time cannot be below NPU busy time")
+	}
+	e := r.Energy
+	if e.TotalPJ() != e.NPUPJ+e.DRAMPJ+e.DecPJ+e.AgentPJ+e.StaticPJ {
+		t.Fatal("energy breakdown must sum to total")
+	}
+	for _, part := range []float64{e.NPUPJ, e.DRAMPJ, e.DecPJ, e.AgentPJ, e.StaticPJ} {
+		if part <= 0 {
+			t.Fatalf("energy component missing: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event is one unit-occupancy interval recorded during a simulation.
+type Event struct {
+	Unit    string // "DEC", "NPU", "AGENT"
+	Label   string // e.g. "NN-L", "recon", "switch"
+	StartNS float64
+	EndNS   float64
+}
+
+// Trace collects simulation events for timeline inspection — the tool-side
+// equivalent of the execution timelines in the paper's Fig 7.
+type Trace struct {
+	Events []Event
+}
+
+func (t *Trace) add(unit, label string, start, end float64) {
+	if t == nil || end <= start {
+		return
+	}
+	t.Events = append(t.Events, Event{Unit: unit, Label: label, StartNS: start, EndNS: end})
+}
+
+// Span returns the trace's overall time extent.
+func (t *Trace) Span() (start, end float64) {
+	if len(t.Events) == 0 {
+		return 0, 0
+	}
+	start, end = t.Events[0].StartNS, t.Events[0].EndNS
+	for _, e := range t.Events[1:] {
+		if e.StartNS < start {
+			start = e.StartNS
+		}
+		if e.EndNS > end {
+			end = e.EndNS
+		}
+	}
+	return start, end
+}
+
+// BusyNS sums occupancy per unit.
+func (t *Trace) BusyNS() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range t.Events {
+		out[e.Unit] += e.EndNS - e.StartNS
+	}
+	return out
+}
+
+// Render writes an ASCII occupancy timeline: one row per unit, cols time
+// buckets; a cell is filled when the unit is busy during that bucket.
+func (t *Trace) Render(w io.Writer, cols int) {
+	if len(t.Events) == 0 || cols <= 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	start, end := t.Span()
+	span := end - start
+	if span <= 0 {
+		fmt.Fprintln(w, "(zero-length trace)")
+		return
+	}
+	units := map[string][]Event{}
+	var names []string
+	for _, e := range t.Events {
+		if _, ok := units[e.Unit]; !ok {
+			names = append(names, e.Unit)
+		}
+		units[e.Unit] = append(units[e.Unit], e)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "timeline: %.2f ms total, %d buckets of %.2f ms\n", span/1e6, cols, span/float64(cols)/1e6)
+	for _, u := range names {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range units[u] {
+			lo := int(float64(cols) * (e.StartNS - start) / span)
+			hi := int(float64(cols) * (e.EndNS - start) / span)
+			if hi >= cols {
+				hi = cols - 1
+			}
+			for i := lo; i <= hi; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(w, "%-6s |%s|\n", u, row)
+	}
+}
+
+// RunTraced is Run with event recording.
+func (s *Simulator) RunTraced(scheme Scheme, w Workload) (Report, *Trace) {
+	tr := &Trace{}
+	r := s.newRun(w)
+	r.trace = tr
+	rep := s.finish(scheme, r)
+	return rep, tr
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTracedRecordsAllUnits(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	rep, tr := s.RunTraced(SchemeVRDANNParallel, w)
+	if len(tr.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	busy := tr.BusyNS()
+	for _, unit := range []string{"DEC", "NPU", "AGENT"} {
+		if busy[unit] <= 0 {
+			t.Fatalf("unit %s has no recorded occupancy", unit)
+		}
+	}
+	// Trace NPU occupancy must match the report's NPU busy time.
+	if diff := busy["NPU"] - rep.NPUNS; diff > 1 || diff < -1 {
+		t.Fatalf("trace NPU busy %v != report %v", busy["NPU"], rep.NPUNS)
+	}
+	_, end := tr.Span()
+	if end > rep.TotalNS+1 {
+		t.Fatalf("trace extends past total time: %v > %v", end, rep.TotalNS)
+	}
+}
+
+func TestRunTracedMatchesUntraced(t *testing.T) {
+	w := testWorkload(t, 1.5)
+	s := New(DefaultParams())
+	plain := s.Run(SchemeVRDANNSerial, w)
+	traced, _ := s.RunTraced(SchemeVRDANNSerial, w)
+	if plain.TotalNS != traced.TotalNS || plain.Switches != traced.Switches {
+		t.Fatalf("tracing changed results: %v vs %v", plain.TotalNS, traced.TotalNS)
+	}
+}
+
+func TestTraceLabelsShowSchemeStructure(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	_, tr := s.RunTraced(SchemeVRDANNParallel, w)
+	labels := map[string]int{}
+	for _, e := range tr.Events {
+		labels[e.Label]++
+	}
+	if labels["NN-L"] == 0 || labels["NN-S"] == 0 || labels["recon"] == 0 {
+		t.Fatalf("expected NN-L/NN-S/recon events, got %v", labels)
+	}
+	// Lagged switching: far fewer switch events than NN jobs.
+	if labels["switch"] >= labels["NN-S"] {
+		t.Fatalf("switches (%d) should be far fewer than NN-S runs (%d)", labels["switch"], labels["NN-S"])
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	w := testWorkload(t, 1.0)
+	s := New(DefaultParams())
+	_, tr := s.RunTraced(SchemeVRDANNParallel, w)
+	var buf bytes.Buffer
+	tr.Render(&buf, 60)
+	out := buf.String()
+	for _, want := range []string{"timeline:", "NPU", "DEC", "AGENT", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceRenderEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	(&Trace{}).Render(&buf, 40)
+	if !strings.Contains(buf.String(), "empty") {
+		t.Fatal("empty trace should say so")
+	}
+}

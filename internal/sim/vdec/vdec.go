@@ -1,0 +1,64 @@
+// Package vdec is a throughput model of a hardware video decoder running at
+// 300 MHz (the clock the paper takes from a commercial HEVC decoder IP).
+// Full pixel reconstruction costs cycles per pixel; in side-info mode a
+// B-frame only needs bitstream parsing and motion-vector extraction, a
+// small fraction of the work.
+package vdec
+
+// Config describes the decoder.
+type Config struct {
+	ClockGHz       float64
+	CyclesPerPixel float64 // full reconstruction cost
+	SideInfoFactor float64 // fraction of full cost for MV-only B decode
+	EnergyPJPerPix float64
+}
+
+// DefaultConfig models a consumer 300 MHz decoder that sustains ~60 fps at
+// 854×480 for full decode.
+func DefaultConfig() Config {
+	return Config{
+		ClockGHz:       0.3,
+		CyclesPerPixel: 12,
+		SideInfoFactor: 0.3,
+		EnergyPJPerPix: 2000,
+	}
+}
+
+// Stats aggregates decoder activity.
+type Stats struct {
+	FullFrames int
+	SideFrames int
+	BusyNS     float64
+	EnergyPJ   float64
+}
+
+// Model is a stateful decoder model.
+type Model struct {
+	Cfg   Config
+	Stats Stats
+}
+
+// New constructs a decoder model.
+func New(cfg Config) *Model { return &Model{Cfg: cfg} }
+
+// DecodeFull returns the latency (ns) to fully reconstruct one frame of
+// w×h pixels.
+func (m *Model) DecodeFull(w, h int) float64 {
+	pixels := float64(w * h)
+	ns := pixels * m.Cfg.CyclesPerPixel / m.Cfg.ClockGHz
+	m.Stats.FullFrames++
+	m.Stats.BusyNS += ns
+	m.Stats.EnergyPJ += pixels * m.Cfg.EnergyPJPerPix
+	return ns
+}
+
+// DecodeSideInfo returns the latency (ns) to parse a B-frame for motion
+// vectors without pixel reconstruction.
+func (m *Model) DecodeSideInfo(w, h int) float64 {
+	pixels := float64(w * h)
+	ns := pixels * m.Cfg.CyclesPerPixel * m.Cfg.SideInfoFactor / m.Cfg.ClockGHz
+	m.Stats.SideFrames++
+	m.Stats.BusyNS += ns
+	m.Stats.EnergyPJ += pixels * m.Cfg.EnergyPJPerPix * m.Cfg.SideInfoFactor
+	return ns
+}

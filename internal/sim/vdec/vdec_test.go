@@ -1,0 +1,44 @@
+package vdec
+
+import "testing"
+
+func TestFullDecodeRate(t *testing.T) {
+	m := New(DefaultConfig())
+	ns := m.DecodeFull(854, 480)
+	fps := 1e9 / ns
+	if fps < 40 || fps > 90 {
+		t.Fatalf("854x480 full decode at %.1f fps, want ~60", fps)
+	}
+}
+
+func TestSideInfoCheaper(t *testing.T) {
+	m := New(DefaultConfig())
+	full := m.DecodeFull(854, 480)
+	side := m.DecodeSideInfo(854, 480)
+	if side >= full/2 {
+		t.Fatalf("side-info decode (%v) should be well under half of full (%v)", side, full)
+	}
+	if m.Stats.FullFrames != 1 || m.Stats.SideFrames != 1 {
+		t.Fatalf("frame accounting: %+v", m.Stats)
+	}
+}
+
+func TestEnergyTracksWork(t *testing.T) {
+	m := New(DefaultConfig())
+	m.DecodeFull(100, 100)
+	e1 := m.Stats.EnergyPJ
+	m.DecodeSideInfo(100, 100)
+	gain := m.Stats.EnergyPJ - e1
+	if gain >= e1 {
+		t.Fatal("side-info energy must be below full-decode energy")
+	}
+}
+
+func TestBusyAccumulates(t *testing.T) {
+	m := New(DefaultConfig())
+	a := m.DecodeFull(64, 64)
+	b := m.DecodeFull(64, 64)
+	if m.Stats.BusyNS != a+b {
+		t.Fatalf("busy = %v, want %v", m.Stats.BusyNS, a+b)
+	}
+}

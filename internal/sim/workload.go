@@ -1,0 +1,66 @@
+// Package sim is the cycle-level SoC simulator for the VR-DANN evaluation.
+// It composes the DRAM, NPU, video-decoder and agent-unit models and replays
+// the per-frame workload of a real encoded bitstream under each scheme the
+// paper compares: OSVOS, FAVOS, DFF, Euphrates, VR-DANN-serial and
+// VR-DANN-parallel.
+//
+// Workloads are extracted from actual decoder output (frame types, decode
+// order, motion vectors, coalescing opportunities, bitstream bits) and can
+// be scaled from the encoded resolution to the paper's 854×480 evaluation
+// resolution: per-frame counts grow with the area ratio while the motion
+// structure (B ratio, reference spread, coalescing factor) is preserved.
+package sim
+
+import (
+	"vrdann/internal/codec"
+	"vrdann/internal/sim/agent"
+)
+
+// FrameWork is the simulator-facing workload of one frame.
+type FrameWork struct {
+	Type         codec.FrameType
+	Blocks       int64 // macro-blocks
+	NMV          int64 // motion-vector fetches (bi-ref counts twice)
+	Groups       int64 // coalesced DRAM request groups (agent window)
+	DistinctRefs int   // distinct reference frames
+	Bits         int64 // compressed size
+}
+
+// Workload is a whole video's simulator input.
+type Workload struct {
+	Name   string
+	W, H   int
+	Frames []FrameWork // display order
+	Order  []int       // decode order
+}
+
+// BFrames counts B-frames in the workload.
+func (w Workload) BFrames() int {
+	n := 0
+	for _, f := range w.Frames {
+		if f.Type == codec.BFrame {
+			n++
+		}
+	}
+	return n
+}
+
+// FromDecode converts decoder output into a workload, scaling counts to the
+// target resolution (pass the decode resolution itself for no scaling).
+func FromDecode(name string, dec *codec.DecodeResult, ag agent.Config, targetW, targetH int) Workload {
+	scale := float64(targetW*targetH) / float64(dec.W*dec.H)
+	w := Workload{Name: name, W: targetW, H: targetH, Order: append([]int(nil), dec.Order...)}
+	for _, info := range dec.Infos {
+		cs := ag.Coalesce(info.MVs)
+		fw := FrameWork{
+			Type:         info.Type,
+			Blocks:       int64(float64(info.Blocks)*scale + 0.5),
+			NMV:          int64(float64(cs.MVs)*scale + 0.5),
+			Groups:       int64(float64(cs.Groups)*scale + 0.5),
+			DistinctRefs: cs.DistinctRef,
+			Bits:         int64(float64(info.Bits)*scale + 0.5),
+		}
+		w.Frames = append(w.Frames, fw)
+	}
+	return w
+}

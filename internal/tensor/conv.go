@@ -1,0 +1,87 @@
+package tensor
+
+import "fmt"
+
+// Im2Col lowers a CHW image tensor into a matrix of convolution patches.
+//
+// Input x has shape [C, H, W]. The result has shape
+// [C*kh*kw, outH*outW] where outH and outW are the spatial output sizes of
+// a convolution with the given kernel, stride and (symmetric zero) padding.
+// Each column is one receptive field flattened channel-major.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col requires CHW input, got %v", x.Shape))
+	}
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
+	}
+	cols := New(c*kh*kw, outH*outW)
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := chBase + iy*w
+					dstRow := row + oy*outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						cols.Data[dstRow+ox] = x.Data[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters (accumulates) the patch
+// matrix back into a CHW image of shape [c, h, w].
+func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Col2Im shape mismatch: cols %v, want [%d %d]", cols.Shape, c*kh*kw, outH*outW))
+	}
+	img := New(c, h, w)
+	for ch := 0; ch < c; ch++ {
+		chBase := ch * h * w
+		for ky := 0; ky < kh; ky++ {
+			for kx := 0; kx < kw; kx++ {
+				row := ((ch*kh+ky)*kw + kx) * outH * outW
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					srcRow := row + oy*outW
+					dstRow := chBase + iy*w
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						img.Data[dstRow+ix] += cols.Data[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return img
+}
+
+// ConvOutSize returns the spatial output size of a convolution along one
+// dimension.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

@@ -1,0 +1,305 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZeroFill(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Numel() != 24 {
+		t.Fatalf("Numel = %d, want 24", x.Numel())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("Dim mismatch: %v", x.Shape)
+	}
+}
+
+func TestFull(t *testing.T) {
+	x := Full(2.5, 3, 3)
+	for _, v := range x.Data {
+		if v != 2.5 {
+			t.Fatalf("Full element = %v, want 2.5", v)
+		}
+	}
+}
+
+func TestFromSliceRejectsWrongLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched length")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4, 5)
+	x.Set(7, 2, 1, 3)
+	if got := x.At(2, 1, 3); got != 7 {
+		t.Fatalf("At = %v, want 7", got)
+	}
+	// Row-major offset check.
+	if x.Data[2*20+1*5+3] != 7 {
+		t.Fatal("Set did not write the row-major offset")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	_ = x.At(2, 0)
+}
+
+func TestReshapeInference(t *testing.T) {
+	x := New(4, 6)
+	y := x.Reshape(2, -1)
+	if y.Shape[0] != 2 || y.Shape[1] != 12 {
+		t.Fatalf("Reshape shape = %v, want [2 12]", y.Shape)
+	}
+	y.Data[0] = 9
+	if x.Data[0] != 9 {
+		t.Fatal("Reshape must share storage")
+	}
+}
+
+func TestReshapeRejectsBadVolume(t *testing.T) {
+	x := New(4, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad reshape")
+		}
+	}()
+	x.Reshape(5, 5)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := Full(1, 2, 2)
+	y := x.Clone()
+	y.Data[0] = 5
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestAddSubMul(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{10, 20, 30, 40}, 2, 2)
+	if got := Add(a, b).Data[3]; got != 44 {
+		t.Fatalf("Add = %v, want 44", got)
+	}
+	if got := Sub(b, a).Data[0]; got != 9 {
+		t.Fatalf("Sub = %v, want 9", got)
+	}
+	if got := Mul(a, b).Data[2]; got != 90 {
+		t.Fatalf("Mul = %v, want 90", got)
+	}
+}
+
+func TestAxpyInPlace(t *testing.T) {
+	a := FromSlice([]float32{1, 1}, 2)
+	b := FromSlice([]float32{2, 3}, 2)
+	a.AxpyInPlace(0.5, b)
+	if a.Data[0] != 2 || a.Data[1] != 2.5 {
+		t.Fatalf("Axpy result %v", a.Data)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float32{-1, 0, 3, 2}, 4)
+	if a.Sum() != 4 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 1 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 3 || a.Min() != -1 {
+		t.Fatalf("Max/Min = %v/%v", a.Max(), a.Min())
+	}
+	if math.Abs(a.L2Norm()-math.Sqrt(14)) > 1e-9 {
+		t.Fatalf("L2Norm = %v", a.L2Norm())
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulRejectsMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 1, 5, 7)
+	b := Transpose(Transpose(a))
+	if !AllClose(a, b, 0) {
+		t.Fatal("transpose twice must be identity")
+	}
+}
+
+// Property: matmul distributes over addition, (A+B)C = AC + BC.
+func TestMatMulDistributesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, m, k)
+		c := Randn(r, 1, k, n)
+		left := MatMul(Add(a, b), c)
+		right := Add(MatMul(a, c), MatMul(b, c))
+		return AllClose(left, right, 1e-3)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose reverses multiplication order, (AB)^T = B^T A^T.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := Randn(r, 1, m, k)
+		b := Randn(r, 1, k, n)
+		left := Transpose(MatMul(a, b))
+		right := MatMul(Transpose(b), Transpose(a))
+		return AllClose(left, right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: columns are just the flattened image.
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	cols := Im2Col(x, 1, 1, 1, 0)
+	if cols.Shape[0] != 1 || cols.Shape[1] != 4 {
+		t.Fatalf("cols shape %v", cols.Shape)
+	}
+	for i := range x.Data {
+		if cols.Data[i] != x.Data[i] {
+			t.Fatalf("cols[%d] = %v", i, cols.Data[i])
+		}
+	}
+}
+
+func TestIm2ColKnownPatch(t *testing.T) {
+	// 3x3 image, 2x2 kernel, stride 1, no pad -> 4 patches.
+	x := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	cols := Im2Col(x, 2, 2, 1, 0)
+	// Patch at (0,0) is column 0: [1 2 4 5].
+	want := []float32{1, 2, 4, 5}
+	for r, w := range want {
+		if got := cols.At(r, 0); got != w {
+			t.Fatalf("patch row %d = %v, want %v", r, got, w)
+		}
+	}
+	// Patch at (1,1) is column 3: [5 6 8 9].
+	want = []float32{5, 6, 8, 9}
+	for r, w := range want {
+		if got := cols.At(r, 3); got != w {
+			t.Fatalf("patch(1,1) row %d = %v, want %v", r, got, w)
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	cols := Im2Col(x, 3, 3, 1, 1)
+	if cols.Shape[1] != 4 {
+		t.Fatalf("expected 4 output positions, got %d", cols.Shape[1])
+	}
+	// Center tap of the (0,0) output patch is x[0,0]=1; top-left tap is pad 0.
+	if cols.At(4, 0) != 1 {
+		t.Fatalf("center tap = %v, want 1", cols.At(4, 0))
+	}
+	if cols.At(0, 0) != 0 {
+		t.Fatalf("padded tap = %v, want 0", cols.At(0, 0))
+	}
+}
+
+// Property: Col2Im is the adjoint of Im2Col: <Im2Col(x), y> == <x, Col2Im(y)>.
+func TestIm2ColAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, h, w := 1+r.Intn(3), 3+r.Intn(5), 3+r.Intn(5)
+		k := 1 + r.Intn(3)
+		pad := r.Intn(2)
+		stride := 1 + r.Intn(2)
+		if (h+2*pad-k) < 0 || (w+2*pad-k) < 0 {
+			return true
+		}
+		x := Randn(r, 1, c, h, w)
+		cols := Im2Col(x, k, k, stride, pad)
+		y := Randn(r, 1, cols.Shape...)
+		back := Col2Im(y, c, h, w, k, k, stride, pad)
+		var lhs, rhs float64
+		for i := range cols.Data {
+			lhs += float64(cols.Data[i]) * float64(y.Data[i])
+		}
+		for i := range x.Data {
+			rhs += float64(x.Data[i]) * float64(back.Data[i])
+		}
+		return math.Abs(lhs-rhs) <= 1e-2*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApply(t *testing.T) {
+	x := FromSlice([]float32{-1, 2}, 2)
+	y := Apply(x, func(v float32) float32 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	})
+	if y.Data[0] != 0 || y.Data[1] != 2 {
+		t.Fatalf("Apply relu = %v", y.Data)
+	}
+	if x.Data[0] != -1 {
+		t.Fatal("Apply must not mutate its input")
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	if ConvOutSize(8, 3, 1, 1) != 8 {
+		t.Fatal("same-padding size mismatch")
+	}
+	if ConvOutSize(8, 2, 2, 0) != 4 {
+		t.Fatal("stride-2 size mismatch")
+	}
+}

@@ -1,0 +1,165 @@
+package video
+
+import "math"
+
+// SeqProfile captures the motion character of one benchmark sequence. The
+// twenty profiles below mirror the DAVIS-2016 validation sequences the
+// paper plots in Fig 9 and Fig 12: each gets a qualitative speed and
+// deformation signature (e.g. "parkour" is very fast, "bmx-trees",
+// "breakdance" and "motocross-jump" deform dramatically, "cows" is slow and
+// rigid).
+type SeqProfile struct {
+	Name   string
+	Speed  float64 // object speed in pixels/frame at the reference 96-px height
+	Deform float64 // radial deformation amplitude (fraction of radius)
+	Rot    float64 // rotation rad/frame
+	Pan    float64 // camera pan px/frame
+	NObj   int     // number of foreground objects
+	Seed   int64
+}
+
+// SuiteProfiles lists the 20 DAVIS-like benchmark sequences.
+var SuiteProfiles = []SeqProfile{
+	{Name: "blackswan", Speed: 0.4, Deform: 0.06, Rot: 0.00, Pan: 0.2, NObj: 1, Seed: 101},
+	{Name: "bmx-trees", Speed: 2.6, Deform: 0.30, Rot: 0.05, Pan: 0.8, NObj: 1, Seed: 102},
+	{Name: "breakdance", Speed: 2.2, Deform: 0.34, Rot: 0.16, Pan: 0.0, NObj: 1, Seed: 103},
+	{Name: "camel", Speed: 0.6, Deform: 0.08, Rot: 0.00, Pan: 0.3, NObj: 1, Seed: 104},
+	{Name: "car-roundabout", Speed: 1.8, Deform: 0.02, Rot: 0.04, Pan: 0.0, NObj: 1, Seed: 105},
+	{Name: "car-shadow", Speed: 1.2, Deform: 0.02, Rot: 0.00, Pan: 0.4, NObj: 1, Seed: 106},
+	{Name: "cows", Speed: 0.3, Deform: 0.05, Rot: 0.00, Pan: 0.1, NObj: 1, Seed: 107},
+	{Name: "dance-twirl", Speed: 1.6, Deform: 0.26, Rot: 0.22, Pan: 0.0, NObj: 1, Seed: 108},
+	{Name: "dog", Speed: 1.4, Deform: 0.14, Rot: 0.02, Pan: 0.5, NObj: 1, Seed: 109},
+	{Name: "drift-chicane", Speed: 2.8, Deform: 0.03, Rot: 0.08, Pan: 1.0, NObj: 1, Seed: 110},
+	{Name: "drift-straight", Speed: 3.0, Deform: 0.03, Rot: 0.02, Pan: 1.2, NObj: 1, Seed: 111},
+	{Name: "goat", Speed: 0.8, Deform: 0.10, Rot: 0.01, Pan: 0.3, NObj: 1, Seed: 112},
+	{Name: "horsejump-high", Speed: 2.0, Deform: 0.18, Rot: 0.05, Pan: 0.6, NObj: 1, Seed: 113},
+	{Name: "kite-surf", Speed: 1.9, Deform: 0.12, Rot: 0.06, Pan: 0.7, NObj: 2, Seed: 114},
+	{Name: "libby", Speed: 2.4, Deform: 0.20, Rot: 0.03, Pan: 0.9, NObj: 1, Seed: 115},
+	{Name: "motocross-jump", Speed: 3.2, Deform: 0.28, Rot: 0.10, Pan: 1.1, NObj: 1, Seed: 116},
+	{Name: "paragliding-launch", Speed: 0.9, Deform: 0.10, Rot: 0.01, Pan: 0.4, NObj: 2, Seed: 117},
+	{Name: "parkour", Speed: 4.2, Deform: 0.22, Rot: 0.06, Pan: 1.4, NObj: 1, Seed: 118},
+	{Name: "scooter-black", Speed: 1.5, Deform: 0.06, Rot: 0.02, Pan: 0.5, NObj: 1, Seed: 119},
+	{Name: "soapbox", Speed: 1.3, Deform: 0.08, Rot: 0.02, Pan: 0.5, NObj: 1, Seed: 120},
+}
+
+// MakeSequence renders one suite sequence at the requested resolution and
+// length. Speeds scale with resolution so the motion character (in
+// object-sizes per frame) is resolution independent.
+func MakeSequence(p SeqProfile, w, h, frames int) *Video {
+	scale := float64(h) / 96.0
+	r := 0.17 * float64(h)
+	spec := SceneSpec{
+		Name: p.Name, W: w, H: h, Frames: frames, Seed: p.Seed,
+		Noise: 2.0, PanX: p.Pan * scale, PanY: 0.15 * p.Pan * scale,
+	}
+	for i := 0; i < p.NObj; i++ {
+		ang := 0.7 + 1.9*float64(i)
+		radius := r * (1 - 0.35*float64(i))
+		spec.Objects = append(spec.Objects, ObjectSpec{
+			Shape:      ShapeDisk,
+			Radius:     radius,
+			X:          float64(w) * (0.3 + 0.35*float64(i)),
+			Y:          float64(h) * (0.45 + 0.1*float64(i)),
+			VX:         p.Speed * scale * math.Cos(ang),
+			VY:         p.Speed * scale * 0.5 * math.Sin(ang),
+			RotRate:    p.Rot,
+			Deform:     p.Deform,
+			DeformRate: 0.25,
+			Intensity:  uint8(200 - 40*i),
+			Foreground: true,
+		})
+	}
+	return Generate(spec)
+}
+
+// MakeSuite renders the full 20-sequence benchmark suite.
+func MakeSuite(w, h, frames int) []*Video {
+	out := make([]*Video, 0, len(SuiteProfiles))
+	for _, p := range SuiteProfiles {
+		out = append(out, MakeSequence(p, w, h, frames))
+	}
+	return out
+}
+
+// SpeedClass groups detection sequences by object speed, mirroring the
+// fast/medium/slow split of Fig 11.
+type SpeedClass int
+
+// Speed classes.
+const (
+	SpeedSlow SpeedClass = iota
+	SpeedMedium
+	SpeedFast
+)
+
+func (s SpeedClass) String() string {
+	switch s {
+	case SpeedSlow:
+		return "slow"
+	case SpeedMedium:
+		return "medium"
+	case SpeedFast:
+		return "fast"
+	default:
+		return "unknown"
+	}
+}
+
+// ClassOf buckets a profile speed (at the 96-px reference height) into a
+// speed class: <1 px/frame slow, <2.2 medium, else fast.
+func ClassOf(speed float64) SpeedClass {
+	switch {
+	case speed < 1.0:
+		return SpeedSlow
+	case speed < 2.2:
+		return SpeedMedium
+	default:
+		return SpeedFast
+	}
+}
+
+// DetectionProfiles lists the VID-like detection sequences with their speed
+// classes (4 per class).
+var DetectionProfiles = []SeqProfile{
+	{Name: "vid-slow-1", Speed: 0.3, Deform: 0.04, Rot: 0.00, Pan: 0.1, NObj: 1, Seed: 201},
+	{Name: "vid-slow-2", Speed: 0.5, Deform: 0.06, Rot: 0.01, Pan: 0.2, NObj: 1, Seed: 202},
+	{Name: "vid-slow-3", Speed: 0.7, Deform: 0.05, Rot: 0.00, Pan: 0.2, NObj: 1, Seed: 203},
+	{Name: "vid-slow-4", Speed: 0.9, Deform: 0.08, Rot: 0.01, Pan: 0.3, NObj: 1, Seed: 204},
+	{Name: "vid-med-1", Speed: 1.2, Deform: 0.08, Rot: 0.02, Pan: 0.4, NObj: 1, Seed: 205},
+	{Name: "vid-med-2", Speed: 1.5, Deform: 0.10, Rot: 0.02, Pan: 0.5, NObj: 1, Seed: 206},
+	{Name: "vid-med-3", Speed: 1.8, Deform: 0.12, Rot: 0.03, Pan: 0.5, NObj: 1, Seed: 207},
+	{Name: "vid-med-4", Speed: 2.1, Deform: 0.10, Rot: 0.03, Pan: 0.6, NObj: 1, Seed: 208},
+	{Name: "vid-fast-1", Speed: 2.6, Deform: 0.14, Rot: 0.05, Pan: 0.8, NObj: 1, Seed: 209},
+	{Name: "vid-fast-2", Speed: 3.2, Deform: 0.16, Rot: 0.06, Pan: 1.0, NObj: 1, Seed: 210},
+	{Name: "vid-fast-3", Speed: 3.8, Deform: 0.18, Rot: 0.06, Pan: 1.2, NObj: 1, Seed: 211},
+	{Name: "vid-fast-4", Speed: 4.4, Deform: 0.20, Rot: 0.08, Pan: 1.4, NObj: 1, Seed: 212},
+}
+
+// MakeDetectionSuite renders the detection sequences.
+func MakeDetectionSuite(w, h, frames int) []*Video {
+	out := make([]*Video, 0, len(DetectionProfiles))
+	for _, p := range DetectionProfiles {
+		out = append(out, MakeSequence(p, w, h, frames))
+	}
+	return out
+}
+
+// TrainingProfiles lists held-out sequences used only to train NN-S and
+// NN-L (disjoint seeds and parameters from the evaluation suites).
+var TrainingProfiles = []SeqProfile{
+	{Name: "train-1", Speed: 0.5, Deform: 0.05, Rot: 0.01, Pan: 0.2, NObj: 1, Seed: 301},
+	{Name: "train-2", Speed: 1.1, Deform: 0.12, Rot: 0.03, Pan: 0.4, NObj: 1, Seed: 302},
+	{Name: "train-3", Speed: 1.7, Deform: 0.18, Rot: 0.05, Pan: 0.6, NObj: 1, Seed: 303},
+	{Name: "train-4", Speed: 2.4, Deform: 0.25, Rot: 0.08, Pan: 0.9, NObj: 1, Seed: 304},
+	{Name: "train-5", Speed: 3.4, Deform: 0.15, Rot: 0.04, Pan: 1.2, NObj: 2, Seed: 305},
+	{Name: "train-6", Speed: 0.8, Deform: 0.30, Rot: 0.12, Pan: 0.1, NObj: 1, Seed: 306},
+}
+
+// MakeTrainingSet renders the training sequences.
+func MakeTrainingSet(w, h, frames int) []*Video {
+	out := make([]*Video, 0, len(TrainingProfiles))
+	for _, p := range TrainingProfiles {
+		out = append(out, MakeSequence(p, w, h, frames))
+	}
+	return out
+}

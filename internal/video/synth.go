@@ -1,0 +1,191 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ShapeKind selects the silhouette of a synthetic object.
+type ShapeKind int
+
+// Supported object silhouettes.
+const (
+	ShapeDisk ShapeKind = iota // circle / deforming blob
+	ShapeBox                   // rotating rounded rectangle
+)
+
+// ObjectSpec describes one moving object in a synthetic scene.
+type ObjectSpec struct {
+	Shape      ShapeKind
+	Radius     float64 // base radius in pixels
+	X, Y       float64 // initial center, in pixels
+	VX, VY     float64 // velocity, pixels per frame
+	RotRate    float64 // rotation, radians per frame
+	Deform     float64 // radial deformation amplitude as a fraction of Radius
+	DeformRate float64 // deformation phase advance, radians per frame
+	Intensity  uint8   // mean luma of the object
+	Foreground bool    // contributes to the ground-truth mask
+}
+
+// SceneSpec describes a whole synthetic sequence.
+type SceneSpec struct {
+	Name       string
+	W, H       int
+	Frames     int
+	Seed       int64
+	Noise      float64 // per-pixel Gaussian sensor noise (luma levels)
+	PanX, PanY float64 // camera pan, pixels per frame
+	// IllumDrift adds a global brightness ramp of this many luma levels per
+	// frame (stressing intra refresh and rate control like real exposure
+	// changes do).
+	IllumDrift float64
+	Objects    []ObjectSpec
+}
+
+// Generate renders the scene into a Video with exact ground-truth masks and
+// boxes. Rendering is fully deterministic for a given spec.
+func Generate(spec SceneSpec) *Video {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	// Background texture parameters: a sum of low-frequency sinusoids gives a
+	// smooth, feature-rich surface that is easy for block motion estimation
+	// to track under camera pan — the same property natural video has.
+	type wave struct {
+		fx, fy, phase, amp float64
+	}
+	waves := make([]wave, 6)
+	for i := range waves {
+		waves[i] = wave{
+			fx:    (rng.Float64()*2 - 1) * 0.09,
+			fy:    (rng.Float64()*2 - 1) * 0.09,
+			phase: rng.Float64() * 2 * math.Pi,
+			amp:   10 + rng.Float64()*14,
+		}
+	}
+	// Per-object deformation harmonics.
+	type harmonics struct {
+		k     int
+		phase float64
+	}
+	objHarm := make([]harmonics, len(spec.Objects))
+	for i := range objHarm {
+		objHarm[i] = harmonics{k: 3 + rng.Intn(3), phase: rng.Float64() * 2 * math.Pi}
+	}
+
+	v := &Video{Name: spec.Name, FPS: 25}
+	objs := make([]ObjectSpec, len(spec.Objects))
+	copy(objs, spec.Objects)
+
+	noiseRng := rand.New(rand.NewSource(spec.Seed + 1))
+	// owner tracks which object (index+1) is topmost at each pixel, so the
+	// ground-truth mask respects occlusion: a foreground pixel covered by a
+	// later-drawn occluder is not labeled foreground.
+	owner := make([]int16, spec.W*spec.H)
+	for t := 0; t < spec.Frames; t++ {
+		f := NewFrame(spec.W, spec.H)
+		m := NewMask(spec.W, spec.H)
+		for i := range owner {
+			owner[i] = 0
+		}
+		panX := spec.PanX * float64(t)
+		panY := spec.PanY * float64(t)
+		illum := spec.IllumDrift * float64(t)
+		for y := 0; y < spec.H; y++ {
+			for x := 0; x < spec.W; x++ {
+				bg := 120.0 + illum
+				fx := float64(x) + panX
+				fy := float64(y) + panY
+				for _, w := range waves {
+					bg += w.amp * math.Sin(w.fx*fx+w.fy*fy+w.phase)
+				}
+				f.Pix[y*spec.W+x] = clampU8(bg)
+			}
+		}
+		for oi := range objs {
+			o := &objs[oi]
+			rot := o.RotRate * float64(t)
+			defPhase := objHarm[oi].phase + o.DeformRate*float64(t)
+			// Effective radius including deformation head-room for the scan
+			// bounding box.
+			maxR := o.Radius * (1 + o.Deform)
+			x0 := int(math.Floor(o.X - maxR - 1))
+			x1 := int(math.Ceil(o.X + maxR + 1))
+			y0 := int(math.Floor(o.Y - maxR - 1))
+			y1 := int(math.Ceil(o.Y + maxR + 1))
+			for y := y0; y <= y1; y++ {
+				if y < 0 || y >= spec.H {
+					continue
+				}
+				for x := x0; x <= x1; x++ {
+					if x < 0 || x >= spec.W {
+						continue
+					}
+					dx := float64(x) - o.X
+					dy := float64(y) - o.Y
+					if !inside(o, objHarm[oi].k, rot, defPhase, dx, dy) {
+						continue
+					}
+					// Shaded object surface so motion estimation has gradients
+					// inside the object too.
+					shade := 0.5 + 0.5*math.Sin(0.25*(dx*math.Cos(rot)+dy*math.Sin(rot)))
+					f.Pix[y*spec.W+x] = clampU8(float64(o.Intensity) + 30*(shade-0.5) + illum)
+					owner[y*spec.W+x] = int16(oi + 1)
+				}
+			}
+			// Advance motion; bounce off the frame borders so the object
+			// stays visible for the whole sequence.
+			o.X += o.VX
+			o.Y += o.VY
+			if o.X < maxR && o.VX < 0 || o.X > float64(spec.W)-maxR && o.VX > 0 {
+				o.VX = -o.VX
+			}
+			if o.Y < maxR && o.VY < 0 || o.Y > float64(spec.H)-maxR && o.VY > 0 {
+				o.VY = -o.VY
+			}
+		}
+		for i, ow := range owner {
+			if ow > 0 && objs[ow-1].Foreground {
+				m.Pix[i] = 1
+			}
+		}
+		if spec.Noise > 0 {
+			for i := range f.Pix {
+				f.Pix[i] = clampU8(float64(f.Pix[i]) + noiseRng.NormFloat64()*spec.Noise)
+			}
+		}
+		v.Frames = append(v.Frames, f)
+		v.Masks = append(v.Masks, m)
+		v.Boxes = append(v.Boxes, BoundingBox(m))
+	}
+	return v
+}
+
+// inside evaluates the object silhouette at offset (dx, dy) from its center.
+func inside(o *ObjectSpec, harmK int, rot, defPhase, dx, dy float64) bool {
+	// Rotate into object space.
+	c, s := math.Cos(-rot), math.Sin(-rot)
+	rx := dx*c - dy*s
+	ry := dx*s + dy*c
+	switch o.Shape {
+	case ShapeBox:
+		half := o.Radius
+		return math.Abs(rx) <= half && math.Abs(ry) <= half*0.62
+	default: // ShapeDisk with radial deformation
+		r := math.Hypot(rx, ry)
+		if r > o.Radius*(1+o.Deform) {
+			return false
+		}
+		theta := math.Atan2(ry, rx)
+		edge := o.Radius * (1 + o.Deform*math.Sin(float64(harmK)*theta+defPhase))
+		return r <= edge
+	}
+}
+
+func clampU8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}

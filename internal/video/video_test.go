@@ -1,0 +1,255 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameAtSetBounds(t *testing.T) {
+	f := NewFrame(4, 3)
+	f.Set(1, 2, 9)
+	if f.At(1, 2) != 9 {
+		t.Fatalf("At = %d", f.At(1, 2))
+	}
+	if f.At(-1, 0) != 0 || f.At(4, 0) != 0 || f.At(0, 3) != 0 {
+		t.Fatal("out-of-bounds reads must be 0")
+	}
+	f.Set(-1, -1, 7) // must not panic
+}
+
+func TestMaskAreaAndClone(t *testing.T) {
+	m := NewMask(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(2, 2, 1)
+	if m.Area() != 2 {
+		t.Fatalf("Area = %d", m.Area())
+	}
+	c := m.Clone()
+	c.Set(1, 1, 1)
+	if m.Area() != 2 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRectGeometry(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 15, 15}
+	if a.Area() != 100 {
+		t.Fatalf("Area = %d", a.Area())
+	}
+	inter := a.Intersect(b)
+	if inter.Area() != 25 {
+		t.Fatalf("Intersect area = %d", inter.Area())
+	}
+	iou := a.IoU(b)
+	if want := 25.0 / 175.0; iou != want {
+		t.Fatalf("IoU = %v, want %v", iou, want)
+	}
+	if !a.Intersect(Rect{20, 20, 30, 30}).Empty() {
+		t.Fatal("disjoint rectangles must intersect empty")
+	}
+}
+
+func TestRectIoUProperties(t *testing.T) {
+	f := func(x0, y0, w1, h1, dx, dy, w2, h2 uint8) bool {
+		a := Rect{int(x0), int(y0), int(x0) + int(w1%32) + 1, int(y0) + int(h1%32) + 1}
+		b := Rect{int(x0) + int(dx%16), int(y0) + int(dy%16), int(x0) + int(dx%16) + int(w2%32) + 1, int(y0) + int(dy%16) + int(h2%32) + 1}
+		iou := a.IoU(b)
+		if iou < 0 || iou > 1 {
+			return false
+		}
+		// Symmetry and self-identity.
+		return a.IoU(b) == b.IoU(a) && a.IoU(a) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundingBoxMatchesMask(t *testing.T) {
+	m := NewMask(10, 8)
+	m.Set(2, 3, 1)
+	m.Set(7, 5, 1)
+	bb := BoundingBox(m)
+	if bb != (Rect{2, 3, 8, 6}) {
+		t.Fatalf("BoundingBox = %v", bb)
+	}
+	if !BoundingBox(NewMask(4, 4)).Empty() {
+		t.Fatal("empty mask must give empty box")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := SceneSpec{Name: "x", W: 32, H: 24, Frames: 3, Seed: 5, Objects: []ObjectSpec{
+		{Shape: ShapeDisk, Radius: 6, X: 16, Y: 12, VX: 1, Intensity: 220, Foreground: true},
+	}}
+	a := Generate(spec)
+	b := Generate(spec)
+	for i := range a.Frames {
+		for j := range a.Frames[i].Pix {
+			if a.Frames[i].Pix[j] != b.Frames[i].Pix[j] {
+				t.Fatalf("frame %d pixel %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateGroundTruthConsistent(t *testing.T) {
+	spec := SceneSpec{Name: "x", W: 48, H: 32, Frames: 5, Seed: 9, Objects: []ObjectSpec{
+		{Shape: ShapeDisk, Radius: 7, X: 20, Y: 16, VX: 2, VY: 0.5, Intensity: 230, Foreground: true},
+	}}
+	v := Generate(spec)
+	if v.Len() != 5 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	for i, m := range v.Masks {
+		area := m.Area()
+		if area == 0 {
+			t.Fatalf("frame %d: empty mask", i)
+		}
+		bb := v.Boxes[i]
+		if bb.Empty() {
+			t.Fatalf("frame %d: empty box", i)
+		}
+		// Every mask pixel is inside the box.
+		for y := 0; y < m.H; y++ {
+			for x := 0; x < m.W; x++ {
+				if m.At(x, y) == 1 && (x < bb.X0 || x >= bb.X1 || y < bb.Y0 || y >= bb.Y1) {
+					t.Fatalf("frame %d: mask pixel (%d,%d) outside box %v", i, x, y, bb)
+				}
+			}
+		}
+	}
+}
+
+func TestObjectMoves(t *testing.T) {
+	spec := SceneSpec{Name: "x", W: 64, H: 48, Frames: 8, Seed: 3, Objects: []ObjectSpec{
+		{Shape: ShapeDisk, Radius: 8, X: 20, Y: 24, VX: 3, Intensity: 230, Foreground: true},
+	}}
+	v := Generate(spec)
+	c0, _ := v.Boxes[0].Center()
+	c7, _ := v.Boxes[7].Center()
+	if c7-c0 < 15 {
+		t.Fatalf("object moved only %.1f px, want ~21", c7-c0)
+	}
+}
+
+func TestObjectBouncesOffWalls(t *testing.T) {
+	spec := SceneSpec{Name: "x", W: 40, H: 40, Frames: 60, Seed: 4, Objects: []ObjectSpec{
+		{Shape: ShapeDisk, Radius: 6, X: 20, Y: 20, VX: 4, VY: 3, Intensity: 220, Foreground: true},
+	}}
+	v := Generate(spec)
+	for i, m := range v.Masks {
+		if m.Area() < 20 {
+			t.Fatalf("frame %d: object nearly left frame (area %d)", i, m.Area())
+		}
+	}
+}
+
+func TestBoxShapeRendered(t *testing.T) {
+	spec := SceneSpec{Name: "x", W: 40, H: 40, Frames: 1, Seed: 4, Objects: []ObjectSpec{
+		{Shape: ShapeBox, Radius: 8, X: 20, Y: 20, Intensity: 240, Foreground: true},
+	}}
+	v := Generate(spec)
+	// A box of half-width 8 and half-height ~5 has area close to 16*10.
+	area := v.Masks[0].Area()
+	if area < 120 || area > 200 {
+		t.Fatalf("box area = %d, want roughly 160", area)
+	}
+}
+
+func TestMakeSuiteNamesAndSizes(t *testing.T) {
+	suite := MakeSuite(48, 32, 4)
+	if len(suite) != 20 {
+		t.Fatalf("suite size = %d, want 20", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, v := range suite {
+		if seen[v.Name] {
+			t.Fatalf("duplicate sequence name %q", v.Name)
+		}
+		seen[v.Name] = true
+		if v.Len() != 4 || v.Frames[0].W != 48 {
+			t.Fatalf("sequence %q wrong size", v.Name)
+		}
+	}
+	if !seen["parkour"] || !seen["cows"] || !seen["bmx-trees"] {
+		t.Fatal("expected canonical sequence names")
+	}
+}
+
+func TestSpeedClasses(t *testing.T) {
+	if ClassOf(0.5) != SpeedSlow || ClassOf(1.5) != SpeedMedium || ClassOf(3.0) != SpeedFast {
+		t.Fatal("speed class thresholds wrong")
+	}
+	counts := map[SpeedClass]int{}
+	for _, p := range DetectionProfiles {
+		counts[ClassOf(p.Speed)]++
+	}
+	if counts[SpeedSlow] != 4 || counts[SpeedMedium] != 4 || counts[SpeedFast] != 4 {
+		t.Fatalf("detection suite class balance = %v", counts)
+	}
+}
+
+func TestTrainingSetDisjointSeeds(t *testing.T) {
+	seeds := map[int64]bool{}
+	for _, p := range SuiteProfiles {
+		seeds[p.Seed] = true
+	}
+	for _, p := range DetectionProfiles {
+		if seeds[p.Seed] {
+			t.Fatalf("detection seed %d collides with suite", p.Seed)
+		}
+		seeds[p.Seed] = true
+	}
+	for _, p := range TrainingProfiles {
+		if seeds[p.Seed] {
+			t.Fatalf("training seed %d collides with evaluation", p.Seed)
+		}
+	}
+}
+
+func TestOcclusionExcludedFromMask(t *testing.T) {
+	// A non-foreground occluder drawn after the foreground object must
+	// remove the covered pixels from the ground-truth mask.
+	spec := SceneSpec{Name: "occ", W: 48, H: 32, Frames: 1, Seed: 5, Objects: []ObjectSpec{
+		{Shape: ShapeDisk, Radius: 8, X: 24, Y: 16, Intensity: 220, Foreground: true},
+		{Shape: ShapeBox, Radius: 5, X: 24, Y: 16, Intensity: 60, Foreground: false},
+	}}
+	v := Generate(spec)
+	if v.Masks[0].At(24, 16) != 0 {
+		t.Fatal("occluded center still labeled foreground")
+	}
+	if v.Masks[0].At(24, 9) != 1 {
+		t.Fatal("unoccluded rim lost")
+	}
+}
+
+func TestOcclusionOrderMatters(t *testing.T) {
+	// Reversed draw order: the foreground object on top keeps its pixels.
+	spec := SceneSpec{Name: "occ2", W: 48, H: 32, Frames: 1, Seed: 5, Objects: []ObjectSpec{
+		{Shape: ShapeBox, Radius: 5, X: 24, Y: 16, Intensity: 60, Foreground: false},
+		{Shape: ShapeDisk, Radius: 8, X: 24, Y: 16, Intensity: 220, Foreground: true},
+	}}
+	v := Generate(spec)
+	if v.Masks[0].At(24, 16) != 1 {
+		t.Fatal("top foreground object lost its pixels")
+	}
+}
+
+func TestIlluminationDrift(t *testing.T) {
+	spec := SceneSpec{Name: "illum", W: 32, H: 32, Frames: 10, Seed: 7, IllumDrift: 5,
+		Objects: []ObjectSpec{{Shape: ShapeDisk, Radius: 5, X: 16, Y: 16, Intensity: 100, Foreground: true}}}
+	v := Generate(spec)
+	var m0, m9 float64
+	for _, p := range v.Frames[0].Pix {
+		m0 += float64(p)
+	}
+	for _, p := range v.Frames[9].Pix {
+		m9 += float64(p)
+	}
+	n := float64(len(v.Frames[0].Pix))
+	if (m9-m0)/n < 30 {
+		t.Fatalf("illumination drift too small: %.1f levels over 9 frames", (m9-m0)/n)
+	}
+}

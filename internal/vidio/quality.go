@@ -1,0 +1,79 @@
+package vidio
+
+import (
+	"math"
+
+	"vrdann/internal/video"
+)
+
+// PSNR returns the peak signal-to-noise ratio between two frames in dB
+// (capped at 99 dB for identical frames).
+func PSNR(a, b *video.Frame) float64 {
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return 99
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+// SSIM returns the mean structural similarity index between two frames,
+// computed on 8×8 windows with the standard constants (K1=0.01, K2=0.03,
+// L=255). Values are in (0, 1]; 1 means structurally identical.
+func SSIM(a, b *video.Frame) float64 {
+	const win = 8
+	const c1 = (0.01 * 255) * (0.01 * 255)
+	const c2 = (0.03 * 255) * (0.03 * 255)
+	var sum float64
+	n := 0
+	for y := 0; y+win <= a.H; y += win {
+		for x := 0; x+win <= a.W; x += win {
+			var ma, mb float64
+			for dy := 0; dy < win; dy++ {
+				for dx := 0; dx < win; dx++ {
+					ma += float64(a.Pix[(y+dy)*a.W+x+dx])
+					mb += float64(b.Pix[(y+dy)*b.W+x+dx])
+				}
+			}
+			const cnt = win * win
+			ma /= cnt
+			mb /= cnt
+			var va, vb, cov float64
+			for dy := 0; dy < win; dy++ {
+				for dx := 0; dx < win; dx++ {
+					da := float64(a.Pix[(y+dy)*a.W+x+dx]) - ma
+					db := float64(b.Pix[(y+dy)*b.W+x+dx]) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= cnt - 1
+			vb /= cnt - 1
+			cov /= cnt - 1
+			s := ((2*ma*mb + c1) * (2*cov + c2)) / ((ma*ma + mb*mb + c1) * (va + vb + c2))
+			sum += s
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// SequencePSNR returns the mean PSNR over two equal-length sequences.
+func SequencePSNR(a, b []*video.Frame) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += PSNR(a[i], b[i])
+	}
+	return s / float64(len(a))
+}

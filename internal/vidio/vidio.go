@@ -1,0 +1,216 @@
+// Package vidio imports and exports the repository's video types in
+// standard interchange formats: binary PGM (P5) for single frames and
+// masks, YUV4MPEG2 (Y4M, mono color space) for whole sequences, and a PGM
+// visualization that overlays a segmentation mask onto a frame. It lets
+// results be inspected with any standard image/video viewer and real
+// grayscale footage be imported as pipeline input.
+package vidio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vrdann/internal/video"
+)
+
+// ErrFormat reports unsupported or malformed input.
+var ErrFormat = errors.New("vidio: bad format")
+
+// WritePGM writes a frame as binary PGM (P5).
+func WritePGM(w io.Writer, f *video.Frame) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", f.W, f.H); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Pix)
+	return err
+}
+
+// ReadPGM parses a binary PGM (P5) image into a frame.
+func ReadPGM(r io.Reader) (*video.Frame, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("%w: magic %q, want P5", ErrFormat, magic)
+	}
+	dims := [3]int{}
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("%w: bad header field %q", ErrFormat, tok)
+		}
+		dims[i] = v
+	}
+	w, h, maxv := dims[0], dims[1], dims[2]
+	if maxv > 255 {
+		return nil, fmt.Errorf("%w: 16-bit PGM not supported (maxval %d)", ErrFormat, maxv)
+	}
+	f := video.NewFrame(w, h)
+	if _, err := io.ReadFull(br, f.Pix); err != nil {
+		return nil, fmt.Errorf("%w: truncated pixel data: %v", ErrFormat, err)
+	}
+	return f, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping # comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if sb.Len() > 0 && err == io.EOF {
+				return sb.String(), nil
+			}
+			return "", fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		switch {
+		case b == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if sb.Len() > 0 {
+				return sb.String(), nil
+			}
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+// WriteMaskPGM writes a binary mask as a black/white PGM.
+func WriteMaskPGM(w io.Writer, m *video.Mask) error {
+	f := video.NewFrame(m.W, m.H)
+	for i, v := range m.Pix {
+		if v != 0 {
+			f.Pix[i] = 255
+		}
+	}
+	return WritePGM(w, f)
+}
+
+// ReadMaskPGM parses a PGM into a mask: pixels ≥ 128 are foreground.
+func ReadMaskPGM(r io.Reader) (*video.Mask, error) {
+	f, err := ReadPGM(r)
+	if err != nil {
+		return nil, err
+	}
+	m := video.NewMask(f.W, f.H)
+	for i, v := range f.Pix {
+		if v >= 128 {
+			m.Pix[i] = 1
+		}
+	}
+	return m, nil
+}
+
+// Overlay renders a frame with the mask region brightened and its boundary
+// marked, for visual inspection of segmentation results.
+func Overlay(f *video.Frame, m *video.Mask) *video.Frame {
+	out := f.Clone()
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			if m.At(x, y) == 0 {
+				// Dim background for contrast.
+				out.Set(x, y, f.At(x, y)/2)
+				continue
+			}
+			edge := m.At(x-1, y) == 0 || m.At(x+1, y) == 0 || m.At(x, y-1) == 0 || m.At(x, y+1) == 0
+			if edge {
+				out.Set(x, y, 255)
+			}
+		}
+	}
+	return out
+}
+
+// WriteY4M writes a sequence as YUV4MPEG2 with the mono (luma-only) color
+// space, playable by standard tools.
+func WriteY4M(w io.Writer, v *video.Video) error {
+	if v.Len() == 0 {
+		return fmt.Errorf("vidio: empty video")
+	}
+	fps := v.FPS
+	if fps <= 0 {
+		fps = 25
+	}
+	if _, err := fmt.Fprintf(w, "YUV4MPEG2 W%d H%d F%d:1 Ip A1:1 Cmono\n",
+		v.Frames[0].W, v.Frames[0].H, fps); err != nil {
+		return err
+	}
+	for _, f := range v.Frames {
+		if _, err := io.WriteString(w, "FRAME\n"); err != nil {
+			return err
+		}
+		if _, err := w.Write(f.Pix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadY4M parses a mono-color-space YUV4MPEG2 stream.
+func ReadY4M(r io.Reader) (*video.Video, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrFormat, err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) == 0 || fields[0] != "YUV4MPEG2" {
+		return nil, fmt.Errorf("%w: not a YUV4MPEG2 stream", ErrFormat)
+	}
+	var w, h, fps int
+	colorspace := "420" // y4m default when the C tag is absent
+	for _, f := range fields[1:] {
+		if len(f) < 2 {
+			continue
+		}
+		switch f[0] {
+		case 'W':
+			w, _ = strconv.Atoi(f[1:])
+		case 'H':
+			h, _ = strconv.Atoi(f[1:])
+		case 'F':
+			if i := strings.IndexByte(f, ':'); i > 1 {
+				fps, _ = strconv.Atoi(f[1:i])
+			}
+		case 'C':
+			colorspace = f[1:]
+		}
+	}
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: missing geometry", ErrFormat)
+	}
+	if colorspace != "mono" {
+		return nil, fmt.Errorf("%w: color space %q not supported (mono only)", ErrFormat, colorspace)
+	}
+	v := &video.Video{Name: "y4m", FPS: fps}
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			return v, nil
+		}
+		if err != nil && !(err == io.EOF && line != "") {
+			return nil, fmt.Errorf("%w: frame header: %v", ErrFormat, err)
+		}
+		if !strings.HasPrefix(line, "FRAME") {
+			return nil, fmt.Errorf("%w: bad frame marker %q", ErrFormat, strings.TrimSpace(line))
+		}
+		f := video.NewFrame(w, h)
+		if _, err := io.ReadFull(br, f.Pix); err != nil {
+			return nil, fmt.Errorf("%w: truncated frame %d: %v", ErrFormat, v.Len(), err)
+		}
+		v.Frames = append(v.Frames, f)
+	}
+}

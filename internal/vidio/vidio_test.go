@@ -1,0 +1,224 @@
+package vidio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func testFrame() *video.Frame {
+	f := video.NewFrame(8, 6)
+	for i := range f.Pix {
+		f.Pix[i] = uint8(i * 5)
+	}
+	return f
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	f := testFrame()
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 8 || got.H != 6 {
+		t.Fatalf("geometry %dx%d", got.W, got.H)
+	}
+	for i := range f.Pix {
+		if got.Pix[i] != f.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestReadPGMWithComments(t *testing.T) {
+	data := "P5\n# a comment\n2 2\n# another\n255\n\x01\x02\x03\x04"
+	f, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Pix[3] != 4 {
+		t.Fatalf("pixels %v", f.Pix)
+	}
+}
+
+func TestReadPGMRejectsBadInput(t *testing.T) {
+	cases := []string{
+		"P6\n2 2\n255\nxxxx",     // wrong magic
+		"P5\n0 2\n255\n",         // zero dimension
+		"P5\n2 2\n65535\nxxxxxx", // 16-bit
+		"P5\n2 2\n255\n\x01",     // truncated
+		"",
+	}
+	for i, c := range cases {
+		if _, err := ReadPGM(strings.NewReader(c)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("case %d: err = %v, want ErrFormat", i, err)
+		}
+	}
+}
+
+func TestMaskPGMRoundTrip(t *testing.T) {
+	m := video.NewMask(6, 4)
+	m.Set(1, 1, 1)
+	m.Set(4, 2, 1)
+	var buf bytes.Buffer
+	if err := WriteMaskPGM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMaskPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Pix {
+		if got.Pix[i] != m.Pix[i] {
+			t.Fatalf("mask pixel %d differs", i)
+		}
+	}
+}
+
+func TestOverlayMarksBoundaryAndDimsBackground(t *testing.T) {
+	f := video.NewFrame(8, 8)
+	for i := range f.Pix {
+		f.Pix[i] = 100
+	}
+	m := video.NewMask(8, 8)
+	for y := 2; y < 6; y++ {
+		for x := 2; x < 6; x++ {
+			m.Set(x, y, 1)
+		}
+	}
+	o := Overlay(f, m)
+	if o.At(0, 0) != 50 {
+		t.Fatalf("background not dimmed: %d", o.At(0, 0))
+	}
+	if o.At(2, 2) != 255 {
+		t.Fatalf("boundary not marked: %d", o.At(2, 2))
+	}
+	if o.At(4, 4) != 100 {
+		t.Fatalf("interior altered: %d", o.At(4, 4))
+	}
+}
+
+func TestY4MRoundTrip(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "y4m", W: 32, H: 16, Frames: 5, Seed: 3,
+		Objects: []video.ObjectSpec{{Shape: video.ShapeDisk, Radius: 4, X: 16, Y: 8, VX: 1, Intensity: 200, Foreground: true}},
+	})
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 || got.FPS != 25 {
+		t.Fatalf("len %d fps %d", got.Len(), got.FPS)
+	}
+	for d := range v.Frames {
+		for i := range v.Frames[d].Pix {
+			if got.Frames[d].Pix[i] != v.Frames[d].Pix[i] {
+				t.Fatalf("frame %d pixel %d differs", d, i)
+			}
+		}
+	}
+}
+
+func TestY4MRejectsNonMono(t *testing.T) {
+	data := "YUV4MPEG2 W2 H2 F25:1 C420\nFRAME\n\x00\x00\x00\x00\x00\x00"
+	if _, err := ReadY4M(strings.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestY4MRejectsGarbage(t *testing.T) {
+	for _, c := range []string{"", "RIFF....", "YUV4MPEG2 F25:1\n"} {
+		if _, err := ReadY4M(strings.NewReader(c)); !errors.Is(err, ErrFormat) {
+			t.Fatalf("input %q: err = %v, want ErrFormat", c, err)
+		}
+	}
+}
+
+func TestY4MTruncatedFrame(t *testing.T) {
+	data := "YUV4MPEG2 W4 H4 F25:1 Cmono\nFRAME\n\x00\x00"
+	if _, err := ReadY4M(strings.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestImportedY4MFeedsPipeline(t *testing.T) {
+	// End-to-end: a Y4M round trip must be encodable by the codec.
+	v := video.Generate(video.SceneSpec{
+		Name: "pipe", W: 64, H: 48, Frames: 6, Seed: 9,
+		Objects: []video.ObjectSpec{{Shape: video.ShapeDisk, Radius: 9, X: 30, Y: 24, VX: 1, Intensity: 210, Foreground: true}},
+	})
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.Frames[3].At(30, 24) != v.Frames[3].At(30, 24) {
+		t.Fatal("imported pixels differ")
+	}
+}
+
+func TestPSNRIdenticalAndNoisy(t *testing.T) {
+	f := testFrame()
+	if PSNR(f, f) != 99 {
+		t.Fatal("identical frames must cap at 99 dB")
+	}
+	g := f.Clone()
+	for i := range g.Pix {
+		g.Pix[i] ^= 1
+	}
+	p := PSNR(f, g)
+	// Uniform ±1 error => MSE 1 => PSNR = 10*log10(65025) ≈ 48.13 dB.
+	if p < 48 || p > 48.3 {
+		t.Fatalf("PSNR = %v, want ~48.13", p)
+	}
+}
+
+func TestSSIMProperties(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "ssim", W: 64, H: 48, Frames: 2, Seed: 11,
+		Objects: []video.ObjectSpec{{Shape: video.ShapeDisk, Radius: 9, X: 30, Y: 24, VX: 2, Intensity: 210, Foreground: true}},
+	})
+	f := v.Frames[0]
+	if s := SSIM(f, f); s < 0.999 {
+		t.Fatalf("self SSIM = %v", s)
+	}
+	// Mild noise degrades SSIM less than heavy noise.
+	mild, heavy := f.Clone(), f.Clone()
+	for i := range f.Pix {
+		mild.Pix[i] = uint8(int(mild.Pix[i]) ^ 3)
+		heavy.Pix[i] = uint8(int(heavy.Pix[i]) ^ 60)
+	}
+	sm, sh := SSIM(f, mild), SSIM(f, heavy)
+	if !(sm > sh && sh < 0.9 && sm > 0.9) {
+		t.Fatalf("SSIM ordering: mild %v heavy %v", sm, sh)
+	}
+	// Structural change (different frame) scores below self.
+	if s := SSIM(v.Frames[0], v.Frames[1]); s >= 0.999 {
+		t.Fatalf("different frames SSIM = %v", s)
+	}
+}
+
+func TestSequencePSNR(t *testing.T) {
+	f := testFrame()
+	g := f.Clone()
+	if got := SequencePSNR([]*video.Frame{f, f}, []*video.Frame{g, g}); got != 99 {
+		t.Fatalf("sequence PSNR = %v", got)
+	}
+	if SequencePSNR(nil, nil) != 0 {
+		t.Fatal("empty sequence must be 0")
+	}
+}

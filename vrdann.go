@@ -1,0 +1,307 @@
+// Package vrdann is a full-system reproduction of "VR-DANN: Real-Time Video
+// Recognition via Decoder-Assisted Neural Network Acceleration" (Song et
+// al., MICRO 2020).
+//
+// VR-DANN couples a video decoder with an NN accelerator: I/P-frames are
+// segmented by a large network (NN-L) while B-frames — the majority of a
+// compressed stream — are reconstructed from the motion vectors already in
+// the bitstream and refined by a tiny 3-layer network (NN-S). The package
+// bundles everything the paper's evaluation needs, implemented from
+// scratch on the standard library:
+//
+//   - an H.264/H.265-style video codec with I/P/B GOPs, motion estimation
+//     and a motion-vector side channel (internal/codec)
+//   - a trainable CNN framework (internal/nn, internal/tensor)
+//   - a synthetic-video substrate with exact ground truth (internal/video)
+//   - the VR-DANN algorithm for segmentation and detection (internal/core,
+//     internal/segment, internal/detect)
+//   - the baselines OSVOS, FAVOS, DFF, Euphrates and SELSA
+//     (internal/baseline, internal/flow)
+//   - a cycle-level SoC simulator of the VR-DANN-parallel architecture:
+//     NPU, DRAM, decoder and agent unit (internal/sim)
+//
+// This file is the public facade: the types below alias the internal
+// implementation so downstream users program against package vrdann alone.
+//
+// Quick start:
+//
+//	vid := vrdann.MakeSequence(vrdann.SuiteProfiles[0], 96, 64, 48)
+//	stream, _ := vrdann.Encode(vid, vrdann.DefaultEncoderConfig())
+//	nns, _ := vrdann.TrainRefiner(vrdann.MakeTrainingSet(96, 64, 32), vrdann.DefaultEncoderConfig(), vrdann.DefaultTrainConfig())
+//	p := vrdann.NewPipeline(vrdann.NewOracleSegmenter("NN-L", vid.Masks, 0.08, 2, 1), nns)
+//	res, _ := p.RunSegmentation(stream.Data)
+//	f, j := vrdann.EvaluateSegmentation(res.Masks, vid.Masks)
+package vrdann
+
+import (
+	"io"
+
+	"vrdann/internal/baseline"
+	"vrdann/internal/codec"
+	"vrdann/internal/core"
+	"vrdann/internal/detect"
+	"vrdann/internal/nn"
+	"vrdann/internal/segment"
+	"vrdann/internal/sim"
+	"vrdann/internal/video"
+	"vrdann/internal/vidio"
+)
+
+// Video-domain types.
+type (
+	// Video is a raw frame sequence with ground-truth annotations.
+	Video = video.Video
+	// Frame is one raw luma frame.
+	Frame = video.Frame
+	// Mask is a binary segmentation mask.
+	Mask = video.Mask
+	// Rect is an axis-aligned box.
+	Rect = video.Rect
+	// SceneSpec describes a synthetic scene for Generate.
+	SceneSpec = video.SceneSpec
+	// ObjectSpec describes one synthetic moving object.
+	ObjectSpec = video.ObjectSpec
+	// SeqProfile is a named benchmark-sequence profile.
+	SeqProfile = video.SeqProfile
+	// ShapeKind selects a synthetic object silhouette.
+	ShapeKind = video.ShapeKind
+)
+
+// Synthetic object shapes.
+const (
+	ShapeDisk = video.ShapeDisk
+	ShapeBox  = video.ShapeBox
+)
+
+// Codec types.
+type (
+	// EncoderConfig holds the video-encoder parameters (block size, QP,
+	// B-frame policy, motion search interval).
+	EncoderConfig = codec.Config
+	// Stream is an encoded bitstream plus structural metadata.
+	Stream = codec.Stream
+	// DecodeResult is the decoder output (frames, motion vectors, ordering).
+	DecodeResult = codec.DecodeResult
+	// MotionVector is one macro-block's referencing relationship.
+	MotionVector = codec.MotionVector
+	// FrameType is I, P or B.
+	FrameType = codec.FrameType
+)
+
+// Recognition types.
+type (
+	// Pipeline is the VR-DANN algorithm (NN-L on anchors, MV reconstruction
+	// plus NN-S refinement on B-frames).
+	Pipeline = core.Pipeline
+	// Result is a segmentation run's output.
+	Result = core.Result
+	// DetectionResult is a detection run's output.
+	DetectionResult = core.DetectionResult
+	// TrainConfig controls NN-S training.
+	TrainConfig = core.TrainConfig
+	// RefineNet is the lightweight NN-S network.
+	RefineNet = nn.RefineNet
+	// FCN is the trainable fully-convolutional network playing NN-L.
+	FCN = nn.FCN
+	// NNLTrainConfig controls NN-L training.
+	NNLTrainConfig = core.NNLTrainConfig
+	// Segmenter produces a mask for a decoded frame (NN-L role).
+	Segmenter = segment.Segmenter
+	// BoxDetector produces scored boxes for a decoded frame.
+	BoxDetector = core.BoxDetector
+	// Detection is one scored box.
+	Detection = detect.Detection
+	// ReconMask is a 2-bit-per-pixel B-frame reconstruction.
+	ReconMask = segment.ReconMask
+	// StreamingPipeline is the incremental, bounded-memory pipeline form.
+	StreamingPipeline = core.StreamingPipeline
+	// MaskOut is one result emitted by the streaming pipeline.
+	MaskOut = core.MaskOut
+)
+
+// DisplayOrderEmit wraps a streaming emit callback so results arrive in
+// display order with bounded buffering.
+func DisplayOrderEmit(emit func(MaskOut) error) func(MaskOut) error {
+	return core.DisplayOrder(emit)
+}
+
+// Simulator types.
+type (
+	// SimParams bundles the SoC model configuration (Table II defaults).
+	SimParams = sim.Params
+	// SimReport is one scheme's simulated performance and energy.
+	SimReport = sim.Report
+	// Scheme selects the simulated pipeline.
+	Scheme = sim.Scheme
+	// Workload is the simulator-facing description of an encoded video.
+	Workload = sim.Workload
+	// SimTrace records unit-occupancy events of a simulated run.
+	SimTrace = sim.Trace
+)
+
+// Simulated schemes.
+const (
+	SchemeOSVOS          = sim.SchemeOSVOS
+	SchemeFAVOS          = sim.SchemeFAVOS
+	SchemeDFF            = sim.SchemeDFF
+	SchemeEuphrates2     = sim.SchemeEuphrates2
+	SchemeEuphrates4     = sim.SchemeEuphrates4
+	SchemeVRDANNSerial   = sim.SchemeVRDANNSerial
+	SchemeVRDANNParallel = sim.SchemeVRDANNParallel
+)
+
+// Frame types.
+const (
+	IFrame = codec.IFrame
+	PFrame = codec.PFrame
+	BFrame = codec.BFrame
+)
+
+// SuiteProfiles is the 20-sequence DAVIS-like benchmark suite.
+var SuiteProfiles = video.SuiteProfiles
+
+// DetectionProfiles is the speed-classed VID-like detection suite.
+var DetectionProfiles = video.DetectionProfiles
+
+// Generate renders a synthetic scene with exact ground truth.
+func Generate(spec SceneSpec) *Video { return video.Generate(spec) }
+
+// MakeSequence renders one benchmark sequence at the given geometry.
+func MakeSequence(p SeqProfile, w, h, frames int) *Video { return video.MakeSequence(p, w, h, frames) }
+
+// MakeSuite renders the whole 20-sequence benchmark suite.
+func MakeSuite(w, h, frames int) []*Video { return video.MakeSuite(w, h, frames) }
+
+// MakeTrainingSet renders the held-out training sequences.
+func MakeTrainingSet(w, h, frames int) []*Video { return video.MakeTrainingSet(w, h, frames) }
+
+// MakeDetectionSuite renders the detection sequences.
+func MakeDetectionSuite(w, h, frames int) []*Video { return video.MakeDetectionSuite(w, h, frames) }
+
+// Concat joins two sequences of identical geometry (a hard scene cut); the
+// encoder detects the cut and refreshes with an I-frame.
+func Concat(a, b *Video) *Video { return video.Concat(a, b) }
+
+// DefaultEncoderConfig returns the default encoder settings (H.265-like
+// 8×8 blocks, auto B ratio, auto search interval).
+func DefaultEncoderConfig() EncoderConfig { return codec.DefaultConfig() }
+
+// Encode compresses a video.
+func Encode(v *Video, cfg EncoderConfig) (*Stream, error) { return codec.Encode(v, cfg) }
+
+// Decode fully decodes a bitstream (all pixels).
+func Decode(data []byte) (*DecodeResult, error) { return codec.Decode(data, codec.DecodeFull) }
+
+// DecodeSideInfo decodes I/P pixels and B-frame motion vectors only — the
+// decoder contract VR-DANN exploits.
+func DecodeSideInfo(data []byte) (*DecodeResult, error) {
+	return codec.Decode(data, codec.DecodeSideInfo)
+}
+
+// NewOracleSegmenter returns a calibrated stand-in for a large segmentation
+// network: ground truth perturbed by boundary noise of the given strength.
+func NewOracleSegmenter(label string, gt []*Mask, strength float64, radius int, seed int64) Segmenter {
+	return segment.NewOracle(label, gt, strength, radius, seed)
+}
+
+// NewOracleBoxDetector is the detection analogue of NewOracleSegmenter.
+func NewOracleBoxDetector(label string, gt []Rect, jitter float64, seed int64) BoxDetector {
+	return &baseline.OracleBoxDetector{Label: label, GT: gt, Jitter: jitter, Seed: seed}
+}
+
+// DefaultTrainConfig returns the paper's NN-S training setup (2 epochs).
+func DefaultTrainConfig() TrainConfig { return core.DefaultTrainConfig() }
+
+// TrainRefiner trains NN-S on the given videos per Sec III-B.
+func TrainRefiner(videos []*Video, enc EncoderConfig, tc TrainConfig) (*RefineNet, error) {
+	return core.TrainNNS(videos, enc, tc)
+}
+
+// DefaultNNLTrainConfig returns the default NN-L training setup.
+func DefaultNNLTrainConfig() NNLTrainConfig { return core.DefaultNNLTrainConfig() }
+
+// TrainSegmenter trains the pure-Go NN-L from scratch on raw frames and
+// ground truth. Combined with TrainRefiner this yields the fully learned
+// pipeline with no oracle anywhere.
+func TrainSegmenter(videos []*Video, tc NNLTrainConfig) (*FCN, error) {
+	return core.TrainNNL(videos, tc)
+}
+
+// NewNetSegmenter wraps a trained network as the pipeline's NN-L.
+func NewNetSegmenter(label string, net *FCN) Segmenter {
+	return &segment.NetSegmenter{Label: label, Net: net}
+}
+
+// NewPipeline builds a VR-DANN pipeline with refinement enabled.
+func NewPipeline(nnl Segmenter, nns *RefineNet) *Pipeline {
+	return &Pipeline{NNL: nnl, NNS: nns, Refine: nns != nil}
+}
+
+// EvaluateSegmentation returns the mean boundary F-Score and region IoU (J)
+// of predictions against ground truth.
+func EvaluateSegmentation(pred, gt []*Mask) (f, j float64) {
+	var s segment.SeqScore
+	for i := range pred {
+		s.Add(pred[i], gt[i])
+	}
+	return s.Mean()
+}
+
+// EvaluateDetection returns average precision at the given IoU threshold.
+func EvaluateDetection(preds [][]Detection, gtBoxes [][]Rect, iouThresh float64) float64 {
+	return detect.AP(preds, gtBoxes, iouThresh)
+}
+
+// GTBoxes adapts a video's ground-truth boxes for EvaluateDetection.
+func GTBoxes(v *Video) [][]Rect { return detect.GTBoxes(v) }
+
+// DefaultSimParams returns the Table II SoC configuration.
+func DefaultSimParams() SimParams { return sim.DefaultParams() }
+
+// NewWorkload extracts a simulator workload from decoder output, scaled to
+// the target resolution (use the paper's 854×480 for headline numbers).
+func NewWorkload(name string, dec *DecodeResult, p SimParams, targetW, targetH int) Workload {
+	return sim.FromDecode(name, dec, p.Agent, targetW, targetH)
+}
+
+// Simulate runs one scheme over a workload on the SoC model.
+func Simulate(p SimParams, scheme Scheme, w Workload) SimReport {
+	return sim.New(p).Run(scheme, w)
+}
+
+// SimulateTraced is Simulate with an execution-timeline trace (the
+// tool-side equivalent of the paper's Fig 7).
+func SimulateTraced(p SimParams, scheme Scheme, w Workload) (SimReport, *SimTrace) {
+	return sim.New(p).RunTraced(scheme, w)
+}
+
+// SimulateRealtime runs a scheme against a live camera source at the given
+// frame rate and reports per-frame latency and deadline behaviour.
+func SimulateRealtime(p SimParams, scheme Scheme, w Workload, sourceFPS float64) sim.RealtimeReport {
+	return sim.New(p).RunRealtime(scheme, w, sourceFPS)
+}
+
+// --- Interchange I/O (PGM, Y4M, overlays) ---
+
+// WritePGM writes one frame as binary PGM (P5).
+func WritePGM(w io.Writer, f *Frame) error { return vidio.WritePGM(w, f) }
+
+// ReadPGM parses a binary PGM (P5) image.
+func ReadPGM(r io.Reader) (*Frame, error) { return vidio.ReadPGM(r) }
+
+// WriteMaskPGM writes a segmentation mask as a black/white PGM.
+func WriteMaskPGM(w io.Writer, m *Mask) error { return vidio.WriteMaskPGM(w, m) }
+
+// ReadMaskPGM parses a PGM into a mask (pixels ≥ 128 are foreground).
+func ReadMaskPGM(r io.Reader) (*Mask, error) { return vidio.ReadMaskPGM(r) }
+
+// Overlay renders a frame with the mask boundary marked and the background
+// dimmed, for visual inspection.
+func Overlay(f *Frame, m *Mask) *Frame { return vidio.Overlay(f, m) }
+
+// WriteY4M writes a sequence as a mono-color-space YUV4MPEG2 stream.
+func WriteY4M(w io.Writer, v *Video) error { return vidio.WriteY4M(w, v) }
+
+// ReadY4M parses a mono-color-space YUV4MPEG2 stream, e.g. real grayscale
+// footage converted with standard tools.
+func ReadY4M(r io.Reader) (*Video, error) { return vidio.ReadY4M(r) }

@@ -1,0 +1,164 @@
+package vrdann_test
+
+import (
+	"bytes"
+	"testing"
+
+	"vrdann"
+)
+
+// TestPublicAPIEndToEnd exercises the whole facade the way a downstream
+// user would: generate, encode, decode, train, run the pipeline, evaluate,
+// and simulate.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	vid := vrdann.MakeSequence(vrdann.SuiteProfiles[0], 96, 64, 16)
+	if vid.Len() != 16 {
+		t.Fatalf("sequence length %d", vid.Len())
+	}
+
+	enc := vrdann.DefaultEncoderConfig()
+	stream, err := vrdann.Encode(vid, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.Data) == 0 || len(stream.Data) >= 96*64*16 {
+		t.Fatalf("stream size %d implausible", len(stream.Data))
+	}
+
+	full, err := vrdann.Decode(stream.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := vrdann.DecodeSideInfo(stream.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Frames) != 16 || side.BRatio() <= 0 {
+		t.Fatalf("decode results inconsistent: %d frames, B ratio %v", len(full.Frames), side.BRatio())
+	}
+
+	tc := vrdann.DefaultTrainConfig()
+	tc.Features = 4
+	tc.Epochs = 1
+	nns, err := vrdann.TrainRefiner(vrdann.MakeTrainingSet(96, 64, 8)[:2], enc, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nnl := vrdann.NewOracleSegmenter("NN-L", vid.Masks, 0.05, 3, 1)
+	p := vrdann.NewPipeline(nnl, nns)
+	res, err := p.RunSegmentation(stream.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, j := vrdann.EvaluateSegmentation(res.Masks, vid.Masks)
+	if f <= 0.4 || j <= 0.4 {
+		t.Fatalf("accuracy implausibly low: F=%v J=%v", f, j)
+	}
+	if res.Stats.NNLRuns+res.Stats.BFrames != vid.Len() {
+		t.Fatalf("frame accounting: %+v", res.Stats)
+	}
+
+	det := vrdann.NewOracleBoxDetector("det", vid.Boxes, 1, 2)
+	dres, err := p.RunDetection(stream.Data, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := vrdann.EvaluateDetection(dres.Detections, vrdann.GTBoxes(vid), 0.5)
+	if ap <= 0.3 {
+		t.Fatalf("detection AP %v implausibly low", ap)
+	}
+
+	params := vrdann.DefaultSimParams()
+	w := vrdann.NewWorkload(vid.Name, side, params, 854, 480)
+	favos := vrdann.Simulate(params, vrdann.SchemeFAVOS, w)
+	vrd := vrdann.Simulate(params, vrdann.SchemeVRDANNParallel, w)
+	if vrd.TotalNS >= favos.TotalNS {
+		t.Fatal("VR-DANN-parallel must beat FAVOS in the simulator")
+	}
+	if favos.FPS() <= 0 || vrd.FPS() <= favos.FPS() {
+		t.Fatalf("fps: favos %v vrdann %v", favos.FPS(), vrd.FPS())
+	}
+}
+
+func TestPublicAPIGenerateCustomScene(t *testing.T) {
+	vid := vrdann.Generate(vrdann.SceneSpec{
+		Name: "custom", W: 64, H: 32, Frames: 4, Seed: 9,
+		Objects: []vrdann.ObjectSpec{{
+			Shape: vrdann.ShapeBox, Radius: 6, X: 30, Y: 16, VX: 1,
+			Intensity: 220, Foreground: true,
+		}},
+	})
+	if vid.Len() != 4 || vid.Masks[0].Area() == 0 || vid.Boxes[0].Empty() {
+		t.Fatal("custom scene missing ground truth")
+	}
+}
+
+func TestPublicAPISuites(t *testing.T) {
+	if len(vrdann.SuiteProfiles) != 20 || len(vrdann.DetectionProfiles) != 12 {
+		t.Fatalf("suite sizes %d/%d", len(vrdann.SuiteProfiles), len(vrdann.DetectionProfiles))
+	}
+	det := vrdann.MakeDetectionSuite(48, 32, 3)
+	if len(det) != 12 {
+		t.Fatalf("detection suite size %d", len(det))
+	}
+}
+
+func TestPublicAPIIOAndSimExtras(t *testing.T) {
+	vid := vrdann.MakeSuite(48, 32, 4)[0]
+
+	// PGM round trips.
+	var buf bytes.Buffer
+	if err := vrdann.WritePGM(&buf, vid.Frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	f, err := vrdann.ReadPGM(&buf)
+	if err != nil || f.W != 48 {
+		t.Fatalf("PGM round trip: %v %v", f, err)
+	}
+	buf.Reset()
+	if err := vrdann.WriteMaskPGM(&buf, vid.Masks[0]); err != nil {
+		t.Fatal(err)
+	}
+	m, err := vrdann.ReadMaskPGM(&buf)
+	if err != nil || m.Area() != vid.Masks[0].Area() {
+		t.Fatalf("mask PGM round trip: %v", err)
+	}
+
+	// Overlay keeps geometry.
+	ov := vrdann.Overlay(vid.Frames[0], vid.Masks[0])
+	if ov.W != 48 || ov.H != 32 {
+		t.Fatal("overlay geometry")
+	}
+
+	// Y4M round trip.
+	buf.Reset()
+	if err := vrdann.WriteY4M(&buf, vid); err != nil {
+		t.Fatal(err)
+	}
+	back, err := vrdann.ReadY4M(&buf)
+	if err != nil || back.Len() != vid.Len() {
+		t.Fatalf("Y4M round trip: %v", err)
+	}
+
+	// Traced and realtime simulation.
+	bigger := vrdann.MakeSequence(vrdann.SuiteProfiles[6], 96, 64, 16)
+	stream, err := vrdann.Encode(bigger, vrdann.DefaultEncoderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := vrdann.DecodeSideInfo(stream.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := vrdann.DefaultSimParams()
+	w := vrdann.NewWorkload(bigger.Name, dec, p, 854, 480)
+	rep, tr := vrdann.SimulateTraced(p, vrdann.SchemeVRDANNParallel, w)
+	if rep.TotalNS <= 0 || len(tr.Events) == 0 {
+		t.Fatal("traced simulation empty")
+	}
+	rt := vrdann.SimulateRealtime(p, vrdann.SchemeVRDANNParallel, w, 25)
+	if rt.AvgLatencyNS <= 0 || len(rt.Latencies) != 16 {
+		t.Fatalf("realtime report: %+v", rt.AvgLatencyNS)
+	}
+}
