@@ -1,0 +1,32 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# vet, build, the full test suite, and the race detector over the packages
+# with concurrency (the par worker layer, the parallel tensor/nn kernels
+# and the overlapped core pipeline).
+
+GO ?= go
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn
+
+.PHONY: check vet build test race bench suite
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# Serial-vs-parallel kernel and pipeline micro-benchmarks (EXPERIMENTS.md
+# "Parallel compute layer" section).
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/tensor ./internal/nn ./internal/core
+
+# Regenerate the paper's tables and figures.
+suite:
+	$(GO) run ./cmd/benchsuite

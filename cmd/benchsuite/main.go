@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchsuite [-frames N] [-res WxH] [figures...]
+//	benchsuite [-frames N] [-res WxH] [-workers N] [figures...]
 //
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
@@ -26,11 +26,13 @@ import (
 func main() {
 	frames := flag.Int("frames", 48, "frames per benchmark sequence")
 	res := flag.String("res", "96x64", "accuracy evaluation resolution WxH")
+	workers := flag.Int("workers", 1, "per-pipeline worker count (> 1 overlaps NN-L with B-frame work; results are bit-identical)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
 	cfg := experiments.Default()
 	cfg.Frames = *frames
+	cfg.PipelineWorkers = *workers
 	if _, err := fmt.Sscanf(*res, "%dx%d", &cfg.W, &cfg.H); err != nil {
 		fmt.Fprintf(os.Stderr, "benchsuite: bad -res %q: %v\n", *res, err)
 		os.Exit(1)
@@ -43,7 +45,7 @@ func main() {
 		want = all
 	}
 	if *jsonOut {
-		out := map[string]any{}
+		out := map[string]any{"workers": cfg.PipelineWorkers}
 		for _, name := range want {
 			data, err := figureData(h, name)
 			if err != nil {

@@ -1,0 +1,372 @@
+// Overlapped execution of the VR-DANN pipeline — the software analog of the
+// paper's agent unit (Sec IV). NN-L anchor inference runs as its own stage
+// while B-frame motion-vector reconstruction and NN-S refinement proceed on
+// a pool of workers as soon as the anchors they depend on resolve.
+//
+// Bit-identical output across worker counts is the design invariant. Each
+// B-frame job reconstructs against exactly the set of anchor segmentations
+// the serial decode-order loop would have held at that position (its decode
+// prefix), so nearestRef's tie-breaks and flankingAnchors see the same maps
+// serial execution sees; every mask slot is written by exactly one
+// goroutine; and per-worker Stats are summed with commutative integer adds.
+package core
+
+import (
+	"fmt"
+	"maps"
+	"sync"
+	"sync/atomic"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/detect"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// bJob is one B-frame work item. avail is the number of anchors that
+// precede the frame in decode order — its dependency set — and slot is the
+// job's decode-order position among B-frames, used to return the same
+// first-in-decode-order error the serial loop would.
+type bJob struct {
+	d, avail, slot int
+}
+
+// splitDecodeOrder partitions the decode order into the anchor stage
+// sequence and the B-frame jobs with their dependency counts.
+func splitDecodeOrder(dec *codec.DecodeResult) (anchors []int, jobs []bJob) {
+	for _, d := range dec.Order {
+		if dec.Types[d].IsAnchor() {
+			anchors = append(anchors, d)
+		} else {
+			jobs = append(jobs, bJob{d: d, avail: len(anchors), slot: len(jobs)})
+		}
+	}
+	return anchors, jobs
+}
+
+// add accumulates another Stats value (used to merge per-worker counters).
+func (s *Stats) add(o Stats) {
+	s.IFrames += o.IFrames
+	s.PFrames += o.PFrames
+	s.BFrames += o.BFrames
+	s.NNLRuns += o.NNLRuns
+	s.NNSRuns += o.NNSRuns
+	s.MVCount += o.MVCount
+	s.BiRefMVs += o.BiRefMVs
+	s.IntraFallbackBlocks += o.IntraFallbackBlocks
+}
+
+// runDecodedParallel is runDecoded restructured as the two-stage overlapped
+// pipeline described in the package comment.
+func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) {
+	res := &Result{
+		Masks:  make([]*video.Mask, len(dec.Types)),
+		Recons: make(map[int]*segment.ReconMask),
+		Decode: dec,
+	}
+	anchorOrder, jobs := splitDecodeOrder(dec)
+	// done[i] closes when the i-th anchor (in decode order) is segmented.
+	// Anchors finish in order, so a job waits only on its last dependency.
+	done := make([]chan struct{}, len(anchorOrder))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	anchorMasks := make([]*video.Mask, len(dec.Types))
+	var anchorStats Stats
+	var wg sync.WaitGroup
+	// Stage 1: NN-L anchor inference, serialized on one goroutine (the
+	// network caches forward-pass activations, so it is not reentrant).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, d := range anchorOrder {
+			m := p.NNL.Segment(dec.Frames[d], d)
+			anchorMasks[d] = m
+			res.Masks[d] = m
+			anchorStats.NNLRuns++
+			if dec.Types[d] == codec.IFrame {
+				anchorStats.IFrames++
+			} else {
+				anchorStats.PFrames++
+			}
+			close(done[i])
+		}
+	}()
+	// Stage 2: B-frame reconstruction + refinement on the worker pool.
+	nw := p.workers()
+	jobCh := make(chan bJob)
+	errs := make([]error, len(jobs))
+	recons := make([]*segment.ReconMask, len(dec.Types))
+	workerStats := make([]Stats, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var refiner *segment.Refiner
+			if p.Refine && p.NNS != nil {
+				refiner = segment.NewRefiner(p.NNS.Clone())
+			}
+			st := &workerStats[w]
+			for job := range jobCh {
+				if job.avail > 0 {
+					<-done[job.avail-1]
+				}
+				segs := make(map[int]*video.Mask, job.avail)
+				for _, a := range anchorOrder[:job.avail] {
+					segs[a] = anchorMasks[a]
+				}
+				info := dec.Infos[job.d]
+				st.BFrames++
+				rec, err := segment.Reconstruct(info, segs, dec.W, dec.H, dec.Cfg.BlockSize)
+				if err != nil {
+					errs[job.slot] = fmt.Errorf("core: frame %d: %w", job.d, err)
+					continue
+				}
+				recons[job.d] = rec
+				st.MVCount += len(info.MVs)
+				for _, mv := range info.MVs {
+					if mv.BiRef {
+						st.BiRefMVs++
+					}
+				}
+				st.IntraFallbackBlocks += info.Blocks - len(info.MVs)
+				if refiner != nil {
+					prev, next := flankingAnchors(dec.Types, segs, job.d)
+					res.Masks[job.d] = refiner.Refine(prev, rec, next)
+					st.NNSRuns++
+				} else {
+					res.Masks[job.d] = rec.Binary()
+				}
+			}
+		}(w)
+	}
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Stats = anchorStats
+	for w := range workerStats {
+		res.Stats.add(workerStats[w])
+	}
+	for d, rec := range recons {
+		if rec != nil {
+			res.Recons[d] = rec
+		}
+	}
+	return res, nil
+}
+
+// runDetectionParallel applies the same two-stage overlap to detection: the
+// detector stage rasterizes boxes into masks, the worker stage propagates
+// them through motion vectors (Sec III-B).
+func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector) (*DetectionResult, error) {
+	res := &DetectionResult{
+		Detections: make([][]detect.Detection, len(dec.Types)),
+		Decode:     dec,
+	}
+	anchorOrder, jobs := splitDecodeOrder(dec)
+	done := make([]chan struct{}, len(anchorOrder))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	boxMasks := make([]*video.Mask, len(dec.Types))
+	boxScores := make([]float64, len(dec.Types))
+	var anchorStats Stats
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i, d := range anchorOrder {
+			dets := det.Detect(dec.Frames[d], d)
+			res.Detections[d] = dets
+			anchorStats.NNLRuns++
+			boxMasks[d], boxScores[d] = anchorBoxMask(dets, dec.W, dec.H)
+			close(done[i])
+		}
+	}()
+	nw := p.workers()
+	jobCh := make(chan bJob)
+	errs := make([]error, len(jobs))
+	workerStats := make([]Stats, nw)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &workerStats[w]
+			for job := range jobCh {
+				if job.avail > 0 {
+					<-done[job.avail-1]
+				}
+				masks := make(map[int]*video.Mask, job.avail)
+				scores := make(map[int]float64, job.avail)
+				for _, a := range anchorOrder[:job.avail] {
+					masks[a] = boxMasks[a]
+					scores[a] = boxScores[a]
+				}
+				info := dec.Infos[job.d]
+				st.BFrames++
+				dets, err := bDetection(info, masks, scores, dec.W, dec.H, dec.Cfg.BlockSize)
+				if err != nil {
+					errs[job.slot] = fmt.Errorf("core: frame %d: %w", job.d, err)
+					continue
+				}
+				st.MVCount += len(info.MVs)
+				res.Detections[job.d] = dets
+			}
+		}(w)
+	}
+	for _, job := range jobs {
+		jobCh <- job
+	}
+	close(jobCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Stats = anchorStats
+	for w := range workerStats {
+		res.Stats.add(workerStats[w])
+	}
+	return res, nil
+}
+
+// streamItem carries one frame through the overlapped streaming pipeline.
+type streamItem struct {
+	out     MaskOut
+	info    codec.FrameInfo
+	refs    map[int]*video.Mask // reference snapshot; nil for anchor frames
+	maxSegs int                 // running working-set maximum through this frame
+	err     error
+	done    chan struct{}
+}
+
+// runInstrumentedParallel overlaps the streaming pipeline: the decode loop
+// (with inline NN-L anchor inference) runs on the caller, B-frame
+// reconstruction + refinement run on p.Workers goroutines against bounded
+// snapshots of the reference window, and a re-serializing emitter delivers
+// results in decode order. Emitted masks, maxSegs accounting and error
+// selection are identical to the serial RunInstrumented.
+func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(MaskOut) error) (int, error) {
+	dec, err := codec.NewStreamDecoder(stream, codec.DecodeSideInfo)
+	if err != nil {
+		return 0, fmt.Errorf("core: stream decoder: %w", err)
+	}
+	types := dec.Types()
+	cfg := dec.Config()
+	lastUse := segLastUse(types, cfg)
+	segs := make(map[int]*video.Mask)
+	w, h := dec.Geometry()
+
+	jobCh := make(chan *streamItem)
+	// The emit queue is sized to the stream so the decode loop never blocks
+	// on it; backpressure comes from the unbuffered job channel instead.
+	emitQ := make(chan *streamItem, len(types)+1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < p.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var refiner *segment.Refiner
+			if p.Refine && p.NNS != nil {
+				refiner = segment.NewRefiner(p.NNS.Clone())
+			}
+			for it := range jobCh {
+				rec, rerr := segment.Reconstruct(it.info, it.refs, w, h, cfg.BlockSize)
+				switch {
+				case rerr != nil:
+					it.err = fmt.Errorf("core: frame %d: %w", it.out.Display, rerr)
+				case refiner != nil:
+					prev, next := flankingAnchors(types, it.refs, it.out.Display)
+					it.out.Mask = refiner.Refine(prev, rec, next)
+				default:
+					it.out.Mask = rec.Binary()
+				}
+				close(it.done)
+			}
+		}()
+	}
+	// Emitter: waits on each frame's done channel in decode order, so
+	// results leave the pipeline exactly as the serial loop would emit them.
+	var emitMax int
+	var emitErr error
+	emitDone := make(chan struct{})
+	go func() {
+		defer close(emitDone)
+		for it := range emitQ {
+			<-it.done
+			if emitErr != nil {
+				continue // drain after failure
+			}
+			emitMax = it.maxSegs
+			if it.err != nil {
+				emitErr = it.err
+				stop.Store(true)
+				continue
+			}
+			if err := emit(it.out); err != nil {
+				emitErr = err
+				stop.Store(true)
+			}
+		}
+	}()
+	maxSegs := 0
+	pos := -1
+	var decErr error
+	for !stop.Load() {
+		out, derr := dec.Next()
+		if derr != nil {
+			decErr = fmt.Errorf("core: decode: %w", derr)
+			break
+		}
+		if out == nil {
+			break
+		}
+		pos++
+		it := &streamItem{
+			out:  MaskOut{Display: out.Info.Display, Type: out.Info.Type},
+			info: out.Info,
+			done: make(chan struct{}),
+		}
+		switch out.Info.Type {
+		case codec.IFrame, codec.PFrame:
+			it.out.Mask = p.NNL.Segment(out.Pixels, out.Info.Display)
+			segs[out.Info.Display] = it.out.Mask
+			close(it.done)
+		case codec.BFrame:
+			// Snapshot the reference window at this decode position; the
+			// pruned map stays bounded (segLastUse), so clones are small.
+			it.refs = maps.Clone(segs)
+		}
+		if len(segs) > maxSegs {
+			maxSegs = len(segs)
+		}
+		it.maxSegs = maxSegs
+		emitQ <- it
+		if it.refs != nil {
+			jobCh <- it
+		}
+		for d, last := range lastUse {
+			if last <= pos {
+				delete(segs, d)
+				delete(lastUse, d)
+			}
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	close(emitQ)
+	<-emitDone
+	if emitErr != nil {
+		return emitMax, emitErr
+	}
+	return maxSegs, decErr
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"vrdann/internal/nn"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// testWorkerCounts exercises the overlapped mode well past the host's core
+// count; bit-identity must hold regardless of physical parallelism.
+var testWorkerCounts = []int{2, 4, 7}
+
+func maskEqual(a, b *video.Mask) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.W != b.W || a.H != b.H {
+		return false
+	}
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSegmentationBitIdenticalAcrossWorkers(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	// A noisy oracle plus an (untrained, deterministic) NN-S exercises every
+	// stage: NN-L inference, MV reconstruction, sandwich refinement.
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+	build := func(workers int) *Pipeline {
+		return New(segment.NewOracle("oracle", v.Masks, 0.05, 1, 9), nns, WithWorkers(workers))
+	}
+	ref, err := build(1).RunSegmentation(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nw := range testWorkerCounts {
+		got, err := build(nw).RunSegmentation(stream)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", nw, err)
+		}
+		if got.Stats != ref.Stats {
+			t.Fatalf("workers=%d stats diverge: got %+v want %+v", nw, got.Stats, ref.Stats)
+		}
+		if len(got.Masks) != len(ref.Masks) {
+			t.Fatalf("workers=%d mask count %d vs %d", nw, len(got.Masks), len(ref.Masks))
+		}
+		for d := range ref.Masks {
+			if !maskEqual(got.Masks[d], ref.Masks[d]) {
+				t.Fatalf("workers=%d frame %d mask differs from serial", nw, d)
+			}
+		}
+		if len(got.Recons) != len(ref.Recons) {
+			t.Fatalf("workers=%d recon count %d vs %d", nw, len(got.Recons), len(ref.Recons))
+		}
+		for d, rr := range ref.Recons {
+			gr := got.Recons[d]
+			if gr == nil || gr.W != rr.W || gr.H != rr.H {
+				t.Fatalf("workers=%d recon %d missing or misshapen", nw, d)
+			}
+			for i := range rr.Pix {
+				if gr.Pix[i] != rr.Pix[i] {
+					t.Fatalf("workers=%d recon %d pixel %d differs", nw, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentationWithoutRefineIdenticalAcrossWorkers(t *testing.T) {
+	v := makeTestVideo(16, 1.0)
+	stream := encodeTestVideo(t, v)
+	build := func(workers int) *Pipeline {
+		p := &Pipeline{NNL: segment.NewOracle("oracle", v.Masks, 0, 0, 1), Workers: workers}
+		return p
+	}
+	ref, err := build(0).RunSegmentation(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := build(4).RunSegmentation(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != ref.Stats {
+		t.Fatalf("stats diverge: got %+v want %+v", got.Stats, ref.Stats)
+	}
+	for d := range ref.Masks {
+		if !maskEqual(got.Masks[d], ref.Masks[d]) {
+			t.Fatalf("frame %d mask differs from serial", d)
+		}
+	}
+}
+
+func TestDetectionBitIdenticalAcrossWorkers(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "det-par", W: 96, H: 64, Frames: 20, Seed: 42, Noise: 1.5,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 16, X: 36, Y: 32,
+			VX: 1.5, VY: 0.7, Intensity: 220, Foreground: true,
+		}},
+	})
+	stream := encodeTestVideo(t, v)
+	det := &gtBoxDetector{v}
+	ref, err := (&Pipeline{}).RunDetection(stream, det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nw := range testWorkerCounts {
+		got, err := (&Pipeline{Workers: nw}).RunDetection(stream, det)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", nw, err)
+		}
+		if got.Stats != ref.Stats {
+			t.Fatalf("workers=%d stats diverge: got %+v want %+v", nw, got.Stats, ref.Stats)
+		}
+		for d := range ref.Detections {
+			rd, gd := ref.Detections[d], got.Detections[d]
+			if len(rd) != len(gd) {
+				t.Fatalf("workers=%d frame %d has %d detections, want %d", nw, d, len(gd), len(rd))
+			}
+			for i := range rd {
+				if rd[i] != gd[i] {
+					t.Fatalf("workers=%d frame %d detection %d: got %+v want %+v", nw, d, i, gd[i], rd[i])
+				}
+			}
+		}
+	}
+}
+
+func collectStream(t *testing.T, p *StreamingPipeline, stream []byte) (int, []MaskOut) {
+	t.Helper()
+	var outs []MaskOut
+	maxSegs, err := p.RunInstrumented(stream, func(m MaskOut) error {
+		outs = append(outs, m)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return maxSegs, outs
+}
+
+func TestStreamingBitIdenticalAcrossWorkers(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+	oracle := segment.NewOracle("oracle", v.Masks, 0.05, 1, 9)
+	refMax, refOuts := collectStream(t, &StreamingPipeline{NNL: oracle, NNS: nns, Refine: true}, stream)
+	for _, nw := range testWorkerCounts {
+		gotMax, gotOuts := collectStream(t, &StreamingPipeline{NNL: oracle, NNS: nns, Refine: true, Workers: nw}, stream)
+		if gotMax != refMax {
+			t.Fatalf("workers=%d maxSegs = %d, want %d", nw, gotMax, refMax)
+		}
+		if len(gotOuts) != len(refOuts) {
+			t.Fatalf("workers=%d emitted %d frames, want %d", nw, len(gotOuts), len(refOuts))
+		}
+		for i := range refOuts {
+			if gotOuts[i].Display != refOuts[i].Display || gotOuts[i].Type != refOuts[i].Type {
+				t.Fatalf("workers=%d emit %d is frame %d/%v, want %d/%v",
+					nw, i, gotOuts[i].Display, gotOuts[i].Type, refOuts[i].Display, refOuts[i].Type)
+			}
+			if !maskEqual(gotOuts[i].Mask, refOuts[i].Mask) {
+				t.Fatalf("workers=%d frame %d mask differs from serial", nw, gotOuts[i].Display)
+			}
+		}
+	}
+}
+
+func TestStreamingParallelEmitErrorAborts(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	oracle := segment.NewOracle("oracle", v.Masks, 0, 0, 1)
+	boom := errors.New("boom")
+	run := func(workers int) (int, int, error) {
+		n := 0
+		maxSegs, err := (&StreamingPipeline{NNL: oracle, Workers: workers}).RunInstrumented(stream, func(m MaskOut) error {
+			if n == 7 {
+				return fmt.Errorf("frame %d: %w", m.Display, boom)
+			}
+			n++
+			return nil
+		})
+		return maxSegs, n, err
+	}
+	refMax, refN, refErr := run(1)
+	if !errors.Is(refErr, boom) {
+		t.Fatalf("serial: error = %v, want boom", refErr)
+	}
+	gotMax, gotN, gotErr := run(4)
+	if !errors.Is(gotErr, boom) {
+		t.Fatalf("parallel: error = %v, want boom", gotErr)
+	}
+	if gotErr.Error() != refErr.Error() {
+		t.Fatalf("error diverges: %q vs %q", gotErr, refErr)
+	}
+	if gotN != refN || gotMax != refMax {
+		t.Fatalf("parallel emitted %d frames (maxSegs %d), serial %d (%d)", gotN, gotMax, refN, refMax)
+	}
+}
+
+func TestWithWorkersOption(t *testing.T) {
+	p := New(segment.NewOracle("oracle", nil, 0, 0, 1), nil, WithWorkers(3))
+	if p.Workers != 3 || p.Refine {
+		t.Fatalf("New misconfigured pipeline: %+v", p)
+	}
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(1)), 4)
+	if q := New(nil, nns); !q.Refine {
+		t.Fatal("New must enable refinement when NN-S is supplied")
+	}
+	if (&Pipeline{}).workers() != 1 || (&Pipeline{Workers: -2}).workers() != 1 {
+		t.Fatal("zero-value pipeline must resolve to 1 worker")
+	}
+	if runtime.GOMAXPROCS(0) < 1 {
+		t.Fatal("unreachable")
+	}
+}

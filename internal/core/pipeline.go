@@ -27,6 +27,43 @@ type Pipeline struct {
 	// Refine toggles NN-S refinement; disabling it yields the raw
 	// motion-vector reconstruction (ablation of Sec III-A-2).
 	Refine bool
+	// Workers selects the execution mode: <= 1 runs the classic serial
+	// decode-order loop; > 1 runs the overlapped pipeline of Sec IV's agent
+	// unit in software — NN-L anchor inference proceeds as its own stage
+	// while B-frame reconstruction + refinement run on Workers goroutines
+	// as soon as their anchor dependencies resolve. Output is bit-identical
+	// either way (see WithWorkers).
+	Workers int
+}
+
+// Option configures a Pipeline built with New.
+type Option func(*Pipeline)
+
+// WithWorkers sets the worker count of the overlapped execution mode.
+// n <= 1 keeps the serial decode-order loop; larger n overlaps B-frame
+// reconstruction and NN-S refinement with NN-L anchor inference on n
+// goroutines. Masks, detections, reconstructions and Stats are
+// bit-identical for every n, so benchmarks can sweep 1..NumCPU freely.
+func WithWorkers(n int) Option {
+	return func(p *Pipeline) { p.Workers = n }
+}
+
+// New builds a pipeline with refinement enabled whenever a refinement
+// network is supplied, then applies the options.
+func New(nnl segment.Segmenter, nns *nn.RefineNet, opts ...Option) *Pipeline {
+	p := &Pipeline{NNL: nnl, NNS: nns, Refine: nns != nil}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// workers resolves the effective worker count (>= 1).
+func (p *Pipeline) workers() int {
+	if p.Workers < 1 {
+		return 1
+	}
+	return p.Workers
 }
 
 // Stats counts the work the pipeline performed.
@@ -56,10 +93,17 @@ func (p *Pipeline) RunSegmentation(stream []byte) (*Result, error) {
 }
 
 func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
+	if p.workers() > 1 {
+		return p.runDecodedParallel(dec)
+	}
 	res := &Result{
 		Masks:  make([]*video.Mask, len(dec.Types)),
 		Recons: make(map[int]*segment.ReconMask),
 		Decode: dec,
+	}
+	var refiner *segment.Refiner
+	if p.Refine && p.NNS != nil {
+		refiner = segment.NewRefiner(p.NNS)
 	}
 	segs := make(map[int]*video.Mask) // anchor segmentations by display index
 	for _, d := range dec.Order {
@@ -89,9 +133,9 @@ func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
 				}
 			}
 			res.Stats.IntraFallbackBlocks += info.Blocks - len(info.MVs)
-			if p.Refine && p.NNS != nil {
+			if refiner != nil {
 				prev, next := flankingAnchors(dec.Types, segs, d)
-				res.Masks[d] = segment.Refine(p.NNS, prev, rec, next)
+				res.Masks[d] = refiner.Refine(prev, rec, next)
 				res.Stats.NNSRuns++
 			} else {
 				res.Masks[d] = rec.Binary()
@@ -162,6 +206,9 @@ func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResul
 	if err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
+	if p.workers() > 1 {
+		return p.runDetectionParallel(dec, det)
+	}
 	res := &DetectionResult{
 		Detections: make([][]detect.Detection, len(dec.Types)),
 		Decode:     dec,
@@ -174,46 +221,62 @@ func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResul
 			dets := det.Detect(dec.Frames[d], d)
 			res.Detections[d] = dets
 			res.Stats.NNLRuns++
-			m := video.NewMask(dec.W, dec.H)
-			var s float64
-			for _, dd := range dets {
-				fillRect(m, dd.Box)
-				if dd.Score > s {
-					s = dd.Score
-				}
-			}
+			m, s := anchorBoxMask(dets, dec.W, dec.H)
 			boxMasks[d] = m
 			scores[d] = s
 			continue
 		}
 		res.Stats.BFrames++
-		rec, err := segment.Reconstruct(info, boxMasks, dec.W, dec.H, dec.Cfg.BlockSize)
+		dets, err := bDetection(info, boxMasks, scores, dec.W, dec.H, dec.Cfg.BlockSize)
 		if err != nil {
 			return nil, fmt.Errorf("core: frame %d: %w", d, err)
 		}
 		res.Stats.MVCount += len(info.MVs)
-		score := 0.0
-		n := 0
-		for _, mv := range info.MVs {
-			score += scores[mv.Ref]
-			n++
-		}
-		if n > 0 {
-			score /= float64(n)
-		} else {
-			score = 0.5
-		}
-		// Stray blocks whose motion vectors grazed the reference box would
-		// blow up the bounding box; keep only the dominant component and trim
-		// macro-block protrusions from its extent.
-		box := detect.RobustBox(segment.LargestComponent(rec.Binary()), 0.02)
-		if box.Empty() {
-			res.Detections[d] = nil
-		} else {
-			res.Detections[d] = []detect.Detection{{Box: box, Score: score}}
-		}
+		res.Detections[d] = dets
 	}
 	return res, nil
+}
+
+// anchorBoxMask rasterizes an anchor frame's detections into the mask the
+// B-frame reconstruction propagates, and returns the best score.
+func anchorBoxMask(dets []detect.Detection, w, h int) (*video.Mask, float64) {
+	m := video.NewMask(w, h)
+	var s float64
+	for _, dd := range dets {
+		fillRect(m, dd.Box)
+		if dd.Score > s {
+			s = dd.Score
+		}
+	}
+	return m, s
+}
+
+// bDetection reconstructs one B-frame's detection from its motion vectors
+// and the propagated anchor box masks (Sec III-B).
+func bDetection(info codec.FrameInfo, boxMasks map[int]*video.Mask, scores map[int]float64, w, h, blockSize int) ([]detect.Detection, error) {
+	rec, err := segment.Reconstruct(info, boxMasks, w, h, blockSize)
+	if err != nil {
+		return nil, err
+	}
+	score := 0.0
+	n := 0
+	for _, mv := range info.MVs {
+		score += scores[mv.Ref]
+		n++
+	}
+	if n > 0 {
+		score /= float64(n)
+	} else {
+		score = 0.5
+	}
+	// Stray blocks whose motion vectors grazed the reference box would
+	// blow up the bounding box; keep only the dominant component and trim
+	// macro-block protrusions from its extent.
+	box := detect.RobustBox(segment.LargestComponent(rec.Binary()), 0.02)
+	if box.Empty() {
+		return nil, nil
+	}
+	return []detect.Detection{{Box: box, Score: score}}, nil
 }
 
 func fillRect(m *video.Mask, r video.Rect) {

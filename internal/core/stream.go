@@ -26,6 +26,12 @@ type StreamingPipeline struct {
 	NNL    segment.Segmenter
 	NNS    *nn.RefineNet
 	Refine bool
+	// Workers selects the execution mode: <= 1 runs the serial decode loop;
+	// > 1 overlaps B-frame reconstruction + refinement with decoding and
+	// NN-L inference on that many goroutines, with results re-serialized
+	// into decode order. Emitted masks and maxSegs are bit-identical either
+	// way.
+	Workers int
 }
 
 // Run decodes the stream incrementally and calls emit for every frame's
@@ -38,6 +44,9 @@ func (p *StreamingPipeline) Run(stream []byte, emit func(MaskOut) error) error {
 // RunInstrumented is Run plus working-set instrumentation; it reports the
 // maximum number of reference segmentations held at once.
 func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) error) (maxSegs int, err error) {
+	if p.Workers > 1 {
+		return p.runInstrumentedParallel(stream, emit)
+	}
 	dec, err := codec.NewStreamDecoder(stream, codec.DecodeSideInfo)
 	if err != nil {
 		return 0, fmt.Errorf("core: stream decoder: %w", err)
@@ -46,6 +55,10 @@ func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) er
 	lastUse := segLastUse(types, dec.Config())
 	segs := make(map[int]*video.Mask)
 	w, h := dec.Geometry()
+	var refiner *segment.Refiner
+	if p.Refine && p.NNS != nil {
+		refiner = segment.NewRefiner(p.NNS)
+	}
 	pos := -1
 	for {
 		out, derr := dec.Next()
@@ -66,9 +79,9 @@ func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) er
 			if rerr != nil {
 				return maxSegs, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
 			}
-			if p.Refine && p.NNS != nil {
+			if refiner != nil {
 				prev, next := flankingAnchors(types, segs, out.Info.Display)
-				mask = segment.Refine(p.NNS, prev, rec, next)
+				mask = refiner.Refine(prev, rec, next)
 			} else {
 				mask = rec.Binary()
 			}

@@ -216,7 +216,7 @@ func (h *Harness) Fig11() ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := &core.Pipeline{}
+		p := &core.Pipeline{Workers: h.Cfg.PipelineWorkers}
 		vrd, err := p.RunDetection(st.Data, det)
 		if err != nil {
 			return nil, err

@@ -45,6 +45,11 @@ type Config struct {
 	// Workers bounds the per-video parallelism of the suite loops
 	// (0 = min(NumCPU, 8)).
 	Workers int
+	// PipelineWorkers selects the intra-pipeline execution mode: > 1 runs
+	// each VR-DANN pipeline in its overlapped form (core.WithWorkers);
+	// <= 1 keeps the serial decode-order loop. Results are bit-identical,
+	// so accuracy tables are unaffected.
+	PipelineWorkers int
 }
 
 // Default returns the configuration used for all reported numbers.
@@ -202,7 +207,7 @@ func (h *Harness) RunVRDANNNet(v *video.Video, enc codec.Config, nns *nn.RefineN
 	if err != nil {
 		return nil, err
 	}
-	p := &core.Pipeline{NNL: h.nnlFor(v, "NN-L(FAVOS)", h.Cfg.FAVOSNoise, 3), NNS: nns, Refine: true}
+	p := &core.Pipeline{NNL: h.nnlFor(v, "NN-L(FAVOS)", h.Cfg.FAVOSNoise, 3), NNS: nns, Refine: true, Workers: h.Cfg.PipelineWorkers}
 	return p.RunSegmentation(st.Data)
 }
 

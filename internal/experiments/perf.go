@@ -318,8 +318,8 @@ func (h *Harness) AblationRefinement() (withF, withJ, withoutF, withoutJ float64
 			return 0, 0, 0, 0, err
 		}
 		nnl := h.nnlFor(v, "NN-L", h.Cfg.FAVOSNoise, 3)
-		withP := &core.Pipeline{NNL: nnl, NNS: nns, Refine: true}
-		withoutP := &core.Pipeline{NNL: nnl, Refine: false}
+		withP := &core.Pipeline{NNL: nnl, NNS: nns, Refine: true, Workers: h.Cfg.PipelineWorkers}
+		withoutP := &core.Pipeline{NNL: nnl, Refine: false, Workers: h.Cfg.PipelineWorkers}
 		rw, err := withP.RunSegmentation(st.Data)
 		if err != nil {
 			return 0, 0, 0, 0, err

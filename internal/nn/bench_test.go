@@ -2,10 +2,69 @@ package nn
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"vrdann/internal/tensor"
 )
+
+// serialParallel runs the body once with GOMAXPROCS=1 (forcing every par.For
+// onto the calling goroutine) and once at full width, so the parallel-kernel
+// speedup and allocation behavior are visible side by side.
+func serialParallel(b *testing.B, fn func(b *testing.B)) {
+	run := func(procs int) func(b *testing.B) {
+		return func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			fn(b)
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel", run(runtime.NumCPU()))
+}
+
+// benchConv benchmarks one convolution forward or backward at a fixed
+// geometry in both execution modes.
+func benchConv(b *testing.B, inC, outC, h, w int, backward bool) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, inC, outC, 3, 1, 1)
+	x := tensor.Randn(rng, 1, inC, h, w)
+	out := conv.Forward(x)
+	grad := tensor.Randn(rng, 1, out.Shape...)
+	serialParallel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if backward {
+				conv.Backward(grad)
+			} else {
+				conv.Forward(x)
+			}
+		}
+	})
+}
+
+// BenchmarkConv2DForwardNoReuse forces a fresh patch matrix every call —
+// the allocation behavior before buffer reuse — for comparison with
+// BenchmarkConv2DForwardNNS.
+func BenchmarkConv2DForwardNoReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv := NewConv2D(rng, 3, 8, 3, 1, 1)
+	x := tensor.Randn(rng, 1, 3, 64, 96)
+	serialParallel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			conv.lastCols = nil
+			conv.Forward(x)
+		}
+	})
+}
+
+// NN-S first convolution: 3 -> 8 channels on a 64×96 sandwich input.
+func BenchmarkConv2DForwardNNS(b *testing.B)  { benchConv(b, 3, 8, 64, 96, false) }
+func BenchmarkConv2DBackwardNNS(b *testing.B) { benchConv(b, 3, 8, 64, 96, true) }
+
+// NN-L-scale convolution: 16 -> 16 channels on a 64×96 frame.
+func BenchmarkConv2DForwardNNL(b *testing.B)  { benchConv(b, 16, 16, 64, 96, false) }
+func BenchmarkConv2DBackwardNNL(b *testing.B) { benchConv(b, 16, 16, 64, 96, true) }
 
 func BenchmarkConv2DForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

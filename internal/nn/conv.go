@@ -35,7 +35,9 @@ func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The patch matrix (the only large per-call
+// allocation of the im2col path) is reused across invocations whenever the
+// input geometry repeats, and the lowering + GEMM split across cores.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if len(x.Shape) != 3 || x.Shape[0] != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D expects [%d H W] input, got %v", c.InC, x.Shape))
@@ -43,9 +45,14 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	h, w := x.Shape[1], x.Shape[2]
 	outH := tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
 	outW := tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
-	cols := tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad)
-	w2d := c.Weight.Reshape(c.OutC, c.InC*c.KH*c.KW)
-	out2d := tensor.MatMul(w2d, cols)
+	rows, cols := c.InC*c.KH*c.KW, outH*outW
+	if c.lastCols != nil && c.lastCols.Shape[0] == rows && c.lastCols.Shape[1] == cols {
+		tensor.Im2ColInto(c.lastCols, x, c.KH, c.KW, c.Stride, c.Pad)
+	} else {
+		c.lastCols = tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad)
+	}
+	w2d := c.Weight.Reshape(c.OutC, rows)
+	out2d := tensor.MatMul(w2d, c.lastCols)
 	for oc := 0; oc < c.OutC; oc++ {
 		b := c.Bias.Data[oc]
 		row := out2d.Data[oc*outH*outW : (oc+1)*outH*outW]
@@ -53,9 +60,8 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 			row[i] += b
 		}
 	}
-	c.lastCols = cols
 	c.lastInH, c.lastW = h, w
-	c.macs = int64(c.OutC) * int64(c.InC*c.KH*c.KW) * int64(outH*outW)
+	c.macs = int64(c.OutC) * int64(rows) * int64(outH*outW)
 	return out2d.Reshape(c.OutC, outH, outW)
 }
 
@@ -72,8 +78,9 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 		c.gradB.Data[oc] += s
 	}
-	// Weight gradient: gradOut (OutC × P) × colsᵀ (P × K).
-	gw := tensor.MatMul(g2d, tensor.Transpose(c.lastCols))
+	// Weight gradient: gradOut (OutC × P) × colsᵀ (P × K). MatMulBT streams
+	// both operands row-major without materializing the transpose.
+	gw := tensor.MatMulBT(g2d, c.lastCols)
 	c.gradW.AddInPlace(gw.Reshape(c.Weight.Shape...))
 	// Input gradient: Wᵀ × gradOut, scattered back to image space.
 	w2d := c.Weight.Reshape(c.OutC, c.InC*c.KH*c.KW)

@@ -11,6 +11,7 @@ package nn
 import (
 	"math"
 
+	"vrdann/internal/par"
 	"vrdann/internal/tensor"
 )
 
@@ -49,25 +50,29 @@ func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 		r.mask = make([]bool, len(x.Data))
 	}
 	r.mask = r.mask[:len(x.Data)]
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
+	par.For(len(x.Data), par.Grain(len(x.Data), 1, par.MinWorkFloats), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if v := x.Data[i]; v > 0 {
+				out.Data[i] = v
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(grad.Shape...)
-	for i, v := range grad.Data {
-		if r.mask[i] {
-			out.Data[i] = v
+	par.For(len(grad.Data), par.Grain(len(grad.Data), 1, par.MinWorkFloats), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if r.mask[i] {
+				out.Data[i] = grad.Data[i]
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"vrdann/internal/par"
 	"vrdann/internal/tensor"
 )
 
@@ -30,34 +31,45 @@ func (p *MaxPool2) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	p.argmax = p.argmax[:out.Numel()]
 	p.inShape = x.Shape
-	for ch := 0; ch < c; ch++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				base := (ch*h+oy*2)*w + ox*2
-				best, bestIdx := x.Data[base], base
-				for dy := 0; dy < 2; dy++ {
-					for dx := 0; dx < 2; dx++ {
-						idx := base + dy*w + dx
-						if x.Data[idx] > best {
-							best, bestIdx = x.Data[idx], idx
+	// Channels write disjoint slices of out/argmax, so they pool in
+	// parallel.
+	par.For(c, par.Grain(c, h*w, par.MinWorkFloats), func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					base := (ch*h+oy*2)*w + ox*2
+					best, bestIdx := x.Data[base], base
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := base + dy*w + dx
+							if x.Data[idx] > best {
+								best, bestIdx = x.Data[idx], idx
+							}
 						}
 					}
+					o := (ch*oh+oy)*ow + ox
+					out.Data[o] = best
+					p.argmax[o] = bestIdx
 				}
-				o := (ch*oh+oy)*ow + ox
-				out.Data[o] = best
-				p.argmax[o] = bestIdx
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward implements Layer.
 func (p *MaxPool2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(p.inShape...)
-	for o, src := range p.argmax {
-		out.Data[src] += grad.Data[o]
-	}
+	h, w := p.inShape[1], p.inShape[2]
+	oh, ow := h/2, w/2
+	// An output cell's argmax lies inside the same channel, so per-channel
+	// blocks scatter into disjoint regions of out.
+	par.For(p.inShape[0], par.Grain(p.inShape[0], h*w, par.MinWorkFloats), func(clo, chi int) {
+		lo, hi := clo*oh*ow, chi*oh*ow
+		for o := lo; o < hi; o++ {
+			out.Data[p.argmax[o]] += grad.Data[o]
+		}
+	})
 	return out
 }
 
@@ -90,20 +102,22 @@ func (u *Upsample2) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	u.inShape = x.Shape
 	out := tensor.New(c, h*2, w*2)
-	for ch := 0; ch < c; ch++ {
-		for y := 0; y < h; y++ {
-			srcRow := (ch*h + y) * w
-			for x2 := 0; x2 < w; x2++ {
-				v := x.Data[srcRow+x2]
-				d0 := (ch*h*2+y*2)*w*2 + x2*2
-				d1 := d0 + w*2
-				out.Data[d0] = v
-				out.Data[d0+1] = v
-				out.Data[d1] = v
-				out.Data[d1+1] = v
+	par.For(c, par.Grain(c, 4*h*w, par.MinWorkFloats), func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			for y := 0; y < h; y++ {
+				srcRow := (ch*h + y) * w
+				for x2 := 0; x2 < w; x2++ {
+					v := x.Data[srcRow+x2]
+					d0 := (ch*h*2+y*2)*w*2 + x2*2
+					d1 := d0 + w*2
+					out.Data[d0] = v
+					out.Data[d0+1] = v
+					out.Data[d1] = v
+					out.Data[d1+1] = v
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -111,15 +125,17 @@ func (u *Upsample2) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (u *Upsample2) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	c, h, w := u.inShape[0], u.inShape[1], u.inShape[2]
 	out := tensor.New(c, h, w)
-	for ch := 0; ch < c; ch++ {
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				d0 := (ch*h*2+y*2)*w*2 + x*2
-				d1 := d0 + w*2
-				out.Data[(ch*h+y)*w+x] = grad.Data[d0] + grad.Data[d0+1] + grad.Data[d1] + grad.Data[d1+1]
+	par.For(c, par.Grain(c, 4*h*w, par.MinWorkFloats), func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					d0 := (ch*h*2+y*2)*w*2 + x*2
+					d1 := d0 + w*2
+					out.Data[(ch*h+y)*w+x] = grad.Data[d0] + grad.Data[d0+1] + grad.Data[d1] + grad.Data[d1+1]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

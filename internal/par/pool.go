@@ -1,0 +1,72 @@
+package par
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch buffers: size-classed sync.Pools of []float32, used by the
+// tensor and nn hot paths to avoid allocating a fresh backing array per
+// call. Buffers come back with arbitrary contents; callers that need
+// zeroed memory use GetFloatsZeroed.
+
+const (
+	minClassBits = 6  // smallest pooled class: 64 floats
+	maxClassBits = 26 // largest pooled class: 64M floats (256 MiB)
+)
+
+var floatPools [maxClassBits + 1]sync.Pool
+
+// classFor returns the pool class (power-of-two exponent) holding buffers
+// of capacity >= n, or -1 when n is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if c < minClassBits {
+		c = minClassBits
+	}
+	if c > maxClassBits {
+		return -1
+	}
+	return c
+}
+
+// GetFloats returns a []float32 of length n with arbitrary contents,
+// drawn from the pool when possible. Pair with PutFloats.
+func GetFloats(n int) []float32 {
+	c := classFor(n)
+	if c < 0 {
+		return make([]float32, n)
+	}
+	if v := floatPools[c].Get(); v != nil {
+		return (*v.(*[]float32))[:n]
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// GetFloatsZeroed returns a zero-filled []float32 of length n from the
+// pool. Pair with PutFloats.
+func GetFloatsZeroed(n int) []float32 {
+	s := GetFloats(n)
+	clear(s)
+	return s
+}
+
+// PutFloats returns a buffer obtained from GetFloats to the pool. The
+// caller must not touch the slice afterwards.
+func PutFloats(s []float32) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	// Only accept buffers at their class capacity, so a pooled buffer can
+	// always serve any request of its class.
+	k := bits.Len(uint(c - 1))
+	if c != 1<<k || k < minClassBits || k > maxClassBits {
+		return
+	}
+	s = s[:c]
+	floatPools[k].Put(&s)
+}

@@ -11,8 +11,16 @@ import (
 // the 2-bit reconstruction of the current B-frame (as 0/0.5/1 values), and
 // channel 2 the segmentation of the immediately following reference frame.
 func Sandwich(prev *video.Mask, recon *ReconMask, next *video.Mask) *tensor.Tensor {
+	x := tensor.New(3, recon.H, recon.W)
+	SandwichInto(x, prev, recon, next)
+	return x
+}
+
+// SandwichInto is Sandwich writing into a caller-owned [3, H, W] tensor;
+// every element is overwritten, so the buffer needs no zeroing between
+// frames.
+func SandwichInto(x *tensor.Tensor, prev *video.Mask, recon *ReconMask, next *video.Mask) {
 	w, h := recon.W, recon.H
-	x := tensor.New(3, h, w)
 	plane := h * w
 	for y := 0; y < h; y++ {
 		for xx := 0; xx < w; xx++ {
@@ -22,13 +30,29 @@ func Sandwich(prev *video.Mask, recon *ReconMask, next *video.Mask) *tensor.Tens
 			x.Data[2*plane+i] = float32(next.Pix[i])
 		}
 	}
-	return x
 }
 
-// Refine runs NN-S on the sandwich input and returns the refined binary
-// segmentation of the B-frame.
-func Refine(net *nn.RefineNet, prev *video.Mask, recon *ReconMask, next *video.Mask) *video.Mask {
-	logits := net.Forward(Sandwich(prev, recon, next))
+// Refiner runs NN-S over a sequence of B-frames, reusing the sandwich
+// input tensor across invocations so steady-state refinement allocates
+// only the output mask. A Refiner is not safe for concurrent use (the
+// network caches forward-pass activations); concurrent pipelines hold one
+// Refiner per worker over a Clone of the network.
+type Refiner struct {
+	Net *nn.RefineNet
+	in  *tensor.Tensor
+}
+
+// NewRefiner wraps a refinement network with a reusable input buffer.
+func NewRefiner(net *nn.RefineNet) *Refiner { return &Refiner{Net: net} }
+
+// Refine runs NN-S on the sandwich of (prev, recon, next) and returns the
+// refined binary segmentation of the B-frame.
+func (r *Refiner) Refine(prev *video.Mask, recon *ReconMask, next *video.Mask) *video.Mask {
+	if r.in == nil || r.in.Shape[1] != recon.H || r.in.Shape[2] != recon.W {
+		r.in = tensor.New(3, recon.H, recon.W)
+	}
+	SandwichInto(r.in, prev, recon, next)
+	logits := r.Net.Forward(r.in)
 	m := video.NewMask(recon.W, recon.H)
 	for i, v := range logits.Data {
 		if v > 0 {
@@ -36,6 +60,12 @@ func Refine(net *nn.RefineNet, prev *video.Mask, recon *ReconMask, next *video.M
 		}
 	}
 	return m
+}
+
+// Refine runs NN-S on the sandwich input and returns the refined binary
+// segmentation of the B-frame. One-shot form of Refiner.Refine.
+func Refine(net *nn.RefineNet, prev *video.Mask, recon *ReconMask, next *video.Mask) *video.Mask {
+	return NewRefiner(net).Refine(prev, recon, next)
 }
 
 // MaskToTensor converts a binary mask to a [1,H,W] tensor.

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// withProcs runs the benchmark body under a fixed GOMAXPROCS so the serial
+// and parallel variants of each kernel can be compared on one machine
+// (par.For sizes itself from GOMAXPROCS).
+func withProcs(b *testing.B, procs int, fn func(b *testing.B)) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	fn(b)
+}
+
+func serialParallel(b *testing.B, fn func(b *testing.B)) {
+	b.Run("serial", func(b *testing.B) { withProcs(b, 1, fn) })
+	b.Run("parallel", func(b *testing.B) { withProcs(b, runtime.NumCPU(), fn) })
+}
+
+// NN-S conv1 as a GEMM: [8 × 27] × [27 × 6144] for a 64×96 frame.
+func BenchmarkMatMulNNS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 1, 8, 27)
+	x := Randn(rng, 1, 27, 64*96)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMul(a, x)
+		}
+	})
+}
+
+// NN-L mid-layer as a GEMM: [32 × 144] × [144 × 1536] for a pooled frame.
+func BenchmarkMatMulNNL(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 1, 32, 144)
+	x := Randn(rng, 1, 144, 32*48)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMul(a, x)
+		}
+	})
+}
+
+// Steady-state form: output buffer reused, zero allocations per call.
+func BenchmarkMatMulInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := Randn(rng, 1, 32, 144)
+	x := Randn(rng, 1, 144, 32*48)
+	dst := New(32, 32*48)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMulInto(dst, a, x)
+		}
+	})
+}
+
+func BenchmarkMatMulBT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := Randn(rng, 1, 8, 64*96)
+	cols := Randn(rng, 1, 27, 64*96)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			MatMulBT(g, cols)
+		}
+	})
+}
+
+// Lowering a 3-channel 64×96 sandwich input with a 3×3 kernel.
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 3, 64, 96)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Im2Col(x, 3, 3, 1, 1)
+		}
+	})
+}
+
+func BenchmarkIm2ColInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := Randn(rng, 1, 3, 64, 96)
+	cols := New(3*3*3, 64*96)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Im2ColInto(cols, x, 3, 3, 1, 1)
+		}
+	})
+}
+
+func BenchmarkCol2Im(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cols := Randn(rng, 1, 8*3*3, 64*96)
+	serialParallel(b, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Col2Im(cols, 8, 64, 96, 3, 3, 1, 1)
+		}
+	})
+}

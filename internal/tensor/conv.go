@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"vrdann/internal/par"
+)
 
 // Im2Col lowers a CHW image tensor into a matrix of convolution patches.
 //
@@ -9,75 +13,132 @@ import "fmt"
 // a convolution with the given kernel, stride and (symmetric zero) padding.
 // Each column is one receptive field flattened channel-major.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
-	if len(x.Shape) != 3 {
-		panic(fmt.Sprintf("tensor: Im2Col requires CHW input, got %v", x.Shape))
-	}
-	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
-	outH := (h+2*pad-kh)/stride + 1
-	outW := (w+2*pad-kw)/stride + 1
-	if outH <= 0 || outW <= 0 {
-		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
-	}
+	c, outH, outW := im2colDims(x, kh, kw, stride, pad)
 	cols := New(c*kh*kw, outH*outW)
-	for ch := 0; ch < c; ch++ {
-		chBase := ch * h * w
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := ((ch*kh+ky)*kw + kx) * outH * outW
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						continue
-					}
-					srcRow := chBase + iy*w
-					dstRow := row + oy*outW
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
-							continue
-						}
-						cols.Data[dstRow+ox] = x.Data[srcRow+ix]
-					}
-				}
-			}
-		}
-	}
+	im2colInto(cols, x, kh, kw, stride, pad, false)
 	return cols
 }
 
+// Im2ColInto is Im2Col writing into a caller-owned buffer of shape
+// [C*kh*kw, outH*outW], so the patch matrix can be reused across calls
+// (the per-inference allocation in the conv path is exactly this matrix).
+func Im2ColInto(cols *Tensor, x *Tensor, kh, kw, stride, pad int) {
+	c, outH, outW := im2colDims(x, kh, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst shape %v, want [%d %d]", cols.Shape, c*kh*kw, outH*outW))
+	}
+	im2colInto(cols, x, kh, kw, stride, pad, true)
+}
+
+func im2colDims(x *Tensor, kh, kw, stride, pad int) (c, outH, outW int) {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2Col requires CHW input, got %v", x.Shape))
+	}
+	c = x.Shape[0]
+	outH = (x.Shape[1]+2*pad-kh)/stride + 1
+	outW = (x.Shape[2]+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
+	}
+	return c, outH, outW
+}
+
+// im2colInto fills cols; rows of the patch matrix — one per (channel, ky,
+// kx) — are independent, so they are processed in parallel blocks. The
+// serial path is split out so the steady-state reuse form allocates nothing
+// (the parallel closure escapes to the heap).
+func im2colInto(cols, x *Tensor, kh, kw, stride, pad int, zero bool) {
+	rows := x.Shape[0] * kh * kw
+	outH := (x.Shape[1]+2*pad-kh)/stride + 1
+	outW := (x.Shape[2]+2*pad-kw)/stride + 1
+	grain := par.Grain(rows, outH*outW, par.MinWorkFloats)
+	if grain >= rows || par.MaxWorkers() == 1 {
+		im2colRows(cols, x, kh, kw, stride, pad, 0, rows, zero)
+		return
+	}
+	par.For(rows, grain, func(lo, hi int) {
+		im2colRows(cols, x, kh, kw, stride, pad, lo, hi, zero)
+	})
+}
+
+// im2colRows fills patch-matrix rows [lo, hi).
+func im2colRows(cols, x *Tensor, kh, kw, stride, pad, lo, hi int, zero bool) {
+	h, w := x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	for r := lo; r < hi; r++ {
+		ch := r / (kh * kw)
+		ky := (r / kw) % kh
+		kx := r % kw
+		chBase := ch * h * w
+		row := r * outH * outW
+		if zero {
+			clear(cols.Data[row : row+outH*outW])
+		}
+		for oy := 0; oy < outH; oy++ {
+			iy := oy*stride + ky - pad
+			if iy < 0 || iy >= h {
+				continue
+			}
+			srcRow := chBase + iy*w
+			dstRow := row + oy*outW
+			for ox := 0; ox < outW; ox++ {
+				ix := ox*stride + kx - pad
+				if ix < 0 || ix >= w {
+					continue
+				}
+				cols.Data[dstRow+ox] = x.Data[srcRow+ix]
+			}
+		}
+	}
+}
+
 // Col2Im is the adjoint of Im2Col: it scatters (accumulates) the patch
-// matrix back into a CHW image of shape [c, h, w].
+// matrix back into a CHW image of shape [c, h, w]. Channels accumulate
+// independently, so they are processed in parallel.
 func Col2Im(cols *Tensor, c, h, w, kh, kw, stride, pad int) *Tensor {
+	img := New(c, h, w)
+	Col2ImInto(img, cols, kh, kw, stride, pad)
+	return img
+}
+
+// Col2ImInto is Col2Im accumulating into a caller-owned, zeroed image
+// tensor of shape [c, h, w].
+func Col2ImInto(img, cols *Tensor, kh, kw, stride, pad int) {
+	if len(img.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Col2ImInto requires CHW dst, got %v", img.Shape))
+	}
+	c, h, w := img.Shape[0], img.Shape[1], img.Shape[2]
 	outH := (h+2*pad-kh)/stride + 1
 	outW := (w+2*pad-kw)/stride + 1
 	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != outH*outW {
 		panic(fmt.Sprintf("tensor: Col2Im shape mismatch: cols %v, want [%d %d]", cols.Shape, c*kh*kw, outH*outW))
 	}
-	img := New(c, h, w)
-	for ch := 0; ch < c; ch++ {
-		chBase := ch * h * w
-		for ky := 0; ky < kh; ky++ {
-			for kx := 0; kx < kw; kx++ {
-				row := ((ch*kh+ky)*kw + kx) * outH * outW
-				for oy := 0; oy < outH; oy++ {
-					iy := oy*stride + ky - pad
-					if iy < 0 || iy >= h {
-						continue
-					}
-					srcRow := row + oy*outW
-					dstRow := chBase + iy*w
-					for ox := 0; ox < outW; ox++ {
-						ix := ox*stride + kx - pad
-						if ix < 0 || ix >= w {
+	par.For(c, par.Grain(c, kh*kw*outH*outW, par.MinWorkFloats), func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			chBase := ch * h * w
+			for ky := 0; ky < kh; ky++ {
+				for kx := 0; kx < kw; kx++ {
+					row := ((ch*kh+ky)*kw + kx) * outH * outW
+					for oy := 0; oy < outH; oy++ {
+						iy := oy*stride + ky - pad
+						if iy < 0 || iy >= h {
 							continue
 						}
-						img.Data[dstRow+ix] += cols.Data[srcRow+ox]
+						srcRow := row + oy*outW
+						dstRow := chBase + iy*w
+						for ox := 0; ox < outW; ox++ {
+							ix := ox*stride + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							img.Data[dstRow+ix] += cols.Data[srcRow+ox]
+						}
 					}
 				}
 			}
 		}
-	}
-	return img
+	})
 }
 
 // ConvOutSize returns the spatial output size of a convolution along one

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// naiveMatMul is the straightforward triple loop used as the reference for
+// the blocked/parallel kernels.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for kk := 0; kk < k; kk++ {
+				s += a.Data[i*k+kk] * b.Data[kk*n+j]
+			}
+			c.Data[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func TestMatMulMatchesNaiveAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {8, 27, 96 * 64}, {33, 17, 129}} {
+		a := Randn(rng, 1, dims[0], dims[1])
+		b := Randn(rng, 1, dims[1], dims[2])
+		want := naiveMatMul(a, b)
+		for _, procs := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			got := MatMul(a, b)
+			runtime.GOMAXPROCS(prev)
+			if !got.SameShape(want) {
+				t.Fatalf("dims %v procs %d: shape %v", dims, procs, got.Shape)
+			}
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("dims %v procs %d: element %d differs: %v vs %v",
+						dims, procs, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulIntoReusesBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := Randn(rng, 1, 6, 10)
+	b := Randn(rng, 1, 10, 8)
+	want := MatMul(a, b)
+	dst := Full(42, 6, 8) // dirty buffer: MatMulInto must overwrite it
+	MatMulInto(dst, a, b)
+	if !AllClose(dst, want, 0) {
+		t.Fatal("MatMulInto result differs from MatMul")
+	}
+	allocs := testing.AllocsPerRun(10, func() { MatMulInto(dst, a, b) })
+	if allocs != 0 {
+		t.Fatalf("MatMulInto allocates %.0f objects per call, want 0", allocs)
+	}
+}
+
+func TestMatMulBTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{1, 1, 1}, {4, 9, 5}, {16, 72, 24 * 16}} {
+		m, p, n := dims[0], dims[1], dims[2]
+		a := Randn(rng, 1, m, p)
+		b := Randn(rng, 1, n, p)
+		want := naiveMatMul(a, Transpose(b))
+		got := MatMulBT(a, b)
+		if !got.SameShape(want) {
+			t.Fatalf("dims %v: shape %v", dims, got.Shape)
+		}
+		if !AllClose(got, want, 1e-4) {
+			t.Fatalf("dims %v: MatMulBT differs from MatMul(a, bᵀ)", dims)
+		}
+	}
+}
+
+func TestIm2ColIntoMatchesIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := Randn(rng, 1, 3, 13, 17)
+	for _, cfg := range [][4]int{{3, 3, 1, 1}, {3, 3, 2, 1}, {5, 3, 1, 2}, {1, 1, 1, 0}} {
+		kh, kw, stride, pad := cfg[0], cfg[1], cfg[2], cfg[3]
+		want := Im2Col(x, kh, kw, stride, pad)
+		dst := Full(7, want.Shape...) // dirty buffer must be fully overwritten
+		Im2ColInto(dst, x, kh, kw, stride, pad)
+		if !AllClose(dst, want, 0) {
+			t.Fatalf("cfg %v: Im2ColInto differs from Im2Col", cfg)
+		}
+	}
+}
+
+func TestIm2ColParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := Randn(rng, 1, 8, 64, 96)
+	prev := runtime.GOMAXPROCS(1)
+	want := Im2Col(x, 3, 3, 1, 1)
+	runtime.GOMAXPROCS(4)
+	got := Im2Col(x, 3, 3, 1, 1)
+	runtime.GOMAXPROCS(prev)
+	if !AllClose(got, want, 0) {
+		t.Fatal("parallel Im2Col differs from serial")
+	}
+}
+
+func TestCol2ImRoundTripAndParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cols := Randn(rng, 1, 8*3*3, 64*96)
+	prev := runtime.GOMAXPROCS(1)
+	want := Col2Im(cols, 8, 64, 96, 3, 3, 1, 1)
+	runtime.GOMAXPROCS(4)
+	got := Col2Im(cols, 8, 64, 96, 3, 3, 1, 1)
+	runtime.GOMAXPROCS(prev)
+	if !AllClose(got, want, 0) {
+		t.Fatal("parallel Col2Im differs from serial")
+	}
+}

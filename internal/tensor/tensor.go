@@ -2,13 +2,19 @@
 // primitives needed by the neural-network substrate. It is deliberately
 // small: shapes are explicit int slices, storage is a flat []float32 in
 // row-major order, and all operations are implemented with plain loops so
-// the package has no dependencies beyond the standard library.
+// the package depends only on the standard library and the internal/par
+// parallelism substrate. The heavy kernels (MatMul, Im2Col, Col2Im) split
+// across cores via par.For; each output element is still produced by one
+// goroutine with the serial accumulation order, so results are
+// bit-identical at any worker count.
 package tensor
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"vrdann/internal/par"
 )
 
 // Tensor is a dense, row-major float32 tensor.
@@ -269,32 +275,100 @@ func (t *Tensor) L2Norm() float64 {
 	return math.Sqrt(s)
 }
 
-// MatMul computes C = A×B for 2-D tensors A (m×k) and B (k×n).
+// MatMul computes C = A×B for 2-D tensors A (m×k) and B (k×n). Row blocks
+// of C are computed in parallel when the product is large enough to pay
+// for the fan-out (see internal/par).
 func MatMul(a, b *Tensor) *Tensor {
+	m, n := matMulDims(a, b)
+	c := New(m, n)
+	matMulInto(c, a, b, false)
+	return c
+}
+
+// MatMulInto computes dst = A×B, overwriting dst, which must already have
+// shape [m, n]. It allocates nothing, so callers can reuse an output
+// buffer across invocations.
+func MatMulInto(dst, a, b *Tensor) {
+	m, n := matMulDims(a, b)
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	matMulInto(dst, a, b, true)
+}
+
+func matMulDims(a, b *Tensor) (m, n int) {
 	if len(a.Shape) != 2 || len(b.Shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMul requires 2-D operands, got %v and %v", a.Shape, b.Shape))
 	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
+	if a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.Shape, b.Shape))
 	}
-	c := New(m, n)
-	// ikj loop order keeps the B row in cache.
-	for i := 0; i < m; i++ {
+	return a.Shape[0], b.Shape[1]
+}
+
+func matMulInto(c, a, b *Tensor, zero bool) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	grain := par.Grain(m, 2*k*n, par.MinWorkFloats)
+	if grain >= m || par.MaxWorkers() == 1 {
+		// Serial fast path: skip the fork-join machinery (and its closure
+		// allocation) when the product would not split anyway.
+		matMulRows(c, a, b, 0, m, zero)
+		return
+	}
+	par.For(m, grain, func(lo, hi int) { matMulRows(c, a, b, lo, hi, zero) })
+}
+
+// matMulRows computes rows [lo, hi) of c = a×b.
+func matMulRows(c, a, b *Tensor, lo, hi int, zero bool) {
+	k, n := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := c.Data[i*n : (i+1)*n]
+		if zero {
+			clear(crow)
+		}
+		// ikj loop order keeps the B row in cache.
 		for kk := 0; kk < k; kk++ {
 			av := arow[kk]
 			if av == 0 {
 				continue
 			}
 			brow := b.Data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
+			for j := range crow {
 				crow[j] += av * brow[j]
 			}
 		}
 	}
+}
+
+// MatMulBT computes C = A×Bᵀ for A (m×p) and B (n×p): C[i,j] is the dot
+// product of row i of A and row j of B. Both operands stream row-major, so
+// this is the allocation-free replacement for MatMul(a, Transpose(b)).
+func MatMulBT(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulBT requires 2-D operands, got %v and %v", a.Shape, b.Shape))
+	}
+	m, p := a.Shape[0], a.Shape[1]
+	n, p2 := b.Shape[0], b.Shape[1]
+	if p != p2 {
+		panic(fmt.Sprintf("tensor: MatMulBT inner dimension mismatch %v × %vᵀ", a.Shape, b.Shape))
+	}
+	c := New(m, n)
+	par.For(m, par.Grain(m, 2*p*n, par.MinWorkFloats), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*p : (i+1)*p]
+			crow := c.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*p : (j+1)*p]
+				var s float32
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				crow[j] = s
+			}
+		}
+	})
 	return c
 }
 

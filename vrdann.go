@@ -117,7 +117,15 @@ type (
 	StreamingPipeline = core.StreamingPipeline
 	// MaskOut is one result emitted by the streaming pipeline.
 	MaskOut = core.MaskOut
+	// PipelineOption configures a Pipeline built with NewPipeline.
+	PipelineOption = core.Option
 )
+
+// WithWorkers overlaps NN-L anchor inference with B-frame reconstruction
+// and NN-S refinement on n goroutines (the software analog of the paper's
+// agent unit); n <= 1 keeps the serial decode-order loop. Results are
+// bit-identical for every n.
+func WithWorkers(n int) PipelineOption { return core.WithWorkers(n) }
 
 // DisplayOrderEmit wraps a streaming emit callback so results arrive in
 // display order with bounded buffering.
@@ -232,9 +240,10 @@ func NewNetSegmenter(label string, net *FCN) Segmenter {
 	return &segment.NetSegmenter{Label: label, Net: net}
 }
 
-// NewPipeline builds a VR-DANN pipeline with refinement enabled.
-func NewPipeline(nnl Segmenter, nns *RefineNet) *Pipeline {
-	return &Pipeline{NNL: nnl, NNS: nns, Refine: nns != nil}
+// NewPipeline builds a VR-DANN pipeline with refinement enabled; pass
+// WithWorkers to enable the overlapped execution mode.
+func NewPipeline(nnl Segmenter, nns *RefineNet, opts ...PipelineOption) *Pipeline {
+	return core.New(nnl, nns, opts...)
 }
 
 // EvaluateSegmentation returns the mean boundary F-Score and region IoU (J)
