@@ -1,14 +1,16 @@
 # Developer entry points. `make check` is the gate every change must pass:
-# vet, build, the full test suite, and the race detector over the packages
-# with concurrency (the par worker layer, the parallel tensor/nn kernels
-# and the overlapped core pipeline).
+# vet, build, the full test suite, the race detector over the packages
+# with concurrency (the par worker layer, the parallel tensor/nn kernels,
+# the overlapped core pipeline and the obs collector), and a short
+# coverage-guided fuzz pass over the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs
+FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench suite
+.PHONY: check vet build test race bench suite fuzz-smoke bench-smoke
 
-check: vet build test race
+check: vet build test race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -22,10 +24,22 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Short coverage-guided runs of the decoder fuzz targets; regressions the
+# fuzzer has found live in internal/codec/testdata/fuzz and are replayed by
+# plain `go test` as well.
+fuzz-smoke:
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/codec -run '^$$' -fuzz '^FuzzStreamDecoder$$' -fuzztime $(FUZZTIME)
+
 # Serial-vs-parallel kernel and pipeline micro-benchmarks (EXPERIMENTS.md
 # "Parallel compute layer" section).
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/tensor ./internal/nn ./internal/core
+
+# One cheap end-to-end benchsuite run (JSON, including the per-stage
+# profile) to catch wiring breakage without the cost of the full suite.
+bench-smoke:
+	$(GO) run ./cmd/benchsuite -frames 8 -res 64x48 -json fig3a
 
 # Regenerate the paper's tables and figures.
 suite:

@@ -8,7 +8,8 @@
 //
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
-// tableII, headline, ablations.
+// tableII, headline, ablations, timeline, realtime, dse, stability,
+// energy, stages.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"vrdann/internal/experiments"
+	"vrdann/internal/par"
 )
 
 func main() {
@@ -39,13 +41,28 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
 	}
 	if *jsonOut {
-		out := map[string]any{"workers": cfg.PipelineWorkers}
+		// "workers" is the parallelism a pipeline run can actually get
+		// (clamped to GOMAXPROCS); the raw flag is kept alongside so sweeps
+		// over-requesting workers remain distinguishable.
+		out := map[string]any{
+			"workers":          par.EffectiveWorkers(cfg.PipelineWorkers),
+			"workersRequested": cfg.PipelineWorkers,
+		}
+		// JSON output always carries the per-stage profile of one
+		// instrumented run, so downstream tooling can correlate figure data
+		// with where the time went.
+		stages, err := h.Stages()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: stages: %v\n", err)
+			os.Exit(1)
+		}
+		out["stages"] = stages
 		for _, name := range want {
 			data, err := figureData(h, name)
 			if err != nil {
@@ -127,6 +144,8 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 		return rows, err
 	case "timeline":
 		return h.Timeline()
+	case "stages":
+		return h.Stages()
 	case "ablations":
 		co, err := h.AblationCoalescing()
 		if err != nil {
@@ -328,6 +347,13 @@ func runFigure(h *experiments.Harness, name string) error {
 		}
 		fmt.Println("Execution timelines on \"cows\" (Fig 7 style; #: busy):")
 		fmt.Print(out)
+	case "stages":
+		rep, err := h.Stages()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Per-stage profile of one instrumented VR-DANN run:")
+		fmt.Print(rep.Table())
 	case "headline":
 		hl, err := h.Headline()
 		if err != nil {

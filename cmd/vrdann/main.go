@@ -5,15 +5,20 @@
 // Usage:
 //
 //	vrdann [-seq name] [-res WxH] [-frames N] [-task segment|detect]
-//	       [-bratio R] [-interval N] [-block 8|16] [-list]
+//	       [-bratio R] [-interval N] [-block 8|16] [-workers N]
+//	       [-metrics] [-obsaddr host:port] [-list]
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"vrdann"
+	"vrdann/internal/par"
 )
 
 func main() {
@@ -28,6 +33,9 @@ func main() {
 	deblock := flag.Bool("deblock", false, "enable the in-loop deblocking filter")
 	bitrate := flag.Int("bitrate", 0, "rate-control target in bits per frame (0 = constant QP)")
 	trace := flag.Bool("trace", false, "print the simulated VR-DANN-parallel execution timeline")
+	workers := flag.Int("workers", 1, "pipeline worker count (> 1 overlaps NN-L with B-frame work; results are bit-identical)")
+	metrics := flag.Bool("metrics", false, "collect per-stage latency/occupancy metrics and print the summary table")
+	obsaddr := flag.String("obsaddr", "", "serve net/http/pprof and an expvar metrics snapshot on this address during the run")
 	list := flag.Bool("list", false, "list available sequences and exit")
 	flag.Parse()
 
@@ -72,13 +80,34 @@ func main() {
 	fmt.Printf("sequence %q: %d frames %dx%d, %d bytes encoded (%.1fx), B ratio %.0f%%\n",
 		vid.Name, vid.Len(), w, h, len(stream.Data), float64(raw)/float64(len(stream.Data)), 100*dec.BRatio())
 
+	var collector *vrdann.Collector
+	if *metrics || *obsaddr != "" {
+		collector = vrdann.NewCollector()
+	}
+	if *obsaddr != "" {
+		// Expose the live collector (expvar "vrdann" key) plus the standard
+		// pprof handlers for the duration of the run.
+		expvar.Publish("vrdann", expvar.Func(func() any { return collector.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*obsaddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "vrdann: obs endpoint: %v\n", err)
+			}
+		}()
+		fmt.Printf("observability endpoint at http://%s/debug/vars and /debug/pprof/\n", *obsaddr)
+	}
+
 	switch *task {
 	case "segment":
-		runSegment(vid, enc, stream.Data)
+		runSegment(vid, enc, stream.Data, *workers, collector)
 	case "detect":
-		runDetect(vid, stream.Data)
+		runDetect(vid, stream.Data, *workers, collector)
 	default:
 		fail("unknown -task %q", *task)
+	}
+	if *metrics {
+		fmt.Printf("\nmetrics (workers: %d effective, %d requested):\n",
+			par.EffectiveWorkers(*workers), *workers)
+		fmt.Print(collector.Snapshot().Table())
 	}
 
 	params := vrdann.DefaultSimParams()
@@ -99,14 +128,14 @@ func main() {
 	}
 }
 
-func runSegment(vid *vrdann.Video, enc vrdann.EncoderConfig, stream []byte) {
+func runSegment(vid *vrdann.Video, enc vrdann.EncoderConfig, stream []byte, workers int, c *vrdann.Collector) {
 	fmt.Println("training NN-S (2 epochs)...")
 	nns, err := vrdann.TrainRefiner(vrdann.MakeTrainingSet(vid.Frames[0].W, vid.Frames[0].H, 16), enc, vrdann.DefaultTrainConfig())
 	if err != nil {
 		fail("train NN-S: %v", err)
 	}
 	nnl := vrdann.NewOracleSegmenter("NN-L", vid.Masks, 0.05, 3, 1)
-	res, err := vrdann.NewPipeline(nnl, nns).RunSegmentation(stream)
+	res, err := vrdann.NewPipeline(nnl, nns, vrdann.WithWorkers(workers), vrdann.WithObserver(c)).RunSegmentation(stream)
 	if err != nil {
 		fail("pipeline: %v", err)
 	}
@@ -115,9 +144,9 @@ func runSegment(vid *vrdann.Video, enc vrdann.EncoderConfig, stream []byte) {
 		f, j, res.Stats.NNLRuns, res.Stats.NNSRuns, res.Stats.MVCount, res.Stats.BiRefMVs)
 }
 
-func runDetect(vid *vrdann.Video, stream []byte) {
+func runDetect(vid *vrdann.Video, stream []byte, workers int, c *vrdann.Collector) {
 	det := vrdann.NewOracleBoxDetector("detector", vid.Boxes, 1.6, 1)
-	res, err := (&vrdann.Pipeline{}).RunDetection(stream, det)
+	res, err := (&vrdann.Pipeline{Workers: workers, Obs: c}).RunDetection(stream, det)
 	if err != nil {
 		fail("pipeline: %v", err)
 	}

@@ -3,6 +3,7 @@ package codec
 import (
 	"fmt"
 
+	"vrdann/internal/obs"
 	"vrdann/internal/video"
 )
 
@@ -65,6 +66,44 @@ func (d *DecodeResult) RefFrameCounts() []int {
 
 // Decode parses and decodes a bitstream produced by Encode.
 func Decode(data []byte, mode DecodeMode) (*DecodeResult, error) {
+	return DecodeObserved(data, mode, nil)
+}
+
+// Header sanity limits. The values are far beyond anything the encoder
+// produces; they exist so that a corrupt or hostile header cannot turn the
+// decoder into a decompression bomb (gigantic frame allocations, bs²-sized
+// residual blocks, frame counts that cannot fit in the payload).
+const (
+	maxBlockSize   = 64
+	maxFramePixels = 1 << 26 // 64M pixels ≈ 8K video
+)
+
+// validateHeader rejects parsed header values the decoder cannot execute
+// safely. remainingBits is the payload size left after the fixed header;
+// each frame type costs two bits, which upper-bounds a plausible nf.
+func validateHeader(w, h int, nf uint64, cfg Config, remainingBits int) error {
+	if cfg.BlockSize < 2 || cfg.BlockSize > maxBlockSize {
+		return fmt.Errorf("%w: block size %d out of range", ErrBitstream, cfg.BlockSize)
+	}
+	if w == 0 || h == 0 || w%cfg.BlockSize != 0 || h%cfg.BlockSize != 0 {
+		return fmt.Errorf("%w: frame %dx%d not a multiple of block size %d",
+			ErrBitstream, w, h, cfg.BlockSize)
+	}
+	if w*h > maxFramePixels {
+		return fmt.Errorf("%w: frame %dx%d exceeds the %d-pixel limit",
+			ErrBitstream, w, h, maxFramePixels)
+	}
+	if remainingBits < 0 || nf > uint64(remainingBits)/2 {
+		return fmt.Errorf("%w: frame count %d exceeds payload", ErrBitstream, nf)
+	}
+	return nil
+}
+
+// DecodeObserved is Decode with optional per-frame instrumentation: when c
+// is non-nil, each frame's decode time lands in the decode/anchor or
+// decode/b-mv stage and the frame/MV counters advance. A nil collector is
+// exactly Decode.
+func DecodeObserved(data []byte, mode DecodeMode, c *obs.Collector) (*DecodeResult, error) {
 	r := NewBitReader(data)
 	magic, err := r.ReadBits(32)
 	if err != nil {
@@ -120,6 +159,9 @@ func Decode(data []byte, mode DecodeMode) (*DecodeResult, error) {
 	}
 	cfg.HalfPel = hp == 1
 	cfg = cfg.normalized()
+	if err := validateHeader(int(wv), int(hv), nf, cfg, len(data)*8-r.Pos()); err != nil {
+		return nil, err
+	}
 
 	types := make([]FrameType, nf)
 	for i := range types {
@@ -133,6 +175,13 @@ func Decode(data []byte, mode DecodeMode) (*DecodeResult, error) {
 		types[i] = FrameType(t)
 	}
 	order := DecodeOrder(types, cfg)
+	// A corrupt header can carry a type sequence DecodeOrder cannot cover
+	// (B-frames before the first anchor or after the last); such frames
+	// would silently stay undecoded, so reject the stream instead.
+	if len(order) != len(types) {
+		return nil, fmt.Errorf("%w: frame type sequence not decodable (%d of %d frames reachable)",
+			ErrBitstream, len(order), len(types))
+	}
 	var anchors []int
 	for i, t := range types {
 		if t.IsAnchor() {
@@ -156,6 +205,7 @@ func Decode(data []byte, mode DecodeMode) (*DecodeResult, error) {
 	tmp := make([]uint8, bs*bs)
 
 	for pos, d := range order {
+		t0 := c.Clock()
 		startBits := sr.Tell()
 		qpDelta, err := sr.ReadSE()
 		if err != nil {
@@ -253,6 +303,9 @@ func Decode(data []byte, mode DecodeMode) (*DecodeResult, error) {
 			res.Frames[d] = rec
 		}
 		info.Bits = sr.Tell() - startBits
+		if c != nil {
+			observeFrame(c, *info, t0)
+		}
 	}
 	return res, nil
 }

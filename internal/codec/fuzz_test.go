@@ -1,0 +1,155 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// fuzzInputCap keeps the fuzzer exploring bitstream structure instead of
+// burning time decoding megabyte-scale noise.
+const fuzzInputCap = 1 << 16
+
+// skipExpensive skips inputs whose (possibly corrupt) header declares far
+// more pixel-decoding work than any test stream: they are within the
+// decoder's sanity limits but make individual fuzz execs take seconds.
+func skipExpensive(t *testing.T, data []byte) {
+	if len(data) > fuzzInputCap {
+		t.Skip("input too large")
+	}
+	dec, err := NewStreamDecoder(data, DecodeSideInfo)
+	if err != nil {
+		return // header rejected: cheap either way
+	}
+	w, h := dec.Geometry()
+	if w*h > 1<<20 || w*h*len(dec.Types()) > 1<<24 {
+		t.Skip("declared geometry too expensive")
+	}
+}
+
+// addFuzzSeeds registers valid encoded streams under a few configurations,
+// plus deterministic bit-flipped and truncated variants — the corpus that
+// TestDecodeNeverPanicsOnCorruptStreams explored with a fixed trial loop,
+// promoted so the coverage-guided fuzzer can keep mutating from it.
+func addFuzzSeeds(f *testing.F) {
+	f.Helper()
+	v := testVideo(64, 48, 8, 1.5)
+	configs := []Config{
+		DefaultConfig(),
+		{BlockSize: 8, QP: 20, SearchRange: 6, MaxBRun: 3, TargetBRatio: 0.6, IPeriod: 4},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, cfg := range configs {
+		st, err := Encode(v, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(st.Data)
+		f.Add(st.Data[:len(st.Data)/2])
+		for k := 0; k < 4; k++ {
+			data := append([]byte(nil), st.Data...)
+			for j := 0; j < 1+rng.Intn(8); j++ {
+				i := rng.Intn(len(data))
+				data[i] ^= 1 << uint(rng.Intn(8))
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x56, 0x52})
+}
+
+// FuzzDecode feeds arbitrary bytes to the batch decoder. The decoder must
+// fail cleanly or succeed with internally consistent output: per-frame
+// geometry matching the header, a decode order that is a permutation of the
+// display indices, and every motion vector referencing an already-decoded
+// frame.
+func FuzzDecode(f *testing.F) {
+	addFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		skipExpensive(t, data)
+		res, err := Decode(data, DecodeFull)
+		if err != nil {
+			return
+		}
+		if len(res.Order) != len(res.Types) || len(res.Infos) != len(res.Types) || len(res.Frames) != len(res.Types) {
+			t.Fatalf("inconsistent lengths: order=%d infos=%d frames=%d types=%d",
+				len(res.Order), len(res.Infos), len(res.Frames), len(res.Types))
+		}
+		decodedAt := make(map[int]int, len(res.Order))
+		for pos, d := range res.Order {
+			if d < 0 || d >= len(res.Types) {
+				t.Fatalf("decode order index %d out of range", d)
+			}
+			if _, dup := decodedAt[d]; dup {
+				t.Fatalf("frame %d decoded twice", d)
+			}
+			decodedAt[d] = pos
+		}
+		for d, fr := range res.Frames {
+			if fr != nil && (fr.W != res.W || fr.H != res.H) {
+				t.Fatalf("frame %d geometry %dx%d, header %dx%d", d, fr.W, fr.H, res.W, res.H)
+			}
+		}
+		for d, info := range res.Infos {
+			for _, mv := range info.MVs {
+				if at, ok := decodedAt[mv.Ref]; !ok || at >= decodedAt[d] {
+					t.Fatalf("frame %d references %d which is not decoded earlier", d, mv.Ref)
+				}
+				if mv.BiRef {
+					if at, ok := decodedAt[mv.Ref2]; !ok || at >= decodedAt[d] {
+						t.Fatalf("frame %d bi-references %d which is not decoded earlier", d, mv.Ref2)
+					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzStreamDecoder drives the incremental decoder over arbitrary bytes and
+// differentially checks it against the batch decoder: both must agree on
+// whether the stream is valid, and on a fully valid stream the incremental
+// path must yield the same frames in the same order.
+func FuzzStreamDecoder(f *testing.F) {
+	addFuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		skipExpensive(t, data)
+		batch, batchErr := Decode(data, DecodeSideInfo)
+		dec, err := NewStreamDecoder(data, DecodeSideInfo)
+		if err != nil {
+			if batchErr == nil {
+				t.Fatalf("stream decoder rejects header the batch decoder accepts: %v", err)
+			}
+			return
+		}
+		n := 0
+		for {
+			out, derr := dec.Next()
+			if derr != nil {
+				if batchErr == nil {
+					t.Fatalf("frame %d: stream decoder fails (%v) where batch decoder succeeds", n, derr)
+				}
+				return
+			}
+			if out == nil {
+				break
+			}
+			if batchErr == nil {
+				d := batch.Order[n]
+				if out.Info.Display != d {
+					t.Fatalf("position %d: stream decodes frame %d, batch decodes %d", n, out.Info.Display, d)
+				}
+				if out.Info.Type != batch.Infos[d].Type || len(out.Info.MVs) != len(batch.Infos[d].MVs) {
+					t.Fatalf("frame %d: side info diverges between decoders", d)
+				}
+				if out.Pixels != nil && batch.Frames[d] != nil && !bytes.Equal(out.Pixels.Pix, batch.Frames[d].Pix) {
+					t.Fatalf("frame %d: pixels diverge between decoders", d)
+				}
+			}
+			n++
+		}
+		if batchErr == nil && n != len(batch.Order) {
+			t.Fatalf("stream decoder produced %d frames, batch %d", n, len(batch.Order))
+		}
+	})
+}

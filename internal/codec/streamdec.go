@@ -2,7 +2,9 @@ package codec
 
 import (
 	"fmt"
+	"time"
 
+	"vrdann/internal/obs"
 	"vrdann/internal/video"
 )
 
@@ -33,7 +35,15 @@ type StreamDecoder struct {
 	lastUse map[int]int // display index -> last decode position referencing it
 	pred    []uint8
 	tmp     []uint8
+
+	// obs, when non-nil, receives per-frame decode timings (anchor pixel
+	// decode vs B-frame motion-vector extraction) and frame counters.
+	obs *obs.Collector
 }
+
+// SetObserver attaches a metrics collector; nil (the default) disables
+// instrumentation at the cost of one pointer check per frame.
+func (d *StreamDecoder) SetObserver(c *obs.Collector) { d.obs = c }
 
 // NewStreamDecoder parses the stream header and prepares incremental
 // decoding.
@@ -92,6 +102,9 @@ func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
 	}
 	cfg.HalfPel = hp == 1
 	cfg = cfg.normalized()
+	if err := validateHeader(int(wv), int(hv), nf, cfg, len(data)*8-r.Pos()); err != nil {
+		return nil, err
+	}
 	types := make([]FrameType, nf)
 	for i := range types {
 		t, err := r.ReadBits(2)
@@ -103,6 +116,13 @@ func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
 		}
 		types[i] = FrameType(t)
 	}
+	order := DecodeOrder(types, cfg)
+	// Match DecodeObserved: a type sequence the decode order cannot cover
+	// (B-frames outside any anchor pair) is a corrupt header.
+	if len(order) != len(types) {
+		return nil, fmt.Errorf("%w: frame type sequence not decodable (%d of %d frames reachable)",
+			ErrBitstream, len(order), len(types))
+	}
 	r.AlignByte()
 	var sr SymbolReader = r
 	if cfg.Arithmetic {
@@ -110,7 +130,7 @@ func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
 	}
 	d := &StreamDecoder{
 		r: sr, mode: mode, w: int(wv), h: int(hv), cfg: cfg,
-		types: types, order: DecodeOrder(types, cfg),
+		types: types, order: order,
 		refs: make(map[int]*video.Frame), lastUse: make(map[int]int),
 		pred: make([]uint8, cfg.BlockSize*cfg.BlockSize),
 		tmp:  make([]uint8, cfg.BlockSize*cfg.BlockSize),
@@ -170,6 +190,7 @@ func (d *StreamDecoder) Next() (*FrameOut, error) {
 		return nil, nil
 	}
 	disp := d.order[d.pos]
+	t0 := d.obs.Clock()
 	startBits := d.r.Tell()
 	qpDelta, err := d.r.ReadSE()
 	if err != nil {
@@ -281,5 +302,24 @@ func (d *StreamDecoder) Next() (*FrameOut, error) {
 		}
 	}
 	d.pos++
+	if d.obs != nil {
+		observeFrame(d.obs, info, t0)
+	}
 	return &FrameOut{Info: info, Pixels: rec}, nil
+}
+
+// observeFrame records one decoded frame's timing and counters: anchors
+// under decode/anchor (pixel reconstruction), B-frames under decode/b-mv
+// (the motion-vector side channel VR-DANN taps).
+func observeFrame(c *obs.Collector, info FrameInfo, t0 time.Duration) {
+	stage := obs.StageDecodeAnchor
+	if info.Type == BFrame {
+		stage = obs.StageDecodeB
+		c.Count(obs.CounterBFrames, 1)
+	} else {
+		c.Count(obs.CounterAnchors, 1)
+	}
+	c.Span(stage, info.Display, byte(info.Type), t0)
+	c.Count(obs.CounterFrames, 1)
+	c.Count(obs.CounterMVs, int64(len(info.MVs)))
 }

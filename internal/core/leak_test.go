@@ -1,0 +1,215 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/nn"
+	"vrdann/internal/segment"
+)
+
+// requireNoGoroutineLeak runs fn and fails if the process goroutine count
+// has not returned to its starting level shortly after — the contract that
+// an aborted pipeline run cancels or drains every worker, emitter and
+// per-anchor wait it started.
+func requireNoGoroutineLeak(t *testing.T, fn func()) {
+	t.Helper()
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStreamingAbortLeaksNoGoroutines(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	oracle := segment.NewOracle("oracle", v.Masks, 0, 0, 1)
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+	boom := errors.New("boom")
+	abortingEmit := func() func(MaskOut) error {
+		n := 0
+		return func(MaskOut) error {
+			n++
+			if n == 5 {
+				return boom
+			}
+			return nil
+		}
+	}
+	for _, nw := range []int{1, 4} {
+		t.Run("emit-error", func(t *testing.T) {
+			requireNoGoroutineLeak(t, func() {
+				sp := &StreamingPipeline{NNL: oracle, NNS: nns, Refine: true, Workers: nw}
+				if err := sp.Run(stream, abortingEmit()); !errors.Is(err, boom) {
+					t.Fatalf("workers=%d: err = %v, want boom", nw, err)
+				}
+			})
+		})
+		t.Run("decode-error", func(t *testing.T) {
+			requireNoGoroutineLeak(t, func() {
+				sp := &StreamingPipeline{NNL: oracle, NNS: nns, Refine: true, Workers: nw}
+				// Truncating mid-stream parses the header but fails during
+				// frame decode, aborting the run from the decode stage.
+				err := sp.Run(stream[:2*len(stream)/3], func(MaskOut) error { return nil })
+				if err == nil {
+					t.Fatalf("workers=%d: truncated stream must error", nw)
+				}
+			})
+		})
+	}
+}
+
+func TestBatchParallelAbortLeaksNoGoroutines(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := corruptBFrame(t, dec, 0, 9999)
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+	requireNoGoroutineLeak(t, func() {
+		p := &Pipeline{NNL: segment.NewOracle("oracle", v.Masks, 0, 0, 1), NNS: nns, Refine: true, Workers: 4}
+		if _, err := p.runDecoded(bad); err == nil {
+			t.Fatal("corrupted reference must error")
+		}
+	})
+}
+
+// corruptBFrame returns a shallow copy of dec whose n-th motion-carrying
+// B-frame (in decode order) references a frame that has no segmentation,
+// forcing segment.Reconstruct to fail exactly there. Only the doctored
+// frame's Infos entry and MVs slice are copied, so trials stay cheap.
+func corruptBFrame(t *testing.T, dec *codec.DecodeResult, n, ref int) *codec.DecodeResult {
+	t.Helper()
+	cp := *dec
+	cp.Infos = append([]codec.FrameInfo(nil), dec.Infos...)
+	seen := 0
+	for _, d := range dec.Order {
+		info := cp.Infos[d]
+		if info.Type != codec.BFrame || len(info.MVs) == 0 {
+			continue
+		}
+		if seen == n {
+			mvs := append([]codec.MotionVector(nil), info.MVs...)
+			mvs[0].Ref = ref
+			mvs[0].BiRef = false
+			cp.Infos[d].MVs = mvs
+			return &cp
+		}
+		seen++
+	}
+	t.Fatalf("stream has fewer than %d motion-carrying B-frames", n+1)
+	return nil
+}
+
+// TestPartialStatsIdenticalSerialParallel pins the satellite contract: when
+// a B-frame fails to reconstruct, the Stats returned alongside the error
+// are the serial decode-order prefix, bit-identical for every worker count
+// — regardless of which worker hit the error first in wall time.
+func TestPartialStatsIdenticalSerialParallel(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nB := 0
+	for _, info := range dec.Infos {
+		if info.Type == codec.BFrame && len(info.MVs) > 0 {
+			nB++
+		}
+	}
+	if nB < 3 {
+		t.Fatalf("test stream has only %d usable B-frames", nB)
+	}
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+	cases := []struct {
+		name string
+		fail []int // motion-carrying B-frames (decode order) to corrupt
+	}{
+		{"first-b", []int{0}},
+		{"middle-b", []int{nB / 2}},
+		{"last-b", []int{nB - 1}},
+		{"two-failures-reports-first", []int{1, nB - 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := dec
+			for _, f := range tc.fail {
+				bad = corruptBFrame(t, bad, f, 9999)
+			}
+			build := func(workers int) *Pipeline {
+				return &Pipeline{
+					NNL:    segment.NewOracle("oracle", v.Masks, 0, 0, 1),
+					NNS:    nns, Refine: true, Workers: workers,
+				}
+			}
+			ref, refErr := build(1).runDecoded(bad)
+			if refErr == nil || ref == nil {
+				t.Fatalf("serial: res=%v err=%v, want partial result + error", ref, refErr)
+			}
+			if !strings.Contains(refErr.Error(), "missing reference segmentation") {
+				t.Fatalf("serial error = %v", refErr)
+			}
+			for _, nw := range []int{2, 4, 7} {
+				got, gotErr := build(nw).runDecoded(bad)
+				if gotErr == nil || got == nil {
+					t.Fatalf("workers=%d: res=%v err=%v, want partial result + error", nw, got, gotErr)
+				}
+				if gotErr.Error() != refErr.Error() {
+					t.Fatalf("workers=%d error diverges: %q vs serial %q", nw, gotErr, refErr)
+				}
+				if got.Stats != ref.Stats {
+					t.Fatalf("workers=%d partial Stats diverge:\n got %+v\nwant %+v", nw, got.Stats, ref.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestPartialStatsDetectionIdentical applies the same contract to the
+// detection form of the pipeline.
+func TestPartialStatsDetectionIdentical(t *testing.T) {
+	v := makeTestVideo(20, 1.2)
+	stream := encodeTestVideo(t, v)
+	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := corruptBFrame(t, dec, 1, 9999)
+	det := &gtBoxDetector{v}
+	ref, refErr := (&Pipeline{}).runDetectionDecoded(bad, det)
+	if refErr == nil || ref == nil {
+		t.Fatalf("serial: res=%v err=%v", ref, refErr)
+	}
+	for _, nw := range []int{2, 4} {
+		got, gotErr := (&Pipeline{Workers: nw}).runDetectionDecoded(bad, det)
+		if gotErr == nil || got == nil {
+			t.Fatalf("workers=%d: res=%v err=%v", nw, got, gotErr)
+		}
+		if gotErr.Error() != refErr.Error() {
+			t.Fatalf("workers=%d error diverges: %q vs %q", nw, gotErr, refErr)
+		}
+		if got.Stats != ref.Stats {
+			t.Fatalf("workers=%d partial Stats diverge:\n got %+v\nwant %+v", nw, got.Stats, ref.Stats)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"vrdann/internal/codec"
 	"vrdann/internal/detect"
+	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/video"
 )
@@ -56,6 +57,41 @@ func (s *Stats) add(o Stats) {
 	s.IntraFallbackBlocks += o.IntraFallbackBlocks
 }
 
+// mergeStats sums per-anchor and per-job stats. On success (failSlot < 0)
+// everything merges — the commutative total the success path always used.
+// On failure at job slot failSlot (whose dependency set is avail anchors),
+// it reproduces the serial decode-order prefix exactly: all anchors the
+// serial loop would have segmented before the failing frame, every B-frame
+// job preceding it in decode order, and the failing job's own partial
+// counters (BFrames is incremented before reconstruction can fail). This is
+// what makes partial-run Stats bit-identical between the serial and
+// parallel paths no matter which worker hit the error first in wall time.
+func mergeStats(anchorStats, jobStats []Stats, failSlot, avail int) Stats {
+	var s Stats
+	na, nj := len(anchorStats), len(jobStats)
+	if failSlot >= 0 {
+		na, nj = avail, failSlot+1
+	}
+	for i := 0; i < na; i++ {
+		s.add(anchorStats[i])
+	}
+	for i := 0; i < nj; i++ {
+		s.add(jobStats[i])
+	}
+	return s
+}
+
+// firstError returns the slot and error of the first failed job in decode
+// order, or (-1, nil).
+func firstError(errs []error) (int, error) {
+	for i, err := range errs {
+		if err != nil {
+			return i, err
+		}
+	}
+	return -1, nil
+}
+
 // runDecodedParallel is runDecoded restructured as the two-stage overlapped
 // pipeline described in the package comment.
 func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) {
@@ -72,7 +108,11 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 		done[i] = make(chan struct{})
 	}
 	anchorMasks := make([]*video.Mask, len(dec.Types))
-	var anchorStats Stats
+	// Stats are recorded per anchor index and per job slot (not per worker)
+	// so the error path can merge exactly the serial decode-order prefix —
+	// see mergeStats. On success the sums are identical either way.
+	anchorStats := make([]Stats, len(anchorOrder))
+	jobStats := make([]Stats, len(jobs))
 	var wg sync.WaitGroup
 	// Stage 1: NN-L anchor inference, serialized on one goroutine (the
 	// network caches forward-pass activations, so it is not reentrant).
@@ -80,46 +120,53 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 	go func() {
 		defer wg.Done()
 		for i, d := range anchorOrder {
+			t0 := p.Obs.Clock()
 			m := p.NNL.Segment(dec.Frames[d], d)
+			p.Obs.Span(obs.StageNNL, d, byte(dec.Types[d]), t0)
 			anchorMasks[d] = m
 			res.Masks[d] = m
-			anchorStats.NNLRuns++
+			anchorStats[i].NNLRuns++
 			if dec.Types[d] == codec.IFrame {
-				anchorStats.IFrames++
+				anchorStats[i].IFrames++
 			} else {
-				anchorStats.PFrames++
+				anchorStats[i].PFrames++
 			}
 			close(done[i])
 		}
 	}()
-	// Stage 2: B-frame reconstruction + refinement on the worker pool.
+	// Stage 2: B-frame reconstruction + refinement on the worker pool. After
+	// a job fails, workers keep draining jobCh (the channel is never closed
+	// under them and `done` waits stay satisfiable), so every goroutine
+	// exits through wg.Wait with no leak and no send-on-closed — the abort
+	// simply discards results at the merge step below.
 	nw := p.workers()
 	jobCh := make(chan bJob)
 	errs := make([]error, len(jobs))
 	recons := make([]*segment.ReconMask, len(dec.Types))
-	workerStats := make([]Stats, nw)
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			var refiner *segment.Refiner
-			if p.Refine && p.NNS != nil {
-				refiner = segment.NewRefiner(p.NNS.Clone())
-			}
-			st := &workerStats[w]
+			refiner := p.refiner(true)
 			for job := range jobCh {
 				if job.avail > 0 {
 					<-done[job.avail-1]
 				}
+				p.Obs.GaugeAdd(obs.GaugeWorkers, 1)
 				segs := make(map[int]*video.Mask, job.avail)
 				for _, a := range anchorOrder[:job.avail] {
 					segs[a] = anchorMasks[a]
 				}
 				info := dec.Infos[job.d]
+				st := &jobStats[job.slot]
 				st.BFrames++
+				t0 := p.Obs.Clock()
 				rec, err := segment.Reconstruct(info, segs, dec.W, dec.H, dec.Cfg.BlockSize)
+				p.Obs.Span(obs.StageReconstruct, job.d, byte(codec.BFrame), t0)
 				if err != nil {
 					errs[job.slot] = fmt.Errorf("core: frame %d: %w", job.d, err)
+					p.Obs.GaugeAdd(obs.GaugeWorkers, -1)
+					p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
 					continue
 				}
 				recons[job.d] = rec
@@ -132,28 +179,29 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 				st.IntraFallbackBlocks += info.Blocks - len(info.MVs)
 				if refiner != nil {
 					prev, next := flankingAnchors(dec.Types, segs, job.d)
+					t1 := p.Obs.Clock()
 					res.Masks[job.d] = refiner.Refine(prev, rec, next)
+					p.Obs.Span(obs.StageRefine, job.d, byte(codec.BFrame), t1)
 					st.NNSRuns++
 				} else {
 					res.Masks[job.d] = rec.Binary()
 				}
+				p.Obs.GaugeAdd(obs.GaugeWorkers, -1)
+				p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
 			}
-		}(w)
+		}()
 	}
 	for _, job := range jobs {
+		p.Obs.GaugeAdd(obs.GaugeJobQueue, 1)
 		jobCh <- job
 	}
 	close(jobCh)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if slot, err := firstError(errs); err != nil {
+		res.Stats = mergeStats(anchorStats, jobStats, slot, jobs[slot].avail)
+		return res, err
 	}
-	res.Stats = anchorStats
-	for w := range workerStats {
-		res.Stats.add(workerStats[w])
-	}
+	res.Stats = mergeStats(anchorStats, jobStats, -1, 0)
 	for d, rec := range recons {
 		if rec != nil {
 			res.Recons[d] = rec
@@ -177,15 +225,18 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 	}
 	boxMasks := make([]*video.Mask, len(dec.Types))
 	boxScores := make([]float64, len(dec.Types))
-	var anchorStats Stats
+	anchorStats := make([]Stats, len(anchorOrder))
+	jobStats := make([]Stats, len(jobs))
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
 		for i, d := range anchorOrder {
+			t0 := p.Obs.Clock()
 			dets := det.Detect(dec.Frames[d], d)
+			p.Obs.Span(obs.StageNNL, d, byte(dec.Types[d]), t0)
 			res.Detections[d] = dets
-			anchorStats.NNLRuns++
+			anchorStats[i].NNLRuns++
 			boxMasks[d], boxScores[d] = anchorBoxMask(dets, dec.W, dec.H)
 			close(done[i])
 		}
@@ -193,16 +244,15 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 	nw := p.workers()
 	jobCh := make(chan bJob)
 	errs := make([]error, len(jobs))
-	workerStats := make([]Stats, nw)
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			st := &workerStats[w]
 			for job := range jobCh {
 				if job.avail > 0 {
 					<-done[job.avail-1]
 				}
+				p.Obs.GaugeAdd(obs.GaugeWorkers, 1)
 				masks := make(map[int]*video.Mask, job.avail)
 				scores := make(map[int]float64, job.avail)
 				for _, a := range anchorOrder[:job.avail] {
@@ -210,8 +260,13 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 					scores[a] = boxScores[a]
 				}
 				info := dec.Infos[job.d]
+				st := &jobStats[job.slot]
 				st.BFrames++
+				t0 := p.Obs.Clock()
 				dets, err := bDetection(info, masks, scores, dec.W, dec.H, dec.Cfg.BlockSize)
+				p.Obs.Span(obs.StageReconstruct, job.d, byte(codec.BFrame), t0)
+				p.Obs.GaugeAdd(obs.GaugeWorkers, -1)
+				p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
 				if err != nil {
 					errs[job.slot] = fmt.Errorf("core: frame %d: %w", job.d, err)
 					continue
@@ -219,22 +274,19 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 				st.MVCount += len(info.MVs)
 				res.Detections[job.d] = dets
 			}
-		}(w)
+		}()
 	}
 	for _, job := range jobs {
+		p.Obs.GaugeAdd(obs.GaugeJobQueue, 1)
 		jobCh <- job
 	}
 	close(jobCh)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if slot, err := firstError(errs); err != nil {
+		res.Stats = mergeStats(anchorStats, jobStats, slot, jobs[slot].avail)
+		return res, err
 	}
-	res.Stats = anchorStats
-	for w := range workerStats {
-		res.Stats.add(workerStats[w])
-	}
+	res.Stats = mergeStats(anchorStats, jobStats, -1, 0)
 	return res, nil
 }
 
@@ -265,6 +317,7 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 	segs := make(map[int]*video.Mask)
 	w, h := dec.Geometry()
 
+	dec.SetObserver(p.Obs)
 	jobCh := make(chan *streamItem)
 	// The emit queue is sized to the stream so the decode loop never blocks
 	// on it; backpressure comes from the unbuffered job channel instead.
@@ -275,21 +328,25 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var refiner *segment.Refiner
-			if p.Refine && p.NNS != nil {
-				refiner = segment.NewRefiner(p.NNS.Clone())
-			}
+			refiner := p.pipeline().refiner(true)
 			for it := range jobCh {
+				p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
+				p.Obs.GaugeAdd(obs.GaugeWorkers, 1)
+				t0 := p.Obs.Clock()
 				rec, rerr := segment.Reconstruct(it.info, it.refs, w, h, cfg.BlockSize)
+				p.Obs.Span(obs.StageReconstruct, it.out.Display, byte(it.out.Type), t0)
 				switch {
 				case rerr != nil:
 					it.err = fmt.Errorf("core: frame %d: %w", it.out.Display, rerr)
 				case refiner != nil:
 					prev, next := flankingAnchors(types, it.refs, it.out.Display)
+					t1 := p.Obs.Clock()
 					it.out.Mask = refiner.Refine(prev, rec, next)
+					p.Obs.Span(obs.StageRefine, it.out.Display, byte(it.out.Type), t1)
 				default:
 					it.out.Mask = rec.Binary()
 				}
+				p.Obs.GaugeAdd(obs.GaugeWorkers, -1)
 				close(it.done)
 			}
 		}()
@@ -303,6 +360,7 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 		defer close(emitDone)
 		for it := range emitQ {
 			<-it.done
+			p.Obs.GaugeAdd(obs.GaugeEmitQueue, -1)
 			if emitErr != nil {
 				continue // drain after failure
 			}
@@ -312,7 +370,10 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 				stop.Store(true)
 				continue
 			}
-			if err := emit(it.out); err != nil {
+			t0 := p.Obs.Clock()
+			err := emit(it.out)
+			p.Obs.Span(obs.StageEmit, it.out.Display, byte(it.out.Type), t0)
+			if err != nil {
 				emitErr = err
 				stop.Store(true)
 			}
@@ -338,7 +399,9 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 		}
 		switch out.Info.Type {
 		case codec.IFrame, codec.PFrame:
+			t0 := p.Obs.Clock()
 			it.out.Mask = p.NNL.Segment(out.Pixels, out.Info.Display)
+			p.Obs.Span(obs.StageNNL, out.Info.Display, byte(out.Info.Type), t0)
 			segs[out.Info.Display] = it.out.Mask
 			close(it.done)
 		case codec.BFrame:
@@ -350,8 +413,11 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 			maxSegs = len(segs)
 		}
 		it.maxSegs = maxSegs
+		p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(segs)))
+		p.Obs.GaugeAdd(obs.GaugeEmitQueue, 1)
 		emitQ <- it
 		if it.refs != nil {
+			p.Obs.GaugeAdd(obs.GaugeJobQueue, 1)
 			jobCh <- it
 		}
 		for d, last := range lastUse {
@@ -361,6 +427,11 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 			}
 		}
 	}
+	// Shutdown, on success and on abort alike: close the job channel so the
+	// B-frame workers drain and exit, wait for them (so every pending item's
+	// done channel is closed — nothing is left for the emitter to block on),
+	// then close the emit queue and wait for the emitter to finish draining.
+	// No goroutine outlives this function; the leak test pins that.
 	close(jobCh)
 	wg.Wait()
 	close(emitQ)

@@ -13,6 +13,7 @@ import (
 	"vrdann/internal/codec"
 	"vrdann/internal/detect"
 	"vrdann/internal/nn"
+	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/video"
 )
@@ -34,6 +35,10 @@ type Pipeline struct {
 	// as soon as their anchor dependencies resolve. Output is bit-identical
 	// either way (see WithWorkers).
 	Workers int
+	// Obs, when non-nil, collects per-stage latency, queue-depth gauges and
+	// span traces for the run. Nil (the default) costs one pointer check
+	// per instrumentation site and nothing else.
+	Obs *obs.Collector
 }
 
 // Option configures a Pipeline built with New.
@@ -46,6 +51,11 @@ type Option func(*Pipeline)
 // bit-identical for every n, so benchmarks can sweep 1..NumCPU freely.
 func WithWorkers(n int) Option {
 	return func(p *Pipeline) { p.Workers = n }
+}
+
+// WithObserver attaches a metrics collector to the pipeline.
+func WithObserver(c *obs.Collector) Option {
+	return func(p *Pipeline) { p.Obs = c }
 }
 
 // New builds a pipeline with refinement enabled whenever a refinement
@@ -84,12 +94,36 @@ type Result struct {
 }
 
 // RunSegmentation executes the full Fig 5 flow on an encoded bitstream.
+//
+// On success the returned Result is complete. On error the Result is still
+// returned (not nil): its Stats hold exactly the counters the serial
+// decode-order loop accumulates up to and including the failing frame —
+// identical for every worker count — while its masks are partial and
+// unspecified. Callers that only check err keep their existing behaviour.
 func (p *Pipeline) RunSegmentation(stream []byte) (*Result, error) {
-	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	dec, err := codec.DecodeObserved(stream, codec.DecodeSideInfo, p.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
 	return p.runDecoded(dec)
+}
+
+// refiner builds the NN-S wrapper for one goroutine. The network is cloned
+// whenever it cannot be used in place: always in the parallel paths (layers
+// cache activations), and in serial paths when an observer must be attached
+// without mutating the caller's network.
+func (p *Pipeline) refiner(clone bool) *segment.Refiner {
+	if !p.Refine || p.NNS == nil {
+		return nil
+	}
+	net := p.NNS
+	if clone || p.Obs != nil {
+		net = net.Clone()
+		if p.Obs != nil {
+			net.SetObserver(p.Obs)
+		}
+	}
+	return segment.NewRefiner(net)
 }
 
 func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
@@ -101,16 +135,15 @@ func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
 		Recons: make(map[int]*segment.ReconMask),
 		Decode: dec,
 	}
-	var refiner *segment.Refiner
-	if p.Refine && p.NNS != nil {
-		refiner = segment.NewRefiner(p.NNS)
-	}
+	refiner := p.refiner(false)
 	segs := make(map[int]*video.Mask) // anchor segmentations by display index
 	for _, d := range dec.Order {
 		info := dec.Infos[d]
 		switch info.Type {
 		case codec.IFrame, codec.PFrame:
+			t0 := p.Obs.Clock()
 			m := p.NNL.Segment(dec.Frames[d], d)
+			p.Obs.Span(obs.StageNNL, d, byte(info.Type), t0)
 			segs[d] = m
 			res.Masks[d] = m
 			res.Stats.NNLRuns++
@@ -121,9 +154,11 @@ func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
 			}
 		case codec.BFrame:
 			res.Stats.BFrames++
+			t0 := p.Obs.Clock()
 			rec, err := segment.Reconstruct(info, segs, dec.W, dec.H, dec.Cfg.BlockSize)
+			p.Obs.Span(obs.StageReconstruct, d, byte(info.Type), t0)
 			if err != nil {
-				return nil, fmt.Errorf("core: frame %d: %w", d, err)
+				return res, fmt.Errorf("core: frame %d: %w", d, err)
 			}
 			res.Recons[d] = rec
 			res.Stats.MVCount += len(info.MVs)
@@ -135,12 +170,15 @@ func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
 			res.Stats.IntraFallbackBlocks += info.Blocks - len(info.MVs)
 			if refiner != nil {
 				prev, next := flankingAnchors(dec.Types, segs, d)
+				t1 := p.Obs.Clock()
 				res.Masks[d] = refiner.Refine(prev, rec, next)
+				p.Obs.Span(obs.StageRefine, d, byte(info.Type), t1)
 				res.Stats.NNSRuns++
 			} else {
 				res.Masks[d] = rec.Binary()
 			}
 		}
+		p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(segs)))
 	}
 	return res, nil
 }
@@ -201,11 +239,19 @@ type DetectionResult struct {
 // runs on I/P-frames; each detected box becomes a rectangular mask whose
 // B-frame propagation reuses the segmentation reconstruction, and the
 // propagated mask's bounding box is the B-frame detection (Sec III-B).
+//
+// Error-path Stats follow the RunSegmentation contract: on failure the
+// returned result carries the serial decode-order prefix counters,
+// identical for every worker count.
 func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResult, error) {
-	dec, err := codec.Decode(stream, codec.DecodeSideInfo)
+	dec, err := codec.DecodeObserved(stream, codec.DecodeSideInfo, p.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
+	return p.runDetectionDecoded(dec, det)
+}
+
+func (p *Pipeline) runDetectionDecoded(dec *codec.DecodeResult, det BoxDetector) (*DetectionResult, error) {
 	if p.workers() > 1 {
 		return p.runDetectionParallel(dec, det)
 	}
@@ -218,7 +264,9 @@ func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResul
 	for _, d := range dec.Order {
 		info := dec.Infos[d]
 		if info.Type.IsAnchor() {
+			t0 := p.Obs.Clock()
 			dets := det.Detect(dec.Frames[d], d)
+			p.Obs.Span(obs.StageNNL, d, byte(info.Type), t0)
 			res.Detections[d] = dets
 			res.Stats.NNLRuns++
 			m, s := anchorBoxMask(dets, dec.W, dec.H)
@@ -227,9 +275,11 @@ func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResul
 			continue
 		}
 		res.Stats.BFrames++
+		t0 := p.Obs.Clock()
 		dets, err := bDetection(info, boxMasks, scores, dec.W, dec.H, dec.Cfg.BlockSize)
+		p.Obs.Span(obs.StageReconstruct, d, byte(info.Type), t0)
 		if err != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", d, err)
+			return res, fmt.Errorf("core: frame %d: %w", d, err)
 		}
 		res.Stats.MVCount += len(info.MVs)
 		res.Detections[d] = dets

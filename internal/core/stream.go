@@ -5,6 +5,7 @@ import (
 
 	"vrdann/internal/codec"
 	"vrdann/internal/nn"
+	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/video"
 )
@@ -32,6 +33,16 @@ type StreamingPipeline struct {
 	// into decode order. Emitted masks and maxSegs are bit-identical either
 	// way.
 	Workers int
+	// Obs, when non-nil, collects per-stage latency, queue-depth gauges
+	// (job queue, emit queue, busy workers, reference window) and span
+	// traces. Nil costs one pointer check per site.
+	Obs *obs.Collector
+}
+
+// pipeline adapts the streaming configuration to the batch Pipeline so the
+// two forms share the refiner construction rules.
+func (p *StreamingPipeline) pipeline() *Pipeline {
+	return &Pipeline{NNL: p.NNL, NNS: p.NNS, Refine: p.Refine, Workers: p.Workers, Obs: p.Obs}
 }
 
 // Run decodes the stream incrementally and calls emit for every frame's
@@ -51,14 +62,12 @@ func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) er
 	if err != nil {
 		return 0, fmt.Errorf("core: stream decoder: %w", err)
 	}
+	dec.SetObserver(p.Obs)
 	types := dec.Types()
 	lastUse := segLastUse(types, dec.Config())
 	segs := make(map[int]*video.Mask)
 	w, h := dec.Geometry()
-	var refiner *segment.Refiner
-	if p.Refine && p.NNS != nil {
-		refiner = segment.NewRefiner(p.NNS)
-	}
+	refiner := p.pipeline().refiner(false)
 	pos := -1
 	for {
 		out, derr := dec.Next()
@@ -72,16 +81,22 @@ func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) er
 		var mask *video.Mask
 		switch out.Info.Type {
 		case codec.IFrame, codec.PFrame:
+			t0 := p.Obs.Clock()
 			mask = p.NNL.Segment(out.Pixels, out.Info.Display)
+			p.Obs.Span(obs.StageNNL, out.Info.Display, byte(out.Info.Type), t0)
 			segs[out.Info.Display] = mask
 		case codec.BFrame:
+			t0 := p.Obs.Clock()
 			rec, rerr := segment.Reconstruct(out.Info, segs, w, h, dec.Config().BlockSize)
+			p.Obs.Span(obs.StageReconstruct, out.Info.Display, byte(out.Info.Type), t0)
 			if rerr != nil {
 				return maxSegs, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
 			}
 			if refiner != nil {
 				prev, next := flankingAnchors(types, segs, out.Info.Display)
+				t1 := p.Obs.Clock()
 				mask = refiner.Refine(prev, rec, next)
+				p.Obs.Span(obs.StageRefine, out.Info.Display, byte(out.Info.Type), t1)
 			} else {
 				mask = rec.Binary()
 			}
@@ -89,7 +104,11 @@ func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) er
 		if len(segs) > maxSegs {
 			maxSegs = len(segs)
 		}
-		if err := emit(MaskOut{Display: out.Info.Display, Type: out.Info.Type, Mask: mask}); err != nil {
+		p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(segs)))
+		t0 := p.Obs.Clock()
+		err := emit(MaskOut{Display: out.Info.Display, Type: out.Info.Type, Mask: mask})
+		p.Obs.Span(obs.StageEmit, out.Info.Display, byte(out.Info.Type), t0)
+		if err != nil {
 			return maxSegs, err
 		}
 		for d, last := range lastUse {

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vrdann/internal/core"
+	"vrdann/internal/obs"
+)
+
+// Stages profiles one full VR-DANN segmentation run with the observability
+// collector attached and returns the per-stage latency/occupancy report.
+// The run uses the first suite video, the configured encoder settings and
+// the configured pipeline worker count, so the report reflects the same
+// execution mode the accuracy figures use.
+func (h *Harness) Stages() (*obs.Report, error) {
+	nns, err := h.NNS()
+	if err != nil {
+		return nil, err
+	}
+	suite := h.Suite()
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("experiments: empty suite")
+	}
+	v := suite[0]
+	st, err := h.StreamFor(v, h.Cfg.Enc)
+	if err != nil {
+		return nil, err
+	}
+	c := obs.New()
+	p := &core.Pipeline{
+		NNL:     h.nnlFor(v, "NN-L(FAVOS)", h.Cfg.FAVOSNoise, 3),
+		NNS:     nns,
+		Refine:  true,
+		Workers: h.Cfg.PipelineWorkers,
+		Obs:     c,
+	}
+	if _, err := p.RunSegmentation(st.Data); err != nil {
+		return nil, fmt.Errorf("experiments: stages profile on %s: %w", v.Name, err)
+	}
+	return c.Snapshot(), nil
+}

@@ -3,6 +3,7 @@ package nn
 import (
 	"math/rand"
 
+	"vrdann/internal/obs"
 	"vrdann/internal/tensor"
 )
 
@@ -29,7 +30,22 @@ type RefineNet struct {
 
 	skipChannels int
 	macs         int64
+
+	// obs, when non-nil, receives per-layer convolution timings (the
+	// nn-s/conv* stages). Inference pays one pointer check per layer when
+	// disabled.
+	obs *obs.Collector
 }
+
+// SetObserver attaches a metrics collector for per-layer timing; nil
+// disables it. Concurrent pipelines set the observer on each worker's
+// Clone — the collector itself is safe to share.
+func (n *RefineNet) SetObserver(c *obs.Collector) { n.obs = c }
+
+// Observer returns the attached collector (nil when disabled), letting
+// wrappers such as segment.Refiner time their own stages against the same
+// timeline.
+func (n *RefineNet) Observer() *obs.Collector { return n.obs }
 
 // NewRefineNet builds NN-S with the given number of hidden feature maps.
 // The paper does not publish filter counts; 8 keeps the network ~3 orders
@@ -51,12 +67,20 @@ func NewRefineNet(rng *rand.Rand, features int) *RefineNet {
 // Forward runs the network on a [3,H,W] sandwich input and returns [1,H,W]
 // logits. H and W must be even (macro-block-aligned frames always are).
 func (n *RefineNet) Forward(x *tensor.Tensor) *tensor.Tensor {
-	skip := n.Relu1.Forward(n.Conv1.Forward(x))
+	t := n.obs.Clock()
+	c1 := n.Conv1.Forward(x)
+	n.obs.Span(obs.StageNNSConv1, -1, obs.KindNone, t)
+	skip := n.Relu1.Forward(c1)
 	down := n.Down.Forward(skip)
-	mid := n.Relu2.Forward(n.Conv2.Forward(down))
+	t = n.obs.Clock()
+	c2 := n.Conv2.Forward(down)
+	n.obs.Span(obs.StageNNSConv2, -1, obs.KindNone, t)
+	mid := n.Relu2.Forward(c2)
 	up := n.Up.Forward(mid)
 	cat := ConcatChannels(skip, up)
+	t = n.obs.Clock()
 	out := n.Conv3.Forward(cat)
+	n.obs.Span(obs.StageNNSConv3, -1, obs.KindNone, t)
 	n.macs = n.Conv1.MACs() + n.Conv2.MACs() + n.Conv3.MACs()
 	return out
 }
@@ -117,6 +141,7 @@ func (n *RefineNet) Clone() *RefineNet {
 	for i := range src {
 		copy(dst[i].Data, src[i].Data)
 	}
+	c.obs = n.obs // the collector is shared and concurrency-safe
 	return c
 }
 

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsSafeAndFree(t *testing.T) {
+	var c *Collector
+	if c.Clock() != 0 {
+		t.Fatal("nil Clock must return 0 without touching the wall clock")
+	}
+	c.Span(StageNNL, 0, 0, 0)
+	c.ObserveDur(StageNNL, 0, 0, 0, time.Millisecond)
+	c.Count(CounterFrames, 3)
+	c.GaugeAdd(GaugeJobQueue, 1)
+	c.GaugeSet(GaugeRefWindow, 5)
+	c.SetTracer(nil)
+	if c.Snapshot() != nil {
+		t.Fatal("nil Snapshot must be nil")
+	}
+	if got := c.Snapshot().Table(); !strings.Contains(got, "disabled") {
+		t.Fatalf("nil report table = %q", got)
+	}
+}
+
+func TestStageAggregation(t *testing.T) {
+	c := New()
+	durs := []time.Duration{100 * time.Microsecond, 200 * time.Microsecond,
+		400 * time.Microsecond, 800 * time.Microsecond, 100 * time.Millisecond}
+	for i, d := range durs {
+		c.ObserveDur(StageRefine, i, 2, 0, d)
+	}
+	r := c.Snapshot()
+	s := r.Stage("nn-s")
+	if s == nil {
+		t.Fatal("nn-s stage missing from report")
+	}
+	if s.Count != int64(len(durs)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(durs))
+	}
+	var want int64
+	for _, d := range durs {
+		want += int64(d)
+	}
+	if s.TotalNS != want {
+		t.Fatalf("total = %d, want %d", s.TotalNS, want)
+	}
+	if s.MinNS != int64(100*time.Microsecond) || s.MaxNS != int64(100*time.Millisecond) {
+		t.Fatalf("min/max = %d/%d", s.MinNS, s.MaxNS)
+	}
+	// The log2 histogram has factor-of-two resolution: the p50 estimate must
+	// land within the bucket holding the true median (200µs -> [128µs,256µs)).
+	if s.P50NS < int64(128*time.Microsecond) || s.P50NS >= int64(512*time.Microsecond) {
+		t.Fatalf("p50 = %d out of plausible range", s.P50NS)
+	}
+	// p99 must land in the top sample's bucket.
+	if s.P99NS < int64(64*time.Millisecond) || s.P99NS >= int64(256*time.Millisecond) {
+		t.Fatalf("p99 = %d out of plausible range", s.P99NS)
+	}
+	if s.Occupancy <= 0 {
+		t.Fatal("occupancy must be positive for a busy stage")
+	}
+}
+
+func TestGaugeWatermark(t *testing.T) {
+	c := New()
+	c.GaugeAdd(GaugeJobQueue, 1)
+	c.GaugeAdd(GaugeJobQueue, 1)
+	c.GaugeAdd(GaugeJobQueue, 1)
+	c.GaugeAdd(GaugeJobQueue, -2)
+	c.GaugeSet(GaugeRefWindow, 7)
+	c.GaugeSet(GaugeRefWindow, 4)
+	r := c.Snapshot()
+	find := func(name string) GaugeReport {
+		for _, g := range r.Gauges {
+			if g.Name == name {
+				return g
+			}
+		}
+		t.Fatalf("gauge %q missing", name)
+		return GaugeReport{}
+	}
+	if g := find("job-queue"); g.Current != 1 || g.Max != 3 {
+		t.Fatalf("job-queue = %+v, want cur 1 max 3", g)
+	}
+	if g := find("ref-window"); g.Current != 4 || g.Max != 7 {
+		t.Fatalf("ref-window = %+v, want cur 4 max 7", g)
+	}
+}
+
+func TestCountersAndJSON(t *testing.T) {
+	c := New()
+	c.Count(CounterFrames, 10)
+	c.Count(CounterBFrames, 6)
+	c.ObserveDur(StageNNL, 0, 0, 0, time.Millisecond)
+	data, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["frames"] != 10 || back.Counters["b-frames"] != 6 {
+		t.Fatalf("counters round-trip = %+v", back.Counters)
+	}
+	if back.Stage("nn-l") == nil {
+		t.Fatal("nn-l stage lost in JSON round-trip")
+	}
+}
+
+type recordingTracer struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+func (r *recordingTracer) Span(e SpanEvent) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func TestTracerReceivesSpans(t *testing.T) {
+	c := New()
+	tr := &recordingTracer{}
+	c.SetTracer(tr)
+	c.ObserveDur(StageReconstruct, 7, 2, 5*time.Millisecond, time.Millisecond)
+	if len(tr.events) != 1 {
+		t.Fatalf("got %d events", len(tr.events))
+	}
+	e := tr.events[0]
+	if e.Frame != 7 || e.Stage != StageReconstruct || e.Start != 5*time.Millisecond || e.Dur != time.Millisecond {
+		t.Fatalf("event = %+v", e)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.ObserveDur(Stage(i%int(NumStages)), i, 0, 0, time.Duration(i)*time.Microsecond)
+				c.GaugeAdd(GaugeWorkers, 1)
+				c.GaugeAdd(GaugeWorkers, -1)
+				c.Count(CounterFrames, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	r := c.Snapshot()
+	var n int64
+	for _, s := range r.Stages {
+		n += s.Count
+	}
+	if n != 8*500 {
+		t.Fatalf("recorded %d spans, want %d", n, 8*500)
+	}
+	if r.Counters["frames"] != 8*500 {
+		t.Fatalf("frames counter = %d", r.Counters["frames"])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	c := New()
+	c.ObserveDur(StageNNL, 0, 0, 0, 3*time.Millisecond)
+	c.ObserveDur(StageRefine, 1, 2, 0, 250*time.Microsecond)
+	c.GaugeSet(GaugeRefWindow, 3)
+	c.Count(CounterFrames, 2)
+	out := c.Snapshot().Table()
+	for _, want := range []string{"nn-l", "nn-s", "ref-window", "frames", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnumNames(t *testing.T) {
+	if Stage(200).String() != "unknown" || Gauge(200).String() != "unknown" || Counter(200).String() != "unknown" {
+		t.Fatal("out-of-range enums must stringify as unknown")
+	}
+	seen := map[string]bool{}
+	for s := Stage(0); s < NumStages; s++ {
+		if n := s.String(); n == "" || seen[n] {
+			t.Fatalf("stage %d name %q empty or duplicate", s, n)
+		} else {
+			seen[n] = true
+		}
+	}
+}

@@ -21,6 +21,21 @@ import (
 // runtime.GOMAXPROCS setting.
 func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// EffectiveWorkers clamps a requested worker count to the parallelism the
+// process can actually deliver: at least 1, at most GOMAXPROCS. Requesting
+// more goroutines than cores is allowed everywhere (blocked pipeline
+// workers cost no CPU), but reports must record this value — the
+// parallelism a run really had — not the raw flag.
+func EffectiveWorkers(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if m := MaxWorkers(); n > m {
+		return m
+	}
+	return n
+}
+
 // sem bounds the number of *helper* goroutines alive across all concurrent
 // For calls — the bounded worker pool, sized from GOMAXPROCS at startup.
 // The calling goroutine always participates, so a nested For that finds

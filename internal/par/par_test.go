@@ -117,3 +117,24 @@ func TestMaxWorkersPositive(t *testing.T) {
 		t.Fatal("MaxWorkers must be >= 1")
 	}
 }
+
+func TestEffectiveWorkers(t *testing.T) {
+	if got := EffectiveWorkers(0); got != 1 {
+		t.Fatalf("EffectiveWorkers(0) = %d, want 1", got)
+	}
+	if got := EffectiveWorkers(-3); got != 1 {
+		t.Fatalf("EffectiveWorkers(-3) = %d, want 1", got)
+	}
+	if got := EffectiveWorkers(1); got != 1 {
+		t.Fatalf("EffectiveWorkers(1) = %d, want 1", got)
+	}
+	m := MaxWorkers()
+	if got := EffectiveWorkers(m + 100); got != m {
+		t.Fatalf("EffectiveWorkers(%d) = %d, want GOMAXPROCS %d", m+100, got, m)
+	}
+	if m >= 2 {
+		if got := EffectiveWorkers(2); got != 2 {
+			t.Fatalf("EffectiveWorkers(2) = %d, want 2", got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package segment
 
 import (
 	"vrdann/internal/nn"
+	"vrdann/internal/obs"
 	"vrdann/internal/tensor"
 	"vrdann/internal/video"
 )
@@ -51,7 +52,10 @@ func (r *Refiner) Refine(prev *video.Mask, recon *ReconMask, next *video.Mask) *
 	if r.in == nil || r.in.Shape[1] != recon.H || r.in.Shape[2] != recon.W {
 		r.in = tensor.New(3, recon.H, recon.W)
 	}
+	c := r.Net.Observer()
+	t := c.Clock()
 	SandwichInto(r.in, prev, recon, next)
+	c.Span(obs.StageSandwich, -1, obs.KindNone, t)
 	logits := r.Net.Forward(r.in)
 	m := video.NewMask(recon.W, recon.H)
 	for i, v := range logits.Data {

@@ -41,6 +41,7 @@ import (
 	"vrdann/internal/core"
 	"vrdann/internal/detect"
 	"vrdann/internal/nn"
+	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/sim"
 	"vrdann/internal/video"
@@ -126,6 +127,28 @@ type (
 // agent unit); n <= 1 keeps the serial decode-order loop. Results are
 // bit-identical for every n.
 func WithWorkers(n int) PipelineOption { return core.WithWorkers(n) }
+
+// Observability types.
+type (
+	// Collector gathers per-stage latency histograms, queue-depth gauges,
+	// counters and optional span traces from an instrumented run. A nil
+	// collector is safe everywhere and costs one pointer check per site.
+	Collector = obs.Collector
+	// ObsReport is an immutable snapshot of a Collector (JSON-friendly).
+	ObsReport = obs.Report
+	// SpanEvent is one traced stage execution.
+	SpanEvent = obs.SpanEvent
+	// Tracer receives span events from an instrumented run.
+	Tracer = obs.Tracer
+)
+
+// NewCollector builds an empty metrics collector; attach it with
+// WithObserver or by setting Pipeline.Obs / StreamingPipeline.Obs.
+func NewCollector() *Collector { return obs.New() }
+
+// WithObserver attaches a metrics collector to a pipeline built with
+// NewPipeline.
+func WithObserver(c *Collector) PipelineOption { return core.WithObserver(c) }
 
 // DisplayOrderEmit wraps a streaming emit callback so results arrive in
 // display order with bounded buffering.
