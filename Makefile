@@ -1,16 +1,20 @@
 # Developer entry points. `make check` is the gate every change must pass:
-# vet, build, the full test suite, the race detector over the packages
-# with concurrency (the par worker layer, the parallel tensor/nn kernels,
-# the overlapped core pipeline and the obs collector), and a short
-# coverage-guided fuzz pass over the bitstream decoders.
+# formatting, vet, build, the full test suite, the race detector over the
+# packages with concurrency (the par worker layer, the parallel tensor/nn
+# kernels, the overlapped core pipeline, the obs collector and the
+# multi-stream serving layer), and a short coverage-guided fuzz pass over
+# the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/serve
 FUZZTIME ?= 5s
 
-.PHONY: check vet build test race bench suite fuzz-smoke bench-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke
 
-check: vet build test race fuzz-smoke
+check: fmt-check vet build test race fuzz-smoke
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +44,11 @@ bench:
 # profile) to catch wiring breakage without the cost of the full suite.
 bench-smoke:
 	$(GO) run ./cmd/benchsuite -frames 8 -res 64x48 -json fig3a
+
+# End-to-end self-test of the multi-stream serving layer: load generator
+# plus one chunk over loopback HTTP, clean drain. Exit 0 on success.
+serve-smoke:
+	$(GO) run ./cmd/vrserve -smoke
 
 # Regenerate the paper's tables and figures.
 suite:

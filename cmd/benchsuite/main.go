@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages.
+// energy, stages, serve.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -146,6 +146,9 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 		return h.Timeline()
 	case "stages":
 		return h.Stages()
+	case "serve":
+		rows, err := h.Serve()
+		return rows, err
 	case "ablations":
 		co, err := h.AblationCoalescing()
 		if err != nil {
@@ -354,6 +357,19 @@ func runFigure(h *experiments.Harness, name string) error {
 		}
 		fmt.Println("Per-stage profile of one instrumented VR-DANN run:")
 		fmt.Print(rep.Table())
+	case "serve":
+		rows, err := h.Serve()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Multi-stream serving sweep (closed loop, cap 8 sessions):")
+		fmt.Printf("  %7s %8s %7s %7s %9s %11s %8s %8s %8s %7s\n",
+			"streams", "admitted", "rejects", "frames", "total fps", "per-strm fps", "p50 ms", "p95 ms", "p99 ms", "drop%")
+		for _, r := range rows {
+			fmt.Printf("  %7d %8d %7d %7d %9.1f %11.1f %8.1f %8.1f %8.1f %6.1f%%\n",
+				r.Streams, r.Admitted, r.AdmissionRejects, r.Frames,
+				r.FPS, r.PerStreamFPS, r.P50MS, r.P95MS, r.P99MS, r.DropPct)
+		}
 	case "headline":
 		hl, err := h.Headline()
 		if err != nil {

@@ -1,0 +1,207 @@
+// Command vrserve runs the multi-stream VR-DANN serving layer as an HTTP
+// service: clients open sessions, POST encoded bitstream chunks, and get
+// segmentation masks (or per-frame summaries) back, with per-session and
+// server-wide metrics, health, expvar and pprof endpoints.
+//
+//	vrserve -addr :8080 -max-sessions 16 -workers 8 -budget 500ms
+//
+// With no trained network available, anchors are segmented by the
+// deterministic Otsu threshold segmenter; -refine trains the small NN-S on
+// the synthetic training set at startup and enables B-frame refinement.
+//
+// -smoke runs the self-test instead of serving: it starts the server on a
+// loopback port, pushes one stream through the load generator and one
+// chunk over real HTTP, checks the masks and shuts down cleanly — exit 0
+// on success. The Makefile's serve-smoke target wraps exactly this.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/core"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/serve"
+	"vrdann/internal/video"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxSessions = flag.Int("max-sessions", 16, "admission cap: concurrent sessions")
+		queueFrames = flag.Int("queue-frames", 256, "per-session queued-frame bound")
+		workers     = flag.Int("workers", 0, "shared worker budget (0 = one per CPU)")
+		budget      = flag.Duration("budget", 0, "frame deadline: chunks older than this shed B-frames (0 = never)")
+		wait        = flag.Bool("wait", false, "block full-queue submits instead of rejecting")
+		refine      = flag.Bool("refine", false, "train NN-S at startup and refine B-frames")
+		smoke       = flag.Bool("smoke", false, "run the serving self-test and exit")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		MaxSessions:     *maxSessions,
+		MaxQueuedFrames: *queueFrames,
+		Workers:         *workers,
+		FrameBudget:     *budget,
+		NewSegmenter: func(string) segment.Segmenter {
+			return &segment.ThresholdSegmenter{CloseRadius: 1}
+		},
+		Obs: obs.New(),
+	}
+	if *wait {
+		cfg.Policy = serve.Wait
+	}
+	if *refine {
+		log.Printf("training NN-S on the synthetic training set...")
+		net, err := core.TrainNNS(video.MakeTrainingSet(96, 64, 16), codec.DefaultConfig(), core.DefaultTrainConfig())
+		if err != nil {
+			log.Fatalf("train NN-S: %v", err)
+		}
+		cfg.NNS = net
+	}
+
+	if *smoke {
+		if err := runSmoke(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "serve smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("serve smoke: OK")
+		return
+	}
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("vrserve listening on %s (sessions<=%d, workers=%d)", *addr, *maxSessions, cfg.Workers)
+	if err := http.ListenAndServe(*addr, withDebug(srv.Handler())); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// withDebug mounts expvar and pprof beside the serving API.
+func withDebug(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// runSmoke is the end-to-end self-test: one stream through the load
+// generator, one chunk over loopback HTTP, masks checked, clean shutdown.
+func runSmoke(cfg serve.Config) error {
+	v := video.Generate(video.SceneSpec{
+		Name: "smoke", W: 64, H: 48, Frames: 16, Seed: 42, Noise: 1.0,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 10, X: 24, Y: 24,
+			VX: 1.5, VY: 0.75, Intensity: 220, Foreground: true,
+		}},
+	})
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Leg 1: the load generator against the server core.
+	frames := 0
+	gen := &serve.LoadGen{
+		Server:  srv,
+		Streams: 1,
+		Chunks:  func(int) [][]byte { return [][]byte{st.Data, st.Data} },
+		OnResult: func(_ int, r serve.FrameResult) {
+			if r.Mask != nil {
+				frames++
+			}
+		},
+	}
+	rep, err := gen.Run(context.Background())
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
+	}
+	if rep.Admitted != 1 || rep.Frames != 2*16 {
+		return fmt.Errorf("loadgen served %d frames over %d streams, want 32 over 1", rep.Frames, rep.Admitted)
+	}
+	if frames == 0 {
+		return fmt.Errorf("loadgen produced no masks")
+	}
+
+	// Leg 2: one chunk over real HTTP.
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := listenLoopback()
+	if err != nil {
+		return err
+	}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	resp, err := http.Post(base+"/v1/sessions", "", nil)
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	var open struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	resp, err = http.Post(base+"/v1/sessions/"+open.ID+"/chunks", "application/octet-stream", bytes.NewReader(st.Data))
+	if err != nil {
+		return fmt.Errorf("chunk: %w", err)
+	}
+	var cr struct {
+		Frames []struct {
+			Display    int  `json:"display"`
+			Dropped    bool `json:"dropped"`
+			Foreground int  `json:"foreground"`
+		} `json:"frames"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if len(cr.Frames) != 16 {
+		return fmt.Errorf("HTTP served %d frames, want 16", len(cr.Frames))
+	}
+	for _, fr := range cr.Frames {
+		if !fr.Dropped && fr.Foreground == 0 {
+			return fmt.Errorf("frame %d: empty mask", fr.Display)
+		}
+	}
+
+	// Clean shutdown: HTTP first, then the drain.
+	sdCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Close(sdCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
+// listenLoopback binds an ephemeral loopback port for the smoke test.
+func listenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -45,74 +45,83 @@ type StreamDecoder struct {
 // instrumentation at the cost of one pointer check per frame.
 func (d *StreamDecoder) SetObserver(c *obs.Collector) { d.obs = c }
 
-// NewStreamDecoder parses the stream header and prepares incremental
-// decoding.
-func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
+// streamHeader is the parsed fixed header of one bitstream (or one
+// GOP-aligned chunk of a long-lived session).
+type streamHeader struct {
+	w, h  int
+	cfg   Config
+	types []FrameType
+	order []int
+}
+
+// parseStreamHeader validates and parses the stream header and returns the
+// entropy reader positioned at the first frame payload.
+func parseStreamHeader(data []byte) (*streamHeader, SymbolReader, error) {
 	r := NewBitReader(data)
 	magic, err := r.ReadBits(32)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if magic != streamMagic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrBitstream, magic)
+		return nil, nil, fmt.Errorf("%w: bad magic %#x", ErrBitstream, magic)
 	}
 	wv, err := r.ReadBits(16)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hv, err := r.ReadBits(16)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	nf, err := r.ReadUE()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var cfg Config
 	for _, f := range []*int{&cfg.BlockSize, &cfg.QP, &cfg.SearchRange, &cfg.SearchInterval, &cfg.MaxBRun, &cfg.IPeriod} {
 		v, err := r.ReadUE()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		*f = int(v)
 	}
 	br, err := r.ReadUE()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.TargetBRatio = float64(br) / 1000
 	ab, err := r.ReadBit()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.Arithmetic = ab == 1
 	db, err := r.ReadBit()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.Deblock = db == 1
 	tbpf, err := r.ReadUE()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.TargetBPF = int(tbpf)
 	hp, err := r.ReadBit()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.HalfPel = hp == 1
 	cfg = cfg.normalized()
 	if err := validateHeader(int(wv), int(hv), nf, cfg, len(data)*8-r.Pos()); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	types := make([]FrameType, nf)
 	for i := range types {
 		t, err := r.ReadBits(2)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if FrameType(t) > BFrame {
-			return nil, fmt.Errorf("%w: bad frame type %d", ErrBitstream, t)
+			return nil, nil, fmt.Errorf("%w: bad frame type %d", ErrBitstream, t)
 		}
 		types[i] = FrameType(t)
 	}
@@ -120,7 +129,7 @@ func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
 	// Match DecodeObserved: a type sequence the decode order cannot cover
 	// (B-frames outside any anchor pair) is a corrupt header.
 	if len(order) != len(types) {
-		return nil, fmt.Errorf("%w: frame type sequence not decodable (%d of %d frames reachable)",
+		return nil, nil, fmt.Errorf("%w: frame type sequence not decodable (%d of %d frames reachable)",
 			ErrBitstream, len(order), len(types))
 	}
 	r.AlignByte()
@@ -128,20 +137,87 @@ func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
 	if cfg.Arithmetic {
 		sr = NewArithReader(data[r.Pos()/8:])
 	}
-	d := &StreamDecoder{
-		r: sr, mode: mode, w: int(wv), h: int(hv), cfg: cfg,
-		types: types, order: order,
-		refs: make(map[int]*video.Frame), lastUse: make(map[int]int),
-		pred: make([]uint8, cfg.BlockSize*cfg.BlockSize),
-		tmp:  make([]uint8, cfg.BlockSize*cfg.BlockSize),
+	return &streamHeader{w: int(wv), h: int(hv), cfg: cfg, types: types, order: order}, sr, nil
+}
+
+// StreamInfo is the cheap structural summary of a bitstream: what a serving
+// layer needs for admission decisions (frame counts for queue accounting,
+// geometry for session compatibility) without decoding any pixels.
+type StreamInfo struct {
+	W, H   int
+	Frames int
+	Cfg    Config
+	Types  []FrameType // display order
+}
+
+// ProbeStream parses and validates only the stream header. It is the
+// admission-control entry point: it rejects malformed chunks up front and
+// costs no pixel work.
+func ProbeStream(data []byte) (StreamInfo, error) {
+	h, _, err := parseStreamHeader(data)
+	if err != nil {
+		return StreamInfo{}, err
 	}
-	for i, t := range types {
+	return StreamInfo{W: h.w, H: h.h, Frames: len(h.types), Cfg: h.cfg, Types: h.types}, nil
+}
+
+// NewStreamDecoder parses the stream header and prepares incremental
+// decoding.
+func NewStreamDecoder(data []byte, mode DecodeMode) (*StreamDecoder, error) {
+	h, sr, err := parseStreamHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	d := &StreamDecoder{
+		r: sr, mode: mode, w: h.w, h: h.h, cfg: h.cfg,
+		types: h.types, order: h.order,
+		refs: make(map[int]*video.Frame), lastUse: make(map[int]int),
+		pred: make([]uint8, h.cfg.BlockSize*h.cfg.BlockSize),
+		tmp:  make([]uint8, h.cfg.BlockSize*h.cfg.BlockSize),
+	}
+	for i, t := range h.types {
 		if t.IsAnchor() {
 			d.anchors = append(d.anchors, i)
 		}
 	}
 	d.computeLastUse()
 	return d, nil
+}
+
+// Reset re-opens the decoder over a new bitstream chunk, reusing the
+// session's allocations (block-prediction scratch, reference and last-use
+// maps) instead of building a fresh decoder. This is the long-lived-session
+// path: a stream served as a sequence of independently encoded, GOP-aligned
+// chunks decodes each chunk through one decoder with no per-chunk state
+// bleeding across the boundary — the chunk sequence decodes exactly as the
+// same chunks would through fresh decoders. The new chunk must match the
+// session's geometry and block size; the decode mode and any attached
+// observer are retained.
+func (d *StreamDecoder) Reset(data []byte) error {
+	h, sr, err := parseStreamHeader(data)
+	if err != nil {
+		return err
+	}
+	if h.w != d.w || h.h != d.h {
+		return fmt.Errorf("%w: chunk geometry %dx%d differs from session %dx%d",
+			ErrBitstream, h.w, h.h, d.w, d.h)
+	}
+	if h.cfg.BlockSize != d.cfg.BlockSize {
+		return fmt.Errorf("%w: chunk block size %d differs from session %d",
+			ErrBitstream, h.cfg.BlockSize, d.cfg.BlockSize)
+	}
+	d.r, d.cfg, d.types, d.order = sr, h.cfg, h.types, h.order
+	d.pos = 0
+	d.anchors = d.anchors[:0]
+	for i, t := range h.types {
+		if t.IsAnchor() {
+			d.anchors = append(d.anchors, i)
+		}
+	}
+	clear(d.refs)
+	clear(d.lastUse)
+	d.computeLastUse()
+	return nil
 }
 
 // computeLastUse records, per anchor, the last decode position at which any

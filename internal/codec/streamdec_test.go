@@ -160,3 +160,180 @@ func TestStreamDecoderRemaining(t *testing.T) {
 		t.Fatalf("Remaining after one = %d", sd.Remaining())
 	}
 }
+
+// drainStream decodes every remaining frame.
+func drainStream(t *testing.T, sd *StreamDecoder) []*FrameOut {
+	t.Helper()
+	var out []*FrameOut
+	for {
+		fo, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo == nil {
+			return out
+		}
+		out = append(out, fo)
+	}
+}
+
+// sameFrames asserts two decoded sequences are bit-identical: metadata,
+// motion vectors and pixels.
+func sameFrames(t *testing.T, got, want []*FrameOut) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Info.Display != w.Info.Display || g.Info.Type != w.Info.Type ||
+			g.Info.Blocks != w.Info.Blocks || g.Info.IntraBlk != w.Info.IntraBlk ||
+			g.Info.Bits != w.Info.Bits || len(g.Info.MVs) != len(w.Info.MVs) {
+			t.Fatalf("frame %d metadata diverges: %+v vs %+v", i, g.Info, w.Info)
+		}
+		for j := range g.Info.MVs {
+			if g.Info.MVs[j] != w.Info.MVs[j] {
+				t.Fatalf("frame %d MV %d diverges", i, j)
+			}
+		}
+		if (g.Pixels == nil) != (w.Pixels == nil) {
+			t.Fatalf("frame %d pixel presence diverges", i)
+		}
+		if g.Pixels != nil {
+			for p := range g.Pixels.Pix {
+				if g.Pixels.Pix[p] != w.Pixels.Pix[p] {
+					t.Fatalf("frame %d pixel %d diverges", i, p)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamDecoderResetSpansChunks pins the long-lived-session contract: a
+// single decoder Reset across independently encoded, GOP-aligned chunks
+// decodes each chunk bit-identically to a fresh decoder per chunk — no
+// reference, scratch or entropy state bleeds across the boundary.
+func TestStreamDecoderResetSpansChunks(t *testing.T) {
+	v1 := testVideo(64, 48, 12, 1.5)
+	v2 := testVideo(64, 48, 10, 0.8)
+	st1, err := Encode(v1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Encode(v2, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func(data []byte) []*FrameOut {
+		sd, err := NewStreamDecoder(data, DecodeFull)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drainStream(t, sd)
+	}
+	want1, want2 := fresh(st1.Data), fresh(st2.Data)
+
+	// One session decoder across both chunks.
+	sd, err := NewStreamDecoder(st1.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFrames(t, drainStream(t, sd), want1)
+	if err := sd.Reset(st2.Data); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if sd.Remaining() != 10 {
+		t.Fatalf("Remaining after Reset = %d, want 10", sd.Remaining())
+	}
+	sameFrames(t, drainStream(t, sd), want2)
+
+	// Reset must also discard abandoned mid-chunk state: references and
+	// position from a half-decoded chunk must not leak into the next.
+	sd2, err := NewStreamDecoder(st1.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sd2.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sd2.Reset(st2.Data); err != nil {
+		t.Fatalf("mid-chunk Reset: %v", err)
+	}
+	sameFrames(t, drainStream(t, sd2), want2)
+	if sd2.BufferedRefs() != 0 {
+		t.Fatalf("references leaked across Reset: %d", sd2.BufferedRefs())
+	}
+}
+
+func TestStreamDecoderResetRejectsMismatch(t *testing.T) {
+	st1, err := Encode(testVideo(64, 48, 8, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st1.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Encode(testVideo(32, 32, 8, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Reset(other.Data); err == nil {
+		t.Fatal("Reset must reject a chunk with different geometry")
+	}
+	if err := sd.Reset([]byte{1, 2, 3}); err == nil {
+		t.Fatal("Reset must reject garbage")
+	}
+	cfg := DefaultConfig()
+	cfg.BlockSize = 16
+	bs16, err := Encode(testVideo(64, 48, 8, 1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sd.Reset(bs16.Data); err == nil {
+		t.Fatal("Reset must reject a chunk with different block size")
+	}
+	// A failed Reset must not have corrupted the session: the original
+	// chunk still decodes.
+	if err := sd.Reset(st1.Data); err != nil {
+		t.Fatalf("Reset back to original chunk: %v", err)
+	}
+	if got := len(drainStream(t, sd)); got != 8 {
+		t.Fatalf("decoded %d frames after recovery, want 8", got)
+	}
+}
+
+func TestProbeStream(t *testing.T) {
+	v := testVideo(64, 48, 9, 1.2)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ProbeStream(st.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.W != 64 || info.H != 48 || info.Frames != 9 {
+		t.Fatalf("probe = %+v", info)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Types) != len(sd.Types()) {
+		t.Fatalf("probe types %d, decoder %d", len(info.Types), len(sd.Types()))
+	}
+	for i, ft := range sd.Types() {
+		if info.Types[i] != ft {
+			t.Fatalf("probe type %d diverges", i)
+		}
+	}
+	if info.Cfg != sd.Config() {
+		t.Fatalf("probe cfg %+v, decoder %+v", info.Cfg, sd.Config())
+	}
+	if _, err := ProbeStream([]byte{9, 9, 9}); err == nil {
+		t.Fatal("probe must reject garbage")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// StreamEngine drives the serial streaming pipeline one frame at a time
+// against an externally owned StreamDecoder. It is the unit of scheduling
+// of the multi-stream serving layer: a scheduler can interleave Step calls
+// from many engines on a shared worker budget, while each engine keeps the
+// exact state of the serial decode-order loop — the pruned reference
+// window, the refiner, the working-set maximum. RunInstrumented is itself
+// implemented on an engine, so a frame served through a scheduler is
+// bit-identical to the same frame in a single-stream run by construction.
+//
+// An engine is not safe for concurrent use; callers must serialize Step.
+type StreamEngine struct {
+	p       *StreamingPipeline
+	dec     *codec.StreamDecoder
+	types   []codec.FrameType
+	cfg     codec.Config
+	w, h    int
+	lastUse map[int]int
+	segs    map[int]*video.Mask
+	refiner *segment.Refiner
+	pos     int
+	maxSegs int
+}
+
+// NewEngine prepares frame-by-frame execution of the pipeline over the
+// given decoder (which must be freshly opened or Reset). The pipeline's
+// observer is attached to the decoder for per-frame decode timings.
+func (p *StreamingPipeline) NewEngine(dec *codec.StreamDecoder) *StreamEngine {
+	dec.SetObserver(p.Obs)
+	types := dec.Types()
+	w, h := dec.Geometry()
+	return &StreamEngine{
+		p: p, dec: dec, types: types, cfg: dec.Config(), w: w, h: h,
+		lastUse: segLastUse(types, dec.Config()),
+		segs:    make(map[int]*video.Mask),
+		refiner: p.pipeline().refiner(false),
+		pos:     -1,
+	}
+}
+
+// MaxSegs reports the largest reference working set held so far.
+func (e *StreamEngine) MaxSegs() int { return e.maxSegs }
+
+// Remaining reports how many frames the engine has not yet delivered.
+func (e *StreamEngine) Remaining() int { return e.dec.Remaining() }
+
+// Step decodes and processes the next frame in decode order. It returns
+// (nil, nil) when the stream is exhausted and ctx.Err() if the context is
+// cancelled before the frame is decoded; frames already returned are
+// unaffected by a later cancellation.
+func (e *StreamEngine) Step(ctx context.Context) (*MaskOut, error) {
+	return e.StepFunc(ctx, nil)
+}
+
+// StepFunc is Step with a frame-drop veto: when drop is non-nil it is
+// consulted for every B-frame, and a true return skips reconstruction and
+// refinement, yielding a MaskOut with a nil Mask. The bitstream is still
+// consumed (B-frame side info must be read to advance the entropy coder)
+// and anchors are never dropped — their segmentations are the references
+// every later frame depends on. This is the deadline-based drop policy of
+// the serving layer: under overload, B-frames past their budget are shed
+// while the anchor chain stays intact.
+func (e *StreamEngine) StepFunc(ctx context.Context, drop func(codec.FrameInfo) bool) (*MaskOut, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	p := e.p
+	out, derr := e.dec.Next()
+	if derr != nil {
+		return nil, fmt.Errorf("core: decode: %w", derr)
+	}
+	if out == nil {
+		return nil, nil
+	}
+	e.pos++
+	mo := &MaskOut{Display: out.Info.Display, Type: out.Info.Type}
+	switch out.Info.Type {
+	case codec.IFrame, codec.PFrame:
+		t0 := p.Obs.Clock()
+		mo.Mask = p.NNL.Segment(out.Pixels, out.Info.Display)
+		p.Obs.Span(obs.StageNNL, out.Info.Display, byte(out.Info.Type), t0)
+		e.segs[out.Info.Display] = mo.Mask
+	case codec.BFrame:
+		if drop != nil && drop(out.Info) {
+			break // shed: side info consumed, no mask computed
+		}
+		t0 := p.Obs.Clock()
+		rec, rerr := segment.Reconstruct(out.Info, e.segs, e.w, e.h, e.cfg.BlockSize)
+		p.Obs.Span(obs.StageReconstruct, out.Info.Display, byte(out.Info.Type), t0)
+		if rerr != nil {
+			return nil, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
+		}
+		if e.refiner != nil {
+			prev, next := flankingAnchors(e.types, e.segs, out.Info.Display)
+			t1 := p.Obs.Clock()
+			mo.Mask = e.refiner.Refine(prev, rec, next)
+			p.Obs.Span(obs.StageRefine, out.Info.Display, byte(out.Info.Type), t1)
+		} else {
+			mo.Mask = rec.Binary()
+		}
+	}
+	if len(e.segs) > e.maxSegs {
+		e.maxSegs = len(e.segs)
+	}
+	p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(e.segs)))
+	// Prune references no later frame needs. The serial loop pruned after
+	// emitting; pruning before the caller emits is equivalent because emit
+	// never reads the window and the next Step sees the same pruned state.
+	for d, last := range e.lastUse {
+		if last <= e.pos {
+			delete(e.segs, d)
+			delete(e.lastUse, d)
+		}
+	}
+	return mo, nil
+}

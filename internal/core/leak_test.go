@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -9,8 +10,10 @@ import (
 	"time"
 
 	"vrdann/internal/codec"
+	"vrdann/internal/detect"
 	"vrdann/internal/nn"
 	"vrdann/internal/segment"
+	"vrdann/internal/video"
 )
 
 // requireNoGoroutineLeak runs fn and fails if the process goroutine count
@@ -87,7 +90,7 @@ func TestBatchParallelAbortLeaksNoGoroutines(t *testing.T) {
 	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
 	requireNoGoroutineLeak(t, func() {
 		p := &Pipeline{NNL: segment.NewOracle("oracle", v.Masks, 0, 0, 1), NNS: nns, Refine: true, Workers: 4}
-		if _, err := p.runDecoded(bad); err == nil {
+		if _, err := p.runDecoded(context.Background(), bad); err == nil {
 			t.Fatal("corrupted reference must error")
 		}
 	})
@@ -158,11 +161,11 @@ func TestPartialStatsIdenticalSerialParallel(t *testing.T) {
 			}
 			build := func(workers int) *Pipeline {
 				return &Pipeline{
-					NNL:    segment.NewOracle("oracle", v.Masks, 0, 0, 1),
-					NNS:    nns, Refine: true, Workers: workers,
+					NNL: segment.NewOracle("oracle", v.Masks, 0, 0, 1),
+					NNS: nns, Refine: true, Workers: workers,
 				}
 			}
-			ref, refErr := build(1).runDecoded(bad)
+			ref, refErr := build(1).runDecoded(context.Background(), bad)
 			if refErr == nil || ref == nil {
 				t.Fatalf("serial: res=%v err=%v, want partial result + error", ref, refErr)
 			}
@@ -170,7 +173,7 @@ func TestPartialStatsIdenticalSerialParallel(t *testing.T) {
 				t.Fatalf("serial error = %v", refErr)
 			}
 			for _, nw := range []int{2, 4, 7} {
-				got, gotErr := build(nw).runDecoded(bad)
+				got, gotErr := build(nw).runDecoded(context.Background(), bad)
 				if gotErr == nil || got == nil {
 					t.Fatalf("workers=%d: res=%v err=%v, want partial result + error", nw, got, gotErr)
 				}
@@ -196,12 +199,12 @@ func TestPartialStatsDetectionIdentical(t *testing.T) {
 	}
 	bad := corruptBFrame(t, dec, 1, 9999)
 	det := &gtBoxDetector{v}
-	ref, refErr := (&Pipeline{}).runDetectionDecoded(bad, det)
+	ref, refErr := (&Pipeline{}).runDetectionDecoded(context.Background(), bad, det)
 	if refErr == nil || ref == nil {
 		t.Fatalf("serial: res=%v err=%v", ref, refErr)
 	}
 	for _, nw := range []int{2, 4} {
-		got, gotErr := (&Pipeline{Workers: nw}).runDetectionDecoded(bad, det)
+		got, gotErr := (&Pipeline{Workers: nw}).runDetectionDecoded(context.Background(), bad, det)
 		if gotErr == nil || got == nil {
 			t.Fatalf("workers=%d: res=%v err=%v", nw, got, gotErr)
 		}
@@ -213,3 +216,113 @@ func TestPartialStatsDetectionIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestCancelMidRunLeaksNoGoroutines pins the context-cancellation satellite:
+// cancelling a run mid-flight — serial or parallel, streaming or batch —
+// returns ctx.Err() and leaves no worker, emitter or anchor-stage goroutine
+// behind.
+func TestCancelMidRunLeaksNoGoroutines(t *testing.T) {
+	v := makeTestVideo(24, 1.5)
+	stream := encodeTestVideo(t, v)
+	oracle := segment.NewOracle("oracle", v.Masks, 0, 0, 1)
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+
+	for _, nw := range []int{1, 4} {
+		t.Run("streaming", func(t *testing.T) {
+			requireNoGoroutineLeak(t, func() {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				// NN-L runs inline on the decode loop in both modes, so
+				// cancelling from it guarantees the loop sees the context
+				// fire with frames still undelivered.
+				sp := &StreamingPipeline{
+					NNL: &cancellingSegmenter{Segmenter: oracle, after: 2, cancel: cancel},
+					NNS: nns, Refine: true, Workers: nw,
+				}
+				err := sp.RunContext(ctx, stream, func(MaskOut) error { return nil })
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("workers=%d: err = %v, want context.Canceled", nw, err)
+				}
+			})
+		})
+		t.Run("batch-segmentation", func(t *testing.T) {
+			requireNoGoroutineLeak(t, func() {
+				ctx, cancel := context.WithCancel(context.Background())
+				defer cancel()
+				p := &Pipeline{NNL: &cancellingSegmenter{Segmenter: oracle, after: 2, cancel: cancel},
+					NNS: nns, Refine: true, Workers: nw}
+				res, err := p.RunSegmentationContext(ctx, stream)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("workers=%d: err = %v, want context.Canceled", nw, err)
+				}
+				if res == nil {
+					t.Fatalf("workers=%d: cancelled run must still return the partial result", nw)
+				}
+			})
+		})
+	}
+	t.Run("batch-detection", func(t *testing.T) {
+		requireNoGoroutineLeak(t, func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			det := &cancellingDetector{inner: &gtBoxDetector{v}, after: 2, cancel: cancel}
+			_, err := (&Pipeline{Workers: 4}).RunDetectionContext(ctx, stream, det)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	})
+	t.Run("pre-cancelled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		for _, nw := range []int{1, 4} {
+			requireNoGoroutineLeak(t, func() {
+				sp := &StreamingPipeline{NNL: oracle, NNS: nns, Refine: true, Workers: nw}
+				emitted := 0
+				err := sp.RunContext(ctx, stream, func(MaskOut) error { emitted++; return nil })
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("workers=%d: err = %v, want context.Canceled", nw, err)
+				}
+				if emitted != 0 {
+					t.Fatalf("workers=%d: pre-cancelled run emitted %d frames", nw, emitted)
+				}
+			})
+		}
+	})
+}
+
+// cancellingSegmenter cancels the run's context after its n-th anchor.
+type cancellingSegmenter struct {
+	segment.Segmenter
+	after  int
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingSegmenter) Segment(f *video.Frame, display int) *video.Mask {
+	m := c.Segmenter.Segment(f, display)
+	c.n++
+	if c.n == c.after {
+		c.cancel()
+	}
+	return m
+}
+
+// cancellingDetector cancels the run's context after its n-th anchor.
+type cancellingDetector struct {
+	inner  BoxDetector
+	after  int
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingDetector) Detect(f *video.Frame, display int) []detect.Detection {
+	d := c.inner.Detect(f, display)
+	c.n++
+	if c.n == c.after {
+		c.cancel()
+	}
+	return d
+}
+
+func (c *cancellingDetector) Name() string { return c.inner.Name() }

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"maps"
 	"sync"
@@ -94,7 +95,14 @@ func firstError(errs []error) (int, error) {
 
 // runDecodedParallel is runDecoded restructured as the two-stage overlapped
 // pipeline described in the package comment.
-func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) {
+//
+// Cancellation: the anchor stage checks the context before each anchor and,
+// on cancel, closes every remaining done channel before exiting so no
+// worker blocks on a dependency that will never resolve; workers see the
+// cancelled context (or a nil anchor mask) and skip the job; the feeder
+// stops submitting. After wg.Wait the function returns ctx.Err(), which
+// takes precedence over any job error the race produced.
+func (p *Pipeline) runDecodedParallel(ctx context.Context, dec *codec.DecodeResult) (*Result, error) {
 	res := &Result{
 		Masks:  make([]*video.Mask, len(dec.Types)),
 		Recons: make(map[int]*segment.ReconMask),
@@ -119,7 +127,18 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		next := 0
+		// On early exit, release every remaining dependency wait; the
+		// workers re-check the context after waking.
+		defer func() {
+			for ; next < len(done); next++ {
+				close(done[next])
+			}
+		}()
 		for i, d := range anchorOrder {
+			if ctx.Err() != nil {
+				return
+			}
 			t0 := p.Obs.Clock()
 			m := p.NNL.Segment(dec.Frames[d], d)
 			p.Obs.Span(obs.StageNNL, d, byte(dec.Types[d]), t0)
@@ -132,6 +151,7 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 				anchorStats[i].PFrames++
 			}
 			close(done[i])
+			next = i + 1
 		}
 	}()
 	// Stage 2: B-frame reconstruction + refinement on the worker pool. After
@@ -152,10 +172,20 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 				if job.avail > 0 {
 					<-done[job.avail-1]
 				}
+				if ctx.Err() != nil {
+					p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
+					continue
+				}
 				p.Obs.GaugeAdd(obs.GaugeWorkers, 1)
 				segs := make(map[int]*video.Mask, job.avail)
 				for _, a := range anchorOrder[:job.avail] {
-					segs[a] = anchorMasks[a]
+					// A nil entry means the anchor stage was cancelled before
+					// reaching this anchor; leave it absent so Reconstruct
+					// reports a missing reference instead of dereferencing nil
+					// (the error is discarded — ctx.Err() wins below).
+					if m := anchorMasks[a]; m != nil {
+						segs[a] = m
+					}
 				}
 				info := dec.Infos[job.d]
 				st := &jobStats[job.slot]
@@ -192,11 +222,18 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 		}()
 	}
 	for _, job := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
 		p.Obs.GaugeAdd(obs.GaugeJobQueue, 1)
 		jobCh <- job
 	}
 	close(jobCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		res.Stats = mergeStats(anchorStats, jobStats, -1, 0)
+		return res, err
+	}
 	if slot, err := firstError(errs); err != nil {
 		res.Stats = mergeStats(anchorStats, jobStats, slot, jobs[slot].avail)
 		return res, err
@@ -212,8 +249,9 @@ func (p *Pipeline) runDecodedParallel(dec *codec.DecodeResult) (*Result, error) 
 
 // runDetectionParallel applies the same two-stage overlap to detection: the
 // detector stage rasterizes boxes into masks, the worker stage propagates
-// them through motion vectors (Sec III-B).
-func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector) (*DetectionResult, error) {
+// them through motion vectors (Sec III-B). Cancellation follows the
+// runDecodedParallel protocol.
+func (p *Pipeline) runDetectionParallel(ctx context.Context, dec *codec.DecodeResult, det BoxDetector) (*DetectionResult, error) {
 	res := &DetectionResult{
 		Detections: make([][]detect.Detection, len(dec.Types)),
 		Decode:     dec,
@@ -231,7 +269,16 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		next := 0
+		defer func() {
+			for ; next < len(done); next++ {
+				close(done[next])
+			}
+		}()
 		for i, d := range anchorOrder {
+			if ctx.Err() != nil {
+				return
+			}
 			t0 := p.Obs.Clock()
 			dets := det.Detect(dec.Frames[d], d)
 			p.Obs.Span(obs.StageNNL, d, byte(dec.Types[d]), t0)
@@ -239,6 +286,7 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 			anchorStats[i].NNLRuns++
 			boxMasks[d], boxScores[d] = anchorBoxMask(dets, dec.W, dec.H)
 			close(done[i])
+			next = i + 1
 		}
 	}()
 	nw := p.workers()
@@ -252,12 +300,18 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 				if job.avail > 0 {
 					<-done[job.avail-1]
 				}
+				if ctx.Err() != nil {
+					p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
+					continue
+				}
 				p.Obs.GaugeAdd(obs.GaugeWorkers, 1)
 				masks := make(map[int]*video.Mask, job.avail)
 				scores := make(map[int]float64, job.avail)
 				for _, a := range anchorOrder[:job.avail] {
-					masks[a] = boxMasks[a]
-					scores[a] = boxScores[a]
+					if m := boxMasks[a]; m != nil {
+						masks[a] = m
+						scores[a] = boxScores[a]
+					}
 				}
 				info := dec.Infos[job.d]
 				st := &jobStats[job.slot]
@@ -277,11 +331,18 @@ func (p *Pipeline) runDetectionParallel(dec *codec.DecodeResult, det BoxDetector
 		}()
 	}
 	for _, job := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
 		p.Obs.GaugeAdd(obs.GaugeJobQueue, 1)
 		jobCh <- job
 	}
 	close(jobCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		res.Stats = mergeStats(anchorStats, jobStats, -1, 0)
+		return res, err
+	}
 	if slot, err := firstError(errs); err != nil {
 		res.Stats = mergeStats(anchorStats, jobStats, slot, jobs[slot].avail)
 		return res, err
@@ -306,7 +367,12 @@ type streamItem struct {
 // snapshots of the reference window, and a re-serializing emitter delivers
 // results in decode order. Emitted masks, maxSegs accounting and error
 // selection are identical to the serial RunInstrumented.
-func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(MaskOut) error) (int, error) {
+//
+// Cancellation stops the decode loop; frames already submitted still flow
+// through the workers and the emitter (the emitted sequence stays a clean
+// decode-order prefix) before the normal shutdown drains every goroutine
+// and the call returns ctx.Err().
+func (p *StreamingPipeline) runInstrumentedParallel(ctx context.Context, stream []byte, emit func(MaskOut) error) (int, error) {
 	dec, err := codec.NewStreamDecoder(stream, codec.DecodeSideInfo)
 	if err != nil {
 		return 0, fmt.Errorf("core: stream decoder: %w", err)
@@ -383,6 +449,10 @@ func (p *StreamingPipeline) runInstrumentedParallel(stream []byte, emit func(Mas
 	pos := -1
 	var decErr error
 	for !stop.Load() {
+		if err := ctx.Err(); err != nil {
+			decErr = err
+			break
+		}
 		out, derr := dec.Next()
 		if derr != nil {
 			decErr = fmt.Errorf("core: decode: %w", derr)

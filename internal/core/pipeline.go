@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vrdann/internal/codec"
@@ -101,11 +102,19 @@ type Result struct {
 // identical for every worker count — while its masks are partial and
 // unspecified. Callers that only check err keep their existing behaviour.
 func (p *Pipeline) RunSegmentation(stream []byte) (*Result, error) {
+	return p.RunSegmentationContext(context.Background(), stream)
+}
+
+// RunSegmentationContext is RunSegmentation with cancellation: the context
+// is checked before every frame (serial) or decode step (parallel); a
+// cancelled run returns ctx.Err() after all its goroutines have drained.
+// The partial Result's masks and Stats are unspecified on cancellation.
+func (p *Pipeline) RunSegmentationContext(ctx context.Context, stream []byte) (*Result, error) {
 	dec, err := codec.DecodeObserved(stream, codec.DecodeSideInfo, p.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
-	return p.runDecoded(dec)
+	return p.runDecoded(ctx, dec)
 }
 
 // refiner builds the NN-S wrapper for one goroutine. The network is cloned
@@ -126,9 +135,9 @@ func (p *Pipeline) refiner(clone bool) *segment.Refiner {
 	return segment.NewRefiner(net)
 }
 
-func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
+func (p *Pipeline) runDecoded(ctx context.Context, dec *codec.DecodeResult) (*Result, error) {
 	if p.workers() > 1 {
-		return p.runDecodedParallel(dec)
+		return p.runDecodedParallel(ctx, dec)
 	}
 	res := &Result{
 		Masks:  make([]*video.Mask, len(dec.Types)),
@@ -138,6 +147,9 @@ func (p *Pipeline) runDecoded(dec *codec.DecodeResult) (*Result, error) {
 	refiner := p.refiner(false)
 	segs := make(map[int]*video.Mask) // anchor segmentations by display index
 	for _, d := range dec.Order {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		info := dec.Infos[d]
 		switch info.Type {
 		case codec.IFrame, codec.PFrame:
@@ -244,16 +256,22 @@ type DetectionResult struct {
 // returned result carries the serial decode-order prefix counters,
 // identical for every worker count.
 func (p *Pipeline) RunDetection(stream []byte, det BoxDetector) (*DetectionResult, error) {
+	return p.RunDetectionContext(context.Background(), stream, det)
+}
+
+// RunDetectionContext is RunDetection with cancellation, under the same
+// contract as RunSegmentationContext.
+func (p *Pipeline) RunDetectionContext(ctx context.Context, stream []byte, det BoxDetector) (*DetectionResult, error) {
 	dec, err := codec.DecodeObserved(stream, codec.DecodeSideInfo, p.Obs)
 	if err != nil {
 		return nil, fmt.Errorf("core: decode: %w", err)
 	}
-	return p.runDetectionDecoded(dec, det)
+	return p.runDetectionDecoded(ctx, dec, det)
 }
 
-func (p *Pipeline) runDetectionDecoded(dec *codec.DecodeResult, det BoxDetector) (*DetectionResult, error) {
+func (p *Pipeline) runDetectionDecoded(ctx context.Context, dec *codec.DecodeResult, det BoxDetector) (*DetectionResult, error) {
 	if p.workers() > 1 {
-		return p.runDetectionParallel(dec, det)
+		return p.runDetectionParallel(ctx, dec, det)
 	}
 	res := &DetectionResult{
 		Detections: make([][]detect.Detection, len(dec.Types)),
@@ -262,6 +280,9 @@ func (p *Pipeline) runDetectionDecoded(dec *codec.DecodeResult, det BoxDetector)
 	boxMasks := make(map[int]*video.Mask)
 	scores := make(map[int]float64)
 	for _, d := range dec.Order {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		info := dec.Infos[d]
 		if info.Type.IsAnchor() {
 			t0 := p.Obs.Clock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vrdann/internal/codec"
@@ -52,70 +53,48 @@ func (p *StreamingPipeline) Run(stream []byte, emit func(MaskOut) error) error {
 	return err
 }
 
+// RunContext is Run with cancellation: the context is checked before every
+// frame (serial mode) or every decode step (parallel mode), and a
+// cancelled run returns ctx.Err() after draining its goroutines — no
+// worker or emitter outlives the call.
+func (p *StreamingPipeline) RunContext(ctx context.Context, stream []byte, emit func(MaskOut) error) error {
+	_, err := p.RunInstrumentedContext(ctx, stream, emit)
+	return err
+}
+
 // RunInstrumented is Run plus working-set instrumentation; it reports the
 // maximum number of reference segmentations held at once.
 func (p *StreamingPipeline) RunInstrumented(stream []byte, emit func(MaskOut) error) (maxSegs int, err error) {
+	return p.RunInstrumentedContext(context.Background(), stream, emit)
+}
+
+// RunInstrumentedContext is RunInstrumented with cancellation plumbed down
+// to the per-frame loop. Frames emitted before the cancellation are a
+// prefix of the uncancelled run; in parallel mode, frames already in
+// flight when the context fires are still completed and emitted so the
+// emitted sequence remains a clean decode-order prefix.
+func (p *StreamingPipeline) RunInstrumentedContext(ctx context.Context, stream []byte, emit func(MaskOut) error) (maxSegs int, err error) {
 	if p.Workers > 1 {
-		return p.runInstrumentedParallel(stream, emit)
+		return p.runInstrumentedParallel(ctx, stream, emit)
 	}
 	dec, err := codec.NewStreamDecoder(stream, codec.DecodeSideInfo)
 	if err != nil {
 		return 0, fmt.Errorf("core: stream decoder: %w", err)
 	}
-	dec.SetObserver(p.Obs)
-	types := dec.Types()
-	lastUse := segLastUse(types, dec.Config())
-	segs := make(map[int]*video.Mask)
-	w, h := dec.Geometry()
-	refiner := p.pipeline().refiner(false)
-	pos := -1
+	e := p.NewEngine(dec)
 	for {
-		out, derr := dec.Next()
-		if derr != nil {
-			return maxSegs, fmt.Errorf("core: decode: %w", derr)
-		}
-		if out == nil {
-			return maxSegs, nil
-		}
-		pos++
-		var mask *video.Mask
-		switch out.Info.Type {
-		case codec.IFrame, codec.PFrame:
-			t0 := p.Obs.Clock()
-			mask = p.NNL.Segment(out.Pixels, out.Info.Display)
-			p.Obs.Span(obs.StageNNL, out.Info.Display, byte(out.Info.Type), t0)
-			segs[out.Info.Display] = mask
-		case codec.BFrame:
-			t0 := p.Obs.Clock()
-			rec, rerr := segment.Reconstruct(out.Info, segs, w, h, dec.Config().BlockSize)
-			p.Obs.Span(obs.StageReconstruct, out.Info.Display, byte(out.Info.Type), t0)
-			if rerr != nil {
-				return maxSegs, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
-			}
-			if refiner != nil {
-				prev, next := flankingAnchors(types, segs, out.Info.Display)
-				t1 := p.Obs.Clock()
-				mask = refiner.Refine(prev, rec, next)
-				p.Obs.Span(obs.StageRefine, out.Info.Display, byte(out.Info.Type), t1)
-			} else {
-				mask = rec.Binary()
-			}
-		}
-		if len(segs) > maxSegs {
-			maxSegs = len(segs)
-		}
-		p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(segs)))
-		t0 := p.Obs.Clock()
-		err := emit(MaskOut{Display: out.Info.Display, Type: out.Info.Type, Mask: mask})
-		p.Obs.Span(obs.StageEmit, out.Info.Display, byte(out.Info.Type), t0)
+		mo, err := e.Step(ctx)
 		if err != nil {
-			return maxSegs, err
+			return e.MaxSegs(), err
 		}
-		for d, last := range lastUse {
-			if last <= pos {
-				delete(segs, d)
-				delete(lastUse, d)
-			}
+		if mo == nil {
+			return e.MaxSegs(), nil
+		}
+		t0 := p.Obs.Clock()
+		err = emit(*mo)
+		p.Obs.Span(obs.StageEmit, mo.Display, byte(mo.Type), t0)
+		if err != nil {
+			return e.MaxSegs(), err
 		}
 	}
 }

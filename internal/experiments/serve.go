@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"vrdann/internal/segment"
+	"vrdann/internal/serve"
+	"vrdann/internal/video"
+)
+
+// ServeRow is one point of the multi-stream serving sweep: n concurrent
+// camera feeds driven closed-loop through one serve.Server sharing a
+// bounded worker pool.
+type ServeRow struct {
+	Streams          int     `json:"streams"`
+	Admitted         int     `json:"admitted"`
+	AdmissionRejects int     `json:"admissionRejects"`
+	QueueRejects     int     `json:"queueRejects"`
+	Frames           int     `json:"frames"`
+	Dropped          int     `json:"dropped"`
+	FPS              float64 `json:"fps"`          // aggregate served frames/s
+	PerStreamFPS     float64 `json:"perStreamFps"` // FPS / admitted streams
+	P50MS            float64 `json:"p50Ms"`        // chunk-arrival -> frame-served latency
+	P95MS            float64 `json:"p95Ms"`
+	P99MS            float64 `json:"p99Ms"`
+	DropPct          float64 `json:"dropPct"`
+}
+
+// serveCap is the admission limit of the swept server; the last sweep
+// point deliberately offers more streams than this to surface admission
+// behaviour in the series.
+const serveCap = 8
+
+// serveSweep is the offered-stream axis. The final point exceeds serveCap.
+var serveSweep = []int{1, 2, 4, 8, 12}
+
+// Serve sweeps concurrent stream counts through the serving layer and
+// reports sustained throughput, latency percentiles and shed/reject
+// counts. Each admitted stream plays one suite sequence as two chunks
+// (the second exercises the decoder-reuse path), segmented by its own
+// per-video NN-L oracle and refined by the shared NN-S; masks are
+// bit-identical to the standalone pipeline, so this series measures
+// scheduling, not arithmetic.
+func (h *Harness) Serve() ([]ServeRow, error) {
+	suite := h.Suite()
+	nns, err := h.NNS()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ServeRow, 0, len(serveSweep))
+	for _, n := range serveSweep {
+		// Open is called sequentially by the load generator, so a counter in
+		// the segmenter factory pairs session k with stream k and thus with
+		// its video's oracle.
+		opened := 0
+		videoFor := func(i int) *video.Video { return suite[i%len(suite)] }
+		cfg := serve.Config{
+			MaxSessions: serveCap,
+			Workers:     h.workers(),
+			NNS:         nns,
+			NewSegmenter: func(id string) segment.Segmenter {
+				v := videoFor(opened)
+				opened++
+				return h.nnlFor(v, "NN-L(FAVOS)", h.Cfg.FAVOSNoise, 3)
+			},
+		}
+		srv, err := serve.NewServer(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gen := &serve.LoadGen{
+			Server:  srv,
+			Streams: n,
+			Chunks: func(i int) [][]byte {
+				st, err := h.StreamFor(videoFor(i), h.Cfg.Enc)
+				if err != nil {
+					return nil
+				}
+				return [][]byte{st.Data, st.Data}
+			},
+		}
+		rep, err := gen.Run(context.Background())
+		if cerr := srv.Close(context.Background()); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ServeRow{
+			Streams:          n,
+			Admitted:         rep.Admitted,
+			AdmissionRejects: rep.AdmissionRejects,
+			QueueRejects:     rep.QueueRejects,
+			Frames:           rep.Frames,
+			Dropped:          rep.Dropped,
+			FPS:              rep.FPS,
+			PerStreamFPS:     rep.PerStreamFPS,
+			P50MS:            ms(rep.P50),
+			P95MS:            ms(rep.P95),
+			P99MS:            ms(rep.P99),
+			DropPct:          100 * rep.DropRate,
+		})
+	}
+	return rows, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }

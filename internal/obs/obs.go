@@ -48,7 +48,8 @@ const (
 	StageNNSConv1                  // NN-S conv layers (per-layer timing)
 	StageNNSConv2
 	StageNNSConv3
-	StageEmit // result emission / decode-order coalescing
+	StageEmit  // result emission / decode-order coalescing
+	StageServe // serving layer: chunk arrival -> frame result (includes queueing)
 
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
@@ -65,6 +66,7 @@ var stageNames = [NumStages]string{
 	"nn-s/conv2",
 	"nn-s/conv3",
 	"emit",
+	"serve/frame",
 }
 
 // String returns the stage's report name.
@@ -85,6 +87,8 @@ const (
 	GaugeEmitQueue              // frames awaiting decode-order emission
 	GaugeWorkers                // workers currently executing a B-frame job
 	GaugeRefWindow              // reference segmentations held in the window
+	GaugeSessions               // serving layer: admitted sessions
+	GaugePending                // serving layer: frames queued but not yet served
 
 	// NumGauges bounds the Gauge enum; keep it last.
 	NumGauges
@@ -95,6 +99,8 @@ var gaugeNames = [NumGauges]string{
 	"emit-queue",
 	"workers-busy",
 	"ref-window",
+	"sessions",
+	"pending-frames",
 }
 
 // String returns the gauge's report name.
@@ -115,6 +121,9 @@ const (
 	CounterBFrames                // B-frames decoded
 	CounterMVs                    // motion vectors extracted
 	CounterSpans                  // spans recorded (all stages)
+	CounterChunks                 // serving layer: bitstream chunks accepted
+	CounterDrops                  // serving layer: B-frames dropped past deadline
+	CounterRejects                // serving layer: admission + queue rejections
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -126,6 +135,9 @@ var counterNames = [NumCounters]string{
 	"b-frames",
 	"mvs",
 	"spans",
+	"chunks",
+	"drops",
+	"rejects",
 }
 
 // String returns the counter's report name.

@@ -10,15 +10,15 @@ import (
 
 // StageReport is the snapshot of one stage's latency distribution.
 type StageReport struct {
-	Name    string  `json:"name"`
-	Count   int64   `json:"count"`
-	TotalNS int64   `json:"totalNs"`
-	MinNS   int64   `json:"minNs"`
-	MaxNS   int64   `json:"maxNs"`
-	MeanNS  int64   `json:"meanNs"`
-	P50NS   int64   `json:"p50Ns"`
-	P95NS   int64   `json:"p95Ns"`
-	P99NS   int64   `json:"p99Ns"`
+	Name    string `json:"name"`
+	Count   int64  `json:"count"`
+	TotalNS int64  `json:"totalNs"`
+	MinNS   int64  `json:"minNs"`
+	MaxNS   int64  `json:"maxNs"`
+	MeanNS  int64  `json:"meanNs"`
+	P50NS   int64  `json:"p50Ns"`
+	P95NS   int64  `json:"p95Ns"`
+	P99NS   int64  `json:"p99Ns"`
 	// Occupancy is stage busy time over collector wall time. Stages running
 	// on several workers at once can exceed 1; nested stages (the NN-S conv
 	// breakdown inside "nn-s") overlap their parent by construction.

@@ -1,0 +1,81 @@
+package segment
+
+import "vrdann/internal/video"
+
+// ThresholdSegmenter is a self-contained, model-free NN-L stand-in for
+// deployments with no ground truth and no trained network (the vrserve
+// default): Otsu's threshold splits the luma histogram, the smaller-area
+// side is taken as foreground, and a morphological close plus
+// largest-component pass removes speckle. It is stateless and
+// deterministic, so it is safe to share across sessions and its output is
+// reproducible across runs — the property the serving layer's
+// bit-identical contract rests on.
+type ThresholdSegmenter struct {
+	// CloseRadius is the structuring radius of the despeckle close
+	// (0 disables it).
+	CloseRadius int
+}
+
+// Name implements Segmenter.
+func (s *ThresholdSegmenter) Name() string { return "threshold-otsu" }
+
+// Segment implements Segmenter.
+func (s *ThresholdSegmenter) Segment(f *video.Frame, _ int) *video.Mask {
+	var hist [256]int
+	for _, px := range f.Pix {
+		hist[px]++
+	}
+	th := otsu(hist[:], len(f.Pix))
+	m := video.NewMask(f.W, f.H)
+	fg := 0
+	for i, px := range f.Pix {
+		if int(px) > th {
+			m.Pix[i] = 1
+			fg++
+		}
+	}
+	// Foreground is the minority class: if the bright side dominates the
+	// frame, the object is the dark side.
+	if fg*2 > len(f.Pix) {
+		for i := range m.Pix {
+			m.Pix[i] ^= 1
+		}
+	}
+	if s.CloseRadius > 0 {
+		m = Close(m, s.CloseRadius)
+	}
+	return LargestComponent(m)
+}
+
+// otsu returns the threshold maximizing between-class variance over a
+// 256-bin histogram of total samples.
+func otsu(hist []int, total int) int {
+	if total == 0 {
+		return 127
+	}
+	var sum float64
+	for v, n := range hist {
+		sum += float64(v) * float64(n)
+	}
+	var sumB, wB float64
+	best, bestVar := 127, -1.0
+	for v, n := range hist {
+		wB += float64(n)
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(v) * float64(n)
+		mB := sumB / wB
+		mF := (sum - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > bestVar {
+			bestVar = between
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,54 @@
+package segment
+
+import (
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func TestThresholdSegmenterFindsBrightObject(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "th-test", W: 64, H: 48, Frames: 4, Seed: 3, Noise: 1.0,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 10, X: 30, Y: 24,
+			VX: 1, Intensity: 230, Foreground: true,
+		}},
+	})
+	s := &ThresholdSegmenter{CloseRadius: 1}
+	for d, f := range v.Frames {
+		m := s.Segment(f, d)
+		var sc SeqScore
+		sc.Add(m, v.Masks[d])
+		fScore, j := sc.Mean()
+		if j < 0.5 {
+			t.Fatalf("frame %d: region J = %.3f (F=%.3f), threshold segmenter lost the object", d, j, fScore)
+		}
+	}
+}
+
+func TestThresholdSegmenterDeterministic(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "th-det", W: 48, H: 32, Frames: 1, Seed: 9, Noise: 2,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 8, X: 20, Y: 16, Intensity: 220, Foreground: true,
+		}},
+	})
+	a := (&ThresholdSegmenter{CloseRadius: 1}).Segment(v.Frames[0], 0)
+	b := (&ThresholdSegmenter{CloseRadius: 1}).Segment(v.Frames[0], 0)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("two instances diverge on identical input")
+		}
+	}
+}
+
+func TestOtsuDegenerate(t *testing.T) {
+	if th := otsu(make([]int, 256), 0); th != 127 {
+		t.Fatalf("empty histogram threshold = %d", th)
+	}
+	hist := make([]int, 256)
+	hist[40] = 100
+	if th := otsu(hist, 100); th < 0 || th > 255 {
+		t.Fatalf("single-bin threshold = %d", th)
+	}
+}

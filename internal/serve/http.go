@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"vrdann/internal/vidio"
+)
+
+// maxChunkBytes bounds one POSTed bitstream chunk (a DoS guard, not a
+// protocol limit; the synthetic encoder stays far below it).
+const maxChunkBytes = 64 << 20
+
+// frameJSON is the wire form of one served frame.
+type frameJSON struct {
+	Display   int    `json:"display"`
+	Type      string `json:"type"`
+	Dropped   bool   `json:"dropped"`
+	LatencyNS int64  `json:"latencyNs"`
+	// Foreground is the mask's foreground pixel count — a cheap payload
+	// that lets clients sanity-check results without shipping pixels.
+	Foreground int `json:"foreground"`
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	POST   /v1/sessions                 open a session        -> {"id": ...}
+//	POST   /v1/sessions/{id}/chunks     serve one chunk       -> frame JSON
+//	       ?format=pgm                  ... or concatenated mask PGMs
+//	GET    /v1/sessions/{id}/metrics    per-session obs snapshot
+//	DELETE /v1/sessions/{id}            close (drain) the session
+//	GET    /healthz                     liveness + session count
+//	GET    /metrics                     server-wide obs snapshot
+//
+// Status mapping: 400 malformed chunk, 404 unknown session, 429 admission
+// or queue rejection, 503 draining server.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", srv.handleOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/chunks", srv.handleChunk)
+	mux.HandleFunc("GET /v1/sessions/{id}/metrics", srv.handleMetrics)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", srv.handleClose)
+	mux.HandleFunc("GET /healthz", srv.handleHealth)
+	mux.HandleFunc("GET /metrics", srv.handleServerMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrAdmission), errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrServerClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrSessionClosed):
+		status = http.StatusConflict
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (srv *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	s, err := srv.Open()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": s.ID})
+}
+
+func (srv *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	s, ok := srv.Session(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown session"})
+	}
+	return s, ok
+}
+
+func (srv *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.session(w, r)
+	if !ok {
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxChunkBytes+1))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(data) > maxChunkBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "chunk too large"})
+		return
+	}
+	c, err := s.Submit(r.Context(), data)
+	if err != nil {
+		var status int
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrServerClosed),
+			errors.Is(err, ErrSessionClosed):
+			writeError(w, err)
+			return
+		default:
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	res, err := c.Wait(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "pgm" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		for _, fr := range res {
+			if fr.Mask == nil {
+				continue
+			}
+			if err := vidio.WriteMaskPGM(w, fr.Mask); err != nil {
+				return // client gone mid-stream; nothing recoverable
+			}
+		}
+		return
+	}
+	frames := make([]frameJSON, len(res))
+	for i, fr := range res {
+		fj := frameJSON{
+			Display:   fr.Display,
+			Type:      fmt.Sprintf("%v", fr.Type),
+			Dropped:   fr.Dropped,
+			LatencyNS: int64(fr.Latency),
+		}
+		if fr.Mask != nil {
+			for _, px := range fr.Mask.Pix {
+				if px != 0 {
+					fj.Foreground++
+				}
+			}
+		}
+		frames[i] = fj
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"session": s.ID, "frames": frames})
+}
+
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.session(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (srv *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	s, ok := srv.session(w, r)
+	if !ok {
+		return
+	}
+	s.Close()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sessions": srv.SessionCount(),
+	})
+}
+
+func (srv *Server) handleServerMetrics(w http.ResponseWriter, r *http.Request) {
+	rep := srv.cfg.Obs.Snapshot()
+	if rep == nil {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "no server collector configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}

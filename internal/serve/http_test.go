@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+type chunkResponse struct {
+	Session string      `json:"session"`
+	Frames  []frameJSON `json:"frames"`
+}
+
+func TestHTTPServeFlow(t *testing.T) {
+	v := makeTestVideo(12, 1.5)
+	chunk := encodeTestVideo(t, v)
+	srv, err := NewServer(Config{MaxSessions: 2, Workers: 2, NewSegmenter: oracleFor(v)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	post := func(path string, body []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Open a session.
+	resp := post("/v1/sessions", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("open: status %d", resp.StatusCode)
+	}
+	var open struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if open.ID == "" {
+		t.Fatal("open returned empty session id")
+	}
+
+	// Serve a chunk, JSON response.
+	resp = post("/v1/sessions/"+open.ID+"/chunks", chunk)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk: status %d", resp.StatusCode)
+	}
+	var cr chunkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(cr.Frames) != 12 {
+		t.Fatalf("served %d frames over HTTP, want 12", len(cr.Frames))
+	}
+	for i, fr := range cr.Frames {
+		if fr.Display != i {
+			t.Fatalf("frame %d: display %d (not display order)", i, fr.Display)
+		}
+		if fr.Dropped || fr.Foreground == 0 {
+			t.Fatalf("frame %d: dropped=%v foreground=%d", i, fr.Dropped, fr.Foreground)
+		}
+	}
+
+	// PGM masks for a second chunk (covers the decoder Reset path over HTTP).
+	resp = post("/v1/sessions/"+open.ID+"/chunks?format=pgm", chunk)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pgm chunk: status %d", resp.StatusCode)
+	}
+	var pgm bytes.Buffer
+	if _, err := pgm.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := bytes.Count(pgm.Bytes(), []byte("P5\n")); got != 12 {
+		t.Fatalf("PGM response holds %d masks, want 12", got)
+	}
+
+	// Per-session metrics.
+	mresp, err := http.Get(ts.URL + "/v1/sessions/" + open.ID + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Stages   []struct{ Name string } `json:"stages"`
+		Counters map[string]int64        `json:"counters"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if metrics.Counters["chunks"] != 2 {
+		t.Fatalf("metrics chunks = %d", metrics.Counters["chunks"])
+	}
+	sawServe := false
+	for _, st := range metrics.Stages {
+		if st.Name == "serve/frame" {
+			sawServe = true
+		}
+	}
+	if !sawServe {
+		t.Fatal("metrics missing serve/frame stage")
+	}
+
+	// Health.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if health.Status != "ok" || health.Sessions != 1 {
+		t.Fatalf("health = %+v", health)
+	}
+
+	// Close the session; a further chunk must 409.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+open.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d", dresp.StatusCode)
+	}
+	resp = post("/v1/sessions/"+open.ID+"/chunks", chunk)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("chunk on closed session: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	v := makeTestVideo(8, 1)
+	chunk := encodeTestVideo(t, v)
+	srv, err := NewServer(Config{MaxSessions: 1, Workers: 1, NewSegmenter: oracleFor(v)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	// Unknown session -> 404.
+	resp, err := http.Post(ts.URL+"/v1/sessions/nope/chunks", "application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d", resp.StatusCode)
+	}
+
+	// Fill the admission cap -> 429 on the next open.
+	resp, err = http.Post(ts.URL+"/v1/sessions", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/v1/sessions", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap open: status %d", resp.StatusCode)
+	}
+
+	// Malformed chunk -> 400.
+	resp, err = http.Post(ts.URL+fmt.Sprintf("/v1/sessions/%s/chunks", open.ID),
+		"application/octet-stream", bytes.NewReader([]byte{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed chunk: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadGen drives a Server with synthetic multi-stream traffic, closed- or
+// open-loop, and reports the sustained throughput, latency percentiles,
+// drop rate and rejection counts a capacity plan needs.
+type LoadGen struct {
+	Server *Server
+	// Streams is how many sessions the generator tries to open; those past
+	// the server's admission cap are counted as AdmissionRejects.
+	Streams int
+	// Chunks supplies the bitstream chunks for one stream, in submission
+	// order. Called once per admitted stream.
+	Chunks func(stream int) [][]byte
+	// Interval selects the loop mode. Zero is closed-loop: each chunk is
+	// submitted when the previous one finishes (throughput-bound). Positive
+	// is open-loop: chunks are submitted on the fixed interval regardless
+	// of completion (arrival-rate-bound), and all tickets are awaited at
+	// the end.
+	Interval time.Duration
+	// OnSession, when non-nil, observes each admitted session before any
+	// chunk is submitted (tests use it to keep references for post-run
+	// metric assertions).
+	OnSession func(stream int, s *Session)
+	// OnResult, when non-nil, observes every served frame.
+	OnResult func(stream int, r FrameResult)
+}
+
+// StreamReport is the per-stream slice of a load run.
+type StreamReport struct {
+	Stream   int     `json:"stream"`
+	Admitted bool    `json:"admitted"`
+	Frames   int     `json:"frames"`
+	Dropped  int     `json:"dropped"`
+	FPS      float64 `json:"fps"`
+	Err      string  `json:"err,omitempty"`
+}
+
+// LoadReport aggregates one load run.
+type LoadReport struct {
+	Streams          int            `json:"streams"`
+	Admitted         int            `json:"admitted"`
+	AdmissionRejects int            `json:"admissionRejects"`
+	QueueRejects     int            `json:"queueRejects"`
+	Frames           int            `json:"frames"`  // frames served (dropped included)
+	Dropped          int            `json:"dropped"` // frames shed by the deadline policy
+	Elapsed          time.Duration  `json:"elapsedNs"`
+	FPS              float64        `json:"fps"`          // total served frames / elapsed
+	PerStreamFPS     float64        `json:"perStreamFps"` // FPS / admitted streams
+	P50              time.Duration  `json:"p50Ns"`        // per-frame latency percentiles
+	P95              time.Duration  `json:"p95Ns"`
+	P99              time.Duration  `json:"p99Ns"`
+	DropRate         float64        `json:"dropRate"`
+	PerStream        []StreamReport `json:"perStream"`
+}
+
+// Run opens the streams, pushes every chunk through the server and blocks
+// until all admitted streams finish. The returned report covers only this
+// run. An error is returned for harness misuse (no server, no chunks);
+// per-stream serving failures are reported in PerStream, not as an error.
+func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
+	if g.Server == nil || g.Chunks == nil {
+		return nil, errors.New("serve: LoadGen needs Server and Chunks")
+	}
+	rep := &LoadReport{Streams: g.Streams, PerStream: make([]StreamReport, g.Streams)}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	record := func(stream int, res []FrameResult) {
+		mu.Lock()
+		sr := &rep.PerStream[stream]
+		for _, r := range res {
+			sr.Frames++
+			if r.Dropped {
+				sr.Dropped++
+			}
+			latencies = append(latencies, r.Latency)
+		}
+		mu.Unlock()
+		if g.OnResult != nil {
+			for _, r := range res {
+				g.OnResult(stream, r)
+			}
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < g.Streams; i++ {
+		sr := &rep.PerStream[i]
+		sr.Stream = i
+		s, err := g.Server.Open()
+		if err != nil {
+			sr.Err = err.Error()
+			if errors.Is(err, ErrAdmission) {
+				rep.AdmissionRejects++
+			}
+			continue
+		}
+		sr.Admitted = true
+		rep.Admitted++
+		if g.OnSession != nil {
+			g.OnSession(i, s)
+		}
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			defer s.Close()
+			t0 := time.Now()
+			err := g.driveStream(ctx, i, s, record)
+			mu.Lock()
+			sr := &rep.PerStream[i]
+			if err != nil && sr.Err == "" {
+				sr.Err = err.Error()
+			}
+			if el := time.Since(t0).Seconds(); el > 0 {
+				sr.FPS = float64(sr.Frames) / el
+			}
+			mu.Unlock()
+		}(i, s)
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	for i := range rep.PerStream {
+		sr := &rep.PerStream[i]
+		rep.Frames += sr.Frames
+		rep.Dropped += sr.Dropped
+	}
+	rep.QueueRejects = countQueueRejects(rep.PerStream)
+	mu.Lock()
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	rep.P50 = pct(latencies, 0.50)
+	rep.P95 = pct(latencies, 0.95)
+	rep.P99 = pct(latencies, 0.99)
+	mu.Unlock()
+	if s := rep.Elapsed.Seconds(); s > 0 {
+		rep.FPS = float64(rep.Frames) / s
+		if rep.Admitted > 0 {
+			rep.PerStreamFPS = rep.FPS / float64(rep.Admitted)
+		}
+	}
+	if rep.Frames > 0 {
+		rep.DropRate = float64(rep.Dropped) / float64(rep.Frames)
+	}
+	return rep, nil
+}
+
+// driveStream pushes one stream's chunks, closed- or open-loop.
+func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
+	record func(int, []FrameResult)) error {
+	chunks := g.Chunks(i)
+	if g.Interval <= 0 {
+		// Closed loop: next submission gated on completion.
+		for _, data := range chunks {
+			c, err := s.Submit(ctx, data)
+			if err != nil {
+				return err
+			}
+			res, err := c.Wait(ctx)
+			record(i, res)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Open loop: submissions paced by the interval, awaited at the end.
+	var tickets []*Chunk
+	var firstErr error
+	tick := time.NewTicker(g.Interval)
+	defer tick.Stop()
+	for n, data := range chunks {
+		if n > 0 {
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				firstErr = ctx.Err()
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+		c, err := s.Submit(ctx, data)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		tickets = append(tickets, c)
+	}
+	for _, c := range tickets {
+		res, err := c.Wait(ctx)
+		record(i, res)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// countQueueRejects counts streams that ended on a queue-full rejection.
+func countQueueRejects(prs []StreamReport) int {
+	n := 0
+	for _, sr := range prs {
+		if sr.Err == ErrQueueFull.Error() {
+			n++
+		}
+	}
+	return n
+}
+
+// pct indexes a sorted latency slice at quantile q.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

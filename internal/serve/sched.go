@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/obs"
+)
+
+// worker is one lane of the shared compute budget. Each dispatch serves
+// exactly one frame of one session and re-queues the session behind every
+// other runnable one, so N active streams each get ~1/N of the pool —
+// per-stream fairness by construction, with no per-session threads.
+func (srv *Server) worker() {
+	defer srv.wg.Done()
+	for s := range srv.runq {
+		s.stepOnce()
+	}
+}
+
+// stepOnce serves one frame of the session's current chunk (starting the
+// next queued chunk if none is in flight), then re-queues the session if
+// work remains or retires it if it is draining and empty.
+func (s *Session) stepOnce() {
+	srv := s.srv
+	srv.mu.Lock()
+	s.queued = false
+	if s.cur == nil {
+		if len(s.queue) == 0 {
+			s.maybeRetireLocked()
+			srv.mu.Unlock()
+			return
+		}
+		s.cur = s.queue[0]
+		s.queue = s.queue[1:]
+	}
+	cur := s.cur
+	s.running = true
+	srv.mu.Unlock()
+
+	finished, err := s.serveOneFrame(cur)
+
+	srv.mu.Lock()
+	s.running = false
+	if finished || err != nil {
+		s.completeLocked(cur, err)
+	}
+	if s.cur != nil || len(s.queue) > 0 {
+		s.scheduleLocked()
+	} else {
+		s.maybeRetireLocked()
+	}
+	srv.mu.Unlock()
+}
+
+// serveOneFrame advances the session's engine by one frame. Only the
+// worker currently holding s.running executes this, so the decoder/engine
+// state needs no lock.
+func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
+	if s.eng == nil {
+		if s.dec == nil {
+			s.dec, err = codec.NewStreamDecoder(cur.data, codec.DecodeSideInfo)
+		} else {
+			err = s.dec.Reset(cur.data)
+		}
+		if err != nil {
+			return false, err
+		}
+		s.eng = s.pipe.NewEngine(s.dec)
+	}
+	budget := s.srv.cfg.FrameBudget
+	drop := func(codec.FrameInfo) bool {
+		return budget > 0 && time.Since(cur.arrived) > budget
+	}
+	mo, err := s.eng.StepFunc(s.srv.ctx, drop)
+	if err != nil {
+		return false, err
+	}
+	if mo == nil {
+		// Exhausted with fewer delivered frames than the header promised
+		// cannot happen on a validated chunk; treat defensively as done.
+		return true, nil
+	}
+	r := FrameResult{
+		Display: s.base + mo.Display,
+		Type:    mo.Type,
+		Mask:    mo.Mask,
+		Dropped: mo.Type == codec.BFrame && mo.Mask == nil,
+		Latency: time.Since(cur.arrived),
+	}
+	if r.Dropped {
+		s.obs.Count(obs.CounterDrops, 1)
+		s.srv.cfg.Obs.Count(obs.CounterDrops, 1)
+	}
+	s.obs.Span(obs.StageServe, r.Display, byte(r.Type), cur.arrT)
+	cur.results = append(cur.results, r)
+	return s.eng.Remaining() == 0, nil
+}

@@ -1,0 +1,240 @@
+// Package serve is the multi-stream serving layer over the VR-DANN
+// pipeline: the software counterpart of one accelerator board multiplexing
+// many camera feeds. The paper's agent unit (Sec IV) keeps a single stream
+// real-time; decoder-assisted analytics only pays for itself when many
+// concurrent streams share that unit, so this package adds the three things
+// a shared accelerator needs and the single-stream pipeline does not have —
+// a session registry (per-stream decoder + pipeline state with the pruned
+// reference window), admission control (bounded concurrent streams and
+// per-stream frame queues with an explicit reject-vs-wait policy), and a
+// shared scheduler that multiplexes every admitted session onto one bounded
+// worker budget, one frame per dispatch, so streams progress round-robin
+// and no session can starve the others.
+//
+// Serving is built on core.StreamEngine, the same frame-step code the
+// serial single-stream loop runs, so a mask served under full multi-stream
+// load is bit-identical to the same frame in a standalone run — the
+// serving layer adds scheduling, never arithmetic.
+//
+// Under overload the scheduler sheds load the way the paper's deadline
+// analysis (Sec VI, the 33 ms frame budget) prescribes: B-frames past
+// their per-chunk budget are dropped (their bitstream side info is still
+// consumed; the entropy coder must advance), while I/P anchors are always
+// computed — they are the references every later frame depends on.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"vrdann/internal/core"
+	"vrdann/internal/nn"
+	"vrdann/internal/obs"
+	"vrdann/internal/par"
+	"vrdann/internal/segment"
+)
+
+// Admission and lifecycle errors.
+var (
+	// ErrAdmission rejects a new session: the server is at MaxSessions.
+	ErrAdmission = errors.New("serve: session limit reached")
+	// ErrQueueFull rejects a chunk under the Reject policy: the session's
+	// frame queue cannot take it.
+	ErrQueueFull = errors.New("serve: session frame queue full")
+	// ErrServerClosed rejects work on a draining or closed server.
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrSessionClosed rejects chunks submitted to a closed session.
+	ErrSessionClosed = errors.New("serve: session closed")
+)
+
+// OverflowPolicy selects what Submit does when a session's frame queue is
+// full.
+type OverflowPolicy int
+
+const (
+	// Reject fails the Submit with ErrQueueFull immediately (shed at the
+	// edge; the caller decides whether to retry).
+	Reject OverflowPolicy = iota
+	// Wait blocks the Submit until queue space frees or its context fires
+	// (backpressure propagates to the producer).
+	Wait
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxSessions bounds concurrently admitted sessions; Open past the
+	// bound returns ErrAdmission. Default 16.
+	MaxSessions int
+	// MaxQueuedFrames bounds, per session, the frames admitted but not yet
+	// served. A chunk that would exceed the bound is rejected or waits per
+	// Policy — except when the session is empty, where one oversized chunk
+	// is always accepted (otherwise a chunk larger than the bound could
+	// never be served). Default 256.
+	MaxQueuedFrames int
+	// Workers is the shared worker budget every session is multiplexed
+	// onto. Default: one per available CPU.
+	Workers int
+	// Policy selects reject-vs-wait when a session queue is full.
+	Policy OverflowPolicy
+	// FrameBudget is the deadline-based drop policy: when a chunk has been
+	// in the server longer than this, its remaining B-frames are dropped
+	// (anchors are always computed). Zero disables dropping — the
+	// offline/archival mode.
+	FrameBudget time.Duration
+	// NewSegmenter builds the NN-L for one session. Required. Called once
+	// per Open with the session id; per-session segmenters let every
+	// stream carry its own model state.
+	NewSegmenter func(id string) segment.Segmenter
+	// NNS, when non-nil, enables NN-S refinement of reconstructed B-frames.
+	// Each session clones it, so one trained network serves all streams.
+	NNS *nn.RefineNet
+	// Obs, when non-nil, aggregates server-wide counters and gauges
+	// (sessions, pending frames, chunks, drops, rejects). Each session
+	// additionally always has its own collector.
+	Obs *obs.Collector
+}
+
+// withDefaults resolves unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.MaxQueuedFrames <= 0 {
+		c.MaxQueuedFrames = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = par.EffectiveWorkers(runtime.GOMAXPROCS(0))
+	}
+	return c
+}
+
+// Server multiplexes many video-stream sessions onto one bounded worker
+// pool. All methods are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	// runq carries sessions with work to the workers. Capacity MaxSessions
+	// plus the one-entry-per-session invariant (Session.queued) makes every
+	// send non-blocking under srv.mu.
+	runq chan *Session
+
+	mu       sync.Mutex
+	cond     *sync.Cond // work retired, queue space freed, session retired
+	sessions map[string]*Session
+	nextID   int
+	draining bool
+}
+
+// NewServer starts a server and its worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.NewSegmenter == nil {
+		return nil, errors.New("serve: Config.NewSegmenter is required")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	srv := &Server{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		runq:     make(chan *Session, cfg.MaxSessions),
+		sessions: make(map[string]*Session),
+	}
+	srv.cond = sync.NewCond(&srv.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		srv.wg.Add(1)
+		go srv.worker()
+	}
+	return srv, nil
+}
+
+// Open admits a new session, or returns ErrAdmission at the session cap
+// and ErrServerClosed on a draining server.
+func (srv *Server) Open() (*Session, error) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.draining {
+		return nil, ErrServerClosed
+	}
+	if len(srv.sessions) >= srv.cfg.MaxSessions {
+		srv.cfg.Obs.Count(obs.CounterRejects, 1)
+		return nil, ErrAdmission
+	}
+	srv.nextID++
+	id := fmt.Sprintf("s%04d", srv.nextID)
+	col := obs.New()
+	s := &Session{ID: id, srv: srv, obs: col, state: stateActive}
+	s.pipe = &core.StreamingPipeline{
+		NNL:     srv.cfg.NewSegmenter(id),
+		NNS:     srv.cfg.NNS,
+		Refine:  srv.cfg.NNS != nil,
+		Workers: 1, // the shared pool is the parallelism; engines stay serial
+		Obs:     col,
+	}
+	srv.sessions[id] = s
+	srv.cfg.Obs.GaugeSet(obs.GaugeSessions, int64(len(srv.sessions)))
+	return s, nil
+}
+
+// Session looks up an admitted session by id.
+func (srv *Server) Session(id string) (*Session, bool) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	s, ok := srv.sessions[id]
+	return s, ok
+}
+
+// SessionCount reports the number of admitted sessions.
+func (srv *Server) SessionCount() int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	return len(srv.sessions)
+}
+
+// Obs returns the server-wide collector (nil if none was configured).
+func (srv *Server) Obs() *obs.Collector { return srv.cfg.Obs }
+
+// Close drains the server: no new sessions or chunks are admitted, every
+// queued chunk is served, sessions retire as they empty, and the worker
+// pool exits. If ctx fires first, in-flight work is cancelled — pending
+// chunks fail with the context error, the drain still completes cleanly
+// (no goroutine outlives Close), and ctx.Err() is returned.
+func (srv *Server) Close(ctx context.Context) error {
+	srv.mu.Lock()
+	if srv.draining {
+		srv.mu.Unlock()
+		return ErrServerClosed
+	}
+	srv.draining = true
+	for _, s := range srv.sessions {
+		if s.state == stateActive {
+			s.state = stateDraining
+		}
+		s.maybeRetireLocked()
+	}
+	// A fired deadline converts the graceful drain into a forced one: the
+	// server context makes every remaining engine step fail fast, chunks
+	// complete exceptionally, sessions retire, and the wait below returns.
+	stopForce := context.AfterFunc(ctx, func() {
+		srv.cancel()
+		srv.mu.Lock()
+		srv.cond.Broadcast()
+		srv.mu.Unlock()
+	})
+	defer stopForce()
+	for len(srv.sessions) > 0 {
+		srv.cond.Wait()
+	}
+	srv.mu.Unlock()
+	// No sessions remain and none can be admitted, so nothing can enqueue:
+	// closing the run queue releases the workers.
+	close(srv.runq)
+	srv.wg.Wait()
+	srv.cancel()
+	return ctx.Err()
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/core"
+	"vrdann/internal/obs"
+	"vrdann/internal/video"
+)
+
+// sessionState is the session lifecycle: Active accepts chunks, Draining
+// serves what it has and then retires, Closed is retired.
+type sessionState int
+
+const (
+	stateActive sessionState = iota
+	stateDraining
+	stateClosed
+)
+
+// FrameResult is one served frame. Display counts from the start of the
+// session (chunk frame counts accumulate), so a session is addressable as
+// one continuous stream across chunk boundaries.
+type FrameResult struct {
+	Display int
+	Type    codec.FrameType
+	// Mask is the frame's segmentation; nil when the frame was dropped.
+	Mask    *video.Mask
+	Dropped bool
+	// Latency is chunk arrival to frame completion — queueing included,
+	// which is the number a serving SLA is written against.
+	Latency time.Duration
+}
+
+// Chunk is the ticket for one submitted bitstream chunk.
+type Chunk struct {
+	frames  int
+	arrived time.Time
+	arrT    time.Duration // session collector clock token at arrival
+
+	data    []byte
+	results []FrameResult // decode order while serving; display order at completion
+	err     error
+	done    chan struct{}
+}
+
+// Frames reports how many frames the chunk carries.
+func (c *Chunk) Frames() int { return c.frames }
+
+// Wait blocks until the chunk is fully served (or failed) or ctx fires.
+// On success the results are in display order.
+func (c *Chunk) Wait(ctx context.Context) ([]FrameResult, error) {
+	select {
+	case <-c.done:
+		return c.results, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Session is one admitted video stream: its decoder, its streaming-pipeline
+// state (reference window, refiner), its frame queue and its metrics
+// collector. Chunks submitted to a session are served strictly in order.
+type Session struct {
+	ID  string
+	srv *Server
+	obs *obs.Collector // per-session collector; never nil
+
+	pipe *core.StreamingPipeline
+
+	// Guarded by srv.mu.
+	state   sessionState
+	w, h    int      // geometry pinned by the first chunk
+	queue   []*Chunk // submitted, not yet started
+	cur     *Chunk   // chunk being served
+	pending int      // frames admitted but not yet resolved
+	queued  bool     // session is in srv.runq
+	running bool     // a worker is stepping this session
+
+	// Worker-only state: touched exclusively by the goroutine that holds
+	// running, so it needs no lock. The decoder is allocated once and Reset
+	// per chunk — the long-lived-session path of codec.StreamDecoder.
+	dec  *codec.StreamDecoder
+	eng  *core.StreamEngine
+	base int // display offset of cur: frames resolved in earlier chunks
+}
+
+// Metrics snapshots the session's collector: per-stage latency histograms
+// (nn-l, reconstruct, nn-s, serve/frame), gauges and counters.
+func (s *Session) Metrics() *obs.Report { return s.obs.Snapshot() }
+
+// Submit queues one independently encoded, GOP-aligned bitstream chunk.
+// The header is validated up front (malformed chunks never enter the
+// queue) and the frame count is charged against the session's queue bound:
+// past it, Submit rejects (Reject policy) or blocks for space (Wait
+// policy). The returned ticket resolves when every frame of the chunk has
+// been served or dropped.
+func (s *Session) Submit(ctx context.Context, data []byte) (*Chunk, error) {
+	info, err := codec.ProbeStream(data)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad chunk: %w", err)
+	}
+	srv := s.srv
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if s.w == 0 && s.h == 0 {
+		s.w, s.h = info.W, info.H
+	} else if info.W != s.w || info.H != s.h {
+		return nil, fmt.Errorf("serve: chunk geometry %dx%d differs from session %dx%d",
+			info.W, info.H, s.w, s.h)
+	}
+	var stopWake func() bool
+	for {
+		if srv.draining {
+			return nil, ErrServerClosed
+		}
+		if s.state != stateActive {
+			return nil, ErrSessionClosed
+		}
+		// An empty session always accepts one chunk, even oversized —
+		// otherwise a chunk larger than the bound could never be served.
+		if s.pending == 0 || s.pending+info.Frames <= srv.cfg.MaxQueuedFrames {
+			break
+		}
+		if srv.cfg.Policy == Reject {
+			s.obs.Count(obs.CounterRejects, 1)
+			srv.cfg.Obs.Count(obs.CounterRejects, 1)
+			return nil, ErrQueueFull
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if stopWake == nil {
+			stopWake = context.AfterFunc(ctx, func() {
+				srv.mu.Lock()
+				srv.cond.Broadcast()
+				srv.mu.Unlock()
+			})
+			defer stopWake()
+		}
+		srv.cond.Wait()
+	}
+	c := &Chunk{
+		frames:  info.Frames,
+		arrived: time.Now(),
+		arrT:    s.obs.Clock(),
+		data:    data,
+		done:    make(chan struct{}),
+	}
+	s.pending += info.Frames
+	s.queue = append(s.queue, c)
+	s.obs.Count(obs.CounterChunks, 1)
+	srv.cfg.Obs.Count(obs.CounterChunks, 1)
+	s.obs.GaugeSet(obs.GaugePending, int64(s.pending))
+	srv.cfg.Obs.GaugeAdd(obs.GaugePending, int64(info.Frames))
+	s.scheduleLocked()
+	return c, nil
+}
+
+// Close stops accepting chunks; already-queued work is still served, after
+// which the session retires from the server. Idempotent.
+func (s *Session) Close() {
+	s.srv.mu.Lock()
+	defer s.srv.mu.Unlock()
+	if s.state == stateActive {
+		s.state = stateDraining
+	}
+	s.maybeRetireLocked()
+}
+
+// scheduleLocked puts the session on the run queue unless it is already
+// there or a worker is stepping it (that worker re-schedules on exit).
+// Caller holds srv.mu.
+func (s *Session) scheduleLocked() {
+	if s.queued || s.running || s.state == stateClosed {
+		return
+	}
+	s.queued = true
+	s.srv.runq <- s
+}
+
+// maybeRetireLocked removes a fully drained session from the server.
+// Caller holds srv.mu.
+func (s *Session) maybeRetireLocked() {
+	if s.state != stateDraining || s.running || s.cur != nil || len(s.queue) > 0 {
+		return
+	}
+	s.state = stateClosed
+	delete(s.srv.sessions, s.ID)
+	s.srv.cfg.Obs.GaugeSet(obs.GaugeSessions, int64(len(s.srv.sessions)))
+	s.srv.cond.Broadcast()
+}
+
+// completeLocked retires the chunk being served: results are re-sequenced
+// into display order, accounting is settled, and the ticket resolves.
+// Caller holds srv.mu.
+func (s *Session) completeLocked(c *Chunk, err error) {
+	c.err = err
+	sort.Slice(c.results, func(i, j int) bool { return c.results[i].Display < c.results[j].Display })
+	s.pending -= c.frames
+	s.obs.GaugeSet(obs.GaugePending, int64(s.pending))
+	s.srv.cfg.Obs.GaugeAdd(obs.GaugePending, -int64(c.frames))
+	s.base += c.frames
+	s.cur = nil
+	s.eng = nil
+	close(c.done)
+	// Queue space freed: wake Wait-policy submitters (and the drain loop).
+	s.srv.cond.Broadcast()
+}

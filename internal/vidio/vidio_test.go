@@ -222,3 +222,111 @@ func TestSequencePSNR(t *testing.T) {
 		t.Fatal("empty sequence must be 0")
 	}
 }
+
+func TestWriteY4MEmptyVideo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, &video.Video{}); err == nil {
+		t.Fatal("empty video must not encode")
+	}
+}
+
+func TestY4MCustomFPSRoundTrip(t *testing.T) {
+	v := video.Generate(video.SceneSpec{
+		Name: "fps", W: 16, H: 8, Frames: 2, Seed: 1,
+		Objects: []video.ObjectSpec{{Shape: video.ShapeBox, Radius: 3, X: 8, Y: 4, Intensity: 180, Foreground: true}},
+	})
+	v.FPS = 30
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(" F30:1 ")) {
+		t.Fatalf("header lacks F30:1: %q", bytes.SplitN(buf.Bytes(), []byte("\n"), 2)[0])
+	}
+	got, err := ReadY4M(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != 30 {
+		t.Fatalf("FPS = %d, want 30", got.FPS)
+	}
+}
+
+func TestY4MFPSDefaultsWhenUnset(t *testing.T) {
+	// Writer substitutes 25 for an unset rate; an absent F tag parses as 0.
+	v := video.Generate(video.SceneSpec{
+		Name: "nofps", W: 8, H: 8, Frames: 1, Seed: 2,
+		Objects: []video.ObjectSpec{{Shape: video.ShapeDisk, Radius: 2, X: 4, Y: 4, Intensity: 150, Foreground: true}},
+	})
+	v.FPS = 0
+	var buf bytes.Buffer
+	if err := WriteY4M(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(" F25:1 ")) {
+		t.Fatal("unset FPS must be written as 25")
+	}
+	data := "YUV4MPEG2 W2 H2 Cmono\nFRAME\n\x01\x02\x03\x04"
+	got, err := ReadY4M(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FPS != 0 || got.Len() != 1 {
+		t.Fatalf("FPS=%d len=%d", got.FPS, got.Len())
+	}
+}
+
+func TestY4MBadFrameMarker(t *testing.T) {
+	data := "YUV4MPEG2 W2 H2 F25:1 Cmono\nFRAMING\n\x01\x02\x03\x04"
+	if _, err := ReadY4M(strings.NewReader(data)); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestMaskPGMThreshold(t *testing.T) {
+	// ReadMaskPGM binarizes at 128: gray imports (e.g. from tools that
+	// anti-alias) must split deterministically.
+	data := "P5\n4 1\n255\n" + string([]byte{0, 127, 128, 255})
+	m, err := ReadMaskPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{0, 0, 1, 1}
+	for i, w := range want {
+		if m.Pix[i] != w {
+			t.Fatalf("pixel %d = %d, want %d (threshold at 128)", i, m.Pix[i], w)
+		}
+	}
+}
+
+func TestOverlayFullFrameMask(t *testing.T) {
+	// An all-foreground mask has its boundary on the frame edge (out-of-
+	// bounds mask reads are background) and an untouched interior.
+	f := video.NewFrame(4, 4)
+	for i := range f.Pix {
+		f.Pix[i] = 80
+	}
+	m := video.NewMask(4, 4)
+	for i := range m.Pix {
+		m.Pix[i] = 1
+	}
+	o := Overlay(f, m)
+	if o.At(0, 0) != 255 || o.At(3, 3) != 255 {
+		t.Fatalf("frame-edge boundary not marked: %d %d", o.At(0, 0), o.At(3, 3))
+	}
+	if o.At(1, 1) != 80 || o.At(2, 2) != 80 {
+		t.Fatalf("interior altered: %d %d", o.At(1, 1), o.At(2, 2))
+	}
+	// The input frame must not be mutated.
+	if f.At(0, 0) != 80 {
+		t.Fatal("Overlay mutated its input")
+	}
+}
+
+func TestPGMTrailingTokenAtEOF(t *testing.T) {
+	// A header token terminated by EOF rather than whitespace still parses
+	// (pgmToken's EOF path) — the pixel read then reports truncation.
+	if _, err := ReadPGM(strings.NewReader("P5")); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}

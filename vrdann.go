@@ -43,6 +43,7 @@ import (
 	"vrdann/internal/nn"
 	"vrdann/internal/obs"
 	"vrdann/internal/segment"
+	"vrdann/internal/serve"
 	"vrdann/internal/sim"
 	"vrdann/internal/video"
 	"vrdann/internal/vidio"
@@ -155,6 +156,46 @@ func WithObserver(c *Collector) PipelineOption { return core.WithObserver(c) }
 func DisplayOrderEmit(emit func(MaskOut) error) func(MaskOut) error {
 	return core.DisplayOrder(emit)
 }
+
+// Serving types: the multi-stream layer multiplexing many camera feeds
+// onto one shared worker pool (the software counterpart of one accelerator
+// board serving several streams).
+type (
+	// Server admits stream sessions, schedules them fairly on a bounded
+	// worker pool, and serves masks bit-identical to a standalone run.
+	Server = serve.Server
+	// ServeConfig parameterizes a Server (admission cap, queue bounds,
+	// overflow policy, frame deadline).
+	ServeConfig = serve.Config
+	// ServeSession is one admitted stream: submit chunks, await frames.
+	ServeSession = serve.Session
+	// FrameResult is one served frame (mask, type, drop flag, latency).
+	FrameResult = serve.FrameResult
+	// LoadGen drives a Server with synthetic multi-stream traffic.
+	LoadGen = serve.LoadGen
+	// LoadReport aggregates one load-generator run (throughput, latency
+	// percentiles, drop and rejection counts).
+	LoadReport = serve.LoadReport
+	// OverflowPolicy selects reject-vs-wait for a full session queue.
+	OverflowPolicy = serve.OverflowPolicy
+	// StreamEngine steps one stream's pipeline frame by frame — the unit a
+	// serving scheduler multiplexes.
+	StreamEngine = core.StreamEngine
+	// StreamDecoder decodes a bitstream incrementally with a pruned
+	// reference window; Reset reuses it across a session's chunks.
+	StreamDecoder = codec.StreamDecoder
+)
+
+// Queue-overflow policies.
+const (
+	// OverflowReject fails the submit immediately with an error.
+	OverflowReject = serve.Reject
+	// OverflowWait blocks the submit until queue space frees.
+	OverflowWait = serve.Wait
+)
+
+// NewServer starts a multi-stream serving layer and its worker pool.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.NewServer(cfg) }
 
 // Simulator types.
 type (
