@@ -9,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/serve
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke chaos-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -49,6 +49,13 @@ bench-smoke:
 # plus one chunk over loopback HTTP, clean drain. Exit 0 on success.
 serve-smoke:
 	$(GO) run ./cmd/vrserve -smoke
+
+# Short chaos soak under the race detector: concurrent sessions fed 20%
+# corrupted chunks through the fault injector; healthy streams must stay
+# bit-identical to a clean run and poisoned sessions must resync or close
+# with a classified error. (The soak also runs as part of `make race`.)
+chaos-smoke:
+	$(GO) test -race ./internal/serve -run '^TestChaosSoak$$' -count 1 -v
 
 # Regenerate the paper's tables and figures.
 suite:

@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve.
+// energy, stages, serve, faults.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "faults"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -149,6 +149,8 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 	case "serve":
 		rows, err := h.Serve()
 		return rows, err
+	case "faults":
+		return h.Faults()
 	case "ablations":
 		co, err := h.AblationCoalescing()
 		if err != nil {
@@ -370,6 +372,18 @@ func runFigure(h *experiments.Harness, name string) error {
 				r.Streams, r.Admitted, r.AdmissionRejects, r.Frames,
 				r.FPS, r.PerStreamFPS, r.P50MS, r.P95MS, r.P99MS, r.DropPct)
 		}
+	case "faults":
+		rep, err := h.Faults()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fault-injection soak (8 sessions, 20% corrupted chunks):")
+		fmt.Printf("  chunks offered %d, corrupted %d, hung %d\n",
+			rep.ChunksOffered, rep.Corrupted, rep.Hung)
+		fmt.Printf("  served clean %d, served corrupt %d, admission-rejected %d, failed classified %d\n",
+			rep.ServedClean, rep.ServedCorrupt, rep.AdmissionRejected, rep.FailedClassified)
+		fmt.Printf("  counters: decode-errors %d, resyncs %d, breaker-trips %d\n",
+			rep.DecodeErrors, rep.Resyncs, rep.BreakerTrips)
 	case "headline":
 		hl, err := h.Headline()
 		if err != nil {

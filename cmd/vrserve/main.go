@@ -47,6 +47,11 @@ func main() {
 		wait        = flag.Bool("wait", false, "block full-queue submits instead of rejecting")
 		refine      = flag.Bool("refine", false, "train NN-S at startup and refine B-frames")
 		smoke       = flag.Bool("smoke", false, "run the serving self-test and exit")
+
+		maxChunk   = flag.Int64("max-chunk", 64<<20, "chunk POST body cap in bytes (oversize gets 413)")
+		brkFails   = flag.Int("breaker-threshold", 3, "consecutive chunk failures that trip a session's circuit breaker (negative disables)")
+		brkBackoff = flag.Duration("breaker-backoff", time.Second, "breaker rejection window after a trip (doubles per successive trip)")
+		brkTrips   = flag.Int("breaker-max-trips", 3, "breaker trips without a success before the session is force-closed")
 	)
 	flag.Parse()
 
@@ -55,6 +60,11 @@ func main() {
 		MaxQueuedFrames: *queueFrames,
 		Workers:         *workers,
 		FrameBudget:     *budget,
+		MaxChunkBytes:   *maxChunk,
+
+		BreakerThreshold: *brkFails,
+		BreakerBackoff:   *brkBackoff,
+		BreakerMaxTrips:  *brkTrips,
 		NewSegmenter: func(string) segment.Segmenter {
 			return &segment.ThresholdSegmenter{CloseRadius: 1}
 		},
@@ -187,6 +197,46 @@ func runSmoke(cfg serve.Config) error {
 		if !fr.Dropped && fr.Foreground == 0 {
 			return fmt.Errorf("frame %d: empty mask", fr.Display)
 		}
+	}
+
+	// Leg 3: fault recovery over HTTP — a truncated chunk must come back
+	// 400, the same session must then serve a clean chunk (quarantine +
+	// resync), and the recovery counters must show up in /metrics.
+	info, err := codec.ProbeStream(st.Data)
+	if err != nil {
+		return err
+	}
+	bad := st.Data[:info.HeaderBytes+(len(st.Data)-info.HeaderBytes)/2]
+	resp, err = http.Post(base+"/v1/sessions/"+open.ID+"/chunks", "application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		return fmt.Errorf("corrupt chunk: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("corrupt chunk: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(base+"/v1/sessions/"+open.ID+"/chunks", "application/octet-stream", bytes.NewReader(st.Data))
+	if err != nil {
+		return fmt.Errorf("chunk after corruption: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("chunk after corruption: status %d, want 200 (session did not resync)", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	var metrics struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if metrics.Counters[obs.CounterDecodeErrors.String()] == 0 ||
+		metrics.Counters[obs.CounterResyncs.String()] == 0 {
+		return fmt.Errorf("recovery counters missing from /metrics: %v", metrics.Counters)
 	}
 
 	// Clean shutdown: HTTP first, then the drain.

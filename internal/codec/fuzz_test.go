@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math/rand"
 	"testing"
+
+	"vrdann/internal/fault"
 )
 
 // fuzzInputCap keeps the fuzzer exploring bitstream structure instead of
@@ -28,9 +30,10 @@ func skipExpensive(t *testing.T, data []byte) {
 }
 
 // addFuzzSeeds registers valid encoded streams under a few configurations,
-// plus deterministic bit-flipped and truncated variants — the corpus that
-// TestDecodeNeverPanicsOnCorruptStreams explored with a fixed trial loop,
-// promoted so the coverage-guided fuzzer can keep mutating from it.
+// plus corrupted variants from the shared fault corruptors — one seed per
+// corruption shape (payload bit flips, truncation, garbled header, mid-GOP
+// splice), so the coverage-guided fuzzer starts from exactly the fault
+// classes the serving layer's chaos harness injects.
 func addFuzzSeeds(f *testing.F) {
 	f.Helper()
 	v := testVideo(64, 48, 8, 1.5)
@@ -38,21 +41,20 @@ func addFuzzSeeds(f *testing.F) {
 		DefaultConfig(),
 		{BlockSize: 8, QP: 20, SearchRange: 6, MaxBRun: 3, TargetBRatio: 0.6, IPeriod: 4},
 	}
-	rng := rand.New(rand.NewSource(99))
-	for _, cfg := range configs {
+	for ci, cfg := range configs {
 		st, err := Encode(v, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		info, err := ProbeStream(st.Data)
 		if err != nil {
 			f.Fatal(err)
 		}
 		f.Add(st.Data)
 		f.Add(st.Data[:len(st.Data)/2])
-		for k := 0; k < 4; k++ {
-			data := append([]byte(nil), st.Data...)
-			for j := 0; j < 1+rng.Intn(8); j++ {
-				i := rng.Intn(len(data))
-				data[i] ^= 1 << uint(rng.Intn(8))
-			}
-			f.Add(data)
+		for ki, k := range fault.AllKinds {
+			rng := rand.New(rand.NewSource(int64(99 + ci*len(fault.AllKinds) + ki)))
+			f.Add(fault.Apply(k, rng, st.Data, info.HeaderBytes))
 		}
 	}
 	f.Add([]byte{})

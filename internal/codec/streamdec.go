@@ -48,10 +48,11 @@ func (d *StreamDecoder) SetObserver(c *obs.Collector) { d.obs = c }
 // streamHeader is the parsed fixed header of one bitstream (or one
 // GOP-aligned chunk of a long-lived session).
 type streamHeader struct {
-	w, h  int
-	cfg   Config
-	types []FrameType
-	order []int
+	w, h       int
+	cfg        Config
+	types      []FrameType
+	order      []int
+	payloadOff int // byte offset of the first frame payload
 }
 
 // parseStreamHeader validates and parses the stream header and returns the
@@ -137,7 +138,8 @@ func parseStreamHeader(data []byte) (*streamHeader, SymbolReader, error) {
 	if cfg.Arithmetic {
 		sr = NewArithReader(data[r.Pos()/8:])
 	}
-	return &streamHeader{w: int(wv), h: int(hv), cfg: cfg, types: types, order: order}, sr, nil
+	return &streamHeader{w: int(wv), h: int(hv), cfg: cfg, types: types, order: order,
+		payloadOff: r.Pos() / 8}, sr, nil
 }
 
 // StreamInfo is the cheap structural summary of a bitstream: what a serving
@@ -148,6 +150,10 @@ type StreamInfo struct {
 	Frames int
 	Cfg    Config
 	Types  []FrameType // display order
+	// HeaderBytes is the byte offset of the first frame payload — the prefix
+	// a fault injector must preserve for a corrupted chunk to still pass
+	// admission and fail mid-decode instead.
+	HeaderBytes int
 }
 
 // ProbeStream parses and validates only the stream header. It is the
@@ -158,7 +164,8 @@ func ProbeStream(data []byte) (StreamInfo, error) {
 	if err != nil {
 		return StreamInfo{}, err
 	}
-	return StreamInfo{W: h.w, H: h.h, Frames: len(h.types), Cfg: h.cfg, Types: h.types}, nil
+	return StreamInfo{W: h.w, H: h.h, Frames: len(h.types), Cfg: h.cfg, Types: h.types,
+		HeaderBytes: h.payloadOff}, nil
 }
 
 // NewStreamDecoder parses the stream header and prepares incremental

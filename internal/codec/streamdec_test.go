@@ -1,6 +1,9 @@
 package codec
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestStreamDecoderMatchesBatchDecode(t *testing.T) {
 	v := testVideo(64, 48, 18, 1.5)
@@ -305,6 +308,94 @@ func TestStreamDecoderResetRejectsMismatch(t *testing.T) {
 	}
 }
 
+// TestStreamDecoderResetAfterDecodeError pins the resync contract the
+// serving layer's quarantine path relies on: a decoder that failed mid-chunk
+// on corrupt payload must, after Reset over a clean chunk, decode that chunk
+// bit-identically to a fresh decoder — no poisoned entropy, reference or
+// position state survives the Reset.
+func TestStreamDecoderResetAfterDecodeError(t *testing.T) {
+	clean, err := Encode(testVideo(64, 48, 12, 1.5), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ProbeStream(clean.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload only: the header still parses (the chunk would
+	// pass serving admission) but decoding fails partway through.
+	corrupt := append([]byte(nil), clean.Data...)
+	for i := info.HeaderBytes + len(corrupt)/4; i < len(corrupt); i += 3 {
+		corrupt[i] ^= 0xA5
+	}
+	sd, err := NewStreamDecoder(corrupt, DecodeFull)
+	if err != nil {
+		t.Skip("corruption landed in the header; not the mid-chunk shape under test")
+	}
+	decoded, failed := 0, false
+	for {
+		out, derr := sd.Next()
+		if derr != nil {
+			failed = true
+			break
+		}
+		if out == nil {
+			break
+		}
+		decoded++
+	}
+	if !failed {
+		t.Fatalf("corrupted payload decoded all %d frames without error; corruption too weak", decoded)
+	}
+	// Resync: Reset over the clean chunk must match a fresh decoder exactly.
+	if err := sd.Reset(clean.Data); err != nil {
+		t.Fatalf("Reset after decode error: %v", err)
+	}
+	fresh, err := NewStreamDecoder(clean.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFrames(t, drainStream(t, sd), drainStream(t, fresh))
+	if sd.BufferedRefs() != 0 {
+		t.Fatalf("poisoned references survived Reset: %d", sd.BufferedRefs())
+	}
+}
+
+// TestStreamDecoderResetTruncatedHeader: a Reset chunk cut inside the header
+// must be rejected without corrupting the session, for every truncation
+// point up to the full header.
+func TestStreamDecoderResetTruncatedHeader(t *testing.T) {
+	st, err := Encode(testVideo(64, 48, 8, 1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ProbeStream(st.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.HeaderBytes <= 0 || info.HeaderBytes >= len(st.Data) {
+		t.Fatalf("HeaderBytes = %d out of range (stream %d bytes)", info.HeaderBytes, len(st.Data))
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < info.HeaderBytes; cut++ {
+		if err := sd.Reset(st.Data[:cut]); err == nil {
+			t.Fatalf("Reset accepted a header truncated at byte %d", cut)
+		} else if !errors.Is(err, ErrBitstream) {
+			t.Fatalf("truncated-header Reset error %v does not wrap ErrBitstream", err)
+		}
+	}
+	// The session survives every rejected Reset.
+	if err := sd.Reset(st.Data); err != nil {
+		t.Fatalf("Reset after truncated-header rejections: %v", err)
+	}
+	if got := len(drainStream(t, sd)); got != 8 {
+		t.Fatalf("decoded %d frames after recovery, want 8", got)
+	}
+}
+
 func TestProbeStream(t *testing.T) {
 	v := testVideo(64, 48, 9, 1.2)
 	st, err := Encode(v, DefaultConfig())
@@ -317,6 +408,20 @@ func TestProbeStream(t *testing.T) {
 	}
 	if info.W != 64 || info.H != 48 || info.Frames != 9 {
 		t.Fatalf("probe = %+v", info)
+	}
+	if info.HeaderBytes <= 0 || info.HeaderBytes >= len(st.Data) {
+		t.Fatalf("HeaderBytes = %d, want in (0, %d)", info.HeaderBytes, len(st.Data))
+	}
+	// Everything before HeaderBytes is header: truncating there must fail
+	// the probe, while the full stream with a corrupted first payload byte
+	// must still probe fine.
+	if _, err := ProbeStream(st.Data[:info.HeaderBytes-1]); err == nil {
+		t.Fatal("probe accepted a stream truncated inside the header")
+	}
+	flipped := append([]byte(nil), st.Data...)
+	flipped[info.HeaderBytes] ^= 0xFF
+	if _, err := ProbeStream(flipped); err != nil {
+		t.Fatalf("payload corruption past HeaderBytes must not fail the probe: %v", err)
 	}
 	sd, err := NewStreamDecoder(st.Data, DecodeSideInfo)
 	if err != nil {

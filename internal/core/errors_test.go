@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/segment"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want ErrorClass
+	}{
+		{"nil", nil, ClassNone},
+		{"bitstream", codec.ErrBitstream, ClassMalformed},
+		{"wrapped-bitstream", fmt.Errorf("core: decode: %w",
+			fmt.Errorf("%w: bad block mode 9", codec.ErrBitstream)), ClassMalformed},
+		{"eof", io.ErrUnexpectedEOF, ClassMalformed},
+		{"canceled", context.Canceled, ClassCanceled},
+		{"deadline", fmt.Errorf("step: %w", context.DeadlineExceeded), ClassCanceled},
+		{"internal", errors.New("core: frame 3: reference mask missing"), ClassInternal},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	for c, want := range map[ErrorClass]string{
+		ClassNone: "none", ClassMalformed: "malformed",
+		ClassCanceled: "canceled", ClassInternal: "internal",
+	} {
+		if c.String() != want {
+			t.Errorf("class %d stringifies as %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// TestStepErrorsClassifyMalformed drives a real engine over a
+// corrupt-payload chunk and checks the step API's error classifies as
+// malformed — the contract the serving layer's quarantine path keys on.
+func TestStepErrorsClassifyMalformed(t *testing.T) {
+	v := makeTestVideo(12, 1.5)
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := codec.ProbeStream(st.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), st.Data...)
+	for i := info.HeaderBytes + len(corrupt)/4; i < len(corrupt); i += 3 {
+		corrupt[i] ^= 0xA5
+	}
+	dec, err := codec.NewStreamDecoder(corrupt, codec.DecodeSideInfo)
+	if err != nil {
+		t.Skipf("corruption rejected at header: %v", err)
+	}
+	p := &StreamingPipeline{NNL: segment.NewOracle("cls", v.Masks, 0, 0, 1), Workers: 1}
+	e := p.NewEngine(dec)
+	for {
+		mo, serr := e.Step(context.Background())
+		if serr != nil {
+			if got := Classify(serr); got != ClassMalformed {
+				t.Fatalf("step error %v classified %v, want malformed", serr, got)
+			}
+			return
+		}
+		if mo == nil {
+			t.Fatal("corrupt chunk decoded to completion; corruption too weak for this test")
+		}
+	}
+}
+
+// TestStepCancellationClassifies pins that a cancelled step yields
+// ClassCanceled, not a class that would count against the stream.
+func TestStepCancellationClassifies(t *testing.T) {
+	v := makeTestVideo(8, 1)
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewStreamDecoder(st.Data, codec.DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &StreamingPipeline{NNL: segment.NewOracle("cls", v.Masks, 0, 0, 1), Workers: 1}
+	e := p.NewEngine(dec)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, serr := e.Step(ctx); Classify(serr) != ClassCanceled {
+		t.Fatalf("cancelled step error %v did not classify canceled", serr)
+	}
+}

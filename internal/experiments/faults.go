@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"vrdann/internal/fault"
+	"vrdann/internal/fault/chaos"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/serve"
+)
+
+// FaultsReport summarizes one deterministic fault-injection soak of the
+// serving layer: how many chunks were corrupted, how the recovery path
+// disposed of them, and the error counters the server accumulated. The
+// JSON lands in the benchsuite output so a regression in fault handling
+// shows up next to the performance figures.
+type FaultsReport struct {
+	Sessions      int     `json:"sessions"`
+	ChunksOffered int     `json:"chunksOffered"`
+	CorruptionPct float64 `json:"corruptionPct"`
+	Corrupted     int     `json:"corrupted"`
+	// Disposition of every offered chunk.
+	ServedClean       int `json:"servedClean"`       // served, bit-exact path
+	ServedCorrupt     int `json:"servedCorrupt"`     // corrupted yet decodable
+	AdmissionRejected int `json:"admissionRejected"` // bad header, breaker, closed
+	FailedClassified  int `json:"failedClassified"`  // mid-serve, classified error
+	Hung              int `json:"hung"`              // must be zero
+	// Server-wide recovery counters.
+	DecodeErrors int64 `json:"decodeErrors"`
+	Resyncs      int64 `json:"resyncs"`
+	BreakerTrips int64 `json:"breakerTrips"`
+}
+
+// Faults drives the chaos harness over the serving layer: 8 concurrent
+// sessions on one suite sequence, 20% of chunks corrupted across all fault
+// kinds, deterministic in the harness seed. Poisoned sessions exercise
+// quarantine-and-resync and the per-session circuit breaker; the report
+// tallies every chunk's disposition plus the recovery counters.
+func (h *Harness) Faults() (*FaultsReport, error) {
+	v := h.Suite()[0]
+	st, err := h.StreamFor(v, h.Cfg.Enc)
+	if err != nil {
+		return nil, err
+	}
+	serverObs := obs.New()
+	srv, err := serve.NewServer(serve.Config{
+		MaxSessions: 8,
+		Workers:     h.workers(),
+		NewSegmenter: func(id string) segment.Segmenter {
+			return h.nnlFor(v, "NN-L(FAVOS)", h.Cfg.FAVOSNoise, 3)
+		},
+		Obs:              serverObs,
+		BreakerThreshold: 2,
+		BreakerBackoff:   5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := chaos.Run(context.Background(), srv, chaos.Config{
+		Sessions: 8, Chunks: 6, Chunk: st.Data,
+		Rate: 0.20, Seed: h.Cfg.Seed, Kinds: fault.AllKinds,
+	})
+	if cerr := srv.Close(context.Background()); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &FaultsReport{Sessions: 8, CorruptionPct: 20, Hung: res.Hung}
+	for _, sr := range res.Sessions {
+		if sr.OpenErr != nil {
+			return nil, sr.OpenErr
+		}
+		for _, out := range sr.Outcomes {
+			rep.ChunksOffered++
+			if out.Corrupted {
+				rep.Corrupted++
+			}
+			switch {
+			case out.SubmitErr != nil:
+				rep.AdmissionRejected++
+			case out.ServeErr != nil:
+				var ce *serve.ChunkError
+				if !errors.As(out.ServeErr, &ce) {
+					return nil, out.ServeErr // unclassified: a harness bug
+				}
+				rep.FailedClassified++
+			case out.Corrupted:
+				rep.ServedCorrupt++
+			default:
+				rep.ServedClean++
+			}
+		}
+	}
+	snap := serverObs.Snapshot()
+	rep.DecodeErrors = snap.Counters[obs.CounterDecodeErrors.String()]
+	rep.Resyncs = snap.Counters[obs.CounterResyncs.String()]
+	rep.BreakerTrips = snap.Counters[obs.CounterBreakerTrips.String()]
+	return rep, nil
+}

@@ -1,0 +1,158 @@
+// Package chaos drives a serve.Server with many concurrent sessions whose
+// chunks pass through a deterministic fault.Injector — the soak half of the
+// fault-injection harness. The harness itself only records what happened;
+// the assertions (healthy streams bit-identical to a clean run, poisoned
+// sessions resynced or closed with a classified error, nothing hung) live
+// in the soak test, which knows what the clean reference looks like.
+//
+// The package sits under internal/fault so the dependency arrow points one
+// way: chaos imports serve, never the reverse. The serving package's soak
+// test imports chaos from an external test package (package serve_test),
+// which keeps the cycle broken.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/fault"
+	"vrdann/internal/serve"
+)
+
+// Config parameterizes one soak run.
+type Config struct {
+	// Sessions is the number of concurrent streams.
+	Sessions int
+	// Chunks is how many chunks each stream submits, in order.
+	Chunks int
+	// Chunk is the clean encoded chunk every slot starts from; the
+	// injector corrupts copies, never this slice.
+	Chunk []byte
+	// Rate is the per-chunk corruption probability (0 disables faults —
+	// the clean-run baseline).
+	Rate float64
+	// Seed fixes the injector; same seed, same faults, replayable run.
+	Seed int64
+	// Kinds is the corruption menu; nil selects fault.AllKinds.
+	Kinds []fault.Kind
+	// Timeout bounds each chunk's Wait; a chunk still unresolved when it
+	// fires is reported Hung — the failure mode soak exists to catch.
+	// Default 30s.
+	Timeout time.Duration
+}
+
+// ChunkOutcome records one submitted chunk's fate.
+type ChunkOutcome struct {
+	// Kind and Corrupted describe the injector's decision for this slot.
+	Kind      fault.Kind
+	Corrupted bool
+	// Base is the session-relative display offset of this chunk: frames
+	// admitted (Submit accepted) on this session before it. Meaningful
+	// only when SubmitErr is nil.
+	Base int
+	// SubmitErr is the admission failure, if any (malformed header,
+	// breaker open, session force-closed).
+	SubmitErr error
+	// ServeErr is the ticket's resolution error, if any.
+	ServeErr error
+	// Results are the served frames when ServeErr is nil.
+	Results []serve.FrameResult
+	// Hung marks a ticket that never resolved within Timeout.
+	Hung bool
+}
+
+// SessionReport is one stream's full history.
+type SessionReport struct {
+	ID string
+	// OpenErr aborts the stream before any chunk when non-nil.
+	OpenErr error
+	// Poisoned is true when any chunk of this stream was corrupted;
+	// healthy (non-poisoned) streams must match the clean run exactly.
+	Poisoned bool
+	Outcomes []ChunkOutcome
+}
+
+// Result is the whole run.
+type Result struct {
+	Sessions []SessionReport
+	// Hung counts tickets that never resolved — any non-zero value is a
+	// deadlock in the serving path.
+	Hung int
+}
+
+// Run drives srv with cfg.Sessions concurrent streams and returns what
+// happened to every chunk. The caller owns srv (including Close); Run only
+// opens and closes sessions on it. Deterministic given cfg.Seed: the same
+// faults hit the same (stream, chunk) slots in every run.
+func Run(ctx context.Context, srv *serve.Server, cfg Config) (*Result, error) {
+	if cfg.Sessions <= 0 || cfg.Chunks <= 0 || len(cfg.Chunk) == 0 {
+		return nil, fmt.Errorf("chaos: need Sessions, Chunks and a Chunk")
+	}
+	info, err := codec.ProbeStream(cfg.Chunk)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: clean chunk does not probe: %w", err)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	kinds := cfg.Kinds
+	if kinds == nil {
+		kinds = fault.AllKinds
+	}
+	inj := &fault.Injector{Seed: cfg.Seed, Rate: cfg.Rate, Kinds: kinds}
+
+	res := &Result{Sessions: make([]SessionReport, cfg.Sessions)}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			rep := &res.Sessions[stream]
+			s, err := srv.Open()
+			if err != nil {
+				rep.OpenErr = err
+				return
+			}
+			defer s.Close()
+			rep.ID = s.ID
+			base := 0
+			for ci := 0; ci < cfg.Chunks; ci++ {
+				data, kind, hit := inj.Corrupt(stream, ci, cfg.Chunk, info.HeaderBytes)
+				out := ChunkOutcome{Kind: kind, Corrupted: hit, Base: base}
+				rep.Poisoned = rep.Poisoned || hit
+				c, err := s.Submit(ctx, data)
+				if err != nil {
+					out.SubmitErr = err
+					rep.Outcomes = append(rep.Outcomes, out)
+					continue
+				}
+				base += c.Frames()
+				wctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+				out.Results, out.ServeErr = c.Wait(wctx)
+				cancel()
+				// A ticket that resolved carries a *serve.ChunkError (or
+				// nil); a bare deadline error means Wait gave up on an
+				// unresolved ticket — the serving path hung.
+				var ce *serve.ChunkError
+				if out.ServeErr != nil && !errors.As(out.ServeErr, &ce) &&
+					wctx.Err() != nil && ctx.Err() == nil {
+					out.Hung = true
+				}
+				rep.Outcomes = append(rep.Outcomes, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, rep := range res.Sessions {
+		for _, out := range rep.Outcomes {
+			if out.Hung {
+				res.Hung++
+			}
+		}
+	}
+	return res, nil
+}

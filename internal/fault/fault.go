@@ -1,0 +1,227 @@
+// Package fault provides deterministic, seedable bitstream corruptors — the
+// fault-injection half of the serving layer's chaos harness. Real traffic
+// breaks streams in a handful of characteristic ways (lossy links flip bits
+// and truncate, buggy clients splice and duplicate), and each corruptor
+// reproduces one of those shapes exactly given the same seed, so a failing
+// chaos run replays byte-identically.
+//
+// The package is deliberately dependency-free (stdlib only): the codec's
+// fuzz tests seed their corpus from these corruptors, and the serving chaos
+// harness drives them against live sessions, without either creating an
+// import cycle. Callers that want payload-only corruption (a chunk that
+// passes header admission but fails mid-decode) pass the header length —
+// codec.ProbeStream reports it as StreamInfo.HeaderBytes — as the protected
+// prefix.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kind names one corruption shape.
+type Kind int
+
+const (
+	// KindNone marks an untouched chunk.
+	KindNone Kind = iota
+	// KindBitFlip flips a few payload bits: the classic lossy-link error.
+	// The header survives, so the chunk passes admission and fails (or
+	// silently mis-decodes) mid-chunk.
+	KindBitFlip
+	// KindTruncate cuts the payload short: the decoder runs off the end of
+	// the entropy stream partway through a frame.
+	KindTruncate
+	// KindHeader garbles the protected prefix: the chunk is rejected at
+	// admission (or header re-parse) instead of mid-decode.
+	KindHeader
+	// KindSplice overwrites a payload region with a copy of another payload
+	// region of the same chunk — a mid-GOP splice: structurally plausible
+	// entropy data in the wrong place.
+	KindSplice
+
+	// NumKinds bounds the Kind enum; keep it last.
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{"none", "bit-flip", "truncate", "header", "splice"}
+
+// String returns the kind's report name.
+func (k Kind) String() string {
+	if k >= 0 && k < NumKinds {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// PayloadKinds are the corruption shapes that preserve the header: the
+// chunk still passes admission and the failure surfaces mid-serve, which is
+// the path quarantine-and-resync exists for.
+var PayloadKinds = []Kind{KindBitFlip, KindTruncate, KindSplice}
+
+// AllKinds covers every corruption shape, admission-rejected ones included.
+var AllKinds = []Kind{KindBitFlip, KindTruncate, KindHeader, KindSplice}
+
+// FlipBits returns a copy of data with n random bits flipped past the
+// protected prefix. If the corruptible region is empty, data is returned
+// unchanged (same backing array).
+func FlipBits(rng *rand.Rand, data []byte, n, protect int) []byte {
+	if protect < 0 {
+		protect = 0
+	}
+	if protect >= len(data) || n <= 0 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	for i := 0; i < n; i++ {
+		p := protect + rng.Intn(len(out)-protect)
+		out[p] ^= 1 << uint(rng.Intn(8))
+	}
+	return out
+}
+
+// Truncate returns data cut at a random point past the protected prefix
+// (at least one byte of payload is removed when possible).
+func Truncate(rng *rand.Rand, data []byte, protect int) []byte {
+	if protect < 0 {
+		protect = 0
+	}
+	if protect >= len(data) {
+		return data
+	}
+	cut := protect + rng.Intn(len(data)-protect)
+	return data[:cut]
+}
+
+// GarbleHeader returns a copy of data with a handful of bits flipped inside
+// the first protect bytes (the header), leaving the payload intact.
+func GarbleHeader(rng *rand.Rand, data []byte, protect int) []byte {
+	if protect <= 0 || len(data) == 0 {
+		return data
+	}
+	if protect > len(data) {
+		protect = len(data)
+	}
+	out := append([]byte(nil), data...)
+	for i := 0; i < 1+rng.Intn(4); i++ {
+		p := rng.Intn(protect)
+		out[p] ^= 1 << uint(rng.Intn(8))
+	}
+	return out
+}
+
+// Splice returns a copy of data with one payload region overwritten by a
+// copy of another payload region — entropy bits that decode plausibly but
+// belong elsewhere in the GOP.
+func Splice(rng *rand.Rand, data []byte, protect int) []byte {
+	if protect < 0 {
+		protect = 0
+	}
+	payload := len(data) - protect
+	if payload < 8 {
+		return data
+	}
+	out := append([]byte(nil), data...)
+	n := 1 + rng.Intn(payload/2)
+	src := protect + rng.Intn(payload-n+1)
+	dst := protect + rng.Intn(payload-n+1)
+	copy(out[dst:dst+n], data[src:src+n])
+	return out
+}
+
+// Apply runs one corruption kind over data with the given protected prefix.
+// KindNone (and unknown kinds) return data unchanged.
+func Apply(k Kind, rng *rand.Rand, data []byte, protect int) []byte {
+	switch k {
+	case KindBitFlip:
+		return FlipBits(rng, data, 1+rng.Intn(8), protect)
+	case KindTruncate:
+		return Truncate(rng, data, protect)
+	case KindHeader:
+		return GarbleHeader(rng, data, protect)
+	case KindSplice:
+		return Splice(rng, data, protect)
+	default:
+		return data
+	}
+}
+
+// Injector decides, deterministically per (Seed, stream, index), whether
+// and how to corrupt a chunk. Two injectors with equal fields make
+// identical decisions regardless of call order or interleaving — the
+// property that lets a concurrent chaos run be compared against a clean
+// serial one.
+type Injector struct {
+	// Seed fixes every decision; same seed, same faults.
+	Seed int64
+	// Rate is the probability in [0, 1] that a given chunk is corrupted.
+	Rate float64
+	// Kinds is the corruption menu, picked from uniformly. Default:
+	// PayloadKinds (header-preserving shapes).
+	Kinds []Kind
+}
+
+// rng derives the deterministic generator for one (stream, index) slot.
+func (inj *Injector) rng(stream, index int) *rand.Rand {
+	// splitmix64-style avalanche over the three inputs; any bijective mixer
+	// works, it only has to decorrelate neighbouring slots.
+	x := uint64(inj.Seed) ^ 0x9E3779B97F4A7C15
+	for _, v := range [2]uint64{uint64(stream), uint64(index)} {
+		x += v + 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return rand.New(rand.NewSource(int64(x)))
+}
+
+// Corrupt returns the (possibly corrupted) chunk for the given stream and
+// chunk index, the kind applied, and whether corruption happened. The
+// protect prefix is spared by payload kinds and targeted by KindHeader.
+// The returned slice is a copy when corrupted; the original is never
+// mutated.
+func (inj *Injector) Corrupt(stream, index int, chunk []byte, protect int) ([]byte, Kind, bool) {
+	rng := inj.rng(stream, index)
+	if rng.Float64() >= inj.Rate || len(chunk) == 0 {
+		return chunk, KindNone, false
+	}
+	kinds := inj.Kinds
+	if len(kinds) == 0 {
+		kinds = PayloadKinds
+	}
+	k := kinds[rng.Intn(len(kinds))]
+	out := Apply(k, rng, chunk, protect)
+	if len(out) == len(chunk) && len(out) > 0 && &out[0] == &chunk[0] {
+		// The kind could not corrupt (degenerate sizes); report untouched.
+		return chunk, KindNone, false
+	}
+	return out, k, true
+}
+
+// Sequence applies chunk-order faults a buggy client produces: with the
+// injector's Rate (halved per shape, decided once per sequence) a random
+// chunk is duplicated, and adjacent chunks are swapped. Chunk contents are
+// shared, not copied; the returned slice is fresh. Every chunk in the
+// result is individually valid — order faults test serving semantics
+// (idempotence, session-relative frame numbering), not the decoder.
+func (inj *Injector) Sequence(stream int, chunks [][]byte) [][]byte {
+	out := append([][]byte(nil), chunks...)
+	if len(out) < 2 {
+		return out
+	}
+	rng := inj.rng(stream, -1)
+	if rng.Float64() < inj.Rate/2 {
+		i := rng.Intn(len(out))
+		out = append(out[:i+1], out[i:]...) // duplicate chunk i in place
+	}
+	if rng.Float64() < inj.Rate/2 {
+		i := rng.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return out
+}
+
+// Describe renders one corruption decision for logs and test failures.
+func Describe(stream, index int, k Kind) string {
+	return fmt.Sprintf("stream %d chunk %d: %s", stream, index, k)
+}

@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func testChunk(n int) []byte {
+	out := make([]byte, n)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(out)
+	return out
+}
+
+// TestInjectorDeterministic: identical injectors make identical decisions,
+// regardless of the order slots are visited in.
+func TestInjectorDeterministic(t *testing.T) {
+	chunk := testChunk(512)
+	a := &Injector{Seed: 42, Rate: 0.5, Kinds: AllKinds}
+	b := &Injector{Seed: 42, Rate: 0.5, Kinds: AllKinds}
+	type result struct {
+		data []byte
+		kind Kind
+		hit  bool
+	}
+	forward := make(map[[2]int]result)
+	for s := 0; s < 6; s++ {
+		for c := 0; c < 8; c++ {
+			d, k, hit := a.Corrupt(s, c, chunk, 16)
+			forward[[2]int{s, c}] = result{d, k, hit}
+		}
+	}
+	hits := 0
+	for s := 5; s >= 0; s-- {
+		for c := 7; c >= 0; c-- {
+			d, k, hit := b.Corrupt(s, c, chunk, 16)
+			want := forward[[2]int{s, c}]
+			if k != want.kind || hit != want.hit || !bytes.Equal(d, want.data) {
+				t.Fatalf("slot (%d,%d) diverges between identical injectors", s, c)
+			}
+			if hit {
+				hits++
+			}
+		}
+	}
+	if hits == 0 || hits == 48 {
+		t.Fatalf("rate 0.5 produced %d/48 corruptions; injector decision degenerate", hits)
+	}
+	// A different seed must make different decisions somewhere.
+	c := &Injector{Seed: 43, Rate: 0.5, Kinds: AllKinds}
+	same := true
+	for s := 0; s < 6 && same; s++ {
+		for cc := 0; cc < 8; cc++ {
+			d, k, hit := c.Corrupt(s, cc, chunk, 16)
+			want := forward[[2]int{s, cc}]
+			if k != want.kind || hit != want.hit || !bytes.Equal(d, want.data) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed 43 reproduced seed 42's decisions exactly")
+	}
+}
+
+// TestPayloadKindsPreserveHeader: header-preserving kinds must never touch
+// the protected prefix, and must actually change (or shorten) the payload.
+func TestPayloadKindsPreserveHeader(t *testing.T) {
+	chunk := testChunk(256)
+	const protect = 32
+	for _, k := range PayloadKinds {
+		changed := false
+		for trial := 0; trial < 20; trial++ {
+			rng := rand.New(rand.NewSource(int64(trial)))
+			out := Apply(k, rng, chunk, protect)
+			n := protect
+			if len(out) < n {
+				n = len(out)
+			}
+			if !bytes.Equal(out[:n], chunk[:n]) {
+				t.Fatalf("%v modified the protected prefix", k)
+			}
+			if !bytes.Equal(out, chunk) {
+				changed = true
+			}
+		}
+		if !changed {
+			t.Fatalf("%v never altered a 256-byte chunk in 20 trials", k)
+		}
+	}
+}
+
+// TestGarbleHeaderTargetsPrefix: the header kind flips bits only inside the
+// protected prefix.
+func TestGarbleHeaderTargetsPrefix(t *testing.T) {
+	chunk := testChunk(256)
+	const protect = 32
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		out := GarbleHeader(rng, chunk, protect)
+		if !bytes.Equal(out[protect:], chunk[protect:]) {
+			t.Fatal("GarbleHeader modified the payload")
+		}
+		if bytes.Equal(out[:protect], chunk[:protect]) {
+			t.Fatal("GarbleHeader left the header intact")
+		}
+	}
+}
+
+// TestCorruptNeverMutatesInput: every kind must copy-on-write.
+func TestCorruptNeverMutatesInput(t *testing.T) {
+	chunk := testChunk(256)
+	orig := append([]byte(nil), chunk...)
+	inj := &Injector{Seed: 1, Rate: 1, Kinds: AllKinds}
+	for c := 0; c < 64; c++ {
+		inj.Corrupt(0, c, chunk, 16)
+	}
+	if !bytes.Equal(chunk, orig) {
+		t.Fatal("Corrupt mutated the caller's chunk")
+	}
+}
+
+// TestDegenerateInputs: zero-length and all-header chunks must not panic
+// and must report no corruption when nothing corruptible exists.
+func TestDegenerateInputs(t *testing.T) {
+	inj := &Injector{Seed: 9, Rate: 1, Kinds: PayloadKinds}
+	if _, _, hit := inj.Corrupt(0, 0, nil, 0); hit {
+		t.Fatal("corrupted an empty chunk")
+	}
+	tiny := []byte{1, 2, 3}
+	for c := 0; c < 16; c++ {
+		out, _, _ := inj.Corrupt(0, c, tiny, 3) // protect covers everything
+		if len(out) > 0 && !bytes.Equal(out, tiny[:len(out)]) {
+			t.Fatal("payload kind modified fully protected bytes")
+		}
+	}
+	hdr := &Injector{Seed: 9, Rate: 1, Kinds: []Kind{KindHeader}}
+	if out, _, hit := hdr.Corrupt(0, 0, tiny, 8); hit && len(out) != len(tiny) {
+		t.Fatal("GarbleHeader changed the length")
+	}
+}
+
+// TestSequenceFaults: duplication grows the sequence by one, reordering
+// permutes it; chunk contents are shared and unmodified.
+func TestSequenceFaults(t *testing.T) {
+	chunks := [][]byte{testChunk(8), testChunk(8), testChunk(8), testChunk(8)}
+	inj := &Injector{Seed: 5, Rate: 1}
+	seenDup := false
+	for s := 0; s < 32; s++ {
+		out := inj.Sequence(s, chunks)
+		if len(out) < len(chunks) || len(out) > len(chunks)+1 {
+			t.Fatalf("sequence length %d from %d", len(out), len(chunks))
+		}
+		if len(out) == len(chunks)+1 {
+			seenDup = true
+		}
+		// Every output chunk must be one of the inputs, untouched.
+		for _, c := range out {
+			ok := false
+			for _, in := range chunks {
+				if bytes.Equal(c, in) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatal("sequence fault altered chunk contents")
+			}
+		}
+	}
+	if !seenDup {
+		t.Fatal("rate-1 sequence faults never duplicated a chunk in 32 streams")
+	}
+	if out := inj.Sequence(0, chunks[:1]); len(out) != 1 {
+		t.Fatal("single-chunk sequence must pass through")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); k < NumKinds; k++ {
+		n := k.String()
+		if n == "" || n == "unknown" || seen[n] {
+			t.Fatalf("kind %d name %q empty, unknown or duplicate", k, n)
+		}
+		seen[n] = true
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}

@@ -116,14 +116,17 @@ type Counter uint8
 
 // Pipeline counters.
 const (
-	CounterFrames  Counter = iota // frames decoded
-	CounterAnchors                // I/P-frames decoded
-	CounterBFrames                // B-frames decoded
-	CounterMVs                    // motion vectors extracted
-	CounterSpans                  // spans recorded (all stages)
-	CounterChunks                 // serving layer: bitstream chunks accepted
-	CounterDrops                  // serving layer: B-frames dropped past deadline
-	CounterRejects                // serving layer: admission + queue rejections
+	CounterFrames       Counter = iota // frames decoded
+	CounterAnchors                     // I/P-frames decoded
+	CounterBFrames                     // B-frames decoded
+	CounterMVs                         // motion vectors extracted
+	CounterSpans                       // spans recorded (all stages)
+	CounterChunks                      // serving layer: bitstream chunks accepted
+	CounterDrops                       // serving layer: B-frames dropped past deadline
+	CounterRejects                     // serving layer: admission + queue rejections
+	CounterDecodeErrors                // serving layer: chunks failed mid-serve (malformed or internal)
+	CounterResyncs                     // serving layer: sessions quarantined and resynced on the next chunk
+	CounterBreakerTrips                // serving layer: per-session circuit-breaker trips
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -138,6 +141,9 @@ var counterNames = [NumCounters]string{
 	"chunks",
 	"drops",
 	"rejects",
+	"decode-errors",
+	"resyncs",
+	"breaker-trips",
 }
 
 // String returns the counter's report name.

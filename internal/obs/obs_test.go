@@ -66,6 +66,49 @@ func TestStageAggregation(t *testing.T) {
 	}
 }
 
+// TestQuantilesClampedToObservedRange pins the fix for the log2-bucket
+// quantile overshoot: the geometric bucket midpoint can exceed the recorded
+// max (or undershoot the min), but the reported percentiles must not.
+func TestQuantilesClampedToObservedRange(t *testing.T) {
+	cases := []struct {
+		name string
+		durs []time.Duration
+	}{
+		// A single sample just above a power of two: its bucket midpoint
+		// (1.5 * 2^(i-1)) is far above the sample itself.
+		{"single-low-in-bucket", []time.Duration{1025 * time.Nanosecond}},
+		// All samples near the top of one bucket: midpoint undershoots min.
+		{"high-in-bucket", []time.Duration{2040 * time.Nanosecond, 2040 * time.Nanosecond}},
+		// Mixed magnitudes: p99's bucket midpoint may overshoot the max.
+		{"mixed", []time.Duration{100 * time.Nanosecond, 130 * time.Microsecond, 1048577 * time.Nanosecond}},
+		// Identical samples: every percentile must equal the one value.
+		{"identical", []time.Duration{333 * time.Microsecond, 333 * time.Microsecond, 333 * time.Microsecond}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New()
+			for i, d := range tc.durs {
+				c.ObserveDur(StageServe, i, 0, 0, d)
+			}
+			s := c.Snapshot().Stage("serve/frame")
+			if s == nil {
+				t.Fatal("serve/frame stage missing")
+			}
+			for _, p := range []struct {
+				name string
+				v    int64
+			}{{"p50", s.P50NS}, {"p95", s.P95NS}, {"p99", s.P99NS}} {
+				if p.v < s.MinNS || p.v > s.MaxNS {
+					t.Fatalf("%s = %d outside observed [%d, %d]", p.name, p.v, s.MinNS, s.MaxNS)
+				}
+			}
+			if s.P50NS > s.P95NS || s.P95NS > s.P99NS {
+				t.Fatalf("percentiles not monotonic: p50=%d p95=%d p99=%d", s.P50NS, s.P95NS, s.P99NS)
+			}
+		})
+	}
+}
+
 func TestGaugeWatermark(t *testing.T) {
 	c := New()
 	c.GaugeAdd(GaugeJobQueue, 1)

@@ -69,9 +69,17 @@ func (c *Collector) Snapshot() *Report {
 			TotalNS: agg.sumNS.Load(),
 			MinNS:   agg.minNS.Load(),
 			MaxNS:   agg.maxNS.Load(),
-			P50NS:   quantile(buckets, n, 0.50),
-			P95NS:   quantile(buckets, n, 0.95),
-			P99NS:   quantile(buckets, n, 0.99),
+		}
+		// The log2-bucket quantile returns a bucket's geometric midpoint,
+		// which can land outside the actually observed range (above MaxNS
+		// when the max sits low in its bucket, below MinNS symmetrically).
+		// Clamp to the recorded extremes so p50 <= p95 <= p99 <= max and
+		// min <= p50 always hold in reports.
+		for _, q := range []struct {
+			dst *int64
+			q   float64
+		}{{&sr.P50NS, 0.50}, {&sr.P95NS, 0.95}, {&sr.P99NS, 0.99}} {
+			*q.dst = clamp(quantile(buckets, n, q.q), sr.MinNS, sr.MaxNS)
 		}
 		sr.MeanNS = sr.TotalNS / n
 		if r.ElapsedNS > 0 {
@@ -95,6 +103,17 @@ func (c *Collector) Snapshot() *Report {
 		}
 	}
 	return r
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
 }
 
 // quantile estimates the q-quantile from log2 buckets: it walks the

@@ -8,12 +8,9 @@ import (
 	"io"
 	"net/http"
 
+	"vrdann/internal/codec"
 	"vrdann/internal/vidio"
 )
-
-// maxChunkBytes bounds one POSTed bitstream chunk (a DoS guard, not a
-// protocol limit; the synthetic encoder stays far below it).
-const maxChunkBytes = 64 << 20
 
 // frameJSON is the wire form of one served frame.
 type frameJSON struct {
@@ -36,8 +33,9 @@ type frameJSON struct {
 //	GET    /healthz                     liveness + session count
 //	GET    /metrics                     server-wide obs snapshot
 //
-// Status mapping: 400 malformed chunk, 404 unknown session, 429 admission
-// or queue rejection, 503 draining server.
+// Status mapping: 400 malformed chunk, 404 unknown session, 409 closed or
+// draining session, 413 chunk over Config.MaxChunkBytes, 429 admission or
+// queue rejection, 503 draining server or open circuit breaker.
 func (srv *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", srv.handleOpen)
@@ -60,10 +58,14 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrAdmission), errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrServerClosed):
+	case errors.Is(err, ErrServerClosed), errors.Is(err, ErrSessionBroken):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrSessionClosed):
 		status = http.StatusConflict
+	case errors.Is(err, codec.ErrBitstream):
+		// Mid-serve decode failure: the session quarantined and resynced;
+		// the chunk itself was bad input.
+		status = http.StatusBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusServiceUnavailable
 	}
@@ -92,27 +94,28 @@ func (srv *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxChunkBytes+1))
+	r.Body = http.MaxBytesReader(w, r.Body, srv.cfg.MaxChunkBytes)
+	data, err := io.ReadAll(r.Body)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("chunk exceeds %d-byte cap", mbe.Limit)})
+			return
+		}
 		writeError(w, err)
-		return
-	}
-	if len(data) > maxChunkBytes {
-		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "chunk too large"})
 		return
 	}
 	c, err := s.Submit(r.Context(), data)
 	if err != nil {
-		var status int
 		switch {
 		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrServerClosed),
-			errors.Is(err, ErrSessionClosed):
+			errors.Is(err, ErrSessionClosed), errors.Is(err, ErrSessionBroken):
 			writeError(w, err)
-			return
 		default:
-			status = http.StatusBadRequest
+			// Admission failures: malformed header, geometry mismatch.
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
 	}
 	res, err := c.Wait(r.Context())

@@ -8,6 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
+
+	"vrdann/internal/segment"
 )
 
 type chunkResponse struct {
@@ -198,5 +201,159 @@ func TestHTTPErrorMapping(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("malformed chunk: status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPChunkCap: a POST past Config.MaxChunkBytes gets 413, and the cap
+// does not interfere with bodies at or under it.
+func TestHTTPChunkCap(t *testing.T) {
+	v := makeTestVideo(8, 1)
+	chunk := encodeTestVideo(t, v)
+	srv, err := NewServer(Config{
+		MaxSessions: 1, Workers: 1, NewSegmenter: oracleFor(v),
+		MaxChunkBytes: int64(len(chunk)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	resp, err := http.Post(ts.URL+"/v1/sessions", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// One byte over the cap -> 413.
+	over := append(append([]byte(nil), chunk...), 0)
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+open.ID+"/chunks",
+		"application/octet-stream", bytes.NewReader(over))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized chunk: status %d, want 413", resp.StatusCode)
+	}
+	// Exactly at the cap -> served.
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+open.ID+"/chunks",
+		"application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap chunk: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPDrainingVsUnknown pins the 404/409 split: an unknown session id
+// is 404, a known-but-draining session is 409 — a client can tell "retry
+// elsewhere" from "this stream is going away".
+func TestHTTPDrainingVsUnknown(t *testing.T) {
+	v := makeTestVideo(12, 1)
+	chunk := encodeTestVideo(t, v)
+	gate := make(chan struct{})
+	srv, err := NewServer(Config{
+		MaxSessions: 1, Workers: 1,
+		NewSegmenter: func(id string) segment.Segmenter {
+			return &gateSegmenter{gate: gate, inner: segment.NewOracle(id, v.Masks, 0, 0, 1)}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		close(gate)
+		srv.Close(context.Background())
+	}()
+
+	s, err := srv.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park a chunk behind the gate so the session drains instead of
+	// retiring instantly, then close it.
+	if _, err := s.Submit(context.Background(), chunk); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+s.ID+"/chunks",
+		"application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("chunk on draining session: status %d, want 409", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/sessions/nope/chunks",
+		"application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("chunk on unknown session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHTTPBreakerStatus: a mid-serve decode failure maps to 400 (the chunk
+// was bad input), and a tripped breaker maps to 503 (back off and retry).
+func TestHTTPBreakerStatus(t *testing.T) {
+	v := makeTestVideo(12, 1.5)
+	chunk := encodeTestVideo(t, v)
+	bad := truncateChunk(t, chunk)
+	srv, err := NewServer(Config{
+		MaxSessions: 1, Workers: 1, NewSegmenter: oracleFor(v),
+		BreakerThreshold: 1, BreakerBackoff: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close(context.Background())
+
+	resp, err := http.Post(ts.URL+"/v1/sessions", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var open struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+open.ID+"/chunks",
+		"application/octet-stream", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mid-serve decode failure: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/sessions/"+open.ID+"/chunks",
+		"application/octet-stream", bytes.NewReader(chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", resp.StatusCode)
 	}
 }

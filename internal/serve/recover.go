@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"vrdann/internal/core"
+	"vrdann/internal/obs"
+)
+
+// ChunkError wraps a chunk-serving failure with its recovery class. Every
+// error resolved through a Chunk ticket after serving started is a
+// *ChunkError; errors.As recovers the class, errors.Is still matches the
+// underlying cause (codec.ErrBitstream, context.Canceled, ...).
+type ChunkError struct {
+	// Class is the recovery taxonomy: malformed input was quarantined and
+	// the session resynced (or tripped its breaker); canceled means the
+	// server stopped the work, the stream is not suspect; internal is a
+	// bug, reported loudly.
+	Class core.ErrorClass
+	Err   error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("serve: chunk failed (%s): %v", e.Class, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// settleLocked runs the recovery policy for one finished chunk and returns
+// the error its ticket resolves with. A success closes the breaker window;
+// a failure is classified, counted, and charged against the per-session
+// consecutive-failure breaker — enough consecutive failures trip it
+// (submits bounce for a doubling backoff window), and enough trips without
+// an intervening success force-close the session, failing everything still
+// queued. Cancellations pass through unclassified against the stream: the
+// server stopped the work, the input is not suspect. Caller holds srv.mu.
+func (s *Session) settleLocked(err error) error {
+	if err == nil {
+		s.consecFails, s.trips = 0, 0
+		return nil
+	}
+	class := core.Classify(err)
+	werr := &ChunkError{Class: class, Err: err}
+	if class == core.ClassCanceled {
+		return werr
+	}
+	s.obs.Count(obs.CounterDecodeErrors, 1)
+	s.srv.cfg.Obs.Count(obs.CounterDecodeErrors, 1)
+	cfg := s.srv.cfg
+	s.consecFails++
+	if cfg.BreakerThreshold < 0 || s.consecFails < cfg.BreakerThreshold {
+		s.countResyncLocked()
+		return werr
+	}
+	// Trip: the stream has failed BreakerThreshold chunks in a row.
+	s.consecFails = 0
+	s.trips++
+	s.obs.Count(obs.CounterBreakerTrips, 1)
+	s.srv.cfg.Obs.Count(obs.CounterBreakerTrips, 1)
+	if s.trips > cfg.BreakerMaxTrips {
+		// The client keeps sending garbage across backoff windows; cut it
+		// off rather than burn worker budget resyncing forever.
+		if s.state == stateActive {
+			s.state = stateDraining
+		}
+		s.failQueuedLocked(&ChunkError{Class: class,
+			Err: fmt.Errorf("%w: %d breaker trips, session force-closed", ErrSessionBroken, s.trips)})
+		return werr
+	}
+	s.brokenUntil = time.Now().Add(cfg.BreakerBackoff << uint(s.trips-1))
+	s.countResyncLocked()
+	return werr
+}
+
+// countResyncLocked records that the session survived a failed chunk and
+// will resynchronize on the next chunk's header. Caller holds srv.mu.
+func (s *Session) countResyncLocked() {
+	s.obs.Count(obs.CounterResyncs, 1)
+	s.srv.cfg.Obs.Count(obs.CounterResyncs, 1)
+}
+
+// failQueuedLocked resolves every not-yet-started chunk exceptionally.
+// Caller holds srv.mu.
+func (s *Session) failQueuedLocked(err error) {
+	for _, c := range s.queue {
+		c.err = err
+		s.pending -= c.frames
+		s.srv.cfg.Obs.GaugeAdd(obs.GaugePending, -int64(c.frames))
+		close(c.done)
+	}
+	s.queue = nil
+	s.obs.GaugeSet(obs.GaugePending, int64(s.pending))
+	s.srv.cond.Broadcast()
+}

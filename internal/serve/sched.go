@@ -39,6 +39,15 @@ func (s *Session) stepOnce() {
 	srv.mu.Unlock()
 
 	finished, err := s.serveOneFrame(cur)
+	if err != nil {
+		// Quarantine: a failed step leaves the decoder mid-entropy-stream
+		// and the engine's reference window half-built. Drop both — chunks
+		// are independently encoded and GOP-aligned, so the next chunk's
+		// header is a clean resync point. Worker-only state; this goroutine
+		// still holds s.running.
+		s.dec = nil
+		s.eng = nil
+	}
 
 	srv.mu.Lock()
 	s.running = false

@@ -49,6 +49,9 @@ var (
 	ErrServerClosed = errors.New("serve: server closed")
 	// ErrSessionClosed rejects chunks submitted to a closed session.
 	ErrSessionClosed = errors.New("serve: session closed")
+	// ErrSessionBroken rejects chunks while a session's circuit breaker is
+	// open: too many consecutive chunk failures, back off and retry.
+	ErrSessionBroken = errors.New("serve: session circuit breaker open")
 )
 
 // OverflowPolicy selects what Submit does when a session's frame queue is
@@ -96,6 +99,23 @@ type Config struct {
 	// (sessions, pending frames, chunks, drops, rejects). Each session
 	// additionally always has its own collector.
 	Obs *obs.Collector
+	// BreakerThreshold is the per-session circuit breaker: this many
+	// consecutive failed chunks (malformed input or internal error;
+	// cancellations never count) trip the breaker, which rejects submits
+	// with ErrSessionBroken for a backoff window. 0 selects the default
+	// (3); negative disables the breaker.
+	BreakerThreshold int
+	// BreakerBackoff is the rejection window after the first trip; it
+	// doubles on each successive trip without an intervening success.
+	// Default 1s.
+	BreakerBackoff time.Duration
+	// BreakerMaxTrips force-closes the session (draining, queued chunks
+	// failed with ErrSessionBroken) when the breaker trips more than this
+	// many times without an intervening success. Default 3.
+	BreakerMaxTrips int
+	// MaxChunkBytes bounds one HTTP-posted chunk body; oversized posts get
+	// 413. A DoS guard, not a protocol limit. Default 64 MiB.
+	MaxChunkBytes int64
 }
 
 // withDefaults resolves unset fields.
@@ -108,6 +128,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = par.EffectiveWorkers(runtime.GOMAXPROCS(0))
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerBackoff <= 0 {
+		c.BreakerBackoff = time.Second
+	}
+	if c.BreakerMaxTrips <= 0 {
+		c.BreakerMaxTrips = 3
+	}
+	if c.MaxChunkBytes <= 0 {
+		c.MaxChunkBytes = 64 << 20
 	}
 	return c
 }

@@ -80,6 +80,12 @@ type Session struct {
 	pending int      // frames admitted but not yet resolved
 	queued  bool     // session is in srv.runq
 	running bool     // a worker is stepping this session
+	// Circuit-breaker state (also guarded by srv.mu): consecutive failed
+	// chunks, breaker trips since the last success, and the end of the
+	// current backoff window during which Submit bounces.
+	consecFails int
+	trips       int
+	brokenUntil time.Time
 
 	// Worker-only state: touched exclusively by the goroutine that holds
 	// running, so it needs no lock. The decoder is allocated once and Reset
@@ -120,6 +126,13 @@ func (s *Session) Submit(ctx context.Context, data []byte) (*Chunk, error) {
 		}
 		if s.state != stateActive {
 			return nil, ErrSessionClosed
+		}
+		if wait := time.Until(s.brokenUntil); wait > 0 {
+			// Breaker open: bounce immediately rather than block — the
+			// client should back off, not camp on queue space.
+			s.obs.Count(obs.CounterRejects, 1)
+			srv.cfg.Obs.Count(obs.CounterRejects, 1)
+			return nil, fmt.Errorf("%w: retry in %v", ErrSessionBroken, wait.Round(time.Millisecond))
 		}
 		// An empty session always accepts one chunk, even oversized —
 		// otherwise a chunk larger than the bound could never be served.
@@ -196,10 +209,11 @@ func (s *Session) maybeRetireLocked() {
 }
 
 // completeLocked retires the chunk being served: results are re-sequenced
-// into display order, accounting is settled, and the ticket resolves.
-// Caller holds srv.mu.
+// into display order, the recovery policy classifies any failure (and may
+// trip the session's breaker — see settleLocked), accounting is settled,
+// and the ticket resolves. Caller holds srv.mu.
 func (s *Session) completeLocked(c *Chunk, err error) {
-	c.err = err
+	c.err = s.settleLocked(err)
 	sort.Slice(c.results, func(i, j int) bool { return c.results[i].Display < c.results[j].Display })
 	s.pending -= c.frames
 	s.obs.GaugeSet(obs.GaugePending, int64(s.pending))
