@@ -6,10 +6,10 @@
 # the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/serve
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke chaos-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke chaos-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -49,6 +49,12 @@ bench-smoke:
 # plus one chunk over loopback HTTP, clean drain. Exit 0 on success.
 serve-smoke:
 	$(GO) run ./cmd/vrserve -smoke
+
+# The same self-test with NN-S refinement trained at startup, so the
+# multi-session batched leg fuses both NN-L and NN-S work and checks its
+# masks bit-identical to the unbatched reference.
+batch-smoke:
+	$(GO) run ./cmd/vrserve -smoke -refine
 
 # Short chaos soak under the race detector: concurrent sessions fed 20%
 # corrupted chunks through the fault injector; healthy streams must stay

@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve, faults.
+// energy, stages, serve, batch, faults.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "faults"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "faults"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -148,6 +148,9 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 		return h.Stages()
 	case "serve":
 		rows, err := h.Serve()
+		return rows, err
+	case "batch":
+		rows, err := h.Batch()
 		return rows, err
 	case "faults":
 		return h.Faults()
@@ -371,6 +374,19 @@ func runFigure(h *experiments.Harness, name string) error {
 			fmt.Printf("  %7d %8d %7d %7d %9.1f %11.1f %8.1f %8.1f %8.1f %6.1f%%\n",
 				r.Streams, r.Admitted, r.AdmissionRejects, r.Frames,
 				r.FPS, r.PerStreamFPS, r.P50MS, r.P95MS, r.P99MS, r.DropPct)
+		}
+	case "batch":
+		rows, err := h.Batch()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Dynamic batching sweep (streams x MaxBatch; MaxBatch=1 is unbatched):")
+		fmt.Printf("  %7s %9s %7s %9s %8s %8s %8s %7s %30s\n",
+			"streams", "maxbatch", "frames", "total fps", "p50 ms", "p95 ms", "p99 ms", "occ", "flushes full/timer/stall/drain")
+		for _, r := range rows {
+			fmt.Printf("  %7d %9d %7d %9.1f %8.1f %8.1f %8.1f %7.2f %12d %5d %5d %5d\n",
+				r.Streams, r.MaxBatch, r.Frames, r.FPS, r.P50MS, r.P95MS, r.P99MS,
+				r.MeanOccupancy, r.FlushFull, r.FlushTimer, r.FlushStall, r.FlushDrain)
 		}
 	case "faults":
 		rep, err := h.Faults()

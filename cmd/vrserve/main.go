@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sync"
 	"time"
 
 	"vrdann/internal/codec"
@@ -47,6 +48,8 @@ func main() {
 		wait        = flag.Bool("wait", false, "block full-queue submits instead of rejecting")
 		refine      = flag.Bool("refine", false, "train NN-S at startup and refine B-frames")
 		smoke       = flag.Bool("smoke", false, "run the serving self-test and exit")
+		batchSize   = flag.Int("batch", 0, "dynamic batching: fuse up to this many NN items across sessions (<=1 disables)")
+		batchWait   = flag.Duration("batch-wait", 0, "partial-batch flush deadline (0 = 2ms default)")
 
 		maxChunk   = flag.Int64("max-chunk", 64<<20, "chunk POST body cap in bytes (oversize gets 413)")
 		brkFails   = flag.Int("breaker-threshold", 3, "consecutive chunk failures that trip a session's circuit breaker (negative disables)")
@@ -61,6 +64,8 @@ func main() {
 		Workers:         *workers,
 		FrameBudget:     *budget,
 		MaxChunkBytes:   *maxChunk,
+		MaxBatch:        *batchSize,
+		MaxBatchWait:    *batchWait,
 
 		BreakerThreshold: *brkFails,
 		BreakerBackoff:   *brkBackoff,
@@ -133,8 +138,11 @@ func runSmoke(cfg serve.Config) error {
 		return err
 	}
 
-	// Leg 1: the load generator against the server core.
+	// Leg 1: the load generator against the server core. The masks double
+	// as the reference the batched leg below must reproduce exactly.
 	frames := 0
+	refMasks := make(map[int][]byte)
+	var refMu sync.Mutex
 	gen := &serve.LoadGen{
 		Server:  srv,
 		Streams: 1,
@@ -142,6 +150,9 @@ func runSmoke(cfg serve.Config) error {
 		OnResult: func(_ int, r serve.FrameResult) {
 			if r.Mask != nil {
 				frames++
+				refMu.Lock()
+				refMasks[r.Display] = append([]byte(nil), r.Mask.Pix...)
+				refMu.Unlock()
 			}
 		},
 	}
@@ -247,6 +258,55 @@ func runSmoke(cfg serve.Config) error {
 	}
 	if err := srv.Close(sdCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+
+	// Leg 4: multi-session dynamic batching — four streams through one
+	// batched server, every mask bit-identical to the leg-1 reference, and
+	// the batch telemetry present in the collector.
+	bcfg := cfg
+	bcfg.MaxBatch = 4
+	bcfg.Workers = 0 // let the default rise to MaxBatch
+	bcfg.Obs = obs.New()
+	bsrv, err := serve.NewServer(bcfg)
+	if err != nil {
+		return fmt.Errorf("batched server: %w", err)
+	}
+	var batchErr error
+	bgen := &serve.LoadGen{
+		Server:  bsrv,
+		Streams: 4,
+		Chunks:  func(int) [][]byte { return [][]byte{st.Data, st.Data} },
+		OnResult: func(stream int, r serve.FrameResult) {
+			if r.Mask == nil {
+				return
+			}
+			refMu.Lock()
+			want, ok := refMasks[r.Display]
+			if batchErr == nil && (!ok || !bytes.Equal(r.Mask.Pix, want)) {
+				batchErr = fmt.Errorf("stream %d frame %d: batched mask differs from unbatched reference", stream, r.Display)
+			}
+			refMu.Unlock()
+		},
+	}
+	brep, err := bgen.Run(context.Background())
+	if err != nil {
+		return fmt.Errorf("batched loadgen: %w", err)
+	}
+	if err := bsrv.Close(sdCtx); err != nil {
+		return fmt.Errorf("batched drain: %w", err)
+	}
+	if batchErr != nil {
+		return batchErr
+	}
+	if brep.Admitted != 4 || brep.Frames != 4*2*16 {
+		return fmt.Errorf("batched leg served %d frames over %d streams, want 128 over 4", brep.Frames, brep.Admitted)
+	}
+	bsnap := bcfg.Obs.Snapshot()
+	if bsnap.Counters[obs.CounterBatchItems.String()] == 0 {
+		return fmt.Errorf("batched leg recorded no batch-items counter: %v", bsnap.Counters)
+	}
+	if bsnap.Hist(obs.HistBatchOccupancy.String()) == nil {
+		return fmt.Errorf("batched leg recorded no batch-occupancy histogram")
 	}
 	return nil
 }

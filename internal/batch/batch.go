@@ -1,0 +1,431 @@
+// Package batch implements the cross-session dynamic batching engine: it
+// coalesces NN work submitted by many concurrent stream sessions into
+// fused batched kernel executions, amortizing per-invocation scheduling
+// and memory traffic the way the paper's agent unit amortizes kernel
+// switches on the accelerator.
+//
+// Work is split by kind — NN-L anchor segmentation versus NN-S B-frame
+// refinement — into two independent queues, because fusing across kinds is
+// exactly the kernel switching the agent unit exists to avoid. A queue
+// flushes as ONE batched execution when MaxBatch items are waiting or when
+// the oldest item has waited MaxWait, whichever comes first; a timer flush
+// keeps tail latency bounded when concurrency is low, a full flush keeps
+// throughput high when it is not.
+//
+// Correctness contract: the mask returned for an item is bit-identical to
+// executing that item alone on the session's own models (the batched
+// kernels guarantee this; see internal/nn/batch.go), and a failing item —
+// panic inside a model, cancelled context — fails alone, never its
+// batch-mates.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vrdann/internal/nn"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// ErrClosed is returned for work submitted after Close.
+var ErrClosed = errors.New("batch: engine closed")
+
+// Config sizes a batching engine.
+type Config struct {
+	// MaxBatch is the flush threshold: a queue reaching this many pending
+	// items is executed immediately as one fused batch. Values <= 1 flush
+	// every item on its own (batching effectively disabled).
+	MaxBatch int
+
+	// MaxWait bounds how long the oldest queued item waits for batch-mates
+	// before a partial batch is flushed. Zero or negative defaults to 2ms —
+	// small next to a frame budget, large next to a fused NN-S forward.
+	MaxWait time.Duration
+
+	// NNS, when non-nil, provides the refinement network. The engine clones
+	// it once, so fused refinement uses weights identical to every
+	// session's own clone — the bit-identity contract depends on this.
+	NNS *nn.RefineNet
+
+	// Obs, when non-nil, receives batch telemetry: occupancy and queue-depth
+	// histograms, flush-reason counters, and per-item queue-wait spans.
+	Obs *obs.Collector
+
+	// Stalled, when non-nil, is consulted after each enqueue that did not
+	// fill a batch, with the total number of items pending across both
+	// kinds. Returning true means the caller knows no further work can
+	// arrive right now — every producer is already blocked in the engine —
+	// and both queues flush immediately instead of idling out MaxWait.
+	// Called without engine locks held; it may take the caller's own locks.
+	Stalled func(pending int) bool
+}
+
+// DefaultMaxWait is the partial-batch flush deadline used when Config
+// leaves MaxWait unset.
+const DefaultMaxWait = 2 * time.Millisecond
+
+// kind indexes the two work queues.
+type kind int
+
+const (
+	kindNNL kind = iota // anchor segmentation (NN-L)
+	kindNNS             // B-frame refinement (NN-S)
+	numKinds
+)
+
+// item is one queued unit of NN work and its result slot.
+type item struct {
+	// NN-L fields.
+	seg     segment.Segmenter
+	frame   *video.Frame
+	display int
+
+	// NN-S fields.
+	prev, next *video.Mask
+	rec        *segment.ReconMask
+
+	enq  time.Duration // queue-entry timestamp (collector clock)
+	mask *video.Mask
+	err  error
+	done chan struct{}
+}
+
+// queue is one kind's pending work. gen increments every time the pending
+// slice is taken, invalidating any armed timer flush; execMu serializes
+// fused executions of the same kind (the batched kernels reuse per-network
+// scratch and are not reentrant).
+type queue struct {
+	items []*item
+	gen   uint64
+	timer *time.Timer
+
+	execMu sync.Mutex
+}
+
+// Engine is the cross-session dynamic batcher. One engine is shared by all
+// sessions of a server; its methods are safe for concurrent use.
+type Engine struct {
+	cfg     Config
+	refiner *segment.BatchRefiner
+
+	mu      sync.Mutex
+	queues  [numKinds]queue
+	pending int
+	closed  bool
+}
+
+// New creates a batching engine. Cloning the refinement network happens
+// here, once, so every fused flush reuses the same pooled scratch.
+func New(cfg Config) *Engine {
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	e := &Engine{cfg: cfg}
+	if cfg.NNS != nil {
+		e.refiner = segment.NewBatchRefiner(cfg.NNS.Clone())
+	}
+	return e
+}
+
+// Segment submits one anchor frame for NN-L segmentation and blocks until
+// its batch executes (or ctx is cancelled while the item is still queued).
+func (e *Engine) Segment(ctx context.Context, seg segment.Segmenter, frame *video.Frame, display int) (*video.Mask, error) {
+	return e.submit(ctx, kindNNL, &item{seg: seg, frame: frame, display: display})
+}
+
+// Refine submits one B-frame refinement sandwich for NN-S and blocks until
+// its batch executes (or ctx is cancelled while the item is still queued).
+// It requires the engine to have been built with a refinement network.
+func (e *Engine) Refine(ctx context.Context, prev *video.Mask, rec *segment.ReconMask, next *video.Mask) (*video.Mask, error) {
+	if e.refiner == nil {
+		return nil, errors.New("batch: engine has no refinement network")
+	}
+	return e.submit(ctx, kindNNS, &item{prev: prev, rec: rec, next: next})
+}
+
+// submit enqueues the item, flushes inline when the queue fills, arms the
+// partial-batch timer on the first item, then waits for the result.
+func (e *Engine) submit(ctx context.Context, k kind, it *item) (*video.Mask, error) {
+	it.done = make(chan struct{})
+	o := e.cfg.Obs
+	it.enq = o.Clock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	q := &e.queues[k]
+	q.items = append(q.items, it)
+	e.pending++
+	o.GaugeSet(obs.GaugeBatchQueue, int64(e.pending))
+	o.Observe(obs.HistBatchQueueDepth, int64(len(q.items)))
+	var flush []*item
+	pending := e.pending
+	if len(q.items) >= e.cfg.MaxBatch {
+		flush = e.takeLocked(k)
+	} else if len(q.items) == 1 {
+		gen := q.gen
+		q.timer = time.AfterFunc(e.cfg.MaxWait, func() { e.timerFlush(k, gen) })
+	}
+	e.mu.Unlock()
+
+	if flush != nil {
+		// The submitter that fills a batch executes it inline: no handoff
+		// goroutine, and exactly one worker is charged for the fused run.
+		e.execute(k, flush, obs.CounterBatchFlushFull)
+	} else if e.cfg.Stalled != nil && e.cfg.Stalled(pending) {
+		// Every producer is blocked in the engine: waiting out MaxWait would
+		// only idle the machine. Flush everything now — this is the software
+		// analogue of the agent unit dispatching as soon as its coalescing
+		// window can no longer grow.
+		e.flushAll(obs.CounterBatchFlushStall)
+	}
+
+	select {
+	case <-it.done:
+		return it.mask, it.err
+	case <-ctx.Done():
+		if e.retract(k, it) {
+			return nil, ctx.Err()
+		}
+		// Already claimed by a flush — the result is imminent; deliver it
+		// rather than abandoning work that was performed.
+		<-it.done
+		return it.mask, it.err
+	}
+}
+
+// takeLocked removes and returns kind k's pending items, invalidating any
+// armed timer. Caller holds e.mu.
+func (e *Engine) takeLocked(k kind) []*item {
+	q := &e.queues[k]
+	items := q.items
+	q.items = nil
+	q.gen++
+	if q.timer != nil {
+		q.timer.Stop()
+		q.timer = nil
+	}
+	e.pending -= len(items)
+	e.cfg.Obs.GaugeSet(obs.GaugeBatchQueue, int64(e.pending))
+	return items
+}
+
+// flushAll takes and executes both kinds' queues. Racing flushes are
+// benign: whatever another flush already took is simply absent here, and
+// empty takes execute nothing.
+func (e *Engine) flushAll(reason obs.Counter) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	var drains [numKinds][]*item
+	for k := kind(0); k < numKinds; k++ {
+		drains[k] = e.takeLocked(k)
+	}
+	e.mu.Unlock()
+	for k := kind(0); k < numKinds; k++ {
+		if len(drains[k]) > 0 {
+			e.execute(k, drains[k], reason)
+		}
+	}
+}
+
+// timerFlush executes a partial batch when the oldest item's wait expires.
+// gen guards against the race where the batch filled (or closed) between
+// the timer firing and the lock being acquired.
+func (e *Engine) timerFlush(k kind, gen uint64) {
+	e.mu.Lock()
+	q := &e.queues[k]
+	if e.closed || q.gen != gen || len(q.items) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	items := e.takeLocked(k)
+	e.mu.Unlock()
+	e.execute(k, items, obs.CounterBatchFlushTimer)
+}
+
+// retract removes a still-queued item after its submitter's context was
+// cancelled, so a cancelled session never occupies a lane of a later batch.
+func (e *Engine) retract(k kind, it *item) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := &e.queues[k]
+	for i, x := range q.items {
+		if x == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			e.pending--
+			e.cfg.Obs.GaugeSet(obs.GaugeBatchQueue, int64(e.pending))
+			return true
+		}
+	}
+	return false
+}
+
+// Close flushes both queues (reason "drain") and rejects all later
+// submissions with ErrClosed. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var drains [numKinds][]*item
+	for k := kind(0); k < numKinds; k++ {
+		drains[k] = e.takeLocked(k)
+	}
+	e.mu.Unlock()
+	for k := kind(0); k < numKinds; k++ {
+		if len(drains[k]) > 0 {
+			e.execute(k, drains[k], obs.CounterBatchFlushDrain)
+		}
+	}
+}
+
+// execute runs one fused batch: telemetry, then the kind's batched kernel,
+// then per-item completion. Per-kind execMu serializes same-kind flushes
+// because the fused kernels reuse network-owned scratch.
+func (e *Engine) execute(k kind, items []*item, reason obs.Counter) {
+	q := &e.queues[k]
+	q.execMu.Lock()
+	defer q.execMu.Unlock()
+	o := e.cfg.Obs
+	o.Observe(obs.HistBatchOccupancy, int64(len(items)))
+	o.Count(reason, 1)
+	o.Count(obs.CounterBatchItems, int64(len(items)))
+	for _, it := range items {
+		o.ObserveDur(obs.StageBatchWait, it.display, obs.KindNone, it.enq, o.Clock()-it.enq)
+	}
+	t := o.Clock()
+	if k == kindNNL {
+		e.execNNL(items)
+		o.Span(obs.StageBatchNNL, -1, obs.KindNone, t)
+	} else {
+		e.execNNS(items)
+		o.Span(obs.StageBatchNNS, -1, obs.KindNone, t)
+	}
+	for _, it := range items {
+		close(it.done)
+	}
+}
+
+// execNNL segments the batch's anchor frames. Runs of consecutive items
+// sharing one BatchSegmenter instance go through its fused call; everything
+// else runs per item. Either way a model panic is confined to the items it
+// was actually computing.
+func (e *Engine) execNNL(items []*item) {
+	for i := 0; i < len(items); {
+		bs, ok := items[i].seg.(segment.BatchSegmenter)
+		if !ok {
+			segmentOne(items[i])
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(items) && items[j].seg == items[i].seg {
+			j++
+		}
+		group := items[i:j]
+		if !segmentGroup(bs, group) {
+			for _, it := range group {
+				segmentOne(it)
+			}
+		}
+		i = j
+	}
+}
+
+// segmentGroup runs one fused SegmentBatch call, reporting false (leaving
+// the group unresolved) if the model panicked.
+func segmentGroup(bs segment.BatchSegmenter, group []*item) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	frames := make([]*video.Frame, len(group))
+	displays := make([]int, len(group))
+	for i, it := range group {
+		frames[i], displays[i] = it.frame, it.display
+	}
+	masks := bs.SegmentBatch(frames, displays)
+	for i, it := range group {
+		it.mask = masks[i]
+	}
+	return true
+}
+
+// segmentOne runs a single item's NN-L with per-item panic isolation.
+func segmentOne(it *item) {
+	defer func() {
+		if r := recover(); r != nil {
+			it.err = fmt.Errorf("batch: nn-l panic: %v", r)
+		}
+	}()
+	it.mask = it.seg.Segment(it.frame, it.display)
+}
+
+// execNNS refines the batch's B-frames: items are grouped by frame
+// geometry (streams of different resolutions cannot share a fused forward)
+// and each group runs as one fused RefineBatch. A panic inside a fused run
+// degrades that group to per-item execution so only the poisoned item
+// fails.
+func (e *Engine) execNNS(items []*item) {
+	for i := 0; i < len(items); {
+		w, h := items[i].rec.W, items[i].rec.H
+		j := i + 1
+		for j < len(items) && items[j].rec.W == w && items[j].rec.H == h {
+			j++
+		}
+		group := items[i:j]
+		if !e.refineGroup(group) {
+			for _, it := range group {
+				e.refineOne(it)
+			}
+		}
+		i = j
+	}
+}
+
+// refineGroup runs one fused RefineBatch call, reporting false if the
+// model panicked.
+func (e *Engine) refineGroup(group []*item) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	jobs := make([]segment.RefineJob, len(group))
+	for i, it := range group {
+		jobs[i] = segment.RefineJob{Prev: it.prev, Rec: it.rec, Next: it.next}
+	}
+	masks := e.refiner.RefineBatch(jobs)
+	for i, it := range group {
+		it.mask = masks[i]
+	}
+	return true
+}
+
+// refineOne runs a single item's NN-S (a batch of one) with per-item panic
+// isolation.
+func (e *Engine) refineOne(it *item) {
+	defer func() {
+		if r := recover(); r != nil {
+			it.err = fmt.Errorf("batch: nn-s panic: %v", r)
+		}
+	}()
+	masks := e.refiner.RefineBatch([]segment.RefineJob{{Prev: it.prev, Rec: it.rec, Next: it.next}})
+	it.mask = masks[0]
+}

@@ -2,10 +2,8 @@ package core
 
 import (
 	"context"
-	"fmt"
 
 	"vrdann/internal/codec"
-	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/video"
 )
@@ -72,58 +70,9 @@ func (e *StreamEngine) Step(ctx context.Context) (*MaskOut, error) {
 // the serving layer: under overload, B-frames past their budget are shed
 // while the anchor chain stays intact.
 func (e *StreamEngine) StepFunc(ctx context.Context, drop func(codec.FrameInfo) bool) (*MaskOut, error) {
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	mo, pending, err := e.StepPrepare(ctx, drop)
+	if err != nil || pending == nil {
+		return mo, err
 	}
-	p := e.p
-	out, derr := e.dec.Next()
-	if derr != nil {
-		return nil, fmt.Errorf("core: decode: %w", derr)
-	}
-	if out == nil {
-		return nil, nil
-	}
-	e.pos++
-	mo := &MaskOut{Display: out.Info.Display, Type: out.Info.Type}
-	switch out.Info.Type {
-	case codec.IFrame, codec.PFrame:
-		t0 := p.Obs.Clock()
-		mo.Mask = p.NNL.Segment(out.Pixels, out.Info.Display)
-		p.Obs.Span(obs.StageNNL, out.Info.Display, byte(out.Info.Type), t0)
-		e.segs[out.Info.Display] = mo.Mask
-	case codec.BFrame:
-		if drop != nil && drop(out.Info) {
-			break // shed: side info consumed, no mask computed
-		}
-		t0 := p.Obs.Clock()
-		rec, rerr := segment.Reconstruct(out.Info, e.segs, e.w, e.h, e.cfg.BlockSize)
-		p.Obs.Span(obs.StageReconstruct, out.Info.Display, byte(out.Info.Type), t0)
-		if rerr != nil {
-			return nil, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
-		}
-		if e.refiner != nil {
-			prev, next := flankingAnchors(e.types, e.segs, out.Info.Display)
-			t1 := p.Obs.Clock()
-			mo.Mask = e.refiner.Refine(prev, rec, next)
-			p.Obs.Span(obs.StageRefine, out.Info.Display, byte(out.Info.Type), t1)
-		} else {
-			mo.Mask = rec.Binary()
-		}
-	}
-	if len(e.segs) > e.maxSegs {
-		e.maxSegs = len(e.segs)
-	}
-	p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(e.segs)))
-	// Prune references no later frame needs. The serial loop pruned after
-	// emitting; pruning before the caller emits is equivalent because emit
-	// never reads the window and the next Step sees the same pruned state.
-	for d, last := range e.lastUse {
-		if last <= e.pos {
-			delete(e.segs, d)
-			delete(e.lastUse, d)
-		}
-	}
-	return mo, nil
+	return pending.Finish(pending.ExecuteLocal()), nil
 }

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// PendingNN is the NN half of one engine step, split off by StepPrepare so
+// a scheduler can route it through a cross-stream batching engine instead
+// of executing it inline. It carries exactly one of two kinds of work,
+// mirroring the paper's two networks:
+//
+//   - anchor (I/P): an NN-L segmentation of the decoded frame;
+//   - B-frame: an NN-S refinement of the MV-reconstructed mask between its
+//     flanking anchor segmentations.
+//
+// The holder must finish the step by calling Finish with the computed mask
+// (however it was computed — inline, or as one lane of a fused batch)
+// before the next StepPrepare on the same engine. A PendingNN borrows the
+// engine's state and is not safe to retain past Finish.
+type PendingNN struct {
+	e  *StreamEngine
+	mo *MaskOut
+
+	// Anchor work: the decoded frame to segment (nil for B-frames).
+	frame *video.Frame
+
+	// B-frame work: the refinement sandwich inputs (nil for anchors).
+	prev, next *video.Mask
+	rec        *segment.ReconMask
+}
+
+// IsAnchor reports whether this is NN-L (anchor segmentation) work, as
+// opposed to NN-S (B-frame refinement) work.
+func (pn *PendingNN) IsAnchor() bool { return pn.frame != nil }
+
+// Display returns the display index of the frame under work.
+func (pn *PendingNN) Display() int { return pn.mo.Display }
+
+// FrameType returns the coded type of the frame under work.
+func (pn *PendingNN) FrameType() codec.FrameType { return pn.mo.Type }
+
+// Frame returns the decoded anchor frame (nil for B-frame work).
+func (pn *PendingNN) Frame() *video.Frame { return pn.frame }
+
+// RefineInputs returns the NN-S sandwich inputs (all nil for anchor work).
+func (pn *PendingNN) RefineInputs() (prev *video.Mask, rec *segment.ReconMask, next *video.Mask) {
+	return pn.prev, pn.rec, pn.next
+}
+
+// Segmenter returns the stream's NN-L model.
+func (pn *PendingNN) Segmenter() segment.Segmenter { return pn.e.p.NNL }
+
+// ExecuteLocal computes the pending mask inline on the caller's goroutine
+// with the engine's own models, recording the same nn-l/refine spans as the
+// fused serial loop. StepFunc is built on it; a scheduler uses it as the
+// unbatched fallback.
+func (pn *PendingNN) ExecuteLocal() *video.Mask {
+	p := pn.e.p
+	if pn.frame != nil {
+		t0 := p.Obs.Clock()
+		m := p.NNL.Segment(pn.frame, pn.mo.Display)
+		p.Obs.Span(obs.StageNNL, pn.mo.Display, byte(pn.mo.Type), t0)
+		return m
+	}
+	t1 := p.Obs.Clock()
+	m := pn.e.refiner.Refine(pn.prev, pn.rec, pn.next)
+	p.Obs.Span(obs.StageRefine, pn.mo.Display, byte(pn.mo.Type), t1)
+	return m
+}
+
+// Finish completes the step with the computed mask: anchor masks join the
+// engine's reference window, and the window bookkeeping deferred by
+// StepPrepare (high-watermark, gauge, pruning) runs exactly as the fused
+// step would have run it.
+func (pn *PendingNN) Finish(mask *video.Mask) *MaskOut {
+	pn.mo.Mask = mask
+	if pn.frame != nil {
+		pn.e.segs[pn.mo.Display] = mask
+	}
+	pn.e.finishStep()
+	return pn.mo
+}
+
+// finishStep is the tail of a step: working-set accounting and reference
+// pruning. It runs after every step, NN-bearing or not.
+func (e *StreamEngine) finishStep() {
+	if len(e.segs) > e.maxSegs {
+		e.maxSegs = len(e.segs)
+	}
+	e.p.Obs.GaugeSet(obs.GaugeRefWindow, int64(len(e.segs)))
+	// Prune references no later frame needs. The serial loop pruned after
+	// emitting; pruning before the caller emits is equivalent because emit
+	// never reads the window and the next Step sees the same pruned state.
+	for d, last := range e.lastUse {
+		if last <= e.pos {
+			delete(e.segs, d)
+			delete(e.lastUse, d)
+		}
+	}
+}
+
+// StepPrepare runs the decode-side half of a step — decode, drop veto,
+// MV reconstruction — and either completes the frame itself (returning
+// pending == nil: end of stream, dropped B-frame, or unrefined
+// reconstruction) or returns the frame's NN work as a PendingNN for the
+// caller to execute and Finish. mo is non-nil exactly when pending is nil
+// and a frame was produced; when pending is non-nil the MaskOut is
+// delivered by Finish instead.
+//
+// StepFunc(ctx, drop) is equivalent to StepPrepare followed by
+// pending.Finish(pending.ExecuteLocal()) — the serving layer swaps
+// ExecuteLocal for a batched execution and everything else stays shared,
+// which is what makes batched output bit-identical by construction.
+func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInfo) bool) (mo *MaskOut, pending *PendingNN, err error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	p := e.p
+	out, derr := e.dec.Next()
+	if derr != nil {
+		return nil, nil, fmt.Errorf("core: decode: %w", derr)
+	}
+	if out == nil {
+		return nil, nil, nil
+	}
+	e.pos++
+	mo = &MaskOut{Display: out.Info.Display, Type: out.Info.Type}
+	switch out.Info.Type {
+	case codec.IFrame, codec.PFrame:
+		return nil, &PendingNN{e: e, mo: mo, frame: out.Pixels}, nil
+	case codec.BFrame:
+		if drop != nil && drop(out.Info) {
+			break // shed: side info consumed, no mask computed
+		}
+		t0 := p.Obs.Clock()
+		rec, rerr := segment.Reconstruct(out.Info, e.segs, e.w, e.h, e.cfg.BlockSize)
+		p.Obs.Span(obs.StageReconstruct, out.Info.Display, byte(out.Info.Type), t0)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
+		}
+		if e.refiner == nil {
+			mo.Mask = rec.Binary()
+			break
+		}
+		prev, next := flankingAnchors(e.types, e.segs, out.Info.Display)
+		return nil, &PendingNN{e: e, mo: mo, prev: prev, next: next, rec: rec}, nil
+	}
+	e.finishStep()
+	return mo, nil, nil
+}

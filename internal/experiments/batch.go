@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"context"
+
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/serve"
+	"vrdann/internal/video"
+)
+
+// BatchRow is one point of the dynamic-batching sweep: n concurrent
+// streams served with the cross-session batcher flushing fused batches of
+// up to MaxBatch NN items (MaxBatch 1 is the unbatched per-session
+// baseline path).
+type BatchRow struct {
+	Streams       int     `json:"streams"`
+	MaxBatch      int     `json:"maxBatch"`
+	Frames        int     `json:"frames"`
+	FPS           float64 `json:"fps"`
+	P50MS         float64 `json:"p50Ms"`
+	P95MS         float64 `json:"p95Ms"`
+	P99MS         float64 `json:"p99Ms"`
+	MeanOccupancy float64 `json:"meanOccupancy"` // items per fused flush
+	FlushFull     int64   `json:"flushFull"`     // flush-reason split
+	FlushTimer    int64   `json:"flushTimer"`
+	FlushStall    int64   `json:"flushStall"`
+	FlushDrain    int64   `json:"flushDrain"`
+	Items         int64   `json:"items"` // NN executions that went through a batch
+}
+
+// batchStreamSweep and batchSizeSweep are the two sweep axes: offered
+// concurrency and flush threshold. MaxBatch 1 rows bypass the batcher
+// entirely and anchor the speedup comparison.
+var (
+	batchStreamSweep = []int{2, 8}
+	batchSizeSweep   = []int{1, 2, 4, 8}
+)
+
+// Batch sweeps stream count against MaxBatch through the serving layer
+// with NN-S refinement enabled — the workload the batcher exists for —
+// and reports throughput, latency percentiles, mean batch occupancy and
+// the flush-reason split. Masks are bit-identical across the whole grid
+// (pinned by the serve differential tests), so the series measures the
+// cost model of batching alone: fused kernels and pooled scratch against
+// per-frame allocation.
+func (h *Harness) Batch() ([]BatchRow, error) {
+	suite := h.Suite()
+	nns, err := h.NNS()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]BatchRow, 0, len(batchStreamSweep)*len(batchSizeSweep))
+	for _, streams := range batchStreamSweep {
+		for _, mb := range batchSizeSweep {
+			opened := 0
+			videoFor := func(i int) *video.Video { return suite[i%len(suite)] }
+			col := obs.New()
+			srv, err := serve.NewServer(serve.Config{
+				MaxSessions: streams,
+				MaxBatch:    mb,
+				NNS:         nns,
+				Obs:         col,
+				NewSegmenter: func(id string) segment.Segmenter {
+					v := videoFor(opened)
+					opened++
+					return h.nnlFor(v, "NN-L(FAVOS)", h.Cfg.FAVOSNoise, 3)
+				},
+			})
+			if err != nil {
+				return nil, err
+			}
+			gen := &serve.LoadGen{
+				Server:  srv,
+				Streams: streams,
+				Chunks: func(i int) [][]byte {
+					st, err := h.StreamFor(videoFor(i), h.Cfg.Enc)
+					if err != nil {
+						return nil
+					}
+					return [][]byte{st.Data, st.Data}
+				},
+			}
+			rep, err := gen.Run(context.Background())
+			if cerr := srv.Close(context.Background()); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, err
+			}
+			row := BatchRow{
+				Streams:  streams,
+				MaxBatch: mb,
+				Frames:   rep.Frames,
+				FPS:      rep.FPS,
+				P50MS:    ms(rep.P50),
+				P95MS:    ms(rep.P95),
+				P99MS:    ms(rep.P99),
+			}
+			snap := col.Snapshot()
+			if occ := snap.Hist(obs.HistBatchOccupancy.String()); occ != nil {
+				row.MeanOccupancy = occ.Mean
+			}
+			row.FlushFull = snap.Counters[obs.CounterBatchFlushFull.String()]
+			row.FlushTimer = snap.Counters[obs.CounterBatchFlushTimer.String()]
+			row.FlushStall = snap.Counters[obs.CounterBatchFlushStall.String()]
+			row.FlushDrain = snap.Counters[obs.CounterBatchFlushDrain.String()]
+			row.Items = snap.Counters[obs.CounterBatchItems.String()]
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

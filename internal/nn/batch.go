@@ -1,0 +1,212 @@
+package nn
+
+import (
+	"fmt"
+
+	"vrdann/internal/obs"
+	"vrdann/internal/par"
+	"vrdann/internal/tensor"
+)
+
+// Batched inference path. The serving layer's dynamic batching engine
+// coalesces NN work from many streams into one fused execution per layer —
+// the software reading of the paper's agent unit, which reorders work to
+// minimize NN-L/NN-S kernel switching. A batch of n CHW items is packed
+// item-major into one wide tensor ([n*C, H, W]); convolutions lower the
+// whole batch into a single column-concatenated patch matrix and run ONE
+// MatMul per layer, and the channel-independent layers (pool, upsample,
+// ReLU) treat the wide tensor as just more channels.
+//
+// Two invariants carry the whole design:
+//
+//  1. Bit identity. Every output element of the wide MatMul is produced by
+//     the same serial accumulation order over the same values as the
+//     per-item MatMul (column concatenation adds columns, never reorders a
+//     column's dot product), and every other layer is element- or
+//     channel-local. A batched forward is therefore bitwise equal to n
+//     serial forwards at any batch size.
+//  2. No steady-state allocation. All intermediates live in pooled scratch
+//     buffers (par.GetFloats) owned by the network instance and reused
+//     across flushes — the per-frame ~1.6 MB of garbage the serial forward
+//     allocates is what the batched path exists to eliminate.
+//
+// Batched forwards are inference-only (no activation caches for Backward)
+// and, like the serial path, not safe for concurrent use of one instance.
+
+// ensureBatch returns a tensor of the given shape backed by pooled memory,
+// reusing *t in place when its backing size already matches (only the
+// shape header is rebuilt). Contents are arbitrary; every user overwrites
+// all elements.
+func ensureBatch(t **tensor.Tensor, shape ...int) *tensor.Tensor {
+	numel := 1
+	for _, d := range shape {
+		numel *= d
+	}
+	if *t != nil && len((*t).Data) == numel {
+		*t = (*t).Reshape(shape...)
+		return *t
+	}
+	if *t != nil {
+		par.PutFloats((*t).Data)
+	}
+	*t = tensor.FromSlice(par.GetFloats(numel), shape...)
+	return *t
+}
+
+// ForwardBatch runs the convolution over a batch of n items packed
+// item-major into x ([n*InC, H, W]) and returns [n*OutC, outH, outW],
+// bit-identical to n serial Forward calls. Inference-only: no state for
+// Backward is recorded and MACs is not updated.
+func (c *Conv2D) ForwardBatch(x *tensor.Tensor, n int) *tensor.Tensor {
+	if len(x.Shape) != 3 || n <= 0 || x.Shape[0] != n*c.InC {
+		panic(fmt.Sprintf("nn: Conv2D.ForwardBatch expects [%d*%d H W] input, got %v", n, c.InC, x.Shape))
+	}
+	outH := tensor.ConvOutSize(x.Shape[1], c.KH, c.Stride, c.Pad)
+	outW := tensor.ConvOutSize(x.Shape[2], c.KW, c.Stride, c.Pad)
+	dst := tensor.New(n*c.OutC, outH, outW)
+	c.forwardBatchInto(dst, x, n)
+	return dst
+}
+
+// forwardBatchInto is ForwardBatch writing into a caller-owned
+// [n*OutC, outH, outW] tensor, with the patch matrix and GEMM output held
+// in the layer's pooled scratch.
+func (c *Conv2D) forwardBatchInto(dst, x *tensor.Tensor, n int) {
+	h, w := x.Shape[1], x.Shape[2]
+	outH := tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	outW := tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	rows, oHW := c.InC*c.KH*c.KW, outH*outW
+	cols := ensureBatch(&c.batchCols, rows, n*oHW)
+	tensor.Im2ColBatchInto(cols, x, n, c.KH, c.KW, c.Stride, c.Pad)
+	mm := ensureBatch(&c.batchMM, c.OutC, n*oHW)
+	tensor.MatMulInto(mm, c.Weight.Reshape(c.OutC, rows), cols)
+	// The wide GEMM leaves the batch in [OutC, n*oHW] (output-channel-major)
+	// layout; re-pack item-major so the next layer sees each item's channels
+	// contiguously, fusing the bias add (one add per element, exactly as the
+	// serial path) into the copy.
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			src := mm.Data[oc*n*oHW+i*oHW : oc*n*oHW+(i+1)*oHW]
+			out := dst.Data[(i*c.OutC+oc)*oHW : (i*c.OutC+oc+1)*oHW]
+			b := c.Bias.Data[oc]
+			for j, v := range src {
+				out[j] = v + b
+			}
+		}
+	}
+}
+
+// reluInPlace applies max(0, v) in place with the exact comparison the
+// serial ReLU layer uses (v > 0 keeps v, anything else — including NaN —
+// becomes 0).
+func reluInPlace(x *tensor.Tensor) {
+	for i, v := range x.Data {
+		if v > 0 {
+			x.Data[i] = v
+		} else {
+			x.Data[i] = 0
+		}
+	}
+}
+
+// maxPool2Batch is MaxPool2.Forward over a wide batch tensor, minus the
+// argmax cache (inference-only). Pooling is channel-local, so the packed
+// [n*C, H, W] layout needs no special handling.
+func maxPool2Batch(dst, x *tensor.Tensor) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := h/2, w/2
+	par.For(c, par.Grain(c, h*w, par.MinWorkFloats), func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					base := (ch*h+oy*2)*w + ox*2
+					best := x.Data[base]
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							if v := x.Data[base+dy*w+dx]; v > best {
+								best = v
+							}
+						}
+					}
+					dst.Data[(ch*oh+oy)*ow+ox] = best
+				}
+			}
+		}
+	})
+}
+
+// upsample2Batch is Upsample2.Forward (nearest-neighbor ×2) over a wide
+// batch tensor; like pooling it is channel-local.
+func upsample2Batch(dst, x *tensor.Tensor) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	par.For(c, par.Grain(c, 4*h*w, par.MinWorkFloats), func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			for y := 0; y < h; y++ {
+				srcRow := (ch*h + y) * w
+				for x2 := 0; x2 < w; x2++ {
+					v := x.Data[srcRow+x2]
+					d0 := (ch*h*2+y*2)*w*2 + x2*2
+					d1 := d0 + w*2
+					dst.Data[d0] = v
+					dst.Data[d0+1] = v
+					dst.Data[d1] = v
+					dst.Data[d1+1] = v
+				}
+			}
+		}
+	})
+}
+
+// concatChannelsBatch interleaves two item-major batch tensors along the
+// channel axis: item i of dst is ConcatChannels(item i of a, item i of b).
+func concatChannelsBatch(dst, a, b *tensor.Tensor, n int) {
+	ca, cb := a.Shape[0]/n, b.Shape[0]/n
+	hw := a.Shape[1] * a.Shape[2]
+	for i := 0; i < n; i++ {
+		copy(dst.Data[i*(ca+cb)*hw:], a.Data[i*ca*hw:(i+1)*ca*hw])
+		copy(dst.Data[(i*(ca+cb)+ca)*hw:], b.Data[i*cb*hw:(i+1)*cb*hw])
+	}
+}
+
+// batchScratch holds the pooled activation buffers of RefineNet.ForwardBatch.
+type batchScratch struct {
+	skip, down, mid, up, cat, out *tensor.Tensor
+}
+
+// ForwardBatch runs NN-S over a batch of n sandwich inputs packed
+// item-major into x ([n*3, H, W]) and returns [n, H, W] logits — item i's
+// logit plane bitwise equal to Forward on item i alone. H and W must be
+// even, as for Forward. The returned tensor aliases network-owned scratch:
+// it is valid until the next ForwardBatch call on this instance, and
+// callers must copy anything they keep. Per-layer conv timings are recorded
+// against the attached observer exactly like the serial forward (one span
+// per fused layer, not per item).
+func (n *RefineNet) ForwardBatch(x *tensor.Tensor, items int) *tensor.Tensor {
+	if len(x.Shape) != 3 || items <= 0 || x.Shape[0] != 3*items {
+		panic(fmt.Sprintf("nn: RefineNet.ForwardBatch expects [%d*3 H W] input, got %v", items, x.Shape))
+	}
+	h, w := x.Shape[1], x.Shape[2]
+	f := n.Features
+	sc := &n.bsc
+	t := n.obs.Clock()
+	skip := ensureBatch(&sc.skip, items*f, h, w)
+	n.Conv1.forwardBatchInto(skip, x, items)
+	n.obs.Span(obs.StageNNSConv1, -1, obs.KindNone, t)
+	reluInPlace(skip) // in place: conv1's raw output is never read again
+	down := ensureBatch(&sc.down, items*f, h/2, w/2)
+	maxPool2Batch(down, skip)
+	t = n.obs.Clock()
+	mid := ensureBatch(&sc.mid, items*f, h/2, w/2)
+	n.Conv2.forwardBatchInto(mid, down, items)
+	n.obs.Span(obs.StageNNSConv2, -1, obs.KindNone, t)
+	reluInPlace(mid)
+	up := ensureBatch(&sc.up, items*f, h, w)
+	upsample2Batch(up, mid)
+	cat := ensureBatch(&sc.cat, items*2*f, h, w)
+	concatChannelsBatch(cat, skip, up, items)
+	t = n.obs.Clock()
+	out := ensureBatch(&sc.out, items, h, w)
+	n.Conv3.forwardBatchInto(out, cat, items)
+	n.obs.Span(obs.StageNNSConv3, -1, obs.KindNone, t)
+	return out
+}

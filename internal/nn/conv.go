@@ -19,6 +19,10 @@ type Conv2D struct {
 	lastCols       *tensor.Tensor
 	lastInH, lastW int
 	macs           int64
+
+	// Pooled scratch of the batched inference path (batch.go): the wide
+	// patch matrix and the pre-bias GEMM output, reused across flushes.
+	batchCols, batchMM *tensor.Tensor
 }
 
 // NewConv2D creates a convolution layer with He-initialized weights drawn

@@ -31,6 +31,9 @@ type RefineNet struct {
 	skipChannels int
 	macs         int64
 
+	// bsc holds the pooled activation scratch of ForwardBatch (batch.go).
+	bsc batchScratch
+
 	// obs, when non-nil, receives per-layer convolution timings (the
 	// nn-s/conv* stages). Inference pays one pointer check per layer when
 	// disabled.

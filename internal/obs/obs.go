@@ -48,8 +48,11 @@ const (
 	StageNNSConv1                  // NN-S conv layers (per-layer timing)
 	StageNNSConv2
 	StageNNSConv3
-	StageEmit  // result emission / decode-order coalescing
-	StageServe // serving layer: chunk arrival -> frame result (includes queueing)
+	StageEmit      // result emission / decode-order coalescing
+	StageServe     // serving layer: chunk arrival -> frame result (includes queueing)
+	StageBatchWait // batching engine: item enqueue -> flush start (queue delay)
+	StageBatchNNL  // batching engine: one fused NN-L flush
+	StageBatchNNS  // batching engine: one fused NN-S flush
 
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
@@ -67,6 +70,9 @@ var stageNames = [NumStages]string{
 	"nn-s/conv3",
 	"emit",
 	"serve/frame",
+	"batch/wait",
+	"batch/nn-l",
+	"batch/nn-s",
 }
 
 // String returns the stage's report name.
@@ -83,12 +89,13 @@ type Gauge uint8
 
 // Pipeline gauges.
 const (
-	GaugeJobQueue  Gauge = iota // B-frame jobs submitted but not yet finished
-	GaugeEmitQueue              // frames awaiting decode-order emission
-	GaugeWorkers                // workers currently executing a B-frame job
-	GaugeRefWindow              // reference segmentations held in the window
-	GaugeSessions               // serving layer: admitted sessions
-	GaugePending                // serving layer: frames queued but not yet served
+	GaugeJobQueue   Gauge = iota // B-frame jobs submitted but not yet finished
+	GaugeEmitQueue               // frames awaiting decode-order emission
+	GaugeWorkers                 // workers currently executing a B-frame job
+	GaugeRefWindow               // reference segmentations held in the window
+	GaugeSessions                // serving layer: admitted sessions
+	GaugePending                 // serving layer: frames queued but not yet served
+	GaugeBatchQueue              // batching engine: items enqueued but not yet flushed
 
 	// NumGauges bounds the Gauge enum; keep it last.
 	NumGauges
@@ -101,6 +108,7 @@ var gaugeNames = [NumGauges]string{
 	"ref-window",
 	"sessions",
 	"pending-frames",
+	"batch-queue",
 }
 
 // String returns the gauge's report name.
@@ -116,17 +124,22 @@ type Counter uint8
 
 // Pipeline counters.
 const (
-	CounterFrames       Counter = iota // frames decoded
-	CounterAnchors                     // I/P-frames decoded
-	CounterBFrames                     // B-frames decoded
-	CounterMVs                         // motion vectors extracted
-	CounterSpans                       // spans recorded (all stages)
-	CounterChunks                      // serving layer: bitstream chunks accepted
-	CounterDrops                       // serving layer: B-frames dropped past deadline
-	CounterRejects                     // serving layer: admission + queue rejections
-	CounterDecodeErrors                // serving layer: chunks failed mid-serve (malformed or internal)
-	CounterResyncs                     // serving layer: sessions quarantined and resynced on the next chunk
-	CounterBreakerTrips                // serving layer: per-session circuit-breaker trips
+	CounterFrames          Counter = iota // frames decoded
+	CounterAnchors                        // I/P-frames decoded
+	CounterBFrames                        // B-frames decoded
+	CounterMVs                            // motion vectors extracted
+	CounterSpans                          // spans recorded (all stages)
+	CounterChunks                         // serving layer: bitstream chunks accepted
+	CounterDrops                          // serving layer: B-frames dropped past deadline
+	CounterRejects                        // serving layer: admission + queue rejections
+	CounterDecodeErrors                   // serving layer: chunks failed mid-serve (malformed or internal)
+	CounterResyncs                        // serving layer: sessions quarantined and resynced on the next chunk
+	CounterBreakerTrips                   // serving layer: per-session circuit-breaker trips
+	CounterBatchItems                     // batching engine: items executed through fused flushes
+	CounterBatchFlushFull                 // batching engine: flushes triggered by a full batch
+	CounterBatchFlushTimer                // batching engine: flushes triggered by the MaxWait deadline
+	CounterBatchFlushDrain                // batching engine: flushes triggered by engine shutdown
+	CounterBatchFlushStall                // batching engine: flushes triggered by producer stall (no more work can arrive)
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -144,12 +157,45 @@ var counterNames = [NumCounters]string{
 	"decode-errors",
 	"resyncs",
 	"breaker-trips",
+	"batch-items",
+	"batch-flush-full",
+	"batch-flush-timer",
+	"batch-flush-drain",
+	"batch-flush-stall",
 }
 
 // String returns the counter's report name.
 func (c Counter) String() string {
 	if c < NumCounters {
 		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// Hist identifies one generic value histogram. Unlike stages, which
+// aggregate nanosecond durations, a Hist aggregates arbitrary non-negative
+// integer samples — batch occupancies, queue depths — through the same
+// log2-bucket machinery, so distribution percentiles come for free.
+type Hist uint8
+
+// Value histograms.
+const (
+	HistBatchOccupancy  Hist = iota // items per fused batch flush
+	HistBatchQueueDepth             // per-kind queue depth sampled at enqueue
+
+	// NumHists bounds the Hist enum; keep it last.
+	NumHists
+)
+
+var histNames = [NumHists]string{
+	"batch-occupancy",
+	"batch-queue-depth",
+}
+
+// String returns the histogram's report name.
+func (h Hist) String() string {
+	if h < NumHists {
+		return histNames[h]
 	}
 	return "unknown"
 }
@@ -181,7 +227,9 @@ type Tracer interface {
 // holds durations d with bits.Len64(d) == i, i.e. 2^(i-1) <= d < 2^i.
 const bucketCount = 64
 
-// stageAgg accumulates one stage's latency distribution.
+// stageAgg accumulates one log2-bucketed distribution. Stages store
+// nanosecond durations in it; the generic value histograms store raw
+// integer samples — the NS suffixes only name the dominant use.
 type stageAgg struct {
 	count   atomic.Int64
 	sumNS   atomic.Int64
@@ -205,6 +253,7 @@ type Collector struct {
 	tracer Tracer
 	stages [NumStages]stageAgg
 	gauges [NumGauges]gaugeAgg
+	hists  [NumHists]stageAgg
 	ctrs   [NumCounters]atomic.Int64
 }
 
@@ -213,6 +262,9 @@ func New() *Collector {
 	c := &Collector{epoch: time.Now()}
 	for i := range c.stages {
 		c.stages[i].minNS.Store(int64(1)<<62 - 1)
+	}
+	for i := range c.hists {
+		c.hists[i].minNS.Store(int64(1)<<62 - 1)
 	}
 	return c
 }
@@ -274,6 +326,34 @@ func (c *Collector) ObserveDur(s Stage, frame int, kind byte, start, d time.Dura
 	c.ctrs[CounterSpans].Add(1)
 	if c.tracer != nil {
 		c.tracer.Span(SpanEvent{Frame: frame, Kind: kind, Stage: s, Start: start, Dur: d})
+	}
+}
+
+// Observe records one sample of a value histogram (negative samples clamp
+// to zero). Like every recording method it is a cheap no-op on a nil
+// collector.
+func (c *Collector) Observe(h Hist, v int64) {
+	if c == nil || h >= NumHists {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	agg := &c.hists[h]
+	agg.count.Add(1)
+	agg.sumNS.Add(v)
+	agg.buckets[bits.Len64(uint64(v))%bucketCount].Add(1)
+	for {
+		m := agg.minNS.Load()
+		if v >= m || agg.minNS.CompareAndSwap(m, v) {
+			break
+		}
+	}
+	for {
+		m := agg.maxNS.Load()
+		if v <= m || agg.maxNS.CompareAndSwap(m, v) {
+			break
+		}
 	}
 }
 

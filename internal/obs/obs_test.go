@@ -224,9 +224,100 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestHistBucketEdges pins the log2-bucket behavior of the generic value
+// histogram at the small integers batch occupancy lives at. Bucket i holds
+// values v with bits.Len64(v) == i, the quantile reports the bucket's
+// geometric midpoint (lo + lo/2 for lo = 2^(i-1)), and the report clamps
+// every percentile into the observed [min, max] — so tiny-value histograms
+// still read exactly.
+func TestHistBucketEdges(t *testing.T) {
+	cases := []struct {
+		name       string
+		samples    []int64
+		p50, p99   int64
+		minV, maxV int64
+		mean       float64
+	}{
+		// 1 is alone in bucket 1 ([1,2)); its midpoint is exactly 1.
+		{"ones", []int64{1, 1, 1}, 1, 1, 1, 1, 1},
+		// 2 shares bucket 2 ([2,4)) whose midpoint is 3; the clamp to the
+		// observed max pulls the estimate back to 2.
+		{"twos", []int64{2, 2}, 2, 2, 2, 2, 2},
+		// 3 sits at the top of bucket 2; midpoint 3 is exact.
+		{"threes", []int64{3}, 3, 3, 3, 3, 3},
+		// 8 opens bucket 4 ([8,16), midpoint 12); clamping to max=8 keeps the
+		// report inside the observed range.
+		{"eights", []int64{8, 8, 8, 8}, 8, 8, 8, 8, 8},
+		// Mixed: rank-2 of {1,2,3,8} lands in bucket 2 (midpoint 3); p99's
+		// bucket-4 midpoint 12 clamps to the observed max 8.
+		{"mixed", []int64{1, 2, 3, 8}, 3, 8, 1, 8, 3.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New()
+			for _, v := range tc.samples {
+				c.Observe(HistBatchOccupancy, v)
+			}
+			h := c.Snapshot().Hist("batch-occupancy")
+			if h == nil {
+				t.Fatal("batch-occupancy histogram missing from report")
+			}
+			if h.Count != int64(len(tc.samples)) {
+				t.Fatalf("count = %d, want %d", h.Count, len(tc.samples))
+			}
+			if h.P50 != tc.p50 || h.P99 != tc.p99 {
+				t.Fatalf("p50/p99 = %d/%d, want %d/%d", h.P50, h.P99, tc.p50, tc.p99)
+			}
+			if h.Min != tc.minV || h.Max != tc.maxV {
+				t.Fatalf("min/max = %d/%d, want %d/%d", h.Min, h.Max, tc.minV, tc.maxV)
+			}
+			if h.Mean != tc.mean {
+				t.Fatalf("mean = %v, want %v", h.Mean, tc.mean)
+			}
+			if h.P50 > h.P95 || h.P95 > h.P99 {
+				t.Fatalf("percentiles not monotonic: %d/%d/%d", h.P50, h.P95, h.P99)
+			}
+		})
+	}
+}
+
+func TestHistNilSafetyAndJSON(t *testing.T) {
+	var nilC *Collector
+	nilC.Observe(HistBatchOccupancy, 4) // must not panic
+	c := New()
+	c.Observe(HistBatchQueueDepth, -5) // clamps to 0
+	c.Observe(HistBatchQueueDepth, 2)
+	data, err := json.Marshal(c.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	h := back.Hist("batch-queue-depth")
+	if h == nil {
+		t.Fatal("batch-queue-depth lost in JSON round-trip")
+	}
+	if h.Min != 0 || h.Max != 2 || h.Count != 2 {
+		t.Fatalf("hist = %+v, want min 0 max 2 count 2", h)
+	}
+	// Empty histograms stay out of reports and tables.
+	if got := New().Snapshot().Hists; len(got) != 0 {
+		t.Fatalf("empty collector reported hists %+v", got)
+	}
+	out := c.Snapshot().Table()
+	if !strings.Contains(out, "batch-queue-depth") {
+		t.Fatalf("table missing value histogram:\n%s", out)
+	}
+}
+
 func TestEnumNames(t *testing.T) {
 	if Stage(200).String() != "unknown" || Gauge(200).String() != "unknown" || Counter(200).String() != "unknown" {
 		t.Fatal("out-of-range enums must stringify as unknown")
+	}
+	if Hist(200).String() != "unknown" {
+		t.Fatal("out-of-range Hist must stringify as unknown")
 	}
 	seen := map[string]bool{}
 	for s := Stage(0); s < NumStages; s++ {

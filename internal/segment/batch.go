@@ -1,0 +1,93 @@
+package segment
+
+import (
+	"fmt"
+
+	"vrdann/internal/nn"
+	"vrdann/internal/obs"
+	"vrdann/internal/tensor"
+	"vrdann/internal/video"
+)
+
+// RefineJob is one B-frame refinement request inside a fused batch: the
+// flanking anchor segmentations and the MV-reconstructed current frame.
+type RefineJob struct {
+	Prev *video.Mask
+	Rec  *ReconMask
+	Next *video.Mask
+}
+
+// BatchRefiner runs NN-S over many B-frames from different streams in one
+// fused forward pass (nn.RefineNet.ForwardBatch). Like Refiner it reuses
+// its input tensor across flushes and is not safe for concurrent use — the
+// batching engine serializes flushes per kind.
+type BatchRefiner struct {
+	Net *nn.RefineNet
+	in  *tensor.Tensor
+}
+
+// NewBatchRefiner wraps a refinement network for fused batched inference.
+func NewBatchRefiner(net *nn.RefineNet) *BatchRefiner { return &BatchRefiner{Net: net} }
+
+// RefineBatch refines all jobs — which must share one geometry — in a
+// single fused forward pass and returns one mask per job, each bitwise
+// equal to Refiner.Refine on that job alone. The caller groups jobs by
+// geometry; mixing sizes panics.
+func (r *BatchRefiner) RefineBatch(jobs []RefineJob) []*video.Mask {
+	n := len(jobs)
+	if n == 0 {
+		return nil
+	}
+	h, w := jobs[0].Rec.H, jobs[0].Rec.W
+	for _, j := range jobs[1:] {
+		if j.Rec.H != h || j.Rec.W != w {
+			panic(fmt.Sprintf("segment: RefineBatch geometry mix: %dx%d vs %dx%d", w, h, j.Rec.W, j.Rec.H))
+		}
+	}
+	if r.in == nil || len(r.in.Data) != n*3*h*w {
+		r.in = tensor.New(n*3, h, w)
+	} else {
+		r.in = r.in.Reshape(n*3, h, w)
+	}
+	c := r.Net.Observer()
+	t := c.Clock()
+	for i, j := range jobs {
+		item := tensor.FromSlice(r.in.Data[i*3*h*w:(i+1)*3*h*w], 3, h, w)
+		SandwichInto(item, j.Prev, j.Rec, j.Next)
+	}
+	c.Span(obs.StageSandwich, -1, obs.KindNone, t)
+	logits := r.Net.ForwardBatch(r.in, n)
+	masks := make([]*video.Mask, n)
+	for i := range jobs {
+		m := video.NewMask(w, h)
+		for p, v := range logits.Data[i*h*w : (i+1)*h*w] {
+			if v > 0 {
+				m.Pix[p] = 1
+			}
+		}
+		masks[i] = m
+	}
+	return masks
+}
+
+// BatchSegmenter is implemented by Segmenters that can process several
+// frames in one fused call. The batching engine uses it when available and
+// falls back to per-frame Segment otherwise.
+type BatchSegmenter interface {
+	Segmenter
+	// SegmentBatch segments frames[i] (displayed at displays[i]) for each i,
+	// returning one mask per frame, each identical to Segment on that frame
+	// alone.
+	SegmentBatch(frames []*video.Frame, displays []int) []*video.Mask
+}
+
+// SegmentBatch implements BatchSegmenter. Otsu thresholding is per-frame
+// by nature, so the fused form is a loop — the win for NN-L batching is in
+// coalescing scheduler wakeups, not kernel fusion.
+func (s *ThresholdSegmenter) SegmentBatch(frames []*video.Frame, displays []int) []*video.Mask {
+	masks := make([]*video.Mask, len(frames))
+	for i, f := range frames {
+		masks[i] = s.Segment(f, displays[i])
+	}
+	return masks
+}

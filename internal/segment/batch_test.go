@@ -1,0 +1,94 @@
+package segment
+
+import (
+	"math/rand"
+	"testing"
+
+	"vrdann/internal/nn"
+	"vrdann/internal/video"
+)
+
+// makeJob builds a deterministic refinement job with pseudo-random anchor
+// masks and reconstruction codes.
+func makeJob(rng *rand.Rand, w, h int) RefineJob {
+	prev, next := video.NewMask(w, h), video.NewMask(w, h)
+	rec := NewReconMask(w, h)
+	for i := range prev.Pix {
+		prev.Pix[i] = uint8(rng.Intn(2))
+		next.Pix[i] = uint8(rng.Intn(2))
+		rec.Pix[i] = uint8(rng.Intn(4))
+	}
+	return RefineJob{Prev: prev, Rec: rec, Next: next}
+}
+
+// TestRefineBatchBitIdentical pins BatchRefiner.RefineBatch to the serial
+// Refiner at batch sizes 1, 2, 4 and 8, including across a scratch resize.
+func TestRefineBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := nn.NewRefineNet(rand.New(rand.NewSource(6)), 8)
+	br := NewBatchRefiner(net)
+	serial := NewRefiner(net.Clone())
+	const w, h = 12, 8
+	for _, n := range []int{1, 4, 2, 8} {
+		jobs := make([]RefineJob, n)
+		for i := range jobs {
+			jobs[i] = makeJob(rng, w, h)
+		}
+		got := br.RefineBatch(jobs)
+		if len(got) != n {
+			t.Fatalf("n=%d: got %d masks", n, len(got))
+		}
+		for i, j := range jobs {
+			want := serial.Refine(j.Prev, j.Rec, j.Next)
+			for p := range want.Pix {
+				if got[i].Pix[p] != want.Pix[p] {
+					t.Fatalf("n=%d job %d pixel %d: batched %d != serial %d",
+						n, i, p, got[i].Pix[p], want.Pix[p])
+				}
+			}
+		}
+	}
+}
+
+// TestRefineBatchEmptyAndMixedGeometry covers the empty fast path and the
+// geometry-mix panic.
+func TestRefineBatchEmptyAndMixedGeometry(t *testing.T) {
+	net := nn.NewRefineNet(rand.New(rand.NewSource(1)), 4)
+	br := NewBatchRefiner(net)
+	if masks := br.RefineBatch(nil); masks != nil {
+		t.Fatalf("empty batch returned %v", masks)
+	}
+	rng := rand.New(rand.NewSource(2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on geometry mix")
+		}
+	}()
+	br.RefineBatch([]RefineJob{makeJob(rng, 8, 8), makeJob(rng, 16, 8)})
+}
+
+// TestThresholdSegmentBatch pins the fused ThresholdSegmenter call to the
+// per-frame one.
+func TestThresholdSegmentBatch(t *testing.T) {
+	s := &ThresholdSegmenter{CloseRadius: 1}
+	rng := rand.New(rand.NewSource(9))
+	var frames []*video.Frame
+	var displays []int
+	for i := 0; i < 3; i++ {
+		f := video.NewFrame(16, 12)
+		for p := range f.Pix {
+			f.Pix[p] = uint8(rng.Intn(256))
+		}
+		frames = append(frames, f)
+		displays = append(displays, i)
+	}
+	got := s.SegmentBatch(frames, displays)
+	for i, f := range frames {
+		want := s.Segment(f, displays[i])
+		for p := range want.Pix {
+			if got[i].Pix[p] != want.Pix[p] {
+				t.Fatalf("frame %d pixel %d differs", i, p)
+			}
+		}
+	}
+}

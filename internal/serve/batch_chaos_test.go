@@ -1,0 +1,134 @@
+// Batched chaos soak: same fault model as TestChaosSoak, with the
+// cross-session dynamic batcher enabled. Lives in the external test
+// package for the same import-cycle reason.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/core"
+	"vrdann/internal/fault"
+	"vrdann/internal/fault/chaos"
+	"vrdann/internal/nn"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/serve"
+)
+
+// TestChaosSoakBatched pins the fault-isolation contract of dynamic
+// batching: with 20% of chunks corrupted and every NN step routed through
+// shared fused batches, a poisoned session fails alone — its batch-mates'
+// masks stay bit-identical to a clean serial run — and batch telemetry
+// confirms the batched path actually ran.
+func TestChaosSoakBatched(t *testing.T) {
+	v := chaosVideo(18)
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := st.Data
+	nns := nn.NewRefineNet(rand.New(rand.NewSource(11)), 4)
+
+	sp := &core.StreamingPipeline{
+		NNL: segment.NewOracle("ref", v.Masks, 0.05, 2, 7),
+		NNS: nns, Refine: true, Workers: 1,
+	}
+	var ref []core.MaskOut
+	if err := sp.Run(chunk, core.DisplayOrder(func(m core.MaskOut) error {
+		ref = append(ref, m)
+		return nil
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	const sessions, chunks = 8, 6
+	serverObs := obs.New()
+	srv, err := serve.NewServer(serve.Config{
+		MaxSessions: sessions,
+		MaxBatch:    4,
+		NewSegmenter: func(id string) segment.Segmenter {
+			return segment.NewOracle(id, v.Masks, 0.05, 2, 7)
+		},
+		NNS:              nns,
+		Obs:              serverObs,
+		BreakerThreshold: 2,
+		BreakerBackoff:   5 * time.Millisecond,
+		BreakerMaxTrips:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := chaos.Run(context.Background(), srv, chaos.Config{
+		Sessions: sessions, Chunks: chunks, Chunk: chunk,
+		Rate: 0.20, Seed: 1729, Kinds: fault.AllKinds,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(context.Background()); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+	if res.Hung != 0 {
+		t.Fatalf("%d chunk tickets never resolved — batched serving path hung", res.Hung)
+	}
+
+	healthy, failures := 0, 0
+	for si := range res.Sessions {
+		rep := &res.Sessions[si]
+		if rep.OpenErr != nil {
+			t.Fatalf("session %d failed to open: %v", si, rep.OpenErr)
+		}
+		if !rep.Poisoned {
+			healthy++
+		}
+		for ci, out := range rep.Outcomes {
+			switch {
+			case out.SubmitErr != nil:
+				if !out.Corrupted && !rep.Poisoned {
+					t.Fatalf("session %d chunk %d: healthy chunk rejected: %v", si, ci, out.SubmitErr)
+				}
+			case out.ServeErr != nil:
+				failures++
+				var ce *serve.ChunkError
+				if !errors.As(out.ServeErr, &ce) {
+					t.Fatalf("session %d chunk %d: unclassified serve error: %v", si, ci, out.ServeErr)
+				}
+				if !out.Corrupted && !errors.Is(out.ServeErr, serve.ErrSessionBroken) {
+					t.Fatalf("session %d chunk %d: clean chunk failed mid-serve under batching: %v",
+						si, ci, out.ServeErr)
+				}
+			case !out.Corrupted:
+				// The isolation claim: this clean chunk shared fused batches
+				// with corrupt sessions' frames, and must still match the
+				// serial reference exactly.
+				if len(out.Results) != len(ref) {
+					t.Fatalf("session %d chunk %d: %d frames, want %d", si, ci, len(out.Results), len(ref))
+				}
+				for i, fr := range out.Results {
+					if fr.Dropped || fr.Mask == nil || !bytes.Equal(fr.Mask.Pix, ref[i].Mask.Pix) {
+						t.Fatalf("session %d chunk %d frame %d: mask diverges from serial under batched chaos",
+							si, ci, i)
+					}
+				}
+			}
+		}
+	}
+	if healthy == 0 || failures == 0 {
+		t.Fatalf("seed gave %d healthy sessions, %d failures; coverage lost — pick a new seed",
+			healthy, failures)
+	}
+	snap := serverObs.Snapshot()
+	if snap.Counters[obs.CounterBatchItems.String()] == 0 {
+		t.Fatal("soak recorded no batched items — batching was not exercised")
+	}
+	if snap.Hist("batch-occupancy") == nil {
+		t.Fatal("soak recorded no batch-occupancy histogram")
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"time"
 
 	"vrdann/internal/codec"
+	"vrdann/internal/core"
 	"vrdann/internal/obs"
+	"vrdann/internal/video"
 )
 
 // worker is one lane of the shared compute budget. Each dispatch serves
@@ -81,9 +83,16 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 	drop := func(codec.FrameInfo) bool {
 		return budget > 0 && time.Since(cur.arrived) > budget
 	}
-	mo, err := s.eng.StepFunc(s.srv.ctx, drop)
+	mo, pending, err := s.eng.StepPrepare(s.srv.ctx, drop)
 	if err != nil {
 		return false, err
+	}
+	if pending != nil {
+		mask, nerr := s.execPending(pending)
+		if nerr != nil {
+			return false, nerr
+		}
+		mo = pending.Finish(mask)
 	}
 	if mo == nil {
 		// Exhausted with fewer delivered frames than the header promised
@@ -104,4 +113,28 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 	s.obs.Span(obs.StageServe, r.Display, byte(r.Type), cur.arrT)
 	cur.results = append(cur.results, r)
 	return s.eng.Remaining() == 0, nil
+}
+
+// execPending computes a step's NN mask: through the shared dynamic
+// batcher when one is configured, inline otherwise. The session's own
+// nn-l/refine spans are recorded either way, so per-session latency
+// reports stay comparable across modes (batched spans include queue wait).
+// The submit uses the server context so a forced drain wakes workers
+// blocked in a batch; a batcher error fails only this session's step —
+// batch-mates got their own results.
+func (s *Session) execPending(pn *core.PendingNN) (*video.Mask, error) {
+	b := s.srv.batcher
+	if b == nil {
+		return pn.ExecuteLocal(), nil
+	}
+	t := s.obs.Clock()
+	if pn.IsAnchor() {
+		m, err := b.Segment(s.srv.ctx, pn.Segmenter(), pn.Frame(), pn.Display())
+		s.obs.Span(obs.StageNNL, pn.Display(), byte(pn.FrameType()), t)
+		return m, err
+	}
+	prev, rec, next := pn.RefineInputs()
+	m, err := b.Refine(s.srv.ctx, prev, rec, next)
+	s.obs.Span(obs.StageRefine, pn.Display(), byte(pn.FrameType()), t)
+	return m, err
 }

@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"vrdann/internal/batch"
 	"vrdann/internal/core"
 	"vrdann/internal/nn"
 	"vrdann/internal/obs"
@@ -116,6 +117,17 @@ type Config struct {
 	// MaxChunkBytes bounds one HTTP-posted chunk body; oversized posts get
 	// 413. A DoS guard, not a protocol limit. Default 64 MiB.
 	MaxChunkBytes int64
+	// MaxBatch enables the cross-session dynamic batching engine: NN work
+	// (NN-L anchor segmentation, NN-S refinement) from all sessions is
+	// coalesced into fused batched executions of up to MaxBatch items.
+	// Values <= 1 keep the unbatched per-session path (the default). When
+	// Workers is left at its default it is raised to at least MaxBatch —
+	// a batch can only fill if that many workers can block in it at once —
+	// and an explicit Workers caps MaxBatch instead.
+	MaxBatch int
+	// MaxBatchWait bounds how long a partial batch waits for batch-mates
+	// before flushing (tail-latency bound at low concurrency). Default 2ms.
+	MaxBatchWait time.Duration
 }
 
 // withDefaults resolves unset fields.
@@ -128,6 +140,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = par.EffectiveWorkers(runtime.GOMAXPROCS(0))
+		// Workers blocked in a batch cost no CPU; without this floor every
+		// flush on a small machine would be a timer flush of a partial batch.
+		if c.MaxBatch > c.Workers {
+			c.Workers = c.MaxBatch
+		}
+	}
+	if c.MaxBatch > c.Workers {
+		c.MaxBatch = c.Workers
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
@@ -155,6 +175,9 @@ type Server struct {
 	// plus the one-entry-per-session invariant (Session.queued) makes every
 	// send non-blocking under srv.mu.
 	runq chan *Session
+	// batcher, when non-nil, is the shared cross-session dynamic batching
+	// engine all NN work is routed through (cfg.MaxBatch > 1).
+	batcher *batch.Engine
 
 	mu       sync.Mutex
 	cond     *sync.Cond // work retired, queue space freed, session retired
@@ -178,6 +201,33 @@ func NewServer(cfg Config) (*Server, error) {
 		sessions: make(map[string]*Session),
 	}
 	srv.cond = sync.NewCond(&srv.mu)
+	if cfg.MaxBatch > 1 {
+		srv.batcher = batch.New(batch.Config{
+			MaxBatch: cfg.MaxBatch,
+			MaxWait:  cfg.MaxBatchWait,
+			NNS:      cfg.NNS,
+			Obs:      cfg.Obs,
+			// Producer-stall detection: every queued batch item is a worker
+			// blocked in the engine. When all busy workers are blocked and no
+			// session is waiting for a worker, no further item can arrive —
+			// flush now instead of idling out MaxWait. Races only flush a
+			// batch early; the deadline timer remains the backstop.
+			Stalled: func(pending int) bool {
+				if len(srv.runq) > 0 {
+					return false
+				}
+				srv.mu.Lock()
+				busy := 0
+				for _, s := range srv.sessions {
+					if s.running {
+						busy++
+					}
+				}
+				srv.mu.Unlock()
+				return pending >= busy && len(srv.runq) == 0
+			},
+		})
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		srv.wg.Add(1)
 		go srv.worker()
@@ -267,6 +317,11 @@ func (srv *Server) Close(ctx context.Context) error {
 	// closing the run queue releases the workers.
 	close(srv.runq)
 	srv.wg.Wait()
+	if srv.batcher != nil {
+		// All workers have exited, so nothing can submit: this only flushes
+		// stragglers and fences off the engine.
+		srv.batcher.Close()
+	}
 	srv.cancel()
 	return ctx.Err()
 }

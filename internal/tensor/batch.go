@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"fmt"
+
+	"vrdann/internal/par"
+)
+
+// Im2ColBatch lowers a batch of n CHW images, packed item-major into x
+// ([n*C, H, W]), into one wide patch matrix of shape
+// [C*kh*kw, n*outH*outW]: item i occupies the column block
+// [i*outH*outW, (i+1)*outH*outW). Concatenating along columns is what lets
+// one MatMul serve the whole batch — each output column is still computed
+// by the exact serial per-item accumulation, so a batched convolution is
+// bit-identical to n serial ones.
+func Im2ColBatch(x *Tensor, n, kh, kw, stride, pad int) *Tensor {
+	c, outH, outW := im2colBatchDims(x, n, kh, kw, stride, pad)
+	cols := New(c*kh*kw, n*outH*outW)
+	im2colBatchInto(cols, x, n, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColBatchInto is Im2ColBatch writing into a caller-owned buffer of
+// shape [C*kh*kw, n*outH*outW], so the wide patch matrix can be reused
+// across flushes.
+func Im2ColBatchInto(cols, x *Tensor, n, kh, kw, stride, pad int) {
+	c, outH, outW := im2colBatchDims(x, n, kh, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != n*outH*outW {
+		panic(fmt.Sprintf("tensor: Im2ColBatchInto dst shape %v, want [%d %d]", cols.Shape, c*kh*kw, n*outH*outW))
+	}
+	im2colBatchInto(cols, x, n, kh, kw, stride, pad)
+}
+
+func im2colBatchDims(x *Tensor, n, kh, kw, stride, pad int) (c, outH, outW int) {
+	if len(x.Shape) != 3 || n <= 0 || x.Shape[0]%n != 0 {
+		panic(fmt.Sprintf("tensor: Im2ColBatch requires [n*C H W] input, got %v for n=%d", x.Shape, n))
+	}
+	c = x.Shape[0] / n
+	outH = (x.Shape[1]+2*pad-kh)/stride + 1
+	outW = (x.Shape[2]+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColBatch produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
+	}
+	return c, outH, outW
+}
+
+// im2colBatchInto fills the wide patch matrix. Rows — one per (channel, ky,
+// kx) — stay independent exactly as in the single-item lowering, so they
+// split across cores the same way.
+func im2colBatchInto(cols, x *Tensor, n, kh, kw, stride, pad int) {
+	c := x.Shape[0] / n
+	rows := c * kh * kw
+	outH := (x.Shape[1]+2*pad-kh)/stride + 1
+	outW := (x.Shape[2]+2*pad-kw)/stride + 1
+	grain := par.Grain(rows, n*outH*outW, par.MinWorkFloats)
+	if grain >= rows || par.MaxWorkers() == 1 {
+		im2colBatchRows(cols, x, n, kh, kw, stride, pad, 0, rows)
+		return
+	}
+	par.For(rows, grain, func(lo, hi int) {
+		im2colBatchRows(cols, x, n, kh, kw, stride, pad, lo, hi)
+	})
+}
+
+// im2colBatchRows fills wide-patch-matrix rows [lo, hi): for each row it
+// writes every item's patch values into that item's column block. The
+// per-item inner loops are identical to im2colRows, only the source channel
+// (item i's channel block) and destination column offset shift per item.
+func im2colBatchRows(cols, x *Tensor, n, kh, kw, stride, pad, lo, hi int) {
+	c := x.Shape[0] / n
+	h, w := x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	oHW := outH * outW
+	for r := lo; r < hi; r++ {
+		ch := r / (kh * kw)
+		ky := (r / kw) % kh
+		kx := r % kw
+		row := r * n * oHW
+		clear(cols.Data[row : row+n*oHW])
+		for i := 0; i < n; i++ {
+			chBase := (i*c + ch) * h * w
+			itemCol := row + i*oHW
+			for oy := 0; oy < outH; oy++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= h {
+					continue
+				}
+				srcRow := chBase + iy*w
+				dstRow := itemCol + oy*outW
+				for ox := 0; ox < outW; ox++ {
+					ix := ox*stride + kx - pad
+					if ix < 0 || ix >= w {
+						continue
+					}
+					cols.Data[dstRow+ox] = x.Data[srcRow+ix]
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIm2ColBatchMatchesSerial pins the wide batched lowering to the
+// per-item lowering bitwise: item i's column block of the batched patch
+// matrix must equal Im2Col of item i alone, at several batch sizes and
+// for both padded-same and strided-valid geometries.
+func TestIm2ColBatchMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct {
+		name                   string
+		c, h, w                int
+		kh, kw, stride, pad, n int
+	}{
+		{"same-3x3-n1", 3, 8, 6, 3, 3, 1, 1, 1},
+		{"same-3x3-n4", 3, 8, 6, 3, 3, 1, 1, 4},
+		{"valid-2x2-s2-n3", 2, 10, 8, 2, 2, 2, 0, 3},
+		{"same-3x3-n8", 1, 12, 12, 3, 3, 1, 1, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch := New(tc.n*tc.c, tc.h, tc.w)
+			for i := range batch.Data {
+				batch.Data[i] = rng.Float32()*2 - 1
+			}
+			wide := Im2ColBatch(batch, tc.n, tc.kh, tc.kw, tc.stride, tc.pad)
+			oHW := wide.Shape[1] / tc.n
+			for i := 0; i < tc.n; i++ {
+				item := FromSlice(batch.Data[i*tc.c*tc.h*tc.w:(i+1)*tc.c*tc.h*tc.w], tc.c, tc.h, tc.w)
+				want := Im2Col(item, tc.kh, tc.kw, tc.stride, tc.pad)
+				if want.Shape[1] != oHW {
+					t.Fatalf("column count mismatch: wide block %d vs serial %d", oHW, want.Shape[1])
+				}
+				for r := 0; r < wide.Shape[0]; r++ {
+					for col := 0; col < oHW; col++ {
+						got := wide.Data[r*wide.Shape[1]+i*oHW+col]
+						exp := want.Data[r*oHW+col]
+						if got != exp {
+							t.Fatalf("item %d row %d col %d: batched %v != serial %v", i, r, col, got, exp)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIm2ColBatchIntoReuse checks the Into variant overwrites a dirty
+// reused buffer completely (padding zeros included).
+func TestIm2ColBatchIntoReuse(t *testing.T) {
+	x := New(2*2, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i + 1)
+	}
+	want := Im2ColBatch(x, 2, 3, 3, 1, 1)
+	dirty := New(want.Shape[0], want.Shape[1])
+	for i := range dirty.Data {
+		dirty.Data[i] = -99
+	}
+	Im2ColBatchInto(dirty, x, 2, 3, 3, 1, 1)
+	for i := range want.Data {
+		if dirty.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: reused buffer %v != fresh %v", i, dirty.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestIm2ColBatchValidation checks shape misuse panics instead of
+// corrupting memory.
+func TestIm2ColBatchValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for channel count not divisible by n")
+		}
+	}()
+	Im2ColBatch(New(3, 4, 4), 2, 3, 3, 1, 1)
+}

@@ -37,6 +37,7 @@ import (
 	"io"
 
 	"vrdann/internal/baseline"
+	"vrdann/internal/batch"
 	"vrdann/internal/codec"
 	"vrdann/internal/core"
 	"vrdann/internal/detect"
@@ -184,6 +185,12 @@ type (
 	// StreamDecoder decodes a bitstream incrementally with a pruned
 	// reference window; Reset reuses it across a session's chunks.
 	StreamDecoder = codec.StreamDecoder
+	// BatchEngine coalesces NN work from many sessions into fused batched
+	// kernel executions; masks stay bit-identical to unbatched runs.
+	BatchEngine = batch.Engine
+	// BatchConfig parameterizes a BatchEngine (flush threshold, partial
+	// flush deadline, refinement network, metrics collector).
+	BatchConfig = batch.Config
 )
 
 // Queue-overflow policies.
@@ -194,8 +201,14 @@ const (
 	OverflowWait = serve.Wait
 )
 
-// NewServer starts a multi-stream serving layer and its worker pool.
+// NewServer starts a multi-stream serving layer and its worker pool. Set
+// ServeConfig.MaxBatch > 1 to route NN work through a shared BatchEngine.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.NewServer(cfg) }
+
+// NewBatchEngine builds a standalone cross-session dynamic batcher; a
+// Server with MaxBatch > 1 constructs one internally, so this is only
+// needed when embedding the batcher in a custom scheduler.
+func NewBatchEngine(cfg BatchConfig) *BatchEngine { return batch.New(cfg) }
 
 // Simulator types.
 type (
