@@ -9,7 +9,7 @@ GO ?= go
 RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke chaos-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke chaos-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -55,6 +55,13 @@ serve-smoke:
 # masks bit-identical to the unbatched reference.
 batch-smoke:
 	$(GO) run ./cmd/vrserve -smoke -refine
+
+# The quant leg: -quant compiles the trained NN-S to the int8 execution
+# tier and serves it with residual-driven block skipping. The smoke gates
+# the served B-frame F-score within 0.5 points of the float reference and
+# checks the per-block skip counters surface in server-wide /metrics.
+quant-smoke:
+	$(GO) run ./cmd/vrserve -smoke -refine -quant
 
 # Short chaos soak under the race detector: concurrent sessions fed 20%
 # corrupted chunks through the fault injector; healthy streams must stay

@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve, batch, faults.
+// energy, stages, serve, batch, quant, faults.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "faults"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -152,6 +152,8 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 	case "batch":
 		rows, err := h.Batch()
 		return rows, err
+	case "quant":
+		return h.Quant()
 	case "faults":
 		return h.Faults()
 	case "ablations":
@@ -387,6 +389,21 @@ func runFigure(h *experiments.Harness, name string) error {
 			fmt.Printf("  %7d %9d %7d %9.1f %8.1f %8.1f %8.1f %7.2f %12d %5d %5d %5d\n",
 				r.Streams, r.MaxBatch, r.Frames, r.FPS, r.P50MS, r.P95MS, r.P99MS,
 				r.MeanOccupancy, r.FlushFull, r.FlushTimer, r.FlushStall, r.FlushDrain)
+		}
+	case "quant":
+		rep, err := h.Quant()
+		if err != nil {
+			return err
+		}
+		k := rep.Kernels
+		fmt.Println("Quantized kernel tier (int8 vs float, residual-driven skipping):")
+		fmt.Printf("  kernels (batch %d): float %.1fms/item, int8 %.1fms/item — %.2fx, %.2f Gop/s int8 (sim efficiency %.2e)\n",
+			k.Items, k.FloatNSPerItem/1e6, k.Int8NSPerItem/1e6, k.Speedup, k.Int8OpsPerSec/1e9, k.SimEfficiency)
+		fmt.Printf("  %-10s %7s %9s %8s %8s %8s %7s %7s %7s %6s\n",
+			"path", "frames", "total fps", "p50 ms", "p95 ms", "p99 ms", "F", "dF", "occ", "skip%")
+		for _, r := range rep.Rows {
+			fmt.Printf("  %-10s %7d %9.1f %8.1f %8.1f %8.1f %7.3f %7.3f %7.2f %5.1f%%\n",
+				r.Path, r.Frames, r.FPS, r.P50MS, r.P95MS, r.P99MS, r.FScore, r.DeltaF, r.MeanOccupancy, 100*r.SkipRate)
 		}
 	case "faults":
 		rep, err := h.Faults()

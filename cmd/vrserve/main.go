@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -32,9 +33,11 @@ import (
 
 	"vrdann/internal/codec"
 	"vrdann/internal/core"
+	"vrdann/internal/nn"
 	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/serve"
+	"vrdann/internal/tensor"
 	"vrdann/internal/video"
 )
 
@@ -47,6 +50,8 @@ func main() {
 		budget      = flag.Duration("budget", 0, "frame deadline: chunks older than this shed B-frames (0 = never)")
 		wait        = flag.Bool("wait", false, "block full-queue submits instead of rejecting")
 		refine      = flag.Bool("refine", false, "train NN-S at startup and refine B-frames")
+		quant       = flag.Bool("quant", false, "serve NN-S refinement on the int8 tier with residual-driven block skipping (implies -refine)")
+		skipThresh  = flag.Int("skip-threshold", 8, "residual energy above which a block is refined under -quant (0 = skip only bit-exact predictions)")
 		smoke       = flag.Bool("smoke", false, "run the serving self-test and exit")
 		batchSize   = flag.Int("batch", 0, "dynamic batching: fuse up to this many NN items across sessions (<=1 disables)")
 		batchWait   = flag.Duration("batch-wait", 0, "partial-batch flush deadline (0 = 2ms default)")
@@ -78,13 +83,23 @@ func main() {
 	if *wait {
 		cfg.Policy = serve.Wait
 	}
-	if *refine {
+	if *refine || *quant {
 		log.Printf("training NN-S on the synthetic training set...")
 		net, err := core.TrainNNS(video.MakeTrainingSet(96, 64, 16), codec.DefaultConfig(), core.DefaultTrainConfig())
 		if err != nil {
 			log.Fatalf("train NN-S: %v", err)
 		}
 		cfg.NNS = net
+		if *quant {
+			q, err := quantizeNNS(net)
+			if err != nil {
+				log.Fatalf("quantize NN-S: %v", err)
+			}
+			cfg.QuantNNS = q
+			cfg.SkipResidual = true
+			cfg.SkipThreshold = *skipThresh
+			log.Printf("NN-S compiled to int8 (%d weight bytes, skip-threshold %d)", q.WeightBytes(), *skipThresh)
+		}
 	}
 
 	if *smoke {
@@ -104,6 +119,24 @@ func main() {
 	if err := http.ListenAndServe(*addr, withDebug(srv.Handler())); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// quantizeNNS compiles a trained float NN-S to the int8 execution tier.
+// The calibration set is synthetic sandwich-shaped input: every sandwich
+// channel only ever carries {0, 0.5, 1} (binary anchor masks and the
+// 2-bit MV reconstruction), so random draws from that alphabet exercise
+// the full activation range the deployed net will see.
+func quantizeNNS(net *nn.RefineNet) (*nn.QuantRefineNet, error) {
+	rng := rand.New(rand.NewSource(1))
+	var calib []*tensor.Tensor
+	for i := 0; i < 4; i++ {
+		x := tensor.New(3, 48, 64)
+		for j := range x.Data {
+			x.Data[j] = float32(rng.Intn(3)) / 2
+		}
+		calib = append(calib, x)
+	}
+	return nn.NewQuantRefineNet(net, calib)
 }
 
 // withDebug mounts expvar and pprof beside the serving API.
@@ -133,16 +166,27 @@ func runSmoke(cfg serve.Config) error {
 		return fmt.Errorf("encode: %w", err)
 	}
 
+	// Legs 1–4 run the float path; when -quant compiled an int8 NN-S, leg 5
+	// below serves it (with residual skipping) from the full config and
+	// gates its accuracy against the float reference collected here.
+	qcfg := cfg
+	cfg.QuantNNS = nil
+	cfg.SkipResidual = false
+	cfg.SkipThreshold = 0
+
 	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		return err
 	}
 
 	// Leg 1: the load generator against the server core. The masks double
-	// as the reference the batched leg below must reproduce exactly.
+	// as the reference the batched leg below must reproduce exactly, and
+	// the B-frame F-scores against ground truth anchor the quant gate.
 	frames := 0
 	refMasks := make(map[int][]byte)
 	var refMu sync.Mutex
+	var refFSum float64
+	refFN := 0
 	gen := &serve.LoadGen{
 		Server:  srv,
 		Streams: 1,
@@ -152,6 +196,10 @@ func runSmoke(cfg serve.Config) error {
 				frames++
 				refMu.Lock()
 				refMasks[r.Display] = append([]byte(nil), r.Mask.Pix...)
+				if r.Type == codec.BFrame {
+					refFSum += segment.PixelFScore(r.Mask, v.Masks[r.Display%16])
+					refFN++
+				}
 				refMu.Unlock()
 			}
 		},
@@ -307,6 +355,80 @@ func runSmoke(cfg serve.Config) error {
 	}
 	if bsnap.Hist(obs.HistBatchOccupancy.String()) == nil {
 		return fmt.Errorf("batched leg recorded no batch-occupancy histogram")
+	}
+
+	// Leg 5 (only under -quant): the int8 tier with residual-driven
+	// skipping. Two streams through a quant+skip server; the mean B-frame
+	// F-score against ground truth must stay within 0.5 points of the
+	// float reference, and the per-block skip counters must surface over
+	// the server-wide /metrics endpoint.
+	if qcfg.QuantNNS != nil {
+		if refFN == 0 {
+			return fmt.Errorf("quant leg has no refined float reference (NN-S missing?)")
+		}
+		qcfg.Obs = obs.New()
+		qsrv, err := serve.NewServer(qcfg)
+		if err != nil {
+			return fmt.Errorf("quant server: %w", err)
+		}
+		var qSum float64
+		qN := 0
+		qgen := &serve.LoadGen{
+			Server:  qsrv,
+			Streams: 2,
+			Chunks:  func(int) [][]byte { return [][]byte{st.Data, st.Data} },
+			OnResult: func(_ int, r serve.FrameResult) {
+				if r.Mask == nil || r.Type != codec.BFrame {
+					return
+				}
+				refMu.Lock()
+				qSum += segment.PixelFScore(r.Mask, v.Masks[r.Display%16])
+				qN++
+				refMu.Unlock()
+			},
+		}
+		qrep, err := qgen.Run(context.Background())
+		if err != nil {
+			return fmt.Errorf("quant loadgen: %w", err)
+		}
+		if qrep.Admitted != 2 || qrep.Frames != 2*2*16 {
+			return fmt.Errorf("quant leg served %d frames over %d streams, want 64 over 2", qrep.Frames, qrep.Admitted)
+		}
+
+		// The counters must be visible over HTTP, not just in-process.
+		qhs := &http.Server{Handler: qsrv.Handler()}
+		qln, err := listenLoopback()
+		if err != nil {
+			return err
+		}
+		go qhs.Serve(qln)
+		resp, err = http.Get("http://" + qln.Addr().String() + "/metrics")
+		if err != nil {
+			return fmt.Errorf("quant metrics: %w", err)
+		}
+		var qm struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&qm); err != nil {
+			return err
+		}
+		resp.Body.Close()
+		qsd, qcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer qcancel()
+		if err := qhs.Shutdown(qsd); err != nil {
+			return fmt.Errorf("quant http shutdown: %w", err)
+		}
+		if err := qsrv.Close(qsd); err != nil {
+			return fmt.Errorf("quant drain: %w", err)
+		}
+		if qm.Counters[obs.CounterQuantBlocksSkipped.String()]+qm.Counters[obs.CounterQuantBlocksDirty.String()] == 0 {
+			return fmt.Errorf("quant leg recorded no residual-skip counters in /metrics: %v", qm.Counters)
+		}
+		fFloat := refFSum / float64(refFN)
+		fQuant := qSum / float64(qN)
+		if fFloat-fQuant > 0.005 {
+			return fmt.Errorf("int8 B-frame F-score %.4f vs float %.4f: delta %.4f exceeds the 0.5-point gate", fQuant, fFloat, fFloat-fQuant)
+		}
 	}
 	return nil
 }

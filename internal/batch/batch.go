@@ -52,6 +52,14 @@ type Config struct {
 	// session's own clone — the bit-identity contract depends on this.
 	NNS *nn.RefineNet
 
+	// QuantNNS, when non-nil, routes fused NN-S refinement through the int8
+	// execution tier instead of the float NNS (which is then ignored for
+	// refinement). The engine clones it once, like NNS; fused int8 output is
+	// bit-identical to the per-item int8 forward (the integer datapath has
+	// no fusion rounding), so the engine's correctness contract holds on
+	// this tier too.
+	QuantNNS *nn.QuantRefineNet
+
 	// Obs, when non-nil, receives batch telemetry: occupancy and queue-depth
 	// histograms, flush-reason counters, and per-item queue-wait spans.
 	Obs *obs.Collector
@@ -129,7 +137,10 @@ func New(cfg Config) *Engine {
 		cfg.MaxWait = DefaultMaxWait
 	}
 	e := &Engine{cfg: cfg}
-	if cfg.NNS != nil {
+	switch {
+	case cfg.QuantNNS != nil:
+		e.refiner = segment.NewQuantBatchRefiner(cfg.QuantNNS.Clone())
+	case cfg.NNS != nil:
 		e.refiner = segment.NewBatchRefiner(cfg.NNS.Clone())
 	}
 	return e

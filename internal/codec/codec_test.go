@@ -264,6 +264,72 @@ func TestSideInfoMatchesFullDecodeMVs(t *testing.T) {
 	}
 }
 
+// TestBlockEnergyPopulated pins the residual-energy side channel: one entry
+// per macro-block, -1 exactly on intra blocks, populated identically by the
+// batch and streaming decoders and in both decode modes (the NN-S residual
+// skip reads it in side-info serving, where B pixels never materialize).
+func TestBlockEnergyPopulated(t *testing.T) {
+	v := testVideo(64, 48, 15, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decode(st.Data, DecodeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side, err := Decode(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := NewStreamDecoder(st.Data, DecodeSideInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make([]FrameInfo, len(full.Infos))
+	for {
+		fo, err := sd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fo == nil {
+			break
+		}
+		streamed[fo.Info.Display] = fo.Info
+	}
+	sawZero, sawNonZero := false, false
+	for d, info := range full.Infos {
+		if len(info.BlockEnergy) != info.Blocks {
+			t.Fatalf("frame %d: %d energies for %d blocks", d, len(info.BlockEnergy), info.Blocks)
+		}
+		intra := 0
+		for i, e := range info.BlockEnergy {
+			switch {
+			case e == -1:
+				intra++
+			case e < 0:
+				t.Fatalf("frame %d block %d: negative energy %d", d, i, e)
+			case e == 0:
+				sawZero = true
+			default:
+				sawNonZero = true
+			}
+			if side.Infos[d].BlockEnergy[i] != e {
+				t.Fatalf("frame %d block %d: side-info energy %d != full %d", d, i, side.Infos[d].BlockEnergy[i], e)
+			}
+			if streamed[d].BlockEnergy[i] != e {
+				t.Fatalf("frame %d block %d: streamed energy %d != batch %d", d, i, streamed[d].BlockEnergy[i], e)
+			}
+		}
+		if intra != info.IntraBlk {
+			t.Fatalf("frame %d: %d sentinel energies but %d intra blocks", d, intra, info.IntraBlk)
+		}
+	}
+	if !sawZero || !sawNonZero {
+		t.Fatalf("energy distribution degenerate (sawZero=%v sawNonZero=%v): skip heuristic would be untestable", sawZero, sawNonZero)
+	}
+}
+
 func TestBFramesReferenceOnlyAnchors(t *testing.T) {
 	v := testVideo(64, 48, 20, 1.5)
 	st, err := Encode(v, DefaultConfig())

@@ -162,6 +162,24 @@ func writeResidual(w SymbolWriter, levels []int32, n int) {
 }
 
 // readResidual decodes levels written by writeResidual.
+// blockEnergy summarizes one block's residual for FrameInfo.BlockEnergy:
+// the sum of absolute quantized levels, or the -1 intra sentinel (an intra
+// block's residual corrects intra prediction, not motion compensation, so
+// the residual-skip heuristic must always treat it as dirty).
+func blockEnergy(levels []int32, intra bool) int32 {
+	if intra {
+		return -1
+	}
+	var e int32
+	for _, l := range levels {
+		if l < 0 {
+			l = -l
+		}
+		e += l
+	}
+	return e
+}
+
 func readResidual(r SymbolReader, n int) ([]int32, error) {
 	order := Zigzag(n)
 	levels := make([]int32, n*n)

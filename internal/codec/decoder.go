@@ -233,9 +233,11 @@ func DecodeObserved(data []byte, mode DecodeMode, c *obs.Collector) (*DecodeResu
 		if !skipPixels {
 			rec = video.NewFrame(width, height)
 		}
+		info.BlockEnergy = make([]int32, 0, ((height+bs-1)/bs)*((width+bs-1)/bs))
 		for by := 0; by < height; by += bs {
 			for bx := 0; bx < width; bx += bs {
 				info.Blocks++
+				intra := false
 				m, err := sr.ReadUE()
 				if err != nil {
 					return nil, err
@@ -245,6 +247,7 @@ func DecodeObserved(data []byte, mode DecodeMode, c *obs.Collector) (*DecodeResu
 				switch int(m) {
 				case modeIntraDC, modeIntraV, modeIntraH, modeIntraPlane, modeIntraDDL, modeIntraDDR:
 					info.IntraBlk++
+					intra = true
 					if !skipPixels {
 						intraPredict(rec, bx, by, bs, int(m), pred)
 					}
@@ -288,6 +291,7 @@ func DecodeObserved(data []byte, mode DecodeMode, c *obs.Collector) (*DecodeResu
 				if err != nil {
 					return nil, err
 				}
+				info.BlockEnergy = append(info.BlockEnergy, blockEnergy(levels, intra))
 				if !skipPixels {
 					applyResidual(rec, bx, by, bs, qstep, pred, levels)
 				}

@@ -298,9 +298,11 @@ func (d *StreamDecoder) Next() (*FrameOut, error) {
 		rec = video.NewFrame(d.w, d.h)
 	}
 	bs := d.cfg.BlockSize
+	info.BlockEnergy = make([]int32, 0, ((d.h+bs-1)/bs)*((d.w+bs-1)/bs))
 	for by := 0; by < d.h; by += bs {
 		for bx := 0; bx < d.w; bx += bs {
 			info.Blocks++
+			intra := false
 			m, err := d.r.ReadUE()
 			if err != nil {
 				return nil, err
@@ -310,6 +312,7 @@ func (d *StreamDecoder) Next() (*FrameOut, error) {
 			switch int(m) {
 			case modeIntraDC, modeIntraV, modeIntraH, modeIntraPlane, modeIntraDDL, modeIntraDDR:
 				info.IntraBlk++
+				intra = true
 				if !skipPixels {
 					intraPredict(rec, bx, by, bs, int(m), d.pred)
 				}
@@ -362,6 +365,7 @@ func (d *StreamDecoder) Next() (*FrameOut, error) {
 			if err != nil {
 				return nil, err
 			}
+			info.BlockEnergy = append(info.BlockEnergy, blockEnergy(levels, intra))
 			if !skipPixels {
 				applyResidual(rec, bx, by, bs, qstep, d.pred, levels)
 			}

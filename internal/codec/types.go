@@ -147,6 +147,15 @@ type FrameInfo struct {
 	Bits     int            // compressed size of this frame
 	Blocks   int            // macro-block count
 	IntraBlk int            // number of intra-coded macro-blocks
+	// BlockEnergy holds one entry per macro-block in raster order: the sum of
+	// absolute quantized residual levels of an inter block (0 means the
+	// motion-compensated prediction was bit-exact at this QP), or -1 for an
+	// intra block, whose "residual" is not a correction on top of motion
+	// compensation and must always be treated as dirty. The residual levels
+	// ride in the bitstream's side channel regardless of decode mode, so this
+	// is populated even when B-frame pixels are skipped — it is what the
+	// residual-driven NN-S skip keys on.
+	BlockEnergy []int32
 }
 
 // block coding modes (per-macro-block). The diagonal intra modes are

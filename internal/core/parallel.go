@@ -210,9 +210,12 @@ func (p *Pipeline) runDecodedParallel(ctx context.Context, dec *codec.DecodeResu
 				if refiner != nil {
 					prev, next := flankingAnchors(dec.Types, segs, job.d)
 					t1 := p.Obs.Clock()
-					res.Masks[job.d] = refiner.Refine(prev, rec, next)
+					m, ran := p.refineB(refiner, info, rec, prev, next, dec.W, dec.H, dec.Cfg.BlockSize)
+					res.Masks[job.d] = m
 					p.Obs.Span(obs.StageRefine, job.d, byte(codec.BFrame), t1)
-					st.NNSRuns++
+					if ran {
+						st.NNSRuns++
+					}
 				} else {
 					res.Masks[job.d] = rec.Binary()
 				}
@@ -394,7 +397,8 @@ func (p *StreamingPipeline) runInstrumentedParallel(ctx context.Context, stream 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			refiner := p.pipeline().refiner(true)
+			pl := p.pipeline()
+			refiner := pl.refiner(true)
 			for it := range jobCh {
 				p.Obs.GaugeAdd(obs.GaugeJobQueue, -1)
 				p.Obs.GaugeAdd(obs.GaugeWorkers, 1)
@@ -407,7 +411,7 @@ func (p *StreamingPipeline) runInstrumentedParallel(ctx context.Context, stream 
 				case refiner != nil:
 					prev, next := flankingAnchors(types, it.refs, it.out.Display)
 					t1 := p.Obs.Clock()
-					it.out.Mask = refiner.Refine(prev, rec, next)
+					it.out.Mask, _ = pl.refineB(refiner, it.info, rec, prev, next, w, h, cfg.BlockSize)
 					p.Obs.Span(obs.StageRefine, it.out.Display, byte(it.out.Type), t1)
 				default:
 					it.out.Mask = rec.Binary()

@@ -30,9 +30,16 @@ type PendingNN struct {
 	// Anchor work: the decoded frame to segment (nil for B-frames).
 	frame *video.Frame
 
-	// B-frame work: the refinement sandwich inputs (nil for anchors).
+	// B-frame work: the refinement sandwich inputs (nil for anchors). When
+	// the residual skip cropped the frame, these are the dirty-rect crops.
 	prev, next *video.Mask
 	rec        *segment.ReconMask
+
+	// Residual-skip crop state: when base is non-nil the sandwich above
+	// covers only the dirty rectangle, and Finish composites the refined
+	// crop over base (the full-frame MV reconstruction) at (cropX, cropY).
+	base         *video.Mask
+	cropX, cropY int
 }
 
 // IsAnchor reports whether this is NN-L (anchor segmentation) work, as
@@ -77,8 +84,13 @@ func (pn *PendingNN) ExecuteLocal() *video.Mask {
 // Finish completes the step with the computed mask: anchor masks join the
 // engine's reference window, and the window bookkeeping deferred by
 // StepPrepare (high-watermark, gauge, pruning) runs exactly as the fused
-// step would have run it.
+// step would have run it. For residual-skip crops the mask is the refined
+// dirty rectangle, composited here over the full-frame reconstruction.
 func (pn *PendingNN) Finish(mask *video.Mask) *MaskOut {
+	if pn.base != nil {
+		segment.PasteMask(pn.base, mask, pn.cropX, pn.cropY)
+		mask = pn.base
+	}
 	pn.mo.Mask = mask
 	if pn.frame != nil {
 		pn.e.segs[pn.mo.Display] = mask
@@ -151,6 +163,26 @@ func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInf
 			break
 		}
 		prev, next := flankingAnchors(e.types, e.segs, out.Info.Display)
+		if p.SkipResidual {
+			rect, dirty, total := segment.ResidualDirtyRect(out.Info.BlockEnergy, e.w, e.h, e.cfg.BlockSize, p.SkipThreshold, segment.ResidualHalo)
+			p.Obs.Count(obs.CounterQuantBlocksSkipped, int64(total-dirty))
+			p.Obs.Count(obs.CounterQuantBlocksDirty, int64(dirty))
+			if rect.Empty() {
+				// Every block's motion-compensated prediction survived the
+				// threshold: the reconstruction is the answer, no NN work.
+				mo.Mask = rec.Binary()
+				break
+			}
+			if !rect.Full(e.w, e.h) {
+				return nil, &PendingNN{
+					e: e, mo: mo,
+					prev: segment.CropMask(prev, rect),
+					next: segment.CropMask(next, rect),
+					rec:  rec.Crop(rect),
+					base: rec.Binary(), cropX: rect.X0, cropY: rect.Y0,
+				}, nil
+			}
+		}
 		return nil, &PendingNN{e: e, mo: mo, prev: prev, next: next, rec: rec}, nil
 	}
 	e.finishStep()

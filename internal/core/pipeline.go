@@ -26,9 +26,22 @@ type Pipeline struct {
 	NNL segment.Segmenter
 	// NNS is the lightweight refinement network for B-frames.
 	NNS *nn.RefineNet
+	// Quant, when non-nil, routes B-frame refinement through the int8
+	// execution tier instead of the float NNS. Accuracy is gated on F-score
+	// delta against the float path, not bit identity.
+	Quant *nn.QuantRefineNet
 	// Refine toggles NN-S refinement; disabling it yields the raw
 	// motion-vector reconstruction (ablation of Sec III-A-2).
 	Refine bool
+	// SkipResidual enables residual-driven sparsity: B-frame blocks whose
+	// decoded residual energy is at or below SkipThreshold keep their
+	// MV-reconstructed mask, and NN-S runs only over the dirty rectangle.
+	// A frame with no dirty blocks skips NN-S entirely.
+	SkipResidual bool
+	// SkipThreshold is the per-block residual-energy cutoff of SkipResidual;
+	// 0 (the default) skips only blocks whose motion-compensated prediction
+	// was bit-exact at the coding QP.
+	SkipThreshold int
 	// Workers selects the execution mode: <= 1 runs the classic serial
 	// decode-order loop; > 1 runs the overlapped pipeline of Sec IV's agent
 	// unit in software — NN-L anchor inference proceeds as its own stage
@@ -122,7 +135,20 @@ func (p *Pipeline) RunSegmentationContext(ctx context.Context, stream []byte) (*
 // cache activations), and in serial paths when an observer must be attached
 // without mutating the caller's network.
 func (p *Pipeline) refiner(clone bool) *segment.Refiner {
-	if !p.Refine || p.NNS == nil {
+	if !p.Refine {
+		return nil
+	}
+	if p.Quant != nil {
+		q := p.Quant
+		if clone || p.Obs != nil {
+			q = q.Clone()
+			if p.Obs != nil {
+				q.SetObserver(p.Obs)
+			}
+		}
+		return segment.NewQuantRefiner(q)
+	}
+	if p.NNS == nil {
 		return nil
 	}
 	net := p.NNS
@@ -133,6 +159,31 @@ func (p *Pipeline) refiner(clone bool) *segment.Refiner {
 		}
 	}
 	return segment.NewRefiner(net)
+}
+
+// refineB computes one B-frame's refined mask, applying the residual skip
+// when enabled: clean frames reuse the MV reconstruction without touching
+// NN-S, partially dirty frames refine only the dirty rectangle (cropped
+// sandwich, pasted back over the reconstruction). The bool reports whether
+// NN-S actually ran. Used identically by the serial and parallel loops, so
+// their outputs stay bit-identical.
+func (p *Pipeline) refineB(r *segment.Refiner, info codec.FrameInfo, rec *segment.ReconMask, prev, next *video.Mask, w, h, blockSize int) (*video.Mask, bool) {
+	if !p.SkipResidual {
+		return r.Refine(prev, rec, next), true
+	}
+	rect, dirty, total := segment.ResidualDirtyRect(info.BlockEnergy, w, h, blockSize, p.SkipThreshold, segment.ResidualHalo)
+	p.Obs.Count(obs.CounterQuantBlocksSkipped, int64(total-dirty))
+	p.Obs.Count(obs.CounterQuantBlocksDirty, int64(dirty))
+	if rect.Empty() {
+		return rec.Binary(), false
+	}
+	if rect.Full(w, h) {
+		return r.Refine(prev, rec, next), true
+	}
+	base := rec.Binary()
+	sub := r.Refine(segment.CropMask(prev, rect), rec.Crop(rect), segment.CropMask(next, rect))
+	segment.PasteMask(base, sub, rect.X0, rect.Y0)
+	return base, true
 }
 
 func (p *Pipeline) runDecoded(ctx context.Context, dec *codec.DecodeResult) (*Result, error) {
@@ -183,9 +234,12 @@ func (p *Pipeline) runDecoded(ctx context.Context, dec *codec.DecodeResult) (*Re
 			if refiner != nil {
 				prev, next := flankingAnchors(dec.Types, segs, d)
 				t1 := p.Obs.Clock()
-				res.Masks[d] = refiner.Refine(prev, rec, next)
+				m, ran := p.refineB(refiner, info, rec, prev, next, dec.W, dec.H, dec.Cfg.BlockSize)
+				res.Masks[d] = m
 				p.Obs.Span(obs.StageRefine, d, byte(info.Type), t1)
-				res.Stats.NNSRuns++
+				if ran {
+					res.Stats.NNSRuns++
+				}
 			} else {
 				res.Masks[d] = rec.Binary()
 			}

@@ -25,9 +25,16 @@ type MaskOut struct {
 // and buffers (Sec IV). Results are emitted in decode order; use
 // DisplayOrder to re-sequence them with bounded buffering.
 type StreamingPipeline struct {
-	NNL    segment.Segmenter
-	NNS    *nn.RefineNet
+	NNL segment.Segmenter
+	NNS *nn.RefineNet
+	// Quant routes NN-S refinement through the int8 execution tier (see
+	// Pipeline.Quant).
+	Quant  *nn.QuantRefineNet
 	Refine bool
+	// SkipResidual / SkipThreshold enable residual-driven sparsity (see
+	// Pipeline.SkipResidual).
+	SkipResidual  bool
+	SkipThreshold int
 	// Workers selects the execution mode: <= 1 runs the serial decode loop;
 	// > 1 overlaps B-frame reconstruction + refinement with decoding and
 	// NN-L inference on that many goroutines, with results re-serialized
@@ -43,7 +50,11 @@ type StreamingPipeline struct {
 // pipeline adapts the streaming configuration to the batch Pipeline so the
 // two forms share the refiner construction rules.
 func (p *StreamingPipeline) pipeline() *Pipeline {
-	return &Pipeline{NNL: p.NNL, NNS: p.NNS, Refine: p.Refine, Workers: p.Workers, Obs: p.Obs}
+	return &Pipeline{
+		NNL: p.NNL, NNS: p.NNS, Quant: p.Quant, Refine: p.Refine,
+		SkipResidual: p.SkipResidual, SkipThreshold: p.SkipThreshold,
+		Workers: p.Workers, Obs: p.Obs,
+	}
 }
 
 // Run decodes the stream incrementally and calls emit for every frame's

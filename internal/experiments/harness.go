@@ -42,6 +42,14 @@ type Config struct {
 
 	Train core.TrainConfig
 	Seed  int64
+	// SkipThreshold is the residual-energy cutoff of the quant figure's
+	// int8+skip path: blocks whose summed |residual levels| stay at or
+	// below it reuse the MV-reconstructed mask without NN-S refinement.
+	// The synthetic suite's sensor noise keeps block energies just above
+	// zero, so a small nonzero cutoff separates "noise only" from "the
+	// prediction actually missed" (the F-score gate checks it costs no
+	// accuracy).
+	SkipThreshold int
 	// Workers bounds the per-video parallelism of the suite loops
 	// (0 = min(NumCPU, 8)).
 	Workers int
@@ -57,14 +65,15 @@ func Default() Config {
 	return Config{
 		W: 96, H: 64, DetW: 192, DetH: 128, Frames: 48, TrainFrames: 32,
 		SimW: 854, SimH: 480,
-		Enc:        codec.DefaultConfig(),
-		Sim:        sim.DefaultParams(),
-		FAVOSNoise: 0.05,
-		OSVOSNoise: 0.045,
-		DFFNoise:   0.065,
-		DetJitter:  3.2,
-		Train:      core.DefaultTrainConfig(),
-		Seed:       1,
+		Enc:           codec.DefaultConfig(),
+		Sim:           sim.DefaultParams(),
+		FAVOSNoise:    0.05,
+		OSVOSNoise:    0.045,
+		DFFNoise:      0.065,
+		DetJitter:     3.2,
+		Train:         core.DefaultTrainConfig(),
+		Seed:          1,
+		SkipThreshold: 8,
 	}
 }
 
@@ -78,6 +87,7 @@ type Harness struct {
 	streams map[string]*codec.Stream
 	decodes map[string]*codec.DecodeResult
 	nns     *nn.RefineNet
+	qnns    *nn.QuantRefineNet
 }
 
 // New constructs a harness.

@@ -43,7 +43,9 @@ func ensureBatch(t **tensor.Tensor, shape ...int) *tensor.Tensor {
 		numel *= d
 	}
 	if *t != nil && len((*t).Data) == numel {
-		*t = (*t).Reshape(shape...)
+		// Rebuild the shape header in place: allocation-free, and the data
+		// (which every user overwrites) is untouched.
+		(*t).Shape = append((*t).Shape[:0], shape...)
 		return *t
 	}
 	if *t != nil {

@@ -124,22 +124,24 @@ type Counter uint8
 
 // Pipeline counters.
 const (
-	CounterFrames          Counter = iota // frames decoded
-	CounterAnchors                        // I/P-frames decoded
-	CounterBFrames                        // B-frames decoded
-	CounterMVs                            // motion vectors extracted
-	CounterSpans                          // spans recorded (all stages)
-	CounterChunks                         // serving layer: bitstream chunks accepted
-	CounterDrops                          // serving layer: B-frames dropped past deadline
-	CounterRejects                        // serving layer: admission + queue rejections
-	CounterDecodeErrors                   // serving layer: chunks failed mid-serve (malformed or internal)
-	CounterResyncs                        // serving layer: sessions quarantined and resynced on the next chunk
-	CounterBreakerTrips                   // serving layer: per-session circuit-breaker trips
-	CounterBatchItems                     // batching engine: items executed through fused flushes
-	CounterBatchFlushFull                 // batching engine: flushes triggered by a full batch
-	CounterBatchFlushTimer                // batching engine: flushes triggered by the MaxWait deadline
-	CounterBatchFlushDrain                // batching engine: flushes triggered by engine shutdown
-	CounterBatchFlushStall                // batching engine: flushes triggered by producer stall (no more work can arrive)
+	CounterFrames             Counter = iota // frames decoded
+	CounterAnchors                           // I/P-frames decoded
+	CounterBFrames                           // B-frames decoded
+	CounterMVs                               // motion vectors extracted
+	CounterSpans                             // spans recorded (all stages)
+	CounterChunks                            // serving layer: bitstream chunks accepted
+	CounterDrops                             // serving layer: B-frames dropped past deadline
+	CounterRejects                           // serving layer: admission + queue rejections
+	CounterDecodeErrors                      // serving layer: chunks failed mid-serve (malformed or internal)
+	CounterResyncs                           // serving layer: sessions quarantined and resynced on the next chunk
+	CounterBreakerTrips                      // serving layer: per-session circuit-breaker trips
+	CounterBatchItems                        // batching engine: items executed through fused flushes
+	CounterBatchFlushFull                    // batching engine: flushes triggered by a full batch
+	CounterBatchFlushTimer                   // batching engine: flushes triggered by the MaxWait deadline
+	CounterBatchFlushDrain                   // batching engine: flushes triggered by engine shutdown
+	CounterBatchFlushStall                   // batching engine: flushes triggered by producer stall (no more work can arrive)
+	CounterQuantBlocksSkipped                // residual skip: B-frame blocks whose NN-S refinement was elided
+	CounterQuantBlocksDirty                  // residual skip: B-frame blocks that kept NN-S refinement
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -162,6 +164,8 @@ var counterNames = [NumCounters]string{
 	"batch-flush-timer",
 	"batch-flush-drain",
 	"batch-flush-stall",
+	"quant/blocks-skipped",
+	"quant/blocks-dirty",
 }
 
 // String returns the counter's report name.
@@ -363,6 +367,16 @@ func (c *Collector) Count(ct Counter, n int64) {
 		return
 	}
 	c.ctrs[ct].Add(n)
+}
+
+// CounterValue reads a counter's current value (0 on a nil collector).
+// Cheap enough to poll per frame; the serving layer uses it to mirror
+// pipeline-recorded counters into the server-wide collector.
+func (c *Collector) CounterValue(ct Counter) int64 {
+	if c == nil || ct >= NumCounters {
+		return 0
+	}
+	return c.ctrs[ct].Load()
 }
 
 // GaugeAdd moves a gauge by delta (use +1/-1 around enqueue/dequeue) and

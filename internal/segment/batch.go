@@ -21,13 +21,21 @@ type RefineJob struct {
 // fused forward pass (nn.RefineNet.ForwardBatch). Like Refiner it reuses
 // its input tensor across flushes and is not safe for concurrent use — the
 // batching engine serializes flushes per kind.
+//
+// Exactly one of Net and Quant is set; Quant routes the fused forward
+// through the int8 execution tier.
 type BatchRefiner struct {
-	Net *nn.RefineNet
-	in  *tensor.Tensor
+	Net   *nn.RefineNet
+	Quant *nn.QuantRefineNet
+	in    *tensor.Tensor
 }
 
 // NewBatchRefiner wraps a refinement network for fused batched inference.
 func NewBatchRefiner(net *nn.RefineNet) *BatchRefiner { return &BatchRefiner{Net: net} }
+
+// NewQuantBatchRefiner wraps an int8-compiled refinement network for fused
+// batched inference on the quantized tier.
+func NewQuantBatchRefiner(q *nn.QuantRefineNet) *BatchRefiner { return &BatchRefiner{Quant: q} }
 
 // RefineBatch refines all jobs — which must share one geometry — in a
 // single fused forward pass and returns one mask per job, each bitwise
@@ -49,14 +57,24 @@ func (r *BatchRefiner) RefineBatch(jobs []RefineJob) []*video.Mask {
 	} else {
 		r.in = r.in.Reshape(n*3, h, w)
 	}
-	c := r.Net.Observer()
+	var c *obs.Collector
+	if r.Quant != nil {
+		c = r.Quant.Observer()
+	} else {
+		c = r.Net.Observer()
+	}
 	t := c.Clock()
 	for i, j := range jobs {
 		item := tensor.FromSlice(r.in.Data[i*3*h*w:(i+1)*3*h*w], 3, h, w)
 		SandwichInto(item, j.Prev, j.Rec, j.Next)
 	}
 	c.Span(obs.StageSandwich, -1, obs.KindNone, t)
-	logits := r.Net.ForwardBatch(r.in, n)
+	var logits *tensor.Tensor
+	if r.Quant != nil {
+		logits = r.Quant.ForwardBatchQuant(r.in, n)
+	} else {
+		logits = r.Net.ForwardBatch(r.in, n)
+	}
 	masks := make([]*video.Mask, n)
 	for i := range jobs {
 		m := video.NewMask(w, h)

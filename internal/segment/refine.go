@@ -38,13 +38,29 @@ func SandwichInto(x *tensor.Tensor, prev *video.Mask, recon *ReconMask, next *vi
 // only the output mask. A Refiner is not safe for concurrent use (the
 // network caches forward-pass activations); concurrent pipelines hold one
 // Refiner per worker over a Clone of the network.
+//
+// Exactly one of Net and Quant is set: Net runs float inference, Quant the
+// int8 execution tier (same decisions gated on F-score, not bit identity).
 type Refiner struct {
-	Net *nn.RefineNet
-	in  *tensor.Tensor
+	Net   *nn.RefineNet
+	Quant *nn.QuantRefineNet
+	in    *tensor.Tensor
 }
 
 // NewRefiner wraps a refinement network with a reusable input buffer.
 func NewRefiner(net *nn.RefineNet) *Refiner { return &Refiner{Net: net} }
+
+// NewQuantRefiner wraps an int8-compiled refinement network; Refine runs
+// the quantized tier instead of float.
+func NewQuantRefiner(q *nn.QuantRefineNet) *Refiner { return &Refiner{Quant: q} }
+
+// observer returns whichever network's collector is attached.
+func (r *Refiner) observer() *obs.Collector {
+	if r.Quant != nil {
+		return r.Quant.Observer()
+	}
+	return r.Net.Observer()
+}
 
 // Refine runs NN-S on the sandwich of (prev, recon, next) and returns the
 // refined binary segmentation of the B-frame.
@@ -52,11 +68,16 @@ func (r *Refiner) Refine(prev *video.Mask, recon *ReconMask, next *video.Mask) *
 	if r.in == nil || r.in.Shape[1] != recon.H || r.in.Shape[2] != recon.W {
 		r.in = tensor.New(3, recon.H, recon.W)
 	}
-	c := r.Net.Observer()
+	c := r.observer()
 	t := c.Clock()
 	SandwichInto(r.in, prev, recon, next)
 	c.Span(obs.StageSandwich, -1, obs.KindNone, t)
-	logits := r.Net.Forward(r.in)
+	var logits *tensor.Tensor
+	if r.Quant != nil {
+		logits = r.Quant.ForwardQuant(r.in)
+	} else {
+		logits = r.Net.Forward(r.in)
+	}
 	m := video.NewMask(recon.W, recon.H)
 	for i, v := range logits.Data {
 		if v > 0 {

@@ -1,0 +1,142 @@
+package segment
+
+import "vrdann/internal/video"
+
+// Residual-driven sparsity. The decoder surfaces one residual-energy value
+// per macro-block (codec.FrameInfo.BlockEnergy): zero means the encoder's
+// motion-compensated prediction of the block was bit-exact at the coding QP,
+// so the MV-reconstructed segmentation (which moves mask pixels by exactly
+// those vectors) is as trustworthy there as it ever gets, and NN-S
+// refinement buys nothing. Skipping those blocks — and shrinking refinement
+// to the bounding rectangle of the rest — is the paper's agent-style work
+// elimination read through the bitstream: the encoder already told us where
+// the video changed in ways motion cannot explain.
+
+// DirtyRect is a pixel-space rectangle [X0,X1)×[Y0,Y1) covering every block
+// whose residual survived the skip threshold, expanded by a halo and
+// even-aligned so it can flow through NN-S's pool/upsample pair unchanged.
+type DirtyRect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Empty reports whether the rect covers no pixels (every block was clean).
+func (r DirtyRect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// W returns the rect width in pixels.
+func (r DirtyRect) W() int { return r.X1 - r.X0 }
+
+// H returns the rect height in pixels.
+func (r DirtyRect) H() int { return r.Y1 - r.Y0 }
+
+// Full reports whether the rect covers the whole w×h frame.
+func (r DirtyRect) Full(w, h int) bool {
+	return r.X0 <= 0 && r.Y0 <= 0 && r.X1 >= w && r.Y1 >= h
+}
+
+// ResidualHalo is the default halo in pixels around dirty blocks. NN-S's
+// receptive field is 3×3 → pool → 3×3 → upsample → 3×3, i.e. roughly ±7
+// input pixels can influence an output pixel; an 8-pixel halo (one H.265
+// block) covers it, so pixels inside the crop see the same neighborhood the
+// full-frame forward would give them almost everywhere.
+const ResidualHalo = 8
+
+// ResidualDirtyRect scans a frame's per-block residual energies and returns
+// the even-aligned, halo-expanded bounding rectangle of the dirty blocks
+// plus the dirty and total block counts. A block is dirty when its energy
+// exceeds threshold or carries the -1 intra sentinel. The energies must be
+// in raster order over ceil(w/bs)×ceil(h/bs) blocks; a slice of any other
+// length (including nil, e.g. a stream encoded before this field existed)
+// conservatively marks the whole frame dirty.
+func ResidualDirtyRect(energy []int32, w, h, blockSize, threshold, halo int) (DirtyRect, int, int) {
+	bw := (w + blockSize - 1) / blockSize
+	bh := (h + blockSize - 1) / blockSize
+	total := bw * bh
+	if len(energy) != total {
+		return DirtyRect{0, 0, w, h}, total, total
+	}
+	minX, minY := w, h
+	maxX, maxY := 0, 0
+	dirty := 0
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			e := energy[by*bw+bx]
+			if e >= 0 && e <= int32(threshold) {
+				continue
+			}
+			dirty++
+			if x := bx * blockSize; x < minX {
+				minX = x
+			}
+			if y := by * blockSize; y < minY {
+				minY = y
+			}
+			if x := (bx + 1) * blockSize; x > maxX {
+				maxX = x
+			}
+			if y := (by + 1) * blockSize; y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if dirty == 0 {
+		return DirtyRect{}, 0, total
+	}
+	r := DirtyRect{
+		X0: clampLo(minX-halo) &^ 1,
+		Y0: clampLo(minY-halo) &^ 1,
+		X1: clampHi(maxX+halo, w),
+		Y1: clampHi(maxY+halo, h),
+	}
+	// Round the far edges up to even (the near edges rounded down above), so
+	// the crop keeps the even geometry NN-S's pooling requires. The frame
+	// itself has even dimensions, so the rounded edges stay in bounds.
+	r.X1 = (r.X1 + 1) &^ 1
+	r.Y1 = (r.Y1 + 1) &^ 1
+	if r.X1 > w {
+		r.X1 = w
+	}
+	if r.Y1 > h {
+		r.Y1 = h
+	}
+	return r, dirty, total
+}
+
+func clampLo(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func clampHi(v, hi int) int {
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Crop copies the rect of the reconstruction into a new, smaller ReconMask.
+func (r *ReconMask) Crop(rc DirtyRect) *ReconMask {
+	out := NewReconMask(rc.W(), rc.H())
+	for y := rc.Y0; y < rc.Y1; y++ {
+		copy(out.Pix[(y-rc.Y0)*out.W:], r.Pix[y*r.W+rc.X0:y*r.W+rc.X1])
+	}
+	return out
+}
+
+// CropMask copies the rect of a binary mask into a new, smaller mask.
+func CropMask(m *video.Mask, rc DirtyRect) *video.Mask {
+	out := video.NewMask(rc.W(), rc.H())
+	for y := rc.Y0; y < rc.Y1; y++ {
+		copy(out.Pix[(y-rc.Y0)*out.W:], m.Pix[y*m.W+rc.X0:y*m.W+rc.X1])
+	}
+	return out
+}
+
+// PasteMask composites src over dst with src's top-left at (x0, y0) —
+// the write-back half of refine-only-the-dirty-rect.
+func PasteMask(dst, src *video.Mask, x0, y0 int) {
+	for y := 0; y < src.H; y++ {
+		copy(dst.Pix[(y0+y)*dst.W+x0:], src.Pix[y*src.W:(y+1)*src.W])
+	}
+}

@@ -1,0 +1,106 @@
+package segment
+
+import (
+	"testing"
+
+	"vrdann/internal/video"
+)
+
+func TestResidualDirtyRect(t *testing.T) {
+	const w, h, bs = 64, 48, 8 // 8×6 blocks
+	clean := make([]int32, (w/bs)*(h/bs))
+
+	r, dirty, total := ResidualDirtyRect(clean, w, h, bs, 0, ResidualHalo)
+	if !r.Empty() || dirty != 0 || total != 48 {
+		t.Fatalf("all-clean frame: rect %+v dirty %d total %d", r, dirty, total)
+	}
+
+	// One dirty block in the middle: rect = block ± halo, even-aligned.
+	e := append([]int32(nil), clean...)
+	e[2*8+3] = 5 // block (3,2): pixels [24,32)×[16,24)
+	r, dirty, _ = ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
+	if dirty != 1 {
+		t.Fatalf("dirty count %d, want 1", dirty)
+	}
+	want := DirtyRect{X0: 16, Y0: 8, X1: 40, Y1: 32}
+	if r != want {
+		t.Fatalf("rect %+v, want %+v", r, want)
+	}
+	if r.W()%2 != 0 || r.H()%2 != 0 {
+		t.Fatalf("rect %+v has odd geometry", r)
+	}
+
+	// Threshold: energy at or below it stays clean; above is dirty.
+	e[2*8+3] = 5
+	if r, _, _ := ResidualDirtyRect(e, w, h, bs, 5, ResidualHalo); !r.Empty() {
+		t.Fatalf("energy 5 at threshold 5 should be clean, got %+v", r)
+	}
+
+	// Intra sentinel is always dirty, at any threshold.
+	e[2*8+3] = -1
+	if _, dirty, _ := ResidualDirtyRect(e, w, h, bs, 1<<30, ResidualHalo); dirty != 1 {
+		t.Fatal("intra sentinel must be dirty regardless of threshold")
+	}
+
+	// Corner block: halo clamps at the frame edge.
+	e = append([]int32(nil), clean...)
+	e[0] = 1
+	r, _, _ = ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
+	if (r != DirtyRect{X0: 0, Y0: 0, X1: 16, Y1: 16}) {
+		t.Fatalf("corner rect %+v", r)
+	}
+
+	// Missing or mis-sized energy data degrades to whole-frame dirty.
+	r, dirty, total = ResidualDirtyRect(nil, w, h, bs, 0, ResidualHalo)
+	if !r.Full(w, h) || dirty != total {
+		t.Fatalf("nil energies: rect %+v dirty %d/%d, want full frame", r, dirty, total)
+	}
+}
+
+func TestCropPasteRoundTrip(t *testing.T) {
+	const w, h = 32, 16
+	m := video.NewMask(w, h)
+	rec := NewReconMask(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(i % 2)
+		rec.Pix[i] = uint8(i % 4)
+	}
+	rc := DirtyRect{X0: 4, Y0: 2, X1: 20, Y1: 12}
+
+	cm := CropMask(m, rc)
+	cr := rec.Crop(rc)
+	if cm.W != rc.W() || cm.H != rc.H() || cr.W != rc.W() || cr.H != rc.H() {
+		t.Fatalf("crop geometry: mask %dx%d recon %dx%d, want %dx%d", cm.W, cm.H, cr.W, cr.H, rc.W(), rc.H())
+	}
+	for y := 0; y < rc.H(); y++ {
+		for x := 0; x < rc.W(); x++ {
+			if cm.Pix[y*cm.W+x] != m.Pix[(y+rc.Y0)*w+x+rc.X0] {
+				t.Fatalf("mask crop mismatch at (%d,%d)", x, y)
+			}
+			if cr.Pix[y*cr.W+x] != rec.Pix[(y+rc.Y0)*w+x+rc.X0] {
+				t.Fatalf("recon crop mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+
+	// Paste the crop back over a distinct base: inside the rect the base
+	// takes the crop's values, outside it is untouched.
+	base := video.NewMask(w, h)
+	for i := range base.Pix {
+		base.Pix[i] = 1 - m.Pix[i]
+	}
+	PasteMask(base, cm, rc.X0, rc.Y0)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			in := x >= rc.X0 && x < rc.X1 && y >= rc.Y0 && y < rc.Y1
+			got := base.Pix[y*w+x]
+			want := 1 - m.Pix[y*w+x]
+			if in {
+				want = m.Pix[y*w+x]
+			}
+			if got != want {
+				t.Fatalf("paste mismatch at (%d,%d) in=%v: got %d want %d", x, y, in, got, want)
+			}
+		}
+	}
+}

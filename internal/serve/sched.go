@@ -112,7 +112,31 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 	}
 	s.obs.Span(obs.StageServe, r.Display, byte(r.Type), cur.arrT)
 	cur.results = append(cur.results, r)
+	if s.srv.cfg.SkipResidual {
+		s.mirrorQuantCounters()
+	}
 	return s.eng.Remaining() == 0, nil
+}
+
+// mirrorQuantCounters forwards the residual-skip block counters the core
+// engine records on the session collector into the server-wide collector,
+// so /metrics shows fleet-level skip rates. Drops and decode errors are
+// double-counted at their recording site instead; the skip decision lives
+// in core, which only knows one collector, hence the delta mirror. Only
+// the worker holding s.running calls this, so the cached last-values need
+// no lock.
+func (s *Session) mirrorQuantCounters() {
+	if s.srv.cfg.Obs == nil {
+		return
+	}
+	if v := s.obs.CounterValue(obs.CounterQuantBlocksSkipped); v > s.quantSkipped {
+		s.srv.cfg.Obs.Count(obs.CounterQuantBlocksSkipped, v-s.quantSkipped)
+		s.quantSkipped = v
+	}
+	if v := s.obs.CounterValue(obs.CounterQuantBlocksDirty); v > s.quantDirty {
+		s.srv.cfg.Obs.Count(obs.CounterQuantBlocksDirty, v-s.quantDirty)
+		s.quantDirty = v
+	}
 }
 
 // execPending computes a step's NN mask: through the shared dynamic

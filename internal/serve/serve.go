@@ -96,6 +96,17 @@ type Config struct {
 	// NNS, when non-nil, enables NN-S refinement of reconstructed B-frames.
 	// Each session clones it, so one trained network serves all streams.
 	NNS *nn.RefineNet
+	// QuantNNS, when non-nil, serves NN-S refinement on the int8 execution
+	// tier (nn.QuantRefineNet) instead of the float NNS. Accuracy is gated
+	// on F-score against the float path, not bit identity.
+	QuantNNS *nn.QuantRefineNet
+	// SkipResidual enables residual-driven sparsity: B-frames whose decoded
+	// residual energy is clean everywhere reuse the MV reconstruction, and
+	// partially dirty frames refine only the dirty rectangle. See
+	// core.Pipeline.SkipResidual.
+	SkipResidual bool
+	// SkipThreshold is the per-block residual-energy cutoff of SkipResidual.
+	SkipThreshold int
 	// Obs, when non-nil, aggregates server-wide counters and gauges
 	// (sessions, pending frames, chunks, drops, rejects). Each session
 	// additionally always has its own collector.
@@ -206,6 +217,7 @@ func NewServer(cfg Config) (*Server, error) {
 			MaxBatch: cfg.MaxBatch,
 			MaxWait:  cfg.MaxBatchWait,
 			NNS:      cfg.NNS,
+			QuantNNS: cfg.QuantNNS,
 			Obs:      cfg.Obs,
 			// Producer-stall detection: every queued batch item is a worker
 			// blocked in the engine. When all busy workers are blocked and no
@@ -252,11 +264,14 @@ func (srv *Server) Open() (*Session, error) {
 	col := obs.New()
 	s := &Session{ID: id, srv: srv, obs: col, state: stateActive}
 	s.pipe = &core.StreamingPipeline{
-		NNL:     srv.cfg.NewSegmenter(id),
-		NNS:     srv.cfg.NNS,
-		Refine:  srv.cfg.NNS != nil,
-		Workers: 1, // the shared pool is the parallelism; engines stay serial
-		Obs:     col,
+		NNL:           srv.cfg.NewSegmenter(id),
+		NNS:           srv.cfg.NNS,
+		Quant:         srv.cfg.QuantNNS,
+		Refine:        srv.cfg.NNS != nil || srv.cfg.QuantNNS != nil,
+		SkipResidual:  srv.cfg.SkipResidual,
+		SkipThreshold: srv.cfg.SkipThreshold,
+		Workers:       1, // the shared pool is the parallelism; engines stay serial
+		Obs:           col,
 	}
 	srv.sessions[id] = s
 	srv.cfg.Obs.GaugeSet(obs.GaugeSessions, int64(len(srv.sessions)))

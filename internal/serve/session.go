@@ -93,6 +93,9 @@ type Session struct {
 	dec  *codec.StreamDecoder
 	eng  *core.StreamEngine
 	base int // display offset of cur: frames resolved in earlier chunks
+	// Last residual-skip counter values already mirrored into the
+	// server-wide collector (see Session.mirrorQuantCounters).
+	quantSkipped, quantDirty int64
 }
 
 // Metrics snapshots the session's collector: per-stage latency histograms

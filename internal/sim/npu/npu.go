@@ -33,6 +33,25 @@ func DefaultConfig() Config {
 	}
 }
 
+// CalibrateEfficiency converts a measured sustained kernel rate (int8
+// multiply-accumulate ops per second, MACs ×2) into the efficiency
+// fraction it implies against this config's int8 peak, clamped to [0, 1].
+// This is the feedback hook from the software stack: the experiments
+// harness times the repo's own int8 batched NN-S forward and feeds the
+// rate through here, so when the software kernels stand in for the NPU
+// the roofline's effective throughput describes the measured datapath
+// instead of an assumed one.
+func (c Config) CalibrateEfficiency(opsPerSec float64) float64 {
+	if c.PeakTOPS <= 0 || opsPerSec <= 0 {
+		return 0
+	}
+	e := opsPerSec / (c.PeakTOPS * 1e12)
+	if e > 1 {
+		e = 1
+	}
+	return e
+}
+
 // Job is one network inference.
 type Job struct {
 	Ops         int64 // multiply-accumulate operations ×2 (ops)

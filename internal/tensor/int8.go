@@ -1,0 +1,304 @@
+package tensor
+
+import (
+	"fmt"
+
+	"vrdann/internal/par"
+)
+
+// Int8 tensor substrate: the data types and kernels of the quantized
+// inference tier. The modeled NPU (Ascend 310) executes INT8 with INT32
+// accumulation; these kernels run the same arithmetic in software —
+// int8 operands, int32 accumulators, no float until requantization — so
+// the measured kernel rates and the simulator's roofline describe the
+// same datapath. The API mirrors the float kernels one-for-one
+// (Im2ColI8/Im2ColBatchI8/MatMulI8 with Into reuse variants), including
+// the row-blocked parallel split and the serial fast path, so callers
+// port between the tiers mechanically.
+
+// I8 is a dense, row-major int8 tensor (quantized activations/weights).
+type I8 struct {
+	Shape []int
+	Data  []int8
+}
+
+// NewI8 allocates a zero-filled int8 tensor with the given shape.
+func NewI8(shape ...int) *I8 {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &I8{Shape: s, Data: make([]int8, n)}
+}
+
+// I8FromSlice wraps data in an int8 tensor of the given shape. The slice
+// is used directly (not copied); len(data) must equal the shape volume.
+func I8FromSlice(data []int8, shape ...int) *I8 {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &I8{Shape: s, Data: data}
+}
+
+// Numel returns the number of elements.
+func (t *I8) Numel() int { return len(t.Data) }
+
+// Reshape returns an int8 tensor sharing t's storage with a new shape.
+func (t *I8) Reshape(shape ...int) *I8 {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes element count", t.Shape, shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &I8{Shape: s, Data: t.Data}
+}
+
+// I32 is a dense, row-major int32 tensor (GEMM accumulators).
+type I32 struct {
+	Shape []int
+	Data  []int32
+}
+
+// NewI32 allocates a zero-filled int32 tensor with the given shape.
+func NewI32(shape ...int) *I32 {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &I32{Shape: s, Data: make([]int32, n)}
+}
+
+// Numel returns the number of elements.
+func (t *I32) Numel() int { return len(t.Data) }
+
+// MatMulI8 computes C = A×B for int8 tensors A (m×k) and B (k×n),
+// accumulating in int32 — the INT8 MAC array of the modeled NPU. Row
+// blocks split across cores exactly like the float MatMul; each output
+// element keeps the serial accumulation order, and int32 addition is
+// associative anyway, so results are identical at any worker count.
+// Overflow note: the accumulator is exact up to k ≤ 2^31/127² ≈ 133k
+// reduction length, far beyond any patch matrix in this repo.
+func MatMulI8(a, b *I8) *I32 {
+	m, n := matMulI8Dims(a, b)
+	c := NewI32(m, n)
+	matMulI8Into(c, a, b, false)
+	return c
+}
+
+// MatMulI8Into computes dst = A×B, overwriting dst, which must already
+// have shape [m, n]. It allocates nothing, so the quantized conv path can
+// reuse one accumulator buffer across invocations.
+func MatMulI8Into(dst *I32, a, b *I8) {
+	m, n := matMulI8Dims(a, b)
+	if len(dst.Shape) != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulI8Into dst shape %v, want [%d %d]", dst.Shape, m, n))
+	}
+	matMulI8Into(dst, a, b, true)
+}
+
+func matMulI8Dims(a, b *I8) (m, n int) {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulI8 requires 2-D operands, got %v and %v", a.Shape, b.Shape))
+	}
+	if a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulI8 inner dimension mismatch %v × %v", a.Shape, b.Shape))
+	}
+	return a.Shape[0], b.Shape[1]
+}
+
+func matMulI8Into(c *I32, a, b *I8, zero bool) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	grain := par.Grain(m, 2*k*n, par.MinWorkFloats)
+	if grain >= m || par.MaxWorkers() == 1 {
+		matMulI8Rows(c, a, b, 0, m, zero)
+		return
+	}
+	par.For(m, grain, func(lo, hi int) { matMulI8Rows(c, a, b, lo, hi, zero) })
+}
+
+// matMulI8Rows computes rows [lo, hi) of c = a×b. The ikj loop order
+// keeps the B row in cache, and zero A values — quantized weights round
+// many small coefficients to exactly 0 — skip their whole row term, the
+// same value sparsity the float kernel exploits.
+func matMulI8Rows(c *I32, a, b *I8, lo, hi int, zero bool) {
+	k, n := a.Shape[1], b.Shape[1]
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		if zero {
+			clear(crow)
+		}
+		for kk := 0; kk < k; kk++ {
+			av := int32(arow[kk])
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := range crow {
+				crow[j] += av * int32(brow[j])
+			}
+		}
+	}
+}
+
+// Im2ColI8 lowers an int8 CHW image into a matrix of convolution patches,
+// the int8 twin of Im2Col: input [C, H, W], output [C*kh*kw, outH*outW].
+// Symmetric quantization makes the zero point 0, so zero padding needs no
+// special handling — padded positions are simply 0, exactly as in float.
+func Im2ColI8(x *I8, kh, kw, stride, pad int) *I8 {
+	c, outH, outW := im2colI8Dims(x, kh, kw, stride, pad)
+	cols := NewI8(c*kh*kw, outH*outW)
+	im2colI8Into(cols, x, 1, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColI8Into is Im2ColI8 writing into a caller-owned buffer of shape
+// [C*kh*kw, outH*outW], reusable across calls.
+func Im2ColI8Into(cols, x *I8, kh, kw, stride, pad int) {
+	c, outH, outW := im2colI8Dims(x, kh, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Im2ColI8Into dst shape %v, want [%d %d]", cols.Shape, c*kh*kw, outH*outW))
+	}
+	im2colI8Into(cols, x, 1, kh, kw, stride, pad)
+}
+
+func im2colI8Dims(x *I8, kh, kw, stride, pad int) (c, outH, outW int) {
+	if len(x.Shape) != 3 {
+		panic(fmt.Sprintf("tensor: Im2ColI8 requires CHW input, got %v", x.Shape))
+	}
+	c = x.Shape[0]
+	outH = (x.Shape[1]+2*pad-kh)/stride + 1
+	outW = (x.Shape[2]+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColI8 produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
+	}
+	return c, outH, outW
+}
+
+// Im2ColBatchI8 lowers a batch of n int8 CHW images, packed item-major
+// into x ([n*C, H, W]), into one wide patch matrix [C*kh*kw, n*outH*outW]
+// — the int8 twin of Im2ColBatch, feeding one fused MatMulI8 per layer.
+func Im2ColBatchI8(x *I8, n, kh, kw, stride, pad int) *I8 {
+	c, outH, outW := im2colBatchI8Dims(x, n, kh, kw, stride, pad)
+	cols := NewI8(c*kh*kw, n*outH*outW)
+	im2colI8Into(cols, x, n, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColBatchI8Into is Im2ColBatchI8 writing into a caller-owned buffer of
+// shape [C*kh*kw, n*outH*outW], reusable across flushes.
+func Im2ColBatchI8Into(cols, x *I8, n, kh, kw, stride, pad int) {
+	c, outH, outW := im2colBatchI8Dims(x, n, kh, kw, stride, pad)
+	if len(cols.Shape) != 2 || cols.Shape[0] != c*kh*kw || cols.Shape[1] != n*outH*outW {
+		panic(fmt.Sprintf("tensor: Im2ColBatchI8Into dst shape %v, want [%d %d]", cols.Shape, c*kh*kw, n*outH*outW))
+	}
+	im2colI8Into(cols, x, n, kh, kw, stride, pad)
+}
+
+func im2colBatchI8Dims(x *I8, n, kh, kw, stride, pad int) (c, outH, outW int) {
+	if len(x.Shape) != 3 || n <= 0 || x.Shape[0]%n != 0 {
+		panic(fmt.Sprintf("tensor: Im2ColBatchI8 requires [n*C H W] input, got %v for n=%d", x.Shape, n))
+	}
+	c = x.Shape[0] / n
+	outH = (x.Shape[1]+2*pad-kh)/stride + 1
+	outW = (x.Shape[2]+2*pad-kw)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("tensor: Im2ColBatchI8 produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape, kh, kw, stride, pad))
+	}
+	return c, outH, outW
+}
+
+// im2colI8Into fills the (possibly wide) int8 patch matrix; n == 1 is the
+// single-image lowering. Rows — one per (channel, ky, kx) — are
+// independent and split across cores like the float lowering.
+func im2colI8Into(cols, x *I8, n, kh, kw, stride, pad int) {
+	c := x.Shape[0] / n
+	rows := c * kh * kw
+	outH := (x.Shape[1]+2*pad-kh)/stride + 1
+	outW := (x.Shape[2]+2*pad-kw)/stride + 1
+	grain := par.Grain(rows, n*outH*outW, par.MinWorkFloats)
+	if grain >= rows || par.MaxWorkers() == 1 {
+		im2colI8Rows(cols, x, n, kh, kw, stride, pad, 0, rows)
+		return
+	}
+	par.For(rows, grain, func(lo, hi int) {
+		im2colI8Rows(cols, x, n, kh, kw, stride, pad, lo, hi)
+	})
+}
+
+// im2colI8Rows fills wide-patch-matrix rows [lo, hi): per row it writes
+// every item's patch values into that item's column block, with the same
+// zero-then-fill padding handling as the float kernels. At stride 1 the
+// source index walks in lockstep with the destination, so the whole
+// in-bounds span of each output row collapses to one copy — the dominant
+// cost of the quantized forward pass is this lowering, and memmove beats
+// the per-element loop (with its per-pixel bounds test) by a wide margin.
+func im2colI8Rows(cols, x *I8, n, kh, kw, stride, pad, lo, hi int) {
+	c := x.Shape[0] / n
+	h, w := x.Shape[1], x.Shape[2]
+	outH := (h+2*pad-kh)/stride + 1
+	outW := (w+2*pad-kw)/stride + 1
+	oHW := outH * outW
+	for r := lo; r < hi; r++ {
+		ch := r / (kh * kw)
+		ky := (r / kw) % kh
+		kx := r % kw
+		row := r * n * oHW
+		clear(cols.Data[row : row+n*oHW])
+		// Valid ox span at stride 1: 0 <= ox+kx-pad < w.
+		oxLo := 0
+		if kx < pad {
+			oxLo = pad - kx
+		}
+		oxHi := outW
+		if m := w + pad - kx; oxHi > m {
+			oxHi = m
+		}
+		for i := 0; i < n; i++ {
+			chBase := (i*c + ch) * h * w
+			itemCol := row + i*oHW
+			for oy := 0; oy < outH; oy++ {
+				iy := oy*stride + ky - pad
+				if iy < 0 || iy >= h {
+					continue
+				}
+				srcRow := chBase + iy*w
+				dstRow := itemCol + oy*outW
+				if stride == 1 {
+					if oxLo < oxHi {
+						copy(cols.Data[dstRow+oxLo:dstRow+oxHi], x.Data[srcRow+oxLo+kx-pad:srcRow+oxHi+kx-pad])
+					}
+					continue
+				}
+				for ox := 0; ox < outW; ox++ {
+					ix := ox*stride + kx - pad
+					if ix < 0 || ix >= w {
+						continue
+					}
+					cols.Data[dstRow+ox] = x.Data[srcRow+ix]
+				}
+			}
+		}
+	}
+}

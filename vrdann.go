@@ -46,6 +46,7 @@ import (
 	"vrdann/internal/segment"
 	"vrdann/internal/serve"
 	"vrdann/internal/sim"
+	"vrdann/internal/tensor"
 	"vrdann/internal/video"
 	"vrdann/internal/vidio"
 )
@@ -129,6 +130,50 @@ type (
 // agent unit); n <= 1 keeps the serial decode-order loop. Results are
 // bit-identical for every n.
 func WithWorkers(n int) PipelineOption { return core.WithWorkers(n) }
+
+// Quantized execution tier: NN-S compiled to the arithmetic the modeled
+// NPU executes, plus residual-driven sparsity (DESIGN.md §12).
+type (
+	// QuantRefineNet is NN-S compiled to the int8 execution tier:
+	// per-channel weight scales, int8 im2col, int8×int8→int32 GEMM and
+	// requantization between layers. Its accuracy contract is an F-score
+	// delta gate (≤ 0.5 points against the float path), not bit identity.
+	QuantRefineNet = nn.QuantRefineNet
+	// Tensor is the dense CHW tensor the networks exchange; the facade
+	// exposes it so callers can build quantization calibration inputs.
+	Tensor = tensor.Tensor
+)
+
+// NewTensor allocates a zeroed CHW tensor.
+func NewTensor(c, h, w int) *Tensor { return tensor.New(c, h, w) }
+
+// QuantizeRefiner compiles a trained NN-S to the int8 execution tier,
+// calibrating its static activation scales on the given inputs — use
+// tensors drawn from the {0, 0.5, 1} alphabet the deployed sandwich
+// input actually carries. Deploy the result with WithQuant (single
+// pipeline) or ServeConfig.QuantNNS (serving layer).
+func QuantizeRefiner(net *RefineNet, calibration []*Tensor) (*QuantRefineNet, error) {
+	return nn.NewQuantRefineNet(net, calibration)
+}
+
+// WithQuant routes B-frame refinement through the int8 execution tier
+// instead of the float NN-S.
+func WithQuant(q *QuantRefineNet) PipelineOption {
+	return func(p *Pipeline) { p.Quant = q }
+}
+
+// WithResidualSkip enables residual-driven sparsity: B-frame blocks whose
+// decoded residual energy stays at or below threshold keep their
+// MV-reconstructed mask pixels, and NN-S refines only the bounding
+// rectangle of the dirty blocks (a frame with none skips NN-S entirely).
+// Skipped/dirty block counts land on the quant/blocks-* counters of an
+// attached Collector.
+func WithResidualSkip(threshold int) PipelineOption {
+	return func(p *Pipeline) {
+		p.SkipResidual = true
+		p.SkipThreshold = threshold
+	}
+}
 
 // Observability types.
 type (

@@ -162,3 +162,62 @@ func TestPublicAPIIOAndSimExtras(t *testing.T) {
 		t.Fatalf("realtime report: %+v", rt.AvgLatencyNS)
 	}
 }
+
+// TestPublicAPIQuantTier exercises the int8 facade: quantize a trained
+// NN-S from calibration tensors, run the pipeline on the quant tier with
+// residual-driven skipping, and hold the F-score gate against the float
+// path.
+func TestPublicAPIQuantTier(t *testing.T) {
+	vid := vrdann.MakeSequence(vrdann.SuiteProfiles[0], 96, 64, 16)
+	enc := vrdann.DefaultEncoderConfig()
+	stream, err := vrdann.Encode(vid, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := vrdann.DefaultTrainConfig()
+	tc.Features = 4
+	tc.Epochs = 1
+	nns, err := vrdann.TrainRefiner(vrdann.MakeTrainingSet(96, 64, 8)[:2], enc, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Calibration inputs carry the {0, 0.5, 1} alphabet of the sandwich.
+	var calib []*vrdann.Tensor
+	for i := 0; i < 3; i++ {
+		x := vrdann.NewTensor(3, 64, 96)
+		for j := range x.Data {
+			x.Data[j] = float32((j+i)%3) / 2
+		}
+		calib = append(calib, x)
+	}
+	q, err := vrdann.QuantizeRefiner(nns, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.WeightBytes() <= 0 {
+		t.Fatal("quantized net reports no weights")
+	}
+
+	nnl := vrdann.NewOracleSegmenter("NN-L", vid.Masks, 0.05, 3, 1)
+	fres, err := vrdann.NewPipeline(nnl, nns).RunSegmentation(stream.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := vrdann.NewCollector()
+	qp := vrdann.NewPipeline(nnl, nns, vrdann.WithQuant(q),
+		vrdann.WithResidualSkip(8), vrdann.WithObserver(col))
+	qres, err := qp.RunSegmentation(stream.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fF, _ := vrdann.EvaluateSegmentation(fres.Masks, vid.Masks)
+	qF, _ := vrdann.EvaluateSegmentation(qres.Masks, vid.Masks)
+	if fF-qF > 0.005 {
+		t.Fatalf("quant tier F gate: float %v int8 %v", fF, qF)
+	}
+	snap := col.Snapshot()
+	if snap.Counters["quant/blocks-skipped"]+snap.Counters["quant/blocks-dirty"] == 0 {
+		t.Fatal("residual-skip counters never moved")
+	}
+}
