@@ -6,10 +6,10 @@
 # the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke chaos-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -62,6 +62,13 @@ batch-smoke:
 # checks the per-block skip counters surface in server-wide /metrics.
 quant-smoke:
 	$(GO) run ./cmd/vrserve -smoke -refine -quant
+
+# The content-cache leg: -cache-mb shares anchor and B-frame masks across
+# sessions serving bit-identical chunks. The smoke serves four viewers of
+# one content through a cached server, gates every mask byte-identical to
+# the uncached reference, and checks the hit/miss counters in /metrics.
+cache-smoke:
+	$(GO) run ./cmd/vrserve -smoke -refine -cache-mb 64
 
 # Short chaos soak under the race detector: concurrent sessions fed 20%
 # corrupted chunks through the fault injector; healthy streams must stay

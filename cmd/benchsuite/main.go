@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve, batch, quant, faults.
+// energy, stages, serve, batch, quant, faults, cache.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -151,6 +151,9 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 		return rows, err
 	case "batch":
 		rows, err := h.Batch()
+		return rows, err
+	case "cache":
+		rows, err := h.CacheFigure()
 		return rows, err
 	case "quant":
 		return h.Quant()
@@ -389,6 +392,23 @@ func runFigure(h *experiments.Harness, name string) error {
 			fmt.Printf("  %7d %9d %7d %9.1f %8.1f %8.1f %8.1f %7.2f %12d %5d %5d %5d\n",
 				r.Streams, r.MaxBatch, r.Frames, r.FPS, r.P50MS, r.P95MS, r.P99MS,
 				r.MeanOccupancy, r.FlushFull, r.FlushTimer, r.FlushStall, r.FlushDrain)
+		}
+	case "cache":
+		rows, err := h.CacheFigure()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Content cache sweep (viewers x distinct contents; 2 chunks per session):")
+		fmt.Printf("  %8s %8s %7s %12s %11s %8s %6s %6s %6s %10s %13s\n",
+			"contents", "viewers", "frames", "uncached fps", "cached fps", "speedup", "hits", "miss", "evict", "saved MB", "broadcast f/s")
+		for _, r := range rows {
+			bcast := "-"
+			if r.BroadcastFPS > 0 {
+				bcast = fmt.Sprintf("%.1f", r.BroadcastFPS)
+			}
+			fmt.Printf("  %8d %8d %7d %12.1f %11.1f %7.2fx %6d %6d %6d %10.2f %13s\n",
+				r.Contents, r.Viewers, r.Frames, r.UncachedFPS, r.CachedFPS, r.Speedup,
+				r.Hits, r.Misses, r.Evictions, float64(r.BytesSaved)/(1<<20), bcast)
 		}
 	case "quant":
 		rep, err := h.Quant()

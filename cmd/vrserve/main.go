@@ -55,6 +55,7 @@ func main() {
 		smoke       = flag.Bool("smoke", false, "run the serving self-test and exit")
 		batchSize   = flag.Int("batch", 0, "dynamic batching: fuse up to this many NN items across sessions (<=1 disables)")
 		batchWait   = flag.Duration("batch-wait", 0, "partial-batch flush deadline (0 = 2ms default)")
+		cacheMB     = flag.Int64("cache-mb", 0, "shared content-addressed mask cache budget in MiB: sessions serving bit-identical chunks share anchor/B-frame masks (0 disables)")
 
 		maxChunk   = flag.Int64("max-chunk", 64<<20, "chunk POST body cap in bytes (oversize gets 413)")
 		brkFails   = flag.Int("breaker-threshold", 3, "consecutive chunk failures that trip a session's circuit breaker (negative disables)")
@@ -71,6 +72,7 @@ func main() {
 		MaxChunkBytes:   *maxChunk,
 		MaxBatch:        *batchSize,
 		MaxBatchWait:    *batchWait,
+		CacheBytes:      *cacheMB << 20,
 
 		BreakerThreshold: *brkFails,
 		BreakerBackoff:   *brkBackoff,
@@ -428,6 +430,75 @@ func runSmoke(cfg serve.Config) error {
 		fQuant := qSum / float64(qN)
 		if fFloat-fQuant > 0.005 {
 			return fmt.Errorf("int8 B-frame F-score %.4f vs float %.4f: delta %.4f exceeds the 0.5-point gate", fQuant, fFloat, fFloat-fQuant)
+		}
+	}
+
+	// Leg 6 (only under -cache-mb): the shared content cache. Four viewers
+	// of one content through a cached server — every mask must equal the
+	// leg-1 uncached reference byte-for-byte, and the cache hit counters
+	// must surface over the HTTP /metrics endpoint.
+	if cfg.CacheBytes > 0 {
+		ccfg := cfg
+		ccfg.Obs = obs.New()
+		csrv, err := serve.NewServer(ccfg)
+		if err != nil {
+			return fmt.Errorf("cached server: %w", err)
+		}
+		var cacheErr error
+		cgen := &serve.LoadGen{
+			Server:  csrv,
+			Streams: 4,
+			Chunks:  func(int) [][]byte { return [][]byte{st.Data, st.Data} },
+			OnResult: func(stream int, r serve.FrameResult) {
+				if r.Mask == nil {
+					return
+				}
+				refMu.Lock()
+				want, ok := refMasks[r.Display]
+				if cacheErr == nil && (!ok || !bytes.Equal(r.Mask.Pix, want)) {
+					cacheErr = fmt.Errorf("stream %d frame %d: cache-served mask differs from uncached reference", stream, r.Display)
+				}
+				refMu.Unlock()
+			},
+		}
+		crep, err := cgen.Run(context.Background())
+		if err != nil {
+			return fmt.Errorf("cached loadgen: %w", err)
+		}
+		chs := &http.Server{Handler: csrv.Handler()}
+		cln, err := listenLoopback()
+		if err != nil {
+			return err
+		}
+		go chs.Serve(cln)
+		resp, err = http.Get("http://" + cln.Addr().String() + "/metrics")
+		if err != nil {
+			return fmt.Errorf("cache metrics: %w", err)
+		}
+		var cm struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cm); err != nil {
+			return err
+		}
+		resp.Body.Close()
+		csd, ccancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer ccancel()
+		if err := chs.Shutdown(csd); err != nil {
+			return fmt.Errorf("cache http shutdown: %w", err)
+		}
+		if err := csrv.Close(csd); err != nil {
+			return fmt.Errorf("cached drain: %w", err)
+		}
+		if cacheErr != nil {
+			return cacheErr
+		}
+		if crep.Admitted != 4 || crep.Frames != 4*2*16 {
+			return fmt.Errorf("cached leg served %d frames over %d streams, want 128 over 4", crep.Frames, crep.Admitted)
+		}
+		hits, misses := cm.Counters[obs.CounterCacheHits.String()], cm.Counters[obs.CounterCacheMisses.String()]
+		if hits == 0 || misses == 0 {
+			return fmt.Errorf("cached leg hit/miss counters missing from /metrics: hits=%d misses=%d", hits, misses)
 		}
 	}
 	return nil

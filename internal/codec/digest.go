@@ -1,0 +1,22 @@
+package codec
+
+// ChunkDigest hashes an encoded chunk's bytes (FNV-1a 64). It is the
+// content-address of the serving layer's shared mask cache: chunks are
+// independently encoded and GOP-aligned, and every engine starts a chunk
+// from a fresh (or Reset, which is pinned bit-identical) decoder, so two
+// chunks with equal bytes decode to identical frames and side info — equal
+// digests therefore imply equal pipeline outputs for equal models. The
+// digest deliberately covers the whole chunk, header included: a corrupted
+// copy of popular content hashes to its own key and can never alias the
+// clean entries.
+func ChunkDigest(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
+}

@@ -1,0 +1,29 @@
+package codec
+
+import "testing"
+
+// TestChunkDigest pins the properties the content cache relies on:
+// determinism, sensitivity to any single-bit change, and distinct values
+// for a prefix (truncation must not alias the full chunk).
+func TestChunkDigest(t *testing.T) {
+	v := testVideo(64, 48, 12, 1.5)
+	st, err := Encode(v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := ChunkDigest(st.Data)
+	if d1 != ChunkDigest(append([]byte(nil), st.Data...)) {
+		t.Fatal("digest not deterministic over equal bytes")
+	}
+	flipped := append([]byte(nil), st.Data...)
+	flipped[len(flipped)/2] ^= 0x01
+	if ChunkDigest(flipped) == d1 {
+		t.Fatal("single-bit flip did not change the digest")
+	}
+	if ChunkDigest(st.Data[:len(st.Data)-1]) == d1 {
+		t.Fatal("truncated chunk aliases the full chunk")
+	}
+	if ChunkDigest(nil) == d1 {
+		t.Fatal("empty input aliases a real chunk")
+	}
+}

@@ -1,0 +1,212 @@
+package contentcache
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"vrdann/internal/obs"
+	"vrdann/internal/video"
+)
+
+func mask(w, h int, fill uint8) *video.Mask {
+	m := video.NewMask(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = fill
+	}
+	return m
+}
+
+func fillKey(c *Cache, t *testing.T, k Key, m *video.Mask) {
+	t.Helper()
+	got, f, owner := c.Acquire(k)
+	if got != nil || !owner {
+		t.Fatalf("Acquire(%+v) before fill: mask %v owner %v", k, got, owner)
+	}
+	f.Commit(m)
+}
+
+// TestLRUEvictionOrder pins the eviction policy: least-recently-used keys
+// leave first, a hit refreshes recency, and the evictions counter and byte
+// gauges track the arithmetic exactly.
+func TestLRUEvictionOrder(t *testing.T) {
+	const w, h = 16, 8 // 128 pixel bytes + entryOverhead = 224 per entry
+	perEntry := int64(w*h) + entryOverhead
+	col := obs.New()
+	c := New(Config{MaxBytes: 2 * perEntry, Obs: col})
+
+	kA := Key{Content: 1, Display: 0, Model: 9}
+	kB := Key{Content: 1, Display: 1, Model: 9}
+	kC := Key{Content: 2, Display: 0, Model: 9}
+	fillKey(c, t, kA, mask(w, h, 1))
+	fillKey(c, t, kB, mask(w, h, 2))
+	if c.Len() != 2 || c.Bytes() != 2*perEntry {
+		t.Fatalf("resident %d entries / %d bytes, want 2 / %d", c.Len(), c.Bytes(), 2*perEntry)
+	}
+
+	// Touch A so B becomes the LRU victim.
+	if m, _, _ := c.Acquire(kA); m == nil {
+		t.Fatal("A should hit")
+	}
+	fillKey(c, t, kC, mask(w, h, 3))
+
+	if !c.Contains(kA) || !c.Contains(kC) || c.Contains(kB) {
+		t.Fatalf("eviction picked the wrong victim: A=%v B=%v C=%v",
+			c.Contains(kA), c.Contains(kB), c.Contains(kC))
+	}
+	if c.Len() != 2 || c.Bytes() != 2*perEntry {
+		t.Fatalf("post-eviction residency %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+
+	snap := col.Snapshot()
+	if snap.Counters[obs.CounterCacheEvictions.String()] != 1 {
+		t.Fatalf("evictions counter = %d, want 1", snap.Counters[obs.CounterCacheEvictions.String()])
+	}
+	// 1 hit (the A touch), 3 misses (first Acquire of A, B, C).
+	if snap.Counters[obs.CounterCacheHits.String()] != 1 {
+		t.Fatalf("hits counter = %d, want 1", snap.Counters[obs.CounterCacheHits.String()])
+	}
+	if snap.Counters[obs.CounterCacheMisses.String()] != 3 {
+		t.Fatalf("misses counter = %d, want 3", snap.Counters[obs.CounterCacheMisses.String()])
+	}
+	// Bytes-saved counts mask pixels only, once per hit.
+	if snap.Counters[obs.CounterCacheBytesSaved.String()] != int64(w*h) {
+		t.Fatalf("bytes-saved = %d, want %d", snap.Counters[obs.CounterCacheBytesSaved.String()], w*h)
+	}
+	var gBytes, gEntries int64
+	for _, g := range snap.Gauges {
+		switch g.Name {
+		case obs.GaugeCacheBytes.String():
+			gBytes = g.Current
+		case obs.GaugeCacheEntries.String():
+			gEntries = g.Current
+		}
+	}
+	if gBytes != 2*perEntry || gEntries != 2 {
+		t.Fatalf("gauges bytes=%d entries=%d, want %d/2", gBytes, gEntries, 2*perEntry)
+	}
+}
+
+// TestBytesSavedArithmetic: n hits on one entry save exactly n × pixel
+// bytes.
+func TestBytesSavedArithmetic(t *testing.T) {
+	const w, h, n = 32, 16, 5
+	col := obs.New()
+	c := New(Config{MaxBytes: 1 << 20, Obs: col})
+	k := Key{Content: 7, Display: 3, Model: 1}
+	fillKey(c, t, k, mask(w, h, 1))
+	for i := 0; i < n; i++ {
+		if m, _, _ := c.Acquire(k); m == nil {
+			t.Fatalf("hit %d missed", i)
+		}
+	}
+	snap := col.Snapshot()
+	if got := snap.Counters[obs.CounterCacheBytesSaved.String()]; got != int64(n*w*h) {
+		t.Fatalf("bytes-saved = %d, want %d", got, n*w*h)
+	}
+	if got := snap.Counters[obs.CounterCacheHits.String()]; got != n {
+		t.Fatalf("hits = %d, want %d", got, n)
+	}
+}
+
+// TestSingleFlightCommit: concurrent waiters on an open fill all receive
+// the committed mask (the single-decode fan-out), each counted as a hit.
+func TestSingleFlightCommit(t *testing.T) {
+	col := obs.New()
+	c := New(Config{MaxBytes: 1 << 20, Obs: col})
+	k := Key{Content: 1}
+	_, f, owner := c.Acquire(k)
+	if !owner {
+		t.Fatal("first Acquire must own the fill")
+	}
+	const waiters = 4
+	want := mask(8, 8, 1)
+	var wg sync.WaitGroup
+	got := make([]*video.Mask, waiters)
+	for i := 0; i < waiters; i++ {
+		m, wf, own := c.Acquire(k)
+		if m != nil || own {
+			t.Fatalf("waiter %d: mask %v owner %v", i, m, own)
+		}
+		wg.Add(1)
+		go func(i int, wf *Fill) {
+			defer wg.Done()
+			got[i], _ = wf.Wait(context.Background())
+		}(i, wf)
+	}
+	f.Commit(want)
+	wg.Wait()
+	for i, m := range got {
+		if m != want {
+			t.Fatalf("waiter %d got %v", i, m)
+		}
+	}
+	if hits := col.Snapshot().Counters[obs.CounterCacheHits.String()]; hits != waiters {
+		t.Fatalf("hits = %d, want %d", hits, waiters)
+	}
+}
+
+// TestAbandonWakesWaiters: an abandoned fill (failed step / resync) wakes
+// waiters empty-handed and publishes nothing; the next Acquire claims a
+// fresh fill. Double-resolution is tolerated.
+func TestAbandonWakesWaiters(t *testing.T) {
+	col := obs.New()
+	c := New(Config{MaxBytes: 1 << 20, Obs: col})
+	k := Key{Content: 2}
+	_, f, _ := c.Acquire(k)
+	_, wf, _ := c.Acquire(k)
+	done := make(chan bool, 1)
+	go func() {
+		m, ok := wf.Wait(context.Background())
+		done <- ok || m != nil
+	}()
+	f.Abandon()
+	f.Abandon() // idempotent
+	f.Commit(mask(4, 4, 1))
+	if served := <-done; served {
+		t.Fatal("waiter served from an abandoned fill")
+	}
+	if c.Contains(k) {
+		t.Fatal("abandoned (then spuriously committed) fill published an entry")
+	}
+	if aborts := col.Snapshot().Counters[obs.CounterCacheFillAborts.String()]; aborts != 1 {
+		t.Fatalf("fill-aborts = %d, want 1", aborts)
+	}
+	if _, _, owner := c.Acquire(k); !owner {
+		t.Fatal("key must be fillable again after abandon")
+	}
+}
+
+// TestWaitContextCancel: a waiter whose context fires falls back to a miss
+// without blocking on the fill.
+func TestWaitContextCancel(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20})
+	k := Key{Content: 3}
+	_, f, _ := c.Acquire(k)
+	_, wf, _ := c.Acquire(k)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if m, ok := wf.Wait(ctx); ok || m != nil {
+		t.Fatal("cancelled wait must report a miss")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled wait blocked")
+	}
+	f.Abandon()
+}
+
+// TestFingerprintSeparation: part boundaries matter ("ab","c" != "a","bc")
+// and any part change moves the fingerprint.
+func TestFingerprintSeparation(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Fatal("fingerprint ignores part boundaries")
+	}
+	if Fingerprint("nn-l", "quant") == Fingerprint("nn-l", "float") {
+		t.Fatal("fingerprint ignores config parts")
+	}
+	if Fingerprint("x") != Fingerprint("x") {
+		t.Fatal("fingerprint not deterministic")
+	}
+}

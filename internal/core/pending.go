@@ -99,6 +99,15 @@ func (pn *PendingNN) Finish(mask *video.Mask) *MaskOut {
 	return pn.mo
 }
 
+// sourceMask consults the pipeline's MaskSource for a frame, if one is
+// configured. Drop-vetoed frames never reach it.
+func (e *StreamEngine) sourceMask(info codec.FrameInfo) *video.Mask {
+	if e.p.MaskSource == nil {
+		return nil
+	}
+	return e.p.MaskSource(info.Display, info.Type)
+}
+
 // finishStep is the tail of a step: working-set accounting and reference
 // pruning. It runs after every step, NN-bearing or not.
 func (e *StreamEngine) finishStep() {
@@ -147,10 +156,24 @@ func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInf
 	mo = &MaskOut{Display: out.Info.Display, Type: out.Info.Type}
 	switch out.Info.Type {
 	case codec.IFrame, codec.PFrame:
+		if m := e.sourceMask(out.Info); m != nil {
+			// Externally supplied anchor mask (content cache hit): NN-L is
+			// skipped, but the mask still enters the reference window exactly
+			// as Finish would have placed it.
+			mo.Mask = m
+			e.segs[out.Info.Display] = m
+			break
+		}
 		return nil, &PendingNN{e: e, mo: mo, frame: out.Pixels}, nil
 	case codec.BFrame:
 		if drop != nil && drop(out.Info) {
 			break // shed: side info consumed, no mask computed
+		}
+		if m := e.sourceMask(out.Info); m != nil {
+			// Cache hit: reconstruction and NN-S are both skipped — the mask
+			// is a pure function of the chunk bytes, which the source keys on.
+			mo.Mask = m
+			break
 		}
 		t0 := p.Obs.Clock()
 		rec, rerr := segment.Reconstruct(out.Info, e.segs, e.w, e.h, e.cfg.BlockSize)
@@ -164,9 +187,13 @@ func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInf
 		}
 		prev, next := flankingAnchors(e.types, e.segs, out.Info.Display)
 		if p.SkipResidual {
-			rect, dirty, total := segment.ResidualDirtyRect(out.Info.BlockEnergy, e.w, e.h, e.cfg.BlockSize, p.SkipThreshold, segment.ResidualHalo)
-			p.Obs.Count(obs.CounterQuantBlocksSkipped, int64(total-dirty))
-			p.Obs.Count(obs.CounterQuantBlocksDirty, int64(dirty))
+			rect, dirty, total, known := segment.ResidualDirtyRect(out.Info.BlockEnergy, e.w, e.h, e.cfg.BlockSize, p.SkipThreshold, segment.ResidualHalo)
+			if !known {
+				p.Obs.Count(obs.CounterQuantBlocksUnknown, int64(total))
+			} else {
+				p.Obs.Count(obs.CounterQuantBlocksSkipped, int64(total-dirty))
+				p.Obs.Count(obs.CounterQuantBlocksDirty, int64(dirty))
+			}
 			if rect.Empty() {
 				// Every block's motion-compensated prediction survived the
 				// threshold: the reconstruction is the answer, no NN work.

@@ -171,9 +171,15 @@ func (p *Pipeline) refineB(r *segment.Refiner, info codec.FrameInfo, rec *segmen
 	if !p.SkipResidual {
 		return r.Refine(prev, rec, next), true
 	}
-	rect, dirty, total := segment.ResidualDirtyRect(info.BlockEnergy, w, h, blockSize, p.SkipThreshold, segment.ResidualHalo)
-	p.Obs.Count(obs.CounterQuantBlocksSkipped, int64(total-dirty))
-	p.Obs.Count(obs.CounterQuantBlocksDirty, int64(dirty))
+	rect, dirty, total, known := segment.ResidualDirtyRect(info.BlockEnergy, w, h, blockSize, p.SkipThreshold, segment.ResidualHalo)
+	if !known {
+		// No usable energy field (pre-field bitstream): the blocks were never
+		// judged, so they count as unknown, not dirty.
+		p.Obs.Count(obs.CounterQuantBlocksUnknown, int64(total))
+	} else {
+		p.Obs.Count(obs.CounterQuantBlocksSkipped, int64(total-dirty))
+		p.Obs.Count(obs.CounterQuantBlocksDirty, int64(dirty))
+	}
 	if rect.Empty() {
 		return rec.Binary(), false
 	}

@@ -41,6 +41,20 @@ type StreamingPipeline struct {
 	// into decode order. Emitted masks and maxSegs are bit-identical either
 	// way.
 	Workers int
+	// MaskSource, when non-nil, is consulted once per non-dropped frame
+	// before any of the frame's NN work, with the frame's display index and
+	// coded type. A non-nil mask completes the frame without running NN-L
+	// (anchors) or MV reconstruction + NN-S (B-frames); anchor masks
+	// returned by the source still join the reference window, so later
+	// local reconstructions see the state a full compute would have left.
+	// The contract is that the source returns exactly the mask the engine
+	// would have computed — the serving layer's content-addressed cache
+	// guarantees it by keying on the chunk bytes and the models. The frame's
+	// bitstream is always decoded first regardless (the entropy coder must
+	// advance, and anchor pixels are codec reference state). Consulted by
+	// the serial StreamEngine only; the overlapped parallel runner (Workers
+	// > 1) computes locally, which is slower but identical.
+	MaskSource func(display int, t codec.FrameType) *video.Mask
 	// Obs, when non-nil, collects per-stage latency, queue-depth gauges
 	// (job queue, emit queue, busy workers, reference window) and span
 	// traces. Nil costs one pointer check per site.

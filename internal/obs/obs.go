@@ -89,13 +89,16 @@ type Gauge uint8
 
 // Pipeline gauges.
 const (
-	GaugeJobQueue   Gauge = iota // B-frame jobs submitted but not yet finished
-	GaugeEmitQueue               // frames awaiting decode-order emission
-	GaugeWorkers                 // workers currently executing a B-frame job
-	GaugeRefWindow               // reference segmentations held in the window
-	GaugeSessions                // serving layer: admitted sessions
-	GaugePending                 // serving layer: frames queued but not yet served
-	GaugeBatchQueue              // batching engine: items enqueued but not yet flushed
+	GaugeJobQueue         Gauge = iota // B-frame jobs submitted but not yet finished
+	GaugeEmitQueue                     // frames awaiting decode-order emission
+	GaugeWorkers                       // workers currently executing a B-frame job
+	GaugeRefWindow                     // reference segmentations held in the window
+	GaugeSessions                      // serving layer: admitted sessions
+	GaugePending                       // serving layer: frames queued but not yet served
+	GaugeBatchQueue                    // batching engine: items enqueued but not yet flushed
+	GaugeCacheEntries                  // content cache: entries resident
+	GaugeCacheBytes                    // content cache: bytes resident
+	GaugeBroadcastViewers              // broadcast mode: viewers attached across all broadcasts
 
 	// NumGauges bounds the Gauge enum; keep it last.
 	NumGauges
@@ -109,6 +112,9 @@ var gaugeNames = [NumGauges]string{
 	"sessions",
 	"pending-frames",
 	"batch-queue",
+	"cache-entries",
+	"cache-bytes",
+	"broadcast-viewers",
 }
 
 // String returns the gauge's report name.
@@ -142,6 +148,13 @@ const (
 	CounterBatchFlushStall                   // batching engine: flushes triggered by producer stall (no more work can arrive)
 	CounterQuantBlocksSkipped                // residual skip: B-frame blocks whose NN-S refinement was elided
 	CounterQuantBlocksDirty                  // residual skip: B-frame blocks that kept NN-S refinement
+	CounterQuantBlocksUnknown                // residual skip: blocks with no usable energy field (pre-field bitstreams)
+	CounterCacheHits                         // content cache: masks served from the shared cache
+	CounterCacheMisses                       // content cache: lookups that had to compute
+	CounterCacheEvictions                    // content cache: entries evicted by the byte budget
+	CounterCacheBytesSaved                   // content cache: mask bytes served without recomputation
+	CounterCacheFillAborts                   // content cache: in-flight fills invalidated by a failed step
+	CounterBroadcastFrames                   // broadcast mode: frames fanned out to attached viewers
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -166,6 +179,13 @@ var counterNames = [NumCounters]string{
 	"batch-flush-stall",
 	"quant/blocks-skipped",
 	"quant/blocks-dirty",
+	"quant/blocks-unknown",
+	"cache/hits",
+	"cache/misses",
+	"cache/evictions",
+	"cache/bytes-saved",
+	"cache/fill-aborts",
+	"broadcast/fanout-frames",
 }
 
 // String returns the counter's report name.

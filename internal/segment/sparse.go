@@ -41,22 +41,24 @@ func (r DirtyRect) Full(w, h int) bool {
 const ResidualHalo = 8
 
 // ResidualDirtyRect scans a frame's per-block residual energies and returns
-// the even-aligned, halo-expanded bounding rectangle of the dirty blocks
-// plus the dirty and total block counts. A block is dirty when its energy
+// the even-sized, halo-expanded bounding rectangle of the dirty blocks plus
+// the dirty and total block counts. A block is dirty when its energy
 // exceeds threshold or carries the -1 intra sentinel. The energies must be
 // in raster order over ceil(w/bs)×ceil(h/bs) blocks; a slice of any other
 // length (including nil, e.g. a stream encoded before this field existed)
-// conservatively marks the whole frame dirty.
-func ResidualDirtyRect(energy []int32, w, h, blockSize, threshold, halo int) (DirtyRect, int, int) {
+// conservatively marks the whole frame for refinement and reports
+// known == false — the blocks were never judged, so callers must count
+// them as unknown, not dirty, or skip-rate dashboards read a pre-field
+// bitstream as 100% motion-miss.
+func ResidualDirtyRect(energy []int32, w, h, blockSize, threshold, halo int) (r DirtyRect, dirty, total int, known bool) {
 	bw := (w + blockSize - 1) / blockSize
 	bh := (h + blockSize - 1) / blockSize
-	total := bw * bh
+	total = bw * bh
 	if len(energy) != total {
-		return DirtyRect{0, 0, w, h}, total, total
+		return DirtyRect{0, 0, w, h}, 0, total, false
 	}
 	minX, minY := w, h
 	maxX, maxY := 0, 0
-	dirty := 0
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
 			e := energy[by*bw+bx]
@@ -79,17 +81,16 @@ func ResidualDirtyRect(energy []int32, w, h, blockSize, threshold, halo int) (Di
 		}
 	}
 	if dirty == 0 {
-		return DirtyRect{}, 0, total
+		return DirtyRect{}, 0, total, true
 	}
-	r := DirtyRect{
+	r = DirtyRect{
 		X0: clampLo(minX-halo) &^ 1,
 		Y0: clampLo(minY-halo) &^ 1,
 		X1: clampHi(maxX+halo, w),
 		Y1: clampHi(maxY+halo, h),
 	}
 	// Round the far edges up to even (the near edges rounded down above), so
-	// the crop keeps the even geometry NN-S's pooling requires. The frame
-	// itself has even dimensions, so the rounded edges stay in bounds.
+	// the crop keeps the even geometry NN-S's pooling requires.
 	r.X1 = (r.X1 + 1) &^ 1
 	r.Y1 = (r.Y1 + 1) &^ 1
 	if r.X1 > w {
@@ -98,7 +99,27 @@ func ResidualDirtyRect(energy []int32, w, h, blockSize, threshold, halo int) (Di
 	if r.Y1 > h {
 		r.Y1 = h
 	}
-	return r, dirty, total
+	// On an odd frame dimension the clamp above lands the far edge back on
+	// the odd frame edge, leaving an odd span (the near edge is even). An
+	// odd crop would not survive NN-S's pool/upsample round trip, so re-even
+	// the span by pulling the near edge out; if the span is pinned to both
+	// edges of an odd axis no even crop can cover it — degrade to the full
+	// frame, which callers route through the uncropped refine path.
+	if r.W()&1 == 1 {
+		if r.X0 > 0 {
+			r.X0--
+		} else {
+			return DirtyRect{0, 0, w, h}, dirty, total, true
+		}
+	}
+	if r.H()&1 == 1 {
+		if r.Y0 > 0 {
+			r.Y0--
+		} else {
+			return DirtyRect{0, 0, w, h}, dirty, total, true
+		}
+	}
+	return r, dirty, total, true
 }
 
 func clampLo(v int) int {

@@ -10,15 +10,15 @@ func TestResidualDirtyRect(t *testing.T) {
 	const w, h, bs = 64, 48, 8 // 8×6 blocks
 	clean := make([]int32, (w/bs)*(h/bs))
 
-	r, dirty, total := ResidualDirtyRect(clean, w, h, bs, 0, ResidualHalo)
-	if !r.Empty() || dirty != 0 || total != 48 {
-		t.Fatalf("all-clean frame: rect %+v dirty %d total %d", r, dirty, total)
+	r, dirty, total, known := ResidualDirtyRect(clean, w, h, bs, 0, ResidualHalo)
+	if !r.Empty() || dirty != 0 || total != 48 || !known {
+		t.Fatalf("all-clean frame: rect %+v dirty %d total %d known %v", r, dirty, total, known)
 	}
 
 	// One dirty block in the middle: rect = block ± halo, even-aligned.
 	e := append([]int32(nil), clean...)
 	e[2*8+3] = 5 // block (3,2): pixels [24,32)×[16,24)
-	r, dirty, _ = ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
+	r, dirty, _, _ = ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
 	if dirty != 1 {
 		t.Fatalf("dirty count %d, want 1", dirty)
 	}
@@ -32,28 +32,78 @@ func TestResidualDirtyRect(t *testing.T) {
 
 	// Threshold: energy at or below it stays clean; above is dirty.
 	e[2*8+3] = 5
-	if r, _, _ := ResidualDirtyRect(e, w, h, bs, 5, ResidualHalo); !r.Empty() {
+	if r, _, _, _ := ResidualDirtyRect(e, w, h, bs, 5, ResidualHalo); !r.Empty() {
 		t.Fatalf("energy 5 at threshold 5 should be clean, got %+v", r)
 	}
 
 	// Intra sentinel is always dirty, at any threshold.
 	e[2*8+3] = -1
-	if _, dirty, _ := ResidualDirtyRect(e, w, h, bs, 1<<30, ResidualHalo); dirty != 1 {
+	if _, dirty, _, _ := ResidualDirtyRect(e, w, h, bs, 1<<30, ResidualHalo); dirty != 1 {
 		t.Fatal("intra sentinel must be dirty regardless of threshold")
 	}
 
 	// Corner block: halo clamps at the frame edge.
 	e = append([]int32(nil), clean...)
 	e[0] = 1
-	r, _, _ = ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
+	r, _, _, _ = ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
 	if (r != DirtyRect{X0: 0, Y0: 0, X1: 16, Y1: 16}) {
 		t.Fatalf("corner rect %+v", r)
 	}
 
-	// Missing or mis-sized energy data degrades to whole-frame dirty.
-	r, dirty, total = ResidualDirtyRect(nil, w, h, bs, 0, ResidualHalo)
-	if !r.Full(w, h) || dirty != total {
-		t.Fatalf("nil energies: rect %+v dirty %d/%d, want full frame", r, dirty, total)
+	// Missing or mis-sized energy data still covers the whole frame, but
+	// reports the blocks as unknown (known == false, dirty == 0) instead of
+	// inflating the dirty count: pre-field bitstreams must not read as 100%
+	// motion-miss on skip-rate dashboards.
+	r, dirty, total, known = ResidualDirtyRect(nil, w, h, bs, 0, ResidualHalo)
+	if !r.Full(w, h) || dirty != 0 || total != 48 || known {
+		t.Fatalf("nil energies: rect %+v dirty %d/%d known %v, want full frame, 0 dirty, unknown", r, dirty, total, known)
+	}
+}
+
+// TestResidualDirtyRectOddGeometry pins the odd-dimension contract: on any
+// mix of odd/even frame dimensions the returned rect is either full-frame
+// or has an even width and height, always covers every dirty block's halo,
+// and stays in bounds — an odd crop would not survive NN-S's pool/upsample
+// round trip.
+func TestResidualDirtyRectOddGeometry(t *testing.T) {
+	const bs = 8
+	dims := []int{47, 48, 63, 64, 65}
+	for _, w := range dims {
+		for _, h := range dims {
+			bw := (w + bs - 1) / bs
+			bh := (h + bs - 1) / bs
+			// Every single-dirty-block position: edge blocks are the ones
+			// whose halo hits the odd frame boundary.
+			for by := 0; by < bh; by++ {
+				for bx := 0; bx < bw; bx++ {
+					e := make([]int32, bw*bh)
+					e[by*bw+bx] = 9
+					r, dirty, total, known := ResidualDirtyRect(e, w, h, bs, 0, ResidualHalo)
+					if !known || dirty != 1 || total != bw*bh {
+						t.Fatalf("%dx%d block (%d,%d): dirty %d/%d known %v", w, h, bx, by, dirty, total, known)
+					}
+					if r.Empty() {
+						t.Fatalf("%dx%d block (%d,%d): empty rect for a dirty block", w, h, bx, by)
+					}
+					if r.X0 < 0 || r.Y0 < 0 || r.X1 > w || r.Y1 > h {
+						t.Fatalf("%dx%d block (%d,%d): rect %+v out of bounds", w, h, bx, by, r)
+					}
+					if !r.Full(w, h) && (r.W()&1 == 1 || r.H()&1 == 1) {
+						t.Fatalf("%dx%d block (%d,%d): non-full rect %+v has odd geometry", w, h, bx, by, r)
+					}
+					// The dirty block ± halo must stay covered (clamped to the
+					// frame) even after the evenness adjustment.
+					x0 := clampLo(bx*bs - ResidualHalo)
+					y0 := clampLo(by*bs - ResidualHalo)
+					x1 := clampHi((bx+1)*bs+ResidualHalo, w)
+					y1 := clampHi((by+1)*bs+ResidualHalo, h)
+					if r.X0 > x0 || r.Y0 > y0 || r.X1 < x1 || r.Y1 < y1 {
+						t.Fatalf("%dx%d block (%d,%d): rect %+v does not cover halo [%d,%d)x[%d,%d)",
+							w, h, bx, by, r, x0, x1, y0, y1)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"vrdann/internal/codec"
+	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
 	"vrdann/internal/obs"
 	"vrdann/internal/video"
@@ -49,6 +50,13 @@ func (s *Session) stepOnce() {
 		// still holds s.running.
 		s.dec = nil
 		s.eng = nil
+		if s.fill != nil {
+			// The resync invalidates the in-flight cache fill: the step that
+			// was computing it did not complete cleanly, so nothing is
+			// published and waiters fall back to computing locally.
+			s.fill.Abandon()
+			s.fill = nil
+		}
 	}
 
 	srv.mu.Lock()
@@ -112,10 +120,56 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 	}
 	s.obs.Span(obs.StageServe, r.Display, byte(r.Type), cur.arrT)
 	cur.results = append(cur.results, r)
+	if s.fill != nil {
+		// The step completed cleanly: publish the mask this session owed the
+		// content cache. Entries are only ever inserted from this path, so a
+		// cached mask is always one a session finished computing.
+		if mo.Mask != nil {
+			s.fill.Commit(mo.Mask)
+		} else {
+			s.fill.Abandon()
+		}
+		s.fill = nil
+	}
 	if s.srv.cfg.SkipResidual {
 		s.mirrorQuantCounters()
 	}
 	return s.eng.Remaining() == 0, nil
+}
+
+// cachedMask is the session's core.MaskSource hook: it consults the shared
+// content cache for the frame about to be stepped. A resident mask is
+// returned directly (served without NN work); a miss either claims the
+// single-flight fill — remembered in s.fill and resolved by serveOneFrame
+// when the step settles — or, when another session is already computing the
+// same key, waits for that fill rather than duplicating the work. Waiters
+// are discounted from the batcher's stall detection (srv.cacheWaiters):
+// they hold a worker but cannot enqueue batch items, and the fill they wait
+// on may be the very batch item the stall callback is deciding about. Only
+// the worker holding s.running calls this (from inside StepPrepare), so
+// s.cur and s.fill need no lock.
+func (s *Session) cachedMask(display int, _ codec.FrameType) *video.Mask {
+	srv := s.srv
+	key := contentcache.Key{Content: s.cur.digest, Display: display, Model: s.modelFP}
+	m, f, owner := srv.cache.Acquire(key)
+	if m != nil {
+		s.obs.Count(obs.CounterCacheHits, 1)
+		return m
+	}
+	if owner {
+		s.fill = f
+		return nil
+	}
+	srv.cacheWaiters.Add(1)
+	m, ok := f.Wait(srv.ctx)
+	srv.cacheWaiters.Add(-1)
+	if ok {
+		s.obs.Count(obs.CounterCacheHits, 1)
+		return m
+	}
+	// Fill abandoned or server stopping: compute locally. No re-Acquire —
+	// this frame pays the full cost rather than risking a claim/wait loop.
+	return nil
 }
 
 // mirrorQuantCounters forwards the residual-skip block counters the core
@@ -136,6 +190,10 @@ func (s *Session) mirrorQuantCounters() {
 	if v := s.obs.CounterValue(obs.CounterQuantBlocksDirty); v > s.quantDirty {
 		s.srv.cfg.Obs.Count(obs.CounterQuantBlocksDirty, v-s.quantDirty)
 		s.quantDirty = v
+	}
+	if v := s.obs.CounterValue(obs.CounterQuantBlocksUnknown); v > s.quantUnknown {
+		s.srv.cfg.Obs.Count(obs.CounterQuantBlocksUnknown, v-s.quantUnknown)
+		s.quantUnknown = v
 	}
 }
 

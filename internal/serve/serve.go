@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vrdann/internal/batch"
+	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
 	"vrdann/internal/nn"
 	"vrdann/internal/obs"
@@ -139,6 +141,20 @@ type Config struct {
 	// MaxBatchWait bounds how long a partial batch waits for batch-mates
 	// before flushing (tail-latency bound at low concurrency). Default 2ms.
 	MaxBatchWait time.Duration
+	// CacheBytes enables the shared content-addressed mask cache with this
+	// byte budget: masks computed by the first session on a piece of content
+	// are served to every later session submitting bit-identical chunks, so
+	// fleet cost approaches O(distinct contents) instead of O(sessions).
+	// Requires NewSegmenter to be content-deterministic — sessions serving
+	// equal bytes must receive segmenters that compute equal masks (true of
+	// ThresholdSegmenter always, and of per-content oracles). Zero disables
+	// the cache (the default).
+	CacheBytes int64
+	// Cache, when non-nil, supplies an externally constructed cache instead
+	// of CacheBytes — e.g. one cache shared by several servers. The caller
+	// must then ensure all sharing servers run identical models (the model
+	// fingerprint covers segmenter names and skip config, not weights).
+	Cache *contentcache.Cache
 }
 
 // withDefaults resolves unset fields.
@@ -189,6 +205,13 @@ type Server struct {
 	// batcher, when non-nil, is the shared cross-session dynamic batching
 	// engine all NN work is routed through (cfg.MaxBatch > 1).
 	batcher *batch.Engine
+	// cache, when non-nil, is the shared content-addressed mask cache
+	// (cfg.Cache, or built from cfg.CacheBytes).
+	cache *contentcache.Cache
+	// cacheWaiters counts workers blocked in a cache fill wait. They hold a
+	// session's running flag but cannot produce batch items, so the
+	// batcher's stall detection must discount them.
+	cacheWaiters atomic.Int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond // work retired, queue space freed, session retired
@@ -212,6 +235,10 @@ func NewServer(cfg Config) (*Server, error) {
 		sessions: make(map[string]*Session),
 	}
 	srv.cond = sync.NewCond(&srv.mu)
+	srv.cache = cfg.Cache
+	if srv.cache == nil && cfg.CacheBytes > 0 {
+		srv.cache = contentcache.New(contentcache.Config{MaxBytes: cfg.CacheBytes, Obs: cfg.Obs})
+	}
 	if cfg.MaxBatch > 1 {
 		srv.batcher = batch.New(batch.Config{
 			MaxBatch: cfg.MaxBatch,
@@ -236,6 +263,10 @@ func NewServer(cfg Config) (*Server, error) {
 					}
 				}
 				srv.mu.Unlock()
+				// Workers blocked waiting on a cache fill are busy but cannot
+				// enqueue batch items until the filler's step (which may be
+				// the batch item we are deciding about) completes.
+				busy -= int(srv.cacheWaiters.Load())
 				return pending >= busy && len(srv.runq) == 0
 			},
 		})
@@ -272,6 +303,19 @@ func (srv *Server) Open() (*Session, error) {
 		SkipThreshold: srv.cfg.SkipThreshold,
 		Workers:       1, // the shared pool is the parallelism; engines stay serial
 		Obs:           col,
+	}
+	if srv.cache != nil {
+		// The model fingerprint keys cache entries alongside the chunk
+		// digest: segmenter identity plus everything in this server's config
+		// that shapes a mask. Config is per-server, so within one server
+		// only the segmenter name varies.
+		s.modelFP = contentcache.Fingerprint(
+			s.pipe.NNL.Name(),
+			fmt.Sprintf("nns=%t quant=%t skip=%t thr=%d",
+				srv.cfg.NNS != nil, srv.cfg.QuantNNS != nil,
+				srv.cfg.SkipResidual, srv.cfg.SkipThreshold),
+		)
+		s.pipe.MaskSource = s.cachedMask
 	}
 	srv.sessions[id] = s
 	srv.cfg.Obs.GaugeSet(obs.GaugeSessions, int64(len(srv.sessions)))

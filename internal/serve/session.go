@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vrdann/internal/codec"
+	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
 	"vrdann/internal/obs"
 	"vrdann/internal/video"
@@ -42,6 +43,10 @@ type Chunk struct {
 	arrived time.Time
 	arrT    time.Duration // session collector clock token at arrival
 
+	// digest content-addresses the chunk bytes for the shared mask cache
+	// (codec.ChunkDigest); zero unless the server has a cache.
+	digest uint64
+
 	data    []byte
 	results []FrameResult // decode order while serving; display order at completion
 	err     error
@@ -71,6 +76,9 @@ type Session struct {
 	obs *obs.Collector // per-session collector; never nil
 
 	pipe *core.StreamingPipeline
+	// modelFP fingerprints the mask-shaping configuration for content-cache
+	// keys (contentcache.Fingerprint). Immutable after Open.
+	modelFP uint64
 
 	// Guarded by srv.mu.
 	state   sessionState
@@ -93,9 +101,13 @@ type Session struct {
 	dec  *codec.StreamDecoder
 	eng  *core.StreamEngine
 	base int // display offset of cur: frames resolved in earlier chunks
+	// Open single-flight fill this session owes the content cache for the
+	// frame currently being stepped; resolved (Commit or Abandon) before the
+	// step returns.
+	fill *contentcache.Fill
 	// Last residual-skip counter values already mirrored into the
 	// server-wide collector (see Session.mirrorQuantCounters).
-	quantSkipped, quantDirty int64
+	quantSkipped, quantDirty, quantUnknown int64
 }
 
 // Metrics snapshots the session's collector: per-stage latency histograms
@@ -114,6 +126,12 @@ func (s *Session) Submit(ctx context.Context, data []byte) (*Chunk, error) {
 		return nil, fmt.Errorf("serve: bad chunk: %w", err)
 	}
 	srv := s.srv
+	var digest uint64
+	if srv.cache != nil {
+		// Hash outside the lock — O(len(data)). Corrupt bytes hash to their
+		// own keys, so a poisoned copy of popular content cannot alias it.
+		digest = codec.ChunkDigest(data)
+	}
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if s.w == 0 && s.h == 0 {
@@ -164,6 +182,7 @@ func (s *Session) Submit(ctx context.Context, data []byte) (*Chunk, error) {
 		frames:  info.Frames,
 		arrived: time.Now(),
 		arrT:    s.obs.Clock(),
+		digest:  digest,
 		data:    data,
 		done:    make(chan struct{}),
 	}
@@ -214,8 +233,15 @@ func (s *Session) maybeRetireLocked() {
 // completeLocked retires the chunk being served: results are re-sequenced
 // into display order, the recovery policy classifies any failure (and may
 // trip the session's breaker — see settleLocked), accounting is settled,
-// and the ticket resolves. Caller holds srv.mu.
+// and the ticket resolves. Only the worker that was stepping the chunk
+// reaches here (via stepOnce), so touching worker-only counter state is
+// safe. Caller holds srv.mu.
 func (s *Session) completeLocked(c *Chunk, err error) {
+	// Final counter mirror: the per-frame mirror runs only after successful
+	// steps, so counts recorded by a step that then failed (decode error,
+	// cancellation, breaker trip) would otherwise never reach the
+	// server-wide collector.
+	s.mirrorQuantCounters()
 	c.err = s.settleLocked(err)
 	sort.Slice(c.results, func(i, j int) bool { return c.results[i].Display < c.results[j].Display })
 	s.pending -= c.frames

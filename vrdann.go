@@ -39,6 +39,7 @@ import (
 	"vrdann/internal/baseline"
 	"vrdann/internal/batch"
 	"vrdann/internal/codec"
+	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
 	"vrdann/internal/detect"
 	"vrdann/internal/nn"
@@ -254,6 +255,41 @@ func NewServer(cfg ServeConfig) (*Server, error) { return serve.NewServer(cfg) }
 // Server with MaxBatch > 1 constructs one internally, so this is only
 // needed when embedding the batcher in a custom scheduler.
 func NewBatchEngine(cfg BatchConfig) *BatchEngine { return batch.New(cfg) }
+
+// Content-addressed mask sharing: sessions serving bit-identical chunks
+// under the same model configuration share NN-L/NN-S results through one
+// cache, and a broadcast fans one session's decode to many viewers
+// (DESIGN.md §13).
+type (
+	// ContentCache is the shared content-addressed mask cache; a Server
+	// with ServeConfig.CacheBytes > 0 constructs one internally, or pass a
+	// pre-built cache via ServeConfig.Cache to share it across servers.
+	ContentCache = contentcache.Cache
+	// ContentCacheConfig parameterizes a ContentCache (byte budget,
+	// metrics collector).
+	ContentCacheConfig = contentcache.Config
+	// ContentKey addresses one cached mask: chunk-bytes digest, display
+	// index within the chunk, and model fingerprint.
+	ContentKey = contentcache.Key
+	// Broadcast is the single-decode fan-out mode: one backing session,
+	// many attached viewers receiving every frame result.
+	Broadcast = serve.Broadcast
+	// BroadcastViewer is one attached consumer of a Broadcast.
+	BroadcastViewer = serve.Viewer
+)
+
+// NewContentCache builds a standalone content-addressed mask cache for
+// sharing across servers via ServeConfig.Cache.
+func NewContentCache(cfg ContentCacheConfig) *ContentCache { return contentcache.New(cfg) }
+
+// ChunkDigest hashes encoded chunk bytes for content addressing; equal
+// bytes yield equal digests, so identical chunks share cache entries.
+func ChunkDigest(data []byte) uint64 { return codec.ChunkDigest(data) }
+
+// ModelFingerprint folds model-identity strings (NN-L label, refinement
+// and quantization configuration) into a ContentKey's Model field; cached
+// masks are shared only between sessions with equal fingerprints.
+func ModelFingerprint(parts ...string) uint64 { return contentcache.Fingerprint(parts...) }
 
 // Simulator types.
 type (
