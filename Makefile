@@ -6,10 +6,10 @@
 # the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache ./internal/shard
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke gate-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -76,6 +76,16 @@ cache-smoke:
 # with a classified error. (The soak also runs as part of `make race`.)
 chaos-smoke:
 	$(GO) test -race ./internal/serve -run '^TestChaosSoak$$' -count 1 -v
+
+# Multi-process sharding self-test: vrgate spawns two real vrserve
+# processes, streams sessions through the gateway, kills one backend
+# mid-stream, and checks every session's masks byte-identical to a
+# single-node reference with zero client-visible errors.
+gate-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/vrserve ./cmd/vrserve
+	$(GO) build -o bin/vrgate ./cmd/vrgate
+	./bin/vrgate -smoke -vrserve ./bin/vrserve
 
 # Regenerate the paper's tables and figures.
 suite:

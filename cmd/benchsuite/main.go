@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve, batch, quant, faults, cache.
+// energy, stages, serve, batch, quant, faults, cache, shard.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache", "shard"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -155,6 +155,8 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 	case "cache":
 		rows, err := h.CacheFigure()
 		return rows, err
+	case "shard":
+		return h.ShardFigure()
 	case "quant":
 		return h.Quant()
 	case "faults":
@@ -410,6 +412,24 @@ func runFigure(h *experiments.Harness, name string) error {
 				r.Contents, r.Viewers, r.Frames, r.UncachedFPS, r.CachedFPS, r.Speedup,
 				r.Hits, r.Misses, r.Evictions, float64(r.BytesSaved)/(1<<20), bcast)
 		}
+	case "shard":
+		rep, err := h.ShardFigure()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Sharded serving scale-out (one gateway over N vrserve nodes; host procs %d):\n",
+			rep.HostProcs)
+		fmt.Printf("  %5s %8s %7s %7s %9s %13s %10s\n",
+			"nodes", "sessions", "chunks", "frames", "agg fps", "per-node fps", "scale eff")
+		for _, r := range rep.Rows {
+			fmt.Printf("  %5d %8d %7d %7d %9.1f %13.1f %10.2f\n",
+				r.Nodes, r.Sessions, r.Chunks, r.Frames, r.FPS, r.PerNodeFPS, r.ScaleEff)
+		}
+		m := rep.Migration
+		fmt.Printf("  migration leg: %d/%d sessions moved (%d migrations, %d rebalances, %d proxy errors)\n",
+			m.Moved, m.Sessions, m.Migrations, m.Rebalances, m.ProxyErrors)
+		fmt.Printf("  migration latency: mean %.1fms p50 %.1fms p95 %.1fms\n",
+			m.MigrateMeanMS, m.MigrateP50MS, m.MigrateP95MS)
 	case "quant":
 		rep, err := h.Quant()
 		if err != nil {

@@ -1,0 +1,305 @@
+// Command vrgate runs the sharded serving gateway: it consistent-hashes
+// stream sessions across a fleet of vrserve backends, proxies the familiar
+// session HTTP surface, health-checks every node, and live-migrates
+// sessions between nodes on failure, breaker trips and scale events —
+// clients see one continuous stream regardless of where it is served.
+//
+//	vrgate -addr :8090 -backends http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// Nodes can be added and removed at runtime:
+//
+//	curl -X POST   localhost:8090/v1/nodes -d '{"url":"http://10.0.0.3:8080"}'
+//	curl -X DELETE 'localhost:8090/v1/nodes?url=http://10.0.0.1:8080'
+//
+// -smoke runs the multi-process self-test instead of serving: it spawns
+// two real vrserve processes (-vrserve points at the binary), streams
+// sessions through the gateway, kills one backend mid-stream, and checks
+// that every session — including the migrated ones — served masks
+// byte-identical to a single-node reference with zero client-visible
+// errors. The Makefile's gate-smoke target wraps exactly this.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/obs"
+	"vrdann/internal/shard"
+	"vrdann/internal/video"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "gateway listen address")
+		backends     = flag.String("backends", "", "comma-separated vrserve base URLs (required unless -smoke)")
+		vnodes       = flag.Int("vnodes", 64, "virtual nodes per backend on the hash ring")
+		healthEvery  = flag.Duration("health-interval", 2*time.Second, "backend /healthz probe interval")
+		proxyTimeout = flag.Duration("proxy-timeout", 30*time.Second, "per-request backend timeout (a hung node counts as failed past this)")
+		brkFails     = flag.Int("node-breaker-threshold", 3, "consecutive proxy failures that trip a node's breaker (negative disables)")
+		brkBackoff   = flag.Duration("node-breaker-backoff", time.Second, "node unroutable window after a trip (doubles per successive trip)")
+		maxAttempts  = flag.Int("max-node-attempts", 3, "placements tried per chunk before giving up with 503")
+		smoke        = flag.Bool("smoke", false, "run the multi-process sharding self-test and exit")
+		vrserveBin   = flag.String("vrserve", "", "path to a vrserve binary (required with -smoke)")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if *vrserveBin == "" {
+			fmt.Fprintln(os.Stderr, "gate smoke: -vrserve <path-to-binary> is required")
+			os.Exit(2)
+		}
+		if err := runSmoke(*vrserveBin, *proxyTimeout); err != nil {
+			fmt.Fprintf(os.Stderr, "gate smoke: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("gate smoke: OK")
+		return
+	}
+
+	if *backends == "" {
+		log.Fatal("vrgate: -backends is required (comma-separated vrserve URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(strings.TrimSuffix(u, "/")); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	g, err := shard.NewGateway(shard.Config{
+		Backends:             urls,
+		VNodes:               *vnodes,
+		HealthInterval:       *healthEvery,
+		ProxyTimeout:         *proxyTimeout,
+		NodeBreakerThreshold: *brkFails,
+		NodeBreakerBackoff:   *brkBackoff,
+		MaxNodeAttempts:      *maxAttempts,
+		Obs:                  obs.New(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("vrgate listening on %s over %d backends", *addr, len(urls))
+	if err := http.ListenAndServe(*addr, g.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// backendProc is one spawned vrserve child in the smoke run.
+type backendProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startBackend spawns a vrserve process on an ephemeral loopback port and
+// waits for its ready-file to announce the bound URL.
+func startBackend(bin, dir, name string) (*backendProc, error) {
+	ready := filepath.Join(dir, name+".url")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-ready-file", ready)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(ready); err == nil && len(b) > 0 {
+			return &backendProc{cmd: cmd, url: strings.TrimSpace(string(b))}, nil
+		}
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			return nil, fmt.Errorf("backend %s never became ready", name)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runSmoke is the end-to-end sharding self-test: two real vrserve
+// processes behind a gateway, one killed mid-stream, every session's
+// masks byte-identical to a single-node reference.
+func runSmoke(vrserveBin string, proxyTimeout time.Duration) error {
+	v := video.Generate(video.SceneSpec{
+		Name: "gate-smoke", W: 64, H: 48, Frames: 16, Seed: 42, Noise: 1.0,
+		Objects: []video.ObjectSpec{{
+			Shape: video.ShapeDisk, Radius: 10, X: 24, Y: 24,
+			VX: 1.5, VY: 0.75, Intensity: 220, Foreground: true,
+		}},
+	})
+	st, err := codec.Encode(v, codec.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("encode: %w", err)
+	}
+	const chunks = 3
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "vrgate-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Leg 1: single-node reference. One vrserve process, one session, the
+	// PGM bytes of each chunk are the gold standard (the default segmenter
+	// is deterministic and every chunk decodes from clean state).
+	refProc, err := startBackend(vrserveBin, dir, "ref")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = refProc.cmd.Process.Kill() }()
+	refCl := &shard.Client{Base: refProc.url}
+	refID, err := refCl.Open(ctx)
+	if err != nil {
+		return fmt.Errorf("reference open: %w", err)
+	}
+	ref := make([][]byte, chunks)
+	for i := range ref {
+		if ref[i], err = refCl.ChunkPGM(ctx, refID, st.Data); err != nil {
+			return fmt.Errorf("reference chunk %d: %w", i, err)
+		}
+		if len(ref[i]) == 0 {
+			return fmt.Errorf("reference chunk %d: empty PGM body", i)
+		}
+	}
+	_ = refCl.Close(ctx, refID)
+	_ = refProc.cmd.Process.Kill()
+	_, _ = refProc.cmd.Process.Wait()
+
+	// Leg 2: the fleet — two backends behind the gateway.
+	procs := make([]*backendProc, 2)
+	for i := range procs {
+		p, err := startBackend(vrserveBin, dir, fmt.Sprintf("node%d", i))
+		if err != nil {
+			return err
+		}
+		procs[i] = p
+		defer func() { _ = p.cmd.Process.Kill() }()
+	}
+	g, err := shard.NewGateway(shard.Config{
+		Backends:     []string{procs[0].url, procs[1].url},
+		ProxyTimeout: proxyTimeout,
+		Obs:          obs.New(),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = g.Close(cctx)
+	}()
+	if err := g.WaitHealthy(ctx, 2, 10*time.Second); err != nil {
+		return err
+	}
+	gs := &http.Server{Handler: g.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go gs.Serve(ln)
+	defer gs.Close()
+	cl := &shard.Client{Base: "http://" + ln.Addr().String()}
+
+	// Enough sessions that both backends hold some.
+	const sessions = 8
+	ids := make([]string, sessions)
+	for i := range ids {
+		if ids[i], err = cl.Open(ctx); err != nil {
+			return fmt.Errorf("open %d: %w", i, err)
+		}
+	}
+	placed := make(map[string]string, sessions)
+	for _, id := range ids {
+		got, err := cl.ChunkPGM(ctx, id, st.Data)
+		if err != nil {
+			return fmt.Errorf("session %s chunk 0: %w", id, err)
+		}
+		if !bytes.Equal(got, ref[0]) {
+			return fmt.Errorf("session %s chunk 0: masks differ from single-node reference", id)
+		}
+		placed[id] = g.Placement(id)
+	}
+	byNode := map[string]int{}
+	for _, n := range placed {
+		byNode[n]++
+	}
+	if len(byNode) != 2 {
+		return fmt.Errorf("sessions all landed on one backend: %v", byNode)
+	}
+
+	// Leg 3: kill one backend mid-stream. Every session must keep serving
+	// through the gateway with zero visible errors; sessions from the dead
+	// node resume at the next chunk header, byte-identical to the reference.
+	victim := g.Placement(ids[0])
+	for _, p := range procs {
+		if p.url == victim {
+			if err := p.cmd.Process.Kill(); err != nil {
+				return fmt.Errorf("kill backend: %w", err)
+			}
+			_, _ = p.cmd.Process.Wait()
+		}
+	}
+	for c := 1; c < chunks; c++ {
+		for _, id := range ids {
+			got, err := cl.ChunkPGM(ctx, id, st.Data)
+			if err != nil {
+				return fmt.Errorf("session %s chunk %d after kill: %w", id, c, err)
+			}
+			if !bytes.Equal(got, ref[c]) {
+				return fmt.Errorf("session %s chunk %d: migrated masks differ from reference", id, c)
+			}
+		}
+	}
+	migrated := 0
+	for _, id := range ids {
+		if placed[id] == victim {
+			migrated++
+			if g.Migrations(id) == 0 {
+				return fmt.Errorf("session %s was on the killed backend but reports no migration", id)
+			}
+		}
+	}
+	if migrated == 0 {
+		return fmt.Errorf("killed backend held no sessions")
+	}
+
+	// Leg 4: the migration and failure counters surface over /metrics.
+	mb, err := cl.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("gateway metrics: %w", err)
+	}
+	var met struct {
+		Gateway struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"gateway"`
+		Nodes []shard.NodeStatus `json:"nodes"`
+	}
+	if err := json.Unmarshal(mb, &met); err != nil {
+		return fmt.Errorf("gateway metrics JSON: %w", err)
+	}
+	if met.Gateway.Counters[obs.CounterMigrations.String()] < int64(migrated) {
+		return fmt.Errorf("metrics migrations counter %d, want >= %d",
+			met.Gateway.Counters[obs.CounterMigrations.String()], migrated)
+	}
+	if met.Gateway.Counters[obs.CounterProxyErrors.String()] == 0 {
+		return fmt.Errorf("metrics proxy-errors counter is zero after a kill")
+	}
+
+	for _, id := range ids {
+		if err := cl.Close(ctx, id); err != nil {
+			return fmt.Errorf("close %s: %w", id, err)
+		}
+	}
+	fmt.Printf("gate smoke: %d sessions, %d migrated off killed backend, masks bit-identical across %d chunks\n",
+		sessions, migrated, chunks)
+	return nil
+}

@@ -53,6 +53,7 @@ func main() {
 		quant       = flag.Bool("quant", false, "serve NN-S refinement on the int8 tier with residual-driven block skipping (implies -refine)")
 		skipThresh  = flag.Int("skip-threshold", 8, "residual energy above which a block is refined under -quant (0 = skip only bit-exact predictions)")
 		smoke       = flag.Bool("smoke", false, "run the serving self-test and exit")
+		readyFile   = flag.String("ready-file", "", "after binding, write the server's base URL here (multi-process harnesses pass -addr 127.0.0.1:0 and poll this file)")
 		batchSize   = flag.Int("batch", 0, "dynamic batching: fuse up to this many NN items across sessions (<=1 disables)")
 		batchWait   = flag.Duration("batch-wait", 0, "partial-batch flush deadline (0 = 2ms default)")
 		cacheMB     = flag.Int64("cache-mb", 0, "shared content-addressed mask cache budget in MiB: sessions serving bit-identical chunks share anchor/B-frame masks (0 disables)")
@@ -117,10 +118,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("vrserve listening on %s (sessions<=%d, workers=%d)", *addr, *maxSessions, cfg.Workers)
-	if err := http.ListenAndServe(*addr, withDebug(srv.Handler())); err != nil {
+	// Bind before announcing readiness so -addr 127.0.0.1:0 resolves to a
+	// concrete port a supervising gateway can dial.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		log.Fatal(err)
 	}
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(baseURL(ln.Addr())), 0o644); err != nil {
+			log.Fatalf("ready-file: %v", err)
+		}
+	}
+	log.Printf("vrserve listening on %s (sessions<=%d, workers=%d)", ln.Addr(), *maxSessions, cfg.Workers)
+	if err := http.Serve(ln, withDebug(srv.Handler())); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// baseURL renders a bound listener address as a dialable base URL,
+// substituting loopback for the unspecified host.
+func baseURL(addr net.Addr) string {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return "http://" + addr.String()
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 // quantizeNNS compiles a trained float NN-S to the int8 execution tier.

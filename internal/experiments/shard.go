@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"vrdann/internal/fault/chaos"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/serve"
+	"vrdann/internal/shard"
+)
+
+// The scale-out sweep holds the offered load fixed (shardSessions sessions,
+// shardChunks chunks each) and grows only the fleet, so the aggregate-FPS
+// series isolates what sharding buys: each node runs few enough workers
+// that a single node is compute-bound under the full session set.
+const (
+	shardSessions    = 8
+	shardChunks      = 3
+	shardNodeWorkers = 2
+)
+
+var shardNodeSweep = []int{1, 2, 4}
+
+// ShardRow is one point of the scale-out series: the fixed workload served
+// through a gateway over Nodes backends.
+type ShardRow struct {
+	Nodes      int     `json:"nodes"`
+	Sessions   int     `json:"sessions"`
+	Chunks     int     `json:"chunks"` // chunks per session
+	Frames     int     `json:"frames"` // total frames served
+	FPS        float64 `json:"fps"`    // aggregate frames/s across the fleet
+	PerNodeFPS float64 `json:"perNodeFps"`
+	// ScaleEff is FPS over nodes x the single-node FPS: 1.0 is perfect
+	// linear scaling, below 1 is gateway/imbalance overhead.
+	ScaleEff float64 `json:"scaleEff"`
+}
+
+// ShardMigrationReport summarizes the rebalance/failure leg: a fleet that
+// scales up mid-stream and then loses a node, with every affected session
+// live-migrated at the next chunk header.
+type ShardMigrationReport struct {
+	Sessions      int     `json:"sessions"`
+	Moved         int     `json:"moved"` // sessions that changed backend at least once
+	Migrations    int64   `json:"migrations"`
+	Rebalances    int64   `json:"rebalances"` // migrations caused by ring-ownership change
+	ProxyErrors   int64   `json:"proxyErrors"`
+	MigrateMeanMS float64 `json:"migrateMeanMs"` // drain -> re-admit latency per migration
+	MigrateP50MS  float64 `json:"migrateP50Ms"`
+	MigrateP95MS  float64 `json:"migrateP95Ms"`
+}
+
+// ShardReport is the full shard figure: the scale-out series plus the
+// migration-latency leg. HostProcs records GOMAXPROCS at run time: the
+// nodes are in-process, so aggregate FPS can only grow while the fleet's
+// total workers still fit the host — on a single-core host the series is
+// flat and measures gateway overhead instead of scaling.
+type ShardReport struct {
+	HostProcs int                  `json:"hostProcs"`
+	Rows      []ShardRow           `json:"rows"`
+	Migration ShardMigrationReport `json:"migration"`
+}
+
+// ShardFigure measures the sharded serving tier end to end: a fixed
+// multi-session workload is pushed through a shard.Gateway over fleets of
+// 1, 2 and 4 in-process vrserve nodes (aggregate FPS and scaling
+// efficiency), then a separate fleet is scaled up and degraded mid-stream
+// to measure how many sessions move and how long a live migration takes.
+// Every backend runs the deterministic threshold segmenter, so all served
+// masks are placement-independent — the same contract the sharding chaos
+// tests pin bit-identically.
+func (h *Harness) ShardFigure() (*ShardReport, error) {
+	v := h.Suite()[0]
+	st, err := h.StreamFor(v, h.Cfg.Enc)
+	if err != nil {
+		return nil, err
+	}
+	framesPerChunk := len(v.Frames)
+	rep := &ShardReport{HostProcs: runtime.GOMAXPROCS(0)}
+	for _, nodes := range shardNodeSweep {
+		fps, err := h.shardScaleRun(st.Data, nodes, framesPerChunk)
+		if err != nil {
+			return nil, err
+		}
+		row := ShardRow{
+			Nodes:      nodes,
+			Sessions:   shardSessions,
+			Chunks:     shardChunks,
+			Frames:     shardSessions * shardChunks * framesPerChunk,
+			FPS:        fps,
+			PerNodeFPS: fps / float64(nodes),
+		}
+		if len(rep.Rows) > 0 && rep.Rows[0].FPS > 0 {
+			row.ScaleEff = fps / (float64(nodes) * rep.Rows[0].FPS)
+		} else if nodes == 1 {
+			row.ScaleEff = 1
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	mig, err := shardMigrationRun(st.Data)
+	if err != nil {
+		return nil, err
+	}
+	rep.Migration = *mig
+	return rep, nil
+}
+
+// shardScaleRun serves the fixed workload through a gateway over n nodes
+// and returns the aggregate frames/s.
+func (h *Harness) shardScaleRun(chunk []byte, n, framesPerChunk int) (float64, error) {
+	backends, urls, err := startShardNodes(n, shardSessions)
+	if err != nil {
+		return 0, err
+	}
+	defer stopShardNodes(backends)
+	g, err := shard.NewGateway(shard.Config{
+		Backends:       urls,
+		HealthInterval: -1,
+		ProxyTimeout:   time.Minute,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer closeGateway(g)
+	ctx := context.Background()
+	ids := make([]string, shardSessions)
+	for i := range ids {
+		if ids[i], err = g.Open(ctx); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	err = h.forEach(len(ids), func(i int) error {
+		for c := 0; c < shardChunks; c++ {
+			resp, err := g.Chunk(ctx, ids[i], chunk, "")
+			if err != nil {
+				return fmt.Errorf("experiments: shard chunk %d of %s: %w", c, ids[i], err)
+			}
+			if resp.Status != 200 {
+				return fmt.Errorf("experiments: shard chunk %d of %s: backend status %d", c, ids[i], resp.Status)
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range ids {
+		if err := g.CloseSession(ctx, id); err != nil {
+			return 0, err
+		}
+	}
+	if elapsed <= 0 {
+		return 0, nil
+	}
+	frames := shardSessions * shardChunks * framesPerChunk
+	return float64(frames) / elapsed.Seconds(), nil
+}
+
+// shardMigrationRun drives the rebalance/failure leg: sessions stream
+// through a 2-node fleet, a third node joins (ring ownership moves — live
+// rebalance), then one node is killed outright (failure migration with the
+// failed chunk replayed). The gateway collector's migrate-stage span is the
+// per-migration drain -> re-admit latency.
+func shardMigrationRun(chunk []byte) (*ShardMigrationReport, error) {
+	const sessions = 12
+	backends, urls, err := startShardNodes(3, sessions)
+	if err != nil {
+		return nil, err
+	}
+	defer stopShardNodes(backends)
+	col := obs.New()
+	g, err := shard.NewGateway(shard.Config{
+		Backends:       urls[:2],
+		HealthInterval: -1,
+		ProxyTimeout:   10 * time.Second,
+		Obs:            col,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer closeGateway(g)
+	ctx := context.Background()
+	ids := make([]string, sessions)
+	for i := range ids {
+		if ids[i], err = g.Open(ctx); err != nil {
+			return nil, err
+		}
+	}
+	submitAll := func(label string) error {
+		for _, id := range ids {
+			resp, err := g.Chunk(ctx, id, chunk, "")
+			if err != nil {
+				return fmt.Errorf("experiments: shard %s chunk of %s: %w", label, id, err)
+			}
+			if resp.Status != 200 {
+				return fmt.Errorf("experiments: shard %s chunk of %s: backend status %d", label, id, resp.Status)
+			}
+		}
+		return nil
+	}
+	// Steady state on two nodes.
+	if err := submitAll("steady"); err != nil {
+		return nil, err
+	}
+	// Scale up: the third node takes over a slice of the ring; owning
+	// sessions rebalance at their next chunk.
+	g.AddNode(urls[2])
+	if err := submitAll("scale-up"); err != nil {
+		return nil, err
+	}
+	// Failure: kill whichever node now serves the first session; its
+	// sessions migrate and the failed chunk is replayed transparently.
+	victim := g.Placement(ids[0])
+	for _, b := range backends {
+		if b.URL == victim {
+			b.Kill()
+		}
+	}
+	if err := submitAll("after-kill"); err != nil {
+		return nil, err
+	}
+	moved := 0
+	for _, id := range ids {
+		if g.Migrations(id) > 0 {
+			moved++
+		}
+	}
+	for _, id := range ids {
+		if err := g.CloseSession(ctx, id); err != nil {
+			return nil, err
+		}
+	}
+	snap := col.Snapshot()
+	rep := &ShardMigrationReport{
+		Sessions:    sessions,
+		Moved:       moved,
+		Migrations:  snap.Counters[obs.CounterMigrations.String()],
+		Rebalances:  snap.Counters[obs.CounterRebalances.String()],
+		ProxyErrors: snap.Counters[obs.CounterProxyErrors.String()],
+	}
+	if s := snap.Stage(obs.StageMigrate.String()); s != nil {
+		rep.MigrateMeanMS = float64(s.MeanNS) / 1e6
+		rep.MigrateP50MS = float64(s.P50NS) / 1e6
+		rep.MigrateP95MS = float64(s.P95NS) / 1e6
+	}
+	return rep, nil
+}
+
+// startShardNodes boots n in-process vrserve nodes on loopback HTTP, each
+// with the deterministic threshold segmenter so served masks do not depend
+// on placement.
+func startShardNodes(n, maxSessions int) ([]*chaos.Node, []string, error) {
+	backends := make([]*chaos.Node, 0, n)
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		node, err := chaos.StartNode(serve.Config{
+			MaxSessions: maxSessions,
+			Workers:     shardNodeWorkers,
+			NewSegmenter: func(string) segment.Segmenter {
+				return &segment.ThresholdSegmenter{CloseRadius: 1}
+			},
+		})
+		if err != nil {
+			stopShardNodes(backends)
+			return nil, nil, err
+		}
+		backends = append(backends, node)
+		urls = append(urls, node.URL)
+	}
+	return backends, urls, nil
+}
+
+func stopShardNodes(backends []*chaos.Node) {
+	for _, n := range backends {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = n.Stop(ctx)
+		cancel()
+	}
+}
+
+func closeGateway(g *shard.Gateway) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = g.Close(ctx)
+}

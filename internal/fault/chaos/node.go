@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+
+	"vrdann/internal/serve"
+)
+
+// Node is one in-process vrserve backend on a loopback listener — the
+// whole-node fault unit for sharding chaos. Where the soak harness
+// corrupts chunks inside one server, Node lets a test kill or hang an
+// entire backend under a gateway and watch its sessions migrate.
+//
+// Like the rest of the package, the dependency arrow points one way:
+// chaos imports serve, never shard. Shard's chaos tests import this from
+// an external test package (package shard_test), which keeps the cycle
+// broken.
+type Node struct {
+	// URL is the node's base URL ("http://127.0.0.1:<port>").
+	URL string
+	// Server is the backing serving engine, exposed so tests can reach
+	// Quiesce/Load directly.
+	Server *serve.Server
+
+	hs *http.Server
+	ln net.Listener
+
+	mu      sync.Mutex
+	release chan struct{} // non-nil while hung; closing it un-hangs
+	done    bool
+}
+
+// StartNode builds a serve.Server from cfg and serves its HTTP surface on
+// an ephemeral loopback port.
+func StartNode(cfg serve.Config) (*Node, error) {
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = srv.Close(context.Background())
+		return nil, err
+	}
+	n := &Node{
+		URL:    "http://" + ln.Addr().String(),
+		Server: srv,
+		ln:     ln,
+	}
+	n.hs = &http.Server{Handler: n.gate(srv.Handler())}
+	go func() { _ = n.hs.Serve(ln) }()
+	return n, nil
+}
+
+// gate wraps the serving handler with the hang fault: while hung, every
+// request parks until Unhang or the client gives up. A released request
+// answers 503 — by then the node has "restarted" and lost the plot.
+func (n *Node) gate(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.mu.Lock()
+		release := n.release
+		n.mu.Unlock()
+		if release != nil {
+			select {
+			case <-release:
+				http.Error(w, "node was hung", http.StatusServiceUnavailable)
+			case <-r.Context().Done():
+			}
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Hang makes the node stop answering without closing connections — the
+// failure mode a liveness probe cannot see but a proxy timeout can.
+// Idempotent.
+func (n *Node) Hang() {
+	n.mu.Lock()
+	if n.release == nil {
+		n.release = make(chan struct{})
+	}
+	n.mu.Unlock()
+}
+
+// Unhang releases parked requests (they answer 503) and resumes normal
+// service for new ones. Idempotent.
+func (n *Node) Unhang() {
+	n.mu.Lock()
+	if n.release != nil {
+		close(n.release)
+		n.release = nil
+	}
+	n.mu.Unlock()
+}
+
+// Kill takes the node down abruptly: the listener and every open
+// connection close mid-flight and in-progress sessions are force-closed.
+// In-flight proxied chunks surface as transport errors at the gateway —
+// the signal that triggers migration.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.done {
+		n.mu.Unlock()
+		return
+	}
+	n.done = true
+	n.mu.Unlock()
+	_ = n.hs.Close()
+	// A cancelled context makes serve.Close force-close rather than drain.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = n.Server.Close(ctx)
+}
+
+// Stop shuts the node down gracefully: in-flight requests finish, then
+// the serving engine drains.
+func (n *Node) Stop(ctx context.Context) error {
+	n.mu.Lock()
+	if n.done {
+		n.mu.Unlock()
+		return nil
+	}
+	n.done = true
+	n.mu.Unlock()
+	n.Unhang()
+	herr := n.hs.Shutdown(ctx)
+	serr := n.Server.Close(ctx)
+	if herr != nil {
+		return herr
+	}
+	return serr
+}

@@ -53,6 +53,7 @@ const (
 	StageBatchWait // batching engine: item enqueue -> flush start (queue delay)
 	StageBatchNNL  // batching engine: one fused NN-L flush
 	StageBatchNNS  // batching engine: one fused NN-S flush
+	StageMigrate   // shard gateway: one live session migration (drain -> re-admit)
 
 	// NumStages bounds the Stage enum; keep it last.
 	NumStages
@@ -73,6 +74,7 @@ var stageNames = [NumStages]string{
 	"batch/wait",
 	"batch/nn-l",
 	"batch/nn-s",
+	"shard/migrate",
 }
 
 // String returns the stage's report name.
@@ -99,6 +101,9 @@ const (
 	GaugeCacheEntries                  // content cache: entries resident
 	GaugeCacheBytes                    // content cache: bytes resident
 	GaugeBroadcastViewers              // broadcast mode: viewers attached across all broadcasts
+	GaugeNodes                         // shard gateway: backends registered on the ring
+	GaugeNodesHealthy                  // shard gateway: backends currently routable (healthy, breaker closed)
+	GaugeGateSessions                  // shard gateway: client sessions tracked by the gateway
 
 	// NumGauges bounds the Gauge enum; keep it last.
 	NumGauges
@@ -115,6 +120,9 @@ var gaugeNames = [NumGauges]string{
 	"cache-entries",
 	"cache-bytes",
 	"broadcast-viewers",
+	"nodes",
+	"nodes-healthy",
+	"gate-sessions",
 }
 
 // String returns the gauge's report name.
@@ -155,6 +163,10 @@ const (
 	CounterCacheBytesSaved                   // content cache: mask bytes served without recomputation
 	CounterCacheFillAborts                   // content cache: in-flight fills invalidated by a failed step
 	CounterBroadcastFrames                   // broadcast mode: frames fanned out to attached viewers
+	CounterMigrations                        // shard gateway: sessions live-migrated to another backend
+	CounterRebalances                        // shard gateway: migrations caused by ring-ownership change (scale up/down)
+	CounterNodeBreakerTrips                  // shard gateway: node-level circuit-breaker trips
+	CounterProxyErrors                       // shard gateway: backend requests that failed at node granularity
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -186,6 +198,10 @@ var counterNames = [NumCounters]string{
 	"cache/bytes-saved",
 	"cache/fill-aborts",
 	"broadcast/fanout-frames",
+	"shard/migrations",
+	"shard/rebalances",
+	"shard/node-breaker-trips",
+	"shard/proxy-errors",
 }
 
 // String returns the counter's report name.

@@ -30,8 +30,10 @@ type frameJSON struct {
 //	       ?format=pgm                  ... or concatenated mask PGMs
 //	GET    /v1/sessions/{id}/metrics    per-session obs snapshot
 //	DELETE /v1/sessions/{id}            close (drain) the session
-//	GET    /healthz                     liveness + session count
+//	GET    /healthz                     JSON load report (LoadInfo)
 //	GET    /metrics                     server-wide obs snapshot
+//	POST   /quiesce                     stop admitting sessions (scale-down drain)
+//	POST   /resume                      lift a quiesce
 //
 // Status mapping: 400 malformed chunk, 404 unknown session, 409 closed or
 // draining session, 413 chunk over Config.MaxChunkBytes, 429 admission or
@@ -44,6 +46,8 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", srv.handleClose)
 	mux.HandleFunc("GET /healthz", srv.handleHealth)
 	mux.HandleFunc("GET /metrics", srv.handleServerMetrics)
+	mux.HandleFunc("POST /quiesce", srv.handleQuiesce)
+	mux.HandleFunc("POST /resume", srv.handleResume)
 	return mux
 }
 
@@ -173,10 +177,17 @@ func (srv *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (srv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"sessions": srv.SessionCount(),
-	})
+	writeJSON(w, http.StatusOK, srv.Load())
+}
+
+func (srv *Server) handleQuiesce(w http.ResponseWriter, r *http.Request) {
+	srv.Quiesce()
+	writeJSON(w, http.StatusOK, srv.Load())
+}
+
+func (srv *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	srv.Resume()
+	writeJSON(w, http.StatusOK, srv.Load())
 }
 
 func (srv *Server) handleServerMetrics(w http.ResponseWriter, r *http.Request) {

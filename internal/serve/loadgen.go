@@ -31,6 +31,15 @@ type LoadGen struct {
 	OnSession func(stream int, s *Session)
 	// OnResult, when non-nil, observes every served frame.
 	OnResult func(stream int, r FrameResult)
+	// Retries bounds how many times one chunk's Submit is retried after a
+	// 503-class rejection — an open circuit breaker (ErrSessionBroken) or a
+	// draining server (ErrServerClosed). Chaos and migration runs recover
+	// through these windows; without retry they would abort and measure the
+	// failure instead of the recovery. Default 4; negative disables retry.
+	Retries int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// attempt. Default 50ms.
+	RetryBackoff time.Duration
 }
 
 // StreamReport is the per-stream slice of a load run.
@@ -39,6 +48,7 @@ type StreamReport struct {
 	Admitted bool    `json:"admitted"`
 	Frames   int     `json:"frames"`
 	Dropped  int     `json:"dropped"`
+	Retries  int     `json:"retries,omitempty"`
 	FPS      float64 `json:"fps"`
 	Err      string  `json:"err,omitempty"`
 }
@@ -49,6 +59,7 @@ type LoadReport struct {
 	Admitted         int            `json:"admitted"`
 	AdmissionRejects int            `json:"admissionRejects"`
 	QueueRejects     int            `json:"queueRejects"`
+	Retries          int            `json:"retries"` // submits retried after 503-class rejections
 	Frames           int            `json:"frames"`  // frames served (dropped included)
 	Dropped          int            `json:"dropped"` // frames shed by the deadline policy
 	Elapsed          time.Duration  `json:"elapsedNs"`
@@ -114,9 +125,10 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 			defer wg.Done()
 			defer s.Close()
 			t0 := time.Now()
-			err := g.driveStream(ctx, i, s, record)
+			retries, err := g.driveStream(ctx, i, s, record)
 			mu.Lock()
 			sr := &rep.PerStream[i]
+			sr.Retries = retries
 			if err != nil && sr.Err == "" {
 				sr.Err = err.Error()
 			}
@@ -132,6 +144,7 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 		sr := &rep.PerStream[i]
 		rep.Frames += sr.Frames
 		rep.Dropped += sr.Dropped
+		rep.Retries += sr.Retries
 	}
 	rep.QueueRejects = countQueueRejects(rep.PerStream)
 	mu.Lock()
@@ -152,24 +165,27 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 	return rep, nil
 }
 
-// driveStream pushes one stream's chunks, closed- or open-loop.
+// driveStream pushes one stream's chunks, closed- or open-loop, and
+// reports how many submits had to be retried.
 func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
-	record func(int, []FrameResult)) error {
+	record func(int, []FrameResult)) (int, error) {
 	chunks := g.Chunks(i)
+	retries := 0
 	if g.Interval <= 0 {
 		// Closed loop: next submission gated on completion.
 		for _, data := range chunks {
-			c, err := s.Submit(ctx, data)
+			c, n, err := g.submit(ctx, s, data)
+			retries += n
 			if err != nil {
-				return err
+				return retries, err
 			}
 			res, err := c.Wait(ctx)
 			record(i, res)
 			if err != nil {
-				return err
+				return retries, err
 			}
 		}
-		return nil
+		return retries, nil
 	}
 	// Open loop: submissions paced by the interval, awaited at the end.
 	var tickets []*Chunk
@@ -187,7 +203,8 @@ func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
 		if firstErr != nil {
 			break
 		}
-		c, err := s.Submit(ctx, data)
+		c, rn, err := g.submit(ctx, s, data)
+		retries += rn
 		if err != nil {
 			firstErr = err
 			break
@@ -201,7 +218,41 @@ func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
 			firstErr = err
 		}
 	}
-	return firstErr
+	return retries, firstErr
+}
+
+// submit is Submit with the bounded retry-and-backoff policy over
+// 503-class rejections: a breaker backoff window or a draining server is
+// transient by design (the breaker re-admits after its window, a gateway
+// re-places drained sessions), so a generator that treats them as terminal
+// measures the abort, not the recovery. Returns how many retries were
+// spent. Admission-class failures (bad chunk, queue full under Reject,
+// closed session) stay terminal.
+func (g *LoadGen) submit(ctx context.Context, s *Session, data []byte) (*Chunk, int, error) {
+	max := g.Retries
+	switch {
+	case max == 0:
+		max = 4
+	case max < 0:
+		max = 0
+	}
+	backoff := g.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	for n := 0; ; n++ {
+		c, err := s.Submit(ctx, data)
+		if err == nil || n >= max ||
+			!(errors.Is(err, ErrSessionBroken) || errors.Is(err, ErrServerClosed)) {
+			return c, n, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, n + 1, ctx.Err()
+		}
+		backoff *= 2
+	}
 }
 
 // countQueueRejects counts streams that ended on a queue-full rejection.

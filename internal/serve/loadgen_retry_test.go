@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"vrdann/internal/obs"
+)
+
+// TestLoadGenRetriesThroughBreakerWindow: a stream whose breaker is open
+// when the generator starts submitting must recover — the 503-class
+// rejection is retried with backoff until the window expires — and the
+// spent retries must surface in the stream and aggregate reports.
+func TestLoadGenRetriesThroughBreakerWindow(t *testing.T) {
+	v := makeTestVideo(10, 1.5)
+	chunk := encodeTestVideo(t, v)
+	bad := truncateChunk(t, chunk)
+
+	srv, err := NewServer(Config{
+		MaxSessions: 1, Workers: 1, NewSegmenter: oracleFor(v), Obs: obs.New(),
+		BreakerThreshold: 2, BreakerBackoff: 150 * time.Millisecond, BreakerMaxTrips: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	g := &LoadGen{
+		Server:       srv,
+		Streams:      1,
+		Chunks:       func(int) [][]byte { return [][]byte{chunk} },
+		RetryBackoff: 20 * time.Millisecond,
+		// Trip the breaker before the generator's first submit: two bad
+		// chunks in a row open a 150ms window the clean chunk then has to
+		// retry through.
+		OnSession: func(_ int, s *Session) {
+			for i := 0; i < 2; i++ {
+				c, err := s.Submit(context.Background(), bad)
+				if err != nil {
+					t.Errorf("bad chunk rejected at admission: %v", err)
+					return
+				}
+				if _, werr := c.Wait(context.Background()); werr == nil {
+					t.Error("bad chunk served cleanly")
+				}
+			}
+		},
+	}
+	rep, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.PerStream[0]
+	if !sr.Admitted || sr.Err != "" {
+		t.Fatalf("stream did not recover through the breaker window: %+v", sr)
+	}
+	if sr.Retries == 0 || rep.Retries != sr.Retries {
+		t.Fatalf("retries not reported: stream %d, aggregate %d", sr.Retries, rep.Retries)
+	}
+	if sr.Frames != len(v.Frames) {
+		t.Fatalf("served %d frames, want %d", sr.Frames, len(v.Frames))
+	}
+}
+
+// TestLoadGenRetryDisabled: Retries < 0 restores the old terminal
+// behaviour — the breaker rejection ends the stream and is reported, not
+// retried.
+func TestLoadGenRetryDisabled(t *testing.T) {
+	v := makeTestVideo(10, 1.5)
+	chunk := encodeTestVideo(t, v)
+	bad := truncateChunk(t, chunk)
+
+	srv, err := NewServer(Config{
+		MaxSessions: 1, Workers: 1, NewSegmenter: oracleFor(v), Obs: obs.New(),
+		BreakerThreshold: 2, BreakerBackoff: 10 * time.Second, BreakerMaxTrips: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close(context.Background())
+
+	g := &LoadGen{
+		Server:  srv,
+		Streams: 1,
+		Retries: -1,
+		Chunks:  func(int) [][]byte { return [][]byte{chunk} },
+		OnSession: func(_ int, s *Session) {
+			for i := 0; i < 2; i++ {
+				if c, err := s.Submit(context.Background(), bad); err == nil {
+					_, _ = c.Wait(context.Background())
+				}
+			}
+		},
+	}
+	rep, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := rep.PerStream[0]
+	if !strings.Contains(sr.Err, ErrSessionBroken.Error()) {
+		t.Fatalf("stream error = %q, want an ErrSessionBroken rejection", sr.Err)
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("retries spent with retry disabled: %d", rep.Retries)
+	}
+}

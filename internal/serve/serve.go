@@ -218,6 +218,10 @@ type Server struct {
 	sessions map[string]*Session
 	nextID   int
 	draining bool
+	// quiesced refuses new sessions while continuing to serve admitted
+	// ones — the scale-down drain hook a gateway uses to bleed a node dry
+	// before removing it.
+	quiesced bool
 }
 
 // NewServer starts a server and its worker pool.
@@ -283,7 +287,7 @@ func NewServer(cfg Config) (*Server, error) {
 func (srv *Server) Open() (*Session, error) {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
-	if srv.draining {
+	if srv.draining || srv.quiesced {
 		return nil, ErrServerClosed
 	}
 	if len(srv.sessions) >= srv.cfg.MaxSessions {
@@ -339,6 +343,78 @@ func (srv *Server) SessionCount() int {
 
 // Obs returns the server-wide collector (nil if none was configured).
 func (srv *Server) Obs() *obs.Collector { return srv.cfg.Obs }
+
+// LoadInfo is the JSON load report behind /healthz: enough signal for a
+// gateway to health-score a node (place new sessions, drain a loaded or
+// flapping one) instead of treating health as a binary liveness bit.
+type LoadInfo struct {
+	// Status is "ok" on a serving node and "draining" on one that refuses
+	// new sessions (quiesced or closing).
+	Status string `json:"status"`
+	// Sessions is the number of admitted sessions.
+	Sessions int `json:"sessions"`
+	// MaxSessions is the admission cap.
+	MaxSessions int `json:"maxSessions"`
+	// AdmissionHeadroom is how many more sessions the node would admit
+	// right now (0 on a draining node regardless of occupancy).
+	AdmissionHeadroom int `json:"admissionHeadroom"`
+	// PendingFrames is the queue depth: frames admitted but not yet served,
+	// summed over all sessions.
+	PendingFrames int `json:"pendingFrames"`
+	// BreakerOpen counts sessions whose circuit breaker is currently open —
+	// a flapping-node signal at session granularity.
+	BreakerOpen int `json:"breakerOpen"`
+	// Workers is the node's shared worker budget.
+	Workers int `json:"workers"`
+	// Draining is true when the node refuses new sessions.
+	Draining bool `json:"draining"`
+}
+
+// Load snapshots the server's load report.
+func (srv *Server) Load() LoadInfo {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	li := LoadInfo{
+		Status:      "ok",
+		Sessions:    len(srv.sessions),
+		MaxSessions: srv.cfg.MaxSessions,
+		Workers:     srv.cfg.Workers,
+		Draining:    srv.draining || srv.quiesced,
+	}
+	now := time.Now()
+	for _, s := range srv.sessions {
+		li.PendingFrames += s.pending
+		if s.brokenUntil.After(now) {
+			li.BreakerOpen++
+		}
+	}
+	if !li.Draining {
+		if li.AdmissionHeadroom = li.MaxSessions - li.Sessions; li.AdmissionHeadroom < 0 {
+			li.AdmissionHeadroom = 0
+		}
+	} else {
+		li.Status = "draining"
+	}
+	return li
+}
+
+// Quiesce puts the server in scale-down drain: Open returns ErrServerClosed
+// while already-admitted sessions keep being served, and the load report
+// flips to draining so a gateway stops placing sessions here. Resume undoes
+// it; Close supersedes it.
+func (srv *Server) Quiesce() {
+	srv.mu.Lock()
+	srv.quiesced = true
+	srv.mu.Unlock()
+}
+
+// Resume lifts a Quiesce, re-admitting new sessions (no-op on a closing
+// server — Close is one-way).
+func (srv *Server) Resume() {
+	srv.mu.Lock()
+	srv.quiesced = false
+	srv.mu.Unlock()
+}
 
 // Close drains the server: no new sessions or chunks are admitted, every
 // queued chunk is served, sessions retire as they empty, and the worker

@@ -1,0 +1,149 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vrdann/internal/fault/chaos"
+	"vrdann/internal/obs"
+	"vrdann/internal/shard"
+)
+
+// TestShardKillBitIdentity is the sharding acceptance run: a gateway over
+// three backends serves a fleet of PGM streams through the full HTTP
+// surface; one backend is killed mid-stream. Every session — migrated or
+// not — must serve masks byte-identical to a single-node reference with
+// zero client-visible errors, and the migration/breaker counters must
+// appear in /metrics.
+func TestShardKillBitIdentity(t *testing.T) {
+	v := testVideo(8)
+	chunk := encodeVideo(t, v)
+	const chunks = 4
+	ctx := context.Background()
+
+	// Reference: one plain backend, one session, no gateway, no faults.
+	// ThresholdSegmenter is deterministic and every chunk decodes from
+	// clean state, so these bytes are the gold standard any placement
+	// history must reproduce.
+	ref := make([][]byte, chunks)
+	{
+		nd, err := chaos.StartNode(nodeConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := &shard.Client{Base: nd.URL}
+		id, err := cl.Open(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if ref[i], err = cl.ChunkPGM(ctx, id, chunk); err != nil {
+				t.Fatal(err)
+			}
+			if len(ref[i]) == 0 {
+				t.Fatal("reference PGM chunk is empty")
+			}
+		}
+		if err := cl.Close(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_ = nd.Stop(sctx)
+		cancel()
+	}
+
+	// Fleet: three backends behind the gateway's own HTTP handler.
+	nodes := startNodes(t, 3)
+	col := obs.New()
+	g := newGateway(t, col, urlsOf(nodes)...)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	cl := &shard.Client{Base: ts.URL}
+
+	const sessions = 9
+	ids := make([]string, sessions)
+	for i := range ids {
+		id, err := cl.Open(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	placed := make(map[string]string)
+	for _, id := range ids {
+		got, err := cl.ChunkPGM(ctx, id, chunk)
+		if err != nil {
+			t.Fatalf("session %s chunk 0: %v", id, err)
+		}
+		if !bytes.Equal(got, ref[0]) {
+			t.Fatalf("session %s chunk 0: %d bytes differ from reference", id, len(got))
+		}
+		placed[id] = g.Placement(id)
+	}
+
+	victim := g.Placement(ids[0])
+	for _, n := range nodes {
+		if n.URL == victim {
+			n.Kill()
+		}
+	}
+
+	for c := 1; c < chunks; c++ {
+		for _, id := range ids {
+			got, err := cl.ChunkPGM(ctx, id, chunk)
+			if err != nil {
+				t.Fatalf("session %s chunk %d after kill: %v", id, c, err)
+			}
+			if !bytes.Equal(got, ref[c]) {
+				t.Fatalf("session %s chunk %d: bytes differ from reference after kill", id, c)
+			}
+		}
+	}
+
+	migrated := 0
+	for _, id := range ids {
+		if placed[id] == victim {
+			migrated++
+			if g.Migrations(id) == 0 {
+				t.Errorf("session %s was on the killed node but reports no migration", id)
+			}
+		}
+	}
+	if migrated == 0 {
+		t.Fatal("killed node held no sessions; test proves nothing")
+	}
+
+	// The counters surface through the gateway's /metrics endpoint.
+	body, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var met struct {
+		Gateway struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"gateway"`
+		Nodes []shard.NodeStatus `json:"nodes"`
+	}
+	if err := json.Unmarshal(body, &met); err != nil {
+		t.Fatalf("bad /metrics JSON: %v", err)
+	}
+	if n := met.Gateway.Counters["shard/migrations"]; n < int64(migrated) {
+		t.Errorf("/metrics shard/migrations = %d, want >= %d", n, migrated)
+	}
+	if met.Gateway.Counters["shard/proxy-errors"] == 0 {
+		t.Error("/metrics shard/proxy-errors = 0 after a node kill")
+	}
+	if len(met.Nodes) != 3 {
+		t.Errorf("/metrics nodes block has %d entries, want 3", len(met.Nodes))
+	}
+
+	for _, id := range ids {
+		if err := cl.Close(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

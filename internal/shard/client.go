@@ -1,0 +1,145 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a thin driver for the serving session surface — gateway or
+// single vrserve node, the API is the same. The load-generation harness,
+// the multi-process smoke and the scale-out experiments all drive fleets
+// through it.
+type Client struct {
+	// Base is the server's base URL (no trailing slash).
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// StatusError is a non-2xx server answer.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("shard: server status %d: %s", e.Code, e.Msg)
+}
+
+// FrameSummary is one served frame of a JSON chunk response.
+type FrameSummary struct {
+	Display    int    `json:"display"`
+	Type       string `json:"type"`
+	Dropped    bool   `json:"dropped"`
+	LatencyNS  int64  `json:"latencyNs"`
+	Foreground int    `json:"foreground"`
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(req *http.Request) ([]byte, string, error) {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var je struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &je)
+		return nil, "", &StatusError{Code: resp.StatusCode, Msg: je.Error}
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}
+
+// Open creates a session and returns its id.
+func (c *Client) Open(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/sessions", nil)
+	if err != nil {
+		return "", err
+	}
+	body, _, err := c.do(req)
+	if err != nil {
+		return "", err
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return "", err
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("shard: open returned no session id")
+	}
+	return out.ID, nil
+}
+
+// Chunk submits one chunk and returns the served frame summaries.
+func (c *Client) Chunk(ctx context.Context, id string, data []byte) ([]FrameSummary, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/v1/sessions/"+id+"/chunks", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	body, _, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Frames []FrameSummary `json:"frames"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, err
+	}
+	return out.Frames, nil
+}
+
+// ChunkPGM submits one chunk and returns the concatenated mask PGMs of
+// its non-dropped frames — the bit-identity currency of the migration
+// tests.
+func (c *Client) ChunkPGM(ctx context.Context, id string, data []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/v1/sessions/"+id+"/chunks?format=pgm", bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	body, _, err := c.do(req)
+	return body, err
+}
+
+// Close deletes a session.
+func (c *Client) Close(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		c.Base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return err
+	}
+	_, _, err = c.do(req)
+	return err
+}
+
+// Metrics fetches the raw /metrics JSON.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := c.do(req)
+	return body, err
+}

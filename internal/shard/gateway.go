@@ -1,0 +1,508 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"vrdann/internal/obs"
+	"vrdann/internal/serve"
+)
+
+// Gateway errors.
+var (
+	// ErrNoBackend rejects work when no routable backend remains (all
+	// unhealthy, breaker-open, draining or removed).
+	ErrNoBackend = errors.New("shard: no backend available")
+	// ErrGatewayClosed rejects work on a closed gateway.
+	ErrGatewayClosed = errors.New("shard: gateway closed")
+	// ErrUnknownSession rejects work on a session id the gateway does not
+	// track.
+	ErrUnknownSession = errors.New("shard: unknown session")
+)
+
+// Config parameterizes a Gateway.
+type Config struct {
+	// Backends are the initial vrserve base URLs (e.g.
+	// "http://10.0.0.1:8080"). More can be added (and these removed) at
+	// runtime via AddNode/RemoveNode.
+	Backends []string
+	// VNodes is the virtual-node count per backend on the hash ring.
+	// Default 64.
+	VNodes int
+	// HealthInterval paces the background /healthz prober. Default 2s;
+	// negative disables the prober (tests drive ProbeNow directly).
+	HealthInterval time.Duration
+	// ProxyTimeout bounds one backend request (open, chunk, close). A
+	// hung node surfaces as a timeout, which counts as a node failure and
+	// triggers migration. Default 30s.
+	ProxyTimeout time.Duration
+	// NodeBreakerThreshold is how many consecutive proxy failures trip a
+	// node's breaker. 0 selects the default (3); negative disables the
+	// node breaker.
+	NodeBreakerThreshold int
+	// NodeBreakerBackoff is the unroutable window after the first trip,
+	// doubling per successive trip without an intervening success.
+	// Default 1s.
+	NodeBreakerBackoff time.Duration
+	// MaxNodeAttempts bounds how many placements one chunk tries before
+	// the gateway gives up with ErrNoBackend. Default 3.
+	MaxNodeAttempts int
+	// Obs, when non-nil, receives the gateway's counters (migrations,
+	// rebalances, node-breaker trips, proxy errors, chunks), gauges
+	// (nodes, nodes-healthy, gate-sessions) and the shard/migrate span
+	// histogram.
+	Obs *obs.Collector
+	// Client, when non-nil, overrides the proxy HTTP client (tests inject
+	// transports); ProxyTimeout is applied per request either way.
+	Client *http.Client
+}
+
+// withDefaults resolves unset fields.
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 30 * time.Second
+	}
+	if c.NodeBreakerThreshold == 0 {
+		c.NodeBreakerThreshold = 3
+	}
+	if c.NodeBreakerBackoff <= 0 {
+		c.NodeBreakerBackoff = time.Second
+	}
+	if c.MaxNodeAttempts <= 0 {
+		c.MaxNodeAttempts = 3
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Gateway consistent-hashes stream sessions across vrserve backends and
+// proxies the serving HTTP surface, migrating sessions between nodes at
+// chunk headers on failure, breaker trips and ring changes. All methods
+// are safe for concurrent use.
+type Gateway struct {
+	cfg    Config
+	obs    *obs.Collector
+	client *http.Client
+
+	mu       sync.Mutex
+	ring     *Ring
+	nodes    map[string]*node
+	sessions map[string]*gwSession
+	nextID   int
+	closed   bool
+
+	stopHealth context.CancelFunc
+	healthDone chan struct{}
+}
+
+// NewGateway builds a gateway over the configured backends and starts the
+// health prober.
+func NewGateway(cfg Config) (*Gateway, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("shard: Config.Backends is required")
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:      cfg,
+		obs:      cfg.Obs,
+		client:   cfg.Client,
+		ring:     NewRing(cfg.VNodes),
+		nodes:    make(map[string]*node),
+		sessions: make(map[string]*gwSession),
+	}
+	for _, url := range cfg.Backends {
+		g.addNodeLocked(url)
+	}
+	g.publishNodeGaugesLocked()
+	if cfg.HealthInterval > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		g.stopHealth = cancel
+		g.healthDone = make(chan struct{})
+		go g.healthLoop(ctx)
+	}
+	return g, nil
+}
+
+// addNodeLocked registers a backend (idempotent). Caller holds g.mu.
+func (g *Gateway) addNodeLocked(url string) {
+	if n, ok := g.nodes[url]; ok {
+		// Re-adding a removed node puts it back on the ring with a clean
+		// breaker (scale-up after scale-down).
+		if n.removed {
+			n.removed = false
+			n.consecFails, n.trips = 0, 0
+			n.brokenUntil = time.Time{}
+			n.healthy = true
+			n.load = serve.LoadInfo{}
+			g.ring.Add(url)
+		}
+		return
+	}
+	g.nodes[url] = &node{url: url, healthy: true}
+	g.ring.Add(url)
+}
+
+// AddNode registers a backend at runtime. Sessions whose ring ownership
+// moves to it migrate lazily at their next chunk header.
+func (g *Gateway) AddNode(url string) {
+	g.mu.Lock()
+	g.addNodeLocked(url)
+	g.publishNodeGaugesLocked()
+	g.mu.Unlock()
+}
+
+// RemoveNode takes a backend off the ring. Its sessions drain to their
+// new ring owners at their next chunk header; the backend itself is asked
+// to quiesce (best-effort) so other placers stop using it too.
+func (g *Gateway) RemoveNode(url string) {
+	g.mu.Lock()
+	n, ok := g.nodes[url]
+	if ok && !n.removed {
+		n.removed = true
+		g.ring.Remove(url)
+	}
+	g.publishNodeGaugesLocked()
+	g.mu.Unlock()
+	if ok {
+		go g.quiesceBackend(url)
+	}
+}
+
+// quiesceBackend posts the serving drain hook to a node, best-effort.
+func (g *Gateway) quiesceBackend(url string) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/quiesce", nil)
+	if err != nil {
+		return
+	}
+	if resp, err := g.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Nodes snapshots per-node status, sorted by URL (the /metrics nodes
+// block).
+func (g *Gateway) Nodes() []NodeStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := time.Now()
+	out := make([]NodeStatus, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, NodeStatus{
+			URL:         n.url,
+			Healthy:     n.healthy,
+			Probed:      n.probed,
+			Removed:     n.removed,
+			BreakerOpen: n.brokenUntil.After(now),
+			Trips:       n.trips,
+			Sessions:    n.sessions,
+			Load:        n.load,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].URL < out[b].URL })
+	return out
+}
+
+// SessionCount reports the number of gateway-tracked sessions.
+func (g *Gateway) SessionCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sessions)
+}
+
+// Placement reports which backend a session currently lives on ("" when
+// unplaced or unknown).
+func (g *Gateway) Placement(id string) string {
+	g.mu.Lock()
+	s, ok := g.sessions[id]
+	g.mu.Unlock()
+	if !ok {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.node
+}
+
+// markFailure charges one proxy failure against a node's breaker. Enough
+// consecutive failures trip it: the node becomes unroutable for a
+// doubling backoff window and its sessions migrate at their next chunk.
+func (g *Gateway) markFailure(url string) {
+	g.obs.Count(obs.CounterProxyErrors, 1)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[url]
+	if !ok {
+		return
+	}
+	if g.cfg.NodeBreakerThreshold < 0 {
+		return
+	}
+	n.consecFails++
+	if n.consecFails < g.cfg.NodeBreakerThreshold {
+		return
+	}
+	n.consecFails = 0
+	n.trips++
+	n.brokenUntil = time.Now().Add(g.cfg.NodeBreakerBackoff << uint(n.trips-1))
+	g.obs.Count(obs.CounterNodeBreakerTrips, 1)
+	g.publishNodeGaugesLocked()
+}
+
+// markSuccess closes a node's breaker window after a served request.
+func (g *Gateway) markSuccess(url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n, ok := g.nodes[url]; ok {
+		n.consecFails, n.trips = 0, 0
+		n.brokenUntil = time.Time{}
+		g.publishNodeGaugesLocked()
+	}
+}
+
+// nodeAvailable reports whether a node is currently routable.
+func (g *Gateway) nodeAvailable(url string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n, ok := g.nodes[url]
+	return ok && n.available(time.Now())
+}
+
+// desired returns the first routable node on the ring walk from the
+// session key, skipping excluded ones ("" when none).
+func (g *Gateway) desired(key string, exclude map[string]bool) string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := time.Now()
+	target := ""
+	g.ring.Walk(key, func(url string) bool {
+		if exclude[url] {
+			return true
+		}
+		if n, ok := g.nodes[url]; ok && n.available(now) {
+			target = url
+			return false
+		}
+		return true
+	})
+	return target
+}
+
+// publishNodeGaugesLocked refreshes the nodes / nodes-healthy gauges.
+// Caller holds g.mu.
+func (g *Gateway) publishNodeGaugesLocked() {
+	now := time.Now()
+	total, healthy := 0, 0
+	for _, n := range g.nodes {
+		if n.removed {
+			continue
+		}
+		total++
+		if n.available(now) {
+			healthy++
+		}
+	}
+	g.obs.GaugeSet(obs.GaugeNodes, int64(total))
+	g.obs.GaugeSet(obs.GaugeNodesHealthy, int64(healthy))
+}
+
+// healthLoop probes every node's /healthz on the configured interval.
+func (g *Gateway) healthLoop(ctx context.Context) {
+	defer close(g.healthDone)
+	tick := time.NewTicker(g.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			g.ProbeNow(ctx)
+		}
+	}
+}
+
+// ProbeNow health-checks every node once, synchronously: GET /healthz,
+// decode the serve.LoadInfo load report, update routability. Exported so
+// tests and the smoke harness can force a probe instead of waiting out
+// the interval.
+func (g *Gateway) ProbeNow(ctx context.Context) {
+	g.mu.Lock()
+	urls := make([]string, 0, len(g.nodes))
+	for url, n := range g.nodes {
+		if !n.removed {
+			urls = append(urls, url)
+		}
+	}
+	g.mu.Unlock()
+	for _, url := range urls {
+		li, err := g.fetchHealth(ctx, url)
+		g.mu.Lock()
+		if n, ok := g.nodes[url]; ok {
+			n.probed = true
+			n.healthy = err == nil
+			if err == nil {
+				n.load = li
+			}
+		}
+		g.publishNodeGaugesLocked()
+		g.mu.Unlock()
+	}
+}
+
+// fetchHealth GETs one node's load report.
+func (g *Gateway) fetchHealth(ctx context.Context, url string) (serve.LoadInfo, error) {
+	var li serve.LoadInfo
+	hctx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(hctx, http.MethodGet, url+"/healthz", nil)
+	if err != nil {
+		return li, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return li, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return li, fmt.Errorf("shard: healthz status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&li); err != nil {
+		return li, err
+	}
+	return li, nil
+}
+
+// Open admits a new gateway session: a backend session is opened on the
+// session's ring owner (walking past unroutable nodes) and the mapping is
+// tracked for chunk routing and migration.
+func (g *Gateway) Open(ctx context.Context) (string, error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return "", ErrGatewayClosed
+	}
+	g.nextID++
+	id := fmt.Sprintf("g%04d", g.nextID)
+	s := &gwSession{id: id, g: g}
+	g.sessions[id] = s
+	g.obs.GaugeSet(obs.GaugeGateSessions, int64(len(g.sessions)))
+	g.mu.Unlock()
+
+	s.mu.Lock()
+	err := s.placeLocked(ctx, nil)
+	s.mu.Unlock()
+	if err != nil {
+		g.dropSession(s)
+		return "", err
+	}
+	return id, nil
+}
+
+// session looks a gateway session up.
+func (g *Gateway) session(id string) (*gwSession, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sessions[id]
+	return s, ok
+}
+
+// dropSession removes a session from the table and its node's placement
+// count.
+func (g *Gateway) dropSession(s *gwSession) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.sessions[s.id]; !ok {
+		return
+	}
+	delete(g.sessions, s.id)
+	g.obs.GaugeSet(obs.GaugeGateSessions, int64(len(g.sessions)))
+}
+
+// CloseSession closes a gateway session: the backend session is deleted
+// (best-effort — a dead node cannot refuse) and the mapping dropped.
+func (g *Gateway) CloseSession(ctx context.Context, id string) error {
+	s, ok := g.session(id)
+	if !ok {
+		return ErrUnknownSession
+	}
+	s.mu.Lock()
+	s.closed = true
+	node, backendID := s.node, s.backendID
+	s.unplaceLocked()
+	s.mu.Unlock()
+	g.dropSession(s)
+	if node != "" && backendID != "" {
+		g.deleteBackendSession(ctx, node, backendID)
+	}
+	return nil
+}
+
+// deleteBackendSession DELETEs a backend session, best-effort.
+func (g *Gateway) deleteBackendSession(ctx context.Context, node, backendID string) {
+	dctx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(dctx, http.MethodDelete,
+		node+"/v1/sessions/"+backendID, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := g.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// Close shuts the gateway down: the health prober stops, every tracked
+// session's backend session is closed best-effort, and further calls
+// fail with ErrGatewayClosed. Backends themselves are left running —
+// they belong to their own supervisors.
+func (g *Gateway) Close(ctx context.Context) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return ErrGatewayClosed
+	}
+	g.closed = true
+	sessions := make([]*gwSession, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		sessions = append(sessions, s)
+	}
+	g.mu.Unlock()
+	if g.stopHealth != nil {
+		g.stopHealth()
+		<-g.healthDone
+	}
+	for _, s := range sessions {
+		s.mu.Lock()
+		s.closed = true
+		node, backendID := s.node, s.backendID
+		s.unplaceLocked()
+		s.mu.Unlock()
+		g.dropSession(s)
+		if node != "" && backendID != "" {
+			g.deleteBackendSession(ctx, node, backendID)
+		}
+	}
+	// Drop pooled keep-alive connections so backends can shut down without
+	// waiting on them (a pre-dialed spare that never carried a request looks
+	// non-idle to the backend's graceful Shutdown).
+	g.client.CloseIdleConnections()
+	return ctx.Err()
+}
+
+// Obs returns the gateway collector (nil if none was configured).
+func (g *Gateway) Obs() *obs.Collector { return g.obs }

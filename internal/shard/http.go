@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// Handler returns the gateway's HTTP surface — the same session API
+// vrserve exposes, so clients talk to a fleet exactly as they would to
+// one node, plus node administration:
+//
+//	POST   /v1/sessions                 open a session        -> {"id": ...}
+//	POST   /v1/sessions/{id}/chunks     serve one chunk (proxied, display-rebased)
+//	       ?format=pgm                  ... or concatenated mask PGMs (passthrough)
+//	GET    /v1/sessions/{id}/metrics    per-session backend metrics (proxied)
+//	DELETE /v1/sessions/{id}            close the session
+//	GET    /healthz                     gateway liveness + node summary
+//	GET    /metrics                     gateway obs snapshot + per-node block
+//	POST   /v1/nodes                    {"url": ...} add a backend (scale up)
+//	DELETE /v1/nodes?url=...            remove a backend (scale down, drains)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", g.handleOpen)
+	mux.HandleFunc("POST /v1/sessions/{id}/chunks", g.handleChunk)
+	mux.HandleFunc("GET /v1/sessions/{id}/metrics", g.handleSessionMetrics)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleClose)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("POST /v1/nodes", g.handleAddNode)
+	mux.HandleFunc("DELETE /v1/nodes", g.handleRemoveNode)
+	return mux
+}
+
+func gwWriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func gwWriteError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNoBackend), errors.Is(err, ErrGatewayClosed):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownSession):
+		status = http.StatusNotFound
+	}
+	gwWriteJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (g *Gateway) handleOpen(w http.ResponseWriter, r *http.Request) {
+	id, err := g.Open(r.Context())
+	if err != nil {
+		gwWriteError(w, err)
+		return
+	}
+	gwWriteJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (g *Gateway) handleChunk(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		gwWriteError(w, err)
+		return
+	}
+	resp, err := g.Chunk(r.Context(), r.PathValue("id"), data, r.URL.Query().Get("format"))
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrNoBackend), errors.Is(err, ErrGatewayClosed),
+			errors.Is(err, ErrUnknownSession):
+			gwWriteError(w, err)
+		default:
+			// Malformed chunk (failed the local probe).
+			gwWriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	if resp.ContentType != "" {
+		w.Header().Set("Content-Type", resp.ContentType)
+	}
+	w.WriteHeader(resp.Status)
+	_, _ = w.Write(resp.Body)
+}
+
+func (g *Gateway) handleSessionMetrics(w http.ResponseWriter, r *http.Request) {
+	body, err := g.SessionMetrics(r.Context(), r.PathValue("id"))
+	if err != nil {
+		gwWriteError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+func (g *Gateway) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := g.CloseSession(r.Context(), r.PathValue("id")); err != nil {
+		gwWriteError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	nodes := g.Nodes()
+	healthy := 0
+	for _, n := range nodes {
+		if n.Healthy && !n.Removed && !n.BreakerOpen && !n.Load.Draining {
+			healthy++
+		}
+	}
+	status := "ok"
+	if healthy == 0 {
+		status = "no-backends"
+	}
+	gwWriteJSON(w, http.StatusOK, map[string]any{
+		"status":   status,
+		"nodes":    len(nodes),
+		"healthy":  healthy,
+		"sessions": g.SessionCount(),
+	})
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	gwWriteJSON(w, http.StatusOK, map[string]any{
+		"gateway":  g.obs.Snapshot(),
+		"nodes":    g.Nodes(),
+		"sessions": g.SessionCount(),
+	})
+}
+
+func (g *Gateway) handleAddNode(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		gwWriteJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be {\"url\": ...}"})
+		return
+	}
+	g.AddNode(req.URL)
+	gwWriteJSON(w, http.StatusOK, map[string]any{"nodes": g.Nodes()})
+}
+
+func (g *Gateway) handleRemoveNode(w http.ResponseWriter, r *http.Request) {
+	url := r.URL.Query().Get("url")
+	if url == "" {
+		gwWriteJSON(w, http.StatusBadRequest, map[string]string{"error": "missing ?url="})
+		return
+	}
+	g.RemoveNode(url)
+	gwWriteJSON(w, http.StatusOK, map[string]any{"nodes": g.Nodes()})
+}

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"time"
+
+	"vrdann/internal/serve"
+)
+
+// node is one backend's gateway-side state: last health report, session
+// placement count, and the node-level circuit breaker. All fields are
+// guarded by the gateway mutex; the breaker mirrors the serving layer's
+// per-session breaker taxonomy one level up — consecutive proxy failures
+// (connection refused, timeouts, 5xx) trip it, the node is unroutable for
+// a doubling backoff window, and its sessions drain to the next owner on
+// the ring at their next chunk header.
+type node struct {
+	url string
+	// removed marks a node taken off the ring by RemoveNode; it stays in
+	// the table so per-node counters survive until its sessions finish
+	// migrating.
+	removed bool
+	// healthy is the last health probe's verdict. Nodes start healthy
+	// (optimistic placement before the first probe); the chunk path
+	// self-corrects through the breaker if optimism was wrong.
+	healthy bool
+	// probed is true once a health probe has answered, so /metrics can
+	// distinguish "never probed" from "probed fine".
+	probed bool
+	// load is the node's last /healthz load report.
+	load serve.LoadInfo
+
+	// sessions counts gateway sessions currently placed here.
+	sessions int
+
+	// Node breaker: consecutive proxy failures, trips since last success,
+	// and the end of the current unroutable window.
+	consecFails int
+	trips       int
+	brokenUntil time.Time
+}
+
+// available reports whether the gateway may route sessions to the node:
+// on the ring, last probe healthy, breaker closed, and not draining per
+// its own load report.
+func (n *node) available(now time.Time) bool {
+	return !n.removed && n.healthy && !n.brokenUntil.After(now) && !n.load.Draining
+}
+
+// NodeStatus is the externally visible slice of one node's state, served
+// in the gateway's /metrics nodes block.
+type NodeStatus struct {
+	URL         string         `json:"url"`
+	Healthy     bool           `json:"healthy"`
+	Probed      bool           `json:"probed"`
+	Removed     bool           `json:"removed,omitempty"`
+	BreakerOpen bool           `json:"breakerOpen"`
+	Trips       int            `json:"trips"`
+	Sessions    int            `json:"sessions"`
+	Load        serve.LoadInfo `json:"load"`
+}

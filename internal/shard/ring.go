@@ -1,0 +1,155 @@
+// Package shard scales the serving layer out: a gateway consistent-hashes
+// stream sessions across N vrserve backends, proxies the existing HTTP
+// session surface, health-scores each node through the /healthz load
+// report, and applies the serving tier's breaker/error taxonomy at node
+// granularity — a flapping backend trips a node-level circuit breaker and
+// its sessions drain elsewhere.
+//
+// Live migration rides on the resync contract the recovery layer already
+// guarantees: chunks are independently encoded and GOP-aligned, and a
+// clean chunk served after any failure history is bit-identical to a
+// fresh session. A session is therefore migratable at every chunk header
+// — the gateway drains it on node A (its in-flight chunk either completes
+// or is replayed), re-admits it on node B as a fresh backend session, and
+// rebases display indices so the client sees one continuous stream. A
+// migrated session's masks are bit-identical to an unmigrated reference
+// by construction, because every backend computes every chunk from the
+// same clean decoder state.
+package shard
+
+import (
+	"sort"
+	"strconv"
+)
+
+// fnv1a hashes a byte string: FNV-1a 64 with a murmur-style finalizer.
+// Raw FNV avalanches poorly in the high bits for short inputs (sequential
+// session ids land in one narrow arc of the ring); the final mix spreads
+// them across the full 64-bit keyspace.
+func fnv1a(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h = (h ^ uint64(p[i])) * prime64
+		}
+		h *= prime64 // part separator: ("ab","c") != ("a","bc")
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node on the ring.
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring with virtual nodes. Each backend
+// contributes vnodes points, so load spreads evenly and adding or
+// removing one backend moves only ~1/N of the keyspace — the property
+// that keeps a scale event from migrating every session at once. The
+// ring is deterministic: the same members always produce the same
+// ownership, so independent gateways agree on placement.
+//
+// Ring is not safe for concurrent use; the Gateway serializes access.
+type Ring struct {
+	vnodes int
+	points []ringPoint // sorted by hash
+	nodes  map[string]struct{}
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// backend (<= 0 selects the default 64).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]struct{})}
+}
+
+// Add inserts a backend's virtual nodes. Idempotent.
+func (r *Ring) Add(node string) {
+	if _, ok := r.nodes[node]; ok {
+		return
+	}
+	r.nodes[node] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: fnv1a(node, strconv.Itoa(i)), node: node})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+}
+
+// Remove deletes a backend's virtual nodes. Idempotent.
+func (r *Ring) Remove(node string) {
+	if _, ok := r.nodes[node]; !ok {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Nodes lists the members, sorted.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Owner returns the backend owning a key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(fnv1a(key))].node
+}
+
+// Walk visits the distinct backends in ring order starting from the key's
+// owner, until visit returns false or every member has been seen. This is
+// the failover order: a gateway walks past broken or draining nodes to
+// the next healthy one.
+func (r *Ring) Walk(key string, visit func(node string) bool) {
+	if len(r.points) == 0 {
+		return
+	}
+	start := r.search(fnv1a(key))
+	seen := make(map[string]struct{}, len(r.nodes))
+	for i := 0; i < len(r.points) && len(seen) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := seen[p.node]; ok {
+			continue
+		}
+		seen[p.node] = struct{}{}
+		if !visit(p.node) {
+			return
+		}
+	}
+}
+
+// search returns the index of the first point at or clockwise-after hash.
+func (r *Ring) search(hash uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}

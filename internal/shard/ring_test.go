@@ -1,0 +1,142 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministic pins that ownership depends only on the node set:
+// two rings built in different insertion orders agree on every key.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(64)
+	b := NewRing(64)
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	for i := len(nodes) - 1; i >= 0; i-- {
+		b.Add(nodes[i])
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner %q (order A) vs %q (order B)", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingBalance checks virtual nodes spread keys: with 4 nodes and 64
+// vnodes each, no node should own less than half or more than double its
+// fair share of 2000 keys.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	counts := make(map[string]int)
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("g%04d", i))]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d of 4 nodes own keys: %v", len(counts), counts)
+	}
+	fair := keys / 4
+	for n, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("node %s owns %d keys, fair share %d (all: %v)", n, c, fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption is consistent hashing's defining property:
+// removing one of four nodes must not move any key that the survivors
+// already owned, and must reassign every orphaned key to a survivor.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	nodes := []string{"http://n1", "http://n2", "http://n3", "http://n4"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 1000
+	before := make(map[string]string, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("g%04d", i)
+		before[k] = r.Owner(k)
+	}
+	const victim = "http://n3"
+	r.Remove(victim)
+	moved := 0
+	for k, prev := range before {
+		now := r.Owner(k)
+		if now == victim {
+			t.Fatalf("key %q still owned by removed node", k)
+		}
+		if prev != victim && now != prev {
+			t.Errorf("key %q moved %s -> %s though its owner survived", k, prev, now)
+		}
+		if prev == victim {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; balance test should have caught this")
+	}
+}
+
+// TestRingWalk checks the failover order: Walk visits every node exactly
+// once and starts at the key's owner.
+func TestRingWalk(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("http://node-%d", i))
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("g%04d", i)
+		var order []string
+		seen := make(map[string]bool)
+		r.Walk(key, func(n string) bool {
+			if seen[n] {
+				t.Fatalf("key %q: Walk repeated node %s", key, n)
+			}
+			seen[n] = true
+			order = append(order, n)
+			return true
+		})
+		if len(order) != 5 {
+			t.Fatalf("key %q: Walk visited %d of 5 nodes", key, len(order))
+		}
+		if order[0] != r.Owner(key) {
+			t.Fatalf("key %q: Walk starts at %s, Owner is %s", key, order[0], r.Owner(key))
+		}
+	}
+}
+
+// TestRingWalkStops checks early termination.
+func TestRingWalkStops(t *testing.T) {
+	r := NewRing(16)
+	r.Add("http://a")
+	r.Add("http://b")
+	visits := 0
+	r.Walk("k", func(string) bool { visits++; return false })
+	if visits != 1 {
+		t.Fatalf("Walk visited %d nodes after visit returned false", visits)
+	}
+}
+
+// TestRingEmpty checks the degenerate cases.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(8)
+	if o := r.Owner("k"); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+	r.Walk("k", func(string) bool { t.Fatal("walk on empty ring"); return false })
+	r.Add("http://solo")
+	if o := r.Owner("k"); o != "http://solo" {
+		t.Fatalf("single-node owner = %q", o)
+	}
+	r.Remove("http://solo")
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after removing only node")
+	}
+}

@@ -1,0 +1,372 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"vrdann/internal/codec"
+	"vrdann/internal/obs"
+)
+
+// gwSession is one client stream as the gateway sees it: which backend it
+// currently lives on, the backend session id there, and the display
+// rebase that keeps the client-visible stream continuous across
+// migrations. A backend session always numbers displays from 0; the
+// gateway adds rebase (= frames resolved on earlier placements), so a
+// migrated session's frame numbering is indistinguishable from an
+// unmigrated one.
+type gwSession struct {
+	id string
+	g  *Gateway
+
+	// mu serializes chunk proxying and migration for this session —
+	// chunks of one stream are strictly ordered, which is what makes the
+	// next chunk header a safe migration point.
+	mu         sync.Mutex
+	node       string // current backend base URL; "" when unplaced
+	backendID  string // session id on that backend; "" when none is open
+	served     int    // frames resolved by backends so far (drops and failed chunks included)
+	rebase     int    // display offset of the current backend session
+	migrations int
+	closed     bool
+}
+
+// ChunkResponse is the gateway's answer to one proxied chunk: the backend
+// status and (possibly display-rebased) body, ready to relay to the
+// client.
+type ChunkResponse struct {
+	Status      int
+	ContentType string
+	Body        []byte
+	// Node is the backend that served the chunk (diagnostics).
+	Node string
+}
+
+// Chunk proxies one bitstream chunk for a session: the chunk goes to the
+// session's current placement, migrating first if the ring owner changed
+// (scale up/down) or the placement is unroutable. A node-level failure
+// (connection error, timeout, 5xx) marks the node, drains the session and
+// replays the chunk on the next owner — chunks are independently decodable
+// from their header, so the replay serves bit-identical masks and the
+// client sees a plain 200. format "pgm" passes mask bytes through
+// untouched; otherwise the JSON summary is rebased onto the gateway's
+// continuous display numbering.
+func (g *Gateway) Chunk(ctx context.Context, id string, data []byte, format string) (*ChunkResponse, error) {
+	s, ok := g.session(id)
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	return s.serveChunk(ctx, data, format)
+}
+
+func (s *gwSession) serveChunk(ctx context.Context, data []byte, format string) (*ChunkResponse, error) {
+	g := s.g
+	info, err := codec.ProbeStream(data)
+	if err != nil {
+		// Malformed at the header: reject at the edge without charging any
+		// backend (same 400 the backend would return).
+		return nil, fmt.Errorf("shard: bad chunk: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrUnknownSession
+	}
+	tried := make(map[string]bool)
+	for attempt := 0; attempt < g.cfg.MaxNodeAttempts; attempt++ {
+		target := g.desired(s.id, tried)
+		if target == "" {
+			return nil, ErrNoBackend
+		}
+		if target != s.node || s.backendID == "" {
+			// Scale events and recovered nodes change ring ownership between
+			// chunks; failures and lost backend sessions clear the placement.
+			// Either way the session is (re-)admitted at this chunk header.
+			rebalance := s.node != "" && s.backendID != "" && target != s.node &&
+				!tried[s.node] && g.nodeAvailable(s.node)
+			if err := s.migrateLocked(ctx, target, rebalance); err != nil {
+				g.markFailure(target)
+				tried[target] = true
+				continue
+			}
+		}
+		status, ct, body, err := g.postChunk(ctx, s.node, s.backendID, data, format)
+		if err != nil {
+			// The node, not the chunk: connection refused/reset, timeout (a
+			// hung node), or a dead proxy path. Drain and replay elsewhere.
+			g.markFailure(s.node)
+			tried[s.node] = true
+			s.backendID = ""
+			continue
+		}
+		switch {
+		case status == http.StatusOK:
+			g.markSuccess(s.node)
+			g.obs.Count(obs.CounterChunks, 1)
+			s.served += info.Frames
+			if format != "pgm" {
+				if body, err = s.rebaseJSON(body); err != nil {
+					return nil, fmt.Errorf("shard: bad backend response: %w", err)
+				}
+			}
+			return &ChunkResponse{Status: status, ContentType: ct, Body: body, Node: s.node}, nil
+		case status == http.StatusBadRequest:
+			// The chunk's own fault: the backend consumed it, quarantined and
+			// will resync — its display base advanced by the chunk's frames,
+			// so the gateway's must too.
+			g.markSuccess(s.node)
+			s.served += info.Frames
+			return &ChunkResponse{Status: status, ContentType: ct, Body: body, Node: s.node}, nil
+		case status == http.StatusNotFound, status == http.StatusConflict:
+			// The backend no longer has the session (restart, force-close):
+			// re-admit a fresh backend session at this chunk header.
+			g.markSuccess(s.node)
+			s.backendID = ""
+			continue
+		case status == http.StatusRequestEntityTooLarge, status == http.StatusTooManyRequests:
+			// The client's problem; the node is fine.
+			g.markSuccess(s.node)
+			return &ChunkResponse{Status: status, ContentType: ct, Body: body, Node: s.node}, nil
+		case status == http.StatusServiceUnavailable && bytes.Contains(body, []byte("circuit breaker")):
+			// The *session's* breaker on the backend: this stream has been
+			// feeding garbage. Migrating would reset the breaker and defeat
+			// it — pass the backoff through to the client.
+			g.markSuccess(s.node)
+			return &ChunkResponse{Status: status, ContentType: ct, Body: body, Node: s.node}, nil
+		default:
+			// 5xx (including a draining/closing server): node-level failure.
+			g.markFailure(s.node)
+			tried[s.node] = true
+			s.backendID = ""
+			continue
+		}
+	}
+	return nil, ErrNoBackend
+}
+
+// placeLocked admits the session on the first routable node walking the
+// ring from its key, marking failed candidates against their breakers.
+// Caller holds s.mu.
+func (s *gwSession) placeLocked(ctx context.Context, tried map[string]bool) error {
+	g := s.g
+	if tried == nil {
+		tried = make(map[string]bool)
+	}
+	for attempt := 0; attempt < g.cfg.MaxNodeAttempts; attempt++ {
+		target := g.desired(s.id, tried)
+		if target == "" {
+			return ErrNoBackend
+		}
+		if err := s.migrateLocked(ctx, target, false); err != nil {
+			g.markFailure(target)
+			tried[target] = true
+			continue
+		}
+		return nil
+	}
+	return ErrNoBackend
+}
+
+// migrateLocked drains the session from its current placement and
+// re-admits it on target: a fresh backend session is opened there (the
+// next chunk's header is the decoder's resync point, so no state moves),
+// the display rebase is advanced to the frames already served, and the old
+// backend session is closed in the background. Caller holds s.mu.
+func (s *gwSession) migrateLocked(ctx context.Context, target string, rebalance bool) error {
+	g := s.g
+	t0 := g.obs.Clock()
+	prevNode, prevID := s.node, s.backendID
+	backendID, err := g.openBackend(ctx, target)
+	if err != nil {
+		return err
+	}
+	g.markSuccess(target)
+	g.mu.Lock()
+	if prevNode != "" {
+		if n, ok := g.nodes[prevNode]; ok {
+			n.sessions--
+		}
+	}
+	if n, ok := g.nodes[target]; ok {
+		n.sessions++
+	}
+	g.mu.Unlock()
+	s.node, s.backendID = target, backendID
+	s.rebase = s.served
+	if prevNode != "" && prevNode != target {
+		s.migrations++
+		g.obs.Count(obs.CounterMigrations, 1)
+		if rebalance {
+			g.obs.Count(obs.CounterRebalances, 1)
+		}
+		g.obs.Span(obs.StageMigrate, -1, obs.KindNone, t0)
+	}
+	if prevID != "" && prevNode != "" && prevNode != target {
+		// Drain: free the old backend session without stalling this chunk —
+		// a dead node just times the request out in the background.
+		go g.deleteBackendSession(context.Background(), prevNode, prevID)
+	}
+	return nil
+}
+
+// rebaseJSON rewrites a backend chunk summary onto the gateway's
+// continuous display numbering and session id. Caller holds s.mu.
+func (s *gwSession) rebaseJSON(body []byte) ([]byte, error) {
+	var resp struct {
+		Session string           `json:"session"`
+		Frames  []map[string]any `json:"frames"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, err
+	}
+	for _, fr := range resp.Frames {
+		if d, ok := fr["display"].(float64); ok {
+			fr["display"] = int(d) + s.rebase
+		}
+	}
+	return json.Marshal(map[string]any{"session": s.id, "frames": resp.Frames})
+}
+
+// unplaceLocked clears the session's placement and its node's placement
+// count. Caller holds s.mu.
+func (s *gwSession) unplaceLocked() {
+	if s.node != "" {
+		s.g.mu.Lock()
+		if n, ok := s.g.nodes[s.node]; ok {
+			n.sessions--
+		}
+		s.g.mu.Unlock()
+	}
+	s.node, s.backendID = "", ""
+}
+
+// openBackend opens a session on a backend and returns its id there.
+func (g *Gateway) openBackend(ctx context.Context, url string) (string, error) {
+	octx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(octx, http.MethodPost, url+"/v1/sessions", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("shard: open on %s: status %d", url, resp.StatusCode)
+	}
+	var out struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	if out.ID == "" {
+		return "", fmt.Errorf("shard: open on %s: empty session id", url)
+	}
+	return out.ID, nil
+}
+
+// postChunk relays one chunk body to a backend session and reads the full
+// response. A transport error or timeout is the node's failure; any HTTP
+// status is the backend's verdict, classified by the caller.
+func (g *Gateway) postChunk(ctx context.Context, node, backendID string, data []byte, format string) (status int, contentType string, body []byte, err error) {
+	pctx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+	defer cancel()
+	url := node + "/v1/sessions/" + backendID + "/chunks"
+	if format != "" {
+		url += "?format=" + format
+	}
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		// A connection that died mid-response is a node failure: the chunk
+		// will be replayed in full elsewhere.
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), body, nil
+}
+
+// SessionMetrics proxies a session's per-session backend metrics.
+func (g *Gateway) SessionMetrics(ctx context.Context, id string) ([]byte, error) {
+	s, ok := g.session(id)
+	if !ok {
+		return nil, ErrUnknownSession
+	}
+	s.mu.Lock()
+	node, backendID := s.node, s.backendID
+	s.mu.Unlock()
+	if node == "" || backendID == "" {
+		return nil, ErrNoBackend
+	}
+	mctx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(mctx, http.MethodGet,
+		node+"/v1/sessions/"+backendID+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("shard: metrics on %s: status %d", node, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Migrations reports how many times a session has moved between nodes.
+func (g *Gateway) Migrations(id string) int {
+	s, ok := g.session(id)
+	if !ok {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.migrations
+}
+
+// WaitHealthy probes until at least want nodes are routable or the
+// deadline passes — the smoke/test helper for "backends are up".
+func (g *Gateway) WaitHealthy(ctx context.Context, want int, deadline time.Duration) error {
+	dctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	for {
+		g.ProbeNow(dctx)
+		n := 0
+		now := time.Now()
+		g.mu.Lock()
+		for _, nd := range g.nodes {
+			if nd.available(now) {
+				n++
+			}
+		}
+		g.mu.Unlock()
+		if n >= want {
+			return nil
+		}
+		select {
+		case <-dctx.Done():
+			return fmt.Errorf("shard: %d/%d nodes healthy: %w", n, want, dctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"vrdann/internal/obs"
 	"vrdann/internal/segment"
 	"vrdann/internal/serve"
+	"vrdann/internal/shard"
 	"vrdann/internal/sim"
 	"vrdann/internal/tensor"
 	"vrdann/internal/video"
@@ -290,6 +291,36 @@ func ChunkDigest(data []byte) uint64 { return codec.ChunkDigest(data) }
 // and quantization configuration) into a ContentKey's Model field; cached
 // masks are shared only between sessions with equal fingerprints.
 func ModelFingerprint(parts ...string) uint64 { return contentcache.Fingerprint(parts...) }
+
+// Sharded multi-node serving: a gateway consistent-hashes stream sessions
+// across a fleet of vrserve backends and live-migrates them on failure,
+// breaker trips and scale events (DESIGN.md §14).
+type (
+	// Gateway fronts N serving backends behind the single-node session
+	// HTTP surface; cmd/vrgate is its command-line wrapper.
+	Gateway = shard.Gateway
+	// GatewayConfig parameterizes a Gateway (backends, hash-ring virtual
+	// nodes, health probing, node breaker, proxy timeout).
+	GatewayConfig = shard.Config
+	// GatewayClient is a minimal client for the session surface, usable
+	// against a Gateway or a single backend alike.
+	GatewayClient = shard.Client
+	// HashRing is the consistent-hash ring placing session keys on nodes.
+	HashRing = shard.Ring
+	// NodeStatus is one backend's health, breaker and load state.
+	NodeStatus = shard.NodeStatus
+	// LoadInfo is a backend's /healthz load report (sessions, queue
+	// depth, breaker state, admission headroom, draining flag).
+	LoadInfo = serve.LoadInfo
+)
+
+// NewGateway builds a sharding gateway over the configured backends and
+// starts its health prober.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return shard.NewGateway(cfg) }
+
+// NewHashRing builds a consistent-hash ring with the given virtual-node
+// count per backend (0 picks the default).
+func NewHashRing(vnodes int) *HashRing { return shard.NewRing(vnodes) }
 
 // Simulator types.
 type (
