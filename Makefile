@@ -6,10 +6,10 @@
 # the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache ./internal/shard
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache ./internal/shard ./internal/qos
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke gate-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke gate-smoke qos-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -86,6 +86,14 @@ gate-smoke:
 	$(GO) build -o bin/vrserve ./cmd/vrserve
 	$(GO) build -o bin/vrgate ./cmd/vrgate
 	./bin/vrgate -smoke -vrserve ./bin/vrserve
+
+# The QoS-ladder leg: -qos on serves B-frames on the adaptive degradation
+# ladder (full -> refine -> recon -> skip) with premium/free session
+# classes. The smoke overloads a ladder-enabled server open-loop, checks
+# the cheap rungs fired and their counters surface in /metrics, and pins
+# the ?class= session-open parameter (echoed back; unknown values 400).
+qos-smoke:
+	$(GO) run ./cmd/vrserve -smoke -refine -qos on
 
 # Regenerate the paper's tables and figures.
 suite:

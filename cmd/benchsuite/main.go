@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve, batch, quant, faults, cache, shard.
+// energy, stages, serve, batch, quant, faults, cache, shard, qos.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache", "shard"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache", "shard", "qos"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -157,6 +157,9 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 		return rows, err
 	case "shard":
 		return h.ShardFigure()
+	case "qos":
+		rows, err := h.QoSFigure()
+		return rows, err
 	case "quant":
 		return h.Quant()
 	case "faults":
@@ -430,6 +433,20 @@ func runFigure(h *experiments.Harness, name string) error {
 			m.Moved, m.Sessions, m.Migrations, m.Rebalances, m.ProxyErrors)
 		fmt.Printf("  migration latency: mean %.1fms p50 %.1fms p95 %.1fms\n",
 			m.MigrateMeanMS, m.MigrateP50MS, m.MigrateP95MS)
+	case "qos":
+		rows, err := h.QoSFigure()
+		if err != nil {
+			return err
+		}
+		fmt.Println("QoS ladder overload sweep (open-loop arrivals, premium/free mix):")
+		fmt.Printf("  %9s %7s %7s %8s %8s %7s %7s %7s %28s %8s\n",
+			"interval", "frames", "drop", "p95 ms", "p99 ms", "IoU", "IoU(p)", "IoU(f)", "steps full/refine/recon/skip", "overruns")
+		for _, r := range rows {
+			fmt.Printf("  %7.0fms %7d %7d %8.1f %8.1f %7.3f %7.3f %7.3f %9d %6d %5d %5d %8d\n",
+				r.IntervalMS, r.Frames, r.Dropped, r.P95MS, r.P99MS,
+				r.MeanIoU, r.PremiumIoU, r.FreeIoU,
+				r.StepFull, r.StepRefine, r.StepRecon, r.StepSkip, r.DeadlineOverruns)
+		}
 	case "quant":
 		rep, err := h.Quant()
 		if err != nil {

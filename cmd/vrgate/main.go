@@ -52,6 +52,7 @@ func main() {
 		maxAttempts  = flag.Int("max-node-attempts", 3, "placements tried per chunk before giving up with 503")
 		smoke        = flag.Bool("smoke", false, "run the multi-process sharding self-test and exit")
 		vrserveBin   = flag.String("vrserve", "", "path to a vrserve binary (required with -smoke)")
+		qosMode      = flag.String("qos", "off", "with -smoke: spawn backends with the adaptive QoS ladder enabled (on|off). The gateway itself always forwards ?class= on session open")
 	)
 	flag.Parse()
 
@@ -60,7 +61,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "gate smoke: -vrserve <path-to-binary> is required")
 			os.Exit(2)
 		}
-		if err := runSmoke(*vrserveBin, *proxyTimeout); err != nil {
+		if *qosMode != "on" && *qosMode != "off" {
+			fmt.Fprintf(os.Stderr, "gate smoke: -qos must be on or off, got %q\n", *qosMode)
+			os.Exit(2)
+		}
+		if err := runSmoke(*vrserveBin, *proxyTimeout, *qosMode == "on"); err != nil {
 			fmt.Fprintf(os.Stderr, "gate smoke: FAIL: %v\n", err)
 			os.Exit(1)
 		}
@@ -104,9 +109,10 @@ type backendProc struct {
 
 // startBackend spawns a vrserve process on an ephemeral loopback port and
 // waits for its ready-file to announce the bound URL.
-func startBackend(bin, dir, name string) (*backendProc, error) {
+func startBackend(bin, dir, name string, extra ...string) (*backendProc, error) {
 	ready := filepath.Join(dir, name+".url")
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-ready-file", ready)
+	args := append([]string{"-addr", "127.0.0.1:0", "-ready-file", ready}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -128,7 +134,7 @@ func startBackend(bin, dir, name string) (*backendProc, error) {
 // runSmoke is the end-to-end sharding self-test: two real vrserve
 // processes behind a gateway, one killed mid-stream, every session's
 // masks byte-identical to a single-node reference.
-func runSmoke(vrserveBin string, proxyTimeout time.Duration) error {
+func runSmoke(vrserveBin string, proxyTimeout time.Duration, qosOn bool) error {
 	v := video.Generate(video.SceneSpec{
 		Name: "gate-smoke", W: 64, H: 48, Frames: 16, Seed: 42, Noise: 1.0,
 		Objects: []video.ObjectSpec{{
@@ -151,7 +157,11 @@ func runSmoke(vrserveBin string, proxyTimeout time.Duration) error {
 	// Leg 1: single-node reference. One vrserve process, one session, the
 	// PGM bytes of each chunk are the gold standard (the default segmenter
 	// is deterministic and every chunk decodes from clean state).
-	refProc, err := startBackend(vrserveBin, dir, "ref")
+	var extra []string
+	if qosOn {
+		extra = append(extra, "-qos", "on")
+	}
+	refProc, err := startBackend(vrserveBin, dir, "ref", extra...)
 	if err != nil {
 		return err
 	}
@@ -177,7 +187,7 @@ func runSmoke(vrserveBin string, proxyTimeout time.Duration) error {
 	// Leg 2: the fleet — two backends behind the gateway.
 	procs := make([]*backendProc, 2)
 	for i := range procs {
-		p, err := startBackend(vrserveBin, dir, fmt.Sprintf("node%d", i))
+		p, err := startBackend(vrserveBin, dir, fmt.Sprintf("node%d", i), extra...)
 		if err != nil {
 			return err
 		}
@@ -234,6 +244,44 @@ func runSmoke(vrserveBin string, proxyTimeout time.Duration) error {
 	}
 	if len(byNode) != 2 {
 		return fmt.Errorf("sessions all landed on one backend: %v", byNode)
+	}
+
+	// QoS class passthrough: a session opened with ?class=free must echo the
+	// class (the gateway forwards it to whichever backend serves the session,
+	// including across migrations) and still serve reference-identical masks —
+	// class affects degradation under load, never arithmetic.
+	resp, err := http.Post(cl.Base+"/v1/sessions?class=free", "", nil)
+	if err != nil {
+		return fmt.Errorf("open ?class=free: %w", err)
+	}
+	var fopen struct {
+		ID    string `json:"id"`
+		Class string `json:"class"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fopen); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if fopen.Class != "free" {
+		return fmt.Errorf("open ?class=free echoed class %q", fopen.Class)
+	}
+	got, err := cl.ChunkPGM(ctx, fopen.ID, st.Data)
+	if err != nil {
+		return fmt.Errorf("free-class session chunk: %w", err)
+	}
+	if !bytes.Equal(got, ref[0]) {
+		return fmt.Errorf("free-class session: masks differ from single-node reference")
+	}
+	if err := cl.Close(ctx, fopen.ID); err != nil {
+		return fmt.Errorf("close free-class session: %w", err)
+	}
+	resp, err = http.Post(cl.Base+"/v1/sessions?class=bogus", "", nil)
+	if err != nil {
+		return fmt.Errorf("open ?class=bogus: %w", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return fmt.Errorf("open ?class=bogus: status %d, want 400", resp.StatusCode)
 	}
 
 	// Leg 3: kill one backend mid-stream. Every session must keep serving

@@ -35,6 +35,7 @@ import (
 	"vrdann/internal/core"
 	"vrdann/internal/nn"
 	"vrdann/internal/obs"
+	"vrdann/internal/qos"
 	"vrdann/internal/segment"
 	"vrdann/internal/serve"
 	"vrdann/internal/tensor"
@@ -57,6 +58,7 @@ func main() {
 		batchSize   = flag.Int("batch", 0, "dynamic batching: fuse up to this many NN items across sessions (<=1 disables)")
 		batchWait   = flag.Duration("batch-wait", 0, "partial-batch flush deadline (0 = 2ms default)")
 		cacheMB     = flag.Int64("cache-mb", 0, "shared content-addressed mask cache budget in MiB: sessions serving bit-identical chunks share anchor/B-frame masks (0 disables)")
+		qosMode     = flag.String("qos", "off", "adaptive QoS degradation ladder: on|off. off keeps the pre-ladder binary policy (bit-identical serving); on degrades B-frames full->refine->recon->skip under load, with premium/free session classes (?class= on open)")
 
 		maxChunk   = flag.Int64("max-chunk", 64<<20, "chunk POST body cap in bytes (oversize gets 413)")
 		brkFails   = flag.Int("breaker-threshold", 3, "consecutive chunk failures that trip a session's circuit breaker (negative disables)")
@@ -85,6 +87,13 @@ func main() {
 	}
 	if *wait {
 		cfg.Policy = serve.Wait
+	}
+	switch *qosMode {
+	case "off":
+	case "on":
+		cfg.QoS = &qos.Config{} // documented defaults
+	default:
+		log.Fatalf("vrserve: -qos must be on or off, got %q", *qosMode)
 	}
 	if *refine || *quant {
 		log.Printf("training NN-S on the synthetic training set...")
@@ -200,6 +209,11 @@ func runSmoke(cfg serve.Config) error {
 	cfg.QuantNNS = nil
 	cfg.SkipResidual = false
 	cfg.SkipThreshold = 0
+	// Likewise the QoS ladder: legs 1–4 pin bit-identical serving, which
+	// only the binary pre-ladder policy guarantees; leg 7 serves the ladder
+	// from its own overloaded server.
+	qosLadder := cfg.QoS != nil
+	cfg.QoS = nil
 
 	srv, err := serve.NewServer(cfg)
 	if err != nil {
@@ -524,6 +538,97 @@ func runSmoke(cfg serve.Config) error {
 		hits, misses := cm.Counters[obs.CounterCacheHits.String()], cm.Counters[obs.CounterCacheMisses.String()]
 		if hits == 0 || misses == 0 {
 			return fmt.Errorf("cached leg hit/miss counters missing from /metrics: hits=%d misses=%d", hits, misses)
+		}
+	}
+
+	// Leg 7 (only under -qos on): the adaptive QoS degradation ladder. An
+	// open-loop burst of premium/free streams against tightened thresholds
+	// must complete with the cheap rungs (recon/skip) actually fired, the
+	// per-step counters visible over /metrics, and the session-open class
+	// parameter honored (echoed back, unknown values rejected).
+	if qosLadder {
+		lcfg := cfg
+		lcfg.Obs = obs.New()
+		lcfg.Policy = serve.Wait
+		// The smoke load is tiny; thresholds this low make it an overload.
+		lcfg.QoS = &qos.Config{FullBelow: -1, ReconAt: 1, SkipAt: 4}
+		lsrv, err := serve.NewServer(lcfg)
+		if err != nil {
+			return fmt.Errorf("qos server: %w", err)
+		}
+		lgen := &serve.LoadGen{
+			Server:   lsrv,
+			Streams:  3,
+			Interval: time.Millisecond,
+			Class: func(stream int) qos.Class {
+				if stream%2 == 1 {
+					return qos.ClassFree
+				}
+				return qos.ClassPremium
+			},
+			Chunks: func(int) [][]byte { return [][]byte{st.Data, st.Data, st.Data} },
+		}
+		lrep, err := lgen.Run(context.Background())
+		if err != nil {
+			return fmt.Errorf("qos loadgen: %w", err)
+		}
+		if lrep.Admitted != 3 || lrep.Frames != 3*3*16 {
+			return fmt.Errorf("qos leg served %d frames over %d streams, want 144 over 3", lrep.Frames, lrep.Admitted)
+		}
+
+		lhs := &http.Server{Handler: lsrv.Handler()}
+		lln, err := listenLoopback()
+		if err != nil {
+			return err
+		}
+		go lhs.Serve(lln)
+		lbase := "http://" + lln.Addr().String()
+		resp, err = http.Post(lbase+"/v1/sessions?class=free", "", nil)
+		if err != nil {
+			return fmt.Errorf("qos open: %w", err)
+		}
+		var lopen struct {
+			ID    string `json:"id"`
+			Class string `json:"class"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&lopen); err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if lopen.Class != "free" {
+			return fmt.Errorf("open ?class=free echoed class %q", lopen.Class)
+		}
+		resp, err = http.Post(lbase+"/v1/sessions?class=bogus", "", nil)
+		if err != nil {
+			return fmt.Errorf("qos bogus open: %w", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			return fmt.Errorf("open ?class=bogus: status %d, want 400", resp.StatusCode)
+		}
+		resp, err = http.Get(lbase + "/metrics")
+		if err != nil {
+			return fmt.Errorf("qos metrics: %w", err)
+		}
+		var lm struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&lm); err != nil {
+			return err
+		}
+		resp.Body.Close()
+		degraded := lm.Counters[obs.CounterQoSRecon.String()] + lm.Counters[obs.CounterQoSSkip.String()]
+		total := degraded + lm.Counters[obs.CounterQoSFull.String()] + lm.Counters[obs.CounterQoSRefine.String()]
+		if total == 0 || degraded == 0 {
+			return fmt.Errorf("qos ladder counters missing from /metrics (total=%d degraded=%d): %v", total, degraded, lm.Counters)
+		}
+		lsd, lcancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer lcancel()
+		if err := lhs.Shutdown(lsd); err != nil {
+			return fmt.Errorf("qos http shutdown: %w", err)
+		}
+		if err := lsrv.Close(lsd); err != nil {
+			return fmt.Errorf("qos drain: %w", err)
 		}
 	}
 	return nil

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vrdann/internal/nn"
@@ -121,6 +122,12 @@ type Engine struct {
 	cfg     Config
 	refiner *segment.BatchRefiner
 
+	// width is the effective flush threshold, runtime-adjustable through
+	// SetMaxBatch within [1, cfg.MaxBatch]. It starts at the configured
+	// ceiling, so engines whose owner never adjusts it behave exactly as
+	// before the knob existed.
+	width atomic.Int32
+
 	mu      sync.Mutex
 	queues  [numKinds]queue
 	pending int
@@ -137,6 +144,7 @@ func New(cfg Config) *Engine {
 		cfg.MaxWait = DefaultMaxWait
 	}
 	e := &Engine{cfg: cfg}
+	e.width.Store(int32(cfg.MaxBatch))
 	switch {
 	case cfg.QuantNNS != nil:
 		e.refiner = segment.NewQuantBatchRefiner(cfg.QuantNNS.Clone())
@@ -144,6 +152,43 @@ func New(cfg Config) *Engine {
 		e.refiner = segment.NewBatchRefiner(cfg.NNS.Clone())
 	}
 	return e
+}
+
+// SetMaxBatch adjusts the effective flush threshold at runtime, clamped to
+// [1, Config.MaxBatch] — the configured value sized the caller's worker
+// pool and stays the ceiling. The QoS control loop widens the threshold as
+// load rises (amortize more work per fused kernel) and tightens it back to
+// 1 as load falls (flush immediately, minimum queue wait). Any width is
+// correct; the knob trades latency against throughput, never results.
+func (e *Engine) SetMaxBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > e.cfg.MaxBatch {
+		n = e.cfg.MaxBatch
+	}
+	e.width.Store(int32(n))
+}
+
+// MaxBatch reports the current effective flush threshold.
+func (e *Engine) MaxBatch() int { return int(e.width.Load()) }
+
+// Occupancy reports the engine's fill fraction — items queued across both
+// kinds over the effective batch width, clamped to [0, 1]. One of the QoS
+// controller's load inputs.
+func (e *Engine) Occupancy() float64 {
+	e.mu.Lock()
+	p := e.pending
+	e.mu.Unlock()
+	w := int(e.width.Load())
+	if w < 1 {
+		w = 1
+	}
+	occ := float64(p) / float64(w)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
 }
 
 // Segment submits one anchor frame for NN-L segmentation and blocks until
@@ -181,7 +226,7 @@ func (e *Engine) submit(ctx context.Context, k kind, it *item) (*video.Mask, err
 	o.Observe(obs.HistBatchQueueDepth, int64(len(q.items)))
 	var flush []*item
 	pending := e.pending
-	if len(q.items) >= e.cfg.MaxBatch {
+	if len(q.items) >= int(e.width.Load()) {
 		flush = e.takeLocked(k)
 	} else if len(q.items) == 1 {
 		gen := q.gen

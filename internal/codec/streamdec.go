@@ -45,6 +45,15 @@ type StreamDecoder struct {
 // instrumentation at the cost of one pointer check per frame.
 func (d *StreamDecoder) SetObserver(c *obs.Collector) { d.obs = c }
 
+// SetMode switches the decode mode for subsequent frames. Only call it on a
+// chunk boundary (immediately before Reset): the mode governs whether
+// B-frame pixels are reconstructed, and reference retention is
+// mode-independent, so a boundary switch decodes the next chunk exactly as
+// a fresh decoder opened in that mode would. The serving layer uses this to
+// pay for B-frame pixels only while the QoS ladder can promote B-frames to
+// full re-segmentation.
+func (d *StreamDecoder) SetMode(m DecodeMode) { d.mode = m }
+
 // streamHeader is the parsed fixed header of one bitstream (or one
 // GOP-aligned chunk of a long-lived session).
 type streamHeader struct {

@@ -61,16 +61,18 @@ func (e *StreamEngine) Step(ctx context.Context) (*MaskOut, error) {
 	return e.StepFunc(ctx, nil)
 }
 
-// StepFunc is Step with a frame-drop veto: when drop is non-nil it is
-// consulted for every B-frame, and a true return skips reconstruction and
-// refinement, yielding a MaskOut with a nil Mask. The bitstream is still
-// consumed (B-frame side info must be read to advance the entropy coder)
-// and anchors are never dropped — their segmentations are the references
-// every later frame depends on. This is the deadline-based drop policy of
-// the serving layer: under overload, B-frames past their budget are shed
-// while the anchor chain stays intact.
-func (e *StreamEngine) StepFunc(ctx context.Context, drop func(codec.FrameInfo) bool) (*MaskOut, error) {
-	mo, pending, err := e.StepPrepare(ctx, drop)
+// StepFunc is Step with a QoS ladder hook: when sel is non-nil it is
+// consulted for every B-frame and its rung is honored — qos.StepSkip
+// yields a MaskOut with a nil Mask (the bitstream is still consumed;
+// B-frame side info must be read to advance the entropy coder),
+// qos.StepRecon stops at the raw MV reconstruction, and qos.StepFull
+// re-segments the frame with NN-L when its pixels are available. Anchors
+// are never degraded — their segmentations are the references every later
+// frame depends on. This is the degradation policy of the serving layer:
+// under overload, B-frames slide down the ladder while the anchor chain
+// stays intact.
+func (e *StreamEngine) StepFunc(ctx context.Context, sel StepSelector) (*MaskOut, error) {
+	mo, pending, err := e.StepPrepare(ctx, sel)
 	if err != nil || pending == nil {
 		return mo, err
 	}

@@ -6,9 +6,17 @@ import (
 
 	"vrdann/internal/codec"
 	"vrdann/internal/obs"
+	"vrdann/internal/qos"
 	"vrdann/internal/segment"
 	"vrdann/internal/video"
 )
+
+// StepSelector picks the QoS ladder rung for a B-frame about to be
+// processed (see internal/qos). It is consulted once per B-frame, before
+// any per-frame work; anchors are never offered — their segmentations are
+// the references every later frame depends on. A nil selector serves every
+// B-frame on qos.StepRefine, the paper's canonical path.
+type StepSelector func(codec.FrameInfo) qos.Step
 
 // PendingNN is the NN half of one engine step, split off by StepPrepare so
 // a scheduler can route it through a cross-stream batching engine instead
@@ -27,8 +35,19 @@ type PendingNN struct {
 	e  *StreamEngine
 	mo *MaskOut
 
-	// Anchor work: the decoded frame to segment (nil for B-frames).
+	// NN-L work: the decoded frame to segment (nil on the refinement
+	// path). Anchors always carry it; a B-frame carries it only when the
+	// QoS ladder promoted it to full re-segmentation (reseg below).
 	frame *video.Frame
+
+	// reseg marks a B-frame promoted to the full NN-L rung. Its mask is
+	// emitted but must stay out of the reference window: the window's
+	// pruning schedule only tracks anchor displays, and later frames'
+	// bit-identity contract is anchored on anchor-only references.
+	reseg bool
+	// info is retained for reseg work so a deadline retraction can fall
+	// back to the MV reconstruction without re-decoding.
+	info codec.FrameInfo
 
 	// B-frame work: the refinement sandwich inputs (nil for anchors). When
 	// the residual skip cropped the frame, these are the dirty-rect crops.
@@ -42,9 +61,36 @@ type PendingNN struct {
 	cropX, cropY int
 }
 
-// IsAnchor reports whether this is NN-L (anchor segmentation) work, as
-// opposed to NN-S (B-frame refinement) work.
+// IsAnchor reports whether this is NN-L (full segmentation) work, as
+// opposed to NN-S (B-frame refinement) work. True for anchors and for
+// B-frames promoted to the ladder's full rung.
 func (pn *PendingNN) IsAnchor() bool { return pn.frame != nil }
+
+// Retractable reports whether the work may be degraded after the fact (a
+// deadline overrun while queued in a batcher): all B-frame work is, true
+// anchors are not — their segmentations are references later frames need.
+func (pn *PendingNN) Retractable() bool { return pn.frame == nil || pn.reseg }
+
+// FallbackMask computes the ladder's next-cheaper result for retractable
+// work without running the pending network: the raw MV reconstruction (for
+// residual-skip crops, the full-frame base the refined crop would have been
+// composited over). It returns nil for non-retractable work, or if the
+// reconstruction itself fails.
+func (pn *PendingNN) FallbackMask() *video.Mask {
+	switch {
+	case pn.base != nil:
+		return pn.base
+	case pn.rec != nil:
+		return pn.rec.Binary()
+	case pn.reseg:
+		rec, err := segment.Reconstruct(pn.info, pn.e.segs, pn.e.w, pn.e.h, pn.e.cfg.BlockSize)
+		if err != nil {
+			return nil
+		}
+		return rec.Binary()
+	}
+	return nil
+}
 
 // Display returns the display index of the frame under work.
 func (pn *PendingNN) Display() int { return pn.mo.Display }
@@ -92,7 +138,7 @@ func (pn *PendingNN) Finish(mask *video.Mask) *MaskOut {
 		mask = pn.base
 	}
 	pn.mo.Mask = mask
-	if pn.frame != nil {
+	if pn.frame != nil && !pn.reseg {
 		pn.e.segs[pn.mo.Display] = mask
 	}
 	pn.e.finishStep()
@@ -126,19 +172,30 @@ func (e *StreamEngine) finishStep() {
 	}
 }
 
-// StepPrepare runs the decode-side half of a step — decode, drop veto,
-// MV reconstruction — and either completes the frame itself (returning
-// pending == nil: end of stream, dropped B-frame, or unrefined
+// StepPrepare runs the decode-side half of a step — decode, ladder-rung
+// selection, MV reconstruction — and either completes the frame itself
+// (returning pending == nil: end of stream, shed B-frame, or unrefined
 // reconstruction) or returns the frame's NN work as a PendingNN for the
 // caller to execute and Finish. mo is non-nil exactly when pending is nil
 // and a frame was produced; when pending is non-nil the MaskOut is
 // delivered by Finish instead.
 //
-// StepFunc(ctx, drop) is equivalent to StepPrepare followed by
+// The selector is consulted once per B-frame. qos.StepSkip sheds the frame
+// (side info is still consumed; the entropy coder must advance);
+// qos.StepRecon stops at the raw MV reconstruction; qos.StepRefine is the
+// canonical refinement path; qos.StepFull promotes the B-frame to NN-L
+// re-segmentation when its pixels were decoded (side-info decoders fall
+// back to refinement — there is nothing to segment). The pipeline's
+// MaskSource (content cache) is consulted only on the canonical rung:
+// degraded masks must neither be served from nor published to a cache
+// keyed on the full-quality configuration. Anchors never consult the
+// selector.
+//
+// StepFunc(ctx, sel) is equivalent to StepPrepare followed by
 // pending.Finish(pending.ExecuteLocal()) — the serving layer swaps
 // ExecuteLocal for a batched execution and everything else stays shared,
 // which is what makes batched output bit-identical by construction.
-func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInfo) bool) (mo *MaskOut, pending *PendingNN, err error) {
+func (e *StreamEngine) StepPrepare(ctx context.Context, sel StepSelector) (mo *MaskOut, pending *PendingNN, err error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
@@ -166,14 +223,25 @@ func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInf
 		}
 		return nil, &PendingNN{e: e, mo: mo, frame: out.Pixels}, nil
 	case codec.BFrame:
-		if drop != nil && drop(out.Info) {
+		step := qos.StepRefine
+		if sel != nil {
+			step = sel(out.Info)
+		}
+		if step == qos.StepSkip {
 			break // shed: side info consumed, no mask computed
 		}
-		if m := e.sourceMask(out.Info); m != nil {
-			// Cache hit: reconstruction and NN-S are both skipped — the mask
-			// is a pure function of the chunk bytes, which the source keys on.
-			mo.Mask = m
-			break
+		if step == qos.StepFull && out.Pixels != nil {
+			// Ladder top rung: the B-frame is re-segmented by NN-L as if it
+			// were an anchor, but reseg keeps it out of the reference window.
+			return nil, &PendingNN{e: e, mo: mo, frame: out.Pixels, reseg: true, info: out.Info}, nil
+		}
+		if step == qos.StepRefine {
+			if m := e.sourceMask(out.Info); m != nil {
+				// Cache hit: reconstruction and NN-S are both skipped — the mask
+				// is a pure function of the chunk bytes, which the source keys on.
+				mo.Mask = m
+				break
+			}
 		}
 		t0 := p.Obs.Clock()
 		rec, rerr := segment.Reconstruct(out.Info, e.segs, e.w, e.h, e.cfg.BlockSize)
@@ -181,7 +249,7 @@ func (e *StreamEngine) StepPrepare(ctx context.Context, drop func(codec.FrameInf
 		if rerr != nil {
 			return nil, nil, fmt.Errorf("core: frame %d: %w", out.Info.Display, rerr)
 		}
-		if e.refiner == nil {
+		if e.refiner == nil || step == qos.StepRecon {
 			mo.Mask = rec.Binary()
 			break
 		}

@@ -20,6 +20,7 @@ import (
 
 	"vrdann/internal/codec"
 	"vrdann/internal/fault"
+	"vrdann/internal/qos"
 	"vrdann/internal/serve"
 )
 
@@ -39,6 +40,10 @@ type Config struct {
 	Seed int64
 	// Kinds is the corruption menu; nil selects fault.AllKinds.
 	Kinds []fault.Kind
+	// Class, when non-nil, assigns each stream a QoS class (sessions are
+	// opened through OpenClass); nil opens every stream premium. Lets soak
+	// runs mix tiers on a ladder-enabled server.
+	Class func(stream int) qos.Class
 	// Timeout bounds each chunk's Wait; a chunk still unresolved when it
 	// fires is reported Hung — the failure mode soak exists to catch.
 	// Default 30s.
@@ -112,7 +117,11 @@ func Run(ctx context.Context, srv *serve.Server, cfg Config) (*Result, error) {
 		go func(stream int) {
 			defer wg.Done()
 			rep := &res.Sessions[stream]
-			s, err := srv.Open()
+			class := qos.ClassPremium
+			if cfg.Class != nil {
+				class = cfg.Class(stream)
+			}
+			s, err := srv.OpenClass(class)
 			if err != nil {
 				rep.OpenErr = err
 				return

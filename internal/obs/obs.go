@@ -104,6 +104,8 @@ const (
 	GaugeNodes                         // shard gateway: backends registered on the ring
 	GaugeNodesHealthy                  // shard gateway: backends currently routable (healthy, breaker closed)
 	GaugeGateSessions                  // shard gateway: client sessions tracked by the gateway
+	GaugeQoSPressure                   // qos ladder: smoothed load pressure, in thousandths
+	GaugeQoSBatchWidth                 // qos ladder: controller-set effective batch width
 
 	// NumGauges bounds the Gauge enum; keep it last.
 	NumGauges
@@ -123,6 +125,8 @@ var gaugeNames = [NumGauges]string{
 	"nodes",
 	"nodes-healthy",
 	"gate-sessions",
+	"qos/pressure-milli",
+	"qos/batch-width",
 }
 
 // String returns the gauge's report name.
@@ -138,35 +142,40 @@ type Counter uint8
 
 // Pipeline counters.
 const (
-	CounterFrames             Counter = iota // frames decoded
-	CounterAnchors                           // I/P-frames decoded
-	CounterBFrames                           // B-frames decoded
-	CounterMVs                               // motion vectors extracted
-	CounterSpans                             // spans recorded (all stages)
-	CounterChunks                            // serving layer: bitstream chunks accepted
-	CounterDrops                             // serving layer: B-frames dropped past deadline
-	CounterRejects                           // serving layer: admission + queue rejections
-	CounterDecodeErrors                      // serving layer: chunks failed mid-serve (malformed or internal)
-	CounterResyncs                           // serving layer: sessions quarantined and resynced on the next chunk
-	CounterBreakerTrips                      // serving layer: per-session circuit-breaker trips
-	CounterBatchItems                        // batching engine: items executed through fused flushes
-	CounterBatchFlushFull                    // batching engine: flushes triggered by a full batch
-	CounterBatchFlushTimer                   // batching engine: flushes triggered by the MaxWait deadline
-	CounterBatchFlushDrain                   // batching engine: flushes triggered by engine shutdown
-	CounterBatchFlushStall                   // batching engine: flushes triggered by producer stall (no more work can arrive)
-	CounterQuantBlocksSkipped                // residual skip: B-frame blocks whose NN-S refinement was elided
-	CounterQuantBlocksDirty                  // residual skip: B-frame blocks that kept NN-S refinement
-	CounterQuantBlocksUnknown                // residual skip: blocks with no usable energy field (pre-field bitstreams)
-	CounterCacheHits                         // content cache: masks served from the shared cache
-	CounterCacheMisses                       // content cache: lookups that had to compute
-	CounterCacheEvictions                    // content cache: entries evicted by the byte budget
-	CounterCacheBytesSaved                   // content cache: mask bytes served without recomputation
-	CounterCacheFillAborts                   // content cache: in-flight fills invalidated by a failed step
-	CounterBroadcastFrames                   // broadcast mode: frames fanned out to attached viewers
-	CounterMigrations                        // shard gateway: sessions live-migrated to another backend
-	CounterRebalances                        // shard gateway: migrations caused by ring-ownership change (scale up/down)
-	CounterNodeBreakerTrips                  // shard gateway: node-level circuit-breaker trips
-	CounterProxyErrors                       // shard gateway: backend requests that failed at node granularity
+	CounterFrames              Counter = iota // frames decoded
+	CounterAnchors                            // I/P-frames decoded
+	CounterBFrames                            // B-frames decoded
+	CounterMVs                                // motion vectors extracted
+	CounterSpans                              // spans recorded (all stages)
+	CounterChunks                             // serving layer: bitstream chunks accepted
+	CounterDrops                              // serving layer: B-frames dropped past deadline
+	CounterRejects                            // serving layer: admission + queue rejections
+	CounterDecodeErrors                       // serving layer: chunks failed mid-serve (malformed or internal)
+	CounterResyncs                            // serving layer: sessions quarantined and resynced on the next chunk
+	CounterBreakerTrips                       // serving layer: per-session circuit-breaker trips
+	CounterBatchItems                         // batching engine: items executed through fused flushes
+	CounterBatchFlushFull                     // batching engine: flushes triggered by a full batch
+	CounterBatchFlushTimer                    // batching engine: flushes triggered by the MaxWait deadline
+	CounterBatchFlushDrain                    // batching engine: flushes triggered by engine shutdown
+	CounterBatchFlushStall                    // batching engine: flushes triggered by producer stall (no more work can arrive)
+	CounterQuantBlocksSkipped                 // residual skip: B-frame blocks whose NN-S refinement was elided
+	CounterQuantBlocksDirty                   // residual skip: B-frame blocks that kept NN-S refinement
+	CounterQuantBlocksUnknown                 // residual skip: blocks with no usable energy field (pre-field bitstreams)
+	CounterCacheHits                          // content cache: masks served from the shared cache
+	CounterCacheMisses                        // content cache: lookups that had to compute
+	CounterCacheEvictions                     // content cache: entries evicted by the byte budget
+	CounterCacheBytesSaved                    // content cache: mask bytes served without recomputation
+	CounterCacheFillAborts                    // content cache: in-flight fills invalidated by a failed step
+	CounterBroadcastFrames                    // broadcast mode: frames fanned out to attached viewers
+	CounterMigrations                         // shard gateway: sessions live-migrated to another backend
+	CounterRebalances                         // shard gateway: migrations caused by ring-ownership change (scale up/down)
+	CounterNodeBreakerTrips                   // shard gateway: node-level circuit-breaker trips
+	CounterProxyErrors                        // shard gateway: backend requests that failed at node granularity
+	CounterQoSFull                            // qos ladder: B-frames promoted to full NN-L re-segmentation
+	CounterQoSRefine                          // qos ladder: B-frames served on the NN-S refinement rung
+	CounterQoSRecon                           // qos ladder: B-frames degraded to raw MV reconstruction (no NN)
+	CounterQoSSkip                            // qos ladder: B-frames shed (ladder decision or frame budget)
+	CounterQoSDeadlineOverruns                // qos ladder: batched items retracted to reconstruction after aging out past FrameBudget
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -202,6 +211,11 @@ var counterNames = [NumCounters]string{
 	"shard/rebalances",
 	"shard/node-breaker-trips",
 	"shard/proxy-errors",
+	"qos/full",
+	"qos/refine",
+	"qos/recon",
+	"qos/skip",
+	"qos/deadline-overruns",
 }
 
 // String returns the counter's report name.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 
 	"vrdann/internal/codec"
+	"vrdann/internal/qos"
 	"vrdann/internal/vidio"
 )
 
@@ -25,7 +26,8 @@ type frameJSON struct {
 
 // Handler returns the server's HTTP surface:
 //
-//	POST   /v1/sessions                 open a session        -> {"id": ...}
+//	POST   /v1/sessions                 open a session        -> {"id": ..., "class": ...}
+//	       ?class=premium|free          ... with a QoS class (default premium)
 //	POST   /v1/sessions/{id}/chunks     serve one chunk       -> frame JSON
 //	       ?format=pgm                  ... or concatenated mask PGMs
 //	GET    /v1/sessions/{id}/metrics    per-session obs snapshot
@@ -77,12 +79,17 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 func (srv *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
-	s, err := srv.Open()
+	class, err := qos.ParseClass(r.URL.Query().Get("class"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s, err := srv.OpenClass(class)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]string{"id": s.ID})
+	writeJSON(w, http.StatusCreated, map[string]string{"id": s.ID, "class": class.String()})
 }
 
 func (srv *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {

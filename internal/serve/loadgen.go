@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"vrdann/internal/qos"
 )
 
 // LoadGen drives a Server with synthetic multi-stream traffic, closed- or
@@ -25,6 +27,9 @@ type LoadGen struct {
 	// of completion (arrival-rate-bound), and all tickets are awaited at
 	// the end.
 	Interval time.Duration
+	// Class, when non-nil, assigns each stream its QoS class (sessions are
+	// opened through OpenClass). Nil opens every stream premium.
+	Class func(stream int) qos.Class
 	// OnSession, when non-nil, observes each admitted session before any
 	// chunk is submitted (tests use it to keep references for post-run
 	// metric assertions).
@@ -44,13 +49,19 @@ type LoadGen struct {
 
 // StreamReport is the per-stream slice of a load run.
 type StreamReport struct {
-	Stream   int     `json:"stream"`
-	Admitted bool    `json:"admitted"`
-	Frames   int     `json:"frames"`
-	Dropped  int     `json:"dropped"`
-	Retries  int     `json:"retries,omitempty"`
-	FPS      float64 `json:"fps"`
-	Err      string  `json:"err,omitempty"`
+	Stream   int  `json:"stream"`
+	Admitted bool `json:"admitted"`
+	Frames   int  `json:"frames"`
+	Dropped  int  `json:"dropped"`
+	Retries  int  `json:"retries,omitempty"`
+	// Backoff is wall time this stream spent asleep between submit retries.
+	// It is excluded from the FPS denominator: backoff is the generator
+	// politely waiting out a breaker window, not the server serving slowly,
+	// and folding it in understated throughput in exact proportion to how
+	// patient the retry policy was.
+	Backoff time.Duration `json:"backoffNs,omitempty"`
+	FPS     float64       `json:"fps"`
+	Err     string        `json:"err,omitempty"`
 }
 
 // LoadReport aggregates one load run.
@@ -59,9 +70,10 @@ type LoadReport struct {
 	Admitted         int            `json:"admitted"`
 	AdmissionRejects int            `json:"admissionRejects"`
 	QueueRejects     int            `json:"queueRejects"`
-	Retries          int            `json:"retries"` // submits retried after 503-class rejections
-	Frames           int            `json:"frames"`  // frames served (dropped included)
-	Dropped          int            `json:"dropped"` // frames shed by the deadline policy
+	Retries          int            `json:"retries"`   // submits retried after 503-class rejections
+	Frames           int            `json:"frames"`    // frames served (dropped included)
+	Dropped          int            `json:"dropped"`   // frames shed by the deadline policy
+	Backoff          time.Duration  `json:"backoffNs"` // total retry-backoff sleep across streams
 	Elapsed          time.Duration  `json:"elapsedNs"`
 	FPS              float64        `json:"fps"`          // total served frames / elapsed
 	PerStreamFPS     float64        `json:"perStreamFps"` // FPS / admitted streams
@@ -107,7 +119,11 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 	for i := 0; i < g.Streams; i++ {
 		sr := &rep.PerStream[i]
 		sr.Stream = i
-		s, err := g.Server.Open()
+		class := qos.ClassPremium
+		if g.Class != nil {
+			class = g.Class(i)
+		}
+		s, err := g.Server.OpenClass(class)
 		if err != nil {
 			sr.Err = err.Error()
 			if errors.Is(err, ErrAdmission) {
@@ -125,14 +141,17 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 			defer wg.Done()
 			defer s.Close()
 			t0 := time.Now()
-			retries, err := g.driveStream(ctx, i, s, record)
+			retries, backoff, err := g.driveStream(ctx, i, s, record)
 			mu.Lock()
 			sr := &rep.PerStream[i]
 			sr.Retries = retries
+			sr.Backoff = backoff
 			if err != nil && sr.Err == "" {
 				sr.Err = err.Error()
 			}
-			if el := time.Since(t0).Seconds(); el > 0 {
+			// FPS over serving time only: retry-backoff sleeps are reported
+			// separately in Backoff, not hidden in the denominator.
+			if el := (time.Since(t0) - backoff).Seconds(); el > 0 {
 				sr.FPS = float64(sr.Frames) / el
 			}
 			mu.Unlock()
@@ -145,6 +164,7 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 		rep.Frames += sr.Frames
 		rep.Dropped += sr.Dropped
 		rep.Retries += sr.Retries
+		rep.Backoff += sr.Backoff
 	}
 	rep.QueueRejects = countQueueRejects(rep.PerStream)
 	mu.Lock()
@@ -166,26 +186,29 @@ func (g *LoadGen) Run(ctx context.Context) (*LoadReport, error) {
 }
 
 // driveStream pushes one stream's chunks, closed- or open-loop, and
-// reports how many submits had to be retried.
+// reports how many submits had to be retried and how long the stream
+// slept in retry backoff.
 func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
-	record func(int, []FrameResult)) (int, error) {
+	record func(int, []FrameResult)) (int, time.Duration, error) {
 	chunks := g.Chunks(i)
 	retries := 0
+	var slept time.Duration
 	if g.Interval <= 0 {
 		// Closed loop: next submission gated on completion.
 		for _, data := range chunks {
-			c, n, err := g.submit(ctx, s, data)
+			c, n, sl, err := g.submit(ctx, s, data)
 			retries += n
+			slept += sl
 			if err != nil {
-				return retries, err
+				return retries, slept, err
 			}
 			res, err := c.Wait(ctx)
 			record(i, res)
 			if err != nil {
-				return retries, err
+				return retries, slept, err
 			}
 		}
-		return retries, nil
+		return retries, slept, nil
 	}
 	// Open loop: submissions paced by the interval, awaited at the end.
 	var tickets []*Chunk
@@ -203,8 +226,9 @@ func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
 		if firstErr != nil {
 			break
 		}
-		c, rn, err := g.submit(ctx, s, data)
+		c, rn, sl, err := g.submit(ctx, s, data)
 		retries += rn
+		slept += sl
 		if err != nil {
 			firstErr = err
 			break
@@ -218,7 +242,7 @@ func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
 			firstErr = err
 		}
 	}
-	return retries, firstErr
+	return retries, slept, firstErr
 }
 
 // submit is Submit with the bounded retry-and-backoff policy over
@@ -226,9 +250,9 @@ func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
 // transient by design (the breaker re-admits after its window, a gateway
 // re-places drained sessions), so a generator that treats them as terminal
 // measures the abort, not the recovery. Returns how many retries were
-// spent. Admission-class failures (bad chunk, queue full under Reject,
-// closed session) stay terminal.
-func (g *LoadGen) submit(ctx context.Context, s *Session, data []byte) (*Chunk, int, error) {
+// spent and how long it slept in backoff. Admission-class failures (bad
+// chunk, queue full under Reject, closed session) stay terminal.
+func (g *LoadGen) submit(ctx context.Context, s *Session, data []byte) (*Chunk, int, time.Duration, error) {
 	max := g.Retries
 	switch {
 	case max == 0:
@@ -240,16 +264,19 @@ func (g *LoadGen) submit(ctx context.Context, s *Session, data []byte) (*Chunk, 
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
+	var slept time.Duration
 	for n := 0; ; n++ {
 		c, err := s.Submit(ctx, data)
 		if err == nil || n >= max ||
 			!(errors.Is(err, ErrSessionBroken) || errors.Is(err, ErrServerClosed)) {
-			return c, n, err
+			return c, n, slept, err
 		}
+		t0 := time.Now()
 		select {
 		case <-time.After(backoff):
+			slept += time.Since(t0)
 		case <-ctx.Done():
-			return nil, n + 1, ctx.Err()
+			return nil, n + 1, slept + time.Since(t0), ctx.Err()
 		}
 		backoff *= 2
 	}

@@ -86,6 +86,7 @@ func (s *Session) failQueuedLocked(err error) {
 	for _, c := range s.queue {
 		c.err = err
 		s.pending -= c.frames
+		s.srv.pendingFrames.Add(-int64(c.frames))
 		s.srv.cfg.Obs.GaugeAdd(obs.GaugePending, -int64(c.frames))
 		close(c.done)
 	}

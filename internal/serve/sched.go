@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"time"
 
 	"vrdann/internal/codec"
 	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
 	"vrdann/internal/obs"
+	"vrdann/internal/qos"
 	"vrdann/internal/video"
 )
 
@@ -77,9 +80,19 @@ func (s *Session) stepOnce() {
 // state needs no lock.
 func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 	if s.eng == nil {
+		mode := codec.DecodeSideInfo
+		if ctl := s.srv.qosCtl; ctl != nil && ctl.ResegInterval() > 0 {
+			// The ladder's full rung re-segments B-frames with NN-L, which
+			// needs their pixels. Only pay for B-frame pixel decode while
+			// the control loop is lightly loaded enough to ever promote;
+			// under load the chunk decodes side-info only and a full-rung
+			// selection degrades to refinement inside the engine.
+			mode = codec.DecodeFull
+		}
 		if s.dec == nil {
-			s.dec, err = codec.NewStreamDecoder(cur.data, codec.DecodeSideInfo)
+			s.dec, err = codec.NewStreamDecoder(cur.data, mode)
 		} else {
+			s.dec.SetMode(mode)
 			err = s.dec.Reset(cur.data)
 		}
 		if err != nil {
@@ -87,16 +100,13 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 		}
 		s.eng = s.pipe.NewEngine(s.dec)
 	}
-	budget := s.srv.cfg.FrameBudget
-	drop := func(codec.FrameInfo) bool {
-		return budget > 0 && time.Since(cur.arrived) > budget
-	}
-	mo, pending, err := s.eng.StepPrepare(s.srv.ctx, drop)
+	s.lastStep = qos.StepFull // anchors never degrade; B-frames overwrite via the selector
+	mo, pending, err := s.eng.StepPrepare(s.srv.ctx, s.stepSelector(cur))
 	if err != nil {
 		return false, err
 	}
 	if pending != nil {
-		mask, nerr := s.execPending(pending)
+		mask, nerr := s.execPending(cur, pending)
 		if nerr != nil {
 			return false, nerr
 		}
@@ -112,6 +122,7 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 		Type:    mo.Type,
 		Mask:    mo.Mask,
 		Dropped: mo.Type == codec.BFrame && mo.Mask == nil,
+		Step:    s.lastStep,
 		Latency: time.Since(cur.arrived),
 	}
 	if r.Dropped {
@@ -123,8 +134,12 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 	if s.fill != nil {
 		// The step completed cleanly: publish the mask this session owed the
 		// content cache. Entries are only ever inserted from this path, so a
-		// cached mask is always one a session finished computing.
-		if mo.Mask != nil {
+		// cached mask is always one a session finished computing — at full
+		// quality. A B-frame that claimed its fill on the refinement rung but
+		// was deadline-retracted to a cheaper one must abandon instead: the
+		// cache is keyed on the full-quality configuration, and a degraded
+		// mask served from it would poison every later viewer.
+		if mo.Mask != nil && (mo.Type != codec.BFrame || s.lastStep == qos.StepRefine) {
 			s.fill.Commit(mo.Mask)
 		} else {
 			s.fill.Abandon()
@@ -135,6 +150,78 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 		s.mirrorQuantCounters()
 	}
 	return s.eng.Remaining() == 0, nil
+}
+
+// stepSelector builds the per-B-frame ladder hook for one chunk. Without a
+// controller it reproduces the pre-ladder binary policy exactly — refine
+// inside the budget, shed past it — so a server with QoS disabled serves
+// bit-identical to one that predates the ladder. With a controller it asks
+// for a rung per frame, applies the closed loop's promotion spacing to
+// full-rung selections, retunes the batcher width, and records the decision
+// on the per-ladder-step counters. Only the worker holding s.running runs
+// the returned closure (from inside StepPrepare), so s.lastStep needs no
+// lock.
+func (s *Session) stepSelector(cur *Chunk) core.StepSelector {
+	budget := s.srv.cfg.FrameBudget
+	ctl := s.srv.qosCtl
+	if ctl == nil {
+		return func(codec.FrameInfo) qos.Step {
+			if budget > 0 && time.Since(cur.arrived) > budget {
+				s.lastStep = qos.StepSkip
+				return qos.StepSkip
+			}
+			s.lastStep = qos.StepRefine
+			return qos.StepRefine
+		}
+	}
+	return func(info codec.FrameInfo) qos.Step {
+		if budget > 0 && time.Since(cur.arrived) > budget {
+			// The frame budget outranks the ladder: a frame already past
+			// its deadline is stale at any compute price.
+			return s.countStep(qos.StepSkip)
+		}
+		l := s.srv.qosLoad()
+		ctl.Observe(l)
+		step := ctl.Select(l, s.class)
+		if step == qos.StepFull {
+			// Promotion spacing: the closed loop stretches how often the
+			// full rung actually fires as smoothed load rises.
+			if iv := ctl.ResegInterval(); iv <= 0 || info.Display%iv != 0 {
+				step = qos.StepRefine
+			}
+		}
+		srv := s.srv
+		srv.cfg.Obs.GaugeSet(obs.GaugeQoSPressure, int64(ctl.Pressure()*1000))
+		if b := srv.batcher; b != nil {
+			w := ctl.BatchWidth(srv.cfg.MaxBatch)
+			b.SetMaxBatch(w)
+			srv.cfg.Obs.GaugeSet(obs.GaugeQoSBatchWidth, int64(w))
+		}
+		return s.countStep(step)
+	}
+}
+
+// countStep records one ladder decision on the session and server
+// collectors and remembers it for the FrameResult.
+func (s *Session) countStep(step qos.Step) qos.Step {
+	s.lastStep = step
+	c := stepCounter(step)
+	s.obs.Count(c, 1)
+	s.srv.cfg.Obs.Count(c, 1)
+	return step
+}
+
+// stepCounter maps a ladder rung to its obs counter.
+func stepCounter(step qos.Step) obs.Counter {
+	switch step {
+	case qos.StepFull:
+		return obs.CounterQoSFull
+	case qos.StepRefine:
+		return obs.CounterQoSRefine
+	case qos.StepRecon:
+		return obs.CounterQoSRecon
+	}
+	return obs.CounterQoSSkip
 }
 
 // cachedMask is the session's core.MaskSource hook: it consults the shared
@@ -167,8 +254,26 @@ func (s *Session) cachedMask(display int, _ codec.FrameType) *video.Mask {
 		s.obs.Count(obs.CounterCacheHits, 1)
 		return m
 	}
-	// Fill abandoned or server stopping: compute locally. No re-Acquire —
-	// this frame pays the full cost rather than risking a claim/wait loop.
+	if srv.ctx.Err() != nil {
+		// Server stopping: compute locally, nothing to re-offer.
+		return nil
+	}
+	// The fill was abandoned — its owner's step failed (quarantine, panic)
+	// before publishing. Without a re-offer the key would stay a permanent
+	// miss: every later viewer of this content would find neither an entry
+	// nor an in-flight fill to join. Re-acquire exactly once: either this
+	// session claims the new fill (serveOneFrame resolves it when the step
+	// settles, so later viewers hit) or another waiter beat it to the claim
+	// and this frame computes locally. Never a second Wait — a one-shot
+	// claim-or-compute can't loop however many owners die.
+	m, f, owner = srv.cache.Acquire(key)
+	if m != nil {
+		s.obs.Count(obs.CounterCacheHits, 1)
+		return m
+	}
+	if owner {
+		s.fill = f
+	}
 	return nil
 }
 
@@ -204,19 +309,46 @@ func (s *Session) mirrorQuantCounters() {
 // The submit uses the server context so a forced drain wakes workers
 // blocked in a batch; a batcher error fails only this session's step —
 // batch-mates got their own results.
-func (s *Session) execPending(pn *core.PendingNN) (*video.Mask, error) {
+//
+// Batched B-frame work carries the chunk's deadline: StepPrepare's budget
+// check ran before the item queued, and a partial batch can hold it well
+// past FrameBudget (the timer flush only bounds the wait, not the total
+// age). An item that ages out while queued is retracted to the ladder's
+// next-cheaper rung — the raw MV reconstruction — instead of computing
+// stale NN work, and counted on qos/deadline-overruns. True anchors are
+// never retracted; later frames reference them.
+func (s *Session) execPending(cur *Chunk, pn *core.PendingNN) (*video.Mask, error) {
 	b := s.srv.batcher
 	if b == nil {
 		return pn.ExecuteLocal(), nil
 	}
-	t := s.obs.Clock()
-	if pn.IsAnchor() {
-		m, err := b.Segment(s.srv.ctx, pn.Segmenter(), pn.Frame(), pn.Display())
-		s.obs.Span(obs.StageNNL, pn.Display(), byte(pn.FrameType()), t)
-		return m, err
+	ctx := s.srv.ctx
+	budget := s.srv.cfg.FrameBudget
+	if budget > 0 && pn.Retractable() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cur.arrived.Add(budget))
+		defer cancel()
 	}
-	prev, rec, next := pn.RefineInputs()
-	m, err := b.Refine(s.srv.ctx, prev, rec, next)
-	s.obs.Span(obs.StageRefine, pn.Display(), byte(pn.FrameType()), t)
+	t := s.obs.Clock()
+	var m *video.Mask
+	var err error
+	if pn.IsAnchor() {
+		m, err = b.Segment(ctx, pn.Segmenter(), pn.Frame(), pn.Display())
+		s.obs.Span(obs.StageNNL, pn.Display(), byte(pn.FrameType()), t)
+	} else {
+		prev, rec, next := pn.RefineInputs()
+		m, err = b.Refine(ctx, prev, rec, next)
+		s.obs.Span(obs.StageRefine, pn.Display(), byte(pn.FrameType()), t)
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && s.srv.ctx.Err() == nil {
+		s.obs.Count(obs.CounterQoSDeadlineOverruns, 1)
+		s.srv.cfg.Obs.Count(obs.CounterQoSDeadlineOverruns, 1)
+		if fb := pn.FallbackMask(); fb != nil {
+			s.lastStep = qos.StepRecon
+			return fb, nil
+		}
+		s.lastStep = qos.StepSkip
+		return nil, nil
+	}
 	return m, err
 }

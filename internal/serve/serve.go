@@ -38,6 +38,7 @@ import (
 	"vrdann/internal/nn"
 	"vrdann/internal/obs"
 	"vrdann/internal/par"
+	"vrdann/internal/qos"
 	"vrdann/internal/segment"
 )
 
@@ -155,6 +156,13 @@ type Config struct {
 	// must then ensure all sharing servers run identical models (the model
 	// fingerprint covers segmenter names and skip config, not weights).
 	Cache *contentcache.Cache
+	// QoS, when non-nil, enables the adaptive degradation ladder
+	// (internal/qos): each B-frame is served on a rung chosen from queue
+	// depth, batch occupancy and the session's class, and a closed loop
+	// stretches full-rung promotion spacing and widens the effective batch
+	// width as load rises. Nil keeps the pre-ladder policy — binary
+	// FrameBudget shedding only, bit-identical serving.
+	QoS *qos.Config
 }
 
 // withDefaults resolves unset fields.
@@ -212,6 +220,12 @@ type Server struct {
 	// session's running flag but cannot produce batch items, so the
 	// batcher's stall detection must discount them.
 	cacheWaiters atomic.Int64
+	// qosCtl, when non-nil, is the QoS ladder controller (cfg.QoS).
+	qosCtl *qos.Controller
+	// pendingFrames tracks frames admitted but not yet resolved across all
+	// sessions — the queue-depth input the ladder reads per frame, kept as
+	// an atomic so the selector never takes srv.mu.
+	pendingFrames atomic.Int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond // work retired, queue space freed, session retired
@@ -239,6 +253,9 @@ func NewServer(cfg Config) (*Server, error) {
 		sessions: make(map[string]*Session),
 	}
 	srv.cond = sync.NewCond(&srv.mu)
+	if cfg.QoS != nil {
+		srv.qosCtl = qos.NewController(*cfg.QoS)
+	}
 	srv.cache = cfg.Cache
 	if srv.cache == nil && cfg.CacheBytes > 0 {
 		srv.cache = contentcache.New(contentcache.Config{MaxBytes: cfg.CacheBytes, Obs: cfg.Obs})
@@ -282,9 +299,15 @@ func NewServer(cfg Config) (*Server, error) {
 	return srv, nil
 }
 
-// Open admits a new session, or returns ErrAdmission at the session cap
-// and ErrServerClosed on a draining server.
-func (srv *Server) Open() (*Session, error) {
+// Open admits a new premium-class session, or returns ErrAdmission at the
+// session cap and ErrServerClosed on a draining server.
+func (srv *Server) Open() (*Session, error) { return srv.OpenClass(qos.ClassPremium) }
+
+// OpenClass is Open with an explicit QoS class. The class only matters on a
+// server with the ladder enabled (Config.QoS), where free sessions degrade
+// at a fraction of the pressure premium ones tolerate; elsewhere it is
+// recorded but inert.
+func (srv *Server) OpenClass(class qos.Class) (*Session, error) {
 	srv.mu.Lock()
 	defer srv.mu.Unlock()
 	if srv.draining || srv.quiesced {
@@ -297,7 +320,7 @@ func (srv *Server) Open() (*Session, error) {
 	srv.nextID++
 	id := fmt.Sprintf("s%04d", srv.nextID)
 	col := obs.New()
-	s := &Session{ID: id, srv: srv, obs: col, state: stateActive}
+	s := &Session{ID: id, srv: srv, obs: col, state: stateActive, class: class}
 	s.pipe = &core.StreamingPipeline{
 		NNL:           srv.cfg.NewSegmenter(id),
 		NNS:           srv.cfg.NNS,
@@ -396,6 +419,17 @@ func (srv *Server) Load() LoadInfo {
 		li.Status = "draining"
 	}
 	return li
+}
+
+// qosLoad snapshots the ladder's load inputs lock-free: server-wide queue
+// depth normalized by the worker budget, plus the batcher's fill fraction.
+// Read on every B-frame, so it must stay cheap.
+func (srv *Server) qosLoad() qos.Load {
+	l := qos.Load{QueueDepth: int(srv.pendingFrames.Load()), Workers: srv.cfg.Workers}
+	if srv.batcher != nil {
+		l.Occupancy = srv.batcher.Occupancy()
+	}
+	return l
 }
 
 // Quiesce puts the server in scale-down drain: Open returns ErrServerClosed

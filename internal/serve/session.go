@@ -10,6 +10,7 @@ import (
 	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
 	"vrdann/internal/obs"
+	"vrdann/internal/qos"
 	"vrdann/internal/video"
 )
 
@@ -32,6 +33,12 @@ type FrameResult struct {
 	// Mask is the frame's segmentation; nil when the frame was dropped.
 	Mask    *video.Mask
 	Dropped bool
+	// Step is the QoS ladder rung the frame was served on (qos.StepFull
+	// for anchors, which are never degraded). On a server without the
+	// ladder it is qos.StepRefine for served B-frames and qos.StepSkip for
+	// budget-shed ones — the binary pre-ladder policy expressed in ladder
+	// terms.
+	Step qos.Step
 	// Latency is chunk arrival to frame completion — queueing included,
 	// which is the number a serving SLA is written against.
 	Latency time.Duration
@@ -79,6 +86,9 @@ type Session struct {
 	// modelFP fingerprints the mask-shaping configuration for content-cache
 	// keys (contentcache.Fingerprint). Immutable after Open.
 	modelFP uint64
+	// class is the session's QoS tier (see Config.QoS). Immutable after
+	// Open.
+	class qos.Class
 
 	// Guarded by srv.mu.
 	state   sessionState
@@ -105,6 +115,10 @@ type Session struct {
 	// frame currently being stepped; resolved (Commit or Abandon) before the
 	// step returns.
 	fill *contentcache.Fill
+	// lastStep is the ladder rung chosen for the frame currently being
+	// stepped (StepFull for anchors; overwritten by the selector for
+	// B-frames and by a deadline retraction).
+	lastStep qos.Step
 	// Last residual-skip counter values already mirrored into the
 	// server-wide collector (see Session.mirrorQuantCounters).
 	quantSkipped, quantDirty, quantUnknown int64
@@ -187,6 +201,7 @@ func (s *Session) Submit(ctx context.Context, data []byte) (*Chunk, error) {
 		done:    make(chan struct{}),
 	}
 	s.pending += info.Frames
+	srv.pendingFrames.Add(int64(info.Frames))
 	s.queue = append(s.queue, c)
 	s.obs.Count(obs.CounterChunks, 1)
 	srv.cfg.Obs.Count(obs.CounterChunks, 1)
@@ -245,6 +260,7 @@ func (s *Session) completeLocked(c *Chunk, err error) {
 	c.err = s.settleLocked(err)
 	sort.Slice(c.results, func(i, j int) bool { return c.results[i].Display < c.results[j].Display })
 	s.pending -= c.frames
+	s.srv.pendingFrames.Add(-int64(c.frames))
 	s.obs.GaugeSet(obs.GaugePending, int64(s.pending))
 	s.srv.cfg.Obs.GaugeAdd(obs.GaugePending, -int64(c.frames))
 	s.base += c.frames

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"vrdann/internal/qos"
 )
 
 // Client is a thin driver for the serving session surface — gateway or
@@ -66,9 +68,18 @@ func (c *Client) do(req *http.Request) ([]byte, string, error) {
 	return body, resp.Header.Get("Content-Type"), nil
 }
 
-// Open creates a session and returns its id.
+// Open creates a premium-class session and returns its id.
 func (c *Client) Open(ctx context.Context) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/v1/sessions", nil)
+	return c.OpenClass(ctx, qos.ClassPremium)
+}
+
+// OpenClass creates a session in the given QoS class and returns its id.
+func (c *Client) OpenClass(ctx context.Context, class qos.Class) (string, error) {
+	url := c.Base + "/v1/sessions"
+	if class != qos.ClassPremium {
+		url += "?class=" + class.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, nil)
 	if err != nil {
 		return "", err
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"vrdann/internal/obs"
+	"vrdann/internal/qos"
 	"vrdann/internal/serve"
 )
 
@@ -387,10 +388,16 @@ func (g *Gateway) fetchHealth(ctx context.Context, url string) (serve.LoadInfo, 
 	return li, nil
 }
 
-// Open admits a new gateway session: a backend session is opened on the
-// session's ring owner (walking past unroutable nodes) and the mapping is
-// tracked for chunk routing and migration.
+// Open admits a new premium-class gateway session: a backend session is
+// opened on the session's ring owner (walking past unroutable nodes) and
+// the mapping is tracked for chunk routing and migration.
 func (g *Gateway) Open(ctx context.Context) (string, error) {
+	return g.OpenClass(ctx, qos.ClassPremium)
+}
+
+// OpenClass is Open with an explicit QoS class; the class follows the
+// session to every backend placement, migrations included.
+func (g *Gateway) OpenClass(ctx context.Context, class qos.Class) (string, error) {
 	g.mu.Lock()
 	if g.closed {
 		g.mu.Unlock()
@@ -398,7 +405,7 @@ func (g *Gateway) Open(ctx context.Context) (string, error) {
 	}
 	g.nextID++
 	id := fmt.Sprintf("g%04d", g.nextID)
-	s := &gwSession{id: id, g: g}
+	s := &gwSession{id: id, g: g, class: class}
 	g.sessions[id] = s
 	g.obs.GaugeSet(obs.GaugeGateSessions, int64(len(g.sessions)))
 	g.mu.Unlock()

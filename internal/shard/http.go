@@ -5,13 +5,16 @@ import (
 	"errors"
 	"io"
 	"net/http"
+
+	"vrdann/internal/qos"
 )
 
 // Handler returns the gateway's HTTP surface — the same session API
 // vrserve exposes, so clients talk to a fleet exactly as they would to
 // one node, plus node administration:
 //
-//	POST   /v1/sessions                 open a session        -> {"id": ...}
+//	POST   /v1/sessions                 open a session        -> {"id": ..., "class": ...}
+//	       ?class=premium|free          ... with a QoS class, forwarded to backends
 //	POST   /v1/sessions/{id}/chunks     serve one chunk (proxied, display-rebased)
 //	       ?format=pgm                  ... or concatenated mask PGMs (passthrough)
 //	GET    /v1/sessions/{id}/metrics    per-session backend metrics (proxied)
@@ -51,12 +54,17 @@ func gwWriteError(w http.ResponseWriter, err error) {
 }
 
 func (g *Gateway) handleOpen(w http.ResponseWriter, r *http.Request) {
-	id, err := g.Open(r.Context())
+	class, err := qos.ParseClass(r.URL.Query().Get("class"))
+	if err != nil {
+		gwWriteJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	id, err := g.OpenClass(r.Context(), class)
 	if err != nil {
 		gwWriteError(w, err)
 		return
 	}
-	gwWriteJSON(w, http.StatusCreated, map[string]string{"id": id})
+	gwWriteJSON(w, http.StatusCreated, map[string]string{"id": id, "class": class.String()})
 }
 
 func (g *Gateway) handleChunk(w http.ResponseWriter, r *http.Request) {

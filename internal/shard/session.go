@@ -12,6 +12,7 @@ import (
 
 	"vrdann/internal/codec"
 	"vrdann/internal/obs"
+	"vrdann/internal/qos"
 )
 
 // gwSession is one client stream as the gateway sees it: which backend it
@@ -24,6 +25,10 @@ import (
 type gwSession struct {
 	id string
 	g  *Gateway
+	// class is the stream's QoS tier, forwarded to every backend session
+	// the gateway opens for it — migrations keep the tier. Immutable after
+	// Open.
+	class qos.Class
 
 	// mu serializes chunk proxying and migration for this session —
 	// chunks of one stream are strictly ordered, which is what makes the
@@ -182,7 +187,7 @@ func (s *gwSession) migrateLocked(ctx context.Context, target string, rebalance 
 	g := s.g
 	t0 := g.obs.Clock()
 	prevNode, prevID := s.node, s.backendID
-	backendID, err := g.openBackend(ctx, target)
+	backendID, err := g.openBackend(ctx, target, s.class)
 	if err != nil {
 		return err
 	}
@@ -246,11 +251,17 @@ func (s *gwSession) unplaceLocked() {
 	s.node, s.backendID = "", ""
 }
 
-// openBackend opens a session on a backend and returns its id there.
-func (g *Gateway) openBackend(ctx context.Context, url string) (string, error) {
+// openBackend opens a session on a backend and returns its id there. The
+// QoS class rides on the open so a backend with the ladder enabled tiers
+// the stream the same way on every placement.
+func (g *Gateway) openBackend(ctx context.Context, url string, class qos.Class) (string, error) {
 	octx, cancel := context.WithTimeout(ctx, g.cfg.ProxyTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(octx, http.MethodPost, url+"/v1/sessions", nil)
+	open := url + "/v1/sessions"
+	if class != qos.ClassPremium {
+		open += "?class=" + class.String()
+	}
+	req, err := http.NewRequestWithContext(octx, http.MethodPost, open, nil)
 	if err != nil {
 		return "", err
 	}
