@@ -6,10 +6,10 @@
 # the bitstream decoders.
 
 GO ?= go
-RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache ./internal/shard ./internal/qos
+RACE_PKGS := ./internal/par ./internal/core ./internal/tensor ./internal/nn ./internal/obs ./internal/batch ./internal/serve ./internal/contentcache ./internal/shard ./internal/qos ./internal/adapt
 FUZZTIME ?= 5s
 
-.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke gate-smoke qos-smoke
+.PHONY: check fmt-check vet build test race bench suite fuzz-smoke bench-smoke serve-smoke batch-smoke quant-smoke cache-smoke chaos-smoke gate-smoke qos-smoke adapt-smoke
 
 check: fmt-check vet build test race fuzz-smoke
 
@@ -94,6 +94,15 @@ gate-smoke:
 # the ?class= session-open parameter (echoed back; unknown values 400).
 qos-smoke:
 	$(GO) run ./cmd/vrserve -smoke -refine -qos on
+
+# The online-adaptation leg: -adapt on fine-tunes a private NN-S clone per
+# session from its own anchor pseudo-labels in serving idle gaps. The smoke
+# pins both directions: an unreachable promotion bar serves bit-identical
+# to the no-adapt reference while its shadow counters surface in /metrics,
+# and forced promotions climb the promotions counter and weights-version
+# gauge while frames keep being served across the swaps.
+adapt-smoke:
+	$(GO) run ./cmd/vrserve -smoke -adapt on
 
 # Regenerate the paper's tables and figures.
 suite:

@@ -9,7 +9,7 @@
 // With no figure arguments, every experiment runs. Valid names: fig3a,
 // fig3b, fig9, fig10, fig11, fig12, fig13, fig14, fig15, fig16, fig17,
 // tableII, headline, ablations, timeline, realtime, dse, stability,
-// energy, stages, serve, batch, quant, faults, cache, shard, qos.
+// energy, stages, serve, batch, quant, faults, cache, shard, qos, adapt.
 package main
 
 import (
@@ -41,7 +41,7 @@ func main() {
 	}
 	h := experiments.New(cfg)
 
-	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache", "shard", "qos"}
+	all := []string{"fig3a", "fig3b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "tableII", "headline", "ablations", "timeline", "realtime", "dse", "stability", "energy", "stages", "serve", "batch", "quant", "faults", "cache", "shard", "qos", "adapt"}
 	want := flag.Args()
 	if len(want) == 0 {
 		want = all
@@ -159,6 +159,9 @@ func figureData(h *experiments.Harness, name string) (any, error) {
 		return h.ShardFigure()
 	case "qos":
 		rows, err := h.QoSFigure()
+		return rows, err
+	case "adapt":
+		rows, err := h.AdaptFigure()
 		return rows, err
 	case "quant":
 		return h.Quant()
@@ -446,6 +449,20 @@ func runFigure(h *experiments.Harness, name string) error {
 				r.IntervalMS, r.Frames, r.Dropped, r.P95MS, r.P99MS,
 				r.MeanIoU, r.PremiumIoU, r.FreeIoU,
 				r.StepFull, r.StepRefine, r.StepRecon, r.StepSkip, r.DeadlineOverruns)
+		}
+	case "adapt":
+		rows, err := h.AdaptFigure()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Online per-stream adaptation on the content-drift stream (frozen vs adapted):")
+		fmt.Printf("  %-8s %7s %9s %8s %8s %8s %8s %8s %9s %9s %7s %7s %6s\n",
+			"mode", "frames", "total fps", "p50 ms", "p95 ms", "p99 ms", "early F", "late F", "drift(e)", "drift(l)", "steps", "promo", "rollbk")
+		for _, r := range rows {
+			fmt.Printf("  %-8s %7d %9.1f %8.1f %8.1f %8.1f %8.3f %8.3f %9.3f %9.3f %7d %7d %6d\n",
+				r.Mode, r.Frames, r.FPS, r.P50MS, r.P95MS, r.P99MS,
+				r.EarlyF, r.LateF, r.EarlyDriftF, r.LateDriftF,
+				r.TrainSteps, r.Promotions, r.Rollbacks)
 		}
 	case "quant":
 		rep, err := h.Quant()

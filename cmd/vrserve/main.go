@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"vrdann/internal/adapt"
 	"vrdann/internal/codec"
 	"vrdann/internal/core"
 	"vrdann/internal/nn"
@@ -59,6 +60,7 @@ func main() {
 		batchWait   = flag.Duration("batch-wait", 0, "partial-batch flush deadline (0 = 2ms default)")
 		cacheMB     = flag.Int64("cache-mb", 0, "shared content-addressed mask cache budget in MiB: sessions serving bit-identical chunks share anchor/B-frame masks (0 disables)")
 		qosMode     = flag.String("qos", "off", "adaptive QoS degradation ladder: on|off. off keeps the pre-ladder binary policy (bit-identical serving); on degrades B-frames full->refine->recon->skip under load, with premium/free session classes (?class= on open)")
+		adaptMode   = flag.String("adapt", "off", "online per-stream adaptation: on|off. on fine-tunes a private NN-S clone per session from its own NN-L anchor pseudo-labels, in serving idle gaps only, promoting weights that beat the serving set (implies -refine)")
 
 		maxChunk   = flag.Int64("max-chunk", 64<<20, "chunk POST body cap in bytes (oversize gets 413)")
 		brkFails   = flag.Int("breaker-threshold", 3, "consecutive chunk failures that trip a session's circuit breaker (negative disables)")
@@ -95,7 +97,14 @@ func main() {
 	default:
 		log.Fatalf("vrserve: -qos must be on or off, got %q", *qosMode)
 	}
-	if *refine || *quant {
+	switch *adaptMode {
+	case "off":
+	case "on":
+		cfg.Adapt = &adapt.Config{} // documented defaults; server wires per session
+	default:
+		log.Fatalf("vrserve: -adapt must be on or off, got %q", *adaptMode)
+	}
+	if *refine || *quant || cfg.Adapt != nil {
 		log.Printf("training NN-S on the synthetic training set...")
 		net, err := core.TrainNNS(video.MakeTrainingSet(96, 64, 16), codec.DefaultConfig(), core.DefaultTrainConfig())
 		if err != nil {
@@ -201,6 +210,12 @@ func runSmoke(cfg serve.Config) error {
 	if err != nil {
 		return fmt.Errorf("encode: %w", err)
 	}
+
+	// The adaptation tier serves from its own leg (8): legs 1–4 pin
+	// bit-identical serving against the reference, which Adapt nil keeps by
+	// construction.
+	adaptTier := cfg.Adapt != nil
+	cfg.Adapt = nil
 
 	// Legs 1–4 run the float path; when -quant compiled an int8 NN-S, leg 5
 	// below serves it (with residual skipping) from the full config and
@@ -629,6 +644,137 @@ func runSmoke(cfg serve.Config) error {
 		}
 		if err := lsrv.Close(lsd); err != nil {
 			return fmt.Errorf("qos drain: %w", err)
+		}
+	}
+
+	// Leg 8 (only under -adapt on): the online adaptation tier. Sub-leg A
+	// pins the safety direction — a trainer whose promotion bar is
+	// unreachable must not change one served byte versus the leg-1 reference,
+	// while its shadow activity (harvested pseudo-labels, fine-tune steps)
+	// surfaces over /metrics. Sub-leg B pins the liveness direction — forced
+	// promotions must climb the promotions counter and the weights-version
+	// gauge while frames keep being served across the swaps.
+	if adaptTier && cfg.NNS != nil {
+		runAdaptLeg := func(acfg serve.Config, think time.Duration, check func(*serve.LoadGen) error) (*obs.Report, error) {
+			asrv, err := serve.NewServer(acfg)
+			if err != nil {
+				return nil, err
+			}
+			agen := &serve.LoadGen{
+				Server:  asrv,
+				Streams: 1,
+				Think:   think,
+				Chunks:  func(int) [][]byte { return [][]byte{st.Data, st.Data, st.Data} },
+			}
+			if err := check(agen); err != nil {
+				return nil, err
+			}
+			if _, err := agen.Run(context.Background()); err != nil {
+				return nil, err
+			}
+			// The trainer works in the post-run idle; give its counters a
+			// moment to move before reading the HTTP surface.
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				if acfg.Obs.Snapshot().Counters[obs.CounterAdaptSteps.String()] > 0 {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			ahs := &http.Server{Handler: asrv.Handler()}
+			aln, err := listenLoopback()
+			if err != nil {
+				return nil, err
+			}
+			go ahs.Serve(aln)
+			resp, err := http.Get("http://" + aln.Addr().String() + "/metrics")
+			if err != nil {
+				return nil, fmt.Errorf("adapt metrics: %w", err)
+			}
+			var am obs.Report
+			if err := json.NewDecoder(resp.Body).Decode(&am); err != nil {
+				return nil, err
+			}
+			resp.Body.Close()
+			asd, acancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer acancel()
+			if err := ahs.Shutdown(asd); err != nil {
+				return nil, fmt.Errorf("adapt http shutdown: %w", err)
+			}
+			if err := asrv.Close(asd); err != nil {
+				return nil, fmt.Errorf("adapt drain: %w", err)
+			}
+			return &am, nil
+		}
+
+		// Sub-leg A: promotion bar unreachable (F-scores never exceed 1).
+		acfg := cfg
+		acfg.Obs = obs.New()
+		acfg.Adapt = &adapt.Config{MinImprove: 10}
+		var adaptErr error
+		am, err := runAdaptLeg(acfg, 50*time.Millisecond, func(g *serve.LoadGen) error {
+			g.OnResult = func(stream int, r serve.FrameResult) {
+				if r.Mask == nil {
+					return
+				}
+				refMu.Lock()
+				// The leg serves one more copy of the chunk than the leg-1
+				// reference covers; identical bytes serve identical masks, so
+				// the reference wraps at its two-chunk span.
+				want, ok := refMasks[r.Display%32]
+				if adaptErr == nil && (!ok || !bytes.Equal(r.Mask.Pix, want)) {
+					adaptErr = fmt.Errorf("adapt leg A: stream %d frame %d: mask differs from no-adapt reference", stream, r.Display)
+				}
+				refMu.Unlock()
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("adapt leg A: %w", err)
+		}
+		if adaptErr != nil {
+			return adaptErr
+		}
+		if n := am.Counters[obs.CounterAdaptExamples.String()]; n == 0 {
+			return fmt.Errorf("adapt leg A: no pseudo-labels harvested in /metrics")
+		}
+		if n := am.Counters[obs.CounterAdaptSteps.String()]; n == 0 {
+			return fmt.Errorf("adapt leg A: no shadow fine-tune steps in /metrics")
+		}
+		if n := am.Counters[obs.CounterAdaptPromotions.String()]; n != 0 {
+			return fmt.Errorf("adapt leg A: unreachable promotion bar promoted %d times", n)
+		}
+
+		// Sub-leg B: forced promotions (negative margin, frequent evals).
+		bcfg := cfg
+		bcfg.Obs = obs.New()
+		bcfg.Adapt = &adapt.Config{MinImprove: -1, EvalEvery: 2}
+		bframes := 0
+		bm, err := runAdaptLeg(bcfg, 100*time.Millisecond, func(g *serve.LoadGen) error {
+			g.OnResult = func(_ int, r serve.FrameResult) {
+				if r.Mask != nil {
+					bframes++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("adapt leg B: %w", err)
+		}
+		if bframes != 3*16 {
+			return fmt.Errorf("adapt leg B: served %d masks across the swaps, want 48", bframes)
+		}
+		if n := bm.Counters[obs.CounterAdaptPromotions.String()]; n == 0 {
+			return fmt.Errorf("adapt leg B: forced promotions never surfaced in /metrics")
+		}
+		var version int64
+		for _, g := range bm.Gauges {
+			if g.Name == obs.GaugeAdaptVersion.String() {
+				version = g.Current
+			}
+		}
+		if version == 0 {
+			return fmt.Errorf("adapt leg B: weights-version gauge never moved: %v", bm.Gauges)
 		}
 	}
 	return nil

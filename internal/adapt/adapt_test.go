@@ -1,0 +1,290 @@
+package adapt
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"vrdann/internal/nn"
+	"vrdann/internal/obs"
+	"vrdann/internal/segment"
+	"vrdann/internal/video"
+)
+
+// diskMask builds a binary disk mask — a stand-in for an NN-L anchor
+// segmentation.
+func diskMask(w, h, cx, cy, r int) *video.Mask {
+	m := video.NewMask(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx, dy := x-cx, y-cy
+			if dx*dx+dy*dy <= r*r {
+				m.Pix[y*w+x] = 1
+			}
+		}
+	}
+	return m
+}
+
+// harvestScene feeds n drifting-disk anchors into the adapter.
+func harvestScene(a *Adapter, w, h, n int) []*video.Mask {
+	masks := make([]*video.Mask, n)
+	for i := 0; i < n; i++ {
+		masks[i] = diskMask(w, h, w/3+i, h/2, h/4+i%3)
+		a.Harvest(i*4, nil, masks[i])
+	}
+	return masks
+}
+
+// waitFor polls cond for up to d.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// refineF runs a network on the degraded middle mask of a triple and scores
+// the result against the pseudo-label.
+func refineF(net *nn.RefineNet, prev, mid, next *video.Mask) float64 {
+	rec := DegradeMask(mid, 8)
+	x := segment.Sandwich(prev, rec, next)
+	logits := net.Forward(x)
+	m := video.NewMask(mid.W, mid.H)
+	for i, v := range logits.Data {
+		if v > 0 {
+			m.Pix[i] = 1
+		}
+	}
+	return segment.PixelFScore(m, mid)
+}
+
+// TestAdapterPromotesImprovedWeights checks the core loop end to end: an
+// untrained base harvests pseudo-labels, fine-tunes in the background, and
+// promotes weights that genuinely refine the session's own content better.
+func TestAdapterPromotesImprovedWeights(t *testing.T) {
+	base := nn.NewRefineNet(rand.New(rand.NewSource(41)), 4)
+	col := obs.New()
+	a, err := New(Config{Base: base, Obs: col, EvalEvery: 8, MinImprove: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	masks := harvestScene(a, 32, 32, 6)
+	waitFor(t, 10*time.Second, func() bool { return a.Promotions() > 0 }, "first promotion")
+	p, ok := a.TakePromoted()
+	if !ok {
+		t.Fatal("promotion counted but mailbox empty")
+	}
+	if p.Version == 0 {
+		t.Fatalf("promoted version = 0, want >= 1")
+	}
+	if p.Net == nil {
+		t.Fatal("promotion carries no network")
+	}
+	baseF := refineF(base.Clone(), masks[1], masks[2], masks[3])
+	adaptedF := refineF(p.Net.Clone(), masks[1], masks[2], masks[3])
+	if adaptedF <= baseF {
+		t.Fatalf("promoted weights do not beat base on session content: %.3f vs %.3f", adaptedF, baseF)
+	}
+	snap := col.Snapshot()
+	if snap.Counters[obs.CounterAdaptSteps.String()] == 0 {
+		t.Fatal("no train steps counted")
+	}
+	if snap.Counters[obs.CounterAdaptExamples.String()] != 6 {
+		t.Fatalf("examples counter = %d, want 6", snap.Counters[obs.CounterAdaptExamples.String()])
+	}
+	if snap.Counters[obs.CounterAdaptPromotions.String()] == 0 {
+		t.Fatal("no promotion counted")
+	}
+}
+
+// TestAdapterRollbackOnDriftRegression forces a promotion, then feeds a
+// drift-score collapse: the adapter must request rollback and publish the
+// snapshot — bit-identical to the pre-promotion serving weights — under a
+// new (higher) version.
+func TestAdapterRollbackOnDriftRegression(t *testing.T) {
+	base := nn.NewRefineNet(rand.New(rand.NewSource(43)), 4)
+	a, err := New(Config{
+		Base:        base,
+		EvalEvery:   4,
+		MaxSteps:    4,  // exactly one evaluation, then the trainer idles
+		MinImprove:  -1, // force the promotion regardless of quality
+		DriftWindow: 4, RollbackAfter: 4, RollbackMargin: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	w, h := 32, 32
+	good := diskMask(w, h, 16, 16, 8)
+	// Establish a healthy rolling baseline before the promotion lands.
+	for i := 0; i < 4; i++ {
+		a.ObserveDrift(good, good) // F = 1
+	}
+	harvestScene(a, w, h, 5)
+	waitFor(t, 10*time.Second, func() bool { return a.Promotions() == 1 }, "forced promotion")
+	if _, ok := a.TakePromoted(); !ok {
+		t.Fatal("forced promotion not in mailbox")
+	}
+
+	// Post-promotion the stream's refined-vs-anchor score collapses.
+	empty := video.NewMask(w, h)
+	for i := 0; i < 4; i++ {
+		a.ObserveDrift(empty, good) // F = 0
+	}
+	waitFor(t, 10*time.Second, func() bool { return a.Rollbacks() == 1 }, "rollback")
+	p, ok := a.TakePromoted()
+	if !ok {
+		t.Fatal("rollback not published to mailbox")
+	}
+	if p.Version != 2 {
+		t.Fatalf("rollback version = %d, want 2 (versions only move forward)", p.Version)
+	}
+	bp, rp := base.Params(), p.Net.Params()
+	for pi := range bp {
+		for i := range bp[pi].Data {
+			if bp[pi].Data[i] != rp[pi].Data[i] {
+				t.Fatalf("rollback weights differ from snapshot at param %d elem %d", pi, i)
+			}
+		}
+	}
+}
+
+// TestAdapterIdleGateBlocksTraining checks a busy scheduler starves the
+// trainer completely: harvested examples alone must not cause steps.
+func TestAdapterIdleGateBlocksTraining(t *testing.T) {
+	base := nn.NewRefineNet(rand.New(rand.NewSource(47)), 4)
+	a, err := New(Config{Base: base, Idle: func() bool { return false }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	harvestScene(a, 32, 32, 6)
+	time.Sleep(40 * time.Millisecond)
+	if s := a.Steps(); s != 0 {
+		t.Fatalf("trainer took %d steps while the scheduler was busy, want 0", s)
+	}
+}
+
+// TestAdapterCloseStopsTrainerAndDropsPromotion checks shutdown hygiene:
+// Close with training in flight leaks no goroutine, and any weights staged
+// but not yet taken are discarded — a retiring session must not promote.
+func TestAdapterCloseStopsTrainerAndDropsPromotion(t *testing.T) {
+	before := runtime.NumGoroutine()
+	base := nn.NewRefineNet(rand.New(rand.NewSource(53)), 4)
+	a, err := New(Config{Base: base, EvalEvery: 2, MinImprove: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	harvestScene(a, 32, 32, 6)
+	waitFor(t, 10*time.Second, func() bool { return a.Promotions() > 0 }, "staged promotion")
+	a.Close()
+	if _, ok := a.TakePromoted(); ok {
+		t.Fatal("TakePromoted returned weights after Close")
+	}
+	// Harvest and drift observations after Close are inert.
+	a.Harvest(99, nil, diskMask(32, 32, 16, 16, 8))
+	a.ObserveDrift(diskMask(32, 32, 16, 16, 8), diskMask(32, 32, 16, 16, 8))
+	if s := a.Steps(); s == 0 {
+		t.Fatal("expected some training before close")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines leaked after Close: %d -> %d\n%s", before, g, buf[:runtime.Stack(buf, true)])
+	}
+	// Close is idempotent.
+	a.Close()
+}
+
+// TestDegradeMask pins the block-quantization codes the pseudo-label
+// sandwich is built from.
+func TestDegradeMask(t *testing.T) {
+	m := video.NewMask(16, 8)
+	// Left 8x8 block fully foreground; right block one foreground pixel.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			m.Pix[y*16+x] = 1
+		}
+	}
+	m.Pix[0*16+12] = 1
+	rec := DegradeMask(m, 8)
+	if rec.Pix[0] != segment.ReconWhite {
+		t.Fatalf("full block code = %d, want white", rec.Pix[0])
+	}
+	if rec.Pix[12] != segment.ReconBlack {
+		t.Fatalf("1/64 block code = %d, want black", rec.Pix[12])
+	}
+	// A half-covered block reads gray.
+	m2 := video.NewMask(8, 8)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 8; x++ {
+			m2.Pix[y*8+x] = 1
+		}
+	}
+	if rec2 := DegradeMask(m2, 8); rec2.Pix[0] != segment.ReconGrayA {
+		t.Fatalf("half block code = %d, want gray", rec2.Pix[0])
+	}
+}
+
+// TestDownscaleMask pins the nearest-neighbour subsampling the reduced-cost
+// training path feeds the sandwich builder.
+func TestDownscaleMask(t *testing.T) {
+	m := video.NewMask(8, 6)
+	for y := 0; y < 6; y++ {
+		for x := 0; x < 8; x++ {
+			if x >= 4 {
+				m.Pix[y*8+x] = 1
+			}
+		}
+	}
+	d := DownscaleMask(m, 2)
+	if d.W != 4 || d.H != 3 {
+		t.Fatalf("downscaled dims %dx%d, want 4x3", d.W, d.H)
+	}
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			want := uint8(0)
+			if x >= 2 {
+				want = 1
+			}
+			if d.Pix[y*4+x] != want {
+				t.Fatalf("pixel (%d,%d) = %d, want %d", x, y, d.Pix[y*4+x], want)
+			}
+		}
+	}
+	// Factor 1 is the identity, not a copy.
+	if DownscaleMask(m, 1) != m {
+		t.Fatal("factor 1 should return the mask unchanged")
+	}
+}
+
+// TestSandwichCalibration checks the calibration tensors stay on the
+// sandwich alphabet.
+func TestSandwichCalibration(t *testing.T) {
+	cal := SandwichCalibration(16, 8, 3, 7)
+	if len(cal) != 3 {
+		t.Fatalf("got %d tensors, want 3", len(cal))
+	}
+	for _, c := range cal {
+		if c.Shape[0] != 3 || c.Shape[1] != 8 || c.Shape[2] != 16 {
+			t.Fatalf("calibration shape %v, want [3 8 16]", c.Shape)
+		}
+		for _, v := range c.Data {
+			if v != 0 && v != 0.5 && v != 1 {
+				t.Fatalf("calibration value %v off the {0,0.5,1} alphabet", v)
+			}
+		}
+	}
+}

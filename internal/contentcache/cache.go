@@ -64,6 +64,27 @@ func Fingerprint(parts ...string) uint64 {
 	return h
 }
 
+// AdaptedFingerprint derives the Model fingerprint for a session serving
+// adapted (online fine-tuned) weights: the base model fingerprint mixed
+// with the owning session's identity and a monotonically increasing weights
+// version. The session identity is mixed in even at version 0, so an
+// adaptation-enabled session never shares cache entries with base-model
+// sessions — its weights can change underneath a fill — and two sessions
+// that adapted independently never share entries with each other, even at
+// equal version numbers.
+func AdaptedFingerprint(base uint64, session string, version uint64) uint64 {
+	const prime64 = 1099511628211
+	h := base
+	for i := 0; i < len(session); i++ {
+		h = (h ^ uint64(session[i])) * prime64
+	}
+	for i := 0; i < 8; i++ {
+		h = (h ^ (version >> (8 * i) & 0xFF)) * prime64
+	}
+	// Distinguish the adapted keyspace from any plain Fingerprint output.
+	return (h ^ 0xAD) * prime64
+}
+
 // entryOverhead approximates the per-entry bookkeeping bytes charged
 // against the budget on top of the mask pixels.
 const entryOverhead = 96

@@ -210,3 +210,28 @@ func TestFingerprintSeparation(t *testing.T) {
 		t.Fatal("fingerprint not deterministic")
 	}
 }
+
+// TestAdaptedFingerprintIsolation pins the adaptation tier's cache-safety
+// contract: an adaptation-enabled session's keyspace is disjoint from the
+// base model's (already at version 0), moves on every weights version, and
+// never collides across sessions.
+func TestAdaptedFingerprintIsolation(t *testing.T) {
+	base := Fingerprint("nn-l", "nns=true quant=false")
+	if AdaptedFingerprint(base, "s0001", 0) == base {
+		t.Fatal("adapted session v0 shares the base model keyspace")
+	}
+	if AdaptedFingerprint(base, "s0001", 1) == AdaptedFingerprint(base, "s0001", 2) {
+		t.Fatal("weights version does not move the fingerprint")
+	}
+	if AdaptedFingerprint(base, "s0001", 1) == AdaptedFingerprint(base, "s0002", 1) {
+		t.Fatal("two sessions at the same version share a fingerprint")
+	}
+	if AdaptedFingerprint(base, "s0001", 3) != AdaptedFingerprint(base, "s0001", 3) {
+		t.Fatal("adapted fingerprint not deterministic")
+	}
+	// Versions must not alias a neighbouring session's versions through the
+	// digit-string boundary ("s1"+v=11 vs "s11"+v=1).
+	if AdaptedFingerprint(base, "s1", 11) == AdaptedFingerprint(base, "s11", 1) {
+		t.Fatal("session/version boundary aliases")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"vrdann/internal/baseline"
 	"vrdann/internal/codec"
@@ -50,6 +51,12 @@ type Config struct {
 	// prediction actually missed" (the F-score gate checks it costs no
 	// accuracy).
 	SkipThreshold int
+	// AdaptThink overrides the closed-loop viewer think time of the
+	// online-adaptation figure (0 = the figure's 250ms default). The think
+	// gap is the idle-gated trainer's entire compute budget, so harnesses
+	// running under instrumentation that inflates step cost (-race) widen it
+	// to keep the adaptation schedule comparable.
+	AdaptThink time.Duration
 	// Workers bounds the per-video parallelism of the suite loops
 	// (0 = min(NumCPU, 8)).
 	Workers int

@@ -11,6 +11,30 @@ type Optimizer interface {
 	// Step applies one update to params given grads, then zeroes grads.
 	// params and grads are parallel slices.
 	Step(params, grads []*tensor.Tensor)
+	// SkippedUpdates reports how many per-tensor updates were discarded
+	// because the gradient contained NaN or ±Inf.
+	SkippedUpdates() int64
+}
+
+// gradFinite reports whether every gradient element is a finite float. One
+// NaN anywhere poisons the whole tensor's update (and, through momentum or
+// moment state, every later step), so the optimizers reject the tensor's
+// update wholesale rather than patching around individual elements.
+func gradFinite(g *tensor.Tensor) bool {
+	for _, v := range g.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// zeroGrad clears an accumulated gradient without applying it.
+func zeroGrad(g *tensor.Tensor) {
+	for j := range g.Data {
+		g.Data[j] = 0
+	}
 }
 
 // SGD is stochastic gradient descent with classical momentum.
@@ -18,6 +42,7 @@ type SGD struct {
 	LR       float64
 	Momentum float64
 	velocity map[*tensor.Tensor]*tensor.Tensor
+	skipped  int64
 }
 
 // NewSGD creates an SGD optimizer.
@@ -25,10 +50,19 @@ func NewSGD(lr, momentum float64) *SGD {
 	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*tensor.Tensor]*tensor.Tensor)}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. Tensors whose gradient contains NaN or ±Inf
+// are left untouched (parameters and velocity alike): an online trainer fed
+// degenerate pseudo-labels must not let one bad batch corrupt weights that
+// may later be promoted into serving. The rejected gradient is still
+// zeroed, so the poisoned accumulation cannot leak into the next step.
 func (s *SGD) Step(params, grads []*tensor.Tensor) {
 	for i, p := range params {
 		g := grads[i]
+		if !gradFinite(g) {
+			zeroGrad(g)
+			s.skipped++
+			continue
+		}
 		v, ok := s.velocity[p]
 		if !ok {
 			v = tensor.New(p.Shape...)
@@ -43,11 +77,15 @@ func (s *SGD) Step(params, grads []*tensor.Tensor) {
 	}
 }
 
+// SkippedUpdates implements Optimizer.
+func (s *SGD) SkippedUpdates() int64 { return s.skipped }
+
 // Adam is the Adam optimizer (Kingma & Ba, 2015).
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 	t                     int
 	m, v                  map[*tensor.Tensor]*tensor.Tensor
+	skipped               int64
 }
 
 // NewAdam creates an Adam optimizer with the usual defaults for the moment
@@ -60,13 +98,20 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. Like SGD.Step it discards per-tensor updates
+// whose gradient is not finite — here the stakes are higher, because a NaN
+// that reaches the m/v moment estimates sticks forever.
 func (a *Adam) Step(params, grads []*tensor.Tensor) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range params {
 		g := grads[i]
+		if !gradFinite(g) {
+			zeroGrad(g)
+			a.skipped++
+			continue
+		}
 		m, ok := a.m[p]
 		if !ok {
 			m = tensor.New(p.Shape...)
@@ -85,3 +130,6 @@ func (a *Adam) Step(params, grads []*tensor.Tensor) {
 		}
 	}
 }
+
+// SkippedUpdates implements Optimizer.
+func (a *Adam) SkippedUpdates() int64 { return a.skipped }

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"vrdann/internal/tensor"
+)
+
+// TestOptimizerRejectsNonFiniteGrads pins the online-training hardening: a
+// gradient tensor containing NaN or ±Inf must not move its parameters (nor
+// poison momentum/moment state), must still be zeroed, and must be counted.
+// Finite tensors in the same step keep updating normally.
+func TestOptimizerRejectsNonFiniteGrads(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	cases := []struct {
+		name    string
+		newOpt  func() Optimizer
+		badGrad []float32
+	}{
+		{"sgd-nan", func() Optimizer { return NewSGD(0.1, 0.9) }, []float32{1, nan, 1}},
+		{"sgd-pos-inf", func() Optimizer { return NewSGD(0.1, 0) }, []float32{inf, 0, 0}},
+		{"sgd-neg-inf", func() Optimizer { return NewSGD(0.1, 0.5) }, []float32{0, 0, -inf}},
+		{"adam-nan", func() Optimizer { return NewAdam(0.1) }, []float32{nan, nan, nan}},
+		{"adam-pos-inf", func() Optimizer { return NewAdam(0.1) }, []float32{0, inf, 0}},
+		{"adam-neg-inf", func() Optimizer { return NewAdam(0.1) }, []float32{-inf, 1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opt := c.newOpt()
+			bad := tensor.FromSlice([]float32{1, 2, 3}, 3)
+			good := tensor.FromSlice([]float32{1, 2, 3}, 3)
+			badBefore := append([]float32(nil), bad.Data...)
+			goodBefore := append([]float32(nil), good.Data...)
+			params := []*tensor.Tensor{bad, good}
+			grads := []*tensor.Tensor{
+				tensor.FromSlice(append([]float32(nil), c.badGrad...), 3),
+				tensor.FromSlice([]float32{1, 1, 1}, 3),
+			}
+			opt.Step(params, grads)
+
+			for i, v := range bad.Data {
+				if v != badBefore[i] {
+					t.Fatalf("poisoned tensor moved: elem %d %g -> %g", i, badBefore[i], v)
+				}
+			}
+			moved := false
+			for i, v := range good.Data {
+				if v != goodBefore[i] {
+					moved = true
+				}
+				if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("finite tensor elem %d became non-finite: %g", i, v)
+				}
+			}
+			if !moved {
+				t.Fatal("finite tensor in the same step was not updated")
+			}
+			for _, g := range grads {
+				for i, v := range g.Data {
+					if v != 0 {
+						t.Fatalf("gradient elem %d not zeroed after step: %g", i, v)
+					}
+				}
+			}
+			if got := opt.SkippedUpdates(); got != 1 {
+				t.Fatalf("SkippedUpdates = %d, want 1", got)
+			}
+
+			// A follow-up finite step on the previously poisoned tensor must
+			// apply cleanly: no NaN residue may survive in optimizer state.
+			grads[0].Data[0], grads[0].Data[1], grads[0].Data[2] = 1, 1, 1
+			grads[1].Data[0], grads[1].Data[1], grads[1].Data[2] = 1, 1, 1
+			opt.Step(params, grads)
+			for i, v := range bad.Data {
+				if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("recovery step produced non-finite elem %d: %g", i, v)
+				}
+				if v == badBefore[i] {
+					t.Fatalf("recovery step did not update elem %d", i)
+				}
+			}
+			if got := opt.SkippedUpdates(); got != 1 {
+				t.Fatalf("SkippedUpdates after recovery = %d, want still 1", got)
+			}
+		})
+	}
+}
+
+// TestOptimizerFiniteStepsUnchanged guards the hardening against false
+// positives: a fully finite training loop must count zero skipped updates.
+func TestOptimizerFiniteStepsUnchanged(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.05, 0.9), NewAdam(0.05)} {
+		p := tensor.FromSlice([]float32{1, -1}, 2)
+		for i := 0; i < 10; i++ {
+			g := tensor.FromSlice([]float32{0.5, -0.5}, 2)
+			opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+		}
+		if got := opt.SkippedUpdates(); got != 0 {
+			t.Fatalf("finite loop skipped %d updates, want 0", got)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestSaveLoadRoundTripFloat checks SaveParams/LoadParams restore a trained
+// RefineNet bit-exactly: every parameter element identical and the forward
+// pass element-identical — the contract the adaptation tier's snapshot and
+// rollback path depends on.
+func TestSaveLoadRoundTripFloat(t *testing.T) {
+	net, _, sample := trainTinyRefineNet(t, 21, 8, 8)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRefineNet(rand.New(rand.NewSource(999)), net.Features)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := net.Params(), fresh.Params()
+	for pi := range src {
+		for i := range src[pi].Data {
+			if src[pi].Data[i] != dst[pi].Data[i] {
+				t.Fatalf("param %d elem %d: saved %g, loaded %g", pi, i, src[pi].Data[i], dst[pi].Data[i])
+			}
+		}
+	}
+	x := sample()
+	want, got := net.Clone().Forward(x), fresh.Forward(x)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("forward diverges at pixel %d: %g vs %g", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+// TestSaveLoadRoundTripQuantized checks a round-tripped network quantizes
+// identically: INT8 inference built from loaded weights is bit-equal to one
+// built from the originals. This is what lets a promoted adapted network be
+// re-quantized from its serialized snapshot without drift.
+func TestSaveLoadRoundTripQuantized(t *testing.T) {
+	net, calib, sample := trainTinyRefineNet(t, 23, 8, 8)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewRefineNet(rand.New(rand.NewSource(999)), net.Features)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), fresh); err != nil {
+		t.Fatal(err)
+	}
+	q1, err := NewQuantRefineNet(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewQuantRefineNet(fresh, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		x := sample()
+		a, b := q1.ForwardQuant(x), q2.ForwardQuant(x)
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				t.Fatalf("trial %d pixel %d: original-int8 %g, roundtrip-int8 %g", trial, i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+}
+
+// TestLoadParamsShapeMismatch checks loading into a network with the same
+// parameter-tensor count but different tensor sizes fails loudly instead of
+// silently truncating weights.
+func TestLoadParamsShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	small := NewRefineNet(rng, 4)
+	big := NewRefineNet(rng, 8)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), big); err == nil {
+		t.Fatal("loading features=4 weights into features=8 network succeeded, want size-mismatch error")
+	}
+}
+
+// TestLoadParamsCountMismatch checks a parameter-tensor count mismatch is
+// rejected at the header, before any weight is touched.
+func TestLoadParamsCountMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	conv := NewConv2D(rng, 3, 4, 3, 1, 1) // 2 parameter tensors
+	net := NewRefineNet(rng, 4)           // 6 parameter tensors
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, conv); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float32(nil), net.Params()[0].Data...)
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), net); err == nil {
+		t.Fatal("loading a 2-tensor file into a 6-tensor network succeeded, want count-mismatch error")
+	}
+	for i, v := range net.Params()[0].Data {
+		if v != before[i] {
+			t.Fatalf("count-mismatch load mutated weights (elem %d)", i)
+		}
+	}
+}
+
+// TestLoadParamsTruncated checks every truncation point of a valid stream —
+// mid-header, mid-size, mid-data — produces an error, never a panic or a
+// silent partial load.
+func TestLoadParamsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	net := NewRefineNet(rng, 4)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Sample cut points across the stream, always including the awkward
+	// boundaries: empty, inside the count header, inside a size header, and
+	// one byte short of complete.
+	cuts := []int{0, 2, 4, 6, len(full) / 3, len(full) / 2, len(full) - 5, len(full) - 1}
+	for _, cut := range cuts {
+		fresh := NewRefineNet(rand.New(rand.NewSource(777)), 4)
+		err := LoadParams(bytes.NewReader(full[:cut]), fresh)
+		if err == nil {
+			t.Fatalf("truncation at %d of %d bytes loaded without error", cut, len(full))
+		}
+	}
+	// The untruncated stream still loads, so the cuts above failed for the
+	// right reason.
+	fresh := NewRefineNet(rand.New(rand.NewSource(777)), 4)
+	if err := LoadParams(bytes.NewReader(full), fresh); err != nil {
+		t.Fatalf("full stream failed to load: %v", err)
+	}
+}

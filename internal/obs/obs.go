@@ -106,6 +106,9 @@ const (
 	GaugeGateSessions                  // shard gateway: client sessions tracked by the gateway
 	GaugeQoSPressure                   // qos ladder: smoothed load pressure, in thousandths
 	GaugeQoSBatchWidth                 // qos ladder: controller-set effective batch width
+	GaugeAdaptDriftF                   // adaptation: rolling refined-vs-anchor F-score, in thousandths
+	GaugeAdaptLoss                     // adaptation: last fine-tune BCE loss, in thousandths
+	GaugeAdaptVersion                  // adaptation: serving weights version (0 = base model)
 
 	// NumGauges bounds the Gauge enum; keep it last.
 	NumGauges
@@ -127,6 +130,9 @@ var gaugeNames = [NumGauges]string{
 	"gate-sessions",
 	"qos/pressure-milli",
 	"qos/batch-width",
+	"adapt/drift-f-milli",
+	"adapt/loss-milli",
+	"adapt/weights-version",
 }
 
 // String returns the gauge's report name.
@@ -176,6 +182,11 @@ const (
 	CounterQoSRecon                           // qos ladder: B-frames degraded to raw MV reconstruction (no NN)
 	CounterQoSSkip                            // qos ladder: B-frames shed (ladder decision or frame budget)
 	CounterQoSDeadlineOverruns                // qos ladder: batched items retracted to reconstruction after aging out past FrameBudget
+	CounterAdaptExamples                      // adaptation: pseudo-label examples harvested from NN-L anchors
+	CounterAdaptSteps                         // adaptation: background fine-tune steps executed
+	CounterAdaptBadGrads                      // adaptation: optimizer updates skipped on non-finite gradients
+	CounterAdaptPromotions                    // adaptation: candidate weights promoted into serving
+	CounterAdaptRollbacks                     // adaptation: promotions reverted after a drift regression
 
 	// NumCounters bounds the Counter enum; keep it last.
 	NumCounters
@@ -216,6 +227,11 @@ var counterNames = [NumCounters]string{
 	"qos/recon",
 	"qos/skip",
 	"qos/deadline-overruns",
+	"adapt/examples",
+	"adapt/train-steps",
+	"adapt/bad-grad-steps",
+	"adapt/promotions",
+	"adapt/rollbacks",
 }
 
 // String returns the counter's report name.

@@ -1,0 +1,69 @@
+// Acceptance gate for the online-adaptation drift figure. This lives in an
+// external test package so it can drive the real experiments harness — the
+// same code path that renders the committed BENCH figure — through a full
+// frozen-vs-adapted serving comparison, at a reduced scale that keeps the
+// -race run affordable.
+package serve_test
+
+import (
+	"testing"
+	"time"
+
+	"vrdann/internal/experiments"
+)
+
+// TestAdaptFigureDriftRecovery pins the tier's two headline contracts on the
+// content-drift stream, end to end through the serving stack:
+//
+//  1. Quality: the adapted row's late rolling refined-vs-anchor F strictly
+//     exceeds the frozen row's — the tier measurably closed part of the
+//     distribution gap, judged by the same drift signal its own promotion
+//     safety net watches.
+//  2. Latency: shadow training does not blow up serving. The bound is
+//     deliberately generous (single-core containers timeshare one straggler
+//     step with serving, and -race inflates everything), but it would catch
+//     a trainer that competes with the serving path in earnest.
+func TestAdaptFigureDriftRecovery(t *testing.T) {
+	// Native figure resolution — the regime the committed BENCH row runs in —
+	// with shorter sequences to keep the run affordable.
+	cfg := experiments.Default()
+	cfg.Frames, cfg.TrainFrames = 24, 16
+	// The think gap is the trainer's whole compute budget; -race inflates a
+	// fine-tune step several-fold, so the gap is widened in proportion to
+	// keep the adaptation schedule (steps before each evaluation, promotions
+	// per run) comparable to the uninstrumented figure.
+	cfg.AdaptThink = time.Second
+	rows, err := experiments.New(cfg).AdaptFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]experiments.AdaptRow{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	frozen, ok := byMode["frozen"]
+	if !ok {
+		t.Fatal("figure has no frozen row")
+	}
+	adapted, ok := byMode["adapted"]
+	if !ok {
+		t.Fatal("figure has no adapted row")
+	}
+	if frozen.TrainSteps != 0 || frozen.Promotions != 0 {
+		t.Fatalf("frozen row trained: %d steps, %d promotions", frozen.TrainSteps, frozen.Promotions)
+	}
+	if adapted.TrainSteps == 0 {
+		t.Fatal("adapted row took no training steps — the idle gate never opened")
+	}
+	if adapted.Promotions == 0 {
+		t.Fatal("adapted row promoted no weights — adaptation never reached serving")
+	}
+	if adapted.LateDriftF <= frozen.LateDriftF {
+		t.Fatalf("late rolling F: adapted %.4f does not beat frozen %.4f",
+			adapted.LateDriftF, frozen.LateDriftF)
+	}
+	if limit := 3*frozen.P95MS + 100; adapted.P95MS > limit {
+		t.Fatalf("adapted p95 %.1fms exceeds %.1fms (frozen %.1fms): training is delaying frames",
+			adapted.P95MS, limit, frozen.P95MS)
+	}
+}

@@ -27,6 +27,12 @@ type LoadGen struct {
 	// of completion (arrival-rate-bound), and all tickets are awaited at
 	// the end.
 	Interval time.Duration
+	// Think, in closed-loop mode only, sleeps this long between one chunk's
+	// completion and the next submission — a viewer consuming what it was
+	// served before asking for more. The resulting idle gaps are what gives
+	// shadow work (the online-adaptation trainers) its compute budget. Zero
+	// keeps the classic back-to-back throughput loop.
+	Think time.Duration
 	// Class, when non-nil, assigns each stream its QoS class (sessions are
 	// opened through OpenClass). Nil opens every stream premium.
 	Class func(stream int) qos.Class
@@ -195,9 +201,16 @@ func (g *LoadGen) driveStream(ctx context.Context, i int, s *Session,
 	var slept time.Duration
 	if g.Interval <= 0 {
 		// Closed loop: next submission gated on completion.
-		for _, data := range chunks {
-			c, n, sl, err := g.submit(ctx, s, data)
-			retries += n
+		for n, data := range chunks {
+			if n > 0 && g.Think > 0 {
+				select {
+				case <-time.After(g.Think):
+				case <-ctx.Done():
+					return retries, slept, ctx.Err()
+				}
+			}
+			c, rn, sl, err := g.submit(ctx, s, data)
+			retries += rn
 			slept += sl
 			if err != nil {
 				return retries, slept, err

@@ -98,6 +98,20 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 		if err != nil {
 			return false, err
 		}
+		if s.adapter != nil {
+			// Chunk boundary — the one safe weight-swap point: no engine is
+			// alive, so nothing is mid-flight on the old weights, and the
+			// engine built below bakes the promoted refiner in. The content-
+			// cache fingerprint moves with the version, so masks computed by
+			// adapted weights never mix with another weight set's entries.
+			if p, ok := s.adapter.TakePromoted(); ok {
+				s.pipe.SetRefineNet(p.Net, p.Quant)
+				s.adaptVersion = p.Version
+				if s.srv.cache != nil {
+					s.modelFP = contentcache.AdaptedFingerprint(s.baseFP, s.ID, p.Version)
+				}
+			}
+		}
 		s.eng = s.pipe.NewEngine(s.dec)
 	}
 	s.lastStep = qos.StepFull // anchors never degrade; B-frames overwrite via the selector
@@ -145,6 +159,23 @@ func (s *Session) serveOneFrame(cur *Chunk) (finished bool, err error) {
 			s.fill.Abandon()
 		}
 		s.fill = nil
+	}
+	if s.adapter != nil && mo.Mask != nil {
+		if mo.Type != codec.BFrame {
+			// A non-nil pending means this anchor's mask came from a real
+			// NN-L compute (not the content cache): harvest it as a
+			// pseudo-label together with the decoded luma.
+			if pending != nil {
+				s.adapter.Harvest(r.Display, pending.Frame(), mo.Mask)
+			}
+		} else if s.lastStep == qos.StepRefine {
+			// Full-quality refined B-frame: feed the drift monitor the
+			// refined-vs-anchor score the promotion contract is validated on.
+			s.adapter.ObserveDrift(mo.Mask, s.lastAnchor)
+		}
+	}
+	if mo.Mask != nil && mo.Type != codec.BFrame {
+		s.lastAnchor = mo.Mask
 	}
 	if s.srv.cfg.SkipResidual {
 		s.mirrorQuantCounters()
@@ -319,7 +350,13 @@ func (s *Session) mirrorQuantCounters() {
 // never retracted; later frames reference them.
 func (s *Session) execPending(cur *Chunk, pn *core.PendingNN) (*video.Mask, error) {
 	b := s.srv.batcher
-	if b == nil {
+	if b == nil || (s.adaptVersion > 0 && !pn.IsAnchor()) {
+		// Sessions serving promoted weights bypass the batcher for NN-S: the
+		// fused batch executes one shared base-weight network, which would
+		// silently serve this session the un-adapted model. Before the first
+		// promotion the clone's weights equal the base, so fused batching
+		// stays bit-identical; anchors keep batching throughout (NN-L runs
+		// each item's own segmenter).
 		return pn.ExecuteLocal(), nil
 	}
 	ctx := s.srv.ctx

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vrdann/internal/adapt"
 	"vrdann/internal/batch"
 	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
@@ -40,6 +41,7 @@ import (
 	"vrdann/internal/par"
 	"vrdann/internal/qos"
 	"vrdann/internal/segment"
+	"vrdann/internal/tensor"
 )
 
 // Admission and lifecycle errors.
@@ -163,6 +165,15 @@ type Config struct {
 	// width as load rises. Nil keeps the pre-ladder policy — binary
 	// FrameBudget shedding only, bit-identical serving.
 	QoS *qos.Config
+	// Adapt, when non-nil (and NNS is set), enables the online per-stream
+	// adaptation tier (internal/adapt): every session gets a background
+	// trainer that fine-tunes a private NN-S clone on pseudo-labels
+	// harvested from its own NN-L anchor masks, promoting improved weights
+	// at chunk boundaries and rolling back on drift regression. The value is
+	// a tuning template: the server fills Base, Idle, Quantize and the
+	// collectors per session. Nil keeps serving bit-identical to a server
+	// without the tier.
+	Adapt *adapt.Config
 }
 
 // withDefaults resolves unset fields.
@@ -226,6 +237,10 @@ type Server struct {
 	// sessions — the queue-depth input the ladder reads per frame, kept as
 	// an atomic so the selector never takes srv.mu.
 	pendingFrames atomic.Int64
+	// adaptCalib is the fixed sandwich-alphabet calibration adapted weights
+	// are re-quantized against (built once when Adapt and QuantNNS are both
+	// configured, so every promotion compiles on the same input grid).
+	adaptCalib []*tensor.Tensor
 
 	mu       sync.Mutex
 	cond     *sync.Cond // work retired, queue space freed, session retired
@@ -259,6 +274,13 @@ func NewServer(cfg Config) (*Server, error) {
 	srv.cache = cfg.Cache
 	if srv.cache == nil && cfg.CacheBytes > 0 {
 		srv.cache = contentcache.New(contentcache.Config{MaxBytes: cfg.CacheBytes, Obs: cfg.Obs})
+	}
+	if cfg.Adapt != nil && cfg.QuantNNS != nil {
+		// One calibration set for every session's re-quantizations: promoted
+		// weights compile against the same sandwich-alphabet grid the serving
+		// tier calibrates the base model on, so the only variable across a
+		// promotion is the weights themselves.
+		srv.adaptCalib = adapt.SandwichCalibration(64, 48, 4, 1)
 	}
 	if cfg.MaxBatch > 1 {
 		srv.batcher = batch.New(batch.Config{
@@ -344,6 +366,34 @@ func (srv *Server) OpenClass(class qos.Class) (*Session, error) {
 		)
 		s.pipe.MaskSource = s.cachedMask
 	}
+	if srv.cfg.Adapt != nil && srv.cfg.NNS != nil {
+		// Each session adapts privately: its own trainer, its own pseudo-label
+		// ring, its own weight versions. The configured value is a template;
+		// the serving-side hooks are filled here.
+		ac := *srv.cfg.Adapt
+		ac.Base = srv.cfg.NNS
+		ac.Idle = srv.trainerIdle
+		ac.Obs = col
+		ac.ServerObs = srv.cfg.Obs
+		if srv.cfg.QuantNNS != nil && ac.Quantize == nil {
+			ac.Quantize = func(n *nn.RefineNet) (*nn.QuantRefineNet, error) {
+				return nn.NewQuantRefineNet(n, srv.adaptCalib)
+			}
+		}
+		ad, err := adapt.New(ac)
+		if err != nil {
+			return nil, fmt.Errorf("serve: session adapter: %w", err)
+		}
+		s.adapter = ad
+		if srv.cache != nil {
+			// Cache isolation from the first frame: the session's weights can
+			// change underneath a fill, so even at version 0 it must key its
+			// entries away from the base model's (and every other adapting
+			// session's) keyspace.
+			s.baseFP = s.modelFP
+			s.modelFP = contentcache.AdaptedFingerprint(s.baseFP, id, 0)
+		}
+	}
 	srv.sessions[id] = s
 	srv.cfg.Obs.GaugeSet(obs.GaugeSessions, int64(len(srv.sessions)))
 	return s, nil
@@ -419,6 +469,15 @@ func (srv *Server) Load() LoadInfo {
 		li.Status = "draining"
 	}
 	return li
+}
+
+// trainerIdle is the adaptation tier's idleness gate: true only when no
+// frame is admitted-but-unresolved anywhere and no session is waiting for a
+// worker — the same signals the batcher's Stalled hook reads. Trainers
+// re-check it before every fine-tune step, so serving work arriving
+// mid-burst stops training at the next step boundary.
+func (srv *Server) trainerIdle() bool {
+	return srv.pendingFrames.Load() == 0 && len(srv.runq) == 0
 }
 
 // qosLoad snapshots the ladder's load inputs lock-free: server-wide queue

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"vrdann/internal/adapt"
 	"vrdann/internal/codec"
 	"vrdann/internal/contentcache"
 	"vrdann/internal/core"
@@ -84,8 +85,19 @@ type Session struct {
 
 	pipe *core.StreamingPipeline
 	// modelFP fingerprints the mask-shaping configuration for content-cache
-	// keys (contentcache.Fingerprint). Immutable after Open.
+	// keys (contentcache.Fingerprint). Immutable after Open on a server
+	// without the adaptation tier; on an adapting session it is rebuilt —
+	// only by the worker that holds running, at chunk boundaries — from
+	// baseFP and the promoted weights version (contentcache.AdaptedFingerprint).
 	modelFP uint64
+	// baseFP is the base-model fingerprint an adapting session derives its
+	// versioned modelFP from. Immutable after Open; zero without adaptation.
+	baseFP uint64
+	// adapter, when non-nil, is the session's online-adaptation state
+	// (internal/adapt). Its handle is immutable after Open (cleared only at
+	// retirement under srv.mu); the Adapter itself is safe for the worker's
+	// concurrent Harvest/ObserveDrift/TakePromoted calls.
+	adapter *adapt.Adapter
 	// class is the session's QoS tier (see Config.QoS). Immutable after
 	// Open.
 	class qos.Class
@@ -119,6 +131,12 @@ type Session struct {
 	// stepped (StepFull for anchors; overwritten by the selector for
 	// B-frames and by a deadline retraction).
 	lastStep qos.Step
+	// adaptVersion is the adapted-weights version currently serving (0 =
+	// base weights; incremented at each promotion or rollback pickup).
+	adaptVersion uint64
+	// lastAnchor is the most recent anchor mask served, the reference the
+	// drift monitor scores refined B-frames against.
+	lastAnchor *video.Mask
 	// Last residual-skip counter values already mirrored into the
 	// server-wide collector (see Session.mirrorQuantCounters).
 	quantSkipped, quantDirty, quantUnknown int64
@@ -241,6 +259,19 @@ func (s *Session) maybeRetireLocked() {
 	}
 	s.state = stateClosed
 	delete(s.srv.sessions, s.ID)
+	if ad := s.adapter; ad != nil {
+		// Close blocks on the trainer's in-flight step, so it cannot run
+		// under srv.mu. The server's WaitGroup tracks the shutdown: workers
+		// still hold wg references here (retirement happens strictly before
+		// Server.Close's session-drain wait can complete), so the Add never
+		// races the final Wait, and Close observes every trainer gone.
+		s.adapter = nil
+		s.srv.wg.Add(1)
+		go func() {
+			defer s.srv.wg.Done()
+			ad.Close()
+		}()
+	}
 	s.srv.cfg.Obs.GaugeSet(obs.GaugeSessions, int64(len(s.srv.sessions)))
 	s.srv.cond.Broadcast()
 }

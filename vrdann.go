@@ -36,6 +36,7 @@ package vrdann
 import (
 	"io"
 
+	"vrdann/internal/adapt"
 	"vrdann/internal/baseline"
 	"vrdann/internal/batch"
 	"vrdann/internal/codec"
@@ -313,6 +314,37 @@ type (
 	// depth, breaker state, admission headroom, draining flag).
 	LoadInfo = serve.LoadInfo
 )
+
+// Online per-stream adaptation: each session fine-tunes a private clone of
+// NN-S on pseudo-labels harvested from its own NN-L anchor segmentations,
+// strictly in serving idle gaps, promoting weights only when they beat the
+// serving set and rolling back on drift regression (DESIGN.md §16).
+type (
+	// Adapter is one session's online-adaptation state: the pseudo-label
+	// ring, background trainer, promotion mailbox and rolling drift monitor.
+	Adapter = adapt.Adapter
+	// AdaptConfig tunes an Adapter. ServeConfig.Adapt takes one as the
+	// per-session tuning template (the server fills the wiring fields).
+	AdaptConfig = adapt.Config
+	// AdaptExample is one harvested (anchor luma, NN-L mask) pseudo-label.
+	AdaptExample = adapt.Example
+	// AdaptPromotion is one staged weight swap, picked up by the serving
+	// layer at the next safe (chunk) boundary.
+	AdaptPromotion = adapt.Promotion
+)
+
+// NewAdapter starts a session adapter and its background trainer; a Server
+// with ServeConfig.Adapt non-nil constructs one per session internally, so
+// this is only needed when embedding the tier in a custom scheduler.
+func NewAdapter(cfg AdaptConfig) (*Adapter, error) { return adapt.New(cfg) }
+
+// AdaptedFingerprint derives the content-cache fingerprint of a session
+// serving adapted weights from its base-model fingerprint: adapting
+// sessions never share cached masks with base-model sessions or with each
+// other, at any weights version.
+func AdaptedFingerprint(base uint64, session string, version uint64) uint64 {
+	return contentcache.AdaptedFingerprint(base, session, version)
+}
 
 // NewGateway builds a sharding gateway over the configured backends and
 // starts its health prober.

@@ -3,6 +3,7 @@ package vrdann_test
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"vrdann"
 )
@@ -219,5 +220,48 @@ func TestPublicAPIQuantTier(t *testing.T) {
 	snap := col.Snapshot()
 	if snap.Counters["quant/blocks-skipped"]+snap.Counters["quant/blocks-dirty"] == 0 {
 		t.Fatal("residual-skip counters never moved")
+	}
+}
+
+// TestPublicAPIAdaptTier drives the online-adaptation facade: build an
+// Adapter over a trained refiner, harvest a session's anchor masks as
+// pseudo-labels, take a forced promotion, and derive the isolated cache
+// fingerprints an adapting session serves under.
+func TestPublicAPIAdaptTier(t *testing.T) {
+	vid := vrdann.MakeSequence(vrdann.SuiteProfiles[0], 64, 48, 8)
+	tc := vrdann.DefaultTrainConfig()
+	tc.Features = 4
+	tc.Epochs = 1
+	nns, err := vrdann.TrainRefiner(vrdann.MakeTrainingSet(64, 48, 8)[:2], vrdann.DefaultEncoderConfig(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := vrdann.NewAdapter(vrdann.AdaptConfig{Base: nns, MinImprove: -1, EvalEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ad.Close()
+	for i, m := range vid.Masks {
+		ad.Harvest(i, nil, m)
+	}
+	var p vrdann.AdaptPromotion
+	var ok bool
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if p, ok = ad.TakePromoted(); ok {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatal("forced promotion never staged")
+	}
+	if p.Net == nil || p.Version == 0 {
+		t.Fatalf("promotion incomplete: net=%v version=%d", p.Net != nil, p.Version)
+	}
+	base := vrdann.ModelFingerprint("NN-L", "refine")
+	s1 := vrdann.AdaptedFingerprint(base, "session-1", p.Version)
+	s2 := vrdann.AdaptedFingerprint(base, "session-2", p.Version)
+	if s1 == base || s2 == base || s1 == s2 {
+		t.Fatalf("adapted fingerprints not isolated: base=%x s1=%x s2=%x", base, s1, s2)
 	}
 }
